@@ -1,0 +1,30 @@
+"""Paper Fig. 4: relative accuracy over Reed-Solomon design points.
+
+Regenerates the four-choice energy profile and checks the paper's
+relative-accuracy criterion: the macro-model and reference profiles must
+track (identical ranking).  Benchmarks the macro estimation of one design
+point — the operation a designer iterates when exploring custom-
+instruction choices.
+"""
+
+from repro.analysis import run_fig4
+
+
+def test_fig4_relative_accuracy(benchmark, ctx, save_report):
+    case = next(c for c in ctx.rs_choices if c.name == "rs_gfmac")
+    config, program = case.build()
+    model = ctx.model
+
+    estimate = benchmark(model.estimate, config, program)
+    assert estimate.energy > 0
+
+    fig4 = run_fig4(ctx)
+    save_report("fig4_relative_accuracy", fig4.report())
+
+    # the two profiles rank all four design points identically
+    assert abs(fig4.rank_correlation - 1.0) < 1e-9
+    assert fig4.max_abs_percent_error < 12.0
+
+    by_choice = {row.choice: row.reference_energy for row in fig4.rows}
+    assert by_choice["rs_sw"] > 5 * by_choice["rs_gfmul"]
+    assert by_choice["rs_dual"] < by_choice["rs_gfmac"]

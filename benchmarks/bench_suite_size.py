@@ -1,0 +1,23 @@
+"""Suite-size study (extension): Table II error vs characterization size.
+
+Quantifies DESIGN.md deviation D2: with only the 25-program core the
+21-coefficient fit *interpolates* (tiny fit RMS) but generalizes worse;
+the density/width/toggle variants trade a slightly larger fit residual
+for markedly better unseen-application accuracy — the classic
+overfitting-vs-generalization curve.
+"""
+
+from repro.analysis import run_suite_size_study
+
+
+def test_suite_size_study(benchmark, ctx, save_report):
+    result = benchmark.pedantic(run_suite_size_study, args=(ctx,), rounds=1, iterations=1)
+    save_report("suite_size_study", result.report())
+    first, last = result.rows[0], result.rows[-1]
+    assert first.size < last.size
+    # the smallest suite fits tighter (interpolation)...
+    assert first.fit_rms <= last.fit_rms
+    # ...but generalizes worse (the point of the variants)
+    assert first.app_mean_error > last.app_mean_error
+    assert first.app_max_error > last.app_max_error
+    assert last.app_mean_error < 5.0

@@ -1,0 +1,28 @@
+"""Paper Table I: energy coefficients of the characterized processor.
+
+Regenerates the fitted coefficient table and benchmarks the regression
+step itself (paper Eq. 5 over the full characterization design matrix) —
+the step that replaces per-extension re-characterization in prior art.
+"""
+
+from repro.analysis import run_table1
+from repro.core.regression import fit_nnls
+
+
+def test_table1_coefficients(benchmark, ctx, save_report):
+    design, energies = ctx.characterization.design, ctx.characterization.energies
+
+    result = benchmark(fit_nnls, design, energies)
+
+    table1 = run_table1(ctx)
+    save_report("table1_coefficients", table1.report())
+
+    # the benchmarked fit must agree with the context's model
+    assert result.coefficients.shape == (21,)
+    for fitted, stored in zip(result.coefficients, ctx.model.coefficients):
+        assert abs(fitted - stored) < 1e-6
+
+    # Table I sanity: every coefficient physical, events dominate classes
+    coefficients = ctx.model.coefficients_by_key()
+    assert all(value >= 0 for value in coefficients.values())
+    assert coefficients["N_cm"] > coefficients["N_a"]

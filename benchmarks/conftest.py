@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+The characterized model is built once per session; every benchmark writes
+its regenerated table/figure to ``benchmarks/results/`` so the artifacts
+survive the run (EXPERIMENTS.md references them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """The fully characterized experiment context (paper steps 1-8)."""
+    from repro.analysis import default_context
+
+    return default_context()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_report(results_dir):
+    """Write a named report artifact and echo it to the terminal."""
+
+    def save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return save

@@ -1,0 +1,52 @@
+"""Characterize the extensible-processor family, end to end.
+
+Reproduces the paper's Fig. 2 flow, steps 1-8:
+
+* run every characterization test program on its (extended) processor,
+  collecting instruction-set statistics and reference RTL energies;
+* audit the suite's coverage of the 21 macro-model variables;
+* fit the energy coefficients by regression (Table I);
+* report the per-program fitting errors (Fig. 3);
+* save the model to JSON so downstream users can estimate without any of
+  the characterization machinery.
+
+Run:  python examples/characterize_processor.py [output_model.json]
+"""
+
+import sys
+
+from repro.core import Characterizer, audit_coverage
+from repro.programs import characterization_suite
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "xt1040_macro_model.json"
+
+    characterizer = Characterizer(method="nnls")
+    suite = characterization_suite()
+    print(f"characterizing over {len(suite)} test programs...")
+    for case in suite:
+        config, program = case.build()
+        sample = characterizer.add_program(config, program)
+        print(f"  {case.name:<24} on {config.name:<14} "
+              f"{sample.cycles:>7} cycles  E={sample.energy:12.0f}")
+
+    print("\n--- suite coverage audit " + "-" * 40)
+    coverage = audit_coverage(characterizer.samples, characterizer.template)
+    print(coverage.summary())
+    if not coverage.is_adequate:
+        raise SystemExit("characterization suite does not cover the template")
+
+    result = characterizer.fit()
+    print("\n--- fitting errors (the paper's Fig. 3) " + "-" * 25)
+    print(result.fitting_error_table())
+
+    print("\n--- energy coefficients (the paper's Table I) " + "-" * 19)
+    print(result.model.coefficient_table())
+
+    result.model.save(output_path)
+    print(f"\nmodel written to {output_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Tutorial: author a custom instruction and inspect what it becomes.
+
+Builds a dot-product-step instruction out of hardware-library primitives
+and shows every artifact the toolchain derives from the spec:
+
+* the compiled schedule (latency, per-cycle component activation);
+* the hardware instances and their complexity (bit-width law);
+* the operand-bus taps (which components base instructions will
+  spuriously activate — paper Example 1);
+* the generated processor's synthesis report;
+* the energy impact, measured with the reference estimator.
+
+Run:  python examples/custom_instruction_tutorial.py
+"""
+
+from repro import TieSpec, build_processor, compile_spec, generate_netlist, reference_energy
+from repro.asm import assemble
+
+
+def make_dot2() -> TieSpec:
+    """dot2 rd, rs, rt — rd = rs.lo16*rt.lo16 + rs.hi16*rt.hi16."""
+    spec = TieSpec("dot2", fmt="R3", description="2-way 16-bit dot product")
+    a = spec.source("rs")
+    b = spec.source("rt")
+    a_lo, a_hi = spec.slice(a, 0, 16), spec.slice(a, 16, 16)
+    b_lo, b_hi = spec.slice(b, 0, 16), spec.slice(b, 16, 16)
+    p0 = spec.tie_mult(a_lo, b_lo)        # 32-bit product
+    p1 = spec.tie_mult(a_hi, b_hi)
+    spec.result(spec.slice(spec.add(p0, p1, width=33), 0, 32))
+    return spec
+
+
+SOURCE = """
+main:
+    li a2, 0x00030004   ; (3, 4)
+    li a3, 0x00050006   ; (5, 6)
+    movi a5, 50
+loop:
+    dot2 a4, a2, a3     ; 3*5 + 4*6 = 39
+    add a2, a2, a4
+    addi a5, a5, -1
+    bnez a5, loop
+    halt
+"""
+
+
+def main() -> None:
+    spec = make_dot2()
+    impl = compile_spec(spec)
+
+    print("=== compiled custom instruction ===")
+    print(f"mnemonic       : {impl.mnemonic} ({spec.fmt} format)")
+    print(f"issue latency  : {impl.latency} cycle(s)")
+    print(f"accesses GPR   : {impl.accesses_gpr} (feeds the N_sd macro-model variable)")
+
+    print("\nhardware instances (one per operator node):")
+    for instance in impl.instances:
+        active = impl.active_cycles[instance.name]
+        tapped = "bus-tapped" if instance.name in impl.bus_tapped else "internal"
+        print(
+            f"  {instance.name:<18} {instance.category.value:<13} "
+            f"w={instance.width:<3} C={instance.complexity:5.2f}  "
+            f"active in cycle(s) {active}  [{tapped}]"
+        )
+
+    print("\nper-execution structural-variable increments:")
+    for category, activity in impl.per_exec_activity.items():
+        print(f"  S_{category.value:<14} += {activity:.3f}")
+
+    config = build_processor("tutorial", [make_dot2()])
+    print("\n=== processor generator report ===")
+    print(generate_netlist(config).synthesis_report())
+
+    program = assemble(SOURCE, "tutorial", isa=config.isa)
+    report, result = reference_energy(config, program)
+    print("\n=== reference energy of the demo kernel ===")
+    print(report.summary())
+    first_dot2 = next(r for r in result.trace if r.mnemonic == "dot2")
+    print(f"\nfirst dot2 result: {first_dot2.result} (expected 39)")
+
+
+if __name__ == "__main__":
+    main()

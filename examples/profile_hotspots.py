@@ -1,0 +1,115 @@
+"""Energy hotspot profiling: where does the energy go?
+
+An extension built on the macro-model's linearity: because the estimate
+is a dot product over per-cycle/per-event counts, it decomposes exactly
+over any partition of the dynamic execution.  The profiler splits a
+traced run by code region (one region per text label) and prices each
+region with the same characterized coefficients.
+
+The demo program interleaves three phases with very different energy
+signatures — a MAC-heavy filter, a cache-thrashing scatter, and a
+branchy scan — and the profile makes the ranking obvious.
+
+Run:  python examples/profile_hotspots.py
+"""
+
+from repro.analysis import default_context
+from repro.asm import assemble
+from repro.core import EnergyProfiler
+from repro.programs.extensions import mac16_spec, rdmac_spec, wrmac_spec
+from repro.xtcore import build_processor
+
+SOURCE = """
+    .data
+samples:
+    .word 1201, 3390, 871, 2204, 999, 4123, 77, 1580, 2099, 3011, 458, 1777
+    .word 905, 2344, 1222, 678, 3504, 91, 2890, 1404, 566, 3178, 841, 1932
+scatter: .space 32768
+out: .space 12
+    .text
+main:
+    call filter_phase
+    call scatter_phase
+    call scan_phase
+    halt
+
+filter_phase:            ; MAC over the sample window, 40 passes
+    movi a8, 40
+fp_outer:
+    la a2, samples
+    movi a3, 24
+fp_loop:
+    l32i a4, a2, 0
+    mac16 a4
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, fp_loop
+    addi a8, a8, -1
+    bnez a8, fp_outer
+    rdmac a5
+    la a2, out
+    s32i a5, a2, 0
+    ret
+
+scatter_phase:           ; D$-hostile strided writes (4 KB stride)
+    movi a8, 60
+scat_outer:
+    la a2, scatter
+    li a9, 4096
+    movi a3, 8
+scat_loop:
+    l32i a4, a2, 0
+    addi a4, a4, 1
+    s32i a4, a2, 0
+    add a2, a2, a9
+    addi a3, a3, -1
+    bnez a3, scat_loop
+    addi a8, a8, -1
+    bnez a8, scat_outer
+    ret
+
+scan_phase:              ; branchy threshold scan over the samples
+    movi a8, 50
+    movi a7, 0
+scan_outer:
+    la a2, samples
+    movi a3, 24
+    li a10, 2000
+scan_loop:
+    l32i a4, a2, 0
+    bltu a4, a10, scan_skip
+    addi a7, a7, 1
+scan_skip:
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, scan_loop
+    addi a8, a8, -1
+    bnez a8, scan_outer
+    la a2, out
+    s32i a7, a2, 4
+    ret
+"""
+
+
+def main() -> None:
+    config = build_processor(
+        "hotspots", [mac16_spec(), rdmac_spec(), wrmac_spec()]
+    )
+    program = assemble(SOURCE, "hotspots", isa=config.isa)
+
+    print("characterizing the processor family (one-time cost)...")
+    model = default_context().model
+
+    profiler = EnergyProfiler(model)
+    report = profiler.profile(config, program)
+    print()
+    print(report.table())
+
+    whole = model.estimate(config, program)
+    drift = abs(report.total_energy - whole.energy) / whole.energy
+    print(f"\nprofile total vs whole-program estimate: drift {drift:.2e} "
+          "(exact decomposition, up to float rounding)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so `pip install -e .` works on environments without the `wheel`
+package (legacy setup.py develop path)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""Plain-text chart rendering for the paper's figures.
+
+The paper's Fig. 3 is a bar chart of per-program fitting errors and
+Fig. 4 a grouped profile over design points.  This module renders those
+shapes as deterministic ASCII art so the benchmark artifacts are figures
+(not just tables) while remaining diff-able and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "%",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with signed values around a zero axis.
+
+    Negative values extend left of the axis, positive values right —
+    matching the signed-error presentation of the paper's Fig. 3.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        raise ValueError("empty chart")
+    if width < 10:
+        raise ValueError("chart width must be at least 10 columns")
+
+    magnitude = max(abs(v) for v in values) or 1.0
+    half = width // 2
+    label_width = max(len(label) for label in labels)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    axis_header = " " * (label_width + 1) + f"{-magnitude:.1f}".rjust(half) + "0".rjust(1) + f"+{magnitude:.1f}".rjust(half)
+    lines.append(axis_header)
+    for label, value in zip(labels, values):
+        cells = int(round(abs(value) / magnitude * half))
+        if value < 0:
+            bar = " " * (half - cells) + "#" * cells + "|" + " " * half
+        else:
+            bar = " " * half + "|" + "#" * cells + " " * (half - cells)
+        lines.append(f"{label.ljust(label_width)} {bar} {value:+.2f}{unit}")
+    return "\n".join(lines)
+
+
+def profile_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 46,
+    log: bool = True,
+    title: str = "",
+) -> str:
+    """Grouped magnitude chart for two (or more) profiles per design point.
+
+    Used for Fig. 4: the macro-model and reference energy profiles over
+    the custom-instruction choices, side by side.  ``log=True`` scales
+    bars logarithmically — the paper's profiles span >10x.
+    """
+    import math
+
+    if not labels or not series:
+        raise ValueError("empty chart")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} has {len(values)} values for {len(labels)} labels")
+        if any(v <= 0 for v in values):
+            raise ValueError(f"series {name!r} must be positive for a magnitude chart")
+
+    peak = max(max(values) for values in series.values())
+    floor = min(min(values) for values in series.values())
+    label_width = max(len(label) for label in labels)
+    series_width = max(len(name) for name in series)
+
+    def bar_cells(value: float) -> int:
+        if log and peak > floor:
+            span = math.log10(peak) - math.log10(floor) or 1.0
+            fraction = (math.log10(value) - math.log10(floor)) / span
+            # keep the smallest value visible
+            return max(1, int(round(fraction * (width - 1))) + 1)
+        return max(1, int(round(value / peak * width)))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title + ("   (log scale)" if log else ""))
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            prefix = label.ljust(label_width) if j == 0 else " " * label_width
+            value = values[i]
+            lines.append(
+                f"{prefix} {name.ljust(series_width)} "
+                f"{'#' * bar_cells(value)} {value:,.0f}"
+            )
+        lines.append("")
+    return "\n".join(lines[:-1])
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line 8-level sparkline (for compact report footers)."""
+    if not values:
+        raise ValueError("empty sparkline")
+    glyphs = " .:-=+*#"
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    cells = [glyphs[min(7, int((v - low) / span * 7.999))] for v in values]
+    if width is not None and len(cells) > width:
+        # downsample by taking the max of each bucket (peaks matter)
+        bucket = len(cells) / width
+        cells = [
+            max(cells[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    return "".join(cells)

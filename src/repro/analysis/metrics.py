@@ -1,0 +1,78 @@
+"""Accuracy metrics used across the evaluation.
+
+Small, dependency-light helpers: percentage errors, their aggregates, and
+the Spearman rank correlation used to assess *relative* accuracy (the
+paper's Fig. 4 criterion: the macro-model and reference profiles must
+track one another across design points, i.e. rank identically).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def percent_error(estimate: float, reference: float) -> float:
+    """Signed percentage error of ``estimate`` w.r.t. ``reference``."""
+    if reference == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return 100.0 * (estimate - reference) / reference
+
+
+def percent_errors(estimates: Sequence[float], references: Sequence[float]) -> np.ndarray:
+    if len(estimates) != len(references):
+        raise ValueError(
+            f"length mismatch: {len(estimates)} estimates vs {len(references)} references"
+        )
+    return np.array([percent_error(e, r) for e, r in zip(estimates, references)])
+
+
+def mean_absolute_percent_error(estimates: Sequence[float], references: Sequence[float]) -> float:
+    errors = percent_errors(estimates, references)
+    return float(np.mean(np.abs(errors)))
+
+
+def max_absolute_percent_error(estimates: Sequence[float], references: Sequence[float]) -> float:
+    errors = percent_errors(estimates, references)
+    return float(np.max(np.abs(errors)))
+
+
+def rms_percent_error(estimates: Sequence[float], references: Sequence[float]) -> float:
+    errors = percent_errors(estimates, references)
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    """Average ranks (1-based) with tie handling."""
+    array = np.asarray(values, dtype=float)
+    order = np.argsort(array, kind="stable")
+    ranks = np.empty(len(array), dtype=float)
+    i = 0
+    while i < len(array):
+        j = i
+        while j + 1 < len(array) and array[order[j + 1]] == array[order[i]]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rho(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation between two profiles.
+
+    rho = 1.0 means the two estimators rank all design points identically
+    — the paper's notion of "good relative accuracy".
+    """
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    if len(a) < 2:
+        raise ValueError("need at least two points for a rank correlation")
+    ranks_a = _ranks(a)
+    ranks_b = _ranks(b)
+    std_a = np.std(ranks_a)
+    std_b = np.std(ranks_b)
+    if std_a == 0 or std_b == 0:
+        return 1.0 if np.array_equal(ranks_a, ranks_b) else 0.0
+    covariance = np.mean((ranks_a - ranks_a.mean()) * (ranks_b - ranks_b.mean()))
+    return float(covariance / (std_a * std_b))

@@ -1,0 +1,67 @@
+"""One-shot Markdown report over all experiments.
+
+``markdown_report`` stitches every table/figure (and optionally the
+ablations) into a single self-contained document — the machine-generated
+companion to the hand-annotated ``EXPERIMENTS.md``.  Exposed on the
+command line as ``python -m repro experiments --output report.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .experiments import (
+    ExperimentContext,
+    default_context,
+    run_ablation_bitwidth,
+    run_ablation_ground_truth,
+    run_ablation_hybrid,
+    run_fig3,
+    run_fig4,
+    run_suite_quality,
+    run_suite_size_study,
+    run_table1,
+    run_table2,
+)
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def markdown_report(
+    ctx: Optional[ExperimentContext] = None,
+    include_ablations: bool = False,
+) -> str:
+    """Render all evaluation artifacts as one Markdown document."""
+    ctx = ctx or default_context()
+    table2 = run_table2(ctx)
+    fig3 = run_fig3(ctx)
+    fig4 = run_fig4(ctx)
+
+    parts = [
+        "# Energy Estimation for Extensible Processors — regenerated evaluation\n",
+        f"Characterization: {len(ctx.suite)} test programs, "
+        f"method `{ctx.method}`, template "
+        f"`{ctx.model.template.name}`.\n",
+        "| metric | value |\n|---|---|",
+        f"| suite fitting error | RMS {fig3.rms:.2f} %, max {fig3.max_abs:.2f} % |",
+        f"| unseen-application error | mean {table2.mean_abs_percent_error:.2f} %, "
+        f"max {table2.max_abs_percent_error:.2f} % |",
+        f"| Reed-Solomon relative accuracy | Spearman rho = "
+        f"{fig4.rank_correlation:.3f}, max {fig4.max_abs_percent_error:.2f} % |",
+        f"| mean macro-vs-reference speedup | {table2.mean_speedup:.1f}x |\n",
+        _section("Table I — energy coefficients", run_table1(ctx).report()),
+        _section("Fig. 3 — fitting errors", fig3.report()),
+        _section("Table II — unseen-application accuracy", table2.report()),
+        _section("Fig. 4 — relative accuracy (Reed-Solomon)", fig4.report()),
+        _section("Suite quality (LOOCV)", run_suite_quality(ctx).report()),
+        _section("Suite-size study", run_suite_size_study(ctx).report()),
+    ]
+    if include_ablations:
+        parts.append(_section("Ablation: hybrid template", run_ablation_hybrid(ctx).report()))
+        parts.append(_section("Ablation: bit-width law", run_ablation_bitwidth(ctx).report()))
+        parts.append(
+            _section("Ablation: ground-truth data dependence", run_ablation_ground_truth(ctx).report())
+        )
+    return "\n".join(parts)

@@ -1,0 +1,29 @@
+"""``repro.asm`` — assembler, program representation and disassembler."""
+
+from .assembler import (
+    AsmError,
+    Assembler,
+    DATA_ORIGIN,
+    TEXT_ORIGIN,
+    UTEXT_ORIGIN,
+    assemble,
+)
+from .disassembler import disassemble_program, format_instruction
+from .image import ImageError, read_image, write_image
+from .program import AddressRange, Program
+
+__all__ = [
+    "AddressRange",
+    "AsmError",
+    "Assembler",
+    "DATA_ORIGIN",
+    "Program",
+    "TEXT_ORIGIN",
+    "UTEXT_ORIGIN",
+    "assemble",
+    "disassemble_program",
+    "format_instruction",
+    "read_image",
+    "write_image",
+    "ImageError",
+]

@@ -1,0 +1,69 @@
+"""Disassembler: decoded instructions back to assembly text.
+
+Primarily a debugging and round-trip-testing aid; the output re-assembles
+to the identical instruction stream (label-free form, absolute branch
+targets rendered as ``. + delta`` is avoided by emitting synthetic labels).
+"""
+
+from __future__ import annotations
+
+from ..isa import Instruction, InstructionSet
+from ..isa.instructions import BRANCHING_FORMATS, FORMAT_FIELDS
+from .program import Program
+
+
+def format_instruction(ins: Instruction, isa: InstructionSet, labels: dict[int, str] | None = None) -> str:
+    """Render one instruction as assembly text.
+
+    ``labels`` maps addresses to names for branch/jump targets; unknown
+    targets are rendered as absolute hex (which the assembler does not
+    re-accept — callers wanting round-trip text should use
+    :func:`disassemble_program`, which synthesizes labels).
+    """
+    definition = isa.lookup(ins.mnemonic)
+    fields = FORMAT_FIELDS[definition.fmt]
+    parts: list[str] = []
+    for field in fields:
+        if field == "rd":
+            parts.append(f"a{ins.rd}")
+        elif field == "rs":
+            parts.append(f"a{ins.rs}")
+        elif field == "rt":
+            parts.append(f"a{ins.rt}")
+        elif field == "imm2":
+            parts.append(str(ins.rt))
+        elif field == "imm":
+            if definition.fmt in BRANCHING_FORMATS:
+                if labels and ins.imm in labels:
+                    parts.append(labels[ins.imm])
+                else:
+                    parts.append(f"{ins.imm:#x}")
+            else:
+                parts.append(str(ins.imm))
+    if parts:
+        return f"{ins.mnemonic} " + ", ".join(parts)
+    return ins.mnemonic
+
+
+def disassemble_program(program: Program, isa: InstructionSet) -> str:
+    """Render a whole program with synthetic labels at branch targets."""
+    targets: set[int] = set()
+    for ins in program.instructions.values():
+        definition = isa.lookup(ins.mnemonic)
+        if definition.fmt in BRANCHING_FORMATS and ins.imm is not None:
+            targets.add(ins.imm)
+    labels = {addr: f"L_{addr:06x}" for addr in sorted(targets)}
+
+    lines: list[str] = []
+    previous_end: int | None = None
+    for addr in sorted(program.instructions):
+        if previous_end is not None and addr != previous_end:
+            lines.append(f"    .org {addr:#x}")
+        elif previous_end is None:
+            lines.append(f"    .text {addr:#x}" if addr else "    .text")
+        if addr in labels:
+            lines.append(f"{labels[addr]}:")
+        ins = program.instructions[addr]
+        lines.append("    " + format_instruction(ins, isa, labels))
+        previous_end = addr + 4
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,151 @@
+"""Binary object format for assembled programs ("XPF").
+
+A simple, fully self-describing container so programs can be assembled
+once and shipped/loaded without re-parsing assembly — and so the 32-bit
+instruction encoding is exercised end-to-end (text is *encoded* on save
+and *decoded* on load).
+
+Layout (all integers little-endian):
+
+======  =====================================================
+offset  field
+======  =====================================================
+0       magic ``b"XPF1"``
+4       entry point (u32)
+8       section count (u32), symbol count (u32), range count (u32)
+20      sections: addr u32, kind u8 (0=text, 1=data), size u32, payload
+...     symbols: name-length u16, utf-8 name, value u32
+...     uncached ranges: start u32, end u32
+======  =====================================================
+
+Text-section payloads are encoded instruction words; data sections are
+raw bytes.  Loading decodes text words back into
+:class:`~repro.isa.Instruction` objects against the provided ISA, so a
+program saved under one processor configuration loads only under a
+configuration whose ISA contains the same opcodes (enforced by opcode
+stability of :class:`~repro.isa.InstructionSet`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from ..isa import INSTRUCTION_BYTES, Instruction, InstructionSet, decode, encode
+from .program import AddressRange, Program
+
+MAGIC = b"XPF1"
+
+_KIND_TEXT = 0
+_KIND_DATA = 1
+
+
+class ImageError(ValueError):
+    """The byte stream is not a valid XPF image."""
+
+
+def _contiguous_text_blobs(program: Program, isa: InstructionSet) -> Iterable[tuple[int, bytes]]:
+    """Encode instruction runs into contiguous (addr, words) blobs."""
+    for text_range in program.text_ranges():
+        words = bytearray()
+        for addr in range(text_range.start, text_range.end, INSTRUCTION_BYTES):
+            ins = program.instructions[addr]
+            word = encode(isa.lookup(ins.mnemonic), ins, isa)
+            words += word.to_bytes(INSTRUCTION_BYTES, "little")
+        yield text_range.start, bytes(words)
+
+
+def write_image(program: Program, isa: InstructionSet) -> bytes:
+    """Serialize ``program`` (text encoded, data raw) into XPF bytes."""
+    sections: list[tuple[int, int, bytes]] = []
+    for addr, blob in _contiguous_text_blobs(program, isa):
+        sections.append((addr, _KIND_TEXT, blob))
+    for addr, blob in sorted(program.data):
+        sections.append((addr, _KIND_DATA, blob))
+
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<I", program.entry)
+    out += struct.pack(
+        "<III", len(sections), len(program.symbols), len(program.uncached_ranges)
+    )
+    for addr, kind, blob in sections:
+        out += struct.pack("<IBI", addr, kind, len(blob))
+        out += blob
+    for name, value in sorted(program.symbols.items()):
+        encoded = name.encode("utf-8")
+        out += struct.pack("<H", len(encoded))
+        out += encoded
+        out += struct.pack("<I", value)
+    for rng in program.uncached_ranges:
+        out += struct.pack("<II", rng.start, rng.end)
+    return bytes(out)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise ImageError("truncated image")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def unpack(self, fmt: str):
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+
+def read_image(data: bytes, isa: InstructionSet, name: str = "image") -> Program:
+    """Deserialize XPF bytes into a :class:`Program` (decoding text)."""
+    reader = _Reader(data)
+    if reader.take(4) != MAGIC:
+        raise ImageError("bad magic (not an XPF image)")
+    (entry,) = reader.unpack("<I")
+    n_sections, n_symbols, n_ranges = reader.unpack("<III")
+
+    instructions: dict[int, Instruction] = {}
+    data_blobs: list[tuple[int, bytes]] = []
+    for _ in range(n_sections):
+        addr, kind, size = reader.unpack("<IBI")
+        blob = reader.take(size)
+        if kind == _KIND_TEXT:
+            if size % INSTRUCTION_BYTES:
+                raise ImageError(f"text section at {addr:#x} not word-sized")
+            for offset in range(0, size, INSTRUCTION_BYTES):
+                word = int.from_bytes(blob[offset : offset + 4], "little")
+                ins_addr = addr + offset
+                try:
+                    instructions[ins_addr] = decode(word, ins_addr, isa)
+                except KeyError as exc:
+                    raise ImageError(
+                        f"opcode at {ins_addr:#x} unknown to ISA {isa.name!r} "
+                        "(was the image assembled for a different extension set?)"
+                    ) from exc
+        elif kind == _KIND_DATA:
+            data_blobs.append((addr, blob))
+        else:
+            raise ImageError(f"unknown section kind {kind}")
+
+    symbols: dict[str, int] = {}
+    for _ in range(n_symbols):
+        (name_len,) = reader.unpack("<H")
+        symbol = reader.take(name_len).decode("utf-8")
+        (value,) = reader.unpack("<I")
+        symbols[symbol] = value
+
+    ranges: list[AddressRange] = []
+    for _ in range(n_ranges):
+        start, end = reader.unpack("<II")
+        ranges.append(AddressRange(start, end))
+
+    return Program(
+        name=name,
+        instructions=instructions,
+        data=data_blobs,
+        symbols=symbols,
+        entry=entry,
+        uncached_ranges=ranges,
+    )

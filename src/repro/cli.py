@@ -1,0 +1,308 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Exposes the library's main flows without writing Python:
+
+========================  ===================================================
+``simulate``              assemble + run a program, print stats
+``assemble``              assemble to a binary XPF object file
+``disasm``                assemble a program and print its disassembly
+``characterize``          run the bundled suite, fit the model, write JSON
+``estimate``              macro-model energy of a program (fast path)
+``reference``             reference RTL-level energy of a program (slow path)
+``profile``               per-region energy decomposition of a program
+``experiments``           regenerate the paper's tables/figures
+========================  ===================================================
+
+Programs are assembly files in the dialect of :mod:`repro.asm`; custom
+instructions are attached with ``--extensions mnemonic,mnemonic,...``
+drawn from the bundled library (see ``--list-extensions``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .asm import assemble, disassemble_program
+from .core import EnergyMacroModel, EnergyProfiler
+from .programs.extensions import ALL_SPEC_FACTORIES
+from .rtl import reference_energy
+from .xtcore import ProcessorConfig, Simulator, build_processor
+
+
+def _build_config(name: str, extensions: str) -> ProcessorConfig:
+    if not extensions:
+        return build_processor(name)
+    mnemonics = [token.strip() for token in extensions.split(",") if token.strip()]
+    specs = []
+    for mnemonic in mnemonics:
+        factory = ALL_SPEC_FACTORIES.get(mnemonic)
+        if factory is None:
+            raise SystemExit(
+                f"unknown extension {mnemonic!r}; available: "
+                + ", ".join(sorted(ALL_SPEC_FACTORIES))
+            )
+        specs.append(factory())
+    return build_processor(name, specs)
+
+
+def _load_program(path: str, config: ProcessorConfig):
+    name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    if path.endswith(".xpf"):
+        from .asm import read_image
+
+        with open(path, "rb") as handle:
+            return read_image(handle.read(), config.isa, name=name)
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return assemble(source, name, isa=config.isa)
+
+
+def _cmd_list_extensions(_args: argparse.Namespace) -> int:
+    from .tie import compile_spec
+
+    for mnemonic in sorted(ALL_SPEC_FACTORIES):
+        impl = compile_spec(ALL_SPEC_FACTORIES[mnemonic]())
+        print(f"{mnemonic:<12} {impl.spec.fmt:<4} {impl.spec.description}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config("cli", args.extensions)
+    program = _load_program(args.program, config)
+    result = Simulator(
+        config, program, collect_trace=args.trace, max_instructions=args.max_instructions
+    ).run()
+    print(result.stats.summary())
+    if args.trace:
+        for record in result.trace[: args.trace_limit]:
+            print(f"  {record!r}")
+        if len(result.trace) > args.trace_limit:
+            print(f"  ... ({len(result.trace) - args.trace_limit} more records)")
+    if args.dump_word:
+        for symbol in args.dump_word:
+            print(f"{symbol} = {result.word(symbol)} ({result.word(symbol):#010x})")
+    return 0
+
+
+def _cmd_assemble(args: argparse.Namespace) -> int:
+    from .asm import write_image
+
+    config = _build_config("cli", args.extensions)
+    program = _load_program(args.program, config)
+    image = write_image(program, config.isa)
+    with open(args.output, "wb") as handle:
+        handle.write(image)
+    print(
+        f"wrote {args.output}: {len(program)} instructions, "
+        f"{sum(len(b) for _, b in program.data)} data bytes, {len(image)} bytes total"
+    )
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    config = _build_config("cli", args.extensions)
+    program = _load_program(args.program, config)
+    print(disassemble_program(program, config.isa), end="")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .core import Characterizer, audit_coverage
+    from .programs import characterization_suite
+
+    characterizer = Characterizer(method=args.method)
+    if args.from_samples:
+        count = characterizer.load_samples(args.from_samples)
+        print(f"loaded {count} cached samples from {args.from_samples}")
+    else:
+        suite = characterization_suite(include_variants=not args.core_only)
+        for case in suite:
+            config, program = case.build()
+            characterizer.add_program(
+                config, program, max_instructions=case.max_instructions
+            )
+            if args.verbose:
+                print(f"  characterized {case.name}")
+    if args.save_samples:
+        characterizer.save_samples(args.save_samples)
+        print(f"saved {len(characterizer)} samples to {args.save_samples}")
+    coverage = audit_coverage(characterizer.samples, characterizer.template)
+    if not coverage.is_adequate:
+        print(coverage.summary(), file=sys.stderr)
+        print("warning: suite does not fully cover the template", file=sys.stderr)
+    result = characterizer.fit()
+    print(result.fitting_error_table())
+    print()
+    print(result.model.coefficient_table())
+    result.model.save(args.output)
+    print(f"\nmodel written to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    model = EnergyMacroModel.load(args.model)
+    config = _build_config("cli", args.extensions)
+    program = _load_program(args.program, config)
+    estimate = model.estimate(config, program, max_instructions=args.max_instructions)
+    print(estimate.summary())
+    if args.variables:
+        for key, value in estimate.variables.items():
+            if value:
+                print(f"  {key:<16}{value:14.1f}  x {model.coefficient(key):10.2f}")
+    return 0
+
+
+def _cmd_reference(args: argparse.Namespace) -> int:
+    config = _build_config("cli", args.extensions)
+    program = _load_program(args.program, config)
+    report, _ = reference_energy(config, program, max_instructions=args.max_instructions)
+    print(report.summary())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    model = EnergyMacroModel.load(args.model)
+    config = _build_config("cli", args.extensions)
+    program = _load_program(args.program, config)
+    report = EnergyProfiler(model).profile(
+        config, program, max_instructions=args.max_instructions
+    )
+    print(report.table(top=args.top))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis import (
+        default_context,
+        run_fig3,
+        run_fig4,
+        run_speedup,
+        run_table1,
+        run_table2,
+    )
+
+    runners = {
+        "table1": run_table1,
+        "fig3": run_fig3,
+        "table2": run_table2,
+        "fig4": run_fig4,
+        "speedup": run_speedup,
+    }
+    selected = list(runners) if args.which == "all" else [args.which]
+    print("characterizing (one-time cost)...", file=sys.stderr)
+    ctx = default_context()
+    if args.output:
+        from .analysis import markdown_report
+
+        text = markdown_report(ctx, include_ablations=args.ablations)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+        return 0
+    for name in selected:
+        print(f"\n=== {name} ===")
+        print(runners[name](ctx).report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy estimation for extensible processors (DATE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_program_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("program", help="assembly source file")
+        p.add_argument(
+            "--extensions",
+            default="",
+            help="comma-separated custom instructions from the bundled library",
+        )
+        p.add_argument("--max-instructions", type=int, default=5_000_000)
+
+    p = sub.add_parser("list-extensions", help="list the bundled custom instructions")
+    p.set_defaults(func=_cmd_list_extensions)
+
+    p = sub.add_parser("simulate", help="assemble and simulate a program")
+    add_program_options(p)
+    p.add_argument("--trace", action="store_true", help="collect and print a trace")
+    p.add_argument("--trace-limit", type=int, default=40)
+    p.add_argument(
+        "--dump-word",
+        action="append",
+        metavar="SYMBOL",
+        help="print the 32-bit word at a data symbol after the run",
+    )
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("assemble", help="assemble to a binary XPF object file")
+    add_program_options(p)
+    p.add_argument("-o", "--output", required=True, help="output .xpf path")
+    p.set_defaults(func=_cmd_assemble)
+
+    p = sub.add_parser("disasm", help="assemble and disassemble a program")
+    add_program_options(p)
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("characterize", help="fit the macro-model over the bundled suite")
+    p.add_argument("-o", "--output", default="macro_model.json")
+    p.add_argument("--method", choices=("nnls", "ols", "ridge"), default="nnls")
+    p.add_argument("--core-only", action="store_true", help="use only the 25-program core")
+    p.add_argument(
+        "--save-samples",
+        metavar="PATH",
+        help="persist the collected (variables, energy) samples as JSON",
+    )
+    p.add_argument(
+        "--from-samples",
+        metavar="PATH",
+        help="re-fit from cached samples instead of re-running the suite",
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("estimate", help="macro-model energy estimate (fast path)")
+    p.add_argument("model", help="model JSON from `characterize`")
+    add_program_options(p)
+    p.add_argument("--variables", action="store_true", help="print the variable breakdown")
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser("reference", help="reference RTL-level energy (slow path)")
+    add_program_options(p)
+    p.set_defaults(func=_cmd_reference)
+
+    p = sub.add_parser("profile", help="per-region energy decomposition")
+    p.add_argument("model", help="model JSON from `characterize`")
+    add_program_options(p)
+    p.add_argument("--top", type=int, default=None, help="show only the hottest N regions")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    p.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=("all", "table1", "fig3", "table2", "fig4", "speedup"),
+    )
+    p.add_argument(
+        "-o", "--output", help="write a combined Markdown report instead of printing"
+    )
+    p.add_argument(
+        "--ablations", action="store_true", help="include ablation studies (slow)"
+    )
+    p.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

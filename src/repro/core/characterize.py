@@ -1,0 +1,277 @@
+"""The characterization flow (paper Fig. 2, steps 1-8).
+
+For every test program (on whatever extended-processor configuration it
+targets) the characterizer:
+
+1. simulates it with full tracing (step 6: instruction-set simulation);
+2. runs the dynamic resource-usage analysis (step 7) and extracts the
+   template variables — one design-matrix row;
+3. generates the custom processor's netlist and runs the reference RTL
+   energy estimator on the trace (steps 4-5) — one energy sample;
+
+and finally fits the energy coefficients by regression (step 8).
+
+Because regression characterization is *in-situ*, any program works — the
+only requirement is diversity: the suite must exercise every template
+variable, which :mod:`repro.core.coverage` audits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..asm import Program
+from ..rtl import RtlEnergyEstimator, generate_netlist
+from ..xtcore import ExecutionStats, ProcessorConfig, Simulator
+from .extract import extract_variables
+from .model import EnergyMacroModel
+from .regression import (
+    RegressionResult,
+    fit_least_squares,
+    fit_nnls,
+    fit_ridge,
+    leave_one_out_errors,
+)
+from .template import MacroModelTemplate, default_template
+
+
+@dataclasses.dataclass
+class CharacterizationSample:
+    """One (program, processor) characterization point."""
+
+    name: str
+    processor_name: str
+    variables: np.ndarray
+    energy: float
+    stats: ExecutionStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.total_cycles
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (variables + energy; stats reduced)."""
+        return {
+            "name": self.name,
+            "processor": self.processor_name,
+            "variables": [float(v) for v in self.variables],
+            "energy": float(self.energy),
+            "cycles": int(self.stats.total_cycles) if self.stats else 0,
+            "instructions": int(self.stats.total_instructions) if self.stats else 0,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CharacterizationSample":
+        stats = ExecutionStats()
+        stats.total_cycles = int(payload.get("cycles", 0))
+        stats.total_instructions = int(payload.get("instructions", 0))
+        return cls(
+            name=payload["name"],
+            processor_name=payload["processor"],
+            variables=np.asarray(payload["variables"], dtype=float),
+            energy=float(payload["energy"]),
+            stats=stats,
+        )
+
+
+@dataclasses.dataclass
+class CharacterizationResult:
+    """A fitted macro-model plus everything needed to audit the fit."""
+
+    model: EnergyMacroModel
+    samples: list[CharacterizationSample]
+    design: np.ndarray
+    energies: np.ndarray
+    regression: RegressionResult
+    loo_percent_errors: Optional[np.ndarray] = None
+
+    @property
+    def fitting_errors(self) -> np.ndarray:
+        """Per-test-program percentage fitting errors (the paper's Fig. 3)."""
+        return self.regression.percent_errors
+
+    def fitting_error_table(self) -> str:
+        """Fig. 3 as text: fitting error per characterization program."""
+        lines = [f"{'#':>3} {'test program':<28}{'processor':<22}{'fit err %':>10}"]
+        lines.append("-" * 65)
+        for i, sample in enumerate(self.samples, start=1):
+            lines.append(
+                f"{i:>3} {sample.name:<28}{sample.processor_name:<22}"
+                f"{self.regression.percent_errors[i - 1]:>+10.2f}"
+            )
+        lines.append("-" * 65)
+        lines.append(
+            f"    RMS {self.regression.rms_percent_error:.2f}%   "
+            f"max |err| {self.regression.max_abs_percent_error:.2f}%   "
+            f"R^2 {self.regression.r_squared:.5f}"
+        )
+        return "\n".join(lines)
+
+
+class Characterizer:
+    """Accumulates characterization samples and fits the macro-model."""
+
+    def __init__(
+        self,
+        template: Optional[MacroModelTemplate] = None,
+        processor_family: str = "xt1040",
+        method: str = "nnls",
+        ridge_alpha: float = 1e-6,
+    ) -> None:
+        if method not in ("ols", "nnls", "ridge"):
+            raise ValueError(
+                f"unknown regression method {method!r} (use 'ols', 'nnls' or 'ridge')"
+            )
+        self.template = template if template is not None else default_template()
+        self.processor_family = processor_family
+        self.method = method
+        self.ridge_alpha = ridge_alpha
+        self.samples: list[CharacterizationSample] = []
+        self._estimators: dict[str, RtlEnergyEstimator] = {}
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # -- sample collection ------------------------------------------------
+
+    def _estimator_for(self, config: ProcessorConfig) -> RtlEnergyEstimator:
+        estimator = self._estimators.get(config.name)
+        if estimator is None or estimator.config is not config:
+            estimator = RtlEnergyEstimator(generate_netlist(config))
+            self._estimators[config.name] = estimator
+        return estimator
+
+    def add_program(
+        self,
+        config: ProcessorConfig,
+        program: Program,
+        max_instructions: int = 5_000_000,
+    ) -> CharacterizationSample:
+        """Run one test program through the full characterization pipeline."""
+        result = Simulator(
+            config, program, collect_trace=True, max_instructions=max_instructions
+        ).run()
+        report = self._estimator_for(config).estimate(result)
+        variables = extract_variables(result.stats, config, self.template)
+        sample = CharacterizationSample(
+            name=program.name,
+            processor_name=config.name,
+            variables=variables,
+            energy=report.total,
+            stats=result.stats,
+        )
+        self.samples.append(sample)
+        return sample
+
+    def save_samples(self, path: str) -> None:
+        """Persist collected samples as JSON.
+
+        The expensive half of characterization is the per-program traced
+        simulation + reference RTL estimation; saved samples let a later
+        session re-fit (e.g. with a different regression method) without
+        touching the simulator.  Samples are bound to the template they
+        were extracted under.
+        """
+        import json
+
+        payload = {
+            "format": "repro-characterization-samples/1",
+            "template": self.template.name,
+            "processor_family": self.processor_family,
+            "samples": [sample.to_payload() for sample in self.samples],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+    def load_samples(self, path: str) -> int:
+        """Load previously saved samples; returns how many were added."""
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "repro-characterization-samples/1":
+            raise ValueError(f"unrecognized samples format in {path!r}")
+        if payload.get("template") != self.template.name:
+            raise ValueError(
+                f"samples were extracted under template {payload.get('template')!r}, "
+                f"this characterizer uses {self.template.name!r}"
+            )
+        loaded = [CharacterizationSample.from_payload(p) for p in payload["samples"]]
+        for sample in loaded:
+            self.add_sample(sample)
+        return len(loaded)
+
+    def add_sample(self, sample: CharacterizationSample) -> None:
+        """Add a precomputed sample (e.g. from a cached measurement)."""
+        if sample.variables.shape != (len(self.template),):
+            raise ValueError(
+                f"sample {sample.name!r} has {sample.variables.shape[0]} variables, "
+                f"template expects {len(self.template)}"
+            )
+        self.samples.append(sample)
+
+    # -- fitting -----------------------------------------------------------
+
+    def design_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self.samples:
+            raise ValueError("no characterization samples collected")
+        design = np.vstack([sample.variables for sample in self.samples])
+        energies = np.array([sample.energy for sample in self.samples])
+        return design, energies
+
+    def fit(self, with_loocv: bool = False) -> CharacterizationResult:
+        """Fit the energy coefficients and package the result."""
+        design, energies = self.design_matrix()
+        if self.method == "ridge":
+            regression = fit_ridge(design, energies, alpha=self.ridge_alpha)
+        elif self.method == "ols":
+            regression = fit_least_squares(design, energies)
+        else:
+            regression = fit_nnls(design, energies)
+
+        loo = None
+        if with_loocv and design.shape[0] > design.shape[1]:
+            loo = leave_one_out_errors(design, energies)
+
+        model = EnergyMacroModel(
+            template=self.template,
+            coefficients=regression.coefficients,
+            processor_family=self.processor_family,
+            fit_info={
+                "samples": len(self.samples),
+                "method": self.method,
+                "rms_percent_error": regression.rms_percent_error,
+                "max_abs_percent_error": regression.max_abs_percent_error,
+                "r_squared": regression.r_squared,
+                "condition_number": regression.condition_number,
+            },
+        )
+        return CharacterizationResult(
+            model=model,
+            samples=list(self.samples),
+            design=design,
+            energies=energies,
+            regression=regression,
+            loo_percent_errors=loo,
+        )
+
+
+def characterize(
+    runs: Sequence[tuple[ProcessorConfig, Program]],
+    template: Optional[MacroModelTemplate] = None,
+    processor_family: str = "xt1040",
+    method: str = "nnls",
+    progress: Optional[Callable[[str], None]] = None,
+) -> CharacterizationResult:
+    """One-shot characterization over (config, program) pairs."""
+    characterizer = Characterizer(
+        template=template, processor_family=processor_family, method=method
+    )
+    for config, program in runs:
+        if progress is not None:
+            progress(f"characterizing {program.name} on {config.name}")
+        characterizer.add_program(config, program)
+    return characterizer.fit()

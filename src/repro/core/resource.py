@@ -1,0 +1,85 @@
+"""Dynamic resource-usage analysis (step 10 of the paper's flow).
+
+Given the execution statistics of a program and the processor's extension
+descriptions, this analysis determines the activation of every custom
+hardware component over the run — *without* simulating the hardware.
+Two activation sources are modelled, exactly as in paper Example 1:
+
+* **architected activation** — executing a custom instruction activates
+  the components its schedule places in each cycle;
+* **spurious activation** — components whose inputs tap the shared GPR
+  operand buses are partially activated every cycle a *base* instruction
+  drives those buses (weight :data:`~repro.hwlib.SPURIOUS_ACTIVATION_WEIGHT`).
+
+The per-category totals (complexity-weighted active cycles) are the
+structural macro-model variables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from ..hwlib import CATEGORY_ORDER, SPURIOUS_ACTIVATION_WEIGHT, ComponentCategory
+from ..xtcore import ExecutionStats, ProcessorConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceUsage:
+    """Per-category and per-instance custom-hardware activity of one run."""
+
+    #: category -> complexity-weighted active cycles (macro-model S_j)
+    weighted_activity: Mapping[ComponentCategory, float]
+    #: category -> raw instance-cycle counts (for the unweighted ablation)
+    raw_activity: Mapping[ComponentCategory, float]
+    #: instance name -> architected active cycles over the run
+    instance_active_cycles: Mapping[str, int]
+    #: instance name -> spurious (bus-tap) activation cycles, weighted
+    instance_spurious_cycles: Mapping[str, float]
+
+    def vector(self, weighted: bool = True) -> list[float]:
+        """The ten structural-variable values, in CATEGORY_ORDER."""
+        source = self.weighted_activity if weighted else self.raw_activity
+        return [source.get(category, 0.0) for category in CATEGORY_ORDER]
+
+    def total_weighted(self) -> float:
+        return sum(self.weighted_activity.values())
+
+
+def analyze_resource_usage(stats: ExecutionStats, config: ProcessorConfig) -> ResourceUsage:
+    """Run the dynamic resource-usage analysis for one simulated program."""
+    weighted: dict[ComponentCategory, float] = {}
+    raw: dict[ComponentCategory, float] = {}
+    instance_active: dict[str, int] = {}
+    instance_spurious: dict[str, float] = {}
+
+    for impl in config.extensions:
+        executions = stats.custom_counts.get(impl.mnemonic, 0)
+
+        # Architected activations: schedule x execution count.
+        if executions:
+            for category, activity in impl.per_exec_activity.items():
+                weighted[category] = weighted.get(category, 0.0) + activity * executions
+            for category, count in impl.per_exec_counts.items():
+                raw[category] = raw.get(category, 0.0) + float(count * executions)
+            for name, cycles in impl.active_cycles.items():
+                instance_active[name] = instance_active.get(name, 0) + len(cycles) * executions
+
+        # Spurious activations: base instructions driving the operand bus
+        # toggle the inputs of bus-tapped components whether or not the
+        # custom instruction ever executes.
+        if stats.base_bus_cycles and impl.bus_tapped:
+            spurious_cycles = SPURIOUS_ACTIVATION_WEIGHT * stats.base_bus_cycles
+            for category, complexity in impl.bus_tap_complexity.items():
+                weighted[category] = weighted.get(category, 0.0) + complexity * spurious_cycles
+            for category, count in impl.bus_tap_counts.items():
+                raw[category] = raw.get(category, 0.0) + count * spurious_cycles
+            for name in impl.bus_tapped:
+                instance_spurious[name] = instance_spurious.get(name, 0.0) + spurious_cycles
+
+    return ResourceUsage(
+        weighted_activity=weighted,
+        raw_activity=raw,
+        instance_active_cycles=instance_active,
+        instance_spurious_cycles=instance_spurious,
+    )

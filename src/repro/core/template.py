@@ -1,0 +1,174 @@
+"""The energy macro-model template (paper Eq. 2-4).
+
+The template expresses program energy as a linear function
+
+.. math::
+
+    E = E_{inst} + E_{struct} = \\sum_i c_i \\cdot N_i + \\sum_j c_j \\cdot S_j
+
+of 21 variables drawn from two domains:
+
+**Instruction-level** (11 variables) — characterize effects on the fixed
+base core:
+
+* ``N_a, N_ld, N_st, N_j, N_bt, N_bu`` — cycles spent in the six base
+  instruction classes (arithmetic, load, store, jump, branch-taken,
+  branch-untaken);
+* ``N_cm, N_dm, N_uf, N_il`` — occurrence counts of the dynamic
+  non-idealities (I-cache miss, D-cache miss, uncached instruction
+  fetch, pipeline interlock);
+* ``N_sd`` — cycles of custom instructions that access the generic
+  register file (the custom→base side effect of paper Example 1).
+
+**Structural** (10 variables) — characterize usage of custom hardware by
+base *or* custom instructions: one variable per component category of
+the hardware library, each accumulating *complexity-weighted active
+cycles* (``Σ instances C(w) x active cycles``), including spurious
+operand-bus activations.
+
+Variants of the template power the ablation studies: an instruction-only
+template (is the structural domain needed?) and an unweighted-complexity
+template (does the bit-width law matter?).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator
+
+from ..hwlib import CATEGORY_ORDER, CATEGORY_TABLE, ComponentCategory
+from ..isa import InstructionClass
+
+
+class VariableDomain(enum.Enum):
+    """Which of the paper's two macro-modeling domains a variable is from."""
+
+    INSTRUCTION = "instruction"
+    STRUCTURAL = "structural"
+
+
+@dataclasses.dataclass(frozen=True)
+class MacroModelVariable:
+    """One independent variable of the macro-model template."""
+
+    key: str
+    description: str
+    domain: VariableDomain
+    #: set for class-cycle variables
+    iclass: InstructionClass | None = None
+    #: set for structural variables
+    category: ComponentCategory | None = None
+
+    def __str__(self) -> str:
+        return self.key
+
+
+#: Instruction-class cycle variables in paper order.
+CLASS_VARIABLES: tuple[MacroModelVariable, ...] = (
+    MacroModelVariable("N_a", "arithmetic instruction cycles", VariableDomain.INSTRUCTION, iclass=InstructionClass.ARITH),
+    MacroModelVariable("N_ld", "load instruction cycles", VariableDomain.INSTRUCTION, iclass=InstructionClass.LOAD),
+    MacroModelVariable("N_st", "store instruction cycles", VariableDomain.INSTRUCTION, iclass=InstructionClass.STORE),
+    MacroModelVariable("N_j", "jump instruction cycles", VariableDomain.INSTRUCTION, iclass=InstructionClass.JUMP),
+    MacroModelVariable("N_bt", "branch taken cycles", VariableDomain.INSTRUCTION, iclass=InstructionClass.BRANCH_TAKEN),
+    MacroModelVariable("N_bu", "branch untaken cycles", VariableDomain.INSTRUCTION, iclass=InstructionClass.BRANCH_UNTAKEN),
+)
+
+#: Dynamic-event variables in paper order.
+EVENT_VARIABLES: tuple[MacroModelVariable, ...] = (
+    MacroModelVariable("N_cm", "instruction cache misses", VariableDomain.INSTRUCTION),
+    MacroModelVariable("N_dm", "data cache misses", VariableDomain.INSTRUCTION),
+    MacroModelVariable("N_uf", "uncached instruction fetches", VariableDomain.INSTRUCTION),
+    MacroModelVariable("N_il", "processor interlocks", VariableDomain.INSTRUCTION),
+)
+
+#: The custom→base side-effect variable.
+SIDE_EFFECT_VARIABLE = MacroModelVariable(
+    "N_sd",
+    "side effects due to custom instructions (GPR-accessing custom cycles)",
+    VariableDomain.INSTRUCTION,
+)
+
+
+def _structural_variable(category: ComponentCategory) -> MacroModelVariable:
+    info = CATEGORY_TABLE[category]
+    return MacroModelVariable(
+        f"S_{category.value}",
+        f"custom hardware activity: {info.display_name} "
+        f"(complexity-weighted active cycles, {info.law.value} law)",
+        VariableDomain.STRUCTURAL,
+        category=category,
+    )
+
+
+STRUCTURAL_VARIABLES: tuple[MacroModelVariable, ...] = tuple(
+    _structural_variable(category) for category in CATEGORY_ORDER
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MacroModelTemplate:
+    """An ordered set of macro-model variables (the design-matrix columns).
+
+    ``weighted_complexity`` selects whether structural variables apply
+    the bit-width complexity law ``C(w)`` (the paper's choice) or count
+    raw instance-cycles (the ablation baseline).
+    """
+
+    name: str
+    variables: tuple[MacroModelVariable, ...]
+    weighted_complexity: bool = True
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __iter__(self) -> Iterator[MacroModelVariable]:
+        return iter(self.variables)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(v.key for v in self.variables)
+
+    def index_of(self, key: str) -> int:
+        for i, variable in enumerate(self.variables):
+            if variable.key == key:
+                return i
+        raise KeyError(f"template {self.name!r} has no variable {key!r}")
+
+    @property
+    def instruction_variables(self) -> tuple[MacroModelVariable, ...]:
+        return tuple(v for v in self.variables if v.domain is VariableDomain.INSTRUCTION)
+
+    @property
+    def structural_variables(self) -> tuple[MacroModelVariable, ...]:
+        return tuple(v for v in self.variables if v.domain is VariableDomain.STRUCTURAL)
+
+
+def default_template() -> MacroModelTemplate:
+    """The paper's full hybrid template: 21 variables."""
+    return MacroModelTemplate(
+        name="hybrid-21",
+        variables=CLASS_VARIABLES
+        + EVENT_VARIABLES
+        + (SIDE_EFFECT_VARIABLE,)
+        + STRUCTURAL_VARIABLES,
+    )
+
+
+def instruction_level_template() -> MacroModelTemplate:
+    """Ablation: instruction-level domain only (11 variables)."""
+    return MacroModelTemplate(
+        name="instruction-only-11",
+        variables=CLASS_VARIABLES + EVENT_VARIABLES + (SIDE_EFFECT_VARIABLE,),
+    )
+
+
+def unweighted_template() -> MacroModelTemplate:
+    """Ablation: hybrid, but structural variables ignore bit-width."""
+    return MacroModelTemplate(
+        name="hybrid-21-unweighted",
+        variables=CLASS_VARIABLES
+        + EVENT_VARIABLES
+        + (SIDE_EFFECT_VARIABLE,)
+        + STRUCTURAL_VARIABLES,
+        weighted_complexity=False,
+    )

@@ -1,0 +1,25 @@
+"""``repro.hwlib`` — the 10-category custom-hardware component library."""
+
+from .components import (
+    CATEGORY_ORDER,
+    CATEGORY_TABLE,
+    REFERENCE_WIDTH,
+    SPURIOUS_ACTIVATION_WEIGHT,
+    CategoryInfo,
+    ComplexityLaw,
+    ComponentCategory,
+    ComponentInstance,
+    category_info,
+)
+
+__all__ = [
+    "CATEGORY_ORDER",
+    "CATEGORY_TABLE",
+    "CategoryInfo",
+    "ComplexityLaw",
+    "ComponentCategory",
+    "ComponentInstance",
+    "REFERENCE_WIDTH",
+    "SPURIOUS_ACTIVATION_WEIGHT",
+    "category_info",
+]

@@ -1,0 +1,173 @@
+"""The custom-hardware component library (paper Section IV-B.1).
+
+Custom (TIE-substitute) instructions are built from library primitives.
+For efficiency the paper classifies the primitives into ten categories,
+each owning one structural macro-model variable:
+
+1. multiplier; 2. adder/subtractor/comparators; 3. bit-wise logic,
+reduction logic and multiplexers; 4. shifter; 5. custom registers; and
+the specialized TIE modules 6. TIE mult; 7. TIE mac; 8. TIE add;
+9. TIE csa; 10. table.
+
+The energy consumption of a component depends significantly on its
+bit-width ``w`` (or entries x width for a table).  The paper models that
+dependence with a complexity function ``C``: linear (``C ∝ w``) for
+adders, muxes, etc., and quadratic (``C ∝ w²``) for multipliers.  We
+normalize the quadratic law by a 32-bit reference so that a 32-bit
+multiplier and a 32-bit adder have the *same* complexity value and the
+fitted per-unit-complexity coefficients stay mutually comparable (this
+matches the paper's per-cycle-per-bit reporting of Table I).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+#: Reference bit-width used to normalize super-linear complexity laws.
+REFERENCE_WIDTH = 32
+
+#: *Expected* weight of a spurious activation (custom-hardware inputs
+#: toggled by the shared operand buses during a base-instruction cycle)
+#: relative to a genuine architected active cycle.  Used by the dynamic
+#: resource-usage analysis when it folds spurious activations into the
+#: structural macro-model variables.
+#:
+#: The value is the product of the physical input-stage factor (~0.5: a
+#: spurious event only exercises a component's input logic cone) and the
+#: ratio of typical operand-bus switching activity to typical custom-
+#: datapath switching activity (~0.78): base-instruction bus values
+#: (addresses, counters) toggle fewer bits per cycle than the data a
+#: custom datapath is built to chew.  The reference RTL estimator
+#: computes the same quantity from *actual* per-cycle toggling; the
+#: difference between the realized and expected weight is a deliberate,
+#: honest source of macro-model error.
+SPURIOUS_ACTIVATION_WEIGHT = 0.39
+
+
+class ComplexityLaw(enum.Enum):
+    """How a component category's complexity scales with bit-width."""
+
+    LINEAR = "linear"
+    QUADRATIC = "quadratic"
+    TABLE = "table"
+
+    def complexity(self, width: int, entries: int = 0) -> float:
+        """Evaluate the law: the complexity ``C`` in 32-bit equivalents.
+
+        Normalizing by :data:`REFERENCE_WIDTH` keeps every category's
+        complexity around 1.0 for a 32-bit instance, so the fitted
+        per-unit-complexity coefficients land on the same scale as the
+        category unit energies (and as the paper's Table I values).
+        """
+        if width <= 0:
+            raise ValueError(f"bit-width must be positive, got {width}")
+        if self is ComplexityLaw.LINEAR:
+            return width / REFERENCE_WIDTH
+        if self is ComplexityLaw.QUADRATIC:
+            return (width / REFERENCE_WIDTH) ** 2
+        if entries <= 0:
+            raise ValueError(f"table components need a positive entry count, got {entries}")
+        return float(entries * width) / (REFERENCE_WIDTH * REFERENCE_WIDTH)
+
+
+class ComponentCategory(enum.Enum):
+    """The paper's ten custom-hardware component categories."""
+
+    MULT = "mult"
+    ADD_SUB_CMP = "add_sub_cmp"
+    LOGIC_RED_MUX = "logic_red_mux"
+    SHIFTER = "shifter"
+    CUSTOM_REG = "custom_reg"
+    TIE_MULT = "tie_mult"
+    TIE_MAC = "tie_mac"
+    TIE_ADD = "tie_add"
+    TIE_CSA = "tie_csa"
+    TABLE = "table"
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoryInfo:
+    """Static properties of one component category.
+
+    ``unit_energy`` is the *ground-truth* mean energy (arbitrary pJ-like
+    units) consumed per active cycle per unit of complexity; the reference
+    RTL estimator perturbs it with data-dependent switching activity and
+    per-instance variation.  The regression macro-model is expected to
+    recover values close to these — that recovery is itself a test.
+    ``idle_fraction`` is the fraction of unit energy burnt per idle cycle
+    (clock/leakage) once the hardware is instantiated.
+    """
+
+    category: ComponentCategory
+    display_name: str
+    law: ComplexityLaw
+    unit_energy: float
+    idle_fraction: float
+
+    def complexity(self, width: int, entries: int = 0) -> float:
+        return self.law.complexity(width, entries)
+
+
+#: Table-I-inspired ground-truth energy parameters per category.  The
+#: display names match the paper's Table I row labels.
+CATEGORY_TABLE: dict[ComponentCategory, CategoryInfo] = {
+    info.category: info
+    for info in (
+        CategoryInfo(ComponentCategory.MULT, "*", ComplexityLaw.QUADRATIC, 152.0, 0.002),
+        CategoryInfo(ComponentCategory.ADD_SUB_CMP, "+/-/comp", ComplexityLaw.LINEAR, 70.0, 0.002),
+        CategoryInfo(ComponentCategory.LOGIC_RED_MUX, "log/red/mux", ComplexityLaw.LINEAR, 12.0, 0.002),
+        CategoryInfo(ComponentCategory.SHIFTER, "shifter", ComplexityLaw.LINEAR, 377.0, 0.002),
+        CategoryInfo(ComponentCategory.CUSTOM_REG, "custom register", ComplexityLaw.LINEAR, 177.0, 0.002),
+        CategoryInfo(ComponentCategory.TIE_MULT, "TIE_mult", ComplexityLaw.QUADRATIC, 165.0, 0.002),
+        CategoryInfo(ComponentCategory.TIE_MAC, "TIE_mac", ComplexityLaw.QUADRATIC, 190.0, 0.002),
+        CategoryInfo(ComponentCategory.TIE_ADD, "TIE_add", ComplexityLaw.LINEAR, 69.0, 0.002),
+        CategoryInfo(ComponentCategory.TIE_CSA, "TIE_csa", ComplexityLaw.LINEAR, 37.0, 0.002),
+        CategoryInfo(ComponentCategory.TABLE, "table", ComplexityLaw.TABLE, 27.0, 0.001),
+    )
+}
+
+#: Stable ordering of categories — the order of the structural variables
+#: in the macro-model template (and of the Table I custom-hardware rows).
+CATEGORY_ORDER: tuple[ComponentCategory, ...] = tuple(CATEGORY_TABLE)
+
+
+def category_info(category: ComponentCategory) -> CategoryInfo:
+    """Look up the static info record of a category."""
+    return CATEGORY_TABLE[category]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComponentInstance:
+    """One physical instance of a library component in a custom datapath.
+
+    Created by the TIE compiler (one per operator node) and referenced by
+    both the structural macro-model variables (through its complexity) and
+    the reference RTL estimator (through its unit energy + variation).
+    """
+
+    name: str
+    category: ComponentCategory
+    width: int
+    entries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"{self.name}: bit-width must be positive")
+        info = CATEGORY_TABLE[self.category]
+        if info.law is ComplexityLaw.TABLE and self.entries <= 0:
+            raise ValueError(f"{self.name}: table component needs entries > 0")
+
+    @property
+    def info(self) -> CategoryInfo:
+        return CATEGORY_TABLE[self.category]
+
+    @property
+    def complexity(self) -> float:
+        """The unit-less complexity ``C`` of this instance."""
+        return self.info.complexity(self.width, self.entries)
+
+    @property
+    def unit_energy(self) -> float:
+        """Ground-truth mean active energy per cycle of this instance."""
+        return self.info.unit_energy * self.complexity

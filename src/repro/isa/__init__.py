@@ -1,0 +1,67 @@
+"""``repro.isa`` — the base instruction set of the extensible core.
+
+Public surface:
+
+* :data:`BASE_ISA` / :func:`base_isa` — the ~86-instruction base ISA.
+* :class:`Instruction`, :class:`InstructionDef`, :class:`InstructionSet`.
+* :class:`InstructionClass` and :data:`BASE_ENERGY_CLASSES` — the paper's
+  six-way energy clustering of the base ISA.
+* :func:`encode` / :func:`decode` — fixed-width 32-bit binary encoding.
+* :class:`MachineState` — bare functional machine state for semantics.
+"""
+
+from .bits import (
+    WORD_BITS,
+    WORD_MASK,
+    hamming_distance,
+    mask,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    truncate,
+)
+from .classes import BASE_ENERGY_CLASSES, InstructionClass
+from .encoding import EncodingError, decode, encode
+from .instructions import (
+    BASE_ISA,
+    INSTRUCTION_BYTES,
+    LINK_REGISTER,
+    NUM_REGISTERS,
+    STACK_REGISTER,
+    BreakpointHit,
+    ExecContext,
+    Instruction,
+    InstructionDef,
+    InstructionSet,
+    base_isa,
+)
+from .state import MachineState, SparseMemory
+
+__all__ = [
+    "BASE_ENERGY_CLASSES",
+    "BASE_ISA",
+    "BreakpointHit",
+    "EncodingError",
+    "ExecContext",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "InstructionClass",
+    "InstructionDef",
+    "InstructionSet",
+    "LINK_REGISTER",
+    "MachineState",
+    "NUM_REGISTERS",
+    "STACK_REGISTER",
+    "SparseMemory",
+    "WORD_BITS",
+    "WORD_MASK",
+    "base_isa",
+    "decode",
+    "encode",
+    "hamming_distance",
+    "mask",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "truncate",
+]

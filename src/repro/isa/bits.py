@@ -1,0 +1,122 @@
+"""Bit-level helpers shared by the ISA semantics, assembler and RTL models.
+
+All architectural values are carried around as non-negative Python integers
+that fit the relevant bit-width; these helpers convert between that unsigned
+representation and signed interpretations, and provide the small amount of
+bit arithmetic (masking, rotation, population counts, Hamming distance) that
+the instruction semantics and the activity-based energy models need.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int = WORD_BITS) -> int:
+    """Truncate ``value`` to an unsigned ``width``-bit integer."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int = WORD_BITS) -> int:
+    """Interpret an unsigned ``width``-bit integer as two's complement."""
+    value = truncate(value, width)
+    sign_bit = 1 << (width - 1)
+    if value & sign_bit:
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int = WORD_BITS) -> int:
+    """Encode a (possibly negative) integer as unsigned two's complement."""
+    return value & mask(width)
+
+
+def fits_signed(value: int, width: int) -> bool:
+    """Return True if ``value`` is representable as a signed ``width``-bit int."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, width: int) -> bool:
+    """Return True if ``value`` is representable as an unsigned ``width``-bit int."""
+    return 0 <= value <= mask(width)
+
+
+def sign_extend(value: int, from_width: int, to_width: int = WORD_BITS) -> int:
+    """Sign-extend a ``from_width``-bit value to ``to_width`` bits (unsigned repr)."""
+    return to_unsigned(to_signed(value, from_width), to_width)
+
+
+def zero_extend(value: int, from_width: int) -> int:
+    """Zero-extend (i.e. truncate to) a ``from_width``-bit value."""
+    return truncate(value, from_width)
+
+
+def rotate_left(value: int, amount: int, width: int = WORD_BITS) -> int:
+    """Rotate a ``width``-bit value left by ``amount`` (mod width)."""
+    amount %= width
+    value = truncate(value, width)
+    return truncate((value << amount) | (value >> (width - amount)), width)
+
+
+def rotate_right(value: int, amount: int, width: int = WORD_BITS) -> int:
+    """Rotate a ``width``-bit value right by ``amount`` (mod width)."""
+    return rotate_left(value, width - (amount % width), width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount is defined on non-negative integers")
+    return value.bit_count()
+
+
+def count_leading_zeros(value: int, width: int = WORD_BITS) -> int:
+    """Count leading zero bits of a ``width``-bit value (== width for zero)."""
+    value = truncate(value, width)
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+def count_trailing_zeros(value: int, width: int = WORD_BITS) -> int:
+    """Count trailing zero bits of a ``width``-bit value (== width for zero)."""
+    value = truncate(value, width)
+    if value == 0:
+        return width
+    return (value & -value).bit_length() - 1
+
+
+def byte_swap(value: int, width: int = WORD_BITS) -> int:
+    """Reverse the byte order of a ``width``-bit value (width multiple of 8)."""
+    if width % 8:
+        raise ValueError(f"byte_swap requires a width multiple of 8, got {width}")
+    value = truncate(value, width)
+    nbytes = width // 8
+    return int.from_bytes(value.to_bytes(nbytes, "little"), "big")
+
+
+def hamming_distance(a: int, b: int, width: int = WORD_BITS) -> int:
+    """Number of differing bits between two ``width``-bit values.
+
+    This is the canonical switching-activity proxy used by the RTL-level
+    reference energy estimator: the dynamic energy of a CMOS block is taken
+    to be proportional to the number of toggling nets at its inputs.
+    """
+    return popcount(truncate(a ^ b, width))
+
+
+def hamming_weight_fraction(value: int, width: int = WORD_BITS) -> float:
+    """Fraction of set bits in a ``width``-bit value (in [0, 1])."""
+    if width == 0:
+        return 0.0
+    return popcount(truncate(value, width)) / width

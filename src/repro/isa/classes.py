@@ -1,0 +1,49 @@
+"""Instruction classes used by the energy macro-model.
+
+The paper clusters the base-processor ISA into six energy classes
+(arithmetic, load, store, jump, branch-taken and branch-untaken); the
+macro-model's instruction-level variables count the *cycles* spent in each
+class.  Custom (TIE-substitute) instructions form their own class: their
+energy is captured by the structural variables plus the side-effect
+variable ``N_sd`` rather than by a per-class coefficient.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstructionClass(enum.Enum):
+    """Energy class of an instruction, after the paper's clustering.
+
+    ``BRANCH`` is a *static* class: a branch instruction is resolved
+    dynamically into :attr:`BRANCH_TAKEN` or :attr:`BRANCH_UNTAKEN` by the
+    instruction-set simulator, which is where cycle counts are attributed.
+    """
+
+    ARITH = "arith"
+    LOAD = "load"
+    STORE = "store"
+    JUMP = "jump"
+    BRANCH = "branch"
+    BRANCH_TAKEN = "branch_taken"
+    BRANCH_UNTAKEN = "branch_untaken"
+    CUSTOM = "custom"
+    SYSTEM = "system"
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True for classes that only exist in dynamic traces, not the ISA."""
+        return self in (InstructionClass.BRANCH_TAKEN, InstructionClass.BRANCH_UNTAKEN)
+
+
+#: The six base-ISA classes that own an instruction-level macro-model
+#: variable, in the order used by the macro-model template (Eq. 3).
+BASE_ENERGY_CLASSES = (
+    InstructionClass.ARITH,
+    InstructionClass.LOAD,
+    InstructionClass.STORE,
+    InstructionClass.JUMP,
+    InstructionClass.BRANCH_TAKEN,
+    InstructionClass.BRANCH_UNTAKEN,
+)

@@ -1,0 +1,197 @@
+"""Fixed-width 32-bit binary encoding of ``xtcore`` instructions.
+
+The macro-model itself never needs binary encodings (it consumes traces),
+but the memory image fed to the instruction cache, the disassembler, and
+round-trip testing all do.  The encoding is deliberately simple: an 8-bit
+opcode (the instruction's stable index in its :class:`InstructionSet`)
+followed by format-dependent fields.
+
+Field layout (bit ranges, msb:lsb)::
+
+    all      opcode  31:24
+    R3       rd 23:18   rs 17:12   rt 11:6
+    R2       rd 23:18   rs 17:12
+    RS1                 rs 17:12
+    I/SHI    rd 23:18   rs 17:12   imm12 11:0   (signed for I, 0..31 for SHI)
+    LI       rd 23:18              imm12 11:0   (signed)
+    UI       rd 23:18   imm18 17:0
+    M        rt 23:18   rs 17:12   imm12 11:0   (signed byte offset)
+    B2       rs 23:18   rt 17:12   off12 11:0   (signed word offset)
+    B1       rs 23:18              off12 11:0
+    BI       rs 23:18   imm6 17:12 off12 11:0   (imm6 signed except bbs/bbc)
+    J                   off24 23:0               (signed word offset)
+    N        (zero)
+
+Branch and jump offsets are encoded relative to the instruction's own
+address in units of instruction words; decoded :class:`Instruction`
+objects always carry *absolute* byte targets in ``imm``.
+"""
+
+from __future__ import annotations
+
+from .bits import fits_signed, fits_unsigned, to_signed, to_unsigned
+from .instructions import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    InstructionDef,
+    InstructionSet,
+)
+
+
+class EncodingError(ValueError):
+    """An operand does not fit its encoding field."""
+
+
+#: BI-format instructions whose 6-bit immediate is unsigned (bit indices).
+_UNSIGNED_IMM6 = frozenset({"bbs", "bbc"})
+
+
+def _check_reg(mnemonic: str, name: str, value: int | None) -> int:
+    if value is None:
+        raise EncodingError(f"{mnemonic}: missing register operand {name}")
+    if not 0 <= value < 64:
+        raise EncodingError(f"{mnemonic}: register a{value} out of range for {name}")
+    return value
+
+
+def _word_offset(mnemonic: str, target: int, addr: int, bits: int) -> int:
+    delta = target - addr
+    if delta % INSTRUCTION_BYTES:
+        raise EncodingError(f"{mnemonic}: target {target:#x} not word-aligned relative to {addr:#x}")
+    words = delta // INSTRUCTION_BYTES
+    if not fits_signed(words, bits):
+        raise EncodingError(f"{mnemonic}: branch/jump offset {words} words exceeds {bits}-bit range")
+    return to_unsigned(words, bits)
+
+
+def encode(definition: InstructionDef, ins: Instruction, isa: InstructionSet) -> int:
+    """Encode one decoded instruction into its 32-bit word."""
+    opcode = isa.opcode(ins.mnemonic)
+    word = opcode << 24
+    fmt = definition.fmt
+    mnemonic = ins.mnemonic
+
+    if fmt == "R3":
+        word |= _check_reg(mnemonic, "rd", ins.rd) << 18
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 12
+        word |= _check_reg(mnemonic, "rt", ins.rt) << 6
+    elif fmt == "R2":
+        word |= _check_reg(mnemonic, "rd", ins.rd) << 18
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 12
+    elif fmt == "RS1":
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 12
+    elif fmt == "RD1":
+        word |= _check_reg(mnemonic, "rd", ins.rd) << 18
+    elif fmt in ("I", "IU", "SHI"):
+        word |= _check_reg(mnemonic, "rd", ins.rd) << 18
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 12
+        imm = ins.imm if ins.imm is not None else 0
+        if fmt == "SHI":
+            if not 0 <= imm <= 31:
+                raise EncodingError(f"{mnemonic}: shift amount {imm} outside 0..31")
+            word |= imm
+        elif fmt == "IU":
+            if not fits_unsigned(imm, 12):
+                raise EncodingError(f"{mnemonic}: immediate {imm} outside unsigned 12-bit range")
+            word |= imm
+        else:
+            if not fits_signed(imm, 12):
+                raise EncodingError(f"{mnemonic}: immediate {imm} outside signed 12-bit range")
+            word |= to_unsigned(imm, 12)
+    elif fmt == "LI":
+        word |= _check_reg(mnemonic, "rd", ins.rd) << 18
+        imm = ins.imm if ins.imm is not None else 0
+        if not fits_signed(imm, 12):
+            raise EncodingError(f"{mnemonic}: immediate {imm} outside signed 12-bit range")
+        word |= to_unsigned(imm, 12)
+    elif fmt == "UI":
+        word |= _check_reg(mnemonic, "rd", ins.rd) << 18
+        imm = ins.imm if ins.imm is not None else 0
+        if not fits_unsigned(imm, 18):
+            raise EncodingError(f"{mnemonic}: immediate {imm} outside unsigned 18-bit range")
+        word |= imm
+    elif fmt == "M":
+        word |= _check_reg(mnemonic, "rt", ins.rt) << 18
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 12
+        imm = ins.imm if ins.imm is not None else 0
+        if not fits_signed(imm, 12):
+            raise EncodingError(f"{mnemonic}: memory offset {imm} outside signed 12-bit range")
+        word |= to_unsigned(imm, 12)
+    elif fmt == "B2":
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 18
+        word |= _check_reg(mnemonic, "rt", ins.rt) << 12
+        word |= _word_offset(mnemonic, ins.imm or 0, ins.addr, 12)
+    elif fmt == "B1":
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 18
+        word |= _word_offset(mnemonic, ins.imm or 0, ins.addr, 12)
+    elif fmt == "BI":
+        word |= _check_reg(mnemonic, "rs", ins.rs) << 18
+        imm6 = ins.rt if ins.rt is not None else 0
+        if mnemonic in _UNSIGNED_IMM6:
+            if not fits_unsigned(imm6, 6):
+                raise EncodingError(f"{mnemonic}: bit index {imm6} outside 0..63")
+            word |= imm6 << 12
+        else:
+            if not fits_signed(imm6, 6):
+                raise EncodingError(f"{mnemonic}: immediate {imm6} outside signed 6-bit range")
+            word |= to_unsigned(imm6, 6) << 12
+        word |= _word_offset(mnemonic, ins.imm or 0, ins.addr, 12)
+    elif fmt == "J":
+        word |= _word_offset(mnemonic, ins.imm or 0, ins.addr, 24)
+    elif fmt == "N":
+        pass
+    else:  # pragma: no cover - formats are validated at definition time
+        raise EncodingError(f"{mnemonic}: unknown format {fmt}")
+    return word
+
+
+def decode(word: int, addr: int, isa: InstructionSet) -> Instruction:
+    """Decode a 32-bit word at ``addr`` back into an :class:`Instruction`."""
+    opcode = (word >> 24) & 0xFF
+    mnemonic = isa.mnemonic_for(opcode)
+    definition = isa.lookup(mnemonic)
+    fmt = definition.fmt
+
+    rd = rs = rt = imm = None
+    if fmt == "R3":
+        rd, rs, rt = (word >> 18) & 63, (word >> 12) & 63, (word >> 6) & 63
+    elif fmt == "R2":
+        rd, rs = (word >> 18) & 63, (word >> 12) & 63
+    elif fmt == "RS1":
+        rs = (word >> 12) & 63
+    elif fmt == "RD1":
+        rd = (word >> 18) & 63
+    elif fmt == "I":
+        rd, rs = (word >> 18) & 63, (word >> 12) & 63
+        imm = to_signed(word & 0xFFF, 12)
+    elif fmt in ("IU", "SHI"):
+        rd, rs = (word >> 18) & 63, (word >> 12) & 63
+        imm = word & 0xFFF
+    elif fmt == "LI":
+        rd = (word >> 18) & 63
+        imm = to_signed(word & 0xFFF, 12)
+    elif fmt == "UI":
+        rd = (word >> 18) & 63
+        imm = word & 0x3FFFF
+    elif fmt == "M":
+        rt, rs = (word >> 18) & 63, (word >> 12) & 63
+        imm = to_signed(word & 0xFFF, 12)
+    elif fmt == "B2":
+        rs, rt = (word >> 18) & 63, (word >> 12) & 63
+        imm = addr + to_signed(word & 0xFFF, 12) * INSTRUCTION_BYTES
+    elif fmt == "B1":
+        rs = (word >> 18) & 63
+        imm = addr + to_signed(word & 0xFFF, 12) * INSTRUCTION_BYTES
+    elif fmt == "BI":
+        rs = (word >> 18) & 63
+        raw6 = (word >> 12) & 63
+        rt = raw6 if mnemonic in _UNSIGNED_IMM6 else to_signed(raw6, 6)
+        imm = addr + to_signed(word & 0xFFF, 12) * INSTRUCTION_BYTES
+    elif fmt == "J":
+        imm = addr + to_signed(word & 0xFFFFFF, 24) * INSTRUCTION_BYTES
+    elif fmt == "N":
+        pass
+    else:  # pragma: no cover
+        raise EncodingError(f"{mnemonic}: unknown format {fmt}")
+
+    return Instruction(mnemonic=mnemonic, rd=rd, rs=rs, rt=rt, imm=imm, addr=addr)

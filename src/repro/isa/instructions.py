@@ -1,0 +1,656 @@
+"""The base instruction set of the extensible core (Xtensa substitute).
+
+The paper's target is Tensilica's Xtensa: a 32-bit, five-stage, in-order
+RISC whose base ISA defines roughly 80 instructions, extended per
+application with custom (TIE) instructions.  This module defines an open
+ISA of the same shape — ``xtcore`` — with executable semantics for every
+instruction.  The energy macro-model never looks at individual opcodes:
+it only sees the class-level cycle counts defined in
+:mod:`repro.isa.classes`, which is exactly why clustering the ISA as the
+paper does is sufficient for estimation.
+
+Instruction formats
+-------------------
+
+========  ============================  ==================================
+format    assembly operands             fields used
+========  ============================  ==================================
+``R3``    ``rd, rs, rt``                three registers
+``R2``    ``rd, rs``                    two registers
+``RS1``   ``rs``                        one source register
+``I``     ``rd, rs, imm``               two registers + 12-bit signed imm
+``SHI``   ``rd, rs, imm``               shift-by-immediate (0..31)
+``LI``    ``rd, imm``                   12-bit signed immediate load
+``UI``    ``rd, imm``                   18-bit upper-immediate load
+``M``     ``rt, rs, imm``               memory: ``rt`` data, ``rs`` base
+``B2``    ``rs, rt, target``            compare-two-registers branch
+``B1``    ``rs, target``                compare-with-zero branch
+``BI``    ``rs, imm, target``           compare-with-immediate branch
+``J``     ``target``                    24-bit jump/call offset
+``N``     (none)                        no operands
+========  ============================  ==================================
+
+Branch/jump ``target`` operands are program-counter labels in assembly and
+absolute byte addresses in decoded form (the assembler resolves them and
+the encoder re-relativizes them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Mapping, Optional, Protocol, Sequence
+
+from .bits import (
+    WORD_BITS,
+    byte_swap,
+    count_leading_zeros,
+    count_trailing_zeros,
+    popcount,
+    rotate_left,
+    rotate_right,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    truncate,
+)
+from .classes import InstructionClass
+
+#: Number of general-purpose registers (the paper's Xtensa configuration
+#: uses a generic register file of 64 32-bit registers).
+NUM_REGISTERS = 64
+
+#: Architectural link register (written by ``call``/``callx``).
+LINK_REGISTER = 0
+
+#: Conventional stack pointer (assembler convention only, not enforced).
+STACK_REGISTER = 1
+
+#: Byte size of every instruction (fixed-width encoding).
+INSTRUCTION_BYTES = 4
+
+
+class ExecContext(Protocol):
+    """The machine-state interface instruction semantics execute against.
+
+    Implemented by the instruction-set simulator; a minimal in-memory
+    implementation is provided for unit tests in :mod:`repro.isa.state`.
+    """
+
+    pc: int
+
+    def get(self, reg: int) -> int:
+        """Read a general-purpose register (unsigned 32-bit value)."""
+
+    def set(self, reg: int, value: int) -> None:
+        """Write a general-purpose register (value truncated to 32 bits)."""
+
+    def load(self, addr: int, size: int, signed: bool) -> int:
+        """Load ``size`` bytes from memory, optionally sign-extending."""
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        """Store the low ``size`` bytes of ``value`` to memory."""
+
+    def halt(self) -> None:
+        """Request simulation stop after the current instruction."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """A decoded (or assembled) instruction instance.
+
+    Fields not used by the instruction's format are ``None``.  ``imm``
+    holds immediates *and* resolved absolute branch/jump targets.
+    """
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rs: Optional[int] = None
+    rt: Optional[int] = None
+    imm: Optional[int] = None
+    addr: int = 0
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.rd is not None:
+            parts.append(f"a{self.rd}")
+        if self.rs is not None:
+            parts.append(f"a{self.rs}")
+        if self.rt is not None:
+            parts.append(f"a{self.rt}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        joined = ", ".join(parts)
+        return f"{self.mnemonic} {joined}".strip()
+
+
+Semantics = Callable[[ExecContext, Instruction], Optional[int]]
+
+#: operand-field layout per format: which of (rd, rs, rt, imm) are used,
+#: in assembly-operand order.
+FORMAT_FIELDS: Mapping[str, tuple[str, ...]] = {
+    "R3": ("rd", "rs", "rt"),
+    "R2": ("rd", "rs"),
+    "RS1": ("rs",),
+    "RD1": ("rd",),
+    "I": ("rd", "rs", "imm"),
+    "IU": ("rd", "rs", "imm"),
+    "SHI": ("rd", "rs", "imm"),
+    "LI": ("rd", "imm"),
+    "UI": ("rd", "imm"),
+    "M": ("rt", "rs", "imm"),
+    "B2": ("rs", "rt", "imm"),
+    "B1": ("rs", "imm"),
+    "BI": ("rs", "imm2", "imm"),
+    "J": ("imm",),
+    "N": (),
+}
+
+#: formats whose ``imm`` operand is a code label/address.
+BRANCHING_FORMATS = frozenset({"B2", "B1", "BI", "J"})
+
+
+@dataclasses.dataclass(frozen=True)
+class InstructionDef:
+    """Static definition of one instruction: class, timing and semantics.
+
+    ``latency`` is the number of issue cycles the instruction occupies in
+    the five-stage pipeline under ideal conditions (no stalls or misses);
+    the simulator adds stall and penalty cycles on top.  ``imm2`` (used by
+    the ``BI`` format) rides in the high bits of the ``imm`` field during
+    assembly and is folded into :attr:`Instruction.rt` at decode time —
+    see :mod:`repro.asm.assembler`.
+    """
+
+    mnemonic: str
+    fmt: str
+    iclass: InstructionClass
+    semantics: Semantics
+    latency: int = 1
+    description: str = ""
+    extra_writes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fmt not in FORMAT_FIELDS:
+            raise ValueError(f"unknown instruction format {self.fmt!r}")
+        if self.latency < 1:
+            raise ValueError(f"{self.mnemonic}: latency must be >= 1")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.iclass is InstructionClass.BRANCH
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.iclass in (InstructionClass.BRANCH, InstructionClass.JUMP)
+
+    def source_registers(self, ins: Instruction) -> tuple[int, ...]:
+        """Registers read by this instruction instance."""
+        if self.fmt in ("R3", "B2"):
+            return (ins.rs, ins.rt)  # type: ignore[return-value]
+        if self.fmt in ("R2", "I", "IU", "SHI", "B1", "BI", "RS1"):
+            return (ins.rs,)  # type: ignore[return-value]
+        if self.fmt == "M":
+            if self.iclass is InstructionClass.STORE:
+                return (ins.rs, ins.rt)  # type: ignore[return-value]
+            return (ins.rs,)  # type: ignore[return-value]
+        return ()
+
+    def dest_registers(self, ins: Instruction) -> tuple[int, ...]:
+        """Registers written by this instruction instance."""
+        dests: list[int] = []
+        if self.fmt in ("R3", "R2", "RD1", "I", "IU", "SHI", "LI", "UI"):
+            dests.append(ins.rd)  # type: ignore[arg-type]
+        elif self.fmt == "M" and self.iclass is InstructionClass.LOAD:
+            dests.append(ins.rt)  # type: ignore[arg-type]
+        dests.extend(self.extra_writes)
+        return tuple(dests)
+
+
+# ---------------------------------------------------------------------------
+# Semantics factories.  Each factory returns a Semantics callable; keeping
+# them tiny and table-driven keeps the 80+ definitions below readable.
+# ---------------------------------------------------------------------------
+
+
+def _alu3(op: Callable[[int, int], int]) -> Semantics:
+    """rd <- op(rs, rt) over unsigned 32-bit values."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        ctx.set(ins.rd, truncate(op(ctx.get(ins.rs), ctx.get(ins.rt))))
+
+    return semantics
+
+
+def _alu3_signed(op: Callable[[int, int], int]) -> Semantics:
+    """rd <- op(rs, rt) with both operands interpreted as signed."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        a = to_signed(ctx.get(ins.rs))
+        b = to_signed(ctx.get(ins.rt))
+        ctx.set(ins.rd, to_unsigned(op(a, b)))
+
+    return semantics
+
+
+def _alu2(op: Callable[[int], int]) -> Semantics:
+    """rd <- op(rs)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        ctx.set(ins.rd, truncate(op(ctx.get(ins.rs))))
+
+    return semantics
+
+
+def _alui(op: Callable[[int, int], int]) -> Semantics:
+    """rd <- op(rs, sign-extended immediate)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        ctx.set(ins.rd, truncate(op(ctx.get(ins.rs), to_unsigned(ins.imm))))
+
+    return semantics
+
+
+def _alui_zx(op: Callable[[int, int], int]) -> Semantics:
+    """rd <- op(rs, zero-extended 12-bit immediate).
+
+    Logical immediates zero-extend so that ``movhi``+``ori`` can compose an
+    arbitrary 24-bit constant — the expansion of the ``la``/``li`` pseudo
+    instructions in the assembler.
+    """
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        ctx.set(ins.rd, truncate(op(ctx.get(ins.rs), ins.imm & 0xFFF)))
+
+    return semantics
+
+
+def _shift_imm(op: Callable[[int, int], int]) -> Semantics:
+    """rd <- op(rs, shift-amount immediate)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        ctx.set(ins.rd, truncate(op(ctx.get(ins.rs), ins.imm & 31)))
+
+    return semantics
+
+
+def _shift_reg(op: Callable[[int, int], int]) -> Semantics:
+    """rd <- op(rs, rt & 31)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        ctx.set(ins.rd, truncate(op(ctx.get(ins.rs), ctx.get(ins.rt) & 31)))
+
+    return semantics
+
+
+def _load(size: int, signed: bool) -> Semantics:
+    """rt <- mem[rs + imm] (size bytes, optional sign extension)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        addr = truncate(ctx.get(ins.rs) + to_unsigned(ins.imm))
+        ctx.set(ins.rt, ctx.load(addr, size, signed))
+
+    return semantics
+
+
+def _store(size: int) -> Semantics:
+    """mem[rs + imm] <- rt (low ``size`` bytes)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        addr = truncate(ctx.get(ins.rs) + to_unsigned(ins.imm))
+        ctx.store(addr, ctx.get(ins.rt), size)
+
+    return semantics
+
+
+def _branch2(cond: Callable[[int, int], bool], signed: bool) -> Semantics:
+    """Branch to ``imm`` when cond(rs, rt) holds."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> Optional[int]:
+        a, b = ctx.get(ins.rs), ctx.get(ins.rt)
+        if signed:
+            a, b = to_signed(a), to_signed(b)
+        return ins.imm if cond(a, b) else None
+
+    return semantics
+
+
+def _branch1(cond: Callable[[int], bool], signed: bool) -> Semantics:
+    """Branch to ``imm`` when cond(rs) holds."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> Optional[int]:
+        a = ctx.get(ins.rs)
+        if signed:
+            a = to_signed(a)
+        return ins.imm if cond(a) else None
+
+    return semantics
+
+
+def _branch_imm(cond: Callable[[int, int], bool], signed: bool) -> Semantics:
+    """Branch to ``imm`` when cond(rs, small-immediate-in-rt) holds.
+
+    ``BI``-format instructions carry their comparison immediate in the
+    ``rt`` field (folded there by the assembler).
+    """
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> Optional[int]:
+        a = ctx.get(ins.rs)
+        b = to_unsigned(ins.rt)
+        if signed:
+            a, b = to_signed(a), to_signed(ins.rt)
+        return ins.imm if cond(a, b) else None
+
+    return semantics
+
+
+def _branch_bit(want_set: bool) -> Semantics:
+    """Branch when bit ``rt`` of ``rs`` is set (bbs) / clear (bbc)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> Optional[int]:
+        bit = (ctx.get(ins.rs) >> (ins.rt & 31)) & 1
+        return ins.imm if bool(bit) == want_set else None
+
+    return semantics
+
+
+def _sem_j(ctx: ExecContext, ins: Instruction) -> int:
+    return ins.imm
+
+
+def _sem_jx(ctx: ExecContext, ins: Instruction) -> int:
+    return truncate(ctx.get(ins.rs))
+
+
+def _sem_call(ctx: ExecContext, ins: Instruction) -> int:
+    ctx.set(LINK_REGISTER, truncate(ctx.pc + INSTRUCTION_BYTES))
+    return ins.imm
+
+
+def _sem_callx(ctx: ExecContext, ins: Instruction) -> int:
+    target = truncate(ctx.get(ins.rs))
+    ctx.set(LINK_REGISTER, truncate(ctx.pc + INSTRUCTION_BYTES))
+    return target
+
+
+def _sem_ret(ctx: ExecContext, ins: Instruction) -> int:
+    return truncate(ctx.get(LINK_REGISTER))
+
+
+def _sem_nop(ctx: ExecContext, ins: Instruction) -> None:
+    return None
+
+
+def _sem_halt(ctx: ExecContext, ins: Instruction) -> None:
+    ctx.halt()
+
+
+def _sem_break(ctx: ExecContext, ins: Instruction) -> None:
+    raise BreakpointHit(ctx.pc)
+
+
+def _conditional_move(cond: Callable[[int], bool]) -> Semantics:
+    """rd <- rs when cond(signed rt) holds (Xtensa MOVEQZ family)."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        if cond(to_signed(ctx.get(ins.rt))):
+            ctx.set(ins.rd, ctx.get(ins.rs))
+
+    return semantics
+
+
+def _mul_high(signed: bool) -> Semantics:
+    """rd <- high 32 bits of the 64-bit product of rs and rt."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        a, b = ctx.get(ins.rs), ctx.get(ins.rt)
+        if signed:
+            a, b = to_signed(a), to_signed(b)
+        ctx.set(ins.rd, to_unsigned((a * b) >> WORD_BITS))
+
+    return semantics
+
+
+def _div(op: Callable[[int, int], int], signed: bool, is_remainder: bool = False) -> Semantics:
+    """rd <- op(rs, rt) with divide-by-zero producing all-ones / dividend."""
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        a, b = ctx.get(ins.rs), ctx.get(ins.rt)
+        if signed:
+            a, b = to_signed(a), to_signed(b)
+        if b == 0:
+            # RISC-style: quotient of all ones, remainder = dividend.
+            result = a if is_remainder else -1
+        else:
+            result = op(a, b)
+        ctx.set(ins.rd, to_unsigned(result))
+
+    return semantics
+
+
+def _quo_op(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _rem_op(a: int, b: int) -> int:
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+class BreakpointHit(RuntimeError):
+    """Raised when the ``break`` instruction executes."""
+
+    def __init__(self, pc: int) -> None:
+        super().__init__(f"break instruction executed at pc={pc:#010x}")
+        self.pc = pc
+
+
+def _d(
+    mnemonic: str,
+    fmt: str,
+    iclass: InstructionClass,
+    semantics: Semantics,
+    description: str,
+    latency: int = 1,
+    extra_writes: tuple[int, ...] = (),
+) -> InstructionDef:
+    return InstructionDef(
+        mnemonic=mnemonic,
+        fmt=fmt,
+        iclass=iclass,
+        semantics=semantics,
+        latency=latency,
+        description=description,
+        extra_writes=extra_writes,
+    )
+
+
+_A = InstructionClass.ARITH
+_L = InstructionClass.LOAD
+_S = InstructionClass.STORE
+_J = InstructionClass.JUMP
+_B = InstructionClass.BRANCH
+_Y = InstructionClass.SYSTEM
+
+
+def _base_definitions() -> list[InstructionDef]:
+    """Build the full base-ISA table (~86 instructions)."""
+    defs = [
+        # --- register-register arithmetic/logic -------------------------
+        _d("add", "R3", _A, _alu3(lambda a, b: a + b), "rd = rs + rt"),
+        _d("sub", "R3", _A, _alu3(lambda a, b: a - b), "rd = rs - rt"),
+        _d("and", "R3", _A, _alu3(lambda a, b: a & b), "rd = rs & rt"),
+        _d("or", "R3", _A, _alu3(lambda a, b: a | b), "rd = rs | rt"),
+        _d("xor", "R3", _A, _alu3(lambda a, b: a ^ b), "rd = rs ^ rt"),
+        _d("nor", "R3", _A, _alu3(lambda a, b: ~(a | b)), "rd = ~(rs | rt)"),
+        _d("andn", "R3", _A, _alu3(lambda a, b: a & ~b), "rd = rs & ~rt"),
+        _d("orn", "R3", _A, _alu3(lambda a, b: a | ~b), "rd = rs | ~rt"),
+        _d("xnor", "R3", _A, _alu3(lambda a, b: ~(a ^ b)), "rd = ~(rs ^ rt)"),
+        _d("addx2", "R3", _A, _alu3(lambda a, b: (a << 1) + b), "rd = rs*2 + rt"),
+        _d("addx4", "R3", _A, _alu3(lambda a, b: (a << 2) + b), "rd = rs*4 + rt"),
+        _d("addx8", "R3", _A, _alu3(lambda a, b: (a << 3) + b), "rd = rs*8 + rt"),
+        _d("subx2", "R3", _A, _alu3(lambda a, b: (a << 1) - b), "rd = rs*2 - rt"),
+        _d("subx4", "R3", _A, _alu3(lambda a, b: (a << 2) - b), "rd = rs*4 - rt"),
+        _d("slt", "R3", _A, _alu3_signed(lambda a, b: int(a < b)), "rd = rs <s rt"),
+        _d("sltu", "R3", _A, _alu3(lambda a, b: int((a & 0xFFFFFFFF) < (b & 0xFFFFFFFF))), "rd = rs <u rt"),
+        _d("min", "R3", _A, _alu3_signed(min), "rd = min_s(rs, rt)"),
+        _d("max", "R3", _A, _alu3_signed(max), "rd = max_s(rs, rt)"),
+        _d("minu", "R3", _A, _alu3(min), "rd = min_u(rs, rt)"),
+        _d("maxu", "R3", _A, _alu3(max), "rd = max_u(rs, rt)"),
+        # --- multiply / divide option (the paper's config includes the
+        #     32-bit multiplication instruction) -------------------------
+        _d("mull", "R3", _A, _alu3(lambda a, b: a * b), "rd = low32(rs * rt)"),
+        _d("mulh", "R3", _A, _mul_high(signed=True), "rd = high32(rs *s rt)"),
+        _d("mulhu", "R3", _A, _mul_high(signed=False), "rd = high32(rs *u rt)"),
+        _d("quos", "R3", _A, _div(_quo_op, signed=True), "rd = rs /s rt"),
+        _d("quou", "R3", _A, _div(lambda a, b: a // b, signed=False), "rd = rs /u rt"),
+        _d("rems", "R3", _A, _div(_rem_op, signed=True, is_remainder=True), "rd = rs %s rt"),
+        _d("remu", "R3", _A, _div(lambda a, b: a % b, signed=False, is_remainder=True), "rd = rs %u rt"),
+        # --- register shifts --------------------------------------------
+        _d("sll", "R3", _A, _shift_reg(lambda a, s: a << s), "rd = rs << (rt&31)"),
+        _d("srl", "R3", _A, _shift_reg(lambda a, s: a >> s), "rd = rs >>u (rt&31)"),
+        _d("sra", "R3", _A, _shift_reg(lambda a, s: to_signed(a) >> s), "rd = rs >>s (rt&31)"),
+        _d("rotl", "R3", _A, _shift_reg(rotate_left), "rd = rotl(rs, rt&31)"),
+        _d("rotr", "R3", _A, _shift_reg(rotate_right), "rd = rotr(rs, rt&31)"),
+        # --- two-operand unary ops --------------------------------------
+        _d("mov", "R2", _A, _alu2(lambda a: a), "rd = rs"),
+        _d("neg", "R2", _A, _alu2(lambda a: -a), "rd = -rs"),
+        _d("not", "R2", _A, _alu2(lambda a: ~a), "rd = ~rs"),
+        _d("abs", "R2", _A, _alu2(lambda a: abs(to_signed(a))), "rd = |rs|"),
+        _d("sext8", "R2", _A, _alu2(lambda a: sign_extend(a, 8)), "rd = sext8(rs)"),
+        _d("sext16", "R2", _A, _alu2(lambda a: sign_extend(a, 16)), "rd = sext16(rs)"),
+        _d("zext8", "R2", _A, _alu2(lambda a: a & 0xFF), "rd = rs & 0xff"),
+        _d("zext16", "R2", _A, _alu2(lambda a: a & 0xFFFF), "rd = rs & 0xffff"),
+        _d("clz", "R2", _A, _alu2(count_leading_zeros), "rd = count-leading-zeros(rs)"),
+        _d("ctz", "R2", _A, _alu2(count_trailing_zeros), "rd = count-trailing-zeros(rs)"),
+        _d("popc", "R2", _A, _alu2(popcount), "rd = population-count(rs)"),
+        _d("bswap", "R2", _A, _alu2(byte_swap), "rd = byte-reverse(rs)"),
+        # --- conditional moves ------------------------------------------
+        _d("moveqz", "R3", _A, _conditional_move(lambda t: t == 0), "rd = rs if rt == 0"),
+        _d("movnez", "R3", _A, _conditional_move(lambda t: t != 0), "rd = rs if rt != 0"),
+        _d("movltz", "R3", _A, _conditional_move(lambda t: t < 0), "rd = rs if rt <s 0"),
+        _d("movgez", "R3", _A, _conditional_move(lambda t: t >= 0), "rd = rs if rt >=s 0"),
+        # --- immediate arithmetic/logic ---------------------------------
+        _d("addi", "I", _A, _alui(lambda a, i: a + i), "rd = rs + imm12"),
+        _d("addmi", "I", _A, _alui(lambda a, i: a + (i << 8)), "rd = rs + (imm12 << 8)"),
+        _d("andi", "IU", _A, _alui_zx(lambda a, i: a & i), "rd = rs & uimm12"),
+        _d("ori", "IU", _A, _alui_zx(lambda a, i: a | i), "rd = rs | uimm12"),
+        _d("xori", "IU", _A, _alui_zx(lambda a, i: a ^ i), "rd = rs ^ uimm12"),
+        _d("slti", "I", _A, lambda ctx, ins: ctx.set(ins.rd, int(to_signed(ctx.get(ins.rs)) < ins.imm)), "rd = rs <s imm12"),
+        _d("sltiu", "I", _A, lambda ctx, ins: ctx.set(ins.rd, int(ctx.get(ins.rs) < to_unsigned(ins.imm))), "rd = rs <u imm12"),
+        _d("slli", "SHI", _A, _shift_imm(lambda a, s: a << s), "rd = rs << imm5"),
+        _d("srli", "SHI", _A, _shift_imm(lambda a, s: a >> s), "rd = rs >>u imm5"),
+        _d("srai", "SHI", _A, _shift_imm(lambda a, s: to_signed(a) >> s), "rd = rs >>s imm5"),
+        _d("roli", "SHI", _A, _shift_imm(rotate_left), "rd = rotl(rs, imm5)"),
+        _d("rori", "SHI", _A, _shift_imm(rotate_right), "rd = rotr(rs, imm5)"),
+        # --- immediate loads --------------------------------------------
+        _d("movi", "LI", _A, lambda ctx, ins: ctx.set(ins.rd, to_unsigned(ins.imm)), "rd = imm12 (sign-extended)"),
+        _d("movhi", "UI", _A, lambda ctx, ins: ctx.set(ins.rd, truncate((ins.imm & 0x3FFFF) << 12)), "rd = uimm18 << 12"),
+        # --- memory loads ------------------------------------------------
+        _d("l32i", "M", _L, _load(4, signed=False), "rt = mem32[rs + imm]"),
+        _d("l16ui", "M", _L, _load(2, signed=False), "rt = zext(mem16[rs + imm])"),
+        _d("l16si", "M", _L, _load(2, signed=True), "rt = sext(mem16[rs + imm])"),
+        _d("l8ui", "M", _L, _load(1, signed=False), "rt = zext(mem8[rs + imm])"),
+        _d("l8si", "M", _L, _load(1, signed=True), "rt = sext(mem8[rs + imm])"),
+        # --- memory stores -----------------------------------------------
+        _d("s32i", "M", _S, _store(4), "mem32[rs + imm] = rt"),
+        _d("s16i", "M", _S, _store(2), "mem16[rs + imm] = rt"),
+        _d("s8i", "M", _S, _store(1), "mem8[rs + imm] = rt"),
+        # --- jumps / calls ------------------------------------------------
+        _d("j", "J", _J, _sem_j, "pc = target"),
+        _d("jx", "RS1", _J, _sem_jx, "pc = rs"),
+        _d("call", "J", _J, _sem_call, "a0 = pc+4; pc = target", extra_writes=(LINK_REGISTER,)),
+        _d("callx", "RS1", _J, _sem_callx, "a0 = pc+4; pc = rs", extra_writes=(LINK_REGISTER,)),
+        _d("ret", "N", _J, _sem_ret, "pc = a0"),
+        # --- branches (two-register compares) ----------------------------
+        _d("beq", "B2", _B, _branch2(lambda a, b: a == b, signed=False), "branch if rs == rt"),
+        _d("bne", "B2", _B, _branch2(lambda a, b: a != b, signed=False), "branch if rs != rt"),
+        _d("blt", "B2", _B, _branch2(lambda a, b: a < b, signed=True), "branch if rs <s rt"),
+        _d("bge", "B2", _B, _branch2(lambda a, b: a >= b, signed=True), "branch if rs >=s rt"),
+        _d("bltu", "B2", _B, _branch2(lambda a, b: a < b, signed=False), "branch if rs <u rt"),
+        _d("bgeu", "B2", _B, _branch2(lambda a, b: a >= b, signed=False), "branch if rs >=u rt"),
+        # --- branches (compare with zero) --------------------------------
+        _d("beqz", "B1", _B, _branch1(lambda a: a == 0, signed=False), "branch if rs == 0"),
+        _d("bnez", "B1", _B, _branch1(lambda a: a != 0, signed=False), "branch if rs != 0"),
+        _d("bltz", "B1", _B, _branch1(lambda a: a < 0, signed=True), "branch if rs <s 0"),
+        _d("bgez", "B1", _B, _branch1(lambda a: a >= 0, signed=True), "branch if rs >=s 0"),
+        # --- branches (compare with small immediate / bit tests) ---------
+        _d("beqi", "BI", _B, _branch_imm(lambda a, b: a == b, signed=True), "branch if rs == imm6"),
+        _d("bnei", "BI", _B, _branch_imm(lambda a, b: a != b, signed=True), "branch if rs != imm6"),
+        _d("blti", "BI", _B, _branch_imm(lambda a, b: a < b, signed=True), "branch if rs <s imm6"),
+        _d("bgei", "BI", _B, _branch_imm(lambda a, b: a >= b, signed=True), "branch if rs >=s imm6"),
+        _d("bbs", "BI", _B, _branch_bit(want_set=True), "branch if bit imm6 of rs is set"),
+        _d("bbc", "BI", _B, _branch_bit(want_set=False), "branch if bit imm6 of rs is clear"),
+        # --- system -------------------------------------------------------
+        _d("nop", "N", _Y, _sem_nop, "no operation"),
+        _d("halt", "N", _Y, _sem_halt, "stop simulation"),
+        _d("break", "N", _Y, _sem_break, "raise BreakpointHit"),
+    ]
+    return defs
+
+
+class InstructionSet:
+    """A named collection of instruction definitions with stable opcodes.
+
+    The base ISA is immutable; :meth:`extend` returns a *new* instruction
+    set with custom-instruction definitions appended — mirroring the way a
+    TIE extension produces a new processor instance without touching the
+    base core.
+    """
+
+    def __init__(self, name: str, definitions: Iterable[InstructionDef]) -> None:
+        self.name = name
+        self._defs: dict[str, InstructionDef] = {}
+        self._opcodes: dict[str, int] = {}
+        for definition in definitions:
+            if definition.mnemonic in self._defs:
+                raise ValueError(f"duplicate mnemonic {definition.mnemonic!r}")
+            self._opcodes[definition.mnemonic] = len(self._defs)
+            self._defs[definition.mnemonic] = definition
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._defs
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def __iter__(self):
+        return iter(self._defs.values())
+
+    def lookup(self, mnemonic: str) -> InstructionDef:
+        """Return the definition for ``mnemonic`` (KeyError if unknown)."""
+        try:
+            return self._defs[mnemonic]
+        except KeyError:
+            raise KeyError(f"unknown instruction {mnemonic!r} in ISA {self.name!r}") from None
+
+    def opcode(self, mnemonic: str) -> int:
+        """Return the stable numeric opcode assigned to ``mnemonic``."""
+        try:
+            return self._opcodes[mnemonic]
+        except KeyError:
+            raise KeyError(f"unknown instruction {mnemonic!r} in ISA {self.name!r}") from None
+
+    def mnemonic_for(self, opcode: int) -> str:
+        """Inverse of :meth:`opcode`."""
+        for mnemonic, code in self._opcodes.items():
+            if code == opcode:
+                return mnemonic
+        raise KeyError(f"no instruction with opcode {opcode} in ISA {self.name!r}")
+
+    def extend(self, name: str, extra: Sequence[InstructionDef]) -> "InstructionSet":
+        """Return a new instruction set with ``extra`` definitions appended."""
+        return InstructionSet(name, list(self._defs.values()) + list(extra))
+
+    def by_class(self, iclass: InstructionClass) -> list[InstructionDef]:
+        """All definitions whose static class is ``iclass``."""
+        return [d for d in self._defs.values() if d.iclass is iclass]
+
+
+def base_isa() -> InstructionSet:
+    """Construct the base ``xtcore`` instruction set (fresh instance)."""
+    return InstructionSet("xtcore-base", _base_definitions())
+
+
+#: Shared immutable base-ISA instance for callers that don't extend it.
+BASE_ISA = base_isa()

@@ -1,0 +1,105 @@
+"""Minimal machine state implementing :class:`repro.isa.instructions.ExecContext`.
+
+The full instruction-set simulator in :mod:`repro.xtcore.iss` wraps this
+state with pipeline timing, caches and tracing; keeping the bare functional
+state here lets ISA semantics be unit-tested in isolation and gives the TIE
+semantics evaluator a place to execute against.
+"""
+
+from __future__ import annotations
+
+from .bits import sign_extend, truncate
+from .instructions import NUM_REGISTERS
+
+
+class SparseMemory:
+    """A byte-addressable sparse memory backed by fixed-size pages.
+
+    Unwritten bytes read as zero, which matches the behaviour of zero-
+    initialized simulation RAM and keeps program images small.
+    """
+
+    PAGE_BITS = 12
+    PAGE_SIZE = 1 << PAGE_BITS
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page_for(self, addr: int, create: bool) -> bytearray | None:
+        page_index = addr >> self.PAGE_BITS
+        page = self._pages.get(page_index)
+        if page is None and create:
+            page = bytearray(self.PAGE_SIZE)
+            self._pages[page_index] = page
+        return page
+
+    def read_byte(self, addr: int) -> int:
+        page = self._page_for(addr, create=False)
+        if page is None:
+            return 0
+        return page[addr & (self.PAGE_SIZE - 1)]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        page = self._page_for(addr, create=True)
+        assert page is not None
+        page[addr & (self.PAGE_SIZE - 1)] = value & 0xFF
+
+    def read(self, addr: int, size: int) -> int:
+        """Little-endian read of ``size`` bytes."""
+        value = 0
+        for offset in range(size):
+            value |= self.read_byte(addr + offset) << (8 * offset)
+        return value
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        """Little-endian write of the low ``size`` bytes of ``value``."""
+        for offset in range(size):
+            self.write_byte(addr + offset, (value >> (8 * offset)) & 0xFF)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for offset, byte in enumerate(data):
+            self.write_byte(addr + offset, byte)
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return bytes(self.read_byte(addr + offset) for offset in range(size))
+
+    @property
+    def touched_pages(self) -> int:
+        """Number of pages that have been materialized (for tests)."""
+        return len(self._pages)
+
+
+class MachineState:
+    """Registers + memory + pc: the functional core of the simulator."""
+
+    def __init__(self, num_registers: int = NUM_REGISTERS) -> None:
+        self.num_registers = num_registers
+        self.regs = [0] * num_registers
+        self.memory = SparseMemory()
+        self.pc = 0
+        self.halted = False
+        #: Custom (TIE-substitute) state registers, keyed by register name.
+        #: Initialized by the processor model from the extension specs.
+        self.tie_state: dict[str, int] = {}
+
+    def get(self, reg: int) -> int:
+        if not 0 <= reg < self.num_registers:
+            raise IndexError(f"register index a{reg} out of range")
+        return self.regs[reg]
+
+    def set(self, reg: int, value: int) -> None:
+        if not 0 <= reg < self.num_registers:
+            raise IndexError(f"register index a{reg} out of range")
+        self.regs[reg] = truncate(value)
+
+    def load(self, addr: int, size: int, signed: bool) -> int:
+        value = self.memory.read(truncate(addr), size)
+        if signed:
+            value = sign_extend(value, size * 8)
+        return value
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        self.memory.write(truncate(addr), value, size)
+
+    def halt(self) -> None:
+        self.halted = True

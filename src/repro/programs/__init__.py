@@ -1,0 +1,33 @@
+"""``repro.programs`` — verified benchmark workloads.
+
+* :func:`characterization_suite` — the 25 test programs used to fit the
+  macro-model (paper Fig. 3);
+* :func:`application_suite` — the 10 Table II applications;
+* :func:`reed_solomon_choices` — the 4 Fig. 4 custom-instruction design
+  points of the Reed-Solomon kernel;
+* :func:`fir_choices` — the 3 FIR-filter design points (second DSE study);
+* :mod:`repro.programs.extensions` — the custom-instruction library.
+"""
+
+from . import extensions, gf
+from .apps import application_suite
+from .fir import fir_choices
+from .data import Lcg, format_words, rand_words
+from .registry import BenchmarkCase, expect_word, expect_words
+from .reed_solomon import reed_solomon_choices
+from .testsuite import characterization_suite
+
+__all__ = [
+    "BenchmarkCase",
+    "Lcg",
+    "application_suite",
+    "characterization_suite",
+    "expect_word",
+    "expect_words",
+    "extensions",
+    "fir_choices",
+    "format_words",
+    "gf",
+    "rand_words",
+    "reed_solomon_choices",
+]

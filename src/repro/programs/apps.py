@@ -1,0 +1,648 @@
+"""The ten application benchmarks of the paper's Table II.
+
+Ins sort, Gcd, Alphablend, Add4, Bubsort, DES, Accumulate, Drawline,
+Multi accumulate and Seq mult — each incorporating custom instructions
+(as in the paper, these are *different programs* from the 25-program
+characterization suite, so Table II measures generalization, not fit).
+
+Every application is functionally verified against a pure-Python
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from ..xtcore import SimulationResult
+from . import extensions as ext
+from .data import Lcg, format_words
+from .registry import BenchmarkCase, expect_word, expect_words
+
+_U32 = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Ins sort — insertion sort with a pair-sorting custom pre-pass
+# ---------------------------------------------------------------------------
+
+
+def ins_sort() -> BenchmarkCase:
+    values = Lcg(301).words(56, bits=16)
+    n = len(values)
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+    .text
+main:
+    ; pre-pass: sort adjacent pairs with the min2/max2 custom comparators
+    la a2, arr
+    movi a3, {n // 2}
+pair:
+    l32i a4, a2, 0
+    l32i a5, a2, 4
+    min2 a6, a4, a5
+    max2 a7, a4, a5
+    s32i a6, a2, 0
+    s32i a7, a2, 4
+    addi a2, a2, 8
+    addi a3, a3, -1
+    bnez a3, pair
+
+    ; insertion sort
+    movi a2, 1           ; i
+    movi a9, {n}
+isort_outer:
+    la a3, arr
+    slli a4, a2, 2
+    add a3, a3, a4       ; &arr[i]
+    l32i a5, a3, 0       ; key
+    mov a6, a2           ; j
+isort_inner:
+    beqz a6, place
+    l32i a7, a3, -4      ; arr[j-1]
+    bgeu a5, a7, place   ; key >= arr[j-1]: stop
+    s32i a7, a3, 0       ; arr[j] = arr[j-1]
+    addi a3, a3, -4
+    addi a6, a6, -1
+    j isort_inner
+place:
+    s32i a5, a3, 0
+    addi a2, a2, 1
+    blt a2, a9, isort_outer
+    halt
+"""
+    return BenchmarkCase(
+        name="ins_sort",
+        description="insertion sort with custom pair-sort pre-pass",
+        source=source,
+        spec_factories=(ext.min2_spec, ext.max2_spec),
+        check=expect_words("arr", sorted(values)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gcd — subtractive GCD using absdiff + min2
+# ---------------------------------------------------------------------------
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def gcd() -> BenchmarkCase:
+    lcg = Lcg(401)
+    pairs = [(lcg.below(900) + 1, lcg.below(900) + 1) for _ in range(40)]
+    a_vals = [p[0] for p in pairs]
+    b_vals = [p[1] for p in pairs]
+    expected = [_gcd(a, b) for a, b in pairs]
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals)}
+b_arr:
+{format_words(b_vals)}
+out: .space {len(pairs) * 4}
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    la a4, out
+    movi a5, {len(pairs)}
+next_pair:
+    l32i a6, a2, 0      ; a
+    l32i a7, a3, 0      ; b
+gcd_loop:
+    beq a6, a7, done_pair
+    absdiff a8, a6, a7  ; |a-b|
+    min2 a7, a6, a7     ; min(a,b)
+    mov a6, a8
+    j gcd_loop
+done_pair:
+    s32i a6, a4, 0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, 4
+    addi a5, a5, -1
+    bnez a5, next_pair
+    halt
+"""
+    return BenchmarkCase(
+        name="gcd",
+        description="subtractive GCD with absdiff/min custom comparators",
+        source=source,
+        spec_factories=(ext.absdiff_spec, ext.min2_spec),
+        check=expect_words("out", expected),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Alphablend — per-pixel alpha blending with the blend8 datapath
+# ---------------------------------------------------------------------------
+
+
+def alphablend() -> BenchmarkCase:
+    count = 170
+    lcg = Lcg(501)
+    fg = [lcg.below(256) for _ in range(count)]
+    bg = [lcg.below(256) for _ in range(count)]
+    alpha = [lcg.below(257) for _ in range(count)]
+    packed = [(b << 8) | a for a, b in zip(fg, bg)]
+    expected = [ext.ref_blend8(a, b, al) for a, b, al in zip(fg, bg, alpha)]
+
+    source = f"""
+    .data
+pix:
+{format_words(packed, directive=".half", per_line=12)}
+alpha:
+{format_words(alpha, directive=".half", per_line=12)}
+dst: .space {count}
+    .text
+main:
+    la a2, pix
+    la a3, alpha
+    la a4, dst
+    movi a5, {count}
+loop:
+    l16ui a6, a2, 0
+    l16ui a7, a3, 0
+    blend8 a8, a6, a7
+    s8i a8, a4, 0
+    addi a2, a2, 2
+    addi a3, a3, 2
+    addi a4, a4, 1
+    addi a5, a5, -1
+    bnez a5, loop
+    halt
+"""
+
+    def check(result: SimulationResult) -> None:
+        base = result.program.symbol("dst")
+        actual = [result.state.memory.read_byte(base + i) for i in range(count)]
+        if actual != expected:
+            raise AssertionError(f"alphablend: first mismatch at index "
+                                 f"{next(i for i, (x, y) in enumerate(zip(actual, expected)) if x != y)}")
+
+    return BenchmarkCase(
+        name="alphablend",
+        description="per-pixel alpha blending via blend8",
+        source=source,
+        spec_factories=(ext.blend8_spec,),
+        check=check,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Add4 — packed 4x8-bit SIMD vector addition
+# ---------------------------------------------------------------------------
+
+
+def add4() -> BenchmarkCase:
+    count = 200
+    a_vals = Lcg(601).words(count)
+    b_vals = Lcg(602).words(count)
+    expected = [ext.ref_add4x8(a, b) for a, b in zip(a_vals, b_vals)]
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals)}
+b_arr:
+{format_words(b_vals)}
+dst: .space {count * 4}
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    la a4, dst
+    movi a5, {count}
+loop:
+    l32i a6, a2, 0
+    l32i a7, a3, 0
+    add4x8 a8, a6, a7
+    s32i a8, a4, 0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, 4
+    addi a5, a5, -1
+    bnez a5, loop
+    halt
+"""
+    return BenchmarkCase(
+        name="add4",
+        description="packed 4x8-bit SIMD vector add",
+        source=source,
+        spec_factories=(ext.add4x8_spec,),
+        check=expect_words("dst", expected),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bubsort — bubble sort whose compare-swap is a min2/max2 pair
+# ---------------------------------------------------------------------------
+
+
+def bubsort() -> BenchmarkCase:
+    values = Lcg(701).words(48, bits=16)
+    n = len(values)
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+    .text
+main:
+    movi a2, {n - 1}     ; passes remaining
+outer:
+    la a3, arr
+    mov a4, a2           ; comparisons this pass
+inner:
+    l32i a5, a3, 0
+    l32i a6, a3, 4
+    min2 a7, a5, a6
+    max2 a8, a5, a6
+    s32i a7, a3, 0
+    s32i a8, a3, 4
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, inner
+    addi a2, a2, -1
+    bnez a2, outer
+    halt
+"""
+    return BenchmarkCase(
+        name="bubsort",
+        description="bubble sort with single-instruction compare-swap",
+        source=source,
+        spec_factories=(ext.min2_spec, ext.max2_spec),
+        check=expect_words("arr", sorted(values)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# DES — S-box substitution + diffusion round (DES-flavoured kernel)
+# ---------------------------------------------------------------------------
+
+
+def des() -> BenchmarkCase:
+    count = 90
+    blocks = Lcg(801).words(count)
+    key = 0x3A94D2C7
+
+    def round_fn(word: int) -> int:
+        mixed = word ^ key
+        out = 0
+        for group in range(4):
+            six = (mixed >> (6 * group)) & 0x3F
+            out |= ext.ref_sbox(six) << (4 * group)
+        diffused = ext.ref_shiftmix(out, 11)
+        return diffused & _U32
+
+    expected = [round_fn(b) for b in blocks]
+
+    source = f"""
+    .data
+blocks:
+{format_words(blocks)}
+dst: .space {count * 4}
+    .text
+main:
+    la a2, blocks
+    la a3, dst
+    movi a4, {count}
+    li a5, {key}
+    movi a12, 11
+loop:
+    l32i a6, a2, 0
+    xor a6, a6, a5       ; key mix
+    movi a7, 0           ; out accumulator
+    ; group 0
+    andi a8, a6, 63
+    sbox48 a9, a8
+    or a7, a7, a9
+    ; group 1
+    srli a8, a6, 6
+    andi a8, a8, 63
+    sbox48 a9, a8
+    slli a9, a9, 4
+    or a7, a7, a9
+    ; group 2
+    srli a8, a6, 12
+    andi a8, a8, 63
+    sbox48 a9, a8
+    slli a9, a9, 8
+    or a7, a7, a9
+    ; group 3
+    srli a8, a6, 18
+    andi a8, a8, 63
+    sbox48 a9, a8
+    slli a9, a9, 12
+    or a7, a7, a9
+    ; diffusion
+    shiftmix a7, a7, a12
+    s32i a7, a3, 0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, loop
+    halt
+"""
+    return BenchmarkCase(
+        name="des",
+        description="DES-flavoured S-box substitution + diffusion round",
+        source=source,
+        spec_factories=(ext.sbox_spec, ext.shiftmix_spec),
+        check=expect_words("dst", expected),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Accumulate — MAC-accelerated dot-product-style accumulation
+# ---------------------------------------------------------------------------
+
+
+def accumulate() -> BenchmarkCase:
+    values = Lcg(901).words(220)
+
+    def mirror() -> int:
+        acc = 0
+        for word in values:
+            acc = ext.ref_mac16_step(acc, word)
+        return acc & _U32
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, {len(values)}
+loop:
+    l32i a4, a2, 0
+    mac16 a4
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, loop
+    rdmac a5
+    la a6, out
+    s32i a5, a6, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="accumulate",
+        description="16x16 multiply-accumulate over a vector",
+        source=source,
+        spec_factories=(ext.mac16_spec, ext.rdmac_spec, ext.wrmac_spec),
+        check=expect_word("out", mirror()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Drawline — Bresenham rasterization with absdiff/min-max custom support
+# ---------------------------------------------------------------------------
+
+
+def drawline() -> BenchmarkCase:
+    width = 64
+    lines = [(2, 3, 59, 40), (60, 5, 4, 52), (1, 60, 62, 2), (30, 1, 33, 62)]
+
+    def bresenham(fb: list[int], x0: int, y0: int, x1: int, y1: int) -> None:
+        dx = abs(x1 - x0)
+        dy = abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx - dy
+        while True:
+            fb[y0 * width + x0] = 1
+            if x0 == x1 and y0 == y1:
+                break
+            e2 = 2 * err
+            if e2 > -dy:
+                err -= dy
+                x0 += sx
+            if e2 < dx:
+                err += dx
+                y0 += sy
+
+    framebuffer = [0] * (width * width)
+    for x0, y0, x1, y1 in lines:
+        bresenham(framebuffer, x0, y0, x1, y1)
+    expected_set = sum(framebuffer)
+
+    coords = []
+    for x0, y0, x1, y1 in lines:
+        coords.extend([x0, y0, x1, y1])
+
+    source = f"""
+    .data
+coords:
+{format_words(coords)}
+fb: .space {width * width}
+out: .word 0
+    .text
+main:
+    la a14, coords
+    movi a15, {len(lines)}
+line_loop:
+    l32i a2, a14, 0      ; x0
+    l32i a3, a14, 4      ; y0
+    l32i a4, a14, 8      ; x1
+    l32i a5, a14, 12     ; y1
+    absdiff a6, a4, a2   ; dx
+    absdiff a7, a5, a3   ; dy
+    ; sx = x0 < x1 ? 1 : -1
+    movi a8, 1
+    bltu a2, a4, sx_done
+    movi a8, -1
+sx_done:
+    movi a9, 1
+    bltu a3, a5, sy_done
+    movi a9, -1
+sy_done:
+    sub a10, a6, a7      ; err = dx - dy
+plot:
+    ; fb[y0*width + x0] = 1
+    slli a11, a3, 6      ; y0 * 64
+    add a11, a11, a2
+    la a12, fb
+    add a12, a12, a11
+    movi a13, 1
+    s8i a13, a12, 0
+    ; termination check
+    bne a2, a4, step
+    beq a3, a5, line_done
+step:
+    add a11, a10, a10    ; e2 = 2*err
+    ; if e2 > -dy  (i.e. e2 + dy > 0, signed)
+    add a12, a11, a7
+    blti a12, 1, no_x
+    sub a10, a10, a7
+    add a2, a2, a8
+no_x:
+    ; if e2 < dx (signed)
+    bge a11, a6, no_y
+    add a10, a10, a6
+    add a3, a3, a9
+no_y:
+    j plot
+line_done:
+    addi a14, a14, 16
+    addi a15, a15, -1
+    bnez a15, line_loop
+    ; count set pixels
+    la a2, fb
+    li a3, {width * width}
+    movi a4, 0
+count:
+    l8ui a5, a2, 0
+    add a4, a4, a5
+    addi a2, a2, 1
+    addi a3, a3, -1
+    bnez a3, count
+    la a2, out
+    s32i a4, a2, 0
+    halt
+"""
+
+    def check(result: SimulationResult) -> None:
+        base = result.program.symbol("fb")
+        actual = [result.state.memory.read_byte(base + i) for i in range(width * width)]
+        if actual != framebuffer:
+            raise AssertionError("drawline: framebuffer mismatch against Bresenham reference")
+        if result.word("out") != expected_set:
+            raise AssertionError(
+                f"drawline: pixel count {result.word('out')} != {expected_set}"
+            )
+
+    return BenchmarkCase(
+        name="drawline",
+        description="Bresenham line rasterization with absdiff support",
+        source=source,
+        spec_factories=(ext.absdiff_spec,),
+        check=check,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi accumulate — interleaved MAC + 3-term-sum accumulations
+# ---------------------------------------------------------------------------
+
+
+def multi_accumulate() -> BenchmarkCase:
+    a_vals = Lcg(1101).words(150)
+    b_vals = Lcg(1102).words(150, bits=16)
+
+    def mirror() -> tuple[int, int]:
+        acc40 = 0
+        sum_acc = 0
+        for a, b in zip(a_vals, b_vals):
+            acc40 = ext.ref_mac16_step(acc40, a)
+            sum_acc = (sum_acc + ext.ref_sum3(a, b)) & _U32
+        return acc40 & _U32, sum_acc
+
+    mac_out, sum_out = mirror()
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals)}
+b_arr:
+{format_words(b_vals)}
+out: .space 8
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    movi a4, {len(a_vals)}
+    movi a7, 0           ; sum accumulator
+loop:
+    l32i a5, a2, 0
+    l32i a6, a3, 0
+    mac16 a5
+    sum3 a8, a5, a6
+    add a7, a7, a8
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, loop
+    rdmac a5
+    la a6, out
+    s32i a5, a6, 0
+    s32i a7, a6, 4
+    halt
+"""
+    return BenchmarkCase(
+        name="multi_accumulate",
+        description="two interleaved accumulations (MAC + CSA sum)",
+        source=source,
+        spec_factories=(ext.mac16_spec, ext.rdmac_spec, ext.wrmac_spec, ext.sum3_spec),
+        check=expect_words("out", [mac_out, sum_out]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seq mult — element-wise sequence multiply via the TIE multiplier
+# ---------------------------------------------------------------------------
+
+
+def seq_mult() -> BenchmarkCase:
+    count = 160
+    a_vals = Lcg(1201).words(count, bits=16)
+    b_vals = Lcg(1202).words(count, bits=16)
+    expected = [ext.ref_mul16(a, b) for a, b in zip(a_vals, b_vals)]
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals)}
+b_arr:
+{format_words(b_vals)}
+dst: .space {count * 4}
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    la a4, dst
+    movi a5, {count}
+loop:
+    l32i a6, a2, 0
+    l32i a7, a3, 0
+    mul16 a8, a6, a7
+    s32i a8, a4, 0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, 4
+    addi a5, a5, -1
+    bnez a5, loop
+    halt
+"""
+    return BenchmarkCase(
+        name="seq_mult",
+        description="element-wise 16-bit sequence multiplication",
+        source=source,
+        spec_factories=(ext.mul16_spec,),
+        check=expect_words("dst", expected),
+    )
+
+
+_APP_FACTORIES = (
+    ins_sort,
+    gcd,
+    alphablend,
+    add4,
+    bubsort,
+    des,
+    accumulate,
+    drawline,
+    multi_accumulate,
+    seq_mult,
+)
+
+
+def application_suite() -> list[BenchmarkCase]:
+    """The ten Table II applications (fresh case objects)."""
+    return [factory() for factory in _APP_FACTORIES]

@@ -1,0 +1,57 @@
+"""Deterministic workload-data generation for the benchmark programs.
+
+All benchmark inputs are generated with a fixed linear congruential
+generator so that every run of the suite — and therefore every
+characterization and every experiment — is exactly reproducible without
+carrying large data files in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Lcg:
+    """A tiny 31-bit LCG (glibc constants) for reproducible test data."""
+
+    MULTIPLIER = 1103515245
+    INCREMENT = 12345
+    MASK = 0x7FFFFFFF
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & self.MASK
+
+    def next(self) -> int:
+        self.state = (self.MULTIPLIER * self.state + self.INCREMENT) & self.MASK
+        return self.state
+
+    def below(self, bound: int) -> int:
+        """Uniform-ish value in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next() % bound
+
+    def words(self, count: int, bits: int = 32) -> list[int]:
+        """``count`` unsigned values of ``bits`` width."""
+        mask = (1 << bits) - 1
+        # Combine two draws for full 32-bit coverage (the LCG is 31-bit).
+        return [((self.next() << 16) ^ self.next()) & mask for _ in range(count)]
+
+
+def rand_words(seed: int, count: int, bits: int = 32) -> list[int]:
+    """Convenience: ``count`` reproducible values from a fresh LCG."""
+    return Lcg(seed).words(count, bits)
+
+
+def format_words(values: list[int], per_line: int = 8, directive: str = ".word") -> str:
+    """Render values as assembler data directives, ``per_line`` per row."""
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append(f"    {directive} " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+def chunked(values: list[int], size: int) -> Iterator[list[int]]:
+    for start in range(0, len(values), size):
+        yield values[start : start + size]

@@ -1,0 +1,100 @@
+"""GF(2^8) arithmetic — tables and reference operations.
+
+Used by the Reed-Solomon workload (paper Fig. 4) both to *generate* the
+lookup tables baked into the ``gfmul``-family custom instructions and to
+compute reference results for functional verification of the assembly
+kernels.
+
+The field is GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+(0x11D) and generator alpha = 2, the conventional Reed-Solomon choice.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+#: Primitive polynomial of the field (with the x^8 term).
+PRIMITIVE_POLY = 0x11D
+
+#: Field size.
+FIELD_SIZE = 256
+
+
+@lru_cache(maxsize=1)
+def _tables() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Build (log, alog) tables for GF(2^8).
+
+    ``alog[i] = alpha^i`` for i in 0..254 (entry 255 wraps to alpha^0 so
+    the hardware table has a power-of-two 256 entries); ``log[alog[i]] =
+    i`` with ``log[0] = 0`` as a don't-care (hardware masks zero inputs).
+    """
+    alog = [0] * FIELD_SIZE
+    log = [0] * FIELD_SIZE
+    value = 1
+    for exponent in range(FIELD_SIZE - 1):
+        alog[exponent] = value
+        log[value] = exponent
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    alog[FIELD_SIZE - 1] = alog[0]  # wrap: alpha^255 == alpha^0
+    return tuple(log), tuple(alog)
+
+
+def log_table() -> tuple[int, ...]:
+    """The 256-entry discrete-log table (log[0] is a masked don't-care)."""
+    return _tables()[0]
+
+
+def alog_table() -> tuple[int, ...]:
+    """The 256-entry antilog table, alog[i] = alpha^(i mod 255)."""
+    return _tables()[1]
+
+
+def gf_mult(a: int, b: int) -> int:
+    """Reference GF(2^8) multiplication (shift-and-xor, table-free)."""
+    if not 0 <= a < FIELD_SIZE or not 0 <= b < FIELD_SIZE:
+        raise ValueError(f"GF(256) operands out of range: {a}, {b}")
+    product = 0
+    while b:
+        if b & 1:
+            product ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= PRIMITIVE_POLY
+        b >>= 1
+    return product
+
+
+def gf_mult_table(a: int, b: int) -> int:
+    """Table-based GF multiply (mirrors the custom-hardware dataflow)."""
+    if a == 0 or b == 0:
+        return 0
+    log, alog = _tables()
+    s = log[a] + log[b]
+    if s >= FIELD_SIZE - 1:
+        s -= FIELD_SIZE - 1
+    return alog[s]
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    """base ** exponent in GF(2^8)."""
+    result = 1
+    for _ in range(exponent):
+        result = gf_mult(result, base)
+    return result
+
+
+def syndromes(received: list[int], count: int) -> list[int]:
+    """Reed-Solomon syndromes S_j = sum_i r_i * alpha^(i*j), j = 1..count.
+
+    The reference implementation of the Fig. 4 workload kernel.
+    """
+    out: list[int] = []
+    for j in range(1, count + 1):
+        alpha_j = gf_pow(2, j)
+        accumulator = 0
+        for symbol in reversed(received):  # Horner: S = S*alpha^j + r_i
+            accumulator = gf_mult(accumulator, alpha_j) ^ symbol
+        out.append(accumulator)
+    return out

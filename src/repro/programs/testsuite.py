@@ -1,0 +1,1367 @@
+"""The characterization test-program suite (25 programs, paper Fig. 3).
+
+Regression macro-modeling needs only "diversity in instruction
+statistics" (paper Sec. I), so the suite mixes:
+
+* base-ISA kernels that each stress one energy class or event type
+  (ALU, multiply, shifts, loads, stores, branches, jumps, D-cache
+  thrash, I-cache thrash, uncached fetch, interlocks);
+* custom-instruction kernels that together cover **all ten** hardware
+  library component categories on differently extended processors;
+* mixed application-like kernels.
+
+Every program carries a functional check against an independent Python
+mirror of its computation, so the characterization inputs are verified,
+not merely executed.
+"""
+
+from __future__ import annotations
+
+from . import extensions as ext
+from .data import Lcg, format_words
+from .registry import BenchmarkCase, expect_word, expect_words
+
+_U32 = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# 1-3: ALU / multiplier / shifter class stress
+# ---------------------------------------------------------------------------
+
+
+def _tp01_alu_mix() -> BenchmarkCase:
+    iterations = 400
+
+    def mirror() -> int:
+        a3, a4 = 17, 3
+        for _ in range(iterations):
+            a5 = (a3 + a4) & _U32
+            a3 = (a5 ^ a4) & _U32
+            a4 = (a5 - a3) & _U32
+            a6 = max(a3, a4)
+            a3 = (a3 | (a6 & 0xFF)) & _U32
+            a4 = (a4 + 7) & _U32
+        return a3
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    movi a3, 17
+    movi a4, 3
+loop:
+    add a5, a3, a4
+    xor a3, a5, a4
+    sub a4, a5, a3
+    maxu a6, a3, a4
+    andi a6, a6, 255
+    or a3, a3, a6
+    addi a4, a4, 7
+    addi a2, a2, -1
+    bnez a2, loop
+    la a7, out
+    s32i a3, a7, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp01_alu_mix",
+        description="register-register ALU variety loop (arith class)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp02_mul_div() -> BenchmarkCase:
+    iterations = 150
+
+    def mirror() -> int:
+        x, acc = 12345, 0
+        for _ in range(iterations):
+            x = (x * 16807 + 12345) & _U32
+            h = (x * x) >> 32
+            q = x // 97
+            r = x % 97
+            acc = (acc + h + q + r) & _U32
+        return acc & _U32
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    li a3, 12345
+    li a4, 16807
+    movi a5, 97
+    movi a6, 0
+    li a12, 12345
+loop:
+    mull a7, a3, a4
+    add a3, a7, a12
+    mulhu a8, a3, a3
+    quou a9, a3, a5
+    remu a10, a3, a5
+    add a6, a6, a8
+    add a6, a6, a9
+    add a6, a6, a10
+    addi a2, a2, -1
+    bnez a2, loop
+    la a7, out
+    s32i a6, a7, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp02_mul_div",
+        description="multiply/divide-heavy loop (long-latency arith)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp03_shift_mix() -> BenchmarkCase:
+    iterations = 350
+
+    def mirror() -> int:
+        x = 0x1234ABCD
+        acc = 0
+        for i in range(iterations):
+            s = i & 31
+            left = (x << s) & _U32
+            right = x >> (31 - s)
+            rot = ((x << (s % 32 or 32)) | (x >> (32 - (s % 32 or 32)))) & _U32 if s else x
+            x = (left ^ right) & _U32
+            acc = (acc + rot + x) & _U32
+        return acc
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    li a3, 0x1234ABCD
+    movi a4, 0          ; i
+    movi a6, 0          ; acc
+    movi a9, 31
+loop:
+    andi a5, a4, 31     ; s
+    sll a7, a3, a5      ; left
+    sub a8, a9, a5      ; 31-s
+    srl a8, a3, a8      ; right
+    rotl a10, a3, a5    ; rot
+    xor a3, a7, a8
+    add a6, a6, a10
+    add a6, a6, a3
+    addi a4, a4, 1
+    addi a2, a2, -1
+    bnez a2, loop
+    la a7, out
+    s32i a6, a7, 0
+    halt
+"""
+
+    def mirror_exact() -> int:
+        x = 0x1234ABCD
+        acc = 0
+        for i in range(iterations):
+            s = i & 31
+            left = (x << s) & _U32
+            right = x >> ((31 - s) & 31)
+            rot = ((x << s) | (x >> ((32 - s) & 31))) & _U32 if s else x
+            x = (left ^ right) & _U32
+            acc = (acc + rot + x) & _U32
+        return acc
+
+    return BenchmarkCase(
+        name="tp03_shift_mix",
+        description="shift/rotate-heavy loop (base shifter)",
+        source=source,
+        check=expect_word("out", mirror_exact()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4-6: memory class stress
+# ---------------------------------------------------------------------------
+
+
+def _tp04_load_stream() -> BenchmarkCase:
+    values = Lcg(41).words(256)
+    passes = 6
+
+    def mirror() -> int:
+        acc = 0
+        for _ in range(passes):
+            for value in values:
+                acc = (acc + value) & _U32
+        return acc
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    movi a2, {passes}
+outer:
+    la a3, arr
+    movi a4, {len(values) // 4}
+inner:
+    l32i a5, a3, 0
+    l32i a6, a3, 4
+    l32i a7, a3, 8
+    l32i a8, a3, 12
+    add a9, a5, a6
+    add a10, a7, a8
+    add a11, a11, a9
+    add a11, a11, a10
+    addi a3, a3, 16
+    addi a4, a4, -1
+    bnez a4, inner
+    addi a2, a2, -1
+    bnez a2, outer
+    la a3, out
+    s32i a11, a3, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp04_load_stream",
+        description="sequential word loads (load class, D$ hits)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp05_store_fill() -> BenchmarkCase:
+    count = 320
+
+    def mirror() -> list[int]:
+        return [(7 * i + 3) & _U32 for i in range(count)]
+
+    source = f"""
+    .data
+buf: .space {count * 4}
+    .text
+main:
+    la a2, buf
+    movi a3, 0          ; i
+    movi a4, {count}
+    movi a5, 3          ; value
+loop:
+    s32i a5, a2, 0
+    s16i a5, a2, 0      ; redundant store (store-class pressure)
+    addi a5, a5, 7
+    addi a2, a2, 4
+    addi a3, a3, 1
+    bne a3, a4, loop
+    halt
+"""
+    return BenchmarkCase(
+        name="tp05_store_fill",
+        description="store-dominated fill loop (store class)",
+        source=source,
+        check=expect_words("buf", mirror()),
+    )
+
+
+def _tp06_memcpy() -> BenchmarkCase:
+    values = Lcg(99).words(200)
+
+    source = f"""
+    .data
+src:
+{format_words(values)}
+dst: .space {len(values) * 4}
+    .text
+main:
+    la a2, src
+    la a3, dst
+    movi a4, {len(values)}
+loop:
+    l32i a5, a2, 0
+    s32i a5, a3, 0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, loop
+    halt
+"""
+    return BenchmarkCase(
+        name="tp06_memcpy",
+        description="word-wise memcpy (balanced load/store)",
+        source=source,
+        check=expect_words("dst", list(values)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 7-9: control-flow stress
+# ---------------------------------------------------------------------------
+
+
+def _tp07_branch_taken() -> BenchmarkCase:
+    outer = 120
+    inner = 12
+
+    def mirror() -> int:
+        acc = 0
+        for i in range(outer):
+            for j in range(inner):
+                acc = (acc + i + j) & _U32
+        return acc
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, 0          ; i
+    movi a6, 0          ; acc
+    movi a8, {outer}
+outer:
+    movi a3, 0          ; j
+inner:
+    add a4, a2, a3
+    add a6, a6, a4
+    addi a3, a3, 1
+    blti a3, {inner}, inner
+    addi a2, a2, 1
+    blt a2, a8, outer
+    la a5, out
+    s32i a6, a5, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp07_branch_taken",
+        description="tight nested loops (branch-taken dominated)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp08_branch_untaken() -> BenchmarkCase:
+    values = Lcg(7).words(256, bits=16)
+    threshold = 0xF000  # rarely exceeded
+    passes = 4
+
+    def mirror() -> int:
+        hits = 0
+        for _ in range(passes):
+            for value in values:
+                if value >= threshold:
+                    hits += 1
+                if value == 12345:
+                    hits += 100
+                if (value & 1) == 0 and value < 4:
+                    hits += 10
+        return hits
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    movi a2, {passes}
+    movi a7, 0          ; hits
+    li a8, {threshold}
+    li a9, 12345
+outer:
+    la a3, arr
+    movi a4, {len(values)}
+inner:
+    l32i a5, a3, 0
+    bltu a5, a8, skip1
+    addi a7, a7, 1
+skip1:
+    bne a5, a9, skip2
+    addi a7, a7, 100
+skip2:
+    bbs a5, 0, skip3
+    bgei a5, 4, skip3
+    addi a7, a7, 10
+skip3:
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, inner
+    addi a2, a2, -1
+    bnez a2, outer
+    la a3, out
+    s32i a7, a3, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp08_branch_untaken",
+        description="scan with rarely-true conditions (branch-untaken)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp09_call_jump() -> BenchmarkCase:
+    iterations = 140
+
+    def mirror() -> int:
+        acc = 0
+        for i in range(iterations):
+            acc = (acc + 3) & _U32       # fn1
+            acc = (acc ^ 0x55) & _U32    # fn2
+            acc = (acc + (acc >> 3)) & _U32  # fn3 via callx
+        return acc
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    movi a6, 0          ; acc
+    la a10, fn3
+loop:
+    call fn1
+    call fn2
+    callx a10
+    addi a2, a2, -1
+    bnez a2, loop
+    j finish
+fn1:
+    addi a6, a6, 3
+    ret
+fn2:
+    xori a6, a6, 0x55
+    ret
+fn3:
+    srli a7, a6, 3
+    add a6, a6, a7
+    ret
+finish:
+    la a3, out
+    s32i a6, a3, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp09_call_jump",
+        description="call/callx/ret chains (jump class)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 10-13: dynamic non-idealities (D$ miss, I$ miss, uncached, interlock)
+# ---------------------------------------------------------------------------
+
+
+def _tp10_dcache_thrash() -> BenchmarkCase:
+    # 8 blocks exactly one D$-set apart (stride 4096 on a 16KB 4-way cache
+    # with 32B lines -> all map to set 0): guaranteed conflict misses.
+    blocks = 8
+    stride = 4096
+    passes = 160
+
+    def mirror() -> int:
+        # memory is zero-initialized; each pass adds block index values
+        memory = [0] * blocks
+        acc = 0
+        for _ in range(passes):
+            for b in range(blocks):
+                acc = (acc + memory[b]) & _U32
+                memory[b] = (memory[b] + b) & _U32
+        return acc
+
+    source = f"""
+    .data
+buf: .space {blocks * stride}
+out: .word 0
+    .text
+main:
+    movi a2, {passes}
+    li a9, {stride}
+    movi a11, 0          ; acc
+outer:
+    la a3, buf
+    movi a4, 0           ; block index
+inner:
+    l32i a5, a3, 0
+    add a11, a11, a5
+    add a5, a5, a4
+    s32i a5, a3, 0
+    add a3, a3, a9
+    addi a4, a4, 1
+    blti a4, {blocks}, inner
+    addi a2, a2, -1
+    bnez a2, outer
+    la a3, out
+    s32i a11, a3, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp10_dcache_thrash",
+        description="conflict-miss pointer walk (D-cache misses)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp11_icache_thrash() -> BenchmarkCase:
+    # Six one-line code blocks 16KB apart all alias to the same set of the
+    # 4-way I$ -> the round-robin walk LRU-thrashes and misses on every
+    # block, every iteration.
+    iterations = 130
+
+    def mirror() -> int:
+        acc = 0
+        for _ in range(iterations):
+            acc = (acc + 1) & _U32
+            acc = (acc ^ 0x0F) & _U32
+            acc = (acc + 5) & _U32
+            acc = (acc - 9) & _U32
+            acc = (acc ^ 0x33) & _U32
+            acc = (acc * 3) & _U32
+        return acc
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    movi a6, 0
+    movi a8, 3
+    j block0
+    .org 0x4000
+block0:
+    addi a6, a6, 1
+    j block1
+    .org 0x8000
+block1:
+    xori a6, a6, 0x0F
+    j block2
+    .org 0xC000
+block2:
+    addi a6, a6, 5
+    j block3
+    .org 0x10000
+block3:
+    addi a6, a6, -9
+    j block4
+    .org 0x14000
+block4:
+    xori a6, a6, 0x33
+    j block5
+    .org 0x18000
+block5:
+    mull a6, a6, a8
+    addi a2, a2, -1
+    bnez a2, back
+    j finish
+back:
+    j block0
+    .org 0x1C000
+finish:
+    la a3, out
+    s32i a6, a3, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp11_icache_thrash",
+        description="aliasing code blocks (I-cache conflict misses)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp12_uncached_kernel() -> BenchmarkCase:
+    iterations = 260
+
+    def mirror() -> int:
+        a3 = 0
+        for i in range(iterations, 0, -1):
+            a3 = (a3 + 7) & _U32
+            a3 = (a3 ^ i) & _U32
+        return a3
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    movi a3, 0
+    j ucode
+    .utext
+ucode:
+    addi a3, a3, 7
+    xor a3, a3, a2
+    addi a2, a2, -1
+    bnez a2, ucode
+    j finish
+    .text
+finish:
+    la a4, out
+    s32i a3, a4, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp12_uncached_kernel",
+        description="loop fetched from an uncached region (N_uf)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp13_interlock_chain() -> BenchmarkCase:
+    values = Lcg(5).words(128)
+    passes = 5
+
+    def mirror() -> int:
+        acc = 0
+        for _ in range(passes):
+            for i in range(0, len(values) - 1, 2):
+                acc = (acc + values[i]) & _U32
+                acc = (acc - values[i + 1]) & _U32
+        return acc
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    movi a2, {passes}
+    movi a7, 0
+outer:
+    la a3, arr
+    movi a4, {len(values) // 2}
+inner:
+    l32i a5, a3, 0
+    add a7, a7, a5      ; load-use interlock
+    l32i a6, a3, 4
+    sub a7, a7, a6      ; load-use interlock
+    addi a3, a3, 8
+    addi a4, a4, -1
+    bnez a4, inner
+    addi a2, a2, -1
+    bnez a2, outer
+    la a3, out
+    s32i a7, a3, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp13_interlock_chain",
+        description="back-to-back load-use dependences (N_il)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp14_checksum() -> BenchmarkCase:
+    data = Lcg(2024).words(240, bits=8)
+
+    def mirror() -> int:
+        s1, s2 = 1, 0
+        for byte in data:
+            s1 = (s1 + byte) % 65521
+            s2 = (s2 + s1) % 65521
+        return ((s2 << 16) | s1) & _U32
+
+    source = f"""
+    .data
+bytes:
+{format_words(data, directive=".byte", per_line=16)}
+out: .word 0
+    .text
+main:
+    la a2, bytes
+    movi a3, {len(data)}
+    movi a4, 1          ; s1
+    movi a5, 0          ; s2
+    li a6, 65521
+loop:
+    l8ui a7, a2, 0
+    add a4, a4, a7
+    remu a4, a4, a6
+    add a5, a5, a4
+    remu a5, a5, a6
+    addi a2, a2, 1
+    addi a3, a3, -1
+    bnez a3, loop
+    slli a5, a5, 16
+    or a5, a5, a4
+    la a2, out
+    s32i a5, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp14_checksum",
+        description="adler32-style checksum (mixed classes)",
+        source=source,
+        check=expect_word("out", mirror()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 15-24: custom-instruction kernels (all ten hw-library categories)
+# ---------------------------------------------------------------------------
+
+
+def _tp15_tie_mul16(config) -> BenchmarkCase:
+    iterations = 220
+
+    def mirror() -> int:
+        x, acc = 7, 0
+        for _ in range(iterations):
+            p = (x & 0xFFFF) * ((x + 13) & 0xFFFF)
+            acc = (acc + p) & _U32
+            x = (x + 29) & _U32
+        return acc
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    movi a3, 7
+    movi a6, 0
+loop:
+    addi a4, a3, 13
+    mul16 a5, a3, a4
+    add a6, a6, a5
+    addi a3, a3, 29
+    addi a2, a2, -1
+    bnez a2, loop
+    la a4, out
+    s32i a6, a4, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp15_tie_mul16",
+        description="TIE_mult kernel (specialized 16x16 multiplier)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp16_tie_mac(config) -> BenchmarkCase:
+    values = Lcg(63).words(180)
+
+    def mirror() -> int:
+        acc = 0
+        for word in values:
+            acc = ext.ref_mac16_step(acc, word)
+        return acc & _U32
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, {len(values)}
+loop:
+    l32i a4, a2, 0
+    mac16 a4
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, loop
+    rdmac a5
+    la a6, out
+    s32i a5, a6, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp16_tie_mac",
+        description="TIE_mac + custom-register accumulate kernel",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp17_tie_simd_add(config) -> BenchmarkCase:
+    a_vals = Lcg(11).words(160)
+    b_vals = Lcg(12).words(160)
+
+    def mirror() -> list[int]:
+        return [ext.ref_add4x8(a, b) for a, b in zip(a_vals, b_vals)]
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals)}
+b_arr:
+{format_words(b_vals)}
+dst: .space {len(a_vals) * 4}
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    la a4, dst
+    movi a5, {len(a_vals)}
+loop:
+    l32i a6, a2, 0
+    l32i a7, a3, 0
+    add4x8 a8, a6, a7
+    s32i a8, a4, 0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, 4
+    addi a5, a5, -1
+    bnez a5, loop
+    halt
+"""
+    return BenchmarkCase(
+        name="tp17_tie_simd_add",
+        description="SIMD byte adds (custom add/sub/cmp category)",
+        source=source,
+        shared_config=config,
+        check=expect_words("dst", mirror()),
+    )
+
+
+def _tp18_tie_sum3(config) -> BenchmarkCase:
+    a_vals = Lcg(31).words(170)
+    b_vals = Lcg(32).words(170, bits=16)
+
+    def mirror() -> int:
+        acc = 0
+        for a, b in zip(a_vals, b_vals):
+            acc = (acc + ext.ref_sum3(a, b)) & _U32
+        return acc
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals)}
+b_arr:
+{format_words(b_vals)}
+out: .word 0
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    movi a4, {len(a_vals)}
+    movi a7, 0
+loop:
+    l32i a5, a2, 0
+    l32i a6, a3, 0
+    sum3 a8, a5, a6
+    add a7, a7, a8
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, loop
+    la a2, out
+    s32i a7, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp18_tie_sum3",
+        description="CSA-compressed 3-term adds (TIE_csa + TIE_add)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp19_tie_gfmul(config) -> BenchmarkCase:
+    a_vals = Lcg(81).words(200, bits=8)
+    b_vals = Lcg(82).words(200, bits=8)
+
+    def mirror() -> int:
+        acc = 0
+        for a, b in zip(a_vals, b_vals):
+            acc ^= ext.ref_gfmul(a, b)
+            acc = (acc * 2 + 1) & 0xFF
+        return acc
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals, directive=".byte", per_line=16)}
+b_arr:
+{format_words(b_vals, directive=".byte", per_line=16)}
+out: .word 0
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    movi a4, {len(a_vals)}
+    movi a7, 0
+loop:
+    l8ui a5, a2, 0
+    l8ui a6, a3, 0
+    gfmul a8, a5, a6
+    xor a7, a7, a8
+    slli a7, a7, 1
+    addi a7, a7, 1
+    andi a7, a7, 255
+    addi a2, a2, 1
+    addi a3, a3, 1
+    addi a4, a4, -1
+    bnez a4, loop
+    la a2, out
+    s32i a7, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp19_tie_gfmul",
+        description="GF(2^8) multiplies via lookup tables (table category)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp20_tie_blend(config) -> BenchmarkCase:
+    pixel_pairs = Lcg(55).words(190, bits=16)
+
+    def mirror() -> int:
+        acc = 0
+        lcg = Lcg(56)
+        for pixels in pixel_pairs:
+            alpha = lcg.below(257)
+            blended = ext.ref_blend8(pixels & 0xFF, (pixels >> 8) & 0xFF, alpha)
+            acc = (acc + blended) & _U32
+        return acc
+
+    alpha_list = []
+    lcg = Lcg(56)
+    for _ in pixel_pairs:
+        alpha_list.append(lcg.below(257))
+
+    source = f"""
+    .data
+pix:
+{format_words(pixel_pairs, directive=".half", per_line=12)}
+alpha:
+{format_words(alpha_list, directive=".half", per_line=12)}
+out: .word 0
+    .text
+main:
+    la a2, pix
+    la a3, alpha
+    movi a4, {len(pixel_pairs)}
+    movi a7, 0
+loop:
+    l16ui a5, a2, 0
+    l16ui a6, a3, 0
+    blend8 a8, a5, a6
+    add a7, a7, a8
+    addi a2, a2, 2
+    addi a3, a3, 2
+    addi a4, a4, -1
+    bnez a4, loop
+    la a2, out
+    s32i a7, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp20_tie_blend",
+        description="alpha blending (custom multiplier + shifter)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp21_tie_parity_shift(config) -> BenchmarkCase:
+    values = Lcg(77).words(210)
+
+    def mirror() -> int:
+        acc = 0
+        for i, value in enumerate(values):
+            mixed = ext.ref_shiftmix(value, i & 31)
+            acc = (acc + mixed + ext.ref_parity32(mixed)) & _U32
+        return acc
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, {len(values)}
+    movi a4, 0          ; i
+    movi a7, 0          ; acc
+loop:
+    l32i a5, a2, 0
+    andi a6, a4, 31
+    shiftmix a8, a5, a6
+    parity32 a9, a8
+    add a7, a7, a8
+    add a7, a7, a9
+    addi a2, a2, 4
+    addi a4, a4, 1
+    addi a3, a3, -1
+    bnez a3, loop
+    la a2, out
+    s32i a7, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp21_tie_parity_shift",
+        description="parity reduction + shift-mix (logic/red/mux + shifter)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp22_tie_sat_absdiff(config) -> BenchmarkCase:
+    a_vals = Lcg(91).words(190, bits=12)
+    b_vals = Lcg(92).words(190, bits=12)
+
+    def mirror() -> int:
+        acc = 0
+        for a, b in zip(a_vals, b_vals):
+            acc = (acc + ext.ref_sat8(ext.ref_absdiff(a, b))) & _U32
+        return acc
+
+    source = f"""
+    .data
+a_arr:
+{format_words(a_vals)}
+b_arr:
+{format_words(b_vals)}
+out: .word 0
+    .text
+main:
+    la a2, a_arr
+    la a3, b_arr
+    movi a4, {len(a_vals)}
+    movi a7, 0
+loop:
+    l32i a5, a2, 0
+    l32i a6, a3, 0
+    absdiff a8, a5, a6
+    sat8 a9, a8
+    add a7, a7, a9
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a4, a4, -1
+    bnez a4, loop
+    la a2, out
+    s32i a7, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp22_tie_sat_absdiff",
+        description="absolute difference + saturation (cmp/mux datapaths)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp23_tie_mixed(config) -> BenchmarkCase:
+    # Deliberately state-register-heavy (rdmac/wrmac ping-pong every
+    # iteration) and using the CSA-free sum4 adder: this decorrelates the
+    # custom-register column from TIE_mac and TIE_add from TIE_csa.
+    values = Lcg(17).words(150)
+
+    def mirror() -> int:
+        acc40 = 0
+        mix = 0
+        for value in values:
+            acc40 = ext.ref_mac16_step(acc40, value)
+            low = acc40 & _U32
+            mix = (mix + ext.ref_sum4(low)) & _U32
+            acc40 = mix  # wrmac reloads the accumulator from mix
+        return (acc40 ^ mix) & _U32
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, {len(values)}
+    movi a6, 0          ; mix
+loop:
+    l32i a4, a2, 0
+    mac16 a4
+    rdmac a5            ; state read
+    sum4 a7, a5
+    add a6, a6, a7
+    wrmac a6            ; state write-back from the scalar side
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, loop
+    rdmac a7
+    xor a7, a7, a6
+    la a2, out
+    s32i a7, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp23_tie_mixed",
+        description="multi-extension kernel (mac + state ping-pong + sum4)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp24_tie_sparse(config) -> BenchmarkCase:
+    # The custom hardware is instantiated but almost never *executed*:
+    # spurious operand-bus activation dominates the structural variables.
+    iterations = 300
+
+    def mirror() -> int:
+        x = 5
+        for _ in range(iterations):
+            x = (x * 3 + 11) & _U32
+            x = (x ^ (x >> 7)) & _U32
+        p = ext.ref_gfmul(x & 0xFF, 29)
+        return (x + p) & _U32
+
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    movi a3, 5
+    movi a8, 3
+loop:
+    mull a4, a3, a8
+    addi a3, a4, 11
+    srli a5, a3, 7
+    xor a3, a3, a5
+    addi a2, a2, -1
+    bnez a2, loop
+    andi a6, a3, 255
+    movi a7, 29
+    gfmul a9, a6, a7
+    add a3, a3, a9
+    la a2, out
+    s32i a3, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp24_tie_sparse",
+        description="extended core, custom insn nearly unused (spurious-dominated)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _tp25_app_like(config) -> BenchmarkCase:
+    values = Lcg(2718).words(130)
+
+    def mirror() -> int:
+        acc40 = 0
+        best = 0
+        for i, value in enumerate(values):
+            acc40 = ext.ref_mac16_step(acc40, value)
+            low = acc40 & _U32
+            best = max(best, low & 0xFFFF)
+            if i % 3 == 0:
+                best = (best + 1) & _U32
+        return (best ^ (acc40 & _U32)) & _U32
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, {len(values)}
+    movi a6, 0          ; best
+    movi a9, 0          ; i mod 3 counter
+loop:
+    l32i a4, a2, 0
+    mac16 a4
+    rdmac a5
+    zext16 a7, a5
+    maxu a6, a6, a7
+    bnez a9, no_bump
+    addi a6, a6, 1
+no_bump:
+    addi a9, a9, 1
+    blti a9, 3, no_wrap
+    movi a9, 0
+no_wrap:
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, loop
+    rdmac a5
+    xor a6, a6, a5
+    la a2, out
+    s32i a6, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tp25_app_like",
+        description="application-like mixed kernel (mac + compares + branches)",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+_BASE_FACTORIES = (
+    _tp01_alu_mix,
+    _tp02_mul_div,
+    _tp03_shift_mix,
+    _tp04_load_stream,
+    _tp05_store_fill,
+    _tp06_memcpy,
+    _tp07_branch_taken,
+    _tp08_branch_untaken,
+    _tp09_call_jump,
+    _tp10_dcache_thrash,
+    _tp11_icache_thrash,
+    _tp12_uncached_kernel,
+    _tp13_interlock_chain,
+    _tp14_checksum,
+)
+
+#: programs that run on the shared DSP-flavoured extension
+_DSP_FACTORIES = (
+    _tp15_tie_mul16,
+    _tp16_tie_mac,
+    _tp17_tie_simd_add,
+    _tp18_tie_sum3,
+    _tp23_tie_mixed,
+    _tp25_app_like,
+)
+
+#: programs that run on the shared bit-manipulation extension
+_BIT_FACTORIES = (
+    _tp19_tie_gfmul,
+    _tp20_tie_blend,
+    _tp21_tie_parity_shift,
+    _tp22_tie_sat_absdiff,
+    _tp24_tie_sparse,
+)
+
+
+def dsp_extension_config(base=None):
+    """The shared DSP-flavoured extended processor used by the suite.
+
+    Sharing one extension across several test programs (with very
+    different custom-instruction densities) is what makes the structural
+    coefficients identifiable: each category column then has multiple
+    independent directions in the design matrix instead of acting as a
+    per-program free parameter.  ``base`` re-targets the suite at a
+    different base configuration (family re-characterization).
+    """
+    from ..xtcore import build_processor
+
+    return build_processor(
+        "xt-char-dsp",
+        [
+            ext.mul16_spec(),
+            ext.mul8_spec(),
+            ext.min2h_spec(),
+            ext.mac16_spec(),
+            ext.rdmac_spec(),
+            ext.wrmac_spec(),
+            ext.mac8_spec(),
+            ext.rdmac8_spec(),
+            ext.add4x8_spec(),
+            ext.sum3_spec(),
+            ext.sum4_spec(),
+            ext.swz_spec(),
+        ],
+        base=base,
+    )
+
+
+def bitops_extension_config(base=None):
+    """The shared bit-manipulation extended processor used by the suite."""
+    from ..xtcore import build_processor
+
+    return build_processor(
+        "xt-char-bit",
+        [
+            ext.gfmul_spec(),
+            ext.blend8_spec(),
+            ext.parity32_spec(),
+            ext.shiftmix_spec(),
+            ext.sat8_spec(),
+            ext.absdiff_spec(),
+            ext.sqr16_spec(),
+            ext.sbox_spec(),
+            ext.swz_spec(),
+        ],
+        base=base,
+    )
+
+
+def mixed_extension_config(base=None):
+    """A third shared extension blending both families.
+
+    Its per-category operand-bus tap ratios differ from both the DSP and
+    the bit-manipulation configs, which decorrelates the spurious-
+    activation directions of the structural variables across configs —
+    without this, each config's spurious terms form a single direction
+    and the fit can allocate their energy arbitrarily among categories.
+    """
+    from ..xtcore import build_processor
+
+    return build_processor(
+        "xt-char-mix",
+        [
+            ext.mul16_spec(),
+            ext.sum3_spec(),
+            ext.sat8_spec(),
+            ext.absdiff_spec(),
+            ext.parity32_spec(),
+            ext.shiftmix_spec(),
+            ext.sbox_spec(),
+            ext.mac8_spec(),
+            ext.rdmac8_spec(),
+        ],
+        base=base,
+    )
+
+
+def characterization_suite(
+    include_variants: bool = True, base=None
+) -> list[BenchmarkCase]:
+    """The characterization suite (fresh case objects).
+
+    The core is 25 programs as in the paper's Fig. 3: 14 base-ISA
+    programs on the stock core, 6 on the shared DSP extension and 5 on
+    the shared bit-manipulation extension — together exercising all 21
+    macro-model variables.  By default 12 density-variant programs
+    (:mod:`repro.programs.variants`) are appended; they vary the ratio of
+    custom to base instructions, which the synthetic 25 alone cannot, and
+    keep the least-squares problem well-determined (37 samples for 21
+    coefficients).  Pass ``include_variants=False`` for the bare 25.
+    """
+    from .variants import density_suite
+
+    cases = [factory() for factory in _BASE_FACTORIES]
+    if base is not None:
+        # re-target the base-ISA programs at the provided family base
+        for case in cases:
+            case.shared_config = base
+    dsp = dsp_extension_config(base)
+    bit = bitops_extension_config(base)
+    cases.extend(factory(dsp) for factory in _DSP_FACTORIES)
+    cases.extend(factory(bit) for factory in _BIT_FACTORIES)
+    # keep the paper's Fig. 3 ordering: tp01..tp25 by name
+    cases.sort(key=lambda case: case.name)
+    if include_variants:
+        cases.extend(density_suite(dsp, bit, mixed_extension_config(base)))
+    return cases

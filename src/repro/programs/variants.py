@@ -1,0 +1,364 @@
+"""Density-variant characterization programs.
+
+A synthetic loop kernel contributes essentially *one* direction to the
+regression design matrix (all its counts scale together), so a suite of
+one-kernel-per-variable programs leaves the least-squares problem barely
+determined: tiny ground-truth nonlinearities then blow up into wild,
+physically meaningless coefficients that fit perfectly but generalize
+terribly.
+
+This module manufactures extra characterization programs that reuse the
+two shared extension configurations but vary the *ratio* of custom
+instructions to base instructions ("density") and the operand data.
+Each (custom-op set, density) pair is a new independent direction, which
+pins the structural coefficients to their physical values.
+
+Only stateless custom instructions are used here (R3/R2 formats), so a
+single generic generator — with a faithful pure-Python mirror built from
+the ``ref_*`` functions — covers every variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from ..xtcore import ProcessorConfig
+from . import extensions as ext
+from .registry import BenchmarkCase, expect_word
+
+_U32 = 0xFFFFFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class _OpInfo:
+    """How to apply one stateless custom op inside the generated kernel."""
+
+    fmt: str  # "R3" or "R2"
+    mask_a: int
+    mask_b: int
+    ref: Callable[..., int]
+
+
+_OPS: dict[str, _OpInfo] = {
+    "mul16": _OpInfo("R3", 0xFFFF, 0xFFFF, lambda a, b: ext.ref_mul16(a, b)),
+    "add4x8": _OpInfo("R3", _U32, _U32, lambda a, b: ext.ref_add4x8(a, b)),
+    "sum3": _OpInfo("R3", _U32, 0xFFFF, lambda a, b: ext.ref_sum3(a, b)),
+    "sum4": _OpInfo("R2", _U32, 0, lambda a: ext.ref_sum4(a)),
+    "gfmul": _OpInfo("R3", 0xFF, 0xFF, lambda a, b: ext.ref_gfmul(a, b)),
+    "blend8": _OpInfo(
+        "R3", 0xFFFF, 0x1FF,
+        lambda a, b: ext.ref_blend8(a & 0xFF, (a >> 8) & 0xFF, min(b, 256)),
+    ),
+    "parity32": _OpInfo("R2", _U32, 0, lambda a: ext.ref_parity32(a)),
+    "shiftmix": _OpInfo("R3", _U32, 0x1F, lambda a, b: ext.ref_shiftmix(a, b)),
+    "sat8": _OpInfo("R2", _U32, 0, lambda a: ext.ref_sat8(a)),
+    "absdiff": _OpInfo("R3", _U32, _U32, lambda a, b: ext.ref_absdiff(a, b)),
+    "sqr16": _OpInfo("R2", 0xFFFF, 0, lambda a: ext.ref_sqr16(a)),
+    "sbox48": _OpInfo("R2", 0x3F, 0, lambda a: ext.ref_sbox(a)),
+    "mul8": _OpInfo("R3", 0xFF, 0xFF, lambda a, b: ext.ref_mul8(a, b)),
+    "min2h": _OpInfo("R3", 0xFFFF, 0xFFFF, lambda a, b: ext.ref_min2h(a, b)),
+    "swz": _OpInfo("R2", _U32, 0, lambda a: ext.ref_swz(a)),
+}
+
+#: blend8's alpha operand must stay in 0..256; applying the 9-bit mask can
+#: still give 257..511, so the reference clamps — and the kernel masks the
+#: register operand the same way before issuing the instruction.
+
+
+def _make_density_case(
+    name: str,
+    config: ProcessorConfig,
+    ops: tuple[str, ...],
+    pad: int,
+    iterations: int,
+    seed: int,
+    data_mask: int = _U32,
+) -> BenchmarkCase:
+    """Generate one variant kernel + its Python mirror.
+
+    The kernel streams two operand arrays from memory (the way real
+    application code feeds a datapath — addresses and loop counters on
+    the operand buses, not wide pseudo-random register values), applies
+    each custom op in ``ops`` to masked slices of the loaded words,
+    accumulates the results, and runs ``pad`` filler base operations per
+    iteration.  ``data_mask`` narrows the array data (low-switching
+    regime).
+    """
+    from .data import Lcg, format_words
+
+    for op in ops:
+        if op not in _OPS:
+            raise ValueError(f"density variants only support stateless ops, not {op!r}")
+
+    x_values = [v & data_mask for v in Lcg(seed).words(iterations)]
+    y_values = [v & data_mask for v in Lcg(seed * 3 + 1).words(iterations)]
+
+    body_lines: list[str] = []
+    body_lines.append("    l32i a3, a8, 0")
+    body_lines.append("    l32i a4, a9, 0")
+    body_lines.append("    addi a8, a8, 4")
+    body_lines.append("    addi a9, a9, 4")
+    for i, op in enumerate(ops):
+        info = _OPS[op]
+        # mask operands into a10/a11 per the op's input widths
+        if info.mask_a == _U32:
+            body_lines.append("    mov a10, a3")
+        else:
+            body_lines.append(f"    li a12, {info.mask_a}")
+            body_lines.append("    and a10, a3, a12")
+        if info.fmt == "R3":
+            if info.mask_b == _U32:
+                body_lines.append("    mov a11, a4")
+            else:
+                body_lines.append(f"    li a12, {info.mask_b}")
+                body_lines.append("    and a11, a4, a12")
+            if op == "blend8":  # clamp alpha to 0..256
+                body_lines.append("    movi a12, 256")
+                body_lines.append("    minu a11, a11, a12")
+            body_lines.append(f"    {op} a13, a10, a11")
+        else:
+            body_lines.append(f"    {op} a13, a10")
+        body_lines.append("    add a6, a6, a13")
+    for i in range(pad):
+        # filler base ops with some variety, including deterministic
+        # never-taken (bne a0, a0) and always-taken (beq a0, a0) branches
+        # so the branch-class variables vary independently of the loops
+        sel = i % 7
+        if sel == 5:
+            body_lines.append(f"    bne a0, a0, flu_{i}")
+            body_lines.append(f"flu_{i}:")
+        elif sel == 6:
+            body_lines.append(f"    beq a0, a0, flt_{i}")
+            body_lines.append(f"flt_{i}:")
+        else:
+            filler = ("    addi a7, a7, 3", "    xor a7, a7, a3", "    slli a14, a7, 2",
+                      "    sub a7, a7, a14", "    or a7, a7, a4")[sel]
+            body_lines.append(filler)
+    body = "\n".join(body_lines)
+
+    source = f"""
+    .data
+xarr:
+{format_words(x_values)}
+yarr:
+{format_words(y_values)}
+out: .word 0
+    .text
+main:
+    movi a2, {iterations}
+    la a8, xarr
+    la a9, yarr
+    movi a6, 0
+    movi a7, 0
+loop:
+{body}
+    addi a2, a2, -1
+    bnez a2, loop
+    add a6, a6, a7
+    la a2, out
+    s32i a6, a2, 0
+    halt
+"""
+
+    def mirror() -> int:
+        acc = 0
+        filler_acc = 0
+        for x, y in zip(x_values, y_values):
+            for op in ops:
+                info = _OPS[op]
+                a = x & info.mask_a
+                if info.fmt == "R3":
+                    b = y & info.mask_b
+                    if op == "blend8":
+                        b = min(b, 256)
+                    value = info.ref(a, b)
+                else:
+                    value = info.ref(a)
+                acc = (acc + value) & _U32
+            for i in range(pad):
+                sel = i % 7
+                if sel == 0:
+                    filler_acc = (filler_acc + 3) & _U32
+                elif sel == 1:
+                    filler_acc = (filler_acc ^ x) & _U32
+                elif sel == 2:
+                    pass  # slli writes a14, not the filler accumulator
+                elif sel == 3:
+                    filler_acc = (filler_acc - ((filler_acc << 2) & _U32)) & _U32
+                elif sel == 4:
+                    filler_acc = (filler_acc | y) & _U32
+                # sel 5/6 are the architecturally-neutral filler branches
+        return (acc + filler_acc) & _U32
+
+    return BenchmarkCase(
+        name=name,
+        description=f"density variant: {'+'.join(ops)} with {pad} pad ops/iter",
+        source=source,
+        shared_config=config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def density_suite(
+    dsp_config: ProcessorConfig,
+    bit_config: ProcessorConfig,
+    mix_config: ProcessorConfig | None = None,
+) -> list[BenchmarkCase]:
+    """Extra characterization programs over the shared extensions."""
+    cases = [
+        # DSP extension — vary which ops appear and how densely
+        _make_density_case("tv01_mul16_dense", dsp_config, ("mul16",), 0, 300, 11),
+        _make_density_case("tv02_mul16_sparse", dsp_config, ("mul16",), 14, 140, 13),
+        _make_density_case("tv03_simd_dense", dsp_config, ("add4x8", "add4x8"), 1, 260, 17),
+        _make_density_case("tv04_sum_mixture", dsp_config, ("sum3", "sum4", "sum4"), 3, 220, 19),
+        _make_density_case("tv05_sum3_sparse", dsp_config, ("sum3",), 11, 150, 23),
+        _make_density_case("tv06_dsp_all", dsp_config, ("mul16", "add4x8", "sum4"), 5, 170, 29),
+        # BIT extension
+        _make_density_case("tv07_gf_dense", bit_config, ("gfmul", "gfmul"), 0, 240, 31),
+        _make_density_case("tv08_gf_sparse", bit_config, ("gfmul",), 13, 130, 37),
+        _make_density_case("tv09_blend_sat", bit_config, ("blend8", "sat8"), 2, 230, 41),
+        _make_density_case("tv10_bit_logic", bit_config, ("parity32", "shiftmix", "shiftmix"), 1, 240, 43),
+        _make_density_case("tv11_absdiff_mix", bit_config, ("absdiff", "sat8", "parity32"), 6, 180, 47),
+        _make_density_case("tv12_bit_all", bit_config, ("gfmul", "blend8", "shiftmix"), 8, 150, 53),
+        # pure-multiplier and pure-table kernels pin S_mult and S_table
+        _make_density_case("tv13_sqr_dense", bit_config, ("sqr16", "sqr16"), 2, 240, 59),
+        _make_density_case("tv14_sbox_dense", bit_config, ("sbox48", "sbox48", "sbox48"), 1, 230, 61),
+        # branch-filler-heavy kernels vary N_bt/N_bu independently of loops
+        _make_density_case("tv15_branchy_dsp", dsp_config, ("add4x8",), 21, 160, 67),
+        _make_density_case("tv16_branchy_bit", bit_config, ("sat8",), 28, 150, 71),
+        # narrow siblings: same categories at a quarter/half the complexity
+        # per execution — these separate N_sd from the S coefficients
+        _make_density_case("tv17_narrow_mul", dsp_config, ("mul8", "mul8", "min2h"), 1, 240, 73),
+        # zero-hardware wiring instruction: a direct N_sd probe
+        _make_density_case("tv20_swz_dense_dsp", dsp_config, ("swz", "swz", "swz"), 0, 220, 83),
+        _make_density_case("tv21_swz_dense_bit", bit_config, ("swz", "swz"), 3, 200, 89),
+        # low-toggle regime: small-magnitude operands, as app kernels
+        # (counters, pixel values, GF symbols) typically produce
+        _make_density_case("tv22_lowtog_asc", bit_config, ("absdiff", "sat8"), 2, 210, 97, data_mask=0x7FF),
+        _make_density_case("tv23_lowtog_dsp", dsp_config, ("add4x8", "min2h"), 3, 200, 101, data_mask=0x3FF),
+        _make_density_case("tv24_lowtog_gf", bit_config, ("gfmul",), 1, 220, 103, data_mask=0x1F),
+        _make_density_case("tv25_lowtog_swz", dsp_config, ("swz", "swz"), 2, 210, 107, data_mask=0xFFF),
+        _make_density_case("tv18_narrow_mix", dsp_config, ("mul8", "min2h", "min2h"), 7, 170, 79),
+        _mac_width_mix_case(dsp_config),
+    ]
+    if mix_config is not None:
+        # the cross-family config: different spurious tap ratios per
+        # category than either the DSP or the bit-ops config
+        cases.extend(
+            [
+                _make_density_case("tx01_mix_mul", mix_config, ("mul16", "sat8"), 2, 220, 109),
+                _make_density_case("tx02_mix_sum", mix_config, ("sum3", "absdiff"), 4, 200, 113),
+                _make_density_case("tx03_mix_logic", mix_config, ("parity32", "shiftmix", "sbox48"), 1, 210, 127),
+                _make_density_case("tx04_mix_sparse", mix_config, ("sbox48",), 18, 150, 131),
+                _make_density_case("tx05_mix_lowtog", mix_config, ("mul16", "absdiff"), 3, 190, 137, data_mask=0x1FF),
+                _mix_mac8_case(mix_config),
+            ]
+        )
+    return cases
+
+
+def _mix_mac8_case(mix_config: ProcessorConfig) -> BenchmarkCase:
+    """tx06: the narrow MAC on the cross-family config (stateful kernel)."""
+    from .data import Lcg, format_words
+    from .registry import expect_word
+
+    values = Lcg(139).words(160, bits=16)
+
+    def mirror() -> int:
+        acc24 = 0
+        for word in values:
+            acc24 = ext.ref_mac8_step(acc24, word)
+        return acc24
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, {len(values)}
+loop:
+    l32i a4, a2, 0
+    mac8 a4
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, loop
+    rdmac8 a5
+    la a6, out
+    s32i a5, a6, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tx06_mix_mac8",
+        description="narrow MAC on the cross-family extension config",
+        source=source,
+        shared_config=mix_config,
+        check=expect_word("out", mirror()),
+    )
+
+
+def _mac_width_mix_case(dsp_config: ProcessorConfig) -> BenchmarkCase:
+    """tv19: interleave the 40-bit and 24-bit MAC accumulators.
+
+    Stateful custom instructions need a dedicated kernel (the generic
+    density generator only covers stateless ops).  Mixing mac16 (wide
+    accumulator) with mac8 (narrow) varies TIE_mac and custom-register
+    complexity per execution at a fixed N_sd rate.
+    """
+    from .data import Lcg, format_words
+    from .registry import expect_word
+
+    values = Lcg(83).words(170)
+
+    def mirror() -> int:
+        acc40 = 0
+        acc24 = 0
+        for i, word in enumerate(values):
+            acc40 = ext.ref_mac16_step(acc40, word)
+            acc24 = ext.ref_mac8_step(acc24, word & 0xFFFF)
+            if i & 1:
+                acc24 = ext.ref_mac8_step(acc24, (word >> 16) & 0xFFFF)
+        return ((acc40 & _U32) ^ acc24) & _U32
+
+    source = f"""
+    .data
+arr:
+{format_words(values)}
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, {len(values)}
+    movi a9, 0          ; parity toggle
+loop:
+    l32i a4, a2, 0
+    mac16 a4
+    mac8 a4
+    beqz a9, even
+    srli a5, a4, 16
+    mac8 a5
+    movi a9, 0
+    j next
+even:
+    movi a9, 1
+next:
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, loop
+    rdmac a6
+    rdmac8 a7
+    xor a6, a6, a7
+    la a2, out
+    s32i a6, a2, 0
+    halt
+"""
+    return BenchmarkCase(
+        name="tv19_mac_widths",
+        description="wide + narrow MAC accumulators interleaved",
+        source=source,
+        shared_config=dsp_config,
+        check=expect_word("out", mirror()),
+    )

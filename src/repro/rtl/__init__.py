@@ -1,0 +1,27 @@
+"""``repro.rtl`` — processor generator + reference RTL energy estimator."""
+
+from .blocks import (
+    BASE_BLOCKS,
+    BLOCKS_BY_NAME,
+    EVENT_ENERGY,
+    SPURIOUS_ACTIVATION_WEIGHT,
+    CoreBlock,
+    stable_unit_variation,
+)
+from .estimator import EnergyReport, RtlEnergyEstimator, reference_energy
+from .netlist import ControlOverhead, ProcessorNetlist, generate_netlist
+
+__all__ = [
+    "BASE_BLOCKS",
+    "BLOCKS_BY_NAME",
+    "ControlOverhead",
+    "CoreBlock",
+    "EVENT_ENERGY",
+    "EnergyReport",
+    "ProcessorNetlist",
+    "RtlEnergyEstimator",
+    "SPURIOUS_ACTIVATION_WEIGHT",
+    "generate_netlist",
+    "reference_energy",
+    "stable_unit_variation",
+]

@@ -1,0 +1,90 @@
+"""Base-core hardware blocks and their ground-truth energy parameters.
+
+The reference RTL-level estimator models the base processor at block
+granularity: fetch unit, decoder, register file, ALU, optional multiplier,
+shifter, load/store unit, caches, bus interface, pipeline control and
+clock tree.  Each block has a mean *active* energy per access/cycle and an
+*idle* (clock + leakage) energy per cycle.  Actual per-cycle energy is the
+active energy scaled by a data-dependent switching-activity factor, which
+is exactly the information the macro-model abstracts away — keeping its
+fitting error realistically non-zero.
+
+All energies are in arbitrary consistent units ("pJ-like"); the paper's
+absolute numbers come from a 0.18 um commercial flow we cannot reproduce,
+and only relative behaviour is meaningful here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreBlock:
+    """One base-core hardware block with its nominal energy parameters."""
+
+    name: str
+    active_energy: float
+    idle_energy: float
+
+    def __post_init__(self) -> None:
+        if self.active_energy < 0 or self.idle_energy < 0:
+            raise ValueError(f"{self.name}: energies must be non-negative")
+
+
+#: The base core's structural blocks.  ``base_multiplier`` is present
+#: because the paper's configuration includes the 32-bit multiply option.
+BASE_BLOCKS: tuple[CoreBlock, ...] = (
+    CoreBlock("fetch_unit", active_energy=180.0, idle_energy=8.0),
+    CoreBlock("instruction_decoder", active_energy=120.0, idle_energy=5.0),
+    CoreBlock("register_file", active_energy=220.0, idle_energy=10.0),
+    CoreBlock("alu", active_energy=260.0, idle_energy=8.0),
+    CoreBlock("base_multiplier", active_energy=270.0, idle_energy=15.0),
+    CoreBlock("base_shifter", active_energy=285.0, idle_energy=6.0),
+    CoreBlock("load_store_unit", active_energy=240.0, idle_energy=8.0),
+    CoreBlock("icache", active_energy=620.0, idle_energy=25.0),
+    CoreBlock("dcache", active_energy=640.0, idle_energy=25.0),
+    CoreBlock("bus_interface", active_energy=300.0, idle_energy=3.0),
+    CoreBlock("pipeline_control", active_energy=90.0, idle_energy=4.0),
+    CoreBlock("clock_tree", active_energy=110.0, idle_energy=0.0),
+)
+
+BLOCKS_BY_NAME: dict[str, CoreBlock] = {block.name: block for block in BASE_BLOCKS}
+
+#: Per-event energies of the dynamic non-idealities.  These are what the
+#: macro-model's N_cm / N_dm / N_uf / N_il coefficients should recover.
+EVENT_ENERGY = {
+    "icache_miss": 4200.0,
+    "dcache_miss": 4600.0,
+    "uncached_fetch": 3100.0,
+    "interlock": 150.0,
+}
+
+# Expected spurious weight (analysis side) — re-exported for reports.
+from ..hwlib import SPURIOUS_ACTIVATION_WEIGHT  # noqa: E402,F401
+
+#: Physical input-stage factor of a spurious activation in the ground
+#: truth: a base instruction driving the operand buses only exercises the
+#: input logic cone of a tapped component, at the *actual* bus switching
+#: density of that cycle.  ``SPURIOUS_ACTIVATION_WEIGHT`` (hwlib) is this
+#: factor times the typical bus-to-datapath switching-density ratio.
+SPURIOUS_INPUT_STAGE_WEIGHT = 0.5
+
+#: Instruction mnemonics executed on the base multiplier / shifter blocks.
+MULTIPLIER_MNEMONICS = frozenset({"mull", "mulh", "mulhu"})
+SHIFTER_MNEMONICS = frozenset(
+    {"sll", "srl", "sra", "rotl", "rotr", "slli", "srli", "srai", "roli", "rori"}
+)
+
+
+def stable_unit_variation(name: str, spread: float = 0.10) -> float:
+    """Deterministic per-instance process/synthesis variation factor.
+
+    Hash-derived (CRC32, *not* Python's randomized ``hash``) so that the
+    same netlist always yields the same ground truth.  Returns a factor in
+    ``[1 - spread, 1 + spread]``.
+    """
+    digest = zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+    unit = digest / 0xFFFFFFFF  # in [0, 1]
+    return 1.0 - spread + 2.0 * spread * unit

@@ -1,0 +1,377 @@
+"""Reference RTL-level energy estimator (WattWatcher substitute).
+
+This is the paper's *ground truth*: a slow, detailed, structural energy
+simulation of the generated processor running one program.  It walks the
+full dynamic execution trace and charges every hardware block — base-core
+blocks, custom-hardware instances and auto-generated control logic —
+per-cycle energies that depend on
+
+* **switching activity**: Hamming distance between consecutive data
+  values seen at each block's inputs (the standard CMOS dynamic-power
+  proxy),
+* **per-instance variation**: a deterministic synthesis/process factor
+  per hardware instance,
+* **events**: cache misses, uncached fetches and interlocks carry their
+  own energy,
+* **idle/clock energy**: every instantiated block burns idle energy each
+  cycle.
+
+Because the charge is per-instruction and data-dependent while the
+macro-model sees only class-level aggregates, the macro-model's fit has
+an irreducible error of a few percent — reproducing the paper's Fig. 3 /
+Table II error profile rather than a degenerate exact fit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..hwlib import ComponentInstance
+from ..isa import InstructionClass, hamming_distance
+from ..xtcore import ProcessorConfig, SimulationResult, Simulator
+from ..asm import Program
+from .blocks import (
+    BLOCKS_BY_NAME,
+    EVENT_ENERGY,
+    MULTIPLIER_MNEMONICS,
+    SHIFTER_MNEMONICS,
+    SPURIOUS_INPUT_STAGE_WEIGHT,
+    stable_unit_variation,
+)
+from .netlist import ProcessorNetlist, generate_netlist
+
+#: Floor of the switching-activity factor: even a quiet block precharges
+#: lines, clocks registers and drives control nets when accessed, so the
+#: data-dependent part of a block's active energy is a minority share
+#: (toggle in [0.55, 1.0] — a realistic ±20%-ish data swing).
+_TOGGLE_FLOOR = 0.55
+
+
+def _toggle_factor(previous: int, current: int, width: int = 32) -> float:
+    """Activity factor in [_TOGGLE_FLOOR, 1.0] from input toggling."""
+    if width <= 0:
+        return _TOGGLE_FLOOR
+    density = hamming_distance(previous, current, width) / width
+    return _TOGGLE_FLOOR + (1.0 - _TOGGLE_FLOOR) * density
+
+
+@dataclasses.dataclass
+class EnergyReport:
+    """Output of one reference estimation run."""
+
+    program_name: str
+    processor_name: str
+    total: float
+    by_block: dict[str, float]
+    by_group: dict[str, float]
+    cycles: int
+    instructions: int
+
+    @property
+    def per_cycle(self) -> float:
+        return self.total / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"RTL energy estimate: {self.program_name} on {self.processor_name}",
+            f"  total {self.total:.1f} units over {self.cycles} cycles "
+            f"({self.per_cycle:.1f}/cycle, {self.instructions} instructions)",
+        ]
+        for group, value in sorted(self.by_group.items(), key=lambda kv: -kv[1]):
+            share = 100.0 * value / self.total if self.total else 0.0
+            lines.append(f"  {group:<12} {value:12.1f}  ({share:4.1f}%)")
+        return "\n".join(lines)
+
+
+class RtlEnergyEstimator:
+    """Structural (slow, accurate) energy estimator over a netlist.
+
+    ``data_dependent=False`` freezes every switching-activity factor at
+    its distribution mean — an ablation mode that removes the information
+    the macro-model cannot see.  With it the macro-model fit collapses to
+    ~0% error, demonstrating that the estimation error measured in the
+    main experiments comes from the class-level abstraction, not from the
+    regression machinery.
+    """
+
+    def __init__(self, netlist: ProcessorNetlist, data_dependent: bool = True) -> None:
+        self.netlist = netlist
+        self.config = netlist.config
+        self.data_dependent = data_dependent
+        self._blocks = BLOCKS_BY_NAME
+        # Pre-resolve per-instance nominal energies (variation applied).
+        self._instance_energy: dict[str, float] = {}
+        self._instance_idle: dict[str, float] = {}
+        for instance in netlist.custom_instances:
+            variation = (
+                netlist.instance_variation(instance.name) if data_dependent else 1.0
+            )
+            self._instance_energy[instance.name] = instance.unit_energy * variation
+            self._instance_idle[instance.name] = (
+                instance.unit_energy * instance.info.idle_fraction * variation
+            )
+        # Per-mnemonic decode variation: the within-class energy spread the
+        # macro-model cannot observe.
+        self._decode_variation: dict[str, float] = {}
+        # Bus-tapped instance lists per extension (precomputed).
+        self._taps: list[tuple[ComponentInstance, float]] = []
+        for impl in self.config.extensions:
+            for name in impl.bus_tapped:
+                instance = impl.instance_by_name(name)
+                self._taps.append((instance, self._instance_energy[name]))
+        self._base_idle_per_cycle = sum(b.idle_energy for b in netlist.base_blocks)
+        self._custom_idle_per_cycle = sum(self._instance_idle.values())
+        #: issue-cycle latency per mnemonic (multi-cycle units stay active
+        #: for every issue cycle)
+        self._latency = {d.mnemonic: d.latency for d in self.config.isa}
+        #: declared GPR-source widths per custom mnemonic, in operand order
+        #: (toggle densities are relative to the datapath width actually
+        #: wired to the operand, not the full 32-bit bus)
+        self._custom_widths: dict[str, tuple[int, ...]] = {}
+        for impl in self.config.extensions:
+            widths = {
+                node.payload: node.width
+                for node in impl.spec.nodes
+                if node.kind == "gpr_in"
+            }
+            ordered = tuple(widths[field] for field in ("rs", "rt") if field in widths)
+            self._custom_widths[impl.mnemonic] = ordered
+
+    # -- public API -----------------------------------------------------------
+
+    def estimate(self, result: SimulationResult) -> EnergyReport:
+        """Estimate the energy of a simulated run (requires a full trace)."""
+        if result.trace is None:
+            raise ValueError(
+                "RTL estimation needs a full execution trace; simulate with collect_trace=True"
+            )
+        if result.config is not self.config and result.config != self.config:
+            raise ValueError(
+                f"trace was produced on {result.config.name!r}, "
+                f"but this estimator models {self.config.name!r}"
+            )
+
+        by_block: dict[str, float] = {name: 0.0 for name in self._blocks}
+        for instance in self.netlist.custom_instances:
+            by_block[instance.name] = 0.0
+        by_block["tie_control"] = 0.0
+
+        groups = {"base_core": 0.0, "custom_hw": 0.0, "events": 0.0, "control": 0.0, "idle": 0.0}
+
+        blocks = self._blocks
+        extensions = self.config.extension_index
+        control = self.netlist.control
+        mean_toggle = (_TOGGLE_FLOOR + 1.0) / 2.0
+
+        if self.data_dependent:
+            toggle_of = _toggle_factor
+        else:
+            def toggle_of(previous: int, current: int, width: int = 32) -> float:
+                return mean_toggle
+
+        # Activity history (per consumer context).
+        prev_pc = 0
+        prev_alu = (0, 0)
+        prev_mul = (0, 0)
+        prev_shift = (0, 0)
+        prev_mem = 0
+        prev_bus = (0, 0)
+        prev_custom: dict[str, tuple[int, ...]] = {}
+
+        def charge(block: str, amount: float, group: str) -> None:
+            by_block[block] += amount
+            groups[group] += amount
+
+        for record in result.trace:
+            operands = record.operands
+            cycles = record.cycles
+
+            # ---- fetch + decode (every instruction) ----------------------
+            fetch_toggle = toggle_of(prev_pc, record.addr)
+            charge("fetch_unit", blocks["fetch_unit"].active_energy * fetch_toggle, "base_core")
+            prev_pc = record.addr
+            decode_var = self._decode_variation.get(record.mnemonic)
+            if decode_var is None:
+                if self.data_dependent:
+                    decode_var = stable_unit_variation(
+                        "decode/" + record.mnemonic, spread=0.06
+                    )
+                else:
+                    decode_var = 1.0
+                self._decode_variation[record.mnemonic] = decode_var
+            charge(
+                "instruction_decoder",
+                blocks["instruction_decoder"].active_energy * decode_var,
+                "base_core",
+            )
+            if not record.uncached_fetch:
+                charge("icache", blocks["icache"].active_energy * fetch_toggle, "base_core")
+            if extensions:
+                # The generated TIE decoder examines every fetched opcode.
+                charge("tie_control", control.decode_energy, "control")
+
+            # ---- register file -------------------------------------------
+            port_uses = len(operands) + (1 if record.result or record.iclass in (
+                InstructionClass.ARITH, InstructionClass.LOAD, InstructionClass.CUSTOM
+            ) else 0)
+            if port_uses:
+                # Decode, word-line precharge etc. dominate; the marginal
+                # cost of extra ports is sub-linear.
+                port_factor = 0.55 + 0.15 * min(port_uses, 3)
+                charge(
+                    "register_file",
+                    blocks["register_file"].active_energy * port_factor,
+                    "base_core",
+                )
+
+            # ---- execution units ------------------------------------------
+            iclass = record.iclass
+            if iclass is InstructionClass.ARITH:
+                a = operands[0] if operands else 0
+                b = operands[1] if len(operands) > 1 else record.result
+                if record.mnemonic in MULTIPLIER_MNEMONICS:
+                    toggle = (
+                        toggle_of(prev_mul[0], a) + toggle_of(prev_mul[1], b)
+                    ) / 2.0
+                    prev_mul = (a, b)
+                    active_cycles = self._latency[record.mnemonic]
+                    charge(
+                        "base_multiplier",
+                        blocks["base_multiplier"].active_energy * toggle * active_cycles,
+                        "base_core",
+                    )
+                elif record.mnemonic in SHIFTER_MNEMONICS:
+                    toggle = toggle_of(prev_shift[0], a)
+                    prev_shift = (a, b)
+                    charge("base_shifter", blocks["base_shifter"].active_energy * toggle, "base_core")
+                else:
+                    toggle = (
+                        toggle_of(prev_alu[0], a) + toggle_of(prev_alu[1], b)
+                    ) / 2.0
+                    prev_alu = (a, b)
+                    # Iterative units (divide/remainder) keep the ALU busy
+                    # for every issue cycle.
+                    active_cycles = self._latency[record.mnemonic]
+                    charge(
+                        "alu",
+                        blocks["alu"].active_energy * toggle * active_cycles,
+                        "base_core",
+                    )
+            elif iclass in (InstructionClass.LOAD, InstructionClass.STORE):
+                addr = record.mem_addr or 0
+                toggle = toggle_of(prev_mem, addr)
+                prev_mem = addr
+                charge("load_store_unit", blocks["load_store_unit"].active_energy * toggle, "base_core")
+                charge("dcache", blocks["dcache"].active_energy * toggle, "base_core")
+            elif iclass in (
+                InstructionClass.JUMP,
+                InstructionClass.BRANCH_TAKEN,
+                InstructionClass.BRANCH_UNTAKEN,
+            ):
+                # Compare/target logic rides on the ALU; taken control flow
+                # additionally re-steers the fetch unit.
+                charge("alu", blocks["alu"].active_energy * 0.6, "base_core")
+                if iclass is not InstructionClass.BRANCH_UNTAKEN:
+                    charge("fetch_unit", blocks["fetch_unit"].active_energy * 0.8, "base_core")
+
+            # ---- custom instruction execution ------------------------------
+            if iclass is InstructionClass.CUSTOM:
+                impl = extensions[record.mnemonic]
+                previous = prev_custom.get(record.mnemonic)
+                toggle = _TOGGLE_FLOOR + (1.0 - _TOGGLE_FLOOR) * 0.5
+                if self.data_dependent and previous is not None and operands:
+                    widths = self._custom_widths.get(record.mnemonic, ())
+                    densities = [
+                        hamming_distance(p, c, width) / width
+                        for p, c, width in zip(
+                            previous, operands, widths or (32,) * len(operands)
+                        )
+                    ]
+                    mean_density = sum(densities) / len(densities)
+                    toggle = _TOGGLE_FLOOR + (1.0 - _TOGGLE_FLOOR) * mean_density
+                prev_custom[record.mnemonic] = operands
+                for instance in impl.instances:
+                    active = len(impl.active_cycles[instance.name])
+                    if not active:
+                        continue
+                    energy = self._instance_energy[instance.name] * toggle * active
+                    charge(instance.name, energy, "custom_hw")
+                # A multi-cycle custom instruction stalls issue but keeps
+                # the decode latches, register-file ports and bypass logic
+                # engaged every cycle it occupies the pipeline.
+                extra_cycles = impl.latency - 1
+                if extra_cycles:
+                    charge(
+                        "instruction_decoder",
+                        blocks["instruction_decoder"].active_energy * decode_var * extra_cycles,
+                        "base_core",
+                    )
+                    if port_uses:
+                        charge(
+                            "register_file",
+                            blocks["register_file"].active_energy * port_factor * extra_cycles,
+                            "base_core",
+                        )
+                if impl.accesses_gpr:
+                    charge("tie_control", control.bypass_energy * impl.latency, "control")
+
+            # ---- spurious operand-bus activation ----------------------------
+            elif operands and self._taps:
+                a = operands[0]
+                b = operands[1] if len(operands) > 1 else 0
+                bus_toggle = (
+                    toggle_of(prev_bus[0], a) + toggle_of(prev_bus[1], b)
+                ) / 2.0
+                prev_bus = (a, b)
+                for instance, nominal in self._taps:
+                    charge(
+                        instance.name,
+                        nominal * SPURIOUS_INPUT_STAGE_WEIGHT * bus_toggle,
+                        "custom_hw",
+                    )
+
+            # ---- events ------------------------------------------------------
+            if record.icache_miss:
+                charge("bus_interface", EVENT_ENERGY["icache_miss"], "events")
+            if record.dcache_miss:
+                charge("bus_interface", EVENT_ENERGY["dcache_miss"], "events")
+            if record.uncached_fetch:
+                charge("bus_interface", EVENT_ENERGY["uncached_fetch"], "events")
+            if record.interlock:
+                charge("pipeline_control", EVENT_ENERGY["interlock"], "events")
+
+            # ---- per-cycle clock / pipeline / idle ----------------------------
+            charge("pipeline_control", blocks["pipeline_control"].active_energy * cycles, "base_core")
+            charge("clock_tree", blocks["clock_tree"].active_energy * cycles, "base_core")
+            idle = (self._base_idle_per_cycle + self._custom_idle_per_cycle) * cycles
+            charge("clock_tree", idle, "idle")
+
+        total = sum(groups.values())
+        return EnergyReport(
+            program_name=result.program.name,
+            processor_name=self.config.name,
+            total=total,
+            by_block=by_block,
+            by_group=groups,
+            cycles=result.stats.total_cycles,
+            instructions=result.stats.total_instructions,
+        )
+
+    def estimate_program(
+        self, program: Program, max_instructions: int = 5_000_000
+    ) -> tuple[EnergyReport, SimulationResult]:
+        """Full reference path: trace-collecting simulation + estimation."""
+        result = Simulator(
+            self.config, program, collect_trace=True, max_instructions=max_instructions
+        ).run()
+        return self.estimate(result), result
+
+
+def reference_energy(
+    config: ProcessorConfig,
+    program: Program,
+    max_instructions: int = 5_000_000,
+) -> tuple[EnergyReport, SimulationResult]:
+    """One-shot: generate the netlist and run the reference estimator."""
+    estimator = RtlEnergyEstimator(generate_netlist(config))
+    return estimator.estimate_program(program, max_instructions=max_instructions)

@@ -1,0 +1,112 @@
+"""Processor generator: configuration → structural netlist.
+
+The paper's flow uses the Xtensa processor generator to emit synthesizable
+RTL for each custom processor during characterization.  Our substitute
+emits a block-level structural netlist: the base-core blocks, one
+component per custom-hardware instance, and the auto-generated TIE control
+logic (decoder extension, bypass/interlock logic) whose size scales with
+the number and shape of custom instructions.
+
+The netlist is what the reference RTL energy estimator "simulates"; it is
+also introspectable (areas, per-category complexity) for reports/tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from ..hwlib import CATEGORY_ORDER, ComponentCategory, ComponentInstance
+from ..xtcore import ProcessorConfig
+from .blocks import BASE_BLOCKS, CoreBlock, stable_unit_variation
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlOverhead:
+    """Auto-generated TIE integration logic (decoder, bypass, interlock).
+
+    The TIE compiler generates this "for free" in the real flow; its energy
+    is charged per custom-instruction execution and (decoder) per fetch.
+    """
+
+    decode_energy: float
+    bypass_energy: float
+
+    @staticmethod
+    def for_config(config: ProcessorConfig) -> "ControlOverhead":
+        n_custom = len(config.extensions)
+        gpr_ports = sum(1 for impl in config.extensions if impl.accesses_gpr)
+        # Bypass energy is paid per custom-instruction access; the network
+        # grows with the number of GPR-coupled extensions, but unused
+        # branches of it are operand-isolated, so the per-access cost has
+        # only a mild size dependence.
+        return ControlOverhead(
+            decode_energy=0.15 * n_custom,
+            bypass_energy=25.0 + 1.5 * gpr_ports,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorNetlist:
+    """The generated structural view of one processor instance."""
+
+    config: ProcessorConfig
+    base_blocks: tuple[CoreBlock, ...]
+    custom_instances: tuple[ComponentInstance, ...]
+    control: ControlOverhead
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def custom_area(self) -> float:
+        """Sum of custom-instance complexities — an area proxy."""
+        return sum(instance.complexity for instance in self.custom_instances)
+
+    def category_complexity(self) -> Mapping[ComponentCategory, float]:
+        """Total instantiated complexity per component category."""
+        totals: dict[ComponentCategory, float] = {}
+        for instance in self.custom_instances:
+            totals[instance.category] = totals.get(instance.category, 0.0) + instance.complexity
+        return totals
+
+    def instance_variation(self, instance_name: str) -> float:
+        """The deterministic process-variation factor of one instance."""
+        return stable_unit_variation(f"{self.name}/{instance_name}")
+
+    def synthesis_report(self) -> str:
+        """Textual report resembling a post-generation summary."""
+        lines = [
+            f"=== processor generator report: {self.name} ===",
+            f"base core blocks: {len(self.base_blocks)}",
+            f"custom instructions: {len(self.config.extensions)}",
+            f"custom hardware instances: {len(self.custom_instances)} "
+            f"(area proxy {self.custom_area:.1f})",
+        ]
+        complexity = self.category_complexity()
+        for category in CATEGORY_ORDER:
+            if category in complexity:
+                lines.append(f"  {category.value:<14} complexity {complexity[category]:8.1f}")
+        for impl in self.config.extensions:
+            lines.append(
+                f"  {impl.mnemonic:<14} latency {impl.latency} cycle(s), "
+                f"{len(impl.instances)} instance(s), "
+                f"{'GPR-coupled' if impl.accesses_gpr else 'standalone'}"
+            )
+        return "\n".join(lines)
+
+
+def generate_netlist(config: ProcessorConfig) -> ProcessorNetlist:
+    """Generate the structural netlist of ``config``.
+
+    Equivalent of running the processor generator in the paper's step 4:
+    required before RTL energy estimation, *not* required for applying
+    the energy macro-model (that is the point of the paper).
+    """
+    return ProcessorNetlist(
+        config=config,
+        base_blocks=BASE_BLOCKS,
+        custom_instances=config.custom_instances,
+        control=ControlOverhead.for_config(config),
+    )

@@ -1,0 +1,27 @@
+"""``repro.tie`` — TIE-substitute custom instruction framework.
+
+Define a custom instruction with :class:`TieSpec`, compile it with
+:func:`compile_spec` (or a whole extension with :func:`compile_extension`)
+and hand the result to :class:`repro.xtcore.ProcessorConfig`.
+"""
+
+from .compiler import (
+    LEVELS_PER_CYCLE,
+    TieImplementation,
+    compile_extension,
+    compile_spec,
+)
+from .nodes import Node, TieState, evaluate_node
+from .spec import TieSpec, TieSpecError
+
+__all__ = [
+    "LEVELS_PER_CYCLE",
+    "Node",
+    "TieImplementation",
+    "TieSpec",
+    "TieSpecError",
+    "TieState",
+    "compile_extension",
+    "compile_spec",
+    "evaluate_node",
+]

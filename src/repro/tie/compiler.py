@@ -1,0 +1,261 @@
+"""The TIE-substitute compiler: specs → executable, schedulable hardware.
+
+Mirrors the role of the Tensilica TIE compiler in the paper's flow: from a
+custom-instruction specification it derives
+
+* the **schedule** — each operator node is placed in a pipeline cycle
+  (``LEVELS_PER_CYCLE`` chained library operators per cycle), giving the
+  instruction's issue latency;
+* the **hardware instances** — one library component per operator node
+  plus one custom register per state (shared across instructions by
+  name), which the processor generator later drops into the netlist;
+* the **activation profile** — which component is active in which cycle
+  of an execution, the raw material of the structural macro-model
+  variables;
+* the **operand-bus taps** — components fed directly (through wiring
+  only) by GPR operands.  These are spuriously activated by *base*
+  instructions that drive the shared operand buses (paper Example 1);
+* the executable :class:`~repro.isa.instructions.InstructionDef` used by
+  the assembler and the instruction-set simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from ..hwlib import ComponentCategory, ComponentInstance
+from ..isa.bits import mask
+from ..isa.classes import InstructionClass
+from ..isa.instructions import ExecContext, Instruction, InstructionDef
+from .nodes import (
+    KIND_CONST,
+    KIND_GPR,
+    KIND_IMM,
+    KIND_STATE,
+    Node,
+    TieState,
+    evaluate_node,
+)
+from .spec import TieSpec, TieSpecError
+
+#: How many chained library operators fit in one pipeline cycle.  Six
+#: levels per cycle makes typical TIE datapaths single-cycle — matching
+#: real TIE practice, where most custom instructions fit the processor's
+#: execute stage — while genuinely deep graphs (e.g. chained table-lookup
+#: pipelines) still schedule over multiple cycles.
+LEVELS_PER_CYCLE = 6
+
+
+@dataclasses.dataclass(frozen=True)
+class TieImplementation:
+    """Everything the rest of the system needs to know about one custom
+    instruction: its timing, hardware, activation profile and semantics."""
+
+    spec: TieSpec
+    latency: int
+    instances: tuple[ComponentInstance, ...]
+    #: instance name -> cycles (within one execution) in which it is active
+    active_cycles: Mapping[str, tuple[int, ...]]
+    #: category -> sum over instances of complexity x active-cycle count,
+    #: per execution.  This is the structural-variable increment that one
+    #: dynamic execution of the instruction contributes.
+    per_exec_activity: Mapping[ComponentCategory, float]
+    #: category -> raw instance-cycle count per execution (no complexity
+    #: weighting) — used by the bit-width-law ablation study.
+    per_exec_counts: Mapping[ComponentCategory, int]
+    #: instance names whose inputs tap the shared GPR operand buses
+    bus_tapped: tuple[str, ...]
+    #: category -> summed complexity of bus-tapped instances (for the
+    #: spurious-activation term of the structural variables)
+    bus_tap_complexity: Mapping[ComponentCategory, float]
+    #: category -> bus-tapped instance count (unweighted, for the ablation)
+    bus_tap_counts: Mapping[ComponentCategory, int]
+    instruction: InstructionDef
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def accesses_gpr(self) -> bool:
+        return self.spec.accesses_gpr
+
+    def instance_by_name(self, name: str) -> ComponentInstance:
+        for instance in self.instances:
+            if instance.name == name:
+                return instance
+        raise KeyError(f"{self.mnemonic}: no hardware instance named {name!r}")
+
+
+def _node_levels(spec: TieSpec) -> dict[int, int]:
+    """Logic level per node: leaves 0, wires transparent, ops +1."""
+    levels: dict[int, int] = {}
+    for node in spec.nodes:
+        if node.kind in (KIND_GPR, KIND_IMM, KIND_STATE, KIND_CONST):
+            levels[node.nid] = 0
+        else:
+            input_level = max((levels[i.nid] for i in node.inputs), default=0)
+            levels[node.nid] = input_level if not node.is_hardware else input_level + 1
+    return levels
+
+
+def _bus_tapped_nodes(spec: TieSpec) -> set[int]:
+    """Hardware nodes whose inputs reach a GPR leaf through wiring only."""
+    sees_bus: dict[int, bool] = {}
+    tapped: set[int] = set()
+    for node in spec.nodes:
+        if node.kind == KIND_GPR:
+            sees_bus[node.nid] = True
+        elif node.kind in (KIND_IMM, KIND_STATE, KIND_CONST):
+            sees_bus[node.nid] = False
+        elif node.is_hardware:
+            if any(sees_bus[i.nid] for i in node.inputs):
+                tapped.add(node.nid)
+            sees_bus[node.nid] = False  # the component's output is behind logic
+        else:  # wiring: transparent to the bus
+            sees_bus[node.nid] = any(sees_bus[i.nid] for i in node.inputs)
+    return tapped
+
+
+def _instance_name(spec: TieSpec, node: Node) -> str:
+    return f"{spec.mnemonic}/{node.op}{node.nid}"
+
+
+def _state_instance_name(state: TieState) -> str:
+    # State registers are shared across instructions by name, so their
+    # instance name must not embed the owning spec.
+    return f"state/{state.name}"
+
+
+def _make_semantics(spec: TieSpec, state_inits: Mapping[str, int]):
+    """Build the executable semantics closure for a compiled spec."""
+    nodes = tuple(spec.nodes)
+    writes = tuple((state.name, node.nid) for state, node in spec.state_writes)
+    result_nid = spec.result_node.nid if spec.result_node is not None else None
+
+    def semantics(ctx: ExecContext, ins: Instruction) -> None:
+        values: list[int] = [0] * len(nodes)
+        tie_state = ctx.tie_state  # type: ignore[attr-defined]
+        for node in nodes:
+            if node.kind == KIND_GPR:
+                reg = ins.rs if node.payload == "rs" else ins.rt
+                values[node.nid] = ctx.get(reg) & mask(node.width)
+            elif node.kind == KIND_IMM:
+                values[node.nid] = (ins.imm or 0) & mask(node.width)
+            elif node.kind == KIND_STATE:
+                values[node.nid] = tie_state.get(node.payload, state_inits[node.payload])
+            elif node.kind == KIND_CONST:
+                values[node.nid] = node.payload
+            else:
+                values[node.nid] = evaluate_node(
+                    node, [values[i.nid] for i in node.inputs]
+                )
+        # All reads observe pre-instruction state; writes commit together.
+        pending = {name: values[nid] & mask(spec.states[name].width) for name, nid in writes}
+        tie_state.update(pending)
+        if result_nid is not None:
+            ctx.set(ins.rd, values[result_nid] & 0xFFFFFFFF)
+
+    return semantics
+
+
+def compile_spec(spec: TieSpec) -> TieImplementation:
+    """Compile a validated spec into a :class:`TieImplementation`."""
+    spec.validate()
+    levels = _node_levels(spec)
+    max_level = max(levels.values(), default=0)
+    latency = max(1, -(-max_level // LEVELS_PER_CYCLE))  # ceil division
+
+    instances: list[ComponentInstance] = []
+    active_cycles: dict[str, tuple[int, ...]] = {}
+
+    for node in spec.nodes:
+        if not node.is_hardware:
+            continue
+        name = _instance_name(spec, node)
+        entries = len(node.payload) if node.op == "table" else 0
+        instances.append(
+            ComponentInstance(name=name, category=node.category, width=node.width, entries=entries)
+        )
+        cycle = (levels[node.nid] - 1) // LEVELS_PER_CYCLE
+        active_cycles[name] = (cycle,)
+
+    for state in spec.states.values():
+        name = _state_instance_name(state)
+        instances.append(
+            ComponentInstance(name=name, category=ComponentCategory.CUSTOM_REG, width=state.width)
+        )
+        cycles: set[int] = set()
+        if any(n.kind == KIND_STATE and n.payload == state.name for n in spec.nodes):
+            cycles.add(0)  # read in the first execute cycle
+        if any(s.name == state.name for s, _ in spec.state_writes):
+            cycles.add(latency - 1)  # written in the last cycle
+        active_cycles[name] = tuple(sorted(cycles))
+
+    per_exec: dict[ComponentCategory, float] = {}
+    per_exec_counts: dict[ComponentCategory, int] = {}
+    for instance in instances:
+        n_active = len(active_cycles[instance.name])
+        weight = instance.complexity * n_active
+        per_exec[instance.category] = per_exec.get(instance.category, 0.0) + weight
+        per_exec_counts[instance.category] = per_exec_counts.get(instance.category, 0) + n_active
+
+    tapped_nids = _bus_tapped_nodes(spec)
+    tapped_names = tuple(
+        _instance_name(spec, node) for node in spec.nodes if node.nid in tapped_nids
+    )
+    bus_tap: dict[ComponentCategory, float] = {}
+    bus_tap_counts: dict[ComponentCategory, int] = {}
+    by_name = {inst.name: inst for inst in instances}
+    for name in tapped_names:
+        instance = by_name[name]
+        bus_tap[instance.category] = bus_tap.get(instance.category, 0.0) + instance.complexity
+        bus_tap_counts[instance.category] = bus_tap_counts.get(instance.category, 0) + 1
+
+    state_inits = {name: state.init for name, state in spec.states.items()}
+    instruction = InstructionDef(
+        mnemonic=spec.mnemonic,
+        fmt=spec.fmt,
+        iclass=InstructionClass.CUSTOM,
+        semantics=_make_semantics(spec, state_inits),
+        latency=latency,
+        description=spec.description or f"custom instruction {spec.mnemonic}",
+    )
+
+    return TieImplementation(
+        spec=spec,
+        latency=latency,
+        instances=tuple(instances),
+        active_cycles=active_cycles,
+        per_exec_activity=per_exec,
+        per_exec_counts=per_exec_counts,
+        bus_tapped=tapped_names,
+        bus_tap_complexity=bus_tap,
+        bus_tap_counts=bus_tap_counts,
+        instruction=instruction,
+    )
+
+
+def compile_extension(specs: list[TieSpec]) -> list[TieImplementation]:
+    """Compile a whole extension; checks cross-spec consistency.
+
+    Shared state registers must be declared identically everywhere; custom
+    mnemonics must be unique.
+    """
+    seen_mnemonics: set[str] = set()
+    seen_states: dict[str, TieState] = {}
+    implementations: list[TieImplementation] = []
+    for spec in specs:
+        if spec.mnemonic in seen_mnemonics:
+            raise TieSpecError(f"duplicate custom mnemonic {spec.mnemonic!r} in extension")
+        seen_mnemonics.add(spec.mnemonic)
+        for name, state in spec.states.items():
+            existing = seen_states.get(name)
+            if existing is not None and existing != state:
+                raise TieSpecError(
+                    f"state register {name!r} declared inconsistently across the extension"
+                )
+            seen_states[name] = state
+        implementations.append(compile_spec(spec))
+    return implementations

@@ -1,0 +1,265 @@
+"""Dataflow-graph nodes for custom-instruction (TIE-substitute) datapaths.
+
+A custom instruction's behaviour is a directed acyclic graph of nodes.
+Leaf nodes read instruction operands (GPR fields, immediates), custom
+state registers, or constants; interior nodes are operators drawn from
+the hardware component library (:mod:`repro.hwlib`); *wiring* nodes
+(concatenation, slicing, extension) cost no hardware and no logic level.
+
+Every node carries an explicit bit-width; evaluation works on unsigned
+bit patterns, masking each result to the node width, so graph semantics
+match what synthesized hardware of those widths would compute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from ..hwlib import ComponentCategory
+from ..isa.bits import mask, to_signed, to_unsigned
+
+#: node kinds
+KIND_GPR = "gpr_in"
+KIND_IMM = "imm_in"
+KIND_STATE = "state_in"
+KIND_CONST = "const"
+KIND_OP = "op"
+KIND_TABLE = "table"
+KIND_WIRE = "wire"
+
+
+@dataclasses.dataclass(frozen=True)
+class TieState:
+    """A custom register (paper category 5) shared by one or more specs.
+
+    Instances compare by identity of ``name``; two specs that pass the
+    same :class:`TieState` object (or equal-named ones) share the same
+    physical register and simulation state.
+    """
+
+    name: str
+    width: int
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"state register {self.name!r}: width must be positive")
+        if not 0 <= self.init <= mask(self.width):
+            raise ValueError(f"state register {self.name!r}: init value out of range")
+
+
+class Node:
+    """One vertex of a custom-instruction dataflow graph."""
+
+    __slots__ = ("nid", "kind", "width", "op", "category", "inputs", "payload")
+
+    def __init__(
+        self,
+        nid: int,
+        kind: str,
+        width: int,
+        op: str = "",
+        category: Optional[ComponentCategory] = None,
+        inputs: Sequence["Node"] = (),
+        payload: object = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"node {nid} ({op or kind}): width must be positive")
+        self.nid = nid
+        self.kind = kind
+        self.width = width
+        self.op = op
+        self.category = category
+        self.inputs = tuple(inputs)
+        self.payload = payload
+
+    @property
+    def is_hardware(self) -> bool:
+        """True when this node maps to a physical library component."""
+        return self.category is not None
+
+    def __repr__(self) -> str:
+        label = self.op or self.kind
+        return f"Node({self.nid}, {label}, w={self.width})"
+
+
+# ---------------------------------------------------------------------------
+# Operator evaluation.  Each entry maps an op name to
+# fn(input_values, node) -> unsigned result (later masked to node.width).
+# ---------------------------------------------------------------------------
+
+
+def _signed(value: int, width: int) -> int:
+    return to_signed(value, width)
+
+
+def _eval_mux(vals: Sequence[int], node: Node) -> int:
+    sel, a, b = vals
+    return a if sel else b
+
+
+def _eval_slice(vals: Sequence[int], node: Node) -> int:
+    low = node.payload
+    return vals[0] >> low
+
+
+def _eval_concat(vals: Sequence[int], node: Node) -> int:
+    hi, lo = vals
+    lo_width = node.inputs[1].width
+    return (hi << lo_width) | lo
+
+
+def _eval_sext(vals: Sequence[int], node: Node) -> int:
+    src_width = node.inputs[0].width
+    return to_unsigned(to_signed(vals[0], src_width), node.width)
+
+
+def _eval_table(vals: Sequence[int], node: Node) -> int:
+    data: tuple[int, ...] = node.payload
+    return data[vals[0] & (len(data) - 1)]
+
+
+def _eval_shift(kind: str) -> Callable[[Sequence[int], Node], int]:
+    def evaluate(vals: Sequence[int], node: Node) -> int:
+        value, amount = vals[0], vals[1] % node.width
+        if kind == "shl":
+            return value << amount
+        if kind == "shr":
+            return value >> amount
+        # arithmetic right shift over the *input* width
+        return to_unsigned(to_signed(value, node.inputs[0].width) >> amount, node.width)
+
+    return evaluate
+
+
+def _cmp(kind: str) -> Callable[[Sequence[int], Node], int]:
+    def evaluate(vals: Sequence[int], node: Node) -> int:
+        w = node.inputs[0].width
+        a, b = vals
+        if kind.endswith("_s"):
+            a, b = _signed(a, w), _signed(b, node.inputs[1].width)
+        if kind.startswith("eq"):
+            return int(a == b)
+        if kind.startswith("ne"):
+            return int(a != b)
+        if kind.startswith("lt"):
+            return int(a < b)
+        return int(a >= b)
+
+    return evaluate
+
+
+def _minmax(kind: str) -> Callable[[Sequence[int], Node], int]:
+    def evaluate(vals: Sequence[int], node: Node) -> int:
+        a, b = vals
+        if kind.endswith("_s"):
+            sa = _signed(a, node.inputs[0].width)
+            sb = _signed(b, node.inputs[1].width)
+            chosen = min(sa, sb) if kind.startswith("min") else max(sa, sb)
+            return to_unsigned(chosen, node.width)
+        return min(a, b) if kind.startswith("min") else max(a, b)
+
+    return evaluate
+
+
+def _reduce(kind: str) -> Callable[[Sequence[int], Node], int]:
+    def evaluate(vals: Sequence[int], node: Node) -> int:
+        value = vals[0]
+        width = node.inputs[0].width
+        if kind == "red_or":
+            return int(value != 0)
+        if kind == "red_and":
+            return int(value == mask(width))
+        return value.bit_count() & 1  # red_xor: parity
+
+    return evaluate
+
+
+EVALUATORS: dict[str, Callable[[Sequence[int], Node], int]] = {
+    # category ADD_SUB_CMP
+    "add": lambda v, n: v[0] + v[1],
+    "sub": lambda v, n: v[0] - v[1],
+    "eq": _cmp("eq"),
+    "ne": _cmp("ne"),
+    "lt_s": _cmp("lt_s"),
+    "lt_u": _cmp("lt_u"),
+    "ge_s": _cmp("ge_s"),
+    "ge_u": _cmp("ge_u"),
+    "min_s": _minmax("min_s"),
+    "min_u": _minmax("min_u"),
+    "max_s": _minmax("max_s"),
+    "max_u": _minmax("max_u"),
+    # category LOGIC_RED_MUX
+    "and": lambda v, n: v[0] & v[1],
+    "or": lambda v, n: v[0] | v[1],
+    "xor": lambda v, n: v[0] ^ v[1],
+    "not": lambda v, n: ~v[0],
+    "mux": _eval_mux,
+    "red_or": _reduce("red_or"),
+    "red_and": _reduce("red_and"),
+    "red_xor": _reduce("red_xor"),
+    # category SHIFTER
+    "shl": _eval_shift("shl"),
+    "shr": _eval_shift("shr"),
+    "sar": _eval_shift("sar"),
+    # category MULT / specialized TIE modules
+    "mul": lambda v, n: v[0] * v[1],
+    "tie_mult": lambda v, n: v[0] * v[1],
+    "tie_mac": lambda v, n: v[0] * v[1] + v[2],
+    "tie_add": lambda v, n: sum(v),
+    "csa_sum": lambda v, n: v[0] ^ v[1] ^ v[2],
+    "csa_carry": lambda v, n: ((v[0] & v[1]) | (v[1] & v[2]) | (v[0] & v[2])) << 1,
+    # category TABLE
+    "table": _eval_table,
+    # zero-cost wiring
+    "concat": _eval_concat,
+    "slice": _eval_slice,
+    "sext": _eval_sext,
+    "zext": lambda v, n: v[0],
+}
+
+#: op name -> component category (wiring ops are absent: no hardware).
+OP_CATEGORY: dict[str, ComponentCategory] = {
+    "add": ComponentCategory.ADD_SUB_CMP,
+    "sub": ComponentCategory.ADD_SUB_CMP,
+    "eq": ComponentCategory.ADD_SUB_CMP,
+    "ne": ComponentCategory.ADD_SUB_CMP,
+    "lt_s": ComponentCategory.ADD_SUB_CMP,
+    "lt_u": ComponentCategory.ADD_SUB_CMP,
+    "ge_s": ComponentCategory.ADD_SUB_CMP,
+    "ge_u": ComponentCategory.ADD_SUB_CMP,
+    "min_s": ComponentCategory.ADD_SUB_CMP,
+    "min_u": ComponentCategory.ADD_SUB_CMP,
+    "max_s": ComponentCategory.ADD_SUB_CMP,
+    "max_u": ComponentCategory.ADD_SUB_CMP,
+    "and": ComponentCategory.LOGIC_RED_MUX,
+    "or": ComponentCategory.LOGIC_RED_MUX,
+    "xor": ComponentCategory.LOGIC_RED_MUX,
+    "not": ComponentCategory.LOGIC_RED_MUX,
+    "mux": ComponentCategory.LOGIC_RED_MUX,
+    "red_or": ComponentCategory.LOGIC_RED_MUX,
+    "red_and": ComponentCategory.LOGIC_RED_MUX,
+    "red_xor": ComponentCategory.LOGIC_RED_MUX,
+    "shl": ComponentCategory.SHIFTER,
+    "shr": ComponentCategory.SHIFTER,
+    "sar": ComponentCategory.SHIFTER,
+    "mul": ComponentCategory.MULT,
+    "tie_mult": ComponentCategory.TIE_MULT,
+    "tie_mac": ComponentCategory.TIE_MAC,
+    "tie_add": ComponentCategory.TIE_ADD,
+    "csa_sum": ComponentCategory.TIE_CSA,
+    "csa_carry": ComponentCategory.TIE_CSA,
+    "table": ComponentCategory.TABLE,
+}
+
+#: ops that are pure wiring: no hardware instance, no logic level.
+WIRING_OPS = frozenset({"concat", "slice", "sext", "zext"})
+
+
+def evaluate_node(node: Node, values: Sequence[int]) -> int:
+    """Evaluate one operator/wire node given its input values."""
+    evaluator = EVALUATORS.get(node.op)
+    if evaluator is None:
+        raise KeyError(f"no evaluator for op {node.op!r}")
+    return evaluator(values, node) & mask(node.width)

@@ -1,0 +1,335 @@
+"""TIE-substitute custom-instruction specifications.
+
+A :class:`TieSpec` is the open equivalent of a Tensilica TIE description:
+it declares a custom instruction's assembly format, its operands (GPR
+fields, immediates, custom state registers) and its datapath as a
+dataflow graph over the hardware component library.  The spec is purely
+*descriptive*; :mod:`repro.tie.compiler` turns it into an executable,
+schedulable implementation.
+
+Example — an 8x8 multiply-accumulate into a 24-bit custom accumulator::
+
+    spec = TieSpec("mac8", fmt="RS1", description="acc += low8(rs) * next8(rs)")
+    acc = spec.state("mac8_acc", width=24)
+    word = spec.source("rs")
+    a = spec.slice(word, 0, 8)
+    b = spec.slice(word, 8, 8)
+    spec.write_state(acc, spec.tie_mac(a, b, spec.read_state(acc), width=24))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..hwlib import ComponentCategory
+from ..isa.bits import mask
+from .nodes import (
+    KIND_CONST,
+    KIND_GPR,
+    KIND_IMM,
+    KIND_OP,
+    KIND_STATE,
+    KIND_TABLE,
+    KIND_WIRE,
+    OP_CATEGORY,
+    WIRING_OPS,
+    Node,
+    TieState,
+)
+
+#: Formats a custom instruction may use, with (gpr sources, has rd, has imm).
+_FORMAT_OPERANDS = {
+    "R3": (("rs", "rt"), True, False),
+    "R2": (("rs",), True, False),
+    "RS1": (("rs",), False, False),
+    "RD1": ((), True, False),
+    "I": (("rs",), True, True),
+    "N": ((), False, False),
+}
+
+
+class TieSpecError(ValueError):
+    """A malformed custom-instruction specification."""
+
+
+class TieSpec:
+    """Builder for one custom instruction's dataflow-graph datapath."""
+
+    def __init__(self, mnemonic: str, fmt: str = "R3", description: str = "") -> None:
+        if fmt not in _FORMAT_OPERANDS:
+            raise TieSpecError(
+                f"{mnemonic}: format {fmt!r} not usable by custom instructions "
+                f"(choose from {sorted(_FORMAT_OPERANDS)})"
+            )
+        if not mnemonic or not mnemonic.isidentifier():
+            raise TieSpecError(f"bad custom mnemonic {mnemonic!r}")
+        self.mnemonic = mnemonic
+        self.fmt = fmt
+        self.description = description
+        self.nodes: list[Node] = []
+        self.states: dict[str, TieState] = {}
+        self.state_writes: list[tuple[TieState, Node]] = []
+        self.result_node: Optional[Node] = None
+        self._sources_used: set[str] = set()
+        self._imm_used = False
+
+    # -- leaf constructors ----------------------------------------------------
+
+    def source(self, field: str = "rs", width: int = 32) -> Node:
+        """Read a GPR operand field (``rs`` or ``rt``), truncated to ``width``.
+
+        Reading a GPR is what creates the paper's *side effect on the base
+        processor*: the custom instruction drives the generic register file
+        and operand buses.
+        """
+        allowed, _, _ = _FORMAT_OPERANDS[self.fmt]
+        if field not in allowed:
+            raise TieSpecError(
+                f"{self.mnemonic}: format {self.fmt} has no GPR source field {field!r}"
+            )
+        if field in self._sources_used:
+            raise TieSpecError(f"{self.mnemonic}: source field {field!r} read twice; reuse the node")
+        self._sources_used.add(field)
+        if not 1 <= width <= 32:
+            raise TieSpecError(f"{self.mnemonic}: GPR source width must be 1..32")
+        return self._add(Node(self._next_id(), KIND_GPR, width, payload=field))
+
+    def immediate(self, width: int = 12) -> Node:
+        """Read the instruction's immediate field (``I`` format only)."""
+        _, _, has_imm = _FORMAT_OPERANDS[self.fmt]
+        if not has_imm:
+            raise TieSpecError(f"{self.mnemonic}: format {self.fmt} has no immediate field")
+        if self._imm_used:
+            raise TieSpecError(f"{self.mnemonic}: immediate field read twice; reuse the node")
+        self._imm_used = True
+        if not 1 <= width <= 12:
+            raise TieSpecError(f"{self.mnemonic}: immediate width must be 1..12")
+        return self._add(Node(self._next_id(), KIND_IMM, width))
+
+    def const(self, value: int, width: int) -> Node:
+        """A hard-wired constant (free: wiring, not hardware)."""
+        if not 0 <= value <= mask(width):
+            raise TieSpecError(f"{self.mnemonic}: constant {value} does not fit {width} bits")
+        return self._add(Node(self._next_id(), KIND_CONST, width, payload=value))
+
+    def state(self, name: str, width: int, init: int = 0) -> TieState:
+        """Declare (or re-declare, identically) a custom state register."""
+        candidate = TieState(name, width, init)
+        existing = self.states.get(name)
+        if existing is not None and existing != candidate:
+            raise TieSpecError(f"{self.mnemonic}: state {name!r} redeclared with different shape")
+        self.states[name] = candidate
+        return candidate
+
+    def use_state(self, state: TieState) -> TieState:
+        """Attach an externally created (possibly shared) state register."""
+        existing = self.states.get(state.name)
+        if existing is not None and existing != state:
+            raise TieSpecError(f"{self.mnemonic}: state {state.name!r} conflicts with existing declaration")
+        self.states[state.name] = state
+        return state
+
+    def read_state(self, state: TieState) -> Node:
+        """Read a custom state register into the datapath."""
+        self.use_state(state)
+        return self._add(Node(self._next_id(), KIND_STATE, state.width, payload=state.name))
+
+    # -- operator constructors --------------------------------------------
+
+    def _widths(self, op: str, *nodes: object) -> list[int]:
+        """Validate operand nodes early and return their widths."""
+        for node in nodes:
+            if not isinstance(node, Node):
+                raise TieSpecError(f"{self.mnemonic}: {op} input {node!r} is not a Node")
+        return [node.width for node in nodes]  # type: ignore[union-attr]
+
+    def _op(self, op: str, inputs: Sequence[Node], width: int, payload: object = None) -> Node:
+        for node in inputs:
+            if not isinstance(node, Node):
+                raise TieSpecError(f"{self.mnemonic}: {op} input {node!r} is not a Node")
+        kind = KIND_WIRE if op in WIRING_OPS else KIND_OP
+        category = OP_CATEGORY.get(op)
+        return self._add(
+            Node(self._next_id(), kind, width, op=op, category=category, inputs=inputs, payload=payload)
+        )
+
+    def add(self, a: Node, b: Node, width: Optional[int] = None) -> Node:
+        return self._op("add", (a, b), width or max(self._widths("add", a, b)))
+
+    def sub(self, a: Node, b: Node, width: Optional[int] = None) -> Node:
+        return self._op("sub", (a, b), width or max(self._widths("sub", a, b)))
+
+    def compare(self, kind: str, a: Node, b: Node) -> Node:
+        """1-bit comparison: kind in eq/ne/lt_s/lt_u/ge_s/ge_u."""
+        if kind not in ("eq", "ne", "lt_s", "lt_u", "ge_s", "ge_u"):
+            raise TieSpecError(f"{self.mnemonic}: unknown comparison {kind!r}")
+        return self._op(kind, (a, b), 1)
+
+    def minimum(self, a: Node, b: Node, signed: bool = False) -> Node:
+        return self._op("min_s" if signed else "min_u", (a, b), max(self._widths("min", a, b)))
+
+    def maximum(self, a: Node, b: Node, signed: bool = False) -> Node:
+        return self._op("max_s" if signed else "max_u", (a, b), max(self._widths("max", a, b)))
+
+    def bit_and(self, a: Node, b: Node) -> Node:
+        return self._op("and", (a, b), max(self._widths("and", a, b)))
+
+    def bit_or(self, a: Node, b: Node) -> Node:
+        return self._op("or", (a, b), max(self._widths("or", a, b)))
+
+    def bit_xor(self, a: Node, b: Node) -> Node:
+        return self._op("xor", (a, b), max(self._widths("xor", a, b)))
+
+    def bit_not(self, a: Node) -> Node:
+        return self._op("not", (a,), self._widths("not", a)[0])
+
+    def mux(self, sel: Node, if_true: Node, if_false: Node) -> Node:
+        return self._op("mux", (sel, if_true, if_false), max(self._widths("mux", sel, if_true, if_false)[1:]))
+
+    def reduce_or(self, a: Node) -> Node:
+        return self._op("red_or", (a,), 1)
+
+    def reduce_and(self, a: Node) -> Node:
+        return self._op("red_and", (a,), 1)
+
+    def reduce_xor(self, a: Node) -> Node:
+        return self._op("red_xor", (a,), 1)
+
+    def shift_left(self, a: Node, amount: Node, width: Optional[int] = None) -> Node:
+        return self._op("shl", (a, amount), width or self._widths("shl", a, amount)[0])
+
+    def shift_right(self, a: Node, amount: Node, width: Optional[int] = None) -> Node:
+        return self._op("shr", (a, amount), width or self._widths("shr", a, amount)[0])
+
+    def shift_right_arith(self, a: Node, amount: Node, width: Optional[int] = None) -> Node:
+        return self._op("sar", (a, amount), width or self._widths("sar", a, amount)[0])
+
+    def mul(self, a: Node, b: Node, width: Optional[int] = None) -> Node:
+        """General multiplier (category 1)."""
+        return self._op("mul", (a, b), width or sum(self._widths("mul", a, b)))
+
+    def tie_mult(self, a: Node, b: Node, width: Optional[int] = None) -> Node:
+        """Specialized TIE multiplier module (category 6)."""
+        return self._op("tie_mult", (a, b), width or sum(self._widths("tie_mult", a, b)))
+
+    def tie_mac(self, a: Node, b: Node, c: Node, width: Optional[int] = None) -> Node:
+        """Fused multiply-accumulate module (category 7): a*b + c."""
+        return self._op("tie_mac", (a, b, c), width or max(sum(self._widths("tie_mac", a, b)), c.width) + 1)
+
+    def tie_add(self, *terms: Node, width: Optional[int] = None) -> Node:
+        """Multi-operand adder module (category 8)."""
+        if len(terms) < 2:
+            raise TieSpecError(f"{self.mnemonic}: tie_add needs at least two terms")
+        return self._op("tie_add", terms, width or max(self._widths("tie_add", *terms)) + len(terms).bit_length())
+
+    def csa(self, a: Node, b: Node, c: Node, width: Optional[int] = None) -> tuple[Node, Node]:
+        """Carry-save adder (category 9): returns the (sum, carry) pair."""
+        out_width = width or max(self._widths("csa", a, b, c)) + 1
+        s = self._op("csa_sum", (a, b, c), out_width)
+        carry = self._op("csa_carry", (a, b, c), out_width)
+        return s, carry
+
+    def table(self, name: str, data: Sequence[int], index: Node, out_width: int) -> Node:
+        """Lookup table (category 10).  ``len(data)`` must be a power of two."""
+        entries = len(data)
+        if entries == 0 or entries & (entries - 1):
+            raise TieSpecError(f"{self.mnemonic}: table {name!r} needs a power-of-two entry count")
+        limit = mask(out_width)
+        for i, value in enumerate(data):
+            if not 0 <= value <= limit:
+                raise TieSpecError(f"{self.mnemonic}: table {name!r} entry {i} = {value} exceeds {out_width} bits")
+        node = Node(
+            self._next_id(),
+            KIND_TABLE,
+            out_width,
+            op="table",
+            category=ComponentCategory.TABLE,
+            inputs=(index,),
+            payload=tuple(data),
+        )
+        node_named = node
+        self._add(node_named)
+        return node_named
+
+    # -- wiring (free) ------------------------------------------------------
+
+    def slice(self, a: Node, low: int, width: int) -> Node:
+        """Extract ``width`` bits of ``a`` starting at bit ``low`` (free wiring)."""
+        if low < 0 or width <= 0 or low + width > a.width:
+            raise TieSpecError(
+                f"{self.mnemonic}: slice [{low}+:{width}] out of range for {a.width}-bit value"
+            )
+        return self._op("slice", (a,), width, payload=low)
+
+    def concat(self, hi: Node, lo: Node) -> Node:
+        """Concatenate two values, ``hi`` in the upper bits (free wiring)."""
+        return self._op("concat", (hi, lo), sum(self._widths("concat", hi, lo)))
+
+    def sign_extend(self, a: Node, width: int) -> Node:
+        if width < a.width:
+            raise TieSpecError(f"{self.mnemonic}: sign_extend target narrower than source")
+        return self._op("sext", (a,), width)
+
+    def zero_extend(self, a: Node, width: int) -> Node:
+        if width < a.width:
+            raise TieSpecError(f"{self.mnemonic}: zero_extend target narrower than source")
+        return self._op("zext", (a,), width)
+
+    # -- outputs -------------------------------------------------------------
+
+    def result(self, node: Node) -> None:
+        """Route ``node`` to the instruction's GPR result (rd)."""
+        _, has_rd, _ = _FORMAT_OPERANDS[self.fmt]
+        if not has_rd:
+            raise TieSpecError(f"{self.mnemonic}: format {self.fmt} has no result field")
+        if self.result_node is not None:
+            raise TieSpecError(f"{self.mnemonic}: result assigned twice")
+        self.result_node = node
+
+    def write_state(self, state: TieState, node: Node) -> None:
+        """Latch ``node`` into custom register ``state`` at instruction end."""
+        self.use_state(state)
+        if any(s.name == state.name for s, _ in self.state_writes):
+            raise TieSpecError(f"{self.mnemonic}: state {state.name!r} written twice")
+        self.state_writes.append((state, node))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def reads_gpr(self) -> bool:
+        """True when the datapath reads the generic register file."""
+        return bool(self._sources_used)
+
+    @property
+    def writes_gpr(self) -> bool:
+        return self.result_node is not None
+
+    @property
+    def accesses_gpr(self) -> bool:
+        """True when the instruction touches the base register file at all
+        (the condition for the paper's ``N_sd`` side-effect variable)."""
+        return self.reads_gpr or self.writes_gpr
+
+    def validate(self) -> None:
+        """Check the spec is complete and well-formed (raises TieSpecError)."""
+        _, has_rd, _ = _FORMAT_OPERANDS[self.fmt]
+        if has_rd and self.result_node is None:
+            raise TieSpecError(f"{self.mnemonic}: format {self.fmt} requires a result()")
+        if not has_rd and not self.state_writes:
+            raise TieSpecError(f"{self.mnemonic}: instruction has no architectural effect")
+        if not self.nodes:
+            raise TieSpecError(f"{self.mnemonic}: empty datapath")
+        written = {s.name for s, _ in self.state_writes}
+        read = {n.payload for n in self.nodes if n.kind == KIND_STATE}
+        unused = set(self.states) - written - read
+        if unused:
+            raise TieSpecError(f"{self.mnemonic}: declared but unused state registers {sorted(unused)}")
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_id(self) -> int:
+        return len(self.nodes)
+
+    def _add(self, node: Node) -> Node:
+        self.nodes.append(node)
+        return node

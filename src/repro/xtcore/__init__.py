@@ -1,0 +1,32 @@
+"""``repro.xtcore`` — the extensible-processor substrate (Xtensa substitute)."""
+
+from .caches import SetAssociativeCache
+from .config import CacheConfig, ProcessorConfig, TimingConfig, build_processor
+from .iss import (
+    DEFAULT_STACK_TOP,
+    EXIT_ADDRESS,
+    SimulationError,
+    SimulationLimitExceeded,
+    SimulationResult,
+    Simulator,
+    simulate,
+)
+from .trace import ExecutionStats, TraceRecord, class_mix
+
+__all__ = [
+    "CacheConfig",
+    "DEFAULT_STACK_TOP",
+    "EXIT_ADDRESS",
+    "ExecutionStats",
+    "ProcessorConfig",
+    "SetAssociativeCache",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "SimulationResult",
+    "Simulator",
+    "TimingConfig",
+    "TraceRecord",
+    "build_processor",
+    "class_mix",
+    "simulate",
+]

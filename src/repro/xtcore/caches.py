@@ -1,0 +1,76 @@
+"""Set-associative cache model with true-LRU replacement.
+
+Only hit/miss behaviour matters to the energy flow (the macro-model
+variables ``N_cm``/``N_dm`` count misses; the reference RTL estimator
+charges per-access and per-miss energies), so the model tracks tags and
+recency but not line contents.
+"""
+
+from __future__ import annotations
+
+from .config import CacheConfig
+
+
+class SetAssociativeCache:
+    """A tag-only set-associative cache with per-set LRU ordering."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = config.num_sets - 1
+        # Per set: list of tags in LRU order (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr >> self._offset_bits
+        return line & self._index_mask, line >> self._index_mask.bit_length()
+
+    def access(self, addr: int) -> bool:
+        """Access the line containing ``addr``; returns True on a hit.
+
+        Misses allocate the line (write-allocate for the D-cache; fills
+        for the I-cache), evicting the LRU way when the set is full.
+        """
+        index, tag = self._locate(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.config.ways:
+            ways.pop()
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-destructive lookup (no LRU update, no fill)."""
+        index, tag = self._locate(addr)
+        return tag in self._sets[index]
+
+    def flush(self) -> None:
+        """Invalidate all lines and reset statistics."""
+        for ways in self._sets:
+            ways.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"SetAssociativeCache({self.name}: {cfg.size_bytes}B, {cfg.ways}-way, "
+            f"{cfg.line_bytes}B lines, {self.hits} hits / {self.misses} misses)"
+        )

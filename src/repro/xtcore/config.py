@@ -1,0 +1,164 @@
+"""Processor configuration: base core options + custom-instruction extensions.
+
+Mirrors the paper's target configuration: a T1040-class base core at
+187 MHz with a 32-bit multiply option, 4-way 16 KB instruction and data
+caches, a 32-bit system bus and a 64x32-bit generic register file —
+extended per application with compiled TIE-substitute instructions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import cached_property
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..hwlib import ComponentInstance
+from ..isa import InstructionSet, base_isa
+from ..tie import TieImplementation, TieSpec, compile_extension
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache (I or D)."""
+
+    size_bytes: int = 16 * 1024
+    ways: int = 4
+    line_bytes: int = 32
+    miss_penalty: int = 12
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line size {self.line_bytes} must be a power of two")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError("cache size must be a multiple of ways x line size")
+        sets = self.size_bytes // (self.ways * self.line_bytes)
+        if sets & (sets - 1):
+            raise ValueError(f"number of sets ({sets}) must be a power of two")
+        if self.miss_penalty < 0:
+            raise ValueError("miss penalty must be non-negative")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingConfig:
+    """Pipeline penalty/stall cycle counts of the five-stage base core."""
+
+    branch_taken_penalty: int = 2
+    interlock_stall: int = 1
+    uncached_fetch_penalty: int = 10
+
+    def __post_init__(self) -> None:
+        if min(self.branch_taken_penalty, self.interlock_stall, self.uncached_fetch_penalty) < 0:
+            raise ValueError("timing penalties must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorConfig:
+    """One extensible-processor instance: base options + extensions.
+
+    ``extensions`` holds *compiled* custom instructions; use
+    :meth:`with_extensions` / :func:`build_processor` to go from raw
+    :class:`~repro.tie.TieSpec` objects.
+    """
+
+    name: str = "xt1040"
+    clock_mhz: float = 187.0
+    num_registers: int = 64
+    icache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
+    dcache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
+    timing: TimingConfig = dataclasses.field(default_factory=TimingConfig)
+    extensions: tuple[TieImplementation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_registers <= 64:
+            raise ValueError("register file size must be 1..64")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock must be positive")
+        mnemonics = [impl.mnemonic for impl in self.extensions]
+        if len(set(mnemonics)) != len(mnemonics):
+            raise ValueError(f"duplicate custom mnemonics in {self.name}: {mnemonics}")
+
+    @cached_property
+    def isa(self) -> InstructionSet:
+        """The full instruction set: base ISA + custom definitions."""
+        isa = base_isa()
+        if not self.extensions:
+            return isa
+        return isa.extend(
+            f"{isa.name}+{self.name}",
+            [impl.instruction for impl in self.extensions],
+        )
+
+    @cached_property
+    def extension_index(self) -> Mapping[str, TieImplementation]:
+        """Custom-instruction implementations keyed by mnemonic."""
+        return {impl.mnemonic: impl for impl in self.extensions}
+
+    def extension_for(self, mnemonic: str) -> Optional[TieImplementation]:
+        return self.extension_index.get(mnemonic)
+
+    @cached_property
+    def custom_instances(self) -> tuple[ComponentInstance, ...]:
+        """All custom-hardware instances, de-duplicated by name.
+
+        State registers shared between instructions appear once; the TIE
+        compiler guarantees equal-named instances are identical.
+        """
+        seen: dict[str, ComponentInstance] = {}
+        for impl in self.extensions:
+            for instance in impl.instances:
+                existing = seen.get(instance.name)
+                if existing is not None and existing != instance:
+                    raise ValueError(
+                        f"{self.name}: conflicting hardware instances named {instance.name!r}"
+                    )
+                seen[instance.name] = instance
+        return tuple(seen.values())
+
+    @cached_property
+    def state_inits(self) -> Mapping[str, int]:
+        """Initial values of all custom state registers."""
+        inits: dict[str, int] = {}
+        for impl in self.extensions:
+            for name, state in impl.spec.states.items():
+                inits[name] = state.init
+        return inits
+
+    def with_extensions(self, name: str, specs: Sequence[TieSpec]) -> "ProcessorConfig":
+        """Return a new processor extended with compiled ``specs``."""
+        return dataclasses.replace(
+            self, name=name, extensions=tuple(compile_extension(list(specs)))
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            f"processor {self.name}: {self.clock_mhz:g} MHz, "
+            f"{self.num_registers}x32 GPR, "
+            f"I$ {self.icache.size_bytes // 1024}KB/{self.icache.ways}-way, "
+            f"D$ {self.dcache.size_bytes // 1024}KB/{self.dcache.ways}-way",
+        ]
+        for impl in self.extensions:
+            lines.append(
+                f"  custom {impl.mnemonic} ({impl.spec.fmt}, {impl.latency} cycle(s)): "
+                f"{impl.spec.description or 'no description'}"
+            )
+        return "\n".join(lines)
+
+
+def build_processor(
+    name: str = "xt1040",
+    specs: Iterable[TieSpec] = (),
+    base: Optional[ProcessorConfig] = None,
+) -> ProcessorConfig:
+    """Create a processor config, compiling ``specs`` as its extension."""
+    base_config = base if base is not None else ProcessorConfig()
+    specs = list(specs)
+    if not specs:
+        return dataclasses.replace(base_config, name=name)
+    return base_config.with_extensions(name, specs)

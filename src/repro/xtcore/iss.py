@@ -1,0 +1,308 @@
+"""Cycle-approximate instruction-set simulator for the extensible core.
+
+This is the fast path of the paper's methodology (steps 6 and 9 of its
+flow): instruction-set simulation gathers execution statistics — class
+cycle counts, cache misses, uncached fetches, interlocks, custom
+instruction counts — in one pass, without any structural hardware model.
+
+The timing model is a five-stage in-order pipeline abstraction:
+
+* every instruction occupies its definition latency in issue cycles;
+* taken branches and jumps pay a pipeline-flush penalty, attributed to
+  their class cycles (the paper's branch-taken class has a per-cycle
+  coefficient covering this);
+* a load-use dependence stalls the pipeline (the ``N_il`` interlock
+  event);
+* instruction fetches hit the I-cache, pay a miss penalty, or pay the
+  uncached-fetch penalty when the address lies in an uncached region;
+* loads and stores access the D-cache and pay miss penalties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..asm import Program
+from ..isa import (
+    INSTRUCTION_BYTES,
+    InstructionClass,
+    MachineState,
+)
+from ..isa.bits import truncate
+from ..isa.instructions import Instruction, InstructionDef
+from .caches import SetAssociativeCache
+from .config import ProcessorConfig
+from .trace import ExecutionStats, TraceRecord
+
+#: Value planted in the link register at reset; returning to it halts the
+#: simulation, so top-level routines may end with ``ret`` instead of ``halt``.
+EXIT_ADDRESS = 0xFFFF_FFF0
+
+#: Default stack-pointer value at reset (grows downward).
+DEFAULT_STACK_TOP = 0x0007_FF00
+
+
+class SimulationError(RuntimeError):
+    """The simulated program did something unrecoverable."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The instruction budget ran out (probable infinite loop)."""
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Output of one simulated run."""
+
+    program: Program
+    config: ProcessorConfig
+    stats: ExecutionStats
+    state: MachineState
+    trace: Optional[list[TraceRecord]] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.total_cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.total_instructions
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Simulated wall-clock time at the configured core frequency."""
+        return self.stats.total_cycles / (self.config.clock_mhz * 1e6)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the run (pipeline-quality metric)."""
+        if self.stats.total_instructions == 0:
+            return 0.0
+        return self.stats.total_cycles / self.stats.total_instructions
+
+    def performance_summary(self) -> str:
+        """One-paragraph performance digest (CPI, stall/penalty shares)."""
+        stats = self.stats
+        cycles = stats.total_cycles or 1
+        penalty_cycles = (
+            stats.interlocks * self.config.timing.interlock_stall
+            + stats.icache_misses * self.config.icache.miss_penalty
+            + stats.dcache_misses * self.config.dcache.miss_penalty
+            + stats.uncached_fetches * self.config.timing.uncached_fetch_penalty
+        )
+        return (
+            f"{self.program.name} on {self.config.name}: "
+            f"{stats.total_instructions} instructions in {stats.total_cycles} cycles "
+            f"(CPI {self.cpi:.2f}, {100.0 * penalty_cycles / cycles:.1f}% in "
+            f"stalls/miss penalties, {self.runtime_seconds * 1e6:.1f} us at "
+            f"{self.config.clock_mhz:g} MHz)"
+        )
+
+    def word(self, symbol: str) -> int:
+        """Read a 32-bit little-endian word at a program symbol (for checks)."""
+        return self.state.memory.read(self.program.symbol(symbol), 4)
+
+    def words(self, symbol: str, count: int) -> list[int]:
+        base = self.program.symbol(symbol)
+        return [self.state.memory.read(base + 4 * i, 4) for i in range(count)]
+
+
+class Simulator:
+    """Executes one :class:`Program` on one :class:`ProcessorConfig`."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        program: Program,
+        collect_trace: bool = False,
+        max_instructions: int = 5_000_000,
+    ) -> None:
+        self.config = config
+        self.program = program
+        self.collect_trace = collect_trace
+        self.max_instructions = max_instructions
+        isa = config.isa
+        # Pre-decode: (instruction, definition, uncached?) per address.
+        self._decoded: dict[int, tuple[Instruction, InstructionDef, bool]] = {}
+        for addr, ins in program.instructions.items():
+            try:
+                definition = isa.lookup(ins.mnemonic)
+            except KeyError as exc:
+                raise SimulationError(
+                    f"{program.name}: instruction {ins.mnemonic!r} at {addr:#x} "
+                    f"is not in processor {config.name}'s ISA"
+                ) from exc
+            self._decoded[addr] = (ins, definition, program.is_uncached(addr))
+
+    def _reset(self) -> MachineState:
+        state = MachineState(self.config.num_registers)
+        for addr, blob in self.program.data:
+            state.memory.write_bytes(addr, blob)
+        state.tie_state.update(self.config.state_inits)
+        state.set(0, EXIT_ADDRESS)  # link register sentinel
+        state.set(1, DEFAULT_STACK_TOP)
+        state.pc = self.program.entry
+        return state
+
+    def run(self, entry: Optional[int] = None) -> SimulationResult:
+        """Simulate from ``entry`` (default: program entry) to completion."""
+        state = self._reset()
+        if entry is not None:
+            state.pc = entry
+        stats = ExecutionStats()
+        trace: Optional[list[TraceRecord]] = [] if self.collect_trace else None
+        icache = SetAssociativeCache(self.config.icache, "icache")
+        dcache = SetAssociativeCache(self.config.dcache, "dcache")
+        timing = self.config.timing
+        decoded = self._decoded
+        extensions = self.config.extension_index
+
+        prev_load_dests: tuple[int, ...] = ()
+        executed = 0
+
+        while not state.halted:
+            pc = state.pc
+            if pc == EXIT_ADDRESS:
+                break
+            entry_tuple = decoded.get(pc)
+            if entry_tuple is None:
+                raise SimulationError(
+                    f"{self.program.name}: pc={pc:#010x} is not a valid instruction address"
+                )
+            ins, definition, uncached = entry_tuple
+
+            if executed >= self.max_instructions:
+                raise SimulationLimitExceeded(
+                    f"{self.program.name}: exceeded {self.max_instructions} instructions"
+                )
+            executed += 1
+
+            # ---- fetch ---------------------------------------------------
+            cycles = 0
+            icache_miss = False
+            if uncached:
+                stats.uncached_fetches += 1
+                cycles += timing.uncached_fetch_penalty
+            elif not icache.access(pc):
+                icache_miss = True
+                stats.icache_misses += 1
+                cycles += self.config.icache.miss_penalty
+
+            # ---- decode / hazard detection -------------------------------
+            sources = definition.source_registers(ins)
+            interlock = bool(prev_load_dests) and any(
+                src in prev_load_dests for src in sources
+            )
+            if interlock:
+                stats.interlocks += 1
+                cycles += timing.interlock_stall
+
+            operands = tuple(state.get(src) for src in sources)
+
+            # ---- execute --------------------------------------------------
+            next_pc = definition.semantics(state, ins)
+
+            # ---- memory timing -------------------------------------------
+            dcache_miss = False
+            mem_addr: Optional[int] = None
+            iclass = definition.iclass
+            if iclass in (InstructionClass.LOAD, InstructionClass.STORE):
+                mem_addr = truncate(operands[0] + (ins.imm or 0))
+                if not dcache.access(mem_addr):
+                    dcache_miss = True
+                    stats.dcache_misses += 1
+                    cycles += self.config.dcache.miss_penalty
+
+            # ---- cycle attribution ----------------------------------------
+            if iclass is InstructionClass.BRANCH:
+                taken = next_pc is not None
+                resolved = (
+                    InstructionClass.BRANCH_TAKEN if taken else InstructionClass.BRANCH_UNTAKEN
+                )
+                issue_cycles = definition.latency + (timing.branch_taken_penalty if taken else 0)
+                stats.class_cycles[resolved] += issue_cycles
+                stats.class_counts[resolved] += 1
+            elif iclass is InstructionClass.JUMP:
+                resolved = iclass
+                issue_cycles = definition.latency + timing.branch_taken_penalty
+                stats.class_cycles[iclass] += issue_cycles
+                stats.class_counts[iclass] += 1
+            elif iclass is InstructionClass.CUSTOM:
+                resolved = iclass
+                issue_cycles = definition.latency
+                mnemonic = ins.mnemonic
+                stats.custom_cycles[mnemonic] = (
+                    stats.custom_cycles.get(mnemonic, 0) + issue_cycles
+                )
+                stats.custom_counts[mnemonic] = stats.custom_counts.get(mnemonic, 0) + 1
+                impl = extensions[mnemonic]
+                if impl.accesses_gpr:
+                    stats.custom_gpr_cycles += issue_cycles
+            elif iclass is InstructionClass.SYSTEM:
+                resolved = iclass
+                issue_cycles = definition.latency
+                stats.system_cycles += issue_cycles
+            else:  # ARITH, LOAD, STORE
+                resolved = iclass
+                issue_cycles = definition.latency
+                stats.class_cycles[iclass] += issue_cycles
+                stats.class_counts[iclass] += 1
+
+            cycles += issue_cycles
+            stats.total_cycles += cycles
+            stats.total_instructions += 1
+            stats.mnemonic_counts[ins.mnemonic] = (
+                stats.mnemonic_counts.get(ins.mnemonic, 0) + 1
+            )
+            # Base instructions with register sources drive the shared
+            # operand buses, spuriously activating bus-tapped custom logic.
+            if iclass is not InstructionClass.CUSTOM and sources:
+                stats.base_bus_cycles += issue_cycles
+
+            if trace is not None:
+                dests = definition.dest_registers(ins)
+                result = state.get(dests[0]) if dests else 0
+                trace.append(
+                    TraceRecord(
+                        addr=pc,
+                        mnemonic=ins.mnemonic,
+                        iclass=resolved,
+                        cycles=cycles,
+                        operands=operands,
+                        result=result,
+                        icache_miss=icache_miss,
+                        dcache_miss=dcache_miss,
+                        uncached_fetch=uncached,
+                        interlock=interlock,
+                        mem_addr=mem_addr,
+                    )
+                )
+
+            # ---- hazard bookkeeping / next pc -----------------------------
+            prev_load_dests = (
+                definition.dest_registers(ins)
+                if iclass is InstructionClass.LOAD
+                else ()
+            )
+            state.pc = next_pc if next_pc is not None else pc + INSTRUCTION_BYTES
+
+        return SimulationResult(
+            program=self.program,
+            config=self.config,
+            stats=stats,
+            state=state,
+            trace=trace,
+        )
+
+
+def simulate(
+    config: ProcessorConfig,
+    program: Program,
+    collect_trace: bool = False,
+    max_instructions: int = 5_000_000,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    return Simulator(
+        config, program, collect_trace=collect_trace, max_instructions=max_instructions
+    ).run()

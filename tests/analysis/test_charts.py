@@ -1,0 +1,105 @@
+"""ASCII chart rendering tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import bar_chart, profile_chart, sparkline
+
+FLOATS = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestBarChart:
+    def test_signed_layout(self):
+        chart = bar_chart(["a", "b"], [5.0, -5.0], width=20)
+        lines = chart.splitlines()
+        a_line = next(line for line in lines if line.startswith("a"))
+        b_line = next(line for line in lines if line.startswith("b"))
+        a_axis = a_line.index("|")
+        assert "#" in a_line[a_axis:]
+        assert "#" not in a_line[:a_axis]
+        b_axis = b_line.index("|")
+        assert "#" in b_line[:b_axis]
+        assert "#" not in b_line[b_axis + 1 :]
+
+    def test_values_annotated(self):
+        chart = bar_chart(["prog"], [3.14])
+        assert "+3.14%" in chart
+
+    def test_title(self):
+        chart = bar_chart(["x"], [1.0], title="my title")
+        assert chart.splitlines()[0] == "my title"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=4)
+
+    def test_all_zero_values(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in chart
+
+    @given(st.lists(FLOATS, min_size=1, max_size=30))
+    def test_never_crashes_and_one_line_per_value(self, values):
+        labels = [f"v{i}" for i in range(len(values))]
+        chart = bar_chart(labels, values)
+        body = [line for line in chart.splitlines() if line.startswith("v")]
+        assert len(body) == len(values)
+
+
+class TestProfileChart:
+    def test_two_series(self):
+        chart = profile_chart(
+            ["p1", "p2"], {"macro": [100.0, 10.0], "ref": [90.0, 11.0]}
+        )
+        assert "macro" in chart and "ref" in chart
+        assert chart.count("#") > 4
+
+    def test_log_scaling_compresses(self):
+        linear = profile_chart(["a", "b"], {"s": [1000.0, 1.0]}, log=False)
+        logged = profile_chart(["a", "b"], {"s": [1000.0, 1.0]}, log=True)
+
+        def cells(chart, row):
+            return [line.count("#") for line in chart.splitlines() if not line.startswith(" ") and line][row]
+
+        # the small value is invisible linearly, visible logarithmically
+        assert cells(logged, 1) >= 1
+        assert cells(linear, 0) > cells(linear, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile_chart([], {})
+        with pytest.raises(ValueError):
+            profile_chart(["a"], {"s": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            profile_chart(["a"], {"s": [0.0]})
+
+    def test_values_annotated_with_separators(self):
+        chart = profile_chart(["a"], {"s": [1234567.0]})
+        assert "1,234,567" in chart
+
+
+class TestSparkline:
+    def test_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert len(line) == 8
+        assert line[0] == " " and line[-1] == "#"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    @given(st.lists(FLOATS, min_size=1, max_size=200))
+    def test_never_crashes(self, values):
+        line = sparkline(values, width=40)
+        assert len(line) <= 40

@@ -1,0 +1,77 @@
+"""Metric helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    max_absolute_percent_error,
+    mean_absolute_percent_error,
+    percent_error,
+    percent_errors,
+    rms_percent_error,
+    spearman_rho,
+)
+
+FLOATS = st.floats(min_value=0.1, max_value=1e6, allow_nan=False)
+
+
+class TestPercentErrors:
+    def test_signed(self):
+        assert percent_error(110, 100) == pytest.approx(10.0)
+        assert percent_error(90, 100) == pytest.approx(-10.0)
+        assert percent_error(0, 0) == 0.0
+        assert percent_error(5, 0) == math.inf
+
+    def test_aggregates(self):
+        estimates = [110, 90, 100]
+        references = [100, 100, 100]
+        assert mean_absolute_percent_error(estimates, references) == pytest.approx(20 / 3)
+        assert max_absolute_percent_error(estimates, references) == pytest.approx(10.0)
+        assert rms_percent_error(estimates, references) == pytest.approx(
+            math.sqrt((100 + 100 + 0) / 3)
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            percent_errors([1.0], [1.0, 2.0])
+
+    @given(st.lists(FLOATS, min_size=1, max_size=20))
+    def test_perfect_estimates_are_zero(self, values):
+        assert mean_absolute_percent_error(values, values) == 0.0
+        assert rms_percent_error(values, values) == 0.0
+
+
+class TestSpearman:
+    def test_identical_ranking(self):
+        assert spearman_rho([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_reversed_ranking(self):
+        assert spearman_rho([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        a = [3.0, 1.0, 4.0, 1.5, 5.0]
+        b = [x**3 + 2 for x in a]
+        assert spearman_rho(a, b) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        rho = spearman_rho([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        assert spearman_rho([1, 1, 1], [1, 1, 1]) == 1.0
+        assert spearman_rho([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1], [1])
+        with pytest.raises(ValueError):
+            spearman_rho([1, 2], [1, 2, 3])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=30))
+    def test_bounded(self, values):
+        other = list(reversed(values))
+        rho = spearman_rho(values, other)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9

@@ -1,0 +1,92 @@
+"""Report-object formatting tests with synthetic data (no heavy compute)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Fig4Result, Fig4Row, SuiteSizeResult, SuiteSizeRow
+from repro.analysis.experiments import AblationResult, SuiteQualityResult
+from repro.core import CoverageReport
+
+
+class TestFig4Rows:
+    def test_percent_error(self):
+        row = Fig4Row("x", macro_energy=110.0, reference_energy=100.0, cycles=10)
+        assert row.percent_error == pytest.approx(10.0)
+        zero = Fig4Row("z", macro_energy=5.0, reference_energy=0.0, cycles=1)
+        assert zero.percent_error == 0.0
+
+    def test_result_aggregates_and_report(self):
+        rows = [
+            Fig4Row("a", 100.0, 98.0, 10),
+            Fig4Row("b", 50.0, 55.0, 5),
+            Fig4Row("c", 10.0, 9.5, 2),
+        ]
+        result = Fig4Result(rows=rows)
+        assert result.rank_correlation == pytest.approx(1.0)
+        assert result.max_abs_percent_error == pytest.approx(100.0 * 5 / 55)
+        report = result.report()
+        assert "Spearman" in report
+        assert "a" in report and "c" in report
+        assert "#" in report  # the profile chart
+
+    def test_rank_inversion_detected(self):
+        rows = [Fig4Row("a", 10.0, 100.0, 1), Fig4Row("b", 100.0, 10.0, 1)]
+        assert Fig4Result(rows=rows).rank_correlation == pytest.approx(-1.0)
+
+
+class TestSuiteSizeResult:
+    def test_report_columns(self):
+        result = SuiteSizeResult(
+            rows=[
+                SuiteSizeRow(size=25, rank=21, fit_rms=0.5, app_mean_error=5.8, app_max_error=18.3),
+                SuiteSizeRow(size=56, rank=21, fit_rms=1.3, app_mean_error=3.2, app_max_error=6.5),
+            ]
+        )
+        report = result.report()
+        assert "suite size" in report
+        assert "25" in report and "56" in report
+        assert "18.30" in report
+
+
+class TestAblationResult:
+    def test_report(self):
+        result = AblationResult(
+            name="demo",
+            baseline_label="baseline",
+            variant_label="variant",
+            baseline_mean_error=3.0,
+            variant_mean_error=15.0,
+            baseline_max_error=8.0,
+            variant_max_error=57.0,
+        )
+        report = result.report()
+        assert "ablation demo" in report
+        assert "3.00%" in report and "57.00%" in report
+
+
+class TestSuiteQualityResult:
+    def _coverage(self):
+        return CoverageReport(
+            template_name="hybrid-21",
+            n_samples=3,
+            coverage={"N_a": 1.0},
+            unexercised=[],
+            low_coverage=[],
+            rank=21,
+            n_variables=21,
+            condition_number=100.0,
+            warnings=[],
+        )
+
+    def test_aggregates_and_worst(self):
+        result = SuiteQualityResult(
+            names=["p1", "p2", "p3"],
+            loo_percent_errors=np.array([1.0, -9.0, 3.0]),
+            coverage=self._coverage(),
+        )
+        assert result.loo_max_abs == pytest.approx(9.0)
+        assert result.loo_rms == pytest.approx(np.sqrt((1 + 81 + 9) / 3))
+        assert result.worst(1) == [("p2", -9.0)]
+        report = result.report()
+        assert "LOOCV RMS" in report
+        assert "p2" in report

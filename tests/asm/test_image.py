@@ -1,0 +1,107 @@
+"""XPF binary object format tests: round trips, errors, cross-ISA checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import ImageError, assemble, read_image, write_image
+from repro.isa import BASE_ISA
+from repro.programs.extensions import mul16_spec
+from repro.xtcore import Simulator, build_processor
+
+SOURCE = """
+    .equ LEN, 6
+    .data
+arr: .word 4, 8, 15, 16, 23, 42
+out: .word 0
+    .text
+main:
+    la a2, arr
+    movi a3, LEN
+    movi a4, 0
+loop:
+    l32i a5, a2, 0
+    add a4, a4, a5
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, loop
+    la a2, out
+    s32i a4, a2, 0
+    j finish
+    .utext
+ucode:
+    nop
+    j finish
+    .text
+finish:
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SOURCE, "imgtest")
+
+
+class TestRoundTrip:
+    def test_program_identical_after_roundtrip(self, program):
+        image = write_image(program, BASE_ISA)
+        restored = read_image(image, BASE_ISA, name="imgtest")
+        assert set(restored.instructions) == set(program.instructions)
+        for addr, ins in program.instructions.items():
+            other = restored.instructions[addr]
+            assert (ins.mnemonic, ins.rd, ins.rs, ins.rt, ins.imm) == (
+                other.mnemonic, other.rd, other.rs, other.rt, other.imm,
+            )
+        assert sorted(restored.data) == sorted(program.data)
+        assert restored.symbols == program.symbols
+        assert restored.entry == program.entry
+        assert restored.uncached_ranges == program.uncached_ranges
+
+    def test_restored_program_simulates_identically(self, program):
+        config = build_processor("img")
+        restored = read_image(write_image(program, config.isa), config.isa)
+        original_run = Simulator(config, program).run()
+        restored_run = Simulator(config, restored).run()
+        assert restored_run.word("out") == original_run.word("out") == 108
+        assert restored_run.stats.total_cycles == original_run.stats.total_cycles
+        assert restored_run.stats.uncached_fetches == original_run.stats.uncached_fetches
+
+    def test_custom_instructions_roundtrip(self):
+        config = build_processor("img-ext", [mul16_spec()])
+        program = assemble(
+            "main:\n    movi a2, 6\n    movi a3, 7\n    mul16 a4, a2, a3\n    halt\n",
+            "ext",
+            isa=config.isa,
+        )
+        restored = read_image(write_image(program, config.isa), config.isa)
+        result = Simulator(config, restored).run()
+        assert result.state.get(4) == 42
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=40))
+    def test_random_length_programs(self, count):
+        body = "\n".join(f"    addi a2, a2, {i % 7}" for i in range(count))
+        program = assemble(f"main:\n{body}\n    halt\n", "rand")
+        restored = read_image(write_image(program, BASE_ISA), BASE_ISA)
+        assert len(restored) == len(program)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ImageError, match="magic"):
+            read_image(b"NOPE" + b"\x00" * 40, BASE_ISA)
+
+    def test_truncated(self, program):
+        image = write_image(program, BASE_ISA)
+        with pytest.raises(ImageError, match="truncated"):
+            read_image(image[: len(image) // 2], BASE_ISA)
+
+    def test_wrong_isa_rejected(self):
+        config = build_processor("img-ext2", [mul16_spec()])
+        program = assemble(
+            "main:\n    mul16 a4, a2, a3\n    halt\n", "ext", isa=config.isa
+        )
+        image = write_image(program, config.isa)
+        with pytest.raises(ImageError, match="unknown to ISA"):
+            read_image(image, BASE_ISA)

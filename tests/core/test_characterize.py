@@ -1,0 +1,190 @@
+"""Characterization-flow tests on a small dedicated suite."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core import Characterizer, audit_coverage, characterize
+from repro.core.characterize import CharacterizationSample
+from repro.tie import TieSpec
+from repro.xtcore import build_processor
+
+
+def _mul16():
+    spec = TieSpec("chmul", fmt="R3")
+    a = spec.source("rs", width=16)
+    b = spec.source("rt", width=16)
+    spec.result(spec.tie_mult(a, b))
+    return spec
+
+
+def _mini_suite():
+    base = build_processor("ch-base")
+    extended = build_processor("ch-ext", [_mul16()])
+    sources = {
+        "arith": "main:\n    movi a2, 60\nl:\n    add a3, a3, a2\n    xor a3, a3, a2\n    addi a2, a2, -1\n    bnez a2, l\n    halt\n",
+        "loads": "    .data\nb: .space 256\n    .text\nmain:\n    la a2, b\n    movi a3, 40\nl:\n    l32i a4, a2, 0\n    s32i a4, a2, 4\n    addi a2, a2, 4\n    addi a3, a3, -1\n    bnez a3, l\n    halt\n",
+        "mulheavy": "main:\n    movi a2, 50\n    movi a3, 7\nl:\n    chmul a4, a3, a2\n    add a3, a3, a4\n    addi a2, a2, -1\n    bnez a2, l\n    halt\n",
+        "mullight": "main:\n    movi a2, 60\nl:\n    add a3, a3, a2\n    sub a4, a3, a2\n    or a3, a3, a4\n    addi a2, a2, -1\n    bnez a2, l\n    chmul a5, a3, a4\n    halt\n",
+    }
+    runs = []
+    for name, source in sources.items():
+        config = extended if "mul" in name else base
+        runs.append((config, assemble(source, name, isa=config.isa)))
+    return runs
+
+
+class TestCharacterizer:
+    def test_add_program_collects_sample(self):
+        characterizer = Characterizer()
+        config, program = _mini_suite()[0]
+        sample = characterizer.add_program(config, program)
+        assert sample.energy > 0
+        assert sample.variables.shape == (21,)
+        assert len(characterizer) == 1
+
+    def test_fit_requires_samples(self):
+        with pytest.raises(ValueError, match="no characterization samples"):
+            Characterizer().fit()
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError, match="unknown regression method"):
+            Characterizer(method="lasso")
+
+    def test_add_sample_shape_checked(self):
+        characterizer = Characterizer()
+        bad = CharacterizationSample("x", "p", np.ones(3), 1.0, None)
+        with pytest.raises(ValueError, match="variables"):
+            characterizer.add_sample(bad)
+
+    def test_fit_produces_model_and_report(self):
+        result = characterize(_mini_suite())
+        assert result.model.fit_info["samples"] == 4
+        assert result.design.shape == (4, 21)
+        assert len(result.fitting_errors) == 4
+        table = result.fitting_error_table()
+        assert "mulheavy" in table
+        assert "RMS" in table
+
+    def test_methods_agree_on_well_posed_data(self):
+        runs = _mini_suite()
+        nnls_model = characterize(runs, method="nnls").model
+        ols_model = characterize(runs, method="ols").model
+        config, program = runs[2]
+        nnls_energy = nnls_model.estimate(config, program).energy
+        ols_energy = ols_model.estimate(config, program).energy
+        assert nnls_energy == pytest.approx(ols_energy, rel=0.15)
+
+    def test_ridge_method_runs(self):
+        result = characterize(_mini_suite(), method="ridge")
+        assert result.regression.rms_percent_error < 50
+
+    def test_progress_callback(self):
+        messages = []
+        characterize(_mini_suite(), progress=messages.append)
+        assert len(messages) == 4
+        assert "arith" in messages[0]
+
+    def test_estimator_cache_reused(self):
+        characterizer = Characterizer()
+        runs = _mini_suite()
+        characterizer.add_program(*runs[2])
+        estimator_first = characterizer._estimators["ch-ext"]
+        characterizer.add_program(*runs[3])
+        assert characterizer._estimators["ch-ext"] is estimator_first
+
+
+class TestCoverageAudit:
+    def test_mini_suite_flagged_incomplete(self):
+        characterizer = Characterizer()
+        for config, program in _mini_suite():
+            characterizer.add_program(config, program)
+        report = audit_coverage(characterizer.samples, characterizer.template)
+        assert not report.is_adequate  # many variables unexercised
+        assert "S_table" in report.unexercised
+        assert report.rank < report.n_variables
+        assert any("never exercised" in w for w in report.warnings)
+        assert "UNEXERCISED" in report.summary()
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            audit_coverage([], Characterizer().template)
+
+
+class TestSampleCache:
+    def test_save_load_roundtrip(self, tmp_path):
+        import numpy as np
+
+        characterizer = Characterizer()
+        for config, program in _mini_suite():
+            characterizer.add_program(config, program)
+        path = str(tmp_path / "samples.json")
+        characterizer.save_samples(path)
+
+        fresh = Characterizer(method="ols")
+        assert fresh.load_samples(path) == 4
+        original_design, original_energy = characterizer.design_matrix()
+        loaded_design, loaded_energy = fresh.design_matrix()
+        assert np.allclose(original_design, loaded_design)
+        assert np.allclose(original_energy, loaded_energy)
+        # re-fitting from cache gives the same coefficients (same method)
+        a = Characterizer()
+        a.load_samples(path)
+        assert np.allclose(
+            a.fit().model.coefficients, characterizer.fit().model.coefficients
+        )
+
+    def test_template_mismatch_rejected(self, tmp_path):
+        from repro.core import instruction_level_template
+
+        characterizer = Characterizer()
+        config, program = _mini_suite()[0]
+        characterizer.add_program(config, program)
+        path = str(tmp_path / "samples.json")
+        characterizer.save_samples(path)
+
+        other = Characterizer(template=instruction_level_template())
+        with pytest.raises(ValueError, match="template"):
+            other.load_samples(path)
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="unrecognized"):
+            Characterizer().load_samples(str(path))
+
+
+class TestCollinearityDiagnostics:
+    def test_detects_proportional_columns(self):
+        import numpy as np
+
+        from repro.core import collinear_columns
+
+        design = np.array(
+            [
+                [1.0, 2.0, 5.0],
+                [2.0, 4.0, 1.0],
+                [3.0, 6.0, 9.0],
+                [4.0, 8.0, 2.0],
+            ]
+        )
+        pairs = collinear_columns(design, ("a", "b", "c"))
+        assert pairs == [("a", "b", pytest.approx(1.0))]
+
+    def test_skips_zero_columns(self):
+        import numpy as np
+
+        from repro.core import collinear_columns
+
+        design = np.array([[0.0, 1.0], [0.0, 2.0], [0.0, 3.0]])
+        assert collinear_columns(design, ("dead", "live")) == []
+
+    def test_real_suite_flags_known_pairs(self, experiment_context):
+        # the shared-config spurious terms make a few category pairs
+        # near-collinear; the audit names them (they explain the zero
+        # rows in the fitted Table I — see EXPERIMENTS.md §1)
+        report = experiment_context.coverage
+        named = {frozenset((a, b)) for a, b, _ in report.collinear_pairs}
+        assert frozenset(("S_logic_red_mux", "S_shifter")) in named
+        assert any("near-collinear" in w for w in report.warnings)
+        assert "near-collinear" in report.summary()

@@ -1,0 +1,70 @@
+"""EstimationStudy / ComparisonRow / StudyReport tests."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core import EnergyMacroModel, EstimationStudy, default_template
+from repro.core.estimator import ComparisonRow, StudyReport
+from repro.xtcore import build_processor
+
+
+class TestComparisonRow:
+    def _row(self, macro=110.0, reference=100.0, t_macro=0.1, t_ref=1.0):
+        return ComparisonRow(
+            application="app",
+            processor="proc",
+            macro_energy=macro,
+            reference_energy=reference,
+            macro_seconds=t_macro,
+            reference_seconds=t_ref,
+            cycles=1000,
+        )
+
+    def test_percent_error(self):
+        assert self._row().percent_error == pytest.approx(10.0)
+        assert self._row(macro=90.0).percent_error == pytest.approx(-10.0)
+        assert self._row(reference=0.0).percent_error == 0.0
+
+    def test_speedup(self):
+        assert self._row().speedup == pytest.approx(10.0)
+        assert self._row(t_macro=0.0).speedup == float("inf")
+
+
+class TestStudyReport:
+    def test_aggregates(self):
+        rows = [
+            ComparisonRow("a", "p", 105, 100, 0.1, 0.4, 10),
+            ComparisonRow("b", "p", 92, 100, 0.1, 0.6, 10),
+        ]
+        report = StudyReport(rows=rows)
+        assert report.mean_abs_percent_error == pytest.approx(6.5)
+        assert report.max_abs_percent_error == pytest.approx(8.0)
+        assert report.mean_speedup == pytest.approx(5.0)
+        text = report.table()
+        assert "mean |err| 6.50%" in text
+
+    def test_empty(self):
+        report = StudyReport(rows=[])
+        assert report.mean_abs_percent_error == 0.0
+        assert report.max_abs_percent_error == 0.0
+        assert report.mean_speedup == 0.0
+
+
+class TestEstimationStudy:
+    def test_compare_runs_both_paths(self):
+        template = default_template()
+        model = EnergyMacroModel(template, np.full(len(template), 100.0))
+        study = EstimationStudy(model)
+        config = build_processor("study-test")
+        program = assemble(
+            "main:\n    movi a2, 30\nl:\n    add a3, a3, a2\n    addi a2, a2, -1\n    bnez a2, l\n    halt\n",
+            "study-prog",
+        )
+        row = study.compare(config, program)
+        assert row.macro_energy > 0
+        assert row.reference_energy > 0
+        assert row.macro_seconds > 0
+        assert row.reference_seconds > 0
+        assert len(study.rows) == 1
+        assert study.report().rows[0].application == "study-prog"

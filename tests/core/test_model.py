@@ -1,0 +1,122 @@
+"""EnergyMacroModel tests: estimation arithmetic, reports, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core import (
+    EnergyMacroModel,
+    default_template,
+    extract_variables,
+    instruction_level_template,
+)
+from repro.xtcore import build_processor, simulate
+
+
+@pytest.fixture()
+def model():
+    template = default_template()
+    coefficients = np.arange(1.0, len(template) + 1.0)
+    return EnergyMacroModel(template, coefficients, processor_family="test-fam")
+
+
+class TestConstruction:
+    def test_shape_checked(self):
+        with pytest.raises(ValueError, match="does not match"):
+            EnergyMacroModel(default_template(), np.ones(5))
+
+    def test_coefficient_lookup(self, model):
+        assert model.coefficient("N_a") == 1.0
+        assert model.coefficient("N_sd") == 11.0
+        with pytest.raises(KeyError):
+            model.coefficient("bogus")
+
+    def test_coefficients_by_key(self, model):
+        mapping = model.coefficients_by_key()
+        assert len(mapping) == 21
+        assert mapping["N_ld"] == 2.0
+
+
+class TestEstimation:
+    def test_estimate_is_dot_product(self, model, tiny_loop_program, base_config):
+        result = simulate(base_config, tiny_loop_program)
+        variables = extract_variables(result.stats, base_config, model.template)
+        expected = float(variables @ model.coefficients)
+        assert model.estimate_from_stats(result.stats, base_config) == pytest.approx(expected)
+
+    def test_estimate_runs_iss(self, model, tiny_loop_program, base_config):
+        estimate = model.estimate(base_config, tiny_loop_program)
+        assert estimate.energy > 0
+        assert estimate.cycles == simulate(base_config, tiny_loop_program).cycles
+        assert estimate.program_name == tiny_loop_program.name
+        assert set(estimate.variables) == set(model.template.keys())
+        assert "tiny_loop" in estimate.summary()
+
+    def test_linear_in_workload(self, model, base_config):
+        def looped(n):
+            return assemble(
+                f"main:\n    movi a2, {n}\nl:\n    add a3, a3, a2\n    addi a2, a2, -1\n    bnez a2, l\n    halt\n",
+                f"loop{n}",
+            )
+
+        small = model.estimate(base_config, looped(10)).energy
+        large = model.estimate(base_config, looped(100)).energy
+        assert large > small
+
+
+class TestReports:
+    def test_coefficient_table(self, model):
+        table = model.coefficient_table()
+        assert "N_a" in table
+        assert "S_table" in table
+        assert "test-fam" in table
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, model, tiny_loop_program, base_config):
+        restored = EnergyMacroModel.from_json(model.to_json())
+        assert restored.processor_family == model.processor_family
+        assert np.allclose(restored.coefficients, model.coefficients)
+        original = model.estimate(base_config, tiny_loop_program).energy
+        reloaded = restored.estimate(base_config, tiny_loop_program).energy
+        assert reloaded == pytest.approx(original)
+
+    def test_file_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(str(path))
+        restored = EnergyMacroModel.load(str(path))
+        assert np.allclose(restored.coefficients, model.coefficients)
+
+    def test_template_variants_roundtrip(self):
+        template = instruction_level_template()
+        model = EnergyMacroModel(template, np.ones(len(template)))
+        restored = EnergyMacroModel.from_json(model.to_json())
+        assert restored.template.name == template.name
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            EnergyMacroModel.from_json('{"format": "something-else"}')
+
+    def test_missing_coefficient_rejected(self, model):
+        import json
+
+        payload = json.loads(model.to_json())
+        del payload["coefficients"]["N_a"]
+        with pytest.raises(ValueError, match="missing"):
+            EnergyMacroModel.from_json(json.dumps(payload))
+
+    def test_unknown_template_rejected(self, model):
+        import json
+
+        payload = json.loads(model.to_json())
+        payload["template"] = "mystery-template"
+        with pytest.raises(ValueError, match="unknown template"):
+            EnergyMacroModel.from_json(json.dumps(payload))
+
+    def test_fit_info_preserved(self):
+        template = default_template()
+        model = EnergyMacroModel(
+            template, np.ones(21), fit_info={"samples": 50, "method": "nnls"}
+        )
+        restored = EnergyMacroModel.from_json(model.to_json())
+        assert restored.fit_info["samples"] == 50

@@ -1,0 +1,179 @@
+"""Regression machinery tests: OLS (paper Eq. 5), NNLS, ridge, LOOCV."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RegressionError,
+    column_coverage,
+    fit_least_squares,
+    fit_nnls,
+    fit_ridge,
+    leave_one_out_errors,
+)
+
+
+def _well_posed_problem(rng, n_samples=40, n_vars=5, noise=0.0, nonneg=False):
+    design = rng.uniform(1.0, 100.0, size=(n_samples, n_vars))
+    true = rng.uniform(0.5, 20.0, size=n_vars)
+    if nonneg:
+        true = np.abs(true)
+    energies = design @ true + rng.normal(0, noise, n_samples)
+    return design, energies, true
+
+
+class TestOls:
+    def test_exact_recovery(self):
+        rng = np.random.default_rng(1)
+        design, energies, true = _well_posed_problem(rng)
+        result = fit_least_squares(design, energies)
+        assert np.allclose(result.coefficients, true)
+        assert result.rms_percent_error < 1e-9
+        assert result.r_squared == pytest.approx(1.0)
+        assert not result.used_pseudo_inverse_fallback
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(2)
+        design, energies, true = _well_posed_problem(rng, n_samples=400, noise=1.0)
+        result = fit_least_squares(design, energies)
+        assert np.allclose(result.coefficients, true, rtol=0.05)
+
+    def test_rank_deficient_falls_back_to_pinv(self):
+        design = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]])  # rank 1
+        energies = np.array([5.0, 10.0, 15.0])
+        result = fit_least_squares(design, energies)
+        assert result.used_pseudo_inverse_fallback
+        assert np.allclose(design @ result.coefficients, energies)
+
+    def test_diagnostics_shape(self):
+        rng = np.random.default_rng(3)
+        design, energies, _ = _well_posed_problem(rng, n_samples=10, n_vars=3)
+        result = fit_least_squares(design, energies)
+        assert result.predictions.shape == (10,)
+        assert result.residuals.shape == (10,)
+        assert result.percent_errors.shape == (10,)
+        assert result.condition_number > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_exact_fit_recovers(self, seed):
+        rng = np.random.default_rng(seed)
+        n_vars = int(rng.integers(1, 6))
+        design, energies, true = _well_posed_problem(rng, n_samples=30, n_vars=n_vars)
+        result = fit_least_squares(design, energies)
+        assert np.allclose(result.coefficients, true, rtol=1e-6)
+
+
+class TestNnls:
+    def test_recovers_nonnegative_truth(self):
+        rng = np.random.default_rng(4)
+        design, energies, true = _well_posed_problem(rng, nonneg=True)
+        result = fit_nnls(design, energies)
+        assert np.allclose(result.coefficients, true, rtol=1e-6)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            design = rng.uniform(0, 10, size=(20, 6))
+            energies = rng.uniform(-5, 50, size=20)
+            result = fit_nnls(design, energies)
+            assert np.all(result.coefficients >= 0)
+
+    def test_matches_scipy(self):
+        scipy_optimize = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            n, p = int(rng.integers(8, 30)), int(rng.integers(2, 8))
+            design = rng.random((n, p)) * 10
+            energies = design @ np.abs(rng.normal(0, 5, p)) + rng.normal(0, 0.1, n)
+            ours = fit_nnls(design, energies).coefficients
+            reference, _ = scipy_optimize.nnls(design, energies)
+            assert np.allclose(ours, reference, atol=1e-6, rtol=1e-5)
+
+    def test_zeroes_antagonistic_column(self):
+        # y is produced by column 0 only; an anti-correlated column must
+        # not receive a negative weight
+        design = np.array([[1.0, -1.0], [2.0, -2.0], [3.0, -3.0], [4.0, -3.9]])
+        energies = design[:, 0] * 7.0
+        result = fit_nnls(design, energies)
+        assert result.coefficients[1] == 0.0
+        assert result.coefficients[0] == pytest.approx(7.0, rel=0.05)
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self):
+        rng = np.random.default_rng(7)
+        design, energies, _ = _well_posed_problem(rng)
+        ols = fit_least_squares(design, energies)
+        ridge = fit_ridge(design, energies, alpha=0.0)
+        assert np.allclose(ridge.coefficients, ols.coefficients)
+
+    def test_shrinkage_monotone(self):
+        rng = np.random.default_rng(8)
+        design, energies, _ = _well_posed_problem(rng)
+        norms = [
+            float(np.linalg.norm(fit_ridge(design, energies, alpha=a).coefficients))
+            for a in (0.0, 0.1, 10.0, 1000.0)
+        ]
+        assert norms == sorted(norms, reverse=True)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(RegressionError):
+            fit_ridge(np.ones((3, 1)), np.ones(3), alpha=-1.0)
+
+
+class TestLoocv:
+    def test_zero_for_perfect_fit(self):
+        rng = np.random.default_rng(9)
+        design, energies, _ = _well_posed_problem(rng)
+        errors = leave_one_out_errors(design, energies)
+        assert np.allclose(errors, 0.0, atol=1e-8)
+
+    def test_matches_explicit_refits(self):
+        rng = np.random.default_rng(10)
+        design, energies, _ = _well_posed_problem(rng, n_samples=15, n_vars=3, noise=2.0)
+        fast = leave_one_out_errors(design, energies)
+        for i in range(len(energies)):
+            keep = [j for j in range(len(energies)) if j != i]
+            coefficients = np.linalg.lstsq(design[keep], energies[keep], rcond=None)[0]
+            predicted = design[i] @ coefficients
+            explicit = 100.0 * (predicted - energies[i]) / energies[i]
+            assert fast[i] == pytest.approx(explicit, rel=1e-6)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(RegressionError, match="more samples"):
+            leave_one_out_errors(np.ones((3, 3)), np.ones(3))
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(RegressionError):
+            fit_least_squares(np.ones((3, 2)), np.ones(4))
+
+    def test_empty(self):
+        with pytest.raises(RegressionError):
+            fit_least_squares(np.ones((0, 2)), np.ones(0))
+
+    def test_non_finite(self):
+        design = np.ones((3, 2))
+        design[0, 0] = np.nan
+        with pytest.raises(RegressionError, match="non-finite"):
+            fit_least_squares(design, np.ones(3))
+
+    def test_wrong_dims(self):
+        with pytest.raises(RegressionError):
+            fit_least_squares(np.ones(3), np.ones(3))
+        with pytest.raises(RegressionError):
+            fit_least_squares(np.ones((3, 2)), np.ones((3, 1)))
+
+
+class TestColumnCoverage:
+    def test_fractions(self):
+        design = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 2.0], [0.0, 0.0]])
+        coverage = column_coverage(design)
+        assert coverage.tolist() == [0.75, 0.25]
+
+    def test_empty(self):
+        assert column_coverage(np.zeros((0, 0))).size == 0

@@ -1,0 +1,83 @@
+"""Macro-model template structure tests."""
+
+import pytest
+
+from repro.core import (
+    MacroModelTemplate,
+    VariableDomain,
+    default_template,
+    instruction_level_template,
+    unweighted_template,
+)
+from repro.hwlib import CATEGORY_ORDER
+from repro.isa import InstructionClass
+
+
+class TestDefaultTemplate:
+    def test_twenty_one_variables(self):
+        # Eq. 2-4: 11 instruction-level + 10 structural = 21 variables
+        template = default_template()
+        assert len(template) == 21
+        assert len(template.instruction_variables) == 11
+        assert len(template.structural_variables) == 10
+
+    def test_paper_variable_ordering(self):
+        keys = default_template().keys()
+        assert keys[:6] == ("N_a", "N_ld", "N_st", "N_j", "N_bt", "N_bu")
+        assert keys[6:10] == ("N_cm", "N_dm", "N_uf", "N_il")
+        assert keys[10] == "N_sd"
+        assert all(key.startswith("S_") for key in keys[11:])
+
+    def test_structural_variables_match_category_order(self):
+        structural = default_template().structural_variables
+        assert [v.category for v in structural] == list(CATEGORY_ORDER)
+
+    def test_class_variables_map_to_classes(self):
+        template = default_template()
+        lookup = {v.key: v for v in template}
+        assert lookup["N_a"].iclass is InstructionClass.ARITH
+        assert lookup["N_bt"].iclass is InstructionClass.BRANCH_TAKEN
+        assert lookup["N_bu"].iclass is InstructionClass.BRANCH_UNTAKEN
+        assert lookup["N_cm"].iclass is None
+
+    def test_index_of(self):
+        template = default_template()
+        assert template.index_of("N_a") == 0
+        assert template.index_of("N_sd") == 10
+        with pytest.raises(KeyError):
+            template.index_of("N_bogus")
+
+    def test_domains(self):
+        template = default_template()
+        for variable in template.instruction_variables:
+            assert variable.domain is VariableDomain.INSTRUCTION
+        for variable in template.structural_variables:
+            assert variable.domain is VariableDomain.STRUCTURAL
+
+    def test_descriptions_present(self):
+        for variable in default_template():
+            assert variable.description
+
+
+class TestVariants:
+    def test_instruction_only(self):
+        template = instruction_level_template()
+        assert len(template) == 11
+        assert not template.structural_variables
+
+    def test_unweighted_flag(self):
+        assert default_template().weighted_complexity
+        assert not unweighted_template().weighted_complexity
+        assert len(unweighted_template()) == 21
+
+    def test_names_distinct(self):
+        names = {
+            default_template().name,
+            instruction_level_template().name,
+            unweighted_template().name,
+        }
+        assert len(names) == 3
+
+    def test_iteration(self):
+        template = default_template()
+        assert [v.key for v in template] == list(template.keys())

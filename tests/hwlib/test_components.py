@@ -1,0 +1,118 @@
+"""Tests for the custom-hardware component library."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hwlib import (
+    CATEGORY_ORDER,
+    CATEGORY_TABLE,
+    REFERENCE_WIDTH,
+    SPURIOUS_ACTIVATION_WEIGHT,
+    ComplexityLaw,
+    ComponentCategory,
+    ComponentInstance,
+    category_info,
+)
+
+
+class TestCategories:
+    def test_exactly_ten_categories(self):
+        # The paper defines ten custom-hardware categories (Sec. IV-B.1).
+        assert len(CATEGORY_ORDER) == 10
+        assert len(CATEGORY_TABLE) == 10
+
+    def test_order_is_stable_and_matches_table1(self):
+        assert CATEGORY_ORDER[0] is ComponentCategory.MULT
+        assert CATEGORY_ORDER[-1] is ComponentCategory.TABLE
+
+    def test_paper_table1_unit_energies(self):
+        # Ground-truth unit energies use the paper's Table I values.
+        assert category_info(ComponentCategory.MULT).unit_energy == 152.0
+        assert category_info(ComponentCategory.ADD_SUB_CMP).unit_energy == 70.0
+        assert category_info(ComponentCategory.LOGIC_RED_MUX).unit_energy == 12.0
+        assert category_info(ComponentCategory.SHIFTER).unit_energy == 377.0
+        assert category_info(ComponentCategory.CUSTOM_REG).unit_energy == 177.0
+        assert category_info(ComponentCategory.TIE_MULT).unit_energy == 165.0
+        assert category_info(ComponentCategory.TIE_MAC).unit_energy == 190.0
+        assert category_info(ComponentCategory.TIE_ADD).unit_energy == 69.0
+        assert category_info(ComponentCategory.TIE_CSA).unit_energy == 37.0
+        assert category_info(ComponentCategory.TABLE).unit_energy == 27.0
+
+    def test_multiplier_categories_are_quadratic(self):
+        for category in (
+            ComponentCategory.MULT,
+            ComponentCategory.TIE_MULT,
+            ComponentCategory.TIE_MAC,
+        ):
+            assert category_info(category).law is ComplexityLaw.QUADRATIC
+
+    def test_linear_categories(self):
+        for category in (
+            ComponentCategory.ADD_SUB_CMP,
+            ComponentCategory.LOGIC_RED_MUX,
+            ComponentCategory.SHIFTER,
+            ComponentCategory.CUSTOM_REG,
+            ComponentCategory.TIE_ADD,
+            ComponentCategory.TIE_CSA,
+        ):
+            assert category_info(category).law is ComplexityLaw.LINEAR
+
+    def test_spurious_weight_physical(self):
+        assert 0.0 < SPURIOUS_ACTIVATION_WEIGHT < 1.0
+
+
+class TestComplexityLaws:
+    def test_linear_reference_point(self):
+        assert ComplexityLaw.LINEAR.complexity(REFERENCE_WIDTH) == 1.0
+        assert ComplexityLaw.LINEAR.complexity(16) == 0.5
+
+    def test_quadratic_reference_point(self):
+        assert ComplexityLaw.QUADRATIC.complexity(REFERENCE_WIDTH) == 1.0
+        assert ComplexityLaw.QUADRATIC.complexity(16) == 0.25
+
+    def test_table_law(self):
+        # entries x width normalized by 32x32
+        assert ComplexityLaw.TABLE.complexity(8, entries=256) == 2.0
+        assert ComplexityLaw.TABLE.complexity(4, entries=64) == 0.25
+
+    def test_quadratic_grows_faster_than_linear(self):
+        for width in (33, 48, 64):
+            assert ComplexityLaw.QUADRATIC.complexity(width) > ComplexityLaw.LINEAR.complexity(width)
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_monotone_in_width(self, width):
+        for law in (ComplexityLaw.LINEAR, ComplexityLaw.QUADRATIC):
+            assert law.complexity(width + 1) > law.complexity(width)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ComplexityLaw.LINEAR.complexity(0)
+
+    def test_table_needs_entries(self):
+        with pytest.raises(ValueError):
+            ComplexityLaw.TABLE.complexity(8)
+
+
+class TestComponentInstance:
+    def test_complexity_and_unit_energy(self):
+        instance = ComponentInstance("m", ComponentCategory.MULT, width=32)
+        assert instance.complexity == 1.0
+        assert instance.unit_energy == 152.0
+
+    def test_narrow_instance_cheaper(self):
+        wide = ComponentInstance("w", ComponentCategory.TIE_MULT, width=32)
+        narrow = ComponentInstance("n", ComponentCategory.TIE_MULT, width=16)
+        assert narrow.unit_energy == pytest.approx(wide.unit_energy / 4)
+
+    def test_table_instance(self):
+        instance = ComponentInstance("t", ComponentCategory.TABLE, width=8, entries=256)
+        assert instance.complexity == 2.0
+
+    def test_table_requires_entries(self):
+        with pytest.raises(ValueError):
+            ComponentInstance("t", ComponentCategory.TABLE, width=8)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ComponentInstance("x", ComponentCategory.SHIFTER, width=0)

@@ -1,0 +1,47 @@
+"""Determinism: the whole flow is reproducible bit-for-bit.
+
+Everything except wall-clock timing is derived from fixed LCG data and
+CRC-based hardware variation, so two independent characterizations must
+produce identical design matrices, energies and coefficients — this is
+what makes EXPERIMENTS.md numbers stable across machines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Characterizer
+from repro.programs import characterization_suite
+from repro.rtl import reference_energy
+
+
+@pytest.mark.slow
+class TestDeterminism:
+    def test_two_characterizations_identical(self):
+        def one_pass():
+            characterizer = Characterizer()
+            for case in characterization_suite(include_variants=False)[:8]:
+                config, program = case.build()
+                characterizer.add_program(config, program)
+            design, energies = characterizer.design_matrix()
+            return design, energies
+
+        design_a, energy_a = one_pass()
+        design_b, energy_b = one_pass()
+        assert np.array_equal(design_a, design_b)
+        assert np.array_equal(energy_a, energy_b)
+
+    def test_full_context_reproducible(self, experiment_context):
+        # re-estimate one reference energy and compare with the sample
+        # recorded during the session characterization
+        case = experiment_context.suite[0]
+        config, program = case.build()
+        report, _ = reference_energy(config, program)
+        recorded = experiment_context.characterization.samples[0].energy
+        assert report.total == pytest.approx(recorded, rel=1e-12)
+
+    def test_model_estimates_reproducible(self, experiment_context):
+        case = experiment_context.applications[0]
+        config, program = case.build()
+        first = experiment_context.model.estimate(config, program).energy
+        second = experiment_context.model.estimate(config, program).energy
+        assert first == second

@@ -1,0 +1,126 @@
+"""End-to-end reproduction tests: the paper's headline results must hold.
+
+These use the session-scoped characterized model (built once) and assert
+the *shape* criteria from DESIGN.md:
+
+* characterization fitting error: RMS of a few percent, max under ~10%
+  (paper: RMS 3.8%, max < 8.9%);
+* unseen-application accuracy: mean absolute error of a few percent
+  (paper: mean 3.3%, max 8.5%);
+* relative accuracy: the Reed-Solomon profiles rank-correlate perfectly;
+* the macro-model path is substantially faster than the reference path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_fig3, run_fig4, run_table1, run_table2
+from repro.core import EnergyMacroModel
+
+
+@pytest.mark.slow
+class TestFig3Fit:
+    def test_fit_quality_matches_paper_shape(self, experiment_context):
+        fig3 = run_fig3(experiment_context)
+        assert fig3.rms < 6.0, f"fitting RMS {fig3.rms:.2f}% too large"
+        assert fig3.max_abs < 12.0, f"max fitting error {fig3.max_abs:.2f}% too large"
+
+    def test_fit_not_degenerate(self, experiment_context):
+        # a perfect fit would mean the ground truth carries no information
+        # beyond the template — the abstraction error must be visible
+        fig3 = run_fig3(experiment_context)
+        assert fig3.rms > 0.1
+
+    def test_report_lists_all_programs(self, experiment_context):
+        report = run_fig3(experiment_context).report()
+        assert "tp01_alu_mix" in report
+        assert "tp25_app_like" in report
+        assert "RMS" in report
+
+
+@pytest.mark.slow
+class TestTable1Coefficients:
+    def test_all_coefficients_physical(self, experiment_context):
+        model = experiment_context.model
+        for key, value in model.coefficients_by_key().items():
+            assert value >= 0.0, f"{key} fitted negative ({value:.1f})"
+
+    def test_event_coefficients_recover_ground_truth(self, experiment_context):
+        from repro.rtl import EVENT_ENERGY
+
+        model = experiment_context.model
+        # events include penalty-cycle overheads, so recovered values sit
+        # somewhat above the bare event energies
+        assert model.coefficient("N_cm") == pytest.approx(EVENT_ENERGY["icache_miss"], rel=1.0)
+        assert model.coefficient("N_uf") == pytest.approx(EVENT_ENERGY["uncached_fetch"], rel=1.0)
+        assert model.coefficient("N_cm") > model.coefficient("N_a")
+
+    def test_class_coefficients_ordering(self, experiment_context):
+        model = experiment_context.model
+        # memory-class cycles cost more than plain arithmetic cycles
+        assert model.coefficient("N_ld") > model.coefficient("N_a")
+        assert model.coefficient("N_st") > model.coefficient("N_a")
+
+    def test_coverage_adequate(self, experiment_context):
+        assert experiment_context.coverage.is_adequate
+
+    def test_table_report(self, experiment_context):
+        report = run_table1(experiment_context).report()
+        assert "N_sd" in report and "S_table" in report
+
+
+@pytest.mark.slow
+class TestTable2Applications:
+    def test_accuracy_matches_paper_shape(self, experiment_context):
+        table2 = run_table2(experiment_context)
+        assert table2.mean_abs_percent_error < 8.0, table2.report()
+        assert table2.max_abs_percent_error < 15.0, table2.report()
+
+    def test_all_ten_applications_present(self, experiment_context):
+        table2 = run_table2(experiment_context)
+        assert len(table2.study.rows) == 10
+
+    def test_macro_path_is_faster(self, experiment_context):
+        table2 = run_table2(experiment_context)
+        assert table2.mean_speedup > 1.5
+        for row in table2.study.rows:
+            assert row.reference_seconds > row.macro_seconds
+
+
+@pytest.mark.slow
+class TestFig4RelativeAccuracy:
+    def test_profiles_track(self, experiment_context):
+        fig4 = run_fig4(experiment_context)
+        assert fig4.rank_correlation == pytest.approx(1.0)
+        assert fig4.max_abs_percent_error < 12.0
+
+    def test_specialization_saves_energy(self, experiment_context):
+        fig4 = run_fig4(experiment_context)
+        by_choice = {row.choice: row for row in fig4.rows}
+        # software GF multiply is by far the most energy-hungry choice,
+        # and the dual fused datapath is the leanest — in both estimators
+        for field in ("macro_energy", "reference_energy"):
+            values = {name: getattr(row, field) for name, row in by_choice.items()}
+            assert values["rs_sw"] > 5 * values["rs_gfmul"]
+            assert values["rs_dual"] < values["rs_gfmul"]
+            assert values["rs_dual"] < values["rs_gfmac"]
+
+
+@pytest.mark.slow
+class TestModelShipping:
+    def test_serialized_model_reproduces_estimates(self, experiment_context, tmp_path):
+        model = experiment_context.model
+        path = tmp_path / "xt1040.json"
+        model.save(str(path))
+        restored = EnergyMacroModel.load(str(path))
+        case = experiment_context.applications[0]
+        config, program = case.build()
+        original = model.estimate(config, program).energy
+        reloaded = restored.estimate(config, program).energy
+        assert reloaded == pytest.approx(original)
+
+    def test_fit_info_recorded(self, experiment_context):
+        info = experiment_context.model.fit_info
+        assert info["samples"] == len(experiment_context.suite)
+        assert info["method"] == "nnls"
+        assert np.isfinite(info["rms_percent_error"])

@@ -1,0 +1,78 @@
+"""Smoke tests: every example script runs to completion.
+
+The slow examples share the process-wide cached characterization context
+(monkeypatched in), so the whole module costs one characterization.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name, monkeypatch, capsys, experiment_context, argv=None):
+    # examples call repro.analysis.default_context(); reuse the session one
+    import repro.analysis.experiments as experiments
+
+    monkeypatch.setattr(experiments, "_CACHED_CONTEXT", experiment_context)
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    if argv is not None:
+        monkeypatch.setattr(sys, "argv", argv)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys, experiment_context):
+        out = _run_example("quickstart", monkeypatch, capsys, experiment_context)
+        assert "macro-model estimate" in out
+        assert "estimation error" in out
+
+    def test_custom_instruction_tutorial(self, monkeypatch, capsys, experiment_context):
+        out = _run_example(
+            "custom_instruction_tutorial", monkeypatch, capsys, experiment_context
+        )
+        assert "compiled custom instruction" in out
+        assert "expected 39" in out
+
+    def test_design_space_exploration(self, monkeypatch, capsys, experiment_context):
+        out = _run_example(
+            "design_space_exploration", monkeypatch, capsys, experiment_context
+        )
+        assert "lowest EDP: fir_packed" in out
+        assert "rs_dual" in out
+        assert "exactly as the reference" in out
+
+    def test_profile_hotspots(self, monkeypatch, capsys, experiment_context):
+        out = _run_example("profile_hotspots", monkeypatch, capsys, experiment_context)
+        assert "energy profile" in out
+        assert "drift 0.00e+00" in out
+
+    def test_characterize_processor(
+        self, monkeypatch, capsys, experiment_context, tmp_path
+    ):
+        model_path = str(tmp_path / "model.json")
+        out = _run_example(
+            "characterize_processor",
+            monkeypatch,
+            capsys,
+            experiment_context,
+            argv=["characterize_processor.py", model_path],
+        )
+        assert "Energy coefficients" in out
+        assert (tmp_path / "model.json").exists()
+
+    def test_recharacterize_family(self, monkeypatch, capsys, experiment_context):
+        out = _run_example(
+            "recharacterize_family", monkeypatch, capsys, experiment_context
+        )
+        assert "out of family" in out
+        assert "restored" in out

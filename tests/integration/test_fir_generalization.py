@@ -1,0 +1,56 @@
+"""FIR generalization: a workload family the model has never seen.
+
+The FIR variants use an extension (``firstep2``) that combines four
+hardware categories in one datapath and appears nowhere in the
+characterization suite or the Table II applications — a stronger
+generalization probe than either.
+"""
+
+import pytest
+
+from repro.analysis import spearman_rho
+from repro.programs import fir_choices
+from repro.rtl import RtlEnergyEstimator, generate_netlist
+
+
+@pytest.mark.slow
+class TestFirGeneralization:
+    @pytest.fixture(scope="class")
+    def profiles(self, experiment_context):
+        model = experiment_context.model
+        macro, reference, names = [], [], []
+        for case in fir_choices():
+            config, program = case.build()
+            estimate = model.estimate(config, program)
+            report, _ = RtlEnergyEstimator(generate_netlist(config)).estimate_program(program)
+            names.append(case.name)
+            macro.append(estimate.energy)
+            reference.append(report.total)
+        return names, macro, reference
+
+    def test_absolute_accuracy(self, profiles):
+        """fir_sw and fir_mac estimate within the Table II regime.
+
+        fir_packed is a deliberately adversarial probe: its extension's
+        operand-bus taps are multiplier/CSA only, while the suite
+        configs' structural coefficients also carry logic/table tap
+        energy — a category-allocation limit of the paper's template
+        that shows up as a ~15% over-estimate on spurious-dominated
+        unseen configs (EXPERIMENTS.md §6).  The bound below documents
+        the limitation without hiding it.
+        """
+        names, macro, reference = profiles
+        bounds = {"fir_sw": 8.0, "fir_mac": 10.0, "fir_packed": 18.0}
+        for name, estimate, truth in zip(names, macro, reference):
+            error = abs(100.0 * (estimate - truth) / truth)
+            assert error < bounds[name], f"{name}: {error:.1f}% error"
+
+    def test_relative_accuracy(self, profiles):
+        _, macro, reference = profiles
+        assert spearman_rho(macro, reference) == pytest.approx(1.0)
+
+    def test_design_decision_matches_reference(self, profiles):
+        names, macro, reference = profiles
+        macro_winner = names[macro.index(min(macro))]
+        reference_winner = names[reference.index(min(reference))]
+        assert macro_winner == reference_winner == "fir_packed"

@@ -1,0 +1,133 @@
+"""Scope of a characterized model: what transfers and what does not.
+
+The macro-model is characterized per processor *family* (fixed base
+configuration).  Custom-instruction extensions are inside the family —
+that is the paper's entire point — but changing the base configuration's
+*timing/energy* parameters (e.g. the memory system's miss penalty) is
+out of scope and must degrade accuracy.  These tests document both
+sides of that boundary.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.asm import assemble
+from repro.rtl import RtlEnergyEstimator, generate_netlist
+from repro.tie import TieSpec
+from repro.xtcore import CacheConfig, build_processor
+
+# a kernel dominated by I-cache misses (six aliasing one-line blocks)
+MISS_HEAVY = """
+main:
+    movi a2, 120
+    movi a6, 0
+    j b0
+    .org 0x4000
+b0:
+    addi a6, a6, 1
+    j b1
+    .org 0x8000
+b1:
+    addi a6, a6, 2
+    j b2
+    .org 0xC000
+b2:
+    addi a6, a6, 3
+    j b3
+    .org 0x10000
+b3:
+    addi a6, a6, 4
+    j b4
+    .org 0x14000
+b4:
+    addi a6, a6, 5
+    j b5
+    .org 0x18000
+b5:
+    addi a6, a6, 6
+    addi a2, a2, -1
+    bnez a2, back
+    halt
+back:
+    j b0
+"""
+
+
+def _error(model, config, program):
+    estimate = model.estimate(config, program)
+    reference, _ = RtlEnergyEstimator(generate_netlist(config)).estimate_program(program)
+    return 100.0 * (estimate.energy - reference.total) / reference.total
+
+
+@pytest.mark.slow
+class TestFamilyScope:
+    def test_new_extension_is_in_scope(self, experiment_context):
+        """An extension never seen during characterization estimates fine."""
+        spec = TieSpec("scope_rot", fmt="R3", description="rd = rotl-ish mix")
+        a = spec.source("rs")
+        amount = spec.source("rt", width=5)
+        spec.result(spec.bit_or(spec.shift_left(a, amount), spec.shift_right(a, amount)))
+        config = build_processor("scope-new-ext", [spec])
+        program = assemble(
+            "main:\n    movi a2, 200\n    li a3, 0x12345\nl:\n    andi a4, a2, 31\n"
+            "    scope_rot a3, a3, a4\n    addi a2, a2, -1\n    bnez a2, l\n    halt\n",
+            "new-ext",
+            isa=config.isa,
+        )
+        error = _error(experiment_context.model, config, program)
+        assert abs(error) < 12.0
+
+    def test_changed_miss_penalty_is_out_of_scope(self, experiment_context):
+        """Quadrupling the I$ miss penalty breaks the N_cm coefficient.
+
+        The model was characterized at a 12-cycle penalty; at 48 cycles
+        each miss carries ~4x the pipeline/idle overhead, which the fixed
+        per-miss coefficient cannot represent.  Accuracy must degrade
+        markedly on a miss-dominated kernel — re-characterization is
+        required when the base configuration changes, exactly as the
+        paper scopes the method to a processor family.
+        """
+        base = build_processor("scope-base")
+        program_base = assemble(MISS_HEAVY, "miss-heavy", isa=base.isa)
+        in_family_error = _error(experiment_context.model, base, program_base)
+
+        slow_memory = dataclasses.replace(
+            base,
+            name="scope-slowmem",
+            icache=CacheConfig(miss_penalty=48),
+        )
+        program_slow = assemble(MISS_HEAVY, "miss-heavy", isa=slow_memory.isa)
+        out_of_family_error = _error(experiment_context.model, slow_memory, program_slow)
+
+        assert abs(in_family_error) < 8.0
+        assert abs(out_of_family_error) > 2 * abs(in_family_error)
+        assert out_of_family_error < 0  # under-prediction: misses got pricier
+
+
+@pytest.mark.slow
+class TestRecharacterization:
+    def test_recharacterizing_restores_accuracy(self, experiment_context):
+        """Running the identical suite on the out-of-family base fixes it.
+
+        This is the `examples/recharacterize_family.py` workflow as a
+        regression test: same suite, same flow, new base configuration.
+        """
+        from repro.analysis import build_context
+        from repro.programs import characterization_suite
+
+        base = build_processor("scope-re-base")
+        slow_memory = dataclasses.replace(
+            base, name="scope-re-slowmem", icache=CacheConfig(miss_penalty=48)
+        )
+        program = assemble(MISS_HEAVY, "miss-heavy", isa=slow_memory.isa)
+
+        stale_error = _error(experiment_context.model, slow_memory, program)
+        assert abs(stale_error) > 20.0  # badly out of family
+
+        fresh_ctx = build_context(suite=characterization_suite(base=slow_memory))
+        fresh_error = _error(fresh_ctx.model, slow_memory, program)
+        assert abs(fresh_error) < 5.0
+
+        # the per-miss coefficient grew to absorb the larger penalty
+        assert fresh_ctx.model.coefficient("N_cm") > 1.5 * experiment_context.model.coefficient("N_cm")

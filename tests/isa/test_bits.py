@@ -1,0 +1,164 @@
+"""Unit + property tests for the bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import bits
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+WIDTHS = st.integers(min_value=1, max_value=64)
+
+
+class TestMaskTruncate:
+    def test_mask_values(self):
+        assert bits.mask(0) == 0
+        assert bits.mask(1) == 1
+        assert bits.mask(8) == 0xFF
+        assert bits.mask(32) == 0xFFFFFFFF
+
+    def test_mask_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask(-1)
+
+    def test_truncate(self):
+        assert bits.truncate(0x1_0000_0001) == 1
+        assert bits.truncate(0xFF, 4) == 0xF
+
+    @given(st.integers(), WIDTHS)
+    def test_truncate_fits(self, value, width):
+        assert 0 <= bits.truncate(value, width) <= bits.mask(width)
+
+
+class TestSignedness:
+    def test_to_signed_boundaries(self):
+        assert bits.to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert bits.to_signed(0x80000000) == -(2**31)
+        assert bits.to_signed(0xFFFFFFFF) == -1
+        assert bits.to_signed(0) == 0
+
+    def test_to_signed_narrow(self):
+        assert bits.to_signed(0x80, 8) == -128
+        assert bits.to_signed(0x7F, 8) == 127
+
+    @given(WORDS)
+    def test_signed_unsigned_roundtrip(self, value):
+        assert bits.to_unsigned(bits.to_signed(value)) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_unsigned_signed_roundtrip(self, value):
+        assert bits.to_signed(bits.to_unsigned(value)) == value
+
+    def test_fits_signed(self):
+        assert bits.fits_signed(2047, 12)
+        assert not bits.fits_signed(2048, 12)
+        assert bits.fits_signed(-2048, 12)
+        assert not bits.fits_signed(-2049, 12)
+
+    def test_fits_unsigned(self):
+        assert bits.fits_unsigned(4095, 12)
+        assert not bits.fits_unsigned(4096, 12)
+        assert not bits.fits_unsigned(-1, 12)
+
+
+class TestExtension:
+    def test_sign_extend(self):
+        assert bits.sign_extend(0xFF, 8) == 0xFFFFFFFF
+        assert bits.sign_extend(0x7F, 8) == 0x7F
+        assert bits.sign_extend(0x8000, 16) == 0xFFFF8000
+
+    @given(WORDS, st.integers(min_value=1, max_value=31))
+    def test_sign_extend_preserves_value(self, value, from_width):
+        narrowed = value & bits.mask(from_width)
+        extended = bits.sign_extend(narrowed, from_width)
+        assert bits.to_signed(extended) == bits.to_signed(narrowed, from_width)
+
+
+class TestRotation:
+    def test_rotate_left_known(self):
+        assert bits.rotate_left(0x80000001, 1) == 0x00000003
+        assert bits.rotate_left(0x1, 31) == 0x80000000
+
+    @given(WORDS, st.integers(min_value=0, max_value=64))
+    def test_rotate_inverse(self, value, amount):
+        rotated = bits.rotate_left(value, amount)
+        assert bits.rotate_right(rotated, amount) == value
+
+    @given(WORDS, st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31))
+    def test_rotate_composes(self, value, a, b):
+        combined = bits.rotate_left(value, a + b)
+        sequential = bits.rotate_left(bits.rotate_left(value, a), b)
+        assert combined == sequential
+
+    @given(WORDS)
+    def test_rotate_by_width_is_identity(self, value):
+        assert bits.rotate_left(value, 32) == value
+
+
+class TestCounts:
+    def test_popcount(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0xFFFFFFFF) == 32
+        assert bits.popcount(0b1011) == 3
+
+    def test_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits.popcount(-1)
+
+    def test_clz_ctz(self):
+        assert bits.count_leading_zeros(0) == 32
+        assert bits.count_trailing_zeros(0) == 32
+        assert bits.count_leading_zeros(1) == 31
+        assert bits.count_trailing_zeros(0x80000000) == 31
+        assert bits.count_leading_zeros(0x80000000) == 0
+        assert bits.count_trailing_zeros(1) == 0
+
+    @given(WORDS.filter(lambda v: v != 0))
+    def test_clz_ctz_bounds(self, value):
+        clz = bits.count_leading_zeros(value)
+        ctz = bits.count_trailing_zeros(value)
+        assert clz + ctz <= 31
+        assert (value >> ctz) & 1 == 1
+        assert value >> (32 - clz) == 0
+
+
+class TestByteSwap:
+    def test_known(self):
+        assert bits.byte_swap(0x12345678) == 0x78563412
+        assert bits.byte_swap(0xAABB, 16) == 0xBBAA
+
+    def test_width_must_be_byte_multiple(self):
+        with pytest.raises(ValueError):
+            bits.byte_swap(1, 12)
+
+    @given(WORDS)
+    def test_involution(self, value):
+        assert bits.byte_swap(bits.byte_swap(value)) == value
+
+
+class TestHamming:
+    def test_known(self):
+        assert bits.hamming_distance(0, 0) == 0
+        assert bits.hamming_distance(0, 0xFFFFFFFF) == 32
+        assert bits.hamming_distance(0b1010, 0b0101) == 4
+
+    @given(WORDS, WORDS)
+    def test_symmetry(self, a, b):
+        assert bits.hamming_distance(a, b) == bits.hamming_distance(b, a)
+
+    @given(WORDS, WORDS, WORDS)
+    def test_triangle_inequality(self, a, b, c):
+        ab = bits.hamming_distance(a, b)
+        bc = bits.hamming_distance(b, c)
+        ac = bits.hamming_distance(a, c)
+        assert ac <= ab + bc
+
+    @given(WORDS)
+    def test_identity(self, a):
+        assert bits.hamming_distance(a, a) == 0
+
+    def test_weight_fraction(self):
+        assert bits.hamming_weight_fraction(0) == 0.0
+        assert bits.hamming_weight_fraction(0xFFFFFFFF) == 1.0
+        assert bits.hamming_weight_fraction(0xF, 4) == 1.0
+        assert bits.hamming_weight_fraction(0, 0) == 0.0

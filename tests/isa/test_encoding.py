@@ -1,0 +1,127 @@
+"""Encode/decode round-trip tests, including a hypothesis sweep."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import BASE_ISA, EncodingError, Instruction, decode, encode
+from repro.isa.instructions import FORMAT_FIELDS
+
+REGS = st.integers(min_value=0, max_value=63)
+
+
+def _roundtrip(ins: Instruction) -> Instruction:
+    definition = BASE_ISA.lookup(ins.mnemonic)
+    word = encode(definition, ins, BASE_ISA)
+    assert 0 <= word <= 0xFFFFFFFF
+    return decode(word, ins.addr, BASE_ISA)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "ins",
+        [
+            Instruction("add", rd=1, rs=2, rt=3),
+            Instruction("mov", rd=63, rs=0),
+            Instruction("jx", rs=17),
+            Instruction("addi", rd=5, rs=6, imm=-2048),
+            Instruction("addi", rd=5, rs=6, imm=2047),
+            Instruction("andi", rd=5, rs=6, imm=4095),
+            Instruction("slli", rd=5, rs=6, imm=31),
+            Instruction("movi", rd=7, imm=-1),
+            Instruction("movhi", rd=7, imm=0x3FFFF),
+            Instruction("l32i", rt=9, rs=10, imm=-4),
+            Instruction("s8i", rt=9, rs=10, imm=2047),
+            Instruction("beq", rs=1, rt=2, imm=0x100 + 4 * 100, addr=0x100),
+            Instruction("bnez", rs=1, imm=0x100 - 4 * 512, addr=0x100),
+            Instruction("beqi", rs=1, rt=-32, imm=0x104, addr=0x100),
+            Instruction("bbs", rs=1, rt=31, imm=0x104, addr=0x100),
+            Instruction("j", imm=0x100 + 4 * (2**23 - 1), addr=0x100),
+            Instruction("call", imm=0x0, addr=0x100),
+            Instruction("ret",),
+            Instruction("nop",),
+        ],
+    )
+    def test_specific_cases(self, ins):
+        assert _roundtrip(ins) == ins
+
+    @given(
+        mnemonic=st.sampled_from([d.mnemonic for d in BASE_ISA]),
+        rd=REGS, rs=REGS, rt=REGS,
+        raw_imm=st.integers(min_value=-(2**23), max_value=2**23 - 1),
+        data=st.data(),
+    )
+    def test_random_roundtrip(self, mnemonic, rd, rs, rt, raw_imm, data):
+        definition = BASE_ISA.lookup(mnemonic)
+        fields = FORMAT_FIELDS[definition.fmt]
+        kwargs = {"addr": 0x1000}
+        for field in fields:
+            if field == "rd":
+                kwargs["rd"] = rd
+            elif field == "rs":
+                kwargs["rs"] = rs
+            elif field == "rt":
+                kwargs["rt"] = rt
+            elif field == "imm2":
+                if mnemonic in ("bbs", "bbc"):
+                    kwargs["rt"] = data.draw(st.integers(min_value=0, max_value=63))
+                else:
+                    kwargs["rt"] = data.draw(st.integers(min_value=-32, max_value=31))
+            elif field == "imm":
+                if definition.fmt in ("B2", "B1", "BI"):
+                    offset = data.draw(st.integers(min_value=-2048, max_value=2047))
+                    kwargs["imm"] = 0x1000 + 4 * offset
+                elif definition.fmt == "J":
+                    offset = data.draw(st.integers(min_value=-(2**23), max_value=2**23 - 1))
+                    kwargs["imm"] = 0x1000 + 4 * offset
+                elif definition.fmt == "SHI":
+                    kwargs["imm"] = data.draw(st.integers(min_value=0, max_value=31))
+                elif definition.fmt == "IU":
+                    kwargs["imm"] = data.draw(st.integers(min_value=0, max_value=4095))
+                elif definition.fmt == "UI":
+                    kwargs["imm"] = data.draw(st.integers(min_value=0, max_value=2**18 - 1))
+                else:  # I, LI, M: signed 12-bit
+                    kwargs["imm"] = data.draw(st.integers(min_value=-2048, max_value=2047))
+        ins = Instruction(mnemonic, **kwargs)
+        assert _roundtrip(ins) == ins
+
+
+class TestEncodingErrors:
+    def test_register_out_of_range(self):
+        ins = Instruction("add", rd=64, rs=0, rt=0)
+        with pytest.raises(EncodingError):
+            encode(BASE_ISA.lookup("add"), ins, BASE_ISA)
+
+    def test_missing_register(self):
+        ins = Instruction("add", rd=1, rs=None, rt=2)
+        with pytest.raises(EncodingError):
+            encode(BASE_ISA.lookup("add"), ins, BASE_ISA)
+
+    def test_immediate_out_of_range(self):
+        ins = Instruction("addi", rd=1, rs=2, imm=2048)
+        with pytest.raises(EncodingError):
+            encode(BASE_ISA.lookup("addi"), ins, BASE_ISA)
+
+    def test_unsigned_immediate_rejects_negative(self):
+        ins = Instruction("andi", rd=1, rs=2, imm=-1)
+        with pytest.raises(EncodingError):
+            encode(BASE_ISA.lookup("andi"), ins, BASE_ISA)
+
+    def test_shift_amount_out_of_range(self):
+        ins = Instruction("slli", rd=1, rs=2, imm=32)
+        with pytest.raises(EncodingError):
+            encode(BASE_ISA.lookup("slli"), ins, BASE_ISA)
+
+    def test_branch_out_of_range(self):
+        ins = Instruction("beq", rs=1, rt=2, imm=0x100 + 4 * 5000, addr=0x100)
+        with pytest.raises(EncodingError):
+            encode(BASE_ISA.lookup("beq"), ins, BASE_ISA)
+
+    def test_misaligned_branch_target(self):
+        ins = Instruction("beq", rs=1, rt=2, imm=0x102, addr=0x100)
+        with pytest.raises(EncodingError):
+            encode(BASE_ISA.lookup("beq"), ins, BASE_ISA)
+
+    def test_unknown_opcode_decode(self):
+        with pytest.raises(KeyError):
+            decode(0xFF << 24, 0, BASE_ISA)

@@ -1,0 +1,149 @@
+"""Hypothesis property tests over instruction-family semantics.
+
+Complements the table-driven tests in test_instructions.py: each family
+is checked against an independent Python formulation across the whole
+operand space, plus algebraic identities that must hold architecturally.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import BASE_ISA, Instruction, MachineState
+from repro.isa.bits import rotate_left, to_signed, to_unsigned
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+SHIFTS = st.integers(min_value=0, max_value=31)
+
+
+def execute(mnemonic, **fields):
+    state = MachineState()
+    regs = fields.pop("regs", {})
+    for reg, value in regs.items():
+        state.set(reg, value)
+    ins = Instruction(mnemonic, **fields)
+    next_pc = BASE_ISA.lookup(mnemonic).semantics(state, ins)
+    return state, next_pc
+
+
+class TestShiftFamily:
+    @given(WORDS, SHIFTS)
+    def test_slli_equals_sll(self, value, amount):
+        by_imm, _ = execute("slli", rd=4, rs=2, imm=amount, regs={2: value})
+        by_reg, _ = execute("sll", rd=4, rs=2, rt=3, regs={2: value, 3: amount})
+        assert by_imm.get(4) == by_reg.get(4) == (value << amount) & 0xFFFFFFFF
+
+    @given(WORDS, SHIFTS)
+    def test_srl_then_sll_masks_low_bits(self, value, amount):
+        down, _ = execute("srli", rd=4, rs=2, imm=amount, regs={2: value})
+        back, _ = execute("slli", rd=5, rs=4, imm=amount, regs={4: down.get(4)})
+        assert back.get(5) == value & (0xFFFFFFFF << amount) & 0xFFFFFFFF
+
+    @given(WORDS, SHIFTS)
+    def test_sra_sign_fills(self, value, amount):
+        state, _ = execute("srai", rd=4, rs=2, imm=amount, regs={2: value})
+        assert state.get(4) == to_unsigned(to_signed(value) >> amount)
+
+    @given(WORDS, SHIFTS)
+    def test_rot_pair_identity(self, value, amount):
+        left, _ = execute("roli", rd=4, rs=2, imm=amount, regs={2: value})
+        back, _ = execute("rori", rd=5, rs=4, imm=amount, regs={4: left.get(4)})
+        assert back.get(5) == value
+        assert left.get(4) == rotate_left(value, amount)
+
+
+class TestCompareFamily:
+    @given(WORDS, WORDS)
+    def test_slt_matches_branch_blt(self, a, b):
+        flag, _ = execute("slt", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        _, next_pc = execute("blt", rs=2, rt=3, imm=0x40, regs={2: a, 3: b})
+        assert bool(flag.get(4)) == (next_pc == 0x40)
+
+    @given(WORDS, WORDS)
+    def test_sltu_matches_branch_bltu(self, a, b):
+        flag, _ = execute("sltu", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        _, next_pc = execute("bltu", rs=2, rt=3, imm=0x40, regs={2: a, 3: b})
+        assert bool(flag.get(4)) == (next_pc == 0x40)
+
+    @given(WORDS, WORDS)
+    def test_branch_pairs_are_complements(self, a, b):
+        for taken_op, untaken_op in (("beq", "bne"), ("blt", "bge"), ("bltu", "bgeu")):
+            _, taken = execute(taken_op, rs=2, rt=3, imm=0x40, regs={2: a, 3: b})
+            _, complement = execute(untaken_op, rs=2, rt=3, imm=0x40, regs={2: a, 3: b})
+            assert (taken == 0x40) != (complement == 0x40)
+
+    @given(WORDS, WORDS)
+    def test_min_max_partition(self, a, b):
+        low, _ = execute("minu", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        high, _ = execute("maxu", rd=5, rs=2, rt=3, regs={2: a, 3: b})
+        assert {low.get(4), high.get(5)} == {min(a, b), max(a, b)}
+        slow, _ = execute("min", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        shigh, _ = execute("max", rd=5, rs=2, rt=3, regs={2: a, 3: b})
+        assert to_signed(slow.get(4)) <= to_signed(shigh.get(5))
+        assert {slow.get(4), shigh.get(5)} == {a, b} or a == b
+
+
+class TestLogicFamily:
+    @given(WORDS, WORDS)
+    def test_de_morgan(self, a, b):
+        nor, _ = execute("nor", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        by_parts_or, _ = execute("or", rd=5, rs=2, rt=3, regs={2: a, 3: b})
+        inverted, _ = execute("not", rd=6, rs=5, regs={5: by_parts_or.get(5)})
+        assert nor.get(4) == inverted.get(6)
+
+    @given(WORDS)
+    def test_xor_self_is_zero(self, a):
+        state, _ = execute("xor", rd=4, rs=2, rt=2, regs={2: a})
+        assert state.get(4) == 0
+
+    @given(WORDS, WORDS)
+    def test_andn_orn_definitions(self, a, b):
+        andn, _ = execute("andn", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        orn, _ = execute("orn", rd=5, rs=2, rt=3, regs={2: a, 3: b})
+        assert andn.get(4) == a & (~b & 0xFFFFFFFF)
+        assert orn.get(5) == (a | (~b & 0xFFFFFFFF)) & 0xFFFFFFFF
+
+
+class TestArithmeticIdentities:
+    @given(WORDS, WORDS)
+    def test_add_sub_inverse(self, a, b):
+        total, _ = execute("add", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        back, _ = execute("sub", rd=5, rs=4, rt=3, regs={4: total.get(4), 3: b})
+        assert back.get(5) == a
+
+    @given(WORDS)
+    def test_neg_twice_is_identity(self, a):
+        once, _ = execute("neg", rd=4, rs=2, regs={2: a})
+        twice, _ = execute("neg", rd=5, rs=4, regs={4: once.get(4)})
+        assert twice.get(5) == a
+
+    @given(WORDS, WORDS)
+    def test_addx_family_consistent(self, a, b):
+        for mnemonic, factor in (("addx2", 2), ("addx4", 4), ("addx8", 8)):
+            state, _ = execute(mnemonic, rd=4, rs=2, rt=3, regs={2: a, 3: b})
+            assert state.get(4) == (a * factor + b) & 0xFFFFFFFF
+
+    @given(WORDS)
+    def test_abs_non_negative_unless_min_int(self, a):
+        state, _ = execute("abs", rd=4, rs=2, regs={2: a})
+        result = state.get(4)
+        if a == 0x80000000:  # |INT_MIN| wraps, as in real hardware
+            assert result == 0x80000000
+        else:
+            assert to_signed(result) == abs(to_signed(a))
+
+    @settings(max_examples=60)
+    @given(WORDS, WORDS)
+    def test_mull_commutative(self, a, b):
+        ab, _ = execute("mull", rd=4, rs=2, rt=3, regs={2: a, 3: b})
+        ba, _ = execute("mull", rd=5, rs=3, rt=2, regs={2: a, 3: b})
+        assert ab.get(4) == ba.get(5)
+
+
+class TestClassMetadata:
+    def test_branch_classes_resolve_dynamically(self):
+        from repro.isa import InstructionClass
+
+        assert InstructionClass.BRANCH_TAKEN.is_dynamic
+        assert InstructionClass.BRANCH_UNTAKEN.is_dynamic
+        assert not InstructionClass.ARITH.is_dynamic
+        assert not InstructionClass.BRANCH.is_dynamic

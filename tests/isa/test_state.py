@@ -1,0 +1,78 @@
+"""Tests for the sparse memory and bare machine state."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import MachineState, SparseMemory
+
+ADDRS = st.integers(min_value=0, max_value=0xFFFFF)
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestSparseMemory:
+    def test_unwritten_reads_zero(self):
+        memory = SparseMemory()
+        assert memory.read(0x1234, 4) == 0
+        assert memory.read_byte(0xDEAD) == 0
+        assert memory.touched_pages == 0
+
+    def test_little_endian_layout(self):
+        memory = SparseMemory()
+        memory.write(0x100, 0xAABBCCDD, 4)
+        assert memory.read_byte(0x100) == 0xDD
+        assert memory.read_byte(0x103) == 0xAA
+        assert memory.read(0x100, 2) == 0xCCDD
+
+    def test_cross_page_access(self):
+        memory = SparseMemory()
+        boundary = SparseMemory.PAGE_SIZE - 2
+        memory.write(boundary, 0x11223344, 4)
+        assert memory.read(boundary, 4) == 0x11223344
+        assert memory.touched_pages == 2
+
+    def test_write_bytes_read_bytes(self):
+        memory = SparseMemory()
+        memory.write_bytes(0x200, b"hello")
+        assert memory.read_bytes(0x200, 5) == b"hello"
+
+    @given(ADDRS, WORDS, st.sampled_from([1, 2, 4]))
+    def test_roundtrip(self, addr, value, size):
+        memory = SparseMemory()
+        memory.write(addr, value, size)
+        assert memory.read(addr, size) == value & ((1 << (8 * size)) - 1)
+
+    @given(ADDRS, WORDS, WORDS)
+    def test_last_write_wins(self, addr, first, second):
+        memory = SparseMemory()
+        memory.write(addr, first, 4)
+        memory.write(addr, second, 4)
+        assert memory.read(addr, 4) == second
+
+
+class TestMachineState:
+    def test_registers_start_zero(self):
+        state = MachineState()
+        assert all(state.get(i) == 0 for i in range(state.num_registers))
+
+    def test_set_truncates(self):
+        state = MachineState()
+        state.set(3, 0x1_0000_0002)
+        assert state.get(3) == 2
+
+    def test_signed_load(self):
+        state = MachineState()
+        state.memory.write(0x10, 0x80, 1)
+        assert state.load(0x10, 1, signed=True) == 0xFFFFFF80
+        assert state.load(0x10, 1, signed=False) == 0x80
+
+    def test_halt_flag(self):
+        state = MachineState()
+        assert not state.halted
+        state.halt()
+        assert state.halted
+
+    def test_tie_state_dict(self):
+        state = MachineState()
+        assert state.tie_state == {}
+        state.tie_state["acc"] = 42
+        assert state.tie_state["acc"] == 42

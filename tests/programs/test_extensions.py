@@ -1,0 +1,190 @@
+"""Every custom-instruction spec's semantics must match its Python ref.
+
+The specs are exercised through the compiled TIE implementation over
+randomized operands — this is the contract that makes the assembly
+kernels' functional checks trustworthy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, MachineState
+from repro.programs import extensions as ext
+from repro.tie import compile_spec
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def execute(impl, rd=None, rs_value=None, rt_value=None, state=None):
+    machine = MachineState()
+    if state:
+        machine.tie_state.update(state)
+    ins_kwargs = {}
+    if rs_value is not None:
+        machine.set(2, rs_value)
+        ins_kwargs["rs"] = 2
+    if rt_value is not None:
+        machine.set(3, rt_value)
+        ins_kwargs["rt"] = 3
+    if rd is not None:
+        ins_kwargs["rd"] = rd
+    ins = Instruction(impl.mnemonic, **ins_kwargs)
+    impl.instruction.semantics(machine, ins)
+    return machine
+
+
+class TestStatelessSpecs:
+    @given(WORDS, WORDS)
+    @settings(max_examples=40)
+    def test_mul16(self, a, b):
+        impl = compile_spec(ext.mul16_spec())
+        machine = execute(impl, rd=4, rs_value=a, rt_value=b)
+        assert machine.get(4) == ext.ref_mul16(a, b)
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=40)
+    def test_mul8(self, a, b):
+        impl = compile_spec(ext.mul8_spec())
+        machine = execute(impl, rd=4, rs_value=a, rt_value=b)
+        assert machine.get(4) == ext.ref_mul8(a, b)
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=40)
+    def test_add4x8(self, a, b):
+        impl = compile_spec(ext.add4x8_spec())
+        machine = execute(impl, rd=4, rs_value=a, rt_value=b)
+        assert machine.get(4) == ext.ref_add4x8(a, b)
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=40)
+    def test_min_max_absdiff(self, a, b):
+        assert execute(compile_spec(ext.min2_spec()), rd=4, rs_value=a, rt_value=b).get(4) == min(a, b)
+        assert execute(compile_spec(ext.max2_spec()), rd=4, rs_value=a, rt_value=b).get(4) == max(a, b)
+        assert execute(compile_spec(ext.absdiff_spec()), rd=4, rs_value=a, rt_value=b).get(4) == ext.ref_absdiff(a, b)
+        assert execute(compile_spec(ext.min2h_spec()), rd=4, rs_value=a, rt_value=b).get(4) == ext.ref_min2h(a, b)
+
+    @given(WORDS)
+    @settings(max_examples=40)
+    def test_sat8_sum4_parity_swz_sqr(self, a):
+        assert execute(compile_spec(ext.sat8_spec()), rd=4, rs_value=a).get(4) == ext.ref_sat8(a)
+        assert execute(compile_spec(ext.sum4_spec()), rd=4, rs_value=a).get(4) == ext.ref_sum4(a)
+        assert execute(compile_spec(ext.parity32_spec()), rd=4, rs_value=a).get(4) == ext.ref_parity32(a)
+        assert execute(compile_spec(ext.swz_spec()), rd=4, rs_value=a).get(4) == ext.ref_swz(a)
+        assert execute(compile_spec(ext.sqr16_spec()), rd=4, rs_value=a).get(4) == ext.ref_sqr16(a)
+
+    @given(WORDS, st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=40)
+    def test_sum3(self, a, b):
+        impl = compile_spec(ext.sum3_spec())
+        machine = execute(impl, rd=4, rs_value=a, rt_value=b)
+        assert machine.get(4) == ext.ref_sum3(a, b)
+
+    @given(WORDS, st.integers(min_value=0, max_value=31))
+    @settings(max_examples=40)
+    def test_shiftmix(self, a, amount):
+        impl = compile_spec(ext.shiftmix_spec())
+        machine = execute(impl, rd=4, rs_value=a, rt_value=amount)
+        assert machine.get(4) == ext.ref_shiftmix(a, amount)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=256),
+    )
+    @settings(max_examples=40)
+    def test_blend8(self, a, b, alpha):
+        impl = compile_spec(ext.blend8_spec())
+        machine = execute(impl, rd=4, rs_value=(b << 8) | a, rt_value=alpha)
+        assert machine.get(4) == ext.ref_blend8(a, b, alpha)
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40)
+    def test_sbox(self, index):
+        impl = compile_spec(ext.sbox_spec())
+        machine = execute(impl, rd=4, rs_value=index)
+        assert machine.get(4) == ext.ref_sbox(index)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60)
+    def test_gfmul(self, a, b):
+        impl = compile_spec(ext.gfmul_spec())
+        machine = execute(impl, rd=4, rs_value=a, rt_value=b)
+        assert machine.get(4) == ext.ref_gfmul(a, b)
+
+
+class TestStatefulSpecs:
+    def test_mac16_sequence(self):
+        impl = compile_spec(ext.mac16_spec())
+        reader = compile_spec(ext.rdmac_spec())
+        machine = MachineState()
+        acc = 0
+        for word in (0x0003_0005, 0xFFFF_FFFF, 0x1234_5678):
+            machine.set(2, word)
+            impl.instruction.semantics(machine, Instruction("mac16", rs=2))
+            acc = ext.ref_mac16_step(acc, word)
+        reader.instruction.semantics(machine, Instruction("rdmac", rd=4))
+        assert machine.get(4) == acc & 0xFFFFFFFF
+
+    def test_wrmac_clears_high_bits(self):
+        writer = compile_spec(ext.wrmac_spec())
+        machine = MachineState()
+        machine.tie_state["acc40"] = (1 << 39) | 5
+        machine.set(2, 0xABCD)
+        writer.instruction.semantics(machine, Instruction("wrmac", rs=2))
+        assert machine.tie_state["acc40"] == 0xABCD
+
+    def test_mac8_independent_accumulator(self):
+        mac8 = compile_spec(ext.mac8_spec())
+        rd8 = compile_spec(ext.rdmac8_spec())
+        machine = MachineState()
+        machine.tie_state["acc40"] = 999  # must not be disturbed
+        machine.set(2, (7 << 8) | 6)
+        mac8.instruction.semantics(machine, Instruction("mac8", rs=2))
+        rd8.instruction.semantics(machine, Instruction("rdmac8", rd=4))
+        assert machine.get(4) == 42
+        assert machine.tie_state["acc40"] == 999
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=40)
+    def test_gfmac_horner_step(self, acc, symbol, alpha):
+        impl = compile_spec(ext.gfmac_spec())
+        machine = MachineState()
+        machine.tie_state["gfacc"] = acc
+        machine.set(2, (alpha << 8) | symbol)
+        impl.instruction.semantics(machine, Instruction("gfmac", rs=2))
+        assert machine.tie_state["gfacc"] == ext.ref_gfmac_step(acc, symbol, alpha)
+
+    def test_wrgf_rdgf(self):
+        writer = compile_spec(ext.wrgf_spec())
+        reader = compile_spec(ext.rdgf_spec())
+        machine = MachineState()
+        machine.set(2, 0x1AB)
+        writer.instruction.semantics(machine, Instruction("wrgf", rs=2))
+        reader.instruction.semantics(machine, Instruction("rdgf", rd=4))
+        assert machine.get(4) == 0xAB  # 8-bit state
+
+
+class TestLibraryShape:
+    def test_registry_factories_compile(self):
+        for name, factory in ext.ALL_SPEC_FACTORIES.items():
+            impl = compile_spec(factory())
+            assert impl.mnemonic == name
+
+    def test_all_ten_categories_covered(self):
+        from repro.hwlib import CATEGORY_ORDER
+
+        covered = set()
+        for factory in ext.ALL_SPEC_FACTORIES.values():
+            impl = compile_spec(factory())
+            covered.update(instance.category for instance in impl.instances)
+        assert covered == set(CATEGORY_ORDER)
+
+    def test_swz_is_pure_wiring(self):
+        impl = compile_spec(ext.swz_spec())
+        assert impl.instances == ()
+        assert impl.per_exec_activity == {}

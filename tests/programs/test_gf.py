@@ -1,0 +1,108 @@
+"""GF(2^8) arithmetic tests, including field-axiom property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.programs import gf
+
+ELEMENTS = st.integers(min_value=0, max_value=255)
+NONZERO = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_sizes(self):
+        assert len(gf.log_table()) == 256
+        assert len(gf.alog_table()) == 256
+
+    def test_alog_wraps(self):
+        alog = gf.alog_table()
+        assert alog[0] == 1
+        assert alog[255] == alog[0]
+
+    def test_log_alog_inverse(self):
+        log, alog = gf.log_table(), gf.alog_table()
+        for exponent in range(255):
+            assert log[alog[exponent]] == exponent
+
+    def test_alog_values_are_field_elements(self):
+        assert all(0 < value < 256 for value in gf.alog_table())
+
+
+class TestMult:
+    def test_known_values(self):
+        assert gf.gf_mult(0, 5) == 0
+        assert gf.gf_mult(1, 5) == 5
+        assert gf.gf_mult(2, 0x80) == 0x1D  # reduction by 0x11D
+        assert gf.gf_mult(0x53, 0x8C) == 0x01  # inverse pair under 0x11D
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            gf.gf_mult(256, 1)
+        with pytest.raises(ValueError):
+            gf.gf_mult(1, -1)
+
+    @given(ELEMENTS, ELEMENTS)
+    def test_table_based_matches_reference(self, a, b):
+        assert gf.gf_mult_table(a, b) == gf.gf_mult(a, b)
+
+    @given(ELEMENTS, ELEMENTS)
+    def test_commutative(self, a, b):
+        assert gf.gf_mult(a, b) == gf.gf_mult(b, a)
+
+    @given(ELEMENTS, ELEMENTS, ELEMENTS)
+    def test_associative(self, a, b, c):
+        assert gf.gf_mult(gf.gf_mult(a, b), c) == gf.gf_mult(a, gf.gf_mult(b, c))
+
+    @given(ELEMENTS, ELEMENTS, ELEMENTS)
+    def test_distributes_over_xor(self, a, b, c):
+        assert gf.gf_mult(a, b ^ c) == gf.gf_mult(a, b) ^ gf.gf_mult(a, c)
+
+    @given(ELEMENTS)
+    def test_identity(self, a):
+        assert gf.gf_mult(a, 1) == a
+
+    @given(NONZERO, NONZERO)
+    def test_no_zero_divisors(self, a, b):
+        assert gf.gf_mult(a, b) != 0
+
+    @given(NONZERO)
+    def test_every_nonzero_has_inverse(self, a):
+        # a^254 is the inverse of a in GF(2^8)
+        inverse = gf.gf_pow(a, 254)
+        assert gf.gf_mult(a, inverse) == 1
+
+
+class TestPow:
+    def test_powers_of_two_match_alog(self):
+        alog = gf.alog_table()
+        for exponent in range(20):
+            assert gf.gf_pow(2, exponent) == alog[exponent % 255]
+
+    def test_zero_exponent(self):
+        assert gf.gf_pow(7, 0) == 1
+
+
+class TestSyndromes:
+    def test_zero_codeword(self):
+        assert gf.syndromes([0] * 16, 4) == [0, 0, 0, 0]
+
+    def test_single_symbol(self):
+        # r = [s] at position 0: S_j = s for all j
+        assert gf.syndromes([0x37], 3) == [0x37, 0x37, 0x37]
+
+    def test_matches_direct_evaluation(self):
+        received = [3, 1, 4, 1, 5, 9, 2, 6]
+        for j in range(1, 5):
+            alpha_j = gf.gf_pow(2, j)
+            direct = 0
+            for i, symbol in enumerate(received):
+                direct ^= gf.gf_mult(symbol, gf.gf_pow(alpha_j, i))
+            assert gf.syndromes(received, 4)[j - 1] == direct
+
+    @given(st.lists(ELEMENTS, min_size=1, max_size=16))
+    def test_linearity(self, received):
+        doubled = [gf.gf_mult(2, symbol) for symbol in received]
+        base = gf.syndromes(received, 3)
+        scaled = gf.syndromes(doubled, 3)
+        assert scaled == [gf.gf_mult(2, value) for value in base]

@@ -1,0 +1,162 @@
+"""Functional verification + coverage of all benchmark suites.
+
+Every characterization program, application and Reed-Solomon variant runs
+on its processor and checks its output against a pure-Python mirror.
+"""
+
+import pytest
+
+from repro.core import Characterizer, audit_coverage
+from repro.isa import InstructionClass
+from repro.programs import (
+    application_suite,
+    characterization_suite,
+    reed_solomon_choices,
+)
+from repro.programs import gf
+from repro.programs.reed_solomon import BLOCK_SYMBOLS, SYNDROME_COUNT
+from repro.programs.testsuite import bitops_extension_config, dsp_extension_config
+
+
+@pytest.fixture(scope="module")
+def char_suite():
+    return characterization_suite()
+
+
+@pytest.fixture(scope="module")
+def app_suite():
+    return application_suite()
+
+
+class TestCharacterizationSuite:
+    def test_core_suite_has_25_programs(self):
+        core = characterization_suite(include_variants=False)
+        assert len(core) == 25  # the paper's Fig. 3 count
+
+    def test_full_suite_larger(self, char_suite):
+        assert len(char_suite) > 25
+
+    @pytest.mark.parametrize(
+        "case_name", [c.name for c in characterization_suite()]
+    )
+    def test_program_verifies(self, char_suite, case_name):
+        case = next(c for c in char_suite if c.name == case_name)
+        case.run_verified()
+
+    def test_unique_names(self, char_suite):
+        names = [case.name for case in char_suite]
+        assert len(set(names)) == len(names)
+
+    def test_every_case_has_description_and_check(self, char_suite):
+        for case in char_suite:
+            assert case.description
+            assert case.check is not None
+
+    def test_shared_configs_reused(self, char_suite):
+        dsp_cases = [c for c in char_suite if c.config.name == "xt-char-dsp"]
+        assert len(dsp_cases) >= 6
+        first = dsp_cases[0].config
+        assert all(case.config is first for case in dsp_cases)
+
+    def test_event_diversity(self, char_suite):
+        """The suite must exercise every dynamic-event variable strongly."""
+        totals = {"icache": 0, "dcache": 0, "uncached": 0, "interlock": 0}
+        for case in char_suite:
+            stats = case.run().stats
+            totals["icache"] += stats.icache_misses
+            totals["dcache"] += stats.dcache_misses
+            totals["uncached"] += stats.uncached_fetches
+            totals["interlock"] += stats.interlocks
+        assert totals["icache"] > 100
+        assert totals["dcache"] > 100
+        assert totals["uncached"] > 100
+        assert totals["interlock"] > 100
+
+    def test_branch_class_diversity(self, char_suite):
+        taken = untaken = 0
+        for case in char_suite:
+            stats = case.run().stats
+            taken += stats.class_counts[InstructionClass.BRANCH_TAKEN]
+            untaken += stats.class_counts[InstructionClass.BRANCH_UNTAKEN]
+        assert taken > 1000 and untaken > 1000
+
+
+class TestSuiteCoverage:
+    def test_all_21_variables_exercised(self, char_suite):
+        characterizer = Characterizer()
+        for case in char_suite:
+            config, program = case.build()
+            characterizer.add_program(config, program)
+        report = audit_coverage(characterizer.samples, characterizer.template)
+        assert report.is_adequate, report.summary()
+        assert report.rank == 21
+
+    def test_extension_configs_cover_all_categories(self):
+        from repro.hwlib import CATEGORY_ORDER
+
+        covered = set()
+        for config in (dsp_extension_config(), bitops_extension_config()):
+            for instance in config.custom_instances:
+                covered.add(instance.category)
+        assert covered == set(CATEGORY_ORDER)
+
+
+class TestApplications:
+    def test_ten_applications(self, app_suite):
+        # the paper's Table II application set
+        names = {case.name for case in app_suite}
+        assert names == {
+            "ins_sort", "gcd", "alphablend", "add4", "bubsort",
+            "des", "accumulate", "drawline", "multi_accumulate", "seq_mult",
+        }
+
+    @pytest.mark.parametrize("case_name", [c.name for c in application_suite()])
+    def test_application_verifies(self, app_suite, case_name):
+        case = next(c for c in app_suite if c.name == case_name)
+        case.run_verified()
+
+    def test_every_app_uses_custom_instructions(self, app_suite):
+        for case in app_suite:
+            stats = case.run().stats
+            assert stats.custom_counts, f"{case.name} executes no custom instructions"
+
+    def test_apps_disjoint_from_characterization(self, char_suite, app_suite):
+        # Table II measures generalization: apps must not be in the suite
+        suite_names = {case.name for case in char_suite}
+        assert not suite_names & {case.name for case in app_suite}
+
+
+class TestReedSolomon:
+    def test_four_choices(self):
+        choices = reed_solomon_choices()
+        assert [case.name for case in choices] == ["rs_sw", "rs_gfmul", "rs_gfmac", "rs_dual"]
+
+    @pytest.mark.parametrize("case_name", ["rs_sw", "rs_gfmul", "rs_gfmac", "rs_dual"])
+    def test_variant_verifies(self, case_name):
+        case = next(c for c in reed_solomon_choices() if c.name == case_name)
+        case.run_verified()
+
+    def test_all_variants_compute_identical_syndromes(self):
+        expected = None
+        for case in reed_solomon_choices():
+            result = case.run()
+            syndromes = result.words("synd", SYNDROME_COUNT)
+            if expected is None:
+                expected = syndromes
+            else:
+                assert syndromes == expected, case.name
+
+    def test_reference_syndromes_match(self):
+        case = reed_solomon_choices()[0]
+        result = case.run()
+        from repro.programs.data import Lcg
+
+        received = [Lcg(1501).below(256) for _ in range(BLOCK_SYMBOLS)]
+        assert result.words("synd", SYNDROME_COUNT) == gf.syndromes(received, SYNDROME_COUNT)
+
+    def test_specialization_reduces_cycles(self):
+        cycles = [case.run().cycles for case in reed_solomon_choices()]
+        # sw >> gfmul/gfmac > dual
+        assert cycles[0] > 3 * cycles[1]
+        assert cycles[3] < cycles[1]
+        assert cycles[3] < cycles[2]

@@ -1,0 +1,48 @@
+"""Cross-module consistency checks.
+
+These pin down agreements between modules that are easy to break by
+editing one side only: the estimator's mnemonic sets must reference real
+base-ISA instructions, block names must match what the estimator charges,
+and event energies must cover every ISS event type.
+"""
+
+from repro.isa import BASE_ISA, InstructionClass
+from repro.rtl import BASE_BLOCKS, BLOCKS_BY_NAME, EVENT_ENERGY
+from repro.rtl.blocks import MULTIPLIER_MNEMONICS, SHIFTER_MNEMONICS
+
+
+class TestMnemonicSets:
+    def test_multiplier_mnemonics_exist_and_are_arith(self):
+        for mnemonic in MULTIPLIER_MNEMONICS:
+            definition = BASE_ISA.lookup(mnemonic)
+            assert definition.iclass is InstructionClass.ARITH
+
+    def test_shifter_mnemonics_exist_and_are_arith(self):
+        for mnemonic in SHIFTER_MNEMONICS:
+            definition = BASE_ISA.lookup(mnemonic)
+            assert definition.iclass is InstructionClass.ARITH
+
+    def test_sets_disjoint(self):
+        assert not (MULTIPLIER_MNEMONICS & SHIFTER_MNEMONICS)
+
+
+class TestBlockTables:
+    def test_blocks_by_name_complete(self):
+        assert set(BLOCKS_BY_NAME) == {block.name for block in BASE_BLOCKS}
+
+    def test_event_energy_covers_iss_events(self):
+        # one entry per ExecutionStats event counter
+        assert set(EVENT_ENERGY) == {
+            "icache_miss",
+            "dcache_miss",
+            "uncached_fetch",
+            "interlock",
+        }
+
+    def test_estimator_charges_only_known_blocks(self, tiny_loop_program, base_config):
+        from repro.rtl import RtlEnergyEstimator, generate_netlist
+
+        estimator = RtlEnergyEstimator(generate_netlist(base_config))
+        report, _ = estimator.estimate_program(tiny_loop_program)
+        known = set(BLOCKS_BY_NAME) | {"tie_control"}
+        assert set(report.by_block) <= known

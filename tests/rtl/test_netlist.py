@@ -1,0 +1,82 @@
+"""Processor generator (netlist) tests."""
+
+import pytest
+
+from repro.hwlib import ComponentCategory
+from repro.rtl import BASE_BLOCKS, generate_netlist, stable_unit_variation
+from repro.tie import TieSpec
+from repro.xtcore import build_processor
+
+
+def _gf_spec():
+    from repro.programs.extensions import gfmul_spec
+
+    return gfmul_spec()
+
+
+class TestBaseBlocks:
+    def test_expected_blocks_present(self):
+        names = {block.name for block in BASE_BLOCKS}
+        assert {
+            "fetch_unit",
+            "instruction_decoder",
+            "register_file",
+            "alu",
+            "base_multiplier",
+            "icache",
+            "dcache",
+            "clock_tree",
+        } <= names
+
+    def test_energies_non_negative(self):
+        for block in BASE_BLOCKS:
+            assert block.active_energy >= 0
+            assert block.idle_energy >= 0
+
+
+class TestVariation:
+    def test_deterministic(self):
+        assert stable_unit_variation("foo") == stable_unit_variation("foo")
+
+    def test_bounded(self):
+        for name in ("a", "b", "some/instance", "x" * 100):
+            factor = stable_unit_variation(name, spread=0.1)
+            assert 0.9 <= factor <= 1.1
+
+    def test_distinct_names_vary(self):
+        values = {stable_unit_variation(f"inst{i}") for i in range(20)}
+        assert len(values) > 10
+
+
+class TestGeneration:
+    def test_base_netlist(self):
+        netlist = generate_netlist(build_processor("plain"))
+        assert netlist.custom_instances == ()
+        assert netlist.custom_area == 0.0
+        assert netlist.control.decode_energy == 0.0
+
+    def test_extended_netlist(self):
+        config = build_processor("gf", [_gf_spec()])
+        netlist = generate_netlist(config)
+        assert len(netlist.custom_instances) > 0
+        complexity = netlist.category_complexity()
+        assert complexity[ComponentCategory.TABLE] == pytest.approx(6.0)  # 3 256x8 tables
+        assert netlist.custom_area > 0
+        assert netlist.control.decode_energy > 0
+        assert netlist.control.bypass_energy > 0
+
+    def test_synthesis_report(self):
+        config = build_processor("gf", [_gf_spec()])
+        report = generate_netlist(config).synthesis_report()
+        assert "gfmul" in report
+        assert "table" in report
+        assert "custom instructions: 1" in report
+
+    def test_instance_variation_scoped_by_processor(self):
+        config_a = build_processor("alpha", [_gf_spec()])
+        config_b = build_processor("beta", [_gf_spec()])
+        netlist_a = generate_netlist(config_a)
+        netlist_b = generate_netlist(config_b)
+        name = netlist_a.custom_instances[0].name
+        # same instance name, different processor -> different variation
+        assert netlist_a.instance_variation(name) != netlist_b.instance_variation(name)

@@ -1,0 +1,122 @@
+"""CLI tests (direct main() invocation; no subprocess needed)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import EnergyMacroModel, default_template
+
+DEMO = """
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, 12
+    movi a3, 0
+loop:
+    add a3, a3, a2
+    addi a2, a2, -1
+    bnez a2, loop
+    la a4, out
+    s32i a3, a4, 0
+    halt
+"""
+
+CUSTOM_DEMO = """
+main:
+    movi a2, 9
+    movi a3, 4
+    mul16 a4, a2, a3
+    halt
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.s"
+    path.write_text(DEMO)
+    return str(path)
+
+
+@pytest.fixture()
+def custom_file(tmp_path):
+    path = tmp_path / "custom.s"
+    path.write_text(CUSTOM_DEMO)
+    return str(path)
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    template = default_template()
+    model = EnergyMacroModel(template, np.linspace(50, 5000, len(template)))
+    path = tmp_path / "model.json"
+    model.save(str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSimulate:
+    def test_basic(self, demo_file, capsys):
+        assert main(["simulate", demo_file, "--dump-word", "out"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions: " in out
+        assert "out = 78" in out  # 12+11+...+1
+
+    def test_trace(self, demo_file, capsys):
+        assert main(["simulate", demo_file, "--trace", "--trace-limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "TraceRecord" in out
+        assert "more records" in out
+
+    def test_with_extension(self, custom_file, capsys):
+        assert main(["simulate", custom_file, "--extensions", "mul16"]) == 0
+        assert "instructions: 4" in capsys.readouterr().out
+
+    def test_unknown_extension(self, custom_file):
+        with pytest.raises(SystemExit, match="unknown extension"):
+            main(["simulate", custom_file, "--extensions", "warpdrive"])
+
+
+class TestDisasm:
+    def test_output_reassembles(self, demo_file, capsys):
+        assert main(["disasm", demo_file]) == 0
+        text = capsys.readouterr().out
+        from repro.asm import assemble
+
+        rebuilt = assemble(text, "rebuilt")
+        assert len(rebuilt) == 9  # `la` expanded to movhi+ori in the original
+
+
+class TestListExtensions:
+    def test_lists_library(self, capsys):
+        assert main(["list-extensions"]) == 0
+        out = capsys.readouterr().out
+        assert "mac16" in out
+        assert "gfmul" in out
+
+
+class TestEstimateAndProfile:
+    def test_estimate(self, model_file, demo_file, capsys):
+        assert main(["estimate", model_file, demo_file, "--variables"]) == 0
+        out = capsys.readouterr().out
+        assert "macro-model estimate" in out
+        assert "N_a" in out
+
+    def test_reference(self, demo_file, capsys):
+        assert main(["reference", demo_file]) == 0
+        assert "RTL energy estimate" in capsys.readouterr().out
+
+    def test_profile(self, model_file, demo_file, capsys):
+        assert main(["profile", model_file, demo_file, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "energy profile" in out
+        assert "total" in out

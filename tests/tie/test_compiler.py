@@ -1,0 +1,241 @@
+"""Tests for the TIE compiler: scheduling, hardware, activity, semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hwlib import ComponentCategory
+from repro.isa import Instruction, MachineState
+from repro.tie import (
+    LEVELS_PER_CYCLE,
+    TieSpec,
+    TieSpecError,
+    TieState,
+    compile_extension,
+    compile_spec,
+)
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def simple_mult_spec() -> TieSpec:
+    spec = TieSpec("xmul", fmt="R3")
+    a = spec.source("rs", width=16)
+    b = spec.source("rt", width=16)
+    spec.result(spec.tie_mult(a, b))
+    return spec
+
+
+def deep_chain_spec(depth: int) -> TieSpec:
+    """A chain of `depth` adders (one logic level each)."""
+    spec = TieSpec("chain", fmt="R2")
+    node = spec.source("rs", width=16)
+    one = spec.const(1, 16)
+    for _ in range(depth):
+        node = spec.add(node, one, width=16)
+    spec.result(node)
+    return spec
+
+
+class TestScheduling:
+    def test_single_level_is_single_cycle(self):
+        impl = compile_spec(simple_mult_spec())
+        assert impl.latency == 1
+
+    def test_deep_chain_becomes_multi_cycle(self):
+        impl = compile_spec(deep_chain_spec(LEVELS_PER_CYCLE + 1))
+        assert impl.latency == 2
+        impl3 = compile_spec(deep_chain_spec(2 * LEVELS_PER_CYCLE + 1))
+        assert impl3.latency == 3
+
+    def test_wiring_costs_no_levels(self):
+        spec = TieSpec("wires", fmt="R2")
+        a = spec.source("rs")
+        lo = spec.slice(a, 0, 16)
+        hi = spec.slice(a, 16, 16)
+        swapped = spec.concat(lo, hi)
+        spec.result(swapped)
+        impl = compile_spec(spec)
+        assert impl.latency == 1
+        assert impl.instances == ()  # pure wiring: zero hardware
+
+    def test_active_cycle_assignment(self):
+        impl = compile_spec(deep_chain_spec(LEVELS_PER_CYCLE + 1))
+        cycles = set()
+        for active in impl.active_cycles.values():
+            cycles.update(active)
+        assert cycles == {0, 1}
+
+    def test_instruction_def_latency_matches(self):
+        impl = compile_spec(deep_chain_spec(LEVELS_PER_CYCLE + 2))
+        assert impl.instruction.latency == impl.latency
+
+
+class TestHardwareInstances:
+    def test_one_instance_per_operator(self):
+        spec = TieSpec("twoops", fmt="R3")
+        a = spec.source("rs", width=8)
+        b = spec.source("rt", width=8)
+        total = spec.add(a, b, width=9)
+        spec.result(spec.bit_xor(total, spec.zero_extend(a, 9)))
+        impl = compile_spec(spec)
+        categories = sorted(i.category.value for i in impl.instances)
+        assert categories == ["add_sub_cmp", "logic_red_mux"]
+
+    def test_state_register_instance(self):
+        spec = TieSpec("withstate", fmt="RS1")
+        acc = spec.state("myacc", width=24)
+        spec.write_state(acc, spec.zero_extend(spec.source("rs", width=16), 24))
+        impl = compile_spec(spec)
+        regs = [i for i in impl.instances if i.category is ComponentCategory.CUSTOM_REG]
+        assert len(regs) == 1
+        assert regs[0].name == "state/myacc"
+        assert regs[0].width == 24
+
+    def test_shared_state_same_instance_name(self):
+        shared = TieState("acc", width=16)
+        writer = TieSpec("w", fmt="RS1")
+        writer.write_state(shared, writer.source("rs", width=16))
+        reader = TieSpec("r", fmt="RD1")
+        reader.result(reader.zero_extend(reader.read_state(shared), 32))
+        impls = compile_extension([writer, reader])
+        names = [
+            i.name for impl in impls for i in impl.instances
+            if i.category is ComponentCategory.CUSTOM_REG
+        ]
+        assert names == ["state/acc", "state/acc"]
+
+    def test_per_exec_activity_weights_complexity(self):
+        impl = compile_spec(simple_mult_spec())
+        # one 32-bit tie_mult active one cycle: C = (32/32)^2 = 1.0
+        assert impl.per_exec_activity[ComponentCategory.TIE_MULT] == pytest.approx(1.0)
+        assert impl.per_exec_counts[ComponentCategory.TIE_MULT] == 1
+
+    def test_table_instance_entries(self):
+        spec = TieSpec("lut", fmt="R2")
+        a = spec.source("rs", width=4)
+        spec.result(spec.zero_extend(spec.table("t", list(range(16)), a, out_width=4), 32))
+        impl = compile_spec(spec)
+        tables = [i for i in impl.instances if i.category is ComponentCategory.TABLE]
+        assert tables[0].entries == 16
+
+
+class TestBusTaps:
+    def test_gpr_fed_operator_is_tapped(self):
+        impl = compile_spec(simple_mult_spec())
+        assert len(impl.bus_tapped) == 1
+        assert ComponentCategory.TIE_MULT in impl.bus_tap_complexity
+
+    def test_second_stage_not_tapped(self):
+        spec = TieSpec("staged", fmt="R3")
+        a = spec.source("rs", width=8)
+        b = spec.source("rt", width=8)
+        first = spec.add(a, b, width=9)
+        second = spec.add(first, spec.const(1, 9), width=10)
+        spec.result(second)
+        impl = compile_spec(spec)
+        assert len(impl.bus_tapped) == 1  # only the first adder sees the bus
+
+    def test_tap_through_wiring(self):
+        spec = TieSpec("wired", fmt="R2")
+        a = spec.source("rs")
+        low = spec.slice(a, 0, 8)  # wiring is transparent to the bus
+        spec.result(spec.zero_extend(spec.bit_not(low), 32))
+        impl = compile_spec(spec)
+        assert len(impl.bus_tapped) == 1
+
+    def test_state_fed_operator_not_tapped(self):
+        spec = TieSpec("statefed", fmt="RD1")
+        acc = spec.state("acc", width=8)
+        inverted = spec.bit_not(spec.read_state(acc))
+        spec.result(spec.zero_extend(inverted, 32))
+        spec.write_state(acc, inverted)
+        impl = compile_spec(spec)
+        assert impl.bus_tapped == ()
+
+
+class TestSemantics:
+    def test_mult_semantics(self):
+        impl = compile_spec(simple_mult_spec())
+        state = MachineState()
+        state.set(2, 0x10003)  # low16 = 3
+        state.set(3, 0x20005)  # low16 = 5
+        impl.instruction.semantics(state, Instruction("xmul", rd=4, rs=2, rt=3))
+        assert state.get(4) == 15
+
+    def test_state_read_write_ordering(self):
+        # reads must observe pre-instruction state even when written
+        spec = TieSpec("swapish", fmt="R2")
+        acc = spec.state("acc", width=8, init=7)
+        old = spec.read_state(acc)
+        spec.write_state(acc, spec.source("rs", width=8))
+        spec.result(spec.zero_extend(old, 32))
+        impl = compile_spec(spec)
+        state = MachineState()
+        state.tie_state["acc"] = 42
+        state.set(2, 99)
+        impl.instruction.semantics(state, Instruction("swapish", rd=4, rs=2))
+        assert state.get(4) == 42        # old value returned
+        assert state.tie_state["acc"] == 99  # new value latched
+
+    def test_state_init_used_when_unset(self):
+        spec = TieSpec("initread", fmt="RD1")
+        acc = spec.state("acc", width=8, init=55)
+        spec.result(spec.zero_extend(spec.read_state(acc), 32))
+        impl = compile_spec(spec)
+        state = MachineState()
+        impl.instruction.semantics(state, Instruction("initread", rd=4))
+        assert state.get(4) == 55
+
+    @given(WORDS, WORDS)
+    def test_width_masking_invariant(self, a, b):
+        # every node's value fits its declared width, so the result of a
+        # 9-bit adder can never exceed 0x1FF
+        spec = TieSpec("narrow", fmt="R3")
+        na = spec.source("rs", width=8)
+        nb = spec.source("rt", width=8)
+        spec.result(spec.add(na, nb, width=9))
+        impl = compile_spec(spec)
+        state = MachineState()
+        state.set(2, a)
+        state.set(3, b)
+        impl.instruction.semantics(state, Instruction("narrow", rd=4, rs=2, rt=3))
+        assert state.get(4) == ((a & 0xFF) + (b & 0xFF)) & 0x1FF
+
+    @given(WORDS, WORDS, WORDS)
+    def test_csa_plus_add_equals_sum(self, a, b, c):
+        spec = TieSpec("csasum", fmt="R3")
+        na = spec.source("rs", width=16)
+        nb = spec.source("rt", width=16)
+        nc = spec.const(c & 0xFFFF, 16)
+        s, carry = spec.csa(
+            spec.zero_extend(na, 18), spec.zero_extend(nb, 18), spec.zero_extend(nc, 18)
+        )
+        spec.result(spec.tie_add(s, carry, width=18))
+        impl = compile_spec(spec)
+        state = MachineState()
+        state.set(2, a)
+        state.set(3, b)
+        impl.instruction.semantics(state, Instruction("csasum", rd=4, rs=2, rt=3))
+        assert state.get(4) == ((a & 0xFFFF) + (b & 0xFFFF) + (c & 0xFFFF)) & 0x3FFFF
+
+
+class TestExtensionChecks:
+    def test_duplicate_mnemonics_rejected(self):
+        with pytest.raises(TieSpecError, match="duplicate custom mnemonic"):
+            compile_extension([simple_mult_spec(), simple_mult_spec()])
+
+    def test_conflicting_shared_state_rejected(self):
+        a = TieSpec("a", fmt="RS1")
+        a.write_state(TieState("acc", width=8), a.source("rs", width=8))
+        b = TieSpec("b", fmt="RS1")
+        b.write_state(TieState("acc", width=16), b.source("rs", width=16))
+        with pytest.raises(TieSpecError, match="inconsistently"):
+            compile_extension([a, b])
+
+    def test_instance_lookup(self):
+        impl = compile_spec(simple_mult_spec())
+        name = impl.instances[0].name
+        assert impl.instance_by_name(name) is impl.instances[0]
+        with pytest.raises(KeyError):
+            impl.instance_by_name("nope")

@@ -1,0 +1,147 @@
+"""Property tests over randomly generated TIE dataflow graphs.
+
+Hypothesis builds arbitrary well-formed custom-instruction datapaths and
+checks structural invariants of the compiler (scheduling, instance
+accounting, tap analysis) and the semantics evaluator (width masking,
+determinism) hold for all of them — not just the hand-written specs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, MachineState
+from repro.tie import LEVELS_PER_CYCLE, TieSpec, compile_spec
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@st.composite
+def random_spec(draw):
+    """A random R3-format spec: a DAG of binary ops over two sources."""
+    spec = TieSpec("rnd", fmt="R3")
+    a = spec.source("rs", width=draw(st.integers(4, 32)))
+    b = spec.source("rt", width=draw(st.integers(4, 32)))
+    pool = [a, b]
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_ops):
+        kind = draw(st.integers(0, 6))
+        x = pool[draw(st.integers(0, len(pool) - 1))]
+        y = pool[draw(st.integers(0, len(pool) - 1))]
+        if kind == 0:
+            node = spec.add(x, y)
+        elif kind == 1:
+            node = spec.sub(x, y)
+        elif kind == 2:
+            node = spec.bit_xor(x, y)
+        elif kind == 3:
+            node = spec.bit_and(x, y)
+        elif kind == 4:
+            node = spec.minimum(x, y)
+        elif kind == 5:
+            node = spec.mux(spec.compare("lt_u", x, y), x, y)
+        else:
+            narrow_x = spec.slice(x, 0, min(8, x.width))
+            narrow_y = spec.slice(y, 0, min(8, y.width))
+            node = spec.tie_mult(narrow_x, narrow_y)
+        pool.append(node)
+    spec.result(pool[-1])
+    return spec
+
+
+class TestCompilerInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_spec())
+    def test_latency_bounds(self, spec):
+        impl = compile_spec(spec)
+        hardware_nodes = sum(1 for node in spec.nodes if node.is_hardware)
+        # latency is at least 1 and at most ceil(ops / 1) / LEVELS_PER_CYCLE
+        assert 1 <= impl.latency <= max(1, -(-hardware_nodes // 1))
+        assert impl.latency == -(-max(1, _depth(spec)) // LEVELS_PER_CYCLE)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_spec())
+    def test_one_instance_per_hardware_node(self, spec):
+        impl = compile_spec(spec)
+        hardware_nodes = sum(1 for node in spec.nodes if node.is_hardware)
+        assert len(impl.instances) == hardware_nodes
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_spec())
+    def test_active_cycles_within_latency(self, spec):
+        impl = compile_spec(spec)
+        for cycles in impl.active_cycles.values():
+            assert all(0 <= cycle < impl.latency for cycle in cycles)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_spec())
+    def test_activity_accounting_consistent(self, spec):
+        impl = compile_spec(spec)
+        total_weighted = sum(impl.per_exec_activity.values())
+        recomputed = sum(
+            instance.complexity * len(impl.active_cycles[instance.name])
+            for instance in impl.instances
+        )
+        assert abs(total_weighted - recomputed) < 1e-9
+        total_counts = sum(impl.per_exec_counts.values())
+        assert total_counts == sum(
+            len(impl.active_cycles[instance.name]) for instance in impl.instances
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_spec())
+    def test_taps_are_subset_of_instances(self, spec):
+        impl = compile_spec(spec)
+        names = {instance.name for instance in impl.instances}
+        assert set(impl.bus_tapped) <= names
+        tap_total = sum(impl.bus_tap_complexity.values())
+        assert tap_total <= sum(instance.complexity for instance in impl.instances) + 1e-9
+
+
+class TestSemanticsInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_spec(), WORDS, WORDS)
+    def test_result_masked_to_32_bits_and_deterministic(self, spec, a, b):
+        impl = compile_spec(spec)
+        ins = Instruction("rnd", rd=4, rs=2, rt=3)
+
+        def run():
+            state = MachineState()
+            state.set(2, a)
+            state.set(3, b)
+            impl.instruction.semantics(state, ins)
+            return state.get(4)
+
+        first = run()
+        assert 0 <= first <= 0xFFFFFFFF
+        assert run() == first
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_spec(), WORDS, WORDS)
+    def test_only_masked_source_bits_matter(self, spec, a, b):
+        impl = compile_spec(spec)
+        widths = {
+            node.payload: node.width for node in spec.nodes if node.kind == "gpr_in"
+        }
+        ins = Instruction("rnd", rd=4, rs=2, rt=3)
+
+        def run(x, y):
+            state = MachineState()
+            state.set(2, x)
+            state.set(3, y)
+            impl.instruction.semantics(state, ins)
+            return state.get(4)
+
+        masked = run(a & ((1 << widths["rs"]) - 1), b & ((1 << widths["rt"]) - 1))
+        assert run(a, b) == masked
+
+
+def _depth(spec):
+    """Longest hardware-op chain (mirrors the compiler's level logic)."""
+    levels = {}
+    for node in spec.nodes:
+        if node.kind in ("gpr_in", "imm_in", "state_in", "const"):
+            levels[node.nid] = 0
+        else:
+            base = max((levels[i.nid] for i in node.inputs), default=0)
+            levels[node.nid] = base + (1 if node.is_hardware else 0)
+    return max(levels.values(), default=0)

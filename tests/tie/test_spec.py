@@ -1,0 +1,191 @@
+"""Tests for the TIE-substitute spec builder (validation and ergonomics)."""
+
+import pytest
+
+from repro.hwlib import ComponentCategory
+from repro.tie import TieSpec, TieSpecError, TieState
+
+
+class TestConstruction:
+    def test_bad_mnemonic(self):
+        with pytest.raises(TieSpecError):
+            TieSpec("not a name!")
+
+    def test_bad_format(self):
+        with pytest.raises(TieSpecError):
+            TieSpec("foo", fmt="B2")
+
+    def test_source_field_must_match_format(self):
+        spec = TieSpec("foo", fmt="R2")
+        spec.source("rs")
+        with pytest.raises(TieSpecError, match="no GPR source field"):
+            spec.source("rt")
+
+    def test_source_read_twice_rejected(self):
+        spec = TieSpec("foo", fmt="R3")
+        spec.source("rs")
+        with pytest.raises(TieSpecError, match="read twice"):
+            spec.source("rs")
+
+    def test_immediate_requires_i_format(self):
+        spec = TieSpec("foo", fmt="R3")
+        with pytest.raises(TieSpecError, match="no immediate"):
+            spec.immediate()
+
+    def test_immediate_ok_in_i_format(self):
+        spec = TieSpec("foo", fmt="I")
+        node = spec.immediate(width=8)
+        assert node.width == 8
+
+    def test_const_range_checked(self):
+        spec = TieSpec("foo")
+        with pytest.raises(TieSpecError, match="does not fit"):
+            spec.const(256, 8)
+
+    def test_result_requires_rd_field(self):
+        spec = TieSpec("foo", fmt="RS1")
+        a = spec.source("rs")
+        with pytest.raises(TieSpecError, match="no result field"):
+            spec.result(a)
+
+    def test_result_assigned_twice(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs")
+        spec.result(a)
+        with pytest.raises(TieSpecError, match="twice"):
+            spec.result(a)
+
+
+class TestState:
+    def test_state_redeclaration_must_match(self):
+        spec = TieSpec("foo", fmt="RS1")
+        spec.state("acc", width=16)
+        with pytest.raises(TieSpecError, match="different shape"):
+            spec.state("acc", width=24)
+
+    def test_shared_state_object(self):
+        shared = TieState("acc", width=16)
+        spec_a = TieSpec("a", fmt="RS1")
+        spec_b = TieSpec("b", fmt="RD1")
+        spec_a.write_state(shared, spec_a.source("rs", width=16))
+        spec_b.result(spec_b.zero_extend(spec_b.read_state(shared), 32))
+        assert spec_a.states["acc"] == spec_b.states["acc"]
+
+    def test_state_written_twice_rejected(self):
+        spec = TieSpec("foo", fmt="RS1")
+        acc = spec.state("acc", width=8)
+        value = spec.source("rs", width=8)
+        spec.write_state(acc, value)
+        with pytest.raises(TieSpecError, match="written twice"):
+            spec.write_state(acc, value)
+
+    def test_state_init_out_of_range(self):
+        with pytest.raises(ValueError):
+            TieState("acc", width=4, init=16)
+
+
+class TestOperators:
+    def test_csa_returns_pair(self):
+        spec = TieSpec("foo", fmt="R3")
+        a = spec.source("rs", width=8)
+        b = spec.source("rt", width=8)
+        s, c = spec.csa(a, b, spec.const(1, 8))
+        assert s.width == c.width == 9
+        total = spec.tie_add(s, c)
+        spec.result(total)
+        spec.validate()
+
+    def test_tie_add_needs_two_terms(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs")
+        with pytest.raises(TieSpecError, match="at least two"):
+            spec.tie_add(a)
+
+    def test_table_power_of_two(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs", width=3)
+        with pytest.raises(TieSpecError, match="power-of-two"):
+            spec.table("t", [1, 2, 3], a, out_width=4)
+
+    def test_table_entry_range(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs", width=2)
+        with pytest.raises(TieSpecError, match="exceeds"):
+            spec.table("t", [0, 1, 2, 16], a, out_width=4)
+
+    def test_slice_bounds(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs", width=16)
+        with pytest.raises(TieSpecError, match="out of range"):
+            spec.slice(a, 10, 8)
+
+    def test_extend_cannot_narrow(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs", width=16)
+        with pytest.raises(TieSpecError):
+            spec.zero_extend(a, 8)
+        with pytest.raises(TieSpecError):
+            spec.sign_extend(a, 8)
+
+    def test_compare_kind_validated(self):
+        spec = TieSpec("foo", fmt="R3")
+        a = spec.source("rs")
+        b = spec.source("rt")
+        with pytest.raises(TieSpecError, match="unknown comparison"):
+            spec.compare("gt", a, b)
+
+    def test_non_node_input_rejected(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs")
+        with pytest.raises(TieSpecError, match="not a Node"):
+            spec.add(a, 5)  # type: ignore[arg-type]
+
+    def test_categories_assigned(self):
+        spec = TieSpec("foo", fmt="R3")
+        a = spec.source("rs", width=8)
+        b = spec.source("rt", width=8)
+        assert spec.add(a, b).category is ComponentCategory.ADD_SUB_CMP
+        assert spec.mul(a, b).category is ComponentCategory.MULT
+        assert spec.tie_mult(a, b).category is ComponentCategory.TIE_MULT
+        assert spec.bit_xor(a, b).category is ComponentCategory.LOGIC_RED_MUX
+        assert spec.shift_left(a, b).category is ComponentCategory.SHIFTER
+
+    def test_wiring_has_no_category(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs")
+        assert spec.slice(a, 0, 8).category is None
+        assert spec.zero_extend(a, 33).category is None
+        assert spec.concat(a, a).category is None
+
+
+class TestValidation:
+    def test_missing_result(self):
+        spec = TieSpec("foo", fmt="R3")
+        spec.source("rs")
+        with pytest.raises(TieSpecError, match="requires a result"):
+            spec.validate()
+
+    def test_no_architectural_effect(self):
+        spec = TieSpec("foo", fmt="RS1")
+        spec.source("rs")
+        with pytest.raises(TieSpecError, match="no architectural effect"):
+            spec.validate()
+
+    def test_unused_state_rejected(self):
+        spec = TieSpec("foo", fmt="R2")
+        spec.state("dangling", width=8)
+        spec.result(spec.source("rs"))
+        with pytest.raises(TieSpecError, match="unused state"):
+            spec.validate()
+
+    def test_gpr_access_flags(self):
+        spec = TieSpec("foo", fmt="R2")
+        a = spec.source("rs")
+        spec.result(a)
+        assert spec.reads_gpr and spec.writes_gpr and spec.accesses_gpr
+
+        pure = TieSpec("bar", fmt="RD1")
+        acc = pure.state("s", width=8)
+        pure.result(pure.zero_extend(pure.read_state(acc), 32))
+        assert not pure.reads_gpr
+        assert pure.writes_gpr

@@ -1,0 +1,84 @@
+"""Differential test: the cache model vs a naive dictionary-based oracle.
+
+Hypothesis drives both implementations with the same access stream; they
+must agree on every hit/miss decision.  The oracle is written for
+clarity, the production model for speed — divergence pinpoints a bug in
+either.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xtcore import CacheConfig, SetAssociativeCache
+
+
+class OracleCache:
+    """Obviously-correct LRU set-associative cache (OrderedDict per set)."""
+
+    def __init__(self, sets: int, ways: int, line: int) -> None:
+        self.sets = sets
+        self.ways = ways
+        self.line = line
+        self.storage: list[OrderedDict] = [OrderedDict() for _ in range(sets)]
+
+    def access(self, addr: int) -> bool:
+        line_number = addr // self.line
+        index = line_number % self.sets
+        tag = line_number // self.sets
+        bucket = self.storage[index]
+        if tag in bucket:
+            bucket.move_to_end(tag)
+            return True
+        bucket[tag] = True
+        if len(bucket) > self.ways:
+            bucket.popitem(last=False)
+        return False
+
+
+GEOMETRIES = st.sampled_from(
+    [
+        (1, 1, 16),
+        (2, 2, 16),
+        (4, 2, 32),
+        (8, 4, 32),
+        (16, 4, 64),
+    ]
+)
+
+
+class TestDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        GEOMETRIES,
+        st.lists(st.integers(min_value=0, max_value=0x3FFF), min_size=1, max_size=400),
+    )
+    def test_hit_miss_stream_matches_oracle(self, geometry, addresses):
+        sets, ways, line = geometry
+        config = CacheConfig(size_bytes=sets * ways * line, ways=ways, line_bytes=line)
+        production = SetAssociativeCache(config)
+        oracle = OracleCache(sets, ways, line)
+        for i, addr in enumerate(addresses):
+            expected = oracle.access(addr)
+            actual = production.access(addr)
+            assert actual == expected, f"divergence at access {i} (addr {addr:#x})"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        GEOMETRIES,
+        st.lists(st.integers(min_value=0, max_value=0x3FFF), min_size=1, max_size=200),
+    )
+    def test_contains_matches_oracle_residency(self, geometry, addresses):
+        sets, ways, line = geometry
+        config = CacheConfig(size_bytes=sets * ways * line, ways=ways, line_bytes=line)
+        production = SetAssociativeCache(config)
+        oracle = OracleCache(sets, ways, line)
+        for addr in addresses:
+            oracle.access(addr)
+            production.access(addr)
+        for addr in addresses:
+            line_number = addr // line
+            index = line_number % sets
+            tag = line_number // sets
+            assert production.contains(addr) == (tag in oracle.storage[index])

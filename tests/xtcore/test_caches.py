@@ -1,0 +1,125 @@
+"""Cache model tests: geometry, LRU behaviour, and hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xtcore import CacheConfig, SetAssociativeCache
+
+
+def tiny_cache(ways=2, sets=4, line=16):
+    return SetAssociativeCache(
+        CacheConfig(size_bytes=ways * sets * line, ways=ways, line_bytes=line, miss_penalty=10)
+    )
+
+
+class TestGeometry:
+    def test_paper_configuration(self):
+        config = CacheConfig()
+        assert config.size_bytes == 16 * 1024
+        assert config.ways == 4
+        assert config.num_sets == 128
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=24)  # not a power of two
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000)  # not multiple of ways*line
+        with pytest.raises(ValueError):
+            CacheConfig(miss_penalty=-1)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x10F)  # same line
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_different_lines_same_set(self):
+        cache = tiny_cache(ways=2, sets=4, line=16)
+        # set stride: 4 sets x 16B = 64B; these two alias to set 0
+        assert not cache.access(0x000)
+        assert not cache.access(0x040)
+        assert cache.access(0x000)
+        assert cache.access(0x040)
+
+    def test_lru_eviction(self):
+        cache = tiny_cache(ways=2, sets=1, line=16)
+        cache.access(0x00)  # A
+        cache.access(0x10)  # B
+        cache.access(0x20)  # C evicts A (LRU)
+        assert not cache.access(0x00)  # A gone
+        # A's fill evicted B (LRU was B after C's access)
+        assert not cache.access(0x10)
+
+    def test_lru_refresh_on_hit(self):
+        cache = tiny_cache(ways=2, sets=1, line=16)
+        cache.access(0x00)  # A
+        cache.access(0x10)  # B
+        cache.access(0x00)  # touch A: B is now LRU
+        cache.access(0x20)  # C evicts B
+        assert cache.access(0x00)
+        assert not cache.access(0x10)
+
+    def test_thrash_pattern(self):
+        # ways+1 aliasing lines accessed round-robin always miss
+        cache = tiny_cache(ways=2, sets=1, line=16)
+        lines = [0x00, 0x10, 0x20]
+        for _ in range(5):
+            for addr in lines:
+                cache.access(addr)
+        assert cache.hits == 0
+
+    def test_contains_is_non_destructive(self):
+        cache = tiny_cache()
+        cache.access(0x100)
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(0x100)
+        assert not cache.contains(0x5000)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_flush(self):
+        cache = tiny_cache()
+        cache.access(0x100)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert not cache.access(0x100)
+        assert cache.misses == 1
+
+    def test_repr_mentions_stats(self):
+        cache = tiny_cache()
+        cache.access(0)
+        assert "1 misses" in repr(cache)
+
+
+class TestInvariants:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=300))
+    def test_occupancy_bounded_and_counts_consistent(self, addresses):
+        cache = tiny_cache(ways=2, sets=4, line=16)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.occupancy <= 2 * 4
+        assert cache.hits + cache.misses == len(addresses)
+        assert cache.misses >= min(len(set(a >> 4 for a in addresses)), 1)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=100))
+    def test_repeat_access_always_hits(self, addresses):
+        cache = tiny_cache(ways=4, sets=8, line=32)
+        for addr in addresses:
+            cache.access(addr)
+            assert cache.access(addr)  # immediate re-access must hit
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=0xFFFFFFF))
+    def test_whole_line_hits_after_fill(self, addr):
+        cache = tiny_cache(ways=2, sets=4, line=16)
+        cache.access(addr)
+        line_base = addr & ~15
+        for offset in range(16):
+            assert cache.contains(line_base + offset)

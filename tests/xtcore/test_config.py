@@ -1,0 +1,111 @@
+"""Processor configuration tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.tie import TieSpec
+from repro.xtcore import CacheConfig, ProcessorConfig, TimingConfig, build_processor
+
+
+def _mul_spec(name="cmul"):
+    spec = TieSpec(name, fmt="R3")
+    a = spec.source("rs", width=16)
+    b = spec.source("rt", width=16)
+    spec.result(spec.tie_mult(a, b))
+    return spec
+
+
+def _acc_specs():
+    from repro.tie import TieState
+
+    shared = TieState("cacc", width=24)
+    writer = TieSpec("cwr", fmt="RS1")
+    writer.write_state(shared, writer.source("rs", width=24))
+    reader = TieSpec("crd", fmt="RD1")
+    reader.result(reader.zero_extend(reader.read_state(shared), 32))
+    return [writer, reader]
+
+
+class TestDefaults:
+    def test_paper_configuration(self):
+        config = ProcessorConfig()
+        assert config.name == "xt1040"
+        assert config.clock_mhz == 187.0
+        assert config.num_registers == 64
+        assert config.icache.size_bytes == 16 * 1024
+        assert config.dcache.ways == 4
+        assert config.extensions == ()
+
+    def test_base_isa_exposed(self):
+        config = ProcessorConfig()
+        assert "add" in config.isa
+        assert len(config.isa) >= 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(num_registers=65)
+        with pytest.raises(ValueError):
+            ProcessorConfig(clock_mhz=0)
+        with pytest.raises(ValueError):
+            TimingConfig(branch_taken_penalty=-1)
+
+
+class TestExtensions:
+    def test_build_processor_compiles_specs(self):
+        config = build_processor("ext", [_mul_spec()])
+        assert "cmul" in config.isa
+        assert config.extension_for("cmul") is not None
+        assert config.extension_for("nothere") is None
+
+    def test_duplicate_mnemonics_rejected(self):
+        from repro.tie import compile_spec
+
+        impl = compile_spec(_mul_spec())
+        with pytest.raises(ValueError, match="duplicate"):
+            ProcessorConfig(name="dup", extensions=(impl, impl))
+
+    def test_custom_instances_deduplicate_shared_state(self):
+        config = build_processor("shared", _acc_specs())
+        names = [inst.name for inst in config.custom_instances]
+        assert names.count("state/cacc") == 1
+
+    def test_state_inits_collected(self):
+        from repro.tie import TieState
+
+        spec = TieSpec("init", fmt="RD1")
+        acc = spec.use_state(TieState("iacc", width=8, init=42))
+        spec.result(spec.zero_extend(spec.read_state(acc), 32))
+        config = build_processor("inits", [spec])
+        assert config.state_inits == {"iacc": 42}
+
+    def test_with_extensions_returns_new_config(self):
+        base = ProcessorConfig()
+        extended = base.with_extensions("plus", [_mul_spec()])
+        assert base.extensions == ()
+        assert len(extended.extensions) == 1
+        assert extended.name == "plus"
+
+    def test_describe_mentions_extensions(self):
+        config = build_processor("described", [_mul_spec()])
+        text = config.describe()
+        assert "cmul" in text
+        assert "16KB" in text
+
+    def test_build_processor_without_specs(self):
+        config = build_processor("plain")
+        assert config.extensions == ()
+        assert config.name == "plain"
+
+    def test_replace_keeps_isa_cache_fresh(self):
+        config = build_processor("a", [_mul_spec()])
+        renamed = dataclasses.replace(config, name="b")
+        assert "cmul" in renamed.isa
+
+    def test_small_cache_config(self):
+        config = ProcessorConfig(
+            icache=CacheConfig(size_bytes=1024, ways=2, line_bytes=16),
+            dcache=CacheConfig(size_bytes=2048, ways=2, line_bytes=32),
+        )
+        assert config.icache.num_sets == 32
+        assert config.dcache.num_sets == 32

@@ -26,15 +26,18 @@ import numpy as np
 
 from ..core import (
     CharacterizationResult,
+    CharacterizationRunner,
     Characterizer,
     CoverageReport,
     EstimationStudy,
     MacroModelTemplate,
+    RunReport,
+    RunnerTask,
     StudyReport,
-    audit_coverage,
     instruction_level_template,
     unweighted_template,
 )
+from ..core.runner import default_estimate
 from ..core.model import EnergyMacroModel
 from ..programs import (
     BenchmarkCase,
@@ -57,6 +60,9 @@ class ExperimentContext:
     applications: list[BenchmarkCase]
     rs_choices: list[BenchmarkCase]
     method: str
+    #: fault-isolation record of the characterization run (None only for
+    #: contexts built before the fault-tolerant runner existed)
+    run_report: Optional[RunReport] = None
 
     @property
     def model(self) -> EnergyMacroModel:
@@ -68,22 +74,46 @@ def build_context(
     template: Optional[MacroModelTemplate] = None,
     include_variants: bool = True,
     suite: Optional[Sequence[BenchmarkCase]] = None,
+    fault_plan=None,
+    checkpoint_path: Optional[str] = None,
+    max_failures: Optional[int] = None,
 ) -> ExperimentContext:
-    """Run the full characterization flow and package the context."""
+    """Run the full characterization flow and package the context.
+
+    The characterization loop runs under the fault-tolerant
+    :class:`~repro.core.CharacterizationRunner`, so a paper-reproduction
+    sweep survives individual bad samples instead of discarding the run.
+    ``fault_plan`` (a :class:`repro.testing.faults.FaultPlan`) injects
+    deterministic faults into the simulate/estimate stages — used by the
+    robustness tests; ``checkpoint_path`` persists samples as they
+    complete.  Failures are reported in ``ExperimentContext.run_report``.
+    """
     cases = list(suite) if suite is not None else characterization_suite(include_variants)
     characterizer = Characterizer(template=template, method=method)
-    for case in cases:
-        config, program = case.build()
-        characterizer.add_program(config, program, max_instructions=case.max_instructions)
-    result = characterizer.fit(with_loocv=(method != "nnls"))
-    coverage = audit_coverage(characterizer.samples, characterizer.template)
+    simulate = estimate = None
+    if fault_plan is not None:
+        simulate = fault_plan.wrap_simulate()
+        estimate = fault_plan.wrap_estimate(default_estimate(characterizer))
+    runner = CharacterizationRunner(
+        characterizer,
+        checkpoint_path=checkpoint_path,
+        max_failures=max_failures,
+        simulate=simulate,
+        estimate_energy=estimate,
+    )
+    report = runner.run(
+        [RunnerTask.from_case(case) for case in cases],
+        with_loocv=(method != "nnls"),
+    )
+    assert report.result is not None and report.coverage is not None
     return ExperimentContext(
-        characterization=result,
-        coverage=coverage,
+        characterization=report.result,
+        coverage=report.coverage,
         suite=cases,
         applications=application_suite(),
         rs_choices=reed_solomon_choices(),
         method=method,
+        run_report=report,
     )
 
 

@@ -24,11 +24,23 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .asm import assemble, disassemble_program
+from .asm import ImageError, assemble, disassemble_program
 from .core import EnergyMacroModel, EnergyProfiler
 from .programs.extensions import ALL_SPEC_FACTORIES
 from .rtl import reference_energy
 from .xtcore import ProcessorConfig, Simulator, build_processor
+
+#: Exit code for unusable input files (missing program, malformed image).
+EXIT_BAD_INPUT = 2
+#: Exit code for a run that completed but recorded sample failures.
+EXIT_DEGRADED = 3
+#: Exit code for a run aborted by the fault-tolerance policy.
+EXIT_ABORTED = 4
+
+
+def _die(message: str, code: int = EXIT_BAD_INPUT) -> "SystemExit":
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(code)
 
 
 def _build_config(name: str, extensions: str) -> ProcessorConfig:
@@ -52,10 +64,20 @@ def _load_program(path: str, config: ProcessorConfig):
     if path.endswith(".xpf"):
         from .asm import read_image
 
-        with open(path, "rb") as handle:
-            return read_image(handle.read(), config.isa, name=name)
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise _die(f"cannot read program file {path!r}: {exc.strerror or exc}")
+        try:
+            return read_image(data, config.isa, name=name)
+        except ImageError as exc:
+            raise _die(f"malformed XPF image {path!r}: {exc}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise _die(f"cannot read program file {path!r}: {exc.strerror or exc}")
     return assemble(source, name, isa=config.isa)
 
 
@@ -109,28 +131,72 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    from .core import Characterizer, audit_coverage
+    from .core import (
+        CharacterizationRunError,
+        CharacterizationRunner,
+        Characterizer,
+        CheckpointError,
+        RetryPolicy,
+        RunnerTask,
+        audit_coverage,
+    )
     from .programs import characterization_suite
 
+    if args.resume and not args.checkpoint:
+        raise _die("--resume requires --checkpoint PATH")
+    if args.checkpoint_every < 1:
+        raise _die("--checkpoint-every must be >= 1")
+    if args.max_attempts < 1:
+        raise _die("--max-attempts must be >= 1")
+
     characterizer = Characterizer(method=args.method)
+    failures = []
     if args.from_samples:
-        count = characterizer.load_samples(args.from_samples)
+        try:
+            count = characterizer.load_samples(args.from_samples)
+        except (OSError, ValueError) as exc:
+            raise _die(f"cannot load samples: {exc}")
         print(f"loaded {count} cached samples from {args.from_samples}")
     else:
         suite = characterization_suite(include_variants=not args.core_only)
-        for case in suite:
-            config, program = case.build()
-            characterizer.add_program(
-                config, program, max_instructions=case.max_instructions
+        runner = CharacterizationRunner(
+            characterizer,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            max_failures=args.max_failures,
+            progress=(lambda msg: print(f"  {msg}")) if args.verbose else None,
+        )
+        try:
+            if args.resume:
+                runner.resume()
+            report = runner.run(
+                [RunnerTask.from_case(case) for case in suite], fit=False
             )
-            if args.verbose:
-                print(f"  characterized {case.name}")
+        except CheckpointError as exc:
+            raise _die(str(exc))
+        except CharacterizationRunError as exc:
+            print(f"repro: characterization aborted: {exc}", file=sys.stderr)
+            return EXIT_ABORTED
+        failures = report.failures
+        if failures:
+            print(report.summary(), file=sys.stderr)
     if args.save_samples:
         characterizer.save_samples(args.save_samples)
         print(f"saved {len(characterizer)} samples to {args.save_samples}")
+    if not characterizer.samples:
+        print("repro: characterization produced no samples", file=sys.stderr)
+        return EXIT_ABORTED
     coverage = audit_coverage(characterizer.samples, characterizer.template)
     if not coverage.is_adequate:
         print(coverage.summary(), file=sys.stderr)
+        if failures:
+            print(
+                "repro: failures degraded suite coverage below the template; "
+                "not fitting a model from the survivors",
+                file=sys.stderr,
+            )
+            return EXIT_ABORTED
         print("warning: suite does not fully cover the template", file=sys.stderr)
     result = characterizer.fit()
     print(result.fitting_error_table())
@@ -138,6 +204,13 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     print(result.model.coefficient_table())
     result.model.save(args.output)
     print(f"\nmodel written to {args.output}")
+    if failures:
+        print(
+            f"warning: model fitted from survivors; {len(failures)} sample "
+            "failure(s) — see summary above",
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
 
 
@@ -260,6 +333,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--from-samples",
         metavar="PATH",
         help="re-fit from cached samples instead of re-running the suite",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="periodically write completed samples to this file (atomic)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5,
+        metavar="N",
+        help="checkpoint after every N completed test programs (default 5)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint if it exists, skipping completed samples",
+    )
+    p.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort once more than N test programs fail (default: unlimited)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="attempts per test program before recording a failure (default 2)",
     )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_characterize)

@@ -31,6 +31,8 @@ from .profiler import (
     stats_from_records,
 )
 from .regression import (
+    CONDITION_WARNING_THRESHOLD,
+    IllConditionedDesignWarning,
     RegressionError,
     RegressionResult,
     column_coverage,
@@ -38,6 +40,17 @@ from .regression import (
     fit_nnls,
     fit_ridge,
     leave_one_out_errors,
+)
+from .runner import (
+    CharacterizationRunError,
+    CharacterizationRunner,
+    CheckpointError,
+    CoverageLossError,
+    RetryPolicy,
+    RunReport,
+    RunnerTask,
+    SampleFailure,
+    TooManyFailures,
 )
 from .resource import ResourceUsage, analyze_resource_usage
 from .template import (
@@ -55,12 +68,23 @@ from .template import (
 
 __all__ = [
     "CLASS_VARIABLES",
+    "CONDITION_WARNING_THRESHOLD",
     "CharacterizationResult",
+    "CharacterizationRunError",
+    "CharacterizationRunner",
+    "CheckpointError",
     "CodeRegion",
     "CharacterizationSample",
     "Characterizer",
     "ComparisonRow",
+    "CoverageLossError",
     "CoverageReport",
+    "IllConditionedDesignWarning",
+    "RetryPolicy",
+    "RunReport",
+    "RunnerTask",
+    "SampleFailure",
+    "TooManyFailures",
     "EVENT_VARIABLES",
     "EnergyMacroModel",
     "EnergyProfiler",

@@ -19,6 +19,8 @@ variable, which :mod:`repro.core.coverage` audits.
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -36,6 +38,23 @@ from .regression import (
     leave_one_out_errors,
 )
 from .template import MacroModelTemplate, default_template
+
+#: On-disk format tag for saved sample sets and runner checkpoints.
+SAMPLES_FORMAT = "repro-characterization-samples/1"
+
+
+def atomic_write_json(path: str, payload: dict) -> None:
+    """Write JSON durably: tmp file in the same directory + ``os.replace``.
+
+    A crash mid-write leaves either the previous file or a stray ``.tmp``,
+    never a truncated checkpoint masquerading as a valid one.
+    """
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
 
 
 @dataclasses.dataclass
@@ -130,7 +149,11 @@ class Characterizer:
         self.method = method
         self.ridge_alpha = ridge_alpha
         self.samples: list[CharacterizationSample] = []
-        self._estimators: dict[str, RtlEnergyEstimator] = {}
+        # Keyed by (name, id); the stored config reference keeps the id
+        # stable (a garbage-collected config could otherwise recycle it).
+        self._estimators: dict[
+            tuple[str, int], tuple[ProcessorConfig, RtlEnergyEstimator]
+        ] = {}
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -138,11 +161,12 @@ class Characterizer:
     # -- sample collection ------------------------------------------------
 
     def _estimator_for(self, config: ProcessorConfig) -> RtlEnergyEstimator:
-        estimator = self._estimators.get(config.name)
-        if estimator is None or estimator.config is not config:
-            estimator = RtlEnergyEstimator(generate_netlist(config))
-            self._estimators[config.name] = estimator
-        return estimator
+        key = (config.name, id(config))
+        cached = self._estimators.get(key)
+        if cached is None:
+            cached = (config, RtlEnergyEstimator(generate_netlist(config)))
+            self._estimators[key] = cached
+        return cached[1]
 
     def add_program(
         self,
@@ -163,7 +187,7 @@ class Characterizer:
             energy=report.total,
             stats=result.stats,
         )
-        self.samples.append(sample)
+        self.add_sample(sample)
         return sample
 
     def save_samples(self, path: str) -> None:
@@ -173,44 +197,80 @@ class Characterizer:
         simulation + reference RTL estimation; saved samples let a later
         session re-fit (e.g. with a different regression method) without
         touching the simulator.  Samples are bound to the template they
-        were extracted under.
+        were extracted under.  The write is atomic (tmp + ``os.replace``).
         """
-        import json
+        atomic_write_json(path, self.samples_payload())
 
-        payload = {
-            "format": "repro-characterization-samples/1",
+    def samples_payload(self) -> dict:
+        """The JSON payload ``save_samples`` writes (also the checkpoint base)."""
+        return {
+            "format": SAMPLES_FORMAT,
             "template": self.template.name,
             "processor_family": self.processor_family,
             "samples": [sample.to_payload() for sample in self.samples],
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
 
     def load_samples(self, path: str) -> int:
-        """Load previously saved samples; returns how many were added."""
-        import json
+        """Load previously saved samples; returns how many were added.
 
+        Raises :class:`ValueError` with an actionable message on corrupted
+        or truncated JSON, a foreign format tag, a template mismatch, or
+        malformed/non-finite sample records.  The characterizer is left
+        unchanged on any failure (all records are validated before any is
+        added).
+        """
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        if payload.get("format") != "repro-characterization-samples/1":
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"samples file {path!r} is not valid JSON ({exc}); the file "
+                    "is corrupted or was truncated mid-write — delete it and "
+                    "re-run, or restore from a good checkpoint"
+                ) from exc
+        if not isinstance(payload, dict) or payload.get("format") != SAMPLES_FORMAT:
             raise ValueError(f"unrecognized samples format in {path!r}")
         if payload.get("template") != self.template.name:
             raise ValueError(
                 f"samples were extracted under template {payload.get('template')!r}, "
                 f"this characterizer uses {self.template.name!r}"
             )
-        loaded = [CharacterizationSample.from_payload(p) for p in payload["samples"]]
+        try:
+            loaded = [CharacterizationSample.from_payload(p) for p in payload["samples"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"samples file {path!r} has a malformed sample record: {exc}"
+            ) from exc
         for sample in loaded:
-            self.add_sample(sample)
+            self._check_sample(sample)
+        self.samples.extend(loaded)
         return len(loaded)
 
-    def add_sample(self, sample: CharacterizationSample) -> None:
-        """Add a precomputed sample (e.g. from a cached measurement)."""
+    def _check_sample(self, sample: CharacterizationSample) -> None:
         if sample.variables.shape != (len(self.template),):
             raise ValueError(
                 f"sample {sample.name!r} has {sample.variables.shape[0]} variables, "
                 f"template expects {len(self.template)}"
             )
+        if not np.all(np.isfinite(sample.variables)):
+            raise ValueError(
+                f"sample {sample.name!r} has non-finite template variables; "
+                "refusing to add it (it would poison the regression)"
+            )
+        if not np.isfinite(sample.energy):
+            raise ValueError(
+                f"sample {sample.name!r} has non-finite energy {sample.energy!r}; "
+                "refusing to add it (it would poison the regression)"
+            )
+
+    def add_sample(self, sample: CharacterizationSample) -> None:
+        """Add a precomputed sample (e.g. from a cached measurement).
+
+        Rejects shape mismatches and NaN/Inf variables or energy with a
+        clear :class:`ValueError` instead of letting them silently poison
+        the regression.
+        """
+        self._check_sample(sample)
         self.samples.append(sample)
 
     # -- fitting -----------------------------------------------------------
@@ -265,11 +325,41 @@ def characterize(
     processor_family: str = "xt1040",
     method: str = "nnls",
     progress: Optional[Callable[[str], None]] = None,
+    retry: Optional[object] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 5,
+    max_failures: Optional[int] = None,
 ) -> CharacterizationResult:
-    """One-shot characterization over (config, program) pairs."""
+    """One-shot characterization over (config, program) pairs.
+
+    By default this is all-or-nothing: the first simulation/estimation
+    error aborts the run (historical behavior).  Passing any of ``retry``
+    (a :class:`repro.core.runner.RetryPolicy`), ``checkpoint_path`` or
+    ``max_failures`` routes the run through the fault-tolerant
+    :class:`repro.core.runner.CharacterizationRunner` instead: failures
+    are isolated per sample, progress is checkpointed, and the model is
+    fitted from the surviving samples.
+    """
     characterizer = Characterizer(
         template=template, processor_family=processor_family, method=method
     )
+    fault_tolerant = (
+        retry is not None or checkpoint_path is not None or max_failures is not None
+    )
+    if fault_tolerant:
+        from .runner import CharacterizationRunner, RunnerTask
+
+        runner = CharacterizationRunner(
+            characterizer,
+            retry=retry,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            max_failures=max_failures,
+            progress=progress,
+        )
+        report = runner.run([RunnerTask.from_pair(c, p) for c, p in runs])
+        assert report.result is not None
+        return report.result
     for config, program in runs:
         if progress is not None:
             progress(f"characterizing {program.name} on {config.name}")

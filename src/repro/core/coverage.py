@@ -16,14 +16,11 @@ import dataclasses
 import numpy as np
 
 from .characterize import CharacterizationSample
-from .regression import column_coverage
+from .regression import CONDITION_WARNING_THRESHOLD, column_coverage
 from .template import MacroModelTemplate
 
 #: Below this fraction of samples exercising a variable, warn.
 LOW_COVERAGE_THRESHOLD = 0.10
-
-#: Above this design-matrix condition number, warn about collinearity.
-CONDITION_WARNING_THRESHOLD = 1e8
 
 #: Pairwise column correlation above which two variables are flagged as
 #: nearly indistinguishable to the regression.

@@ -16,12 +16,21 @@ leave-one-out cross-validation diagnostics as extensions.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 import numpy as np
+
+#: Design-matrix condition number above which fitted coefficients are
+#: numerically unstable (shared with the coverage audit).
+CONDITION_WARNING_THRESHOLD = 1e8
 
 
 class RegressionError(ValueError):
     """The regression inputs are unusable."""
+
+
+class IllConditionedDesignWarning(UserWarning):
+    """The design matrix is ill-conditioned; coefficients may be unstable."""
 
 
 @dataclasses.dataclass
@@ -82,6 +91,15 @@ def _diagnostics(
     residual_ss = float(np.sum(residuals**2))
     r_squared = 1.0 - residual_ss / total_ss if total_ss > 0 else 1.0
     condition = float(np.linalg.cond(design))
+    if condition > CONDITION_WARNING_THRESHOLD:
+        warnings.warn(
+            f"design matrix condition number {condition:.3g} exceeds "
+            f"{CONDITION_WARNING_THRESHOLD:.0e}; fitted coefficients may be "
+            "numerically unstable — consider ridge regression or a more "
+            "diverse characterization suite",
+            IllConditionedDesignWarning,
+            stacklevel=3,
+        )
     return RegressionResult(
         coefficients=coefficients,
         predictions=predictions,

@@ -1,0 +1,148 @@
+"""Deterministic fault injection for the characterization runtime.
+
+The harness wraps the two injectable pipeline stages of
+:class:`repro.core.runner.CharacterizationRunner` (``simulate`` and
+``estimate_energy``) and perturbs them according to a :class:`FaultPlan`:
+named programs raise simulator exceptions, exhaust their instruction
+budget, or yield NaN/Inf energies — each a bounded number of times, so
+tests can distinguish "transient fault + retry succeeds" from "permanent
+fault → structured failure record".  It also fabricates genuinely hanging
+programs (an infinite loop contained by the instruction budget) and
+corrupts checkpoint files the way a crash mid-write would.
+
+Everything here is deterministic: no randomness, no wall-clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..asm import Program, assemble
+from ..xtcore import ProcessorConfig, SimulationResult, build_processor
+from ..xtcore.iss import SimulationError, SimulationLimitExceeded
+from ..core.runner import EstimateFn, RunnerTask, SimulateFn, default_simulate
+
+#: Inject on every attempt (never exhausts).
+ALWAYS = -1
+
+
+class InjectedFault(SimulationError):
+    """Marker exception for harness-injected simulator faults."""
+
+
+@dataclasses.dataclass
+class _FaultSpec:
+    kind: str  # "sim-error" | "budget" | "nan" | "inf"
+    remaining: int  # attempts left to inject; ALWAYS = forever
+
+    def fire(self) -> bool:
+        if self.remaining == 0:
+            return False
+        if self.remaining > 0:
+            self.remaining -= 1
+        return True
+
+
+class FaultPlan:
+    """A per-program-name schedule of injected failures."""
+
+    def __init__(self) -> None:
+        self._simulation: dict[str, _FaultSpec] = {}
+        self._energy: dict[str, _FaultSpec] = {}
+        #: (program name, fault kind) log of every injection fired
+        self.injected: list[tuple[str, str]] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def fail_simulation(self, name: str, times: int = ALWAYS) -> "FaultPlan":
+        """Raise :class:`InjectedFault` from the simulator for ``name``."""
+        self._simulation[name] = _FaultSpec("sim-error", times)
+        return self
+
+    def exhaust_budget(self, name: str, times: int = ALWAYS) -> "FaultPlan":
+        """Raise :class:`SimulationLimitExceeded` (a slow/hanging program)."""
+        self._simulation[name] = _FaultSpec("budget", times)
+        return self
+
+    def nan_energy(self, name: str, times: int = ALWAYS) -> "FaultPlan":
+        """Make the reference energy estimate come back as NaN."""
+        self._energy[name] = _FaultSpec("nan", times)
+        return self
+
+    def inf_energy(self, name: str, times: int = ALWAYS) -> "FaultPlan":
+        """Make the reference energy estimate come back as +Inf."""
+        self._energy[name] = _FaultSpec("inf", times)
+        return self
+
+    # -- stage wrappers ----------------------------------------------------
+
+    def wrap_simulate(self, inner: Optional[SimulateFn] = None) -> SimulateFn:
+        """A ``simulate`` stage that injects the scheduled simulator faults."""
+        inner_fn = inner if inner is not None else default_simulate
+
+        def simulate(
+            config: ProcessorConfig,
+            program: Program,
+            collect_trace: bool,
+            max_instructions: int,
+        ) -> SimulationResult:
+            spec = self._simulation.get(program.name)
+            if spec is not None and spec.fire():
+                self.injected.append((program.name, spec.kind))
+                if spec.kind == "budget":
+                    raise SimulationLimitExceeded(
+                        f"injected instruction-budget exhaustion in {program.name!r}"
+                    )
+                raise InjectedFault(f"injected simulator fault in {program.name!r}")
+            return inner_fn(config, program, collect_trace, max_instructions)
+
+        return simulate
+
+    def wrap_estimate(self, inner: EstimateFn) -> EstimateFn:
+        """An ``estimate_energy`` stage that injects NaN/Inf energies."""
+
+        def estimate(config: ProcessorConfig, result: SimulationResult) -> float:
+            spec = self._energy.get(result.program.name)
+            if spec is not None and spec.fire():
+                self.injected.append((result.program.name, spec.kind))
+                return float("nan") if spec.kind == "nan" else float("inf")
+            return inner(config, result)
+
+        return estimate
+
+
+def hanging_task(
+    name: str = "fault_hang", max_instructions: int = 2_000
+) -> RunnerTask:
+    """A real (not mocked) non-terminating program, contained by budget.
+
+    The program is a tight ``j``-to-self loop; simulating it always ends
+    in :class:`~repro.xtcore.SimulationLimitExceeded`, which is how the
+    runner experiences a slow or hanging workload.
+    """
+    source = f"{name}:\n    j {name}\n"
+
+    def builder() -> tuple[ProcessorConfig, Program]:
+        config = build_processor(f"xt-{name}")
+        return config, assemble(source, name, isa=config.isa)
+
+    return RunnerTask(name=name, builder=builder, max_instructions=max_instructions)
+
+
+def corrupt_checkpoint(path: str, mode: str = "truncate") -> None:
+    """Damage a checkpoint file the way a crash or disk fault would.
+
+    ``truncate`` keeps the first half of the bytes (a write cut short);
+    ``garbage`` replaces the content with non-JSON bytes.
+    """
+    if mode == "truncate":
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+    elif mode == "garbage":
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "repro-characterization-samples/1", "samp\x00')
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")

@@ -53,3 +53,32 @@ class TestReports:
         assert "rs_sw" in text and "rs_dual" in text
         assert "Spearman" in text
         assert len(result.rows) == 4
+
+
+@pytest.mark.faults
+class TestFaultTolerantContext:
+    def test_build_context_survives_injected_faults(self, tmp_path):
+        """The paper-reproduction flow completes despite per-sample faults:
+        failing programs become failure records, the model fits from the
+        survivors, and progress is checkpointed."""
+        from repro.analysis import build_context
+        from repro.programs import characterization_suite
+        from repro.testing import FaultPlan
+
+        suite = characterization_suite(include_variants=False)[:8]
+        plan = FaultPlan().fail_simulation(suite[0].name).nan_energy(suite[1].name)
+        checkpoint = str(tmp_path / "ckpt.json")
+        ctx = build_context(suite=suite, fault_plan=plan, checkpoint_path=checkpoint)
+
+        report = ctx.run_report
+        assert report is not None
+        assert {f.name for f in report.failures} == {suite[0].name, suite[1].name}
+        assert len(ctx.characterization.samples) == 6
+        assert ctx.model.coefficients.shape == (21,)
+        assert (tmp_path / "ckpt.json").exists()
+
+    def test_healthy_context_reports_clean_run(self, experiment_context):
+        report = experiment_context.run_report
+        assert report is not None
+        assert report.ok
+        assert report.failures == []

@@ -57,6 +57,24 @@ class TestCharacterizer:
         with pytest.raises(ValueError, match="variables"):
             characterizer.add_sample(bad)
 
+    def test_add_sample_rejects_non_finite_energy(self):
+        characterizer = Characterizer()
+        n_vars = len(characterizer.template)
+        for bad_energy in (float("nan"), float("inf"), float("-inf")):
+            sample = CharacterizationSample("x", "p", np.ones(n_vars), bad_energy, None)
+            with pytest.raises(ValueError, match="non-finite energy"):
+                characterizer.add_sample(sample)
+        assert len(characterizer) == 0
+
+    def test_add_sample_rejects_non_finite_variables(self):
+        characterizer = Characterizer()
+        variables = np.ones(len(characterizer.template))
+        variables[3] = float("nan")
+        sample = CharacterizationSample("x", "p", variables, 1.0, None)
+        with pytest.raises(ValueError, match="non-finite template variables"):
+            characterizer.add_sample(sample)
+        assert len(characterizer) == 0
+
     def test_fit_produces_model_and_report(self):
         result = characterize(_mini_suite())
         assert result.model.fit_info["samples"] == 4
@@ -89,9 +107,28 @@ class TestCharacterizer:
         characterizer = Characterizer()
         runs = _mini_suite()
         characterizer.add_program(*runs[2])
-        estimator_first = characterizer._estimators["ch-ext"]
+        (estimator_first,) = [
+            est for (name, _), (_, est) in characterizer._estimators.items()
+            if name == "ch-ext"
+        ]
         characterizer.add_program(*runs[3])
-        assert characterizer._estimators["ch-ext"] is estimator_first
+        assert characterizer._estimator_for(runs[3][0]) is estimator_first
+        assert len(characterizer._estimators) == 1
+
+    def test_estimator_cache_distinguishes_same_named_configs(self):
+        # regression: keying by name alone rebuilt the netlist on every
+        # identically-named-but-distinct config and returned a stale
+        # estimator for the other object
+        characterizer = Characterizer()
+        first = build_processor("twin", [_mul16()])
+        second = build_processor("twin", [_mul16()])
+        est_first = characterizer._estimator_for(first)
+        est_second = characterizer._estimator_for(second)
+        assert est_first is not est_second
+        # both stay cached: asking again rebuilds nothing
+        assert characterizer._estimator_for(first) is est_first
+        assert characterizer._estimator_for(second) is est_second
+        assert len(characterizer._estimators) == 2
 
 
 class TestCoverageAudit:
@@ -152,6 +189,78 @@ class TestSampleCache:
         path.write_text('{"format": "other"}')
         with pytest.raises(ValueError, match="unrecognized"):
             Characterizer().load_samples(str(path))
+
+    def _saved_suite(self, tmp_path):
+        characterizer = Characterizer()
+        for config, program in _mini_suite():
+            characterizer.add_program(config, program)
+        path = str(tmp_path / "samples.json")
+        characterizer.save_samples(path)
+        return path
+
+    def test_truncated_file_rejected_with_actionable_error(self, tmp_path):
+        path = self._saved_suite(tmp_path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        fresh = Characterizer()
+        with pytest.raises(ValueError, match="not valid JSON"):
+            fresh.load_samples(path)
+        assert len(fresh) == 0  # characterizer unchanged on failure
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "samples.json"
+        path.write_text("}{ definitely not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Characterizer().load_samples(str(path))
+
+    def test_wrong_template_name_rejected(self, tmp_path):
+        import json
+
+        path = self._saved_suite(tmp_path)
+        payload = json.loads(open(path).read())
+        payload["template"] = "someone-elses-template"
+        open(path, "w").write(json.dumps(payload))
+        with pytest.raises(ValueError, match="someone-elses-template"):
+            Characterizer().load_samples(path)
+
+    def test_wrong_variable_count_rejected_without_partial_load(self, tmp_path):
+        import json
+
+        path = self._saved_suite(tmp_path)
+        payload = json.loads(open(path).read())
+        payload["samples"][-1]["variables"] = [1.0, 2.0, 3.0]
+        open(path, "w").write(json.dumps(payload))
+        fresh = Characterizer()
+        with pytest.raises(ValueError, match="3 variables"):
+            fresh.load_samples(path)
+        # earlier (valid) records were not half-added
+        assert len(fresh) == 0
+
+    def test_malformed_record_rejected(self, tmp_path):
+        import json
+
+        path = self._saved_suite(tmp_path)
+        payload = json.loads(open(path).read())
+        del payload["samples"][0]["energy"]
+        open(path, "w").write(json.dumps(payload))
+        with pytest.raises(ValueError, match="malformed sample record"):
+            Characterizer().load_samples(path)
+
+    def test_non_finite_record_rejected(self, tmp_path):
+        import json
+
+        path = self._saved_suite(tmp_path)
+        payload = json.loads(open(path).read())
+        payload["samples"][0]["energy"] = "NaN"
+        open(path, "w").write(json.dumps(payload))
+        with pytest.raises(ValueError, match="non-finite"):
+            Characterizer().load_samples(path)
+
+    def test_save_is_atomic_no_tmp_residue(self, tmp_path):
+        import os
+
+        path = self._saved_suite(tmp_path)
+        assert not os.path.exists(path + ".tmp")
 
 
 class TestCollinearityDiagnostics:

@@ -177,3 +177,34 @@ class TestColumnCoverage:
 
     def test_empty(self):
         assert column_coverage(np.zeros((0, 0))).size == 0
+
+
+class TestConditionWarning:
+    def _ill_conditioned(self):
+        # two nearly identical columns: condition number >> 1e8
+        design = np.array(
+            [
+                [1.0, 1.0 + 1e-12],
+                [2.0, 2.0 + 1e-12],
+                [3.0, 3.0 - 1e-12],
+                [4.0, 4.0 + 1e-12],
+            ]
+        )
+        return design, design @ np.array([2.0, 3.0])
+
+    def test_all_fitters_warn_on_ill_conditioned_design(self):
+        from repro.core import IllConditionedDesignWarning
+
+        design, energies = self._ill_conditioned()
+        for fitter in (fit_least_squares, fit_nnls, fit_ridge):
+            with pytest.warns(IllConditionedDesignWarning, match="condition number"):
+                fitter(design, energies)
+
+    def test_well_conditioned_design_is_silent(self):
+        import warnings
+
+        rng = np.random.default_rng(7)
+        design, energies, _ = _well_posed_problem(rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fit_least_squares(design, energies)

@@ -120,3 +120,70 @@ class TestEstimateAndProfile:
         out = capsys.readouterr().out
         assert "energy profile" in out
         assert "total" in out
+
+
+class TestInputErrorHygiene:
+    def test_missing_program_file_is_clean_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "/nonexistent/program.s"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "/nonexistent/program.s" in err
+        assert "Traceback" not in err
+
+    def test_missing_xpf_file_is_clean_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "/nonexistent/image.xpf"])
+        assert excinfo.value.code == 2
+        assert "cannot read program file" in capsys.readouterr().err
+
+    def test_malformed_xpf_is_clean_exit(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.xpf"
+        bogus.write_bytes(b"this is not an XPF image at all")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(bogus)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "malformed XPF image" in err
+        assert "bad magic" in err
+
+    def test_truncated_xpf_is_clean_exit(self, tmp_path, demo_file, capsys):
+        image = tmp_path / "demo.xpf"
+        assert main(["assemble", demo_file, "-o", str(image)]) == 0
+        data = image.read_bytes()
+        image.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(image)])
+        assert excinfo.value.code == 2
+        assert "truncated image" in capsys.readouterr().err
+
+
+class TestCharacterizeFlagValidation:
+    def test_resume_requires_checkpoint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["characterize", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["--checkpoint", "c.json", "--checkpoint-every", "0"],
+             "--checkpoint-every must be >= 1"),
+            (["--max-attempts", "0"], "--max-attempts must be >= 1"),
+        ],
+    )
+    def test_invalid_numeric_flags(self, argv, message, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["characterize", *argv])
+        assert excinfo.value.code == 2
+        assert message in capsys.readouterr().err
+
+    def test_corrupt_samples_file_is_clean_exit(self, tmp_path, capsys):
+        bad = tmp_path / "samples.json"
+        bad.write_text("{ truncated")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["characterize", "--from-samples", str(bad), "-o", str(tmp_path / "m.json")])
+        assert excinfo.value.code == 2
+        assert "cannot load samples" in capsys.readouterr().err

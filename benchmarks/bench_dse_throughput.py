@@ -1,0 +1,77 @@
+"""DSE engine throughput: serial vs parallel vs warm-cache evaluation.
+
+The exploration engine's whole value is candidates/second on the
+macro-model fast path.  This benchmark scores the same seeded random
+sample of the tuned Reed-Solomon space three ways — serial, with a
+worker pool, and from a warm on-disk result cache — asserts the three
+agree on the ranking, and writes the measured throughput table.
+"""
+
+import pytest
+
+from repro.dse import RandomStrategy, ResultCache, explore, get_space
+
+BUDGET = 12
+
+
+@pytest.fixture(scope="module")
+def space():
+    return get_space("reed_solomon_tuned")
+
+
+def _run(ctx, space, jobs=1, cache=None):
+    strategy = RandomStrategy(budget=BUDGET, seed=3)
+    return explore(ctx.model, space, strategy, jobs=jobs, cache=cache)
+
+
+@pytest.fixture(scope="module")
+def serial_report(ctx, space):
+    return _run(ctx, space)
+
+
+def test_dse_serial(benchmark, ctx, space, serial_report):
+    report = benchmark.pedantic(_run, args=(ctx, space), rounds=1, iterations=1)
+    assert report.ok and len(report.scores) == BUDGET
+
+
+def test_dse_parallel(benchmark, ctx, space, serial_report):
+    report = benchmark.pedantic(
+        _run, args=(ctx, space), kwargs={"jobs": 4}, rounds=1, iterations=1
+    )
+    assert report.ok and len(report.scores) == BUDGET
+    # parallelism must never change the answer
+    serial_keys = [s.key for s in serial_report.ranked()]
+    assert [s.key for s in report.ranked()] == serial_keys
+
+
+def test_dse_warm_cache(benchmark, ctx, space, serial_report, tmp_path, save_report):
+    cache_dir = tmp_path / "dse-cache"
+    cold = _run(ctx, space, cache=ResultCache(cache_dir))
+    assert cold.cache_misses == BUDGET
+
+    warm = benchmark.pedantic(
+        _run,
+        args=(ctx, space),
+        kwargs={"cache": ResultCache(cache_dir)},
+        rounds=1,
+        iterations=1,
+    )
+    assert warm.cache_hits == BUDGET and warm.evaluated == 0
+    assert [s.key for s in warm.ranked()] == [s.key for s in serial_report.ranked()]
+
+    parallel = _run(ctx, space, jobs=4)
+    rows = [
+        ("serial (jobs 1)", serial_report),
+        ("parallel (jobs 4)", parallel),
+        ("warm cache", warm),
+    ]
+    header = f"{'mode':<20}{'cand/s':>10}{'elapsed s':>12}{'evaluated':>11}{'hits':>6}"
+    lines = [f"space reed_solomon_tuned, {BUDGET} candidates per run", header,
+             "-" * len(header)]
+    for label, report in rows:
+        lines.append(
+            f"{label:<20}{report.candidates_per_second:>10.1f}"
+            f"{report.elapsed_seconds:>12.3f}{report.evaluated:>11}"
+            f"{report.cache_hits:>6}"
+        )
+    save_report("dse_throughput", "\n".join(lines))

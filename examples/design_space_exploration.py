@@ -5,86 +5,41 @@ candidate custom-instruction sets must be compared on energy — and
 synthesizing + RTL-simulating each candidate is impractical.  With the
 energy macro-model, each candidate costs one instruction-set simulation.
 
-This example evaluates the four Reed-Solomon syndrome-kernel design
-points (paper Fig. 4) on energy, performance and energy-delay product,
-using *only* the fast macro-model path, then cross-checks the chosen
-ranking against the slow reference estimator.
+This example drives :mod:`repro.dse` over the two bundled spaces — the
+three FIR implementation choices and the paper's four Fig. 4
+Reed-Solomon custom-instruction choices — ranks them on energy-delay
+product, and cross-checks the winning ranking against the slow
+reference estimator.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.analysis import default_context, spearman_rho
-from repro.programs import fir_choices, reed_solomon_choices
-from repro.rtl import RtlEnergyEstimator, generate_netlist
-
-
-def _study(model, cases, title):
-    print(f"\n--- {title} " + "-" * max(0, 60 - len(title)))
-    rows = []
-    for case in cases:
-        config, program = case.build()
-        estimate = model.estimate(config, program)
-        rows.append((case.name, estimate.energy, estimate.cycles,
-                     estimate.energy * estimate.cycles))
-    print(f"{'choice':<12}{'energy':>13}{'cycles':>9}{'EDP':>15}")
-    for name, energy, cycles, edp in rows:
-        print(f"{name:<12}{energy:>13.0f}{cycles:>9}{edp:>15.3g}")
-    best = min(rows, key=lambda row: row[3])
-    print(f"lowest EDP: {best[0]}")
-    return rows
+from repro.analysis import default_context
+from repro.dse import ExhaustiveStrategy, cross_check, explore, get_space
 
 
 def main() -> None:
     print("characterizing the processor family (one-time cost)...")
     model = default_context().model
 
-    # second workload: 16-tap FIR with three implementation choices —
-    # note that the plain MAC instruction does NOT pay off (operand
-    # packing eats the gain); only the packed 2-tap datapath wins.
-    _study(model, fir_choices(), "FIR filter design points (macro-model only)")
+    # second workload first: the plain MAC instruction does NOT pay off
+    # (operand packing eats the gain); only the packed 2-tap datapath wins.
+    fir = explore(model, get_space("fir"), ExhaustiveStrategy())
+    print("\n--- FIR filter design points (macro-model only) " + "-" * 12)
+    print(fir.table())
+    print(f"lowest EDP: {fir.best.program_name}")
 
     print("\nevaluating 4 Reed-Solomon custom-instruction choices:\n")
-    rows = []
-    for case in reed_solomon_choices():
-        config, program = case.build()
-        estimate = model.estimate(config, program)
-        hw_area = generate_netlist(config).custom_area
-        rows.append(
-            {
-                "choice": case.name,
-                "desc": case.description,
-                "energy": estimate.energy,
-                "cycles": estimate.cycles,
-                "edp": estimate.energy * estimate.cycles,
-                "area": hw_area,
-                "config": config,
-                "program": program,
-            }
-        )
-
-    header = f"{'choice':<10}{'energy':>13}{'cycles':>9}{'EDP':>15}{'hw area':>9}"
-    print(header)
-    print("-" * len(header))
-    for row in rows:
-        print(
-            f"{row['choice']:<10}{row['energy']:>13.0f}{row['cycles']:>9}"
-            f"{row['edp']:>15.3g}{row['area']:>9.2f}"
-        )
-
-    best = min(rows, key=lambda row: row["edp"])
-    print(f"\nlowest energy-delay product: {best['choice']} ({best['desc']})")
+    rs = explore(model, get_space("reed_solomon"), ExhaustiveStrategy())
+    print(rs.table())
+    print(f"\nlowest energy-delay product: {rs.best.program_name}")
 
     # cross-check the *ranking* against the reference estimator — the
     # relative-accuracy property the paper's Fig. 4 establishes
     print("\ncross-checking ranking against the RTL-level reference...")
-    reference_energies = []
-    for row in rows:
-        estimator = RtlEnergyEstimator(generate_netlist(row["config"]))
-        report, _ = estimator.estimate_program(row["program"])
-        reference_energies.append(report.total)
-    rho = spearman_rho([row["energy"] for row in rows], reference_energies)
-    print(f"Spearman rank correlation macro vs reference: {rho:.3f}")
-    assert abs(rho - 1.0) < 1e-9, "macro-model ranking diverged from the reference!"
+    check = cross_check(get_space("reed_solomon"), rs.scores)
+    print(check.table())
+    assert abs(check.rho - 1.0) < 1e-9, "macro-model ranking diverged from the reference!"
     print("the macro-model ranks every design point exactly as the reference does.")
 
 

@@ -7,8 +7,9 @@ Exposes the library's main flows without writing Python:
 ``assemble``              assemble to a binary XPF object file
 ``disasm``                assemble a program and print its disassembly
 ``characterize``          run the bundled suite, fit the model, write JSON
-``estimate``              macro-model energy of a program (fast path)
+``estimate``              macro-model energy of one or more programs (fast path)
 ``reference``             reference RTL-level energy of a program (slow path)
+``explore``               design-space exploration over a bundled search space
 ``profile``               per-region energy decomposition of a program
 ``experiments``           regenerate the paper's tables/figures
 ========================  ===================================================
@@ -216,14 +217,130 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
     model = EnergyMacroModel.load(args.model)
+    # model load + config build (TIE compilation) happen once; each extra
+    # program then costs only one untraced instruction-set simulation —
+    # the mini-batch fast path that amortizes the one-time setup.
     config = _build_config("cli", args.extensions)
-    program = _load_program(args.program, config)
-    estimate = model.estimate(config, program, max_instructions=args.max_instructions)
-    print(estimate.summary())
+    estimates = []
+    for path in args.program:
+        program = _load_program(path, config)
+        estimates.append(
+            model.estimate(config, program, max_instructions=args.max_instructions)
+        )
+    if len(estimates) == 1:
+        (estimate,) = estimates
+        print(estimate.summary())
+    else:
+        header = f"{'program':<24}{'energy':>14}{'cycles':>10}{'EDP':>15}"
+        print(header)
+        print("-" * len(header))
+        for estimate in estimates:
+            print(
+                f"{estimate.program_name:<24}{estimate.energy:>14.1f}"
+                f"{estimate.cycles:>10}{estimate.energy * estimate.cycles:>15.4g}"
+            )
     if args.variables:
-        for key, value in estimate.variables.items():
-            if value:
-                print(f"  {key:<16}{value:14.1f}  x {model.coefficient(key):10.2f}")
+        for estimate in estimates:
+            if len(estimates) > 1:
+                print(f"\n{estimate.program_name}:")
+            for key, value in estimate.variables.items():
+                if value:
+                    print(f"  {key:<16}{value:14.1f}  x {model.coefficient(key):10.2f}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .core.runner import TooManyFailures
+    from .dse import (
+        ResultCache,
+        SpaceError,
+        available_spaces,
+        cross_check,
+        explore,
+        get_space,
+        make_strategy,
+    )
+
+    if args.list_spaces:
+        for name in available_spaces():
+            print(get_space(name).describe())
+        return 0
+    if args.model is None:
+        raise _die("a model JSON file is required (or use --list-spaces)")
+    try:
+        model = EnergyMacroModel.load(args.model)
+    except (OSError, ValueError) as exc:
+        raise _die(f"cannot load model {args.model!r}: {exc}")
+    try:
+        space = get_space(args.space)
+    except SpaceError as exc:
+        raise _die(str(exc))
+    try:
+        strategy = make_strategy(
+            args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            objective=args.objective,
+            restarts=args.restarts,
+        )
+    except ValueError as exc:
+        raise _die(str(exc))
+    cache = ResultCache(args.cache) if args.cache else None
+    progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) if args.verbose else None
+    try:
+        report = explore(
+            model,
+            space,
+            strategy,
+            jobs=args.jobs,
+            cache=cache,
+            objective=args.objective,
+            max_instructions=args.max_instructions,
+            max_failures=args.max_failures,
+            progress=progress,
+        )
+    except TooManyFailures as exc:
+        print(f"repro: exploration aborted: {exc}", file=sys.stderr)
+        return EXIT_ABORTED
+    if args.format == "json":
+        rendered = report.to_json()
+    elif args.format == "csv":
+        rendered = report.to_csv()
+    else:
+        rendered = report.table(top_k=args.top_k)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.verify_top:
+        if len(report.scores) < 2:
+            print("repro: not enough scored points to cross-check", file=sys.stderr)
+        else:
+            result = cross_check(
+                space,
+                report.scores,
+                top_k=args.verify_top,
+                objective=args.objective,
+                max_instructions=args.max_instructions,
+            )
+            print(result.table())
+            if result.rho < 0.9:
+                print(
+                    f"warning: macro-model top-{args.verify_top} ranking diverges "
+                    f"from the reference (rho {result.rho:.3f} < 0.9)",
+                    file=sys.stderr,
+                )
+    if not report.scores:
+        print("repro: exploration scored no candidates", file=sys.stderr)
+        return EXIT_ABORTED
+    if report.failures:
+        print(
+            f"warning: {len(report.failures)} candidate failure(s) during exploration",
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
 
 
@@ -370,9 +487,82 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("estimate", help="macro-model energy estimate (fast path)")
     p.add_argument("model", help="model JSON from `characterize`")
-    add_program_options(p)
+    p.add_argument(
+        "program",
+        nargs="+",
+        help="assembly source file(s); several amortize the one-time setup",
+    )
+    p.add_argument(
+        "--extensions",
+        default="",
+        help="comma-separated custom instructions from the bundled library",
+    )
+    p.add_argument("--max-instructions", type=int, default=5_000_000)
     p.add_argument("--variables", action="store_true", help="print the variable breakdown")
     p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser(
+        "explore", help="design-space exploration over the macro-model"
+    )
+    p.add_argument(
+        "model", nargs="?", default=None, help="model JSON from `characterize`"
+    )
+    p.add_argument(
+        "--space",
+        default="reed_solomon",
+        help="registered search space (see --list-spaces)",
+    )
+    p.add_argument(
+        "--list-spaces", action="store_true", help="list the bundled search spaces"
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("exhaustive", "random", "greedy"),
+        default="exhaustive",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, help="candidate budget (random strategy)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for random/greedy")
+    p.add_argument(
+        "--restarts", type=int, default=1, help="greedy hill-climb restarts"
+    )
+    p.add_argument(
+        "--objective",
+        choices=("energy", "cycles", "edp", "area"),
+        default="edp",
+        help="ranking/climbing objective (default edp)",
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1, help="parallel evaluation processes"
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="content-addressed on-disk result cache directory",
+    )
+    p.add_argument("--top-k", type=int, default=None, help="show only the best K points")
+    p.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort once more than N candidates fail (default: unlimited)",
+    )
+    p.add_argument("--max-instructions", type=int, default=5_000_000)
+    p.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table"
+    )
+    p.add_argument("-o", "--output", help="write the report to a file")
+    p.add_argument(
+        "--verify-top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="cross-check the top-K ranking against the reference RTL estimator",
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser("reference", help="reference RTL-level energy (slow path)")
     add_program_options(p)

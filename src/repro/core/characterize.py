@@ -149,11 +149,10 @@ class Characterizer:
         self.method = method
         self.ridge_alpha = ridge_alpha
         self.samples: list[CharacterizationSample] = []
-        # Keyed by (name, id); the stored config reference keeps the id
-        # stable (a garbage-collected config could otherwise recycle it).
-        self._estimators: dict[
-            tuple[str, int], tuple[ProcessorConfig, RtlEnergyEstimator]
-        ] = {}
+        # Keyed by content fingerprint: equal configs share one estimator
+        # no matter how many distinct (or identically-named) objects the
+        # caller builds, in this process or a resumed one.
+        self._estimators: dict[str, RtlEnergyEstimator] = {}
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -161,12 +160,12 @@ class Characterizer:
     # -- sample collection ------------------------------------------------
 
     def _estimator_for(self, config: ProcessorConfig) -> RtlEnergyEstimator:
-        key = (config.name, id(config))
-        cached = self._estimators.get(key)
-        if cached is None:
-            cached = (config, RtlEnergyEstimator(generate_netlist(config)))
-            self._estimators[key] = cached
-        return cached[1]
+        key = config.fingerprint()
+        estimator = self._estimators.get(key)
+        if estimator is None:
+            estimator = RtlEnergyEstimator(generate_netlist(config))
+            self._estimators[key] = estimator
+        return estimator
 
     def add_program(
         self,

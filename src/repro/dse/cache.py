@@ -1,0 +1,100 @@
+"""Content-addressed on-disk cache of candidate scores.
+
+Exploration repeatedly scores the same design points — reruns, resumed
+sweeps, greedy walks that revisit neighbors, overlapping spaces — and
+every score costs an instruction-set simulation.  This cache keys each
+score by *content*, never by object identity or space/knob naming:
+
+    sha256(model digest . config fingerprint . program image digest
+           . instruction budget)
+
+so a hit is guaranteed to describe the same (model, processor, program)
+triple even across processes, runs and differently-spelled spaces that
+happen to build the same design point.
+
+Entries are one JSON file per key, sharded by key prefix, written
+atomically (tmp + ``os.replace``); a corrupt or truncated entry reads as
+a miss and is rewritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from ..asm import Program, write_image
+from ..core.characterize import atomic_write_json
+from ..core.model import EnergyMacroModel
+from ..xtcore import ProcessorConfig
+
+#: Format tag stored in every cache entry (bump to invalidate old caches).
+CACHE_FORMAT = "repro-dse-score/1"
+
+
+def model_digest(model: EnergyMacroModel) -> str:
+    """Stable digest of a macro-model's content (template + coefficients)."""
+    return hashlib.sha256(model.to_json().encode("utf-8")).hexdigest()
+
+
+def program_digest(program: Program, config: ProcessorConfig) -> str:
+    """Stable digest of an assembled program via its serialized XPF image."""
+    return hashlib.sha256(write_image(program, config.isa)).hexdigest()
+
+
+def candidate_cache_key(
+    model_fingerprint: str,
+    config: ProcessorConfig,
+    program: Program,
+    max_instructions: int,
+) -> str:
+    """The content address of one candidate score."""
+    blob = "\n".join(
+        [
+            CACHE_FORMAT,
+            model_fingerprint,
+            config.fingerprint(),
+            program_digest(program, config),
+            str(int(max_instructions)),
+        ]
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One directory of content-addressed candidate scores."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None (counted as a miss) if absent/corrupt."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_json(path, {**payload, "format": CACHE_FORMAT, "key": key})
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".json"))
+        return count

@@ -1,0 +1,334 @@
+"""Candidate scoring: the macro-model fast path, parallel and cached.
+
+Every candidate costs one untraced instruction-set simulation (the
+paper's ~1000x-cheaper-than-RTL estimate path) plus a netlist generation
+for the custom-area proxy.  The engine layers three accelerations on it:
+
+* a per-run **memo** — strategies that revisit design points (greedy
+  walks) pay for each point once;
+* the content-addressed **on-disk cache** (:mod:`repro.dse.cache`) —
+  repeated or resumed explorations skip already-scored points entirely;
+* a ``multiprocessing`` **parallel executor** (``jobs > 1``) — uncached
+  candidates are scored by a pool of worker processes that rebuild the
+  design point from its picklable knob assignment.
+
+Failures are isolated per candidate into the same
+:class:`~repro.core.runner.SampleFailure` records the characterization
+runner uses, with the same ``max_failures`` →
+:class:`~repro.core.runner.TooManyFailures` degradation rule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from typing import Callable, Optional, Sequence
+
+from ..core.model import EnergyMacroModel
+from ..core.runner import SampleFailure, TooManyFailures
+from ..rtl import generate_netlist
+from .cache import ResultCache, candidate_cache_key, model_digest
+from .space import Candidate, SearchSpace
+
+
+@dataclasses.dataclass
+class CandidateScore:
+    """One scored design point (all objectives are minimized)."""
+
+    key: str  # canonical assignment key within the space
+    assignment: dict
+    program_name: str
+    processor_name: str
+    energy: float
+    cycles: int
+    area: float
+    from_cache: bool = False
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product, the default exploration objective."""
+        return self.energy * self.cycles
+
+    def objective(self, name: str) -> float:
+        """Look up one scalar objective by name."""
+        if name == "edp":
+            return self.edp
+        if name in ("energy", "cycles", "area"):
+            return float(getattr(self, name))
+        raise ValueError(
+            f"unknown objective {name!r} (use energy, cycles, edp or area)"
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "key": self.key,
+            "assignment": dict(self.assignment),
+            "program": self.program_name,
+            "processor": self.processor_name,
+            "energy": float(self.energy),
+            "cycles": int(self.cycles),
+            "edp": float(self.edp),
+            "area": float(self.area),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, from_cache: bool = False) -> "CandidateScore":
+        return cls(
+            key=payload["key"],
+            assignment=dict(payload["assignment"]),
+            program_name=payload["program"],
+            processor_name=payload["processor"],
+            energy=float(payload["energy"]),
+            cycles=int(payload["cycles"]),
+            area=float(payload["area"]),
+            from_cache=from_cache,
+        )
+
+
+OBJECTIVES = ("energy", "cycles", "edp", "area")
+
+
+# -- worker-process plumbing -------------------------------------------------
+#
+# Workers receive the heavy shared state (model, space) once through the
+# pool initializer and per-candidate work as a small picklable assignment
+# dict.  Under the "fork" start method the initializer arguments are
+# inherited rather than pickled, so spaces with closure builders work.
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(model: EnergyMacroModel, space: SearchSpace, max_instructions: int) -> None:
+    _WORKER_STATE["model"] = model
+    _WORKER_STATE["space"] = space
+    _WORKER_STATE["max_instructions"] = max_instructions
+
+
+def _score_point(
+    model: EnergyMacroModel,
+    space: SearchSpace,
+    assignment: dict,
+    max_instructions: int,
+    built: Optional[tuple] = None,
+) -> dict:
+    """Score one design point; never raises (failures become records)."""
+    from .space import assignment_key
+
+    key = assignment_key(assignment)
+    stage = "build"
+    try:
+        config, program = built if built is not None else space.build(assignment)
+        stage = "estimate"
+        estimate = model.estimate(config, program, max_instructions=max_instructions)
+        area = generate_netlist(config).custom_area
+    except Exception as exc:  # noqa: BLE001 — per-candidate isolation is the point
+        return {
+            "ok": False,
+            "key": key,
+            "processor": "" if stage == "build" else config.name,
+            "stage": stage,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+    return {
+        "ok": True,
+        "key": key,
+        "assignment": dict(assignment),
+        "program": program.name,
+        "processor": config.name,
+        "energy": float(estimate.energy),
+        "cycles": int(estimate.cycles),
+        "area": float(area),
+    }
+
+
+def _worker_evaluate(assignment: dict) -> dict:
+    return _score_point(
+        _WORKER_STATE["model"],
+        _WORKER_STATE["space"],
+        assignment,
+        _WORKER_STATE["max_instructions"],
+    )
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start method, or None where only spawn exists.
+
+    Spawned workers would have to pickle the space (whose builder is
+    typically a closure), so on fork-less platforms the engine degrades
+    to serial evaluation instead of failing.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class EvaluationEngine:
+    """Scores candidates of one space against one macro-model."""
+
+    def __init__(
+        self,
+        model: EnergyMacroModel,
+        space: SearchSpace,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        max_instructions: int = 5_000_000,
+        max_failures: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.model = model
+        self.space = space
+        self.jobs = jobs
+        self.cache = cache
+        self.max_instructions = max_instructions
+        self.max_failures = max_failures
+        self.progress = progress
+        self.failures: list[SampleFailure] = []
+        self.evaluated = 0  # candidates actually simulated this run
+        self.memo_hits = 0
+        self._model_digest = model_digest(model)
+        self._memo: dict[str, CandidateScore] = {}
+
+    # -- cache bookkeeping -------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, candidates: Sequence[Candidate]) -> list[CandidateScore]:
+        """Score a batch; returns successes in input order.
+
+        Failures are recorded on ``self.failures`` (and checked against
+        ``max_failures``) instead of aborting the batch.
+        """
+        slots: list[Optional[CandidateScore]] = [None] * len(candidates)
+        pending: list[tuple[int, Candidate, Optional[tuple]]] = []
+
+        for position, candidate in enumerate(candidates):
+            memo = self._memo.get(candidate.key)
+            if memo is not None:
+                self.memo_hits += 1
+                slots[position] = memo
+                continue
+            built = None
+            if self.cache is not None:
+                outcome = self._try_cache(candidate)
+                if isinstance(outcome, CandidateScore):
+                    slots[position] = outcome
+                    self._memo[candidate.key] = outcome
+                    continue
+                built = outcome  # (config, program) or None when build failed
+                if built is None:
+                    continue  # build failure already recorded
+            pending.append((position, candidate, built))
+
+        for (position, candidate, built), raw in zip(pending, self._run_pending(pending)):
+            if raw["ok"]:
+                score = CandidateScore.from_payload(
+                    {**raw, "key": candidate.key}, from_cache=False
+                )
+                self.evaluated += 1
+                slots[position] = score
+                self._memo[candidate.key] = score
+                self._store(candidate, raw, built)
+                self._emit(f"scored {candidate.key}: edp {score.edp:.3g}")
+            else:
+                self._record_failure(candidate, raw)
+        return [score for score in slots if score is not None]
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_pending(self, pending: list) -> list[dict]:
+        """Score the uncached candidates, in parallel when asked to."""
+        if not pending:
+            return []
+        context = _fork_context() if self.jobs > 1 and len(pending) > 1 else None
+        if context is None:
+            return [
+                _score_point(
+                    self.model,
+                    self.space,
+                    candidate.assignment_dict,
+                    self.max_instructions,
+                    built=built,
+                )
+                for _, candidate, built in pending
+            ]
+        with context.Pool(
+            processes=min(self.jobs, len(pending)),
+            initializer=_worker_init,
+            initargs=(self.model, self.space, self.max_instructions),
+        ) as pool:
+            return pool.map(
+                _worker_evaluate, [candidate.assignment_dict for _, candidate, _ in pending]
+            )
+
+    def _try_cache(self, candidate: Candidate):
+        """A cached score, a built (config, program) pair, or None."""
+        try:
+            config, program = candidate.build()
+        except Exception as exc:  # noqa: BLE001
+            self._record_failure(
+                candidate,
+                {
+                    "processor": "",
+                    "stage": "build",
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                },
+            )
+            return None
+        key = candidate_cache_key(
+            self._model_digest, config, program, self.max_instructions
+        )
+        payload = self.cache.get(key)
+        if payload is not None:
+            score = CandidateScore.from_payload(
+                {**payload, "key": candidate.key, "assignment": candidate.assignment_dict},
+                from_cache=True,
+            )
+            self._emit(f"cache hit {candidate.key}")
+            return score
+        return (config, program)
+
+    def _store(self, candidate: Candidate, raw: dict, built: Optional[tuple]) -> None:
+        if self.cache is None:
+            return
+        config, program = built if built is not None else candidate.build()
+        key = candidate_cache_key(
+            self._model_digest, config, program, self.max_instructions
+        )
+        payload = dict(raw)
+        payload.pop("ok", None)
+        self.cache.put(key, payload)
+
+    def _record_failure(self, candidate: Candidate, raw: dict) -> None:
+        failure = SampleFailure(
+            name=candidate.key,
+            processor_name=raw.get("processor", ""),
+            stage=raw.get("stage", "?"),
+            error_type=raw.get("error_type", "?"),
+            message=raw.get("message", ""),
+            attempts=1,
+        )
+        self.failures.append(failure)
+        self._emit(f"FAILED {failure.describe()}")
+        if self.max_failures is not None and len(self.failures) > self.max_failures:
+            raise TooManyFailures(
+                f"aborting exploration: {len(self.failures)} candidate failure(s) "
+                f"exceed max_failures={self.max_failures}\n"
+                + "\n".join(f.describe() for f in self.failures),
+                failures=list(self.failures),
+            )
+
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)

@@ -145,7 +145,10 @@ class RtlEnergyEstimator:
             raise ValueError(
                 "RTL estimation needs a full execution trace; simulate with collect_trace=True"
             )
-        if result.config is not self.config and result.config != self.config:
+        if (
+            result.config is not self.config
+            and result.config.fingerprint() != self.config.fingerprint()
+        ):
             raise ValueError(
                 f"trace was produced on {result.config.name!r}, "
                 f"but this estimator models {self.config.name!r}"

@@ -9,6 +9,8 @@ extended per application with compiled TIE-substitute instructions.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from functools import cached_property
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -135,6 +137,46 @@ class ProcessorConfig:
             self, name=name, extensions=tuple(compile_extension(list(specs)))
         )
 
+    def fingerprint(self) -> str:
+        """Stable content hash of everything that affects simulation + energy.
+
+        Two configs with equal content — base-core options, cache/timing
+        geometry and the full compiled-extension content (dataflow graphs,
+        hardware instances, schedules, state registers) — fingerprint
+        identically regardless of their ``name`` or object identity, in
+        the same process or across processes and runs.  Use it to key
+        caches of per-config derived artifacts (netlists, RTL estimators,
+        design-space exploration scores).
+        """
+        return self._fingerprint
+
+    @cached_property
+    def _fingerprint(self) -> str:
+        blob = json.dumps(
+            self._fingerprint_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _fingerprint_payload(self) -> dict:
+        """Canonical JSON-able form of the config's energy-relevant content."""
+
+        def cache_payload(cache: CacheConfig) -> list:
+            return [cache.size_bytes, cache.ways, cache.line_bytes, cache.miss_penalty]
+
+        return {
+            "format": "repro-config-fingerprint/1",
+            "clock_mhz": self.clock_mhz,
+            "num_registers": self.num_registers,
+            "icache": cache_payload(self.icache),
+            "dcache": cache_payload(self.dcache),
+            "timing": [
+                self.timing.branch_taken_penalty,
+                self.timing.interlock_stall,
+                self.timing.uncached_fetch_penalty,
+            ],
+            "extensions": [_extension_payload(impl) for impl in self.extensions],
+        }
+
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
         lines = [
@@ -149,6 +191,53 @@ class ProcessorConfig:
                 f"{impl.spec.description or 'no description'}"
             )
         return "\n".join(lines)
+
+
+def _extension_payload(impl: TieImplementation) -> dict:
+    """JSON-able content of one compiled custom instruction.
+
+    The spec's dataflow graph fully determines the instruction's semantics
+    and the compiled hardware/schedule determines its energy behavior, so
+    both go into the fingerprint; cosmetic fields (descriptions) do not.
+    """
+    spec = impl.spec
+    nodes = []
+    for node in spec.nodes:
+        payload = node.payload
+        if isinstance(payload, tuple):
+            payload = list(payload)
+        nodes.append(
+            [
+                node.nid,
+                node.kind,
+                node.width,
+                node.op,
+                node.category.name if node.category is not None else None,
+                [inp.nid for inp in node.inputs],
+                payload,
+            ]
+        )
+    return {
+        "mnemonic": spec.mnemonic,
+        "fmt": spec.fmt,
+        "nodes": nodes,
+        "states": sorted(
+            [state.name, state.width, state.init] for state in spec.states.values()
+        ),
+        "state_writes": [
+            [state.name, node.nid] for state, node in spec.state_writes
+        ],
+        "result": spec.result_node.nid if spec.result_node is not None else None,
+        "latency": impl.latency,
+        "instances": sorted(
+            [inst.name, inst.category.name, inst.width, inst.entries]
+            for inst in impl.instances
+        ),
+        "active_cycles": sorted(
+            [name, list(cycles)] for name, cycles in impl.active_cycles.items()
+        ),
+        "bus_tapped": sorted(impl.bus_tapped),
+    }
 
 
 def build_processor(

@@ -107,25 +107,36 @@ class TestCharacterizer:
         characterizer = Characterizer()
         runs = _mini_suite()
         characterizer.add_program(*runs[2])
-        (estimator_first,) = [
-            est for (name, _), (_, est) in characterizer._estimators.items()
-            if name == "ch-ext"
-        ]
+        (estimator_first,) = characterizer._estimators.values()
         characterizer.add_program(*runs[3])
         assert characterizer._estimator_for(runs[3][0]) is estimator_first
         assert len(characterizer._estimators) == 1
 
-    def test_estimator_cache_distinguishes_same_named_configs(self):
-        # regression: keying by name alone rebuilt the netlist on every
-        # identically-named-but-distinct config and returned a stale
-        # estimator for the other object
+    def test_estimator_cache_shares_equal_content_configs(self):
+        # keying by content fingerprint: two distinct config objects with
+        # identical content (even different names) share one estimator...
         characterizer = Characterizer()
         first = build_processor("twin", [_mul16()])
-        second = build_processor("twin", [_mul16()])
+        second = build_processor("other-name", [_mul16()])
+        assert characterizer._estimator_for(first) is characterizer._estimator_for(second)
+        assert len(characterizer._estimators) == 1
+
+    def test_estimator_cache_distinguishes_same_named_configs(self):
+        # ...while identically-named configs with *different* hardware
+        # get their own estimators instead of a stale one
+        def _wider():
+            spec = TieSpec("chmul", fmt="R3")
+            a = spec.source("rs", width=32)
+            b = spec.source("rt", width=32)
+            spec.result(spec.tie_mult(a, b, width=32))
+            return spec
+
+        characterizer = Characterizer()
+        first = build_processor("twin", [_mul16()])
+        second = build_processor("twin", [_wider()])
         est_first = characterizer._estimator_for(first)
         est_second = characterizer._estimator_for(second)
         assert est_first is not est_second
-        # both stay cached: asking again rebuilds nothing
         assert characterizer._estimator_for(first) is est_first
         assert characterizer._estimator_for(second) is est_second
         assert len(characterizer._estimators) == 2

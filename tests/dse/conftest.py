@@ -1,0 +1,54 @@
+"""Shared fixtures for the DSE tests.
+
+Engine and strategy behavior is tested against a tiny synthetic space
+(loop-length x padding knobs on the stock core) so every candidate costs
+a sub-millisecond simulation; the bundled Reed-Solomon/FIR spaces are
+exercised where the content itself matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.core import EnergyMacroModel, default_template
+from repro.dse import Knob, SearchSpace
+from repro.xtcore import build_processor
+
+
+def build_toy_point(assignment):
+    """(config, program) for one toy design point; cheap to simulate."""
+    n = assignment["n"]
+    pad = assignment.get("pad", 0)
+    config = build_processor(f"toy-n{n}-p{pad}")
+    source = "main:\n"
+    source += f"    movi a2, {n}\n    movi a3, 0\nloop:\n"
+    source += "    nop\n" * pad
+    source += "    add a3, a3, a2\n    addi a2, a2, -1\n    bnez a2, loop\n    halt\n"
+    program = assemble(source, f"toy_n{n}_p{pad}", isa=config.isa)
+    return config, program
+
+
+def make_toy_space(with_pad: bool = True) -> SearchSpace:
+    knobs = [Knob("n", (2, 4, 8))]
+    if with_pad:
+        knobs.append(Knob("pad", (0, 2, 4)))
+    return SearchSpace(
+        name="toy",
+        description="loop-length x padding sweep on the stock core",
+        knobs=tuple(knobs),
+        builder=build_toy_point,
+    )
+
+
+@pytest.fixture()
+def toy_space():
+    return make_toy_space()
+
+
+@pytest.fixture(scope="session")
+def synthetic_model():
+    """A macro-model with made-up coefficients (no characterization)."""
+    template = default_template()
+    return EnergyMacroModel(template, np.linspace(50, 5000, len(template)))

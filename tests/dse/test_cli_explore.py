@@ -1,0 +1,119 @@
+"""CLI ``explore`` command (direct main() invocation)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import EnergyMacroModel, default_template
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    template = default_template()
+    model = EnergyMacroModel(template, np.linspace(50, 5000, len(template)))
+    path = tmp_path / "model.json"
+    model.save(str(path))
+    return str(path)
+
+
+class TestListSpaces:
+    def test_lists_bundled_spaces(self, capsys):
+        assert main(["explore", "--list-spaces"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reed_solomon", "fir", "reed_solomon_tuned", "fir_tuned"):
+            assert f"space {name}:" in out
+
+
+class TestExplore:
+    def test_exhaustive_fir(self, model_file, capsys):
+        assert main(["explore", model_file, "--space", "fir"]) == 0
+        out = capsys.readouterr().out
+        assert "scored 3/3 design points" in out
+        assert "fir_packed" in out and "fir_sw" in out
+        assert "pareto frontier" in out
+
+    def test_json_format(self, model_file, capsys):
+        assert main(["explore", model_file, "--space", "fir", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["space"] == "fir"
+        assert len(payload["scores"]) == 3
+
+    def test_csv_to_file(self, model_file, tmp_path, capsys):
+        out_path = tmp_path / "ranking.csv"
+        assert (
+            main(
+                [
+                    "explore",
+                    model_file,
+                    "--space",
+                    "fir",
+                    "--format",
+                    "csv",
+                    "-o",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0].startswith("rank,key,program")
+        assert len(lines) == 4
+
+    def test_warm_cache_hits_every_candidate(self, model_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "dse-cache")
+        argv = ["explore", model_file, "--space", "fir", "--cache", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 hit(s), 3 miss(es)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "3 hit(s), 0 miss(es)" in warm
+
+    def test_random_strategy_deterministic(self, model_file, capsys):
+        argv = [
+            "explore",
+            model_file,
+            "--space",
+            "fir_tuned",
+            "--strategy",
+            "random",
+            "--budget",
+            "3",
+            "--seed",
+            "7",
+            "--format",
+            "json",
+        ]
+        outputs = []
+        for _ in range(2):
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            outputs.append([row["key"] for row in payload["scores"]])
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0]) == 3
+
+
+class TestExploreErrors:
+    def test_requires_model(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_space(self, model_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", model_file, "--space", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_unreadable_model(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", str(bad), "--space", "fir"])
+        assert excinfo.value.code == 2
+
+    def test_random_requires_budget(self, model_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", model_file, "--space", "fir", "--strategy", "random"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,151 @@
+"""Candidate-space layer: knobs, indexing, bundled spaces, registry."""
+
+import pytest
+
+from repro.dse import (
+    BUILTIN_SPACES,
+    Knob,
+    SearchSpace,
+    SpaceError,
+    assignment_key,
+    available_spaces,
+    get_space,
+    register_space,
+)
+from repro.dse.space import _REGISTRY
+
+from .conftest import build_toy_point, make_toy_space
+
+
+class TestKnob:
+    def test_valid(self):
+        knob = Knob("dcache_kb", (4, 8, 16))
+        assert len(knob) == 3
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SpaceError):
+            Knob("", (1,))
+        with pytest.raises(SpaceError):
+            Knob("a b", (1,))
+
+    def test_rejects_empty_and_duplicate_values(self):
+        with pytest.raises(SpaceError):
+            Knob("n", ())
+        with pytest.raises(SpaceError):
+            Knob("n", (1, 1))
+
+
+class TestAssignmentKey:
+    def test_order_independent(self):
+        assert assignment_key({"b": 2, "a": 1}) == assignment_key({"a": 1, "b": 2})
+        assert assignment_key({"a": 1, "b": 2}) == "a=1,b=2"
+
+
+class TestSearchSpace:
+    def test_size_is_knob_product(self, toy_space):
+        assert toy_space.size == 9
+
+    def test_index_assignment_round_trip(self, toy_space):
+        for index in range(toy_space.size):
+            assignment = toy_space.assignment_at(index)
+            assert toy_space.index_of(assignment) == index
+
+    def test_enumeration_is_deterministic(self, toy_space):
+        keys = [c.key for c in toy_space.candidates()]
+        assert keys == [c.key for c in make_toy_space().candidates()]
+        assert len(set(keys)) == toy_space.size
+
+    def test_index_out_of_range(self, toy_space):
+        with pytest.raises(SpaceError):
+            toy_space.assignment_at(-1)
+        with pytest.raises(SpaceError):
+            toy_space.assignment_at(toy_space.size)
+
+    def test_validate_rejects_missing_extra_and_bad_values(self, toy_space):
+        with pytest.raises(SpaceError, match="missing knobs"):
+            toy_space.validate({"n": 2})
+        with pytest.raises(SpaceError, match="unknown knobs"):
+            toy_space.validate({"n": 2, "pad": 0, "zzz": 1})
+        with pytest.raises(SpaceError, match="has no value"):
+            toy_space.validate({"n": 3, "pad": 0})
+
+    def test_candidate_key_and_build(self, toy_space):
+        candidate = toy_space.candidate({"pad": 2, "n": 4})
+        assert candidate.key == "n=4,pad=2"
+        config, program = candidate.build()
+        assert program.name == "toy_n4_p2"
+        assert config.extensions == ()
+
+    def test_rejects_empty_and_duplicate_knobs(self):
+        with pytest.raises(SpaceError):
+            SearchSpace("s", "d", (), build_toy_point)
+        with pytest.raises(SpaceError):
+            SearchSpace(
+                "s", "d", (Knob("n", (1,)), Knob("n", (2,))), build_toy_point
+            )
+
+    def test_describe_lists_knobs(self, toy_space):
+        text = toy_space.describe()
+        assert "9 design points" in text
+        assert "pad" in text
+
+
+class TestBundledSpaces:
+    def test_builtin_names(self):
+        assert set(BUILTIN_SPACES) == {
+            "reed_solomon",
+            "fir",
+            "reed_solomon_tuned",
+            "fir_tuned",
+        }
+        assert set(BUILTIN_SPACES) <= set(available_spaces())
+
+    def test_sizes(self):
+        assert get_space("reed_solomon").size == 4
+        assert get_space("fir").size == 3
+        assert get_space("reed_solomon_tuned").size == 108
+        assert get_space("fir_tuned").size == 81
+
+    def test_rs_space_builds_paper_choices(self):
+        space = get_space("reed_solomon")
+        names = [space.build(a)[1].name for a in (c.assignment_dict for c in space.candidates())]
+        assert names == ["rs_sw", "rs_gfmul", "rs_gfmac", "rs_dual"]
+
+    def test_tuned_space_honors_cache_knobs(self):
+        space = get_space("fir_tuned")
+        config, program = space.build(
+            {"impl": "packed", "icache_kb": 4, "dcache_kb": 8, "dcache_ways": 2}
+        )
+        assert config.icache.size_bytes == 4 * 1024
+        assert config.dcache.size_bytes == 8 * 1024
+        assert config.dcache.ways == 2
+        assert program.name == "fir_packed"
+
+    def test_same_point_has_same_fingerprint_across_builds(self):
+        space = get_space("reed_solomon")
+        one, _ = space.build({"impl": "dual"})
+        two, _ = space.build({"impl": "dual"})
+        assert one is not two
+        assert one.fingerprint() == two.fingerprint()
+
+
+class TestRegistry:
+    def test_unknown_space(self):
+        with pytest.raises(SpaceError, match="unknown search space"):
+            get_space("nope")
+
+    def test_register_and_get(self):
+        register_space("toy", make_toy_space)
+        try:
+            assert get_space("toy").size == 9
+            assert "toy" in available_spaces()
+        finally:
+            _REGISTRY.pop("toy", None)
+
+    def test_factory_name_mismatch_detected(self):
+        register_space("misnamed", make_toy_space)
+        try:
+            with pytest.raises(SpaceError, match="built a space named"):
+                get_space("misnamed")
+        finally:
+            _REGISTRY.pop("misnamed", None)

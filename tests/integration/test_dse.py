@@ -1,0 +1,68 @@
+"""DSE against the real characterized model (slow, session-cached).
+
+The acceptance bar for the exploration engine: on the bundled spaces it
+must reproduce the hand-built studies' EDP ranking exactly and the
+macro-model ranking must track the reference RTL estimator (Spearman
+rho >= 0.9 — the paper's Fig. 4 relative-accuracy claim).
+"""
+
+import pytest
+
+from repro.dse import ExhaustiveStrategy, cross_check, explore, get_space
+
+
+@pytest.mark.slow
+class TestDseReproducesTheStudies:
+    def _hand_ranking(self, model, choices):
+        rows = []
+        for case in choices():
+            config, program = case.build()
+            estimate = model.estimate(config, program)
+            rows.append((case.name, estimate.energy * estimate.cycles))
+        rows.sort(key=lambda row: row[1])
+        return [name for name, _ in rows]
+
+    @pytest.mark.parametrize(
+        "space_name, choices_name",
+        [("reed_solomon", "reed_solomon_choices"), ("fir", "fir_choices")],
+    )
+    def test_explore_matches_hand_built_edp_ranking(
+        self, experiment_context, space_name, choices_name
+    ):
+        import repro.programs as programs
+
+        model = experiment_context.model
+        report = explore(model, get_space(space_name), ExhaustiveStrategy())
+        assert report.ok
+        engine_ranking = [s.program_name for s in report.ranked()]
+        hand_ranking = self._hand_ranking(model, getattr(programs, choices_name))
+        assert engine_ranking == hand_ranking
+
+    def test_rs_winner_is_the_papers(self, experiment_context):
+        report = explore(
+            experiment_context.model, get_space("reed_solomon"), ExhaustiveStrategy()
+        )
+        assert report.best.program_name == "rs_dual"
+
+    def test_fir_winner_is_packed(self, experiment_context):
+        report = explore(
+            experiment_context.model, get_space("fir"), ExhaustiveStrategy()
+        )
+        assert report.best.program_name == "fir_packed"
+
+
+@pytest.mark.slow
+class TestCrossCheck:
+    @pytest.mark.parametrize("space_name", ["reed_solomon", "fir"])
+    def test_macro_ranking_tracks_reference(self, experiment_context, space_name):
+        space = get_space(space_name)
+        report = explore(experiment_context.model, space, ExhaustiveStrategy())
+        result = cross_check(space, report.scores)
+        assert len(result.rows) == space.size
+        assert result.rho >= 0.9
+
+    def test_needs_two_points(self, experiment_context):
+        space = get_space("fir")
+        report = explore(experiment_context.model, space, ExhaustiveStrategy())
+        with pytest.raises(ValueError):
+            cross_check(space, report.scores[:1])

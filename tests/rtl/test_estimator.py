@@ -52,6 +52,19 @@ class TestBasics:
         with pytest.raises(ValueError, match="models"):
             estimator.estimate(traced)
 
+    def test_equal_content_config_accepted(self):
+        # the guard is content-addressed: a trace from a different object
+        # (even differently named) describing the same hardware is valid,
+        # and the estimate matches a native run on the modeled processor
+        run_on = build_processor("one", [_mul16()])
+        modeled = build_processor("two", [_mul16()])
+        program = _program(LOOP, run_on)
+        traced = Simulator(run_on, program, collect_trace=True).run()
+        estimator = RtlEnergyEstimator(generate_netlist(modeled))
+        report = estimator.estimate(traced)
+        native, _ = reference_energy(modeled, _program(LOOP, modeled))
+        assert report.total == native.total
+
     def test_deterministic(self):
         config = build_processor("plain")
         program = _program(LOOP, config)

@@ -111,6 +111,44 @@ class TestEstimateAndProfile:
         assert "macro-model estimate" in out
         assert "N_a" in out
 
+    def test_estimate_multiple_programs_tabulates(
+        self, model_file, demo_file, tmp_path, capsys
+    ):
+        second = tmp_path / "second.s"
+        second.write_text(DEMO.replace("movi a2, 12", "movi a2, 24"))
+        assert main(["estimate", model_file, demo_file, str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "macro-model estimate" not in out  # table replaces the summary
+        assert "program" in out and "EDP" in out
+        assert "demo" in out and "second" in out
+
+    def test_estimate_multiple_programs_with_variables(
+        self, model_file, demo_file, tmp_path, capsys
+    ):
+        second = tmp_path / "second.s"
+        second.write_text(DEMO)
+        assert main(
+            ["estimate", model_file, demo_file, str(second), "--variables"]
+        ) == 0
+        out = capsys.readouterr().out
+        # one labelled variable block per program
+        assert "\ndemo:" in out and "\nsecond:" in out
+        assert out.count("N_a") >= 2
+
+    def test_estimate_multiple_identical_programs_agree(
+        self, model_file, demo_file, tmp_path, capsys
+    ):
+        clone = tmp_path / "clone.s"
+        clone.write_text(DEMO)
+        assert main(["estimate", model_file, demo_file, str(clone)]) == 0
+        rows = [
+            line.split()
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith(("demo", "clone"))
+        ]
+        assert len(rows) == 2
+        assert rows[0][1:] == rows[1][1:]  # same energy/cycles/EDP
+
     def test_reference(self, demo_file, capsys):
         assert main(["reference", demo_file]) == 0
         assert "RTL energy estimate" in capsys.readouterr().out

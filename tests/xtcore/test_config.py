@@ -109,3 +109,86 @@ class TestExtensions:
         )
         assert config.icache.num_sets == 32
         assert config.dcache.num_sets == 32
+
+
+class TestFingerprint:
+    def test_stable_across_equivalent_builds(self):
+        one = build_processor("a", [_mul_spec()])
+        two = build_processor("a", [_mul_spec()])
+        assert one is not two
+        assert one.fingerprint() == two.fingerprint()
+
+    def test_hex_sha256_shape(self):
+        fingerprint = ProcessorConfig().fingerprint()
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+    def test_name_is_excluded(self):
+        # content addressing: the label a consumer gave the config must
+        # not change what hardware it describes
+        config = build_processor("a", [_mul_spec()])
+        renamed = dataclasses.replace(config, name="b")
+        assert config.fingerprint() == renamed.fingerprint()
+
+    def test_base_knobs_are_included(self):
+        base = ProcessorConfig()
+        assert (
+            dataclasses.replace(base, clock_mhz=200.0).fingerprint()
+            != base.fingerprint()
+        )
+        assert (
+            dataclasses.replace(
+                base, dcache=CacheConfig(size_bytes=8 * 1024)
+            ).fingerprint()
+            != base.fingerprint()
+        )
+        assert (
+            dataclasses.replace(base, num_registers=32).fingerprint()
+            != base.fingerprint()
+        )
+
+    def test_extensions_are_included(self):
+        plain = build_processor("p")
+        extended = build_processor("p", [_mul_spec()])
+        accum = build_processor("p", _acc_specs())
+        prints = {c.fingerprint() for c in (plain, extended, accum)}
+        assert len(prints) == 3
+
+    def test_spec_content_not_mnemonic_spelling(self):
+        # same mnemonic, different datapath width -> different hardware
+        def _wide():
+            spec = TieSpec("cmul", fmt="R3")
+            a = spec.source("rs", width=32)
+            b = spec.source("rt", width=32)
+            spec.result(spec.tie_mult(a, b))
+            return spec
+
+        narrow = build_processor("p", [_mul_spec()])
+        wide = build_processor("p", [_wide()])
+        assert narrow.fingerprint() != wide.fingerprint()
+
+    def test_stable_across_processes(self):
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.xtcore import build_processor;"
+            "from repro.tie import TieSpec;"
+            "spec = TieSpec('cmul', fmt='R3');"
+            "spec.result(spec.tie_mult(spec.source('rs', width=16),"
+            " spec.source('rt', width=16)));"
+            "print(build_processor('a', [spec]).fingerprint())"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert len(runs) == 1
+        assert runs == {build_processor("a", [_mul_spec()]).fingerprint()}

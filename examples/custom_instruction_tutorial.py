@@ -15,6 +15,7 @@ Run:  python examples/custom_instruction_tutorial.py
 
 from repro import TieSpec, build_processor, compile_spec, generate_netlist, reference_energy
 from repro.asm import assemble
+from repro.obs import SimObserver, run_session
 
 
 def make_dot2() -> TieSpec:
@@ -72,11 +73,23 @@ def main() -> None:
     print(generate_netlist(config).synthesis_report())
 
     program = assemble(SOURCE, "tutorial", isa=config.isa)
-    report, result = reference_energy(config, program)
+    report, _ = reference_energy(config, program)
     print("\n=== reference energy of the demo kernel ===")
     print(report.summary())
-    first_dot2 = next(r for r in result.trace if r.mnemonic == "dot2")
-    print(f"\nfirst dot2 result: {first_dot2.result} (expected 39)")
+
+    # The reference estimator streams — no trace is materialized.  To peek
+    # at a single retired value, attach a one-off observer instead.
+    class FirstDot2(SimObserver):
+        needs_result = True
+        value = None
+
+        def on_retire(self, event):
+            if self.value is None and event.mnemonic == "dot2":
+                self.value = event.result
+
+    probe = FirstDot2()
+    run_session(config, program, observers=(probe,))
+    print(f"\nfirst dot2 result: {probe.value} (expected 39)")
 
 
 if __name__ == "__main__":

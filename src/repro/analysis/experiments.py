@@ -46,7 +46,7 @@ from ..programs import (
     reed_solomon_choices,
 )
 from ..rtl import RtlEnergyEstimator, generate_netlist
-from ..xtcore import Simulator
+from ..obs import run_session
 from .metrics import spearman_rho
 
 
@@ -92,7 +92,7 @@ def build_context(
     characterizer = Characterizer(template=template, method=method)
     simulate = estimate = None
     if fault_plan is not None:
-        simulate = fault_plan.wrap_simulate()
+        simulate = fault_plan.wrap_session()
         estimate = fault_plan.wrap_estimate(default_estimate(characterizer))
     runner = CharacterizationRunner(
         characterizer,
@@ -544,11 +544,15 @@ def run_ablation_ground_truth(ctx: Optional[ExperimentContext] = None) -> Ablati
     characterizer = Characterizer(method=ctx.method)
     for case in ctx.suite:
         config, program = case.build()
-        sim = Simulator(
-            config, program, collect_trace=True, max_instructions=case.max_instructions
-        ).run()
         frozen = RtlEnergyEstimator(generate_netlist(config), data_dependent=False)
-        report = frozen.estimate(sim)
+        observer = frozen.observer()
+        sim = run_session(
+            config,
+            program,
+            observers=(observer,),
+            max_instructions=case.max_instructions,
+        )
+        report = observer.report
         from ..core import extract_variables
         from ..core.characterize import CharacterizationSample
 

@@ -10,7 +10,7 @@ Exposes the library's main flows without writing Python:
 ``estimate``              macro-model energy of one or more programs (fast path)
 ``reference``             reference RTL-level energy of a program (slow path)
 ``explore``               design-space exploration over a bundled search space
-``profile``               per-region energy decomposition of a program
+``profile``               streaming energy/execution profile of a program
 ``experiments``           regenerate the paper's tables/figures
 ========================  ===================================================
 
@@ -27,9 +27,10 @@ from typing import Optional, Sequence
 
 from .asm import ImageError, assemble, disassemble_program
 from .core import EnergyMacroModel, EnergyProfiler
+from .obs import run_session
 from .programs.extensions import ALL_SPEC_FACTORIES
 from .rtl import reference_energy
-from .xtcore import ProcessorConfig, Simulator, build_processor
+from .xtcore import ProcessorConfig, build_processor
 
 #: Exit code for unusable input files (missing program, malformed image).
 EXIT_BAD_INPUT = 2
@@ -94,9 +95,12 @@ def _cmd_list_extensions(_args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config("cli", args.extensions)
     program = _load_program(args.program, config)
-    result = Simulator(
-        config, program, collect_trace=args.trace, max_instructions=args.max_instructions
-    ).run()
+    result = run_session(
+        config,
+        program,
+        collect_trace=args.trace,
+        max_instructions=args.max_instructions,
+    )
     print(result.stats.summary())
     if args.trace:
         for record in result.trace[: args.trace_limit]:
@@ -353,13 +357,60 @@ def _cmd_reference(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import CacheEventObserver, EnergyTimelineObserver, HotSpotObserver
+
     model = EnergyMacroModel.load(args.model)
     config = _build_config("cli", args.extensions)
     program = _load_program(args.program, config)
-    report = EnergyProfiler(model).profile(
-        config, program, max_instructions=args.max_instructions
+
+    # All requested profilers ride the same event stream: one simulation,
+    # no trace, any number of observers.
+    profiler = EnergyProfiler(model)
+    region_observer = profiler.observer(program)
+    observers = [region_observer]
+    timeline_observer = hot_observer = cache_observer = None
+    if args.timeline is not None:
+        if args.timeline < 1:
+            raise _die("--timeline takes a positive instructions-per-interval count")
+        timeline_observer = EnergyTimelineObserver(
+            model, interval_instructions=args.timeline
+        )
+        observers.append(timeline_observer)
+    if args.hot:
+        hot_observer = HotSpotObserver()
+        observers.append(hot_observer)
+    if args.cache_events:
+        cache_observer = CacheEventObserver()
+        observers.append(cache_observer)
+    run_session(
+        config,
+        program,
+        observers=observers,
+        max_instructions=args.max_instructions,
     )
-    print(report.table(top=args.top))
+    region_report = profiler.report_from(region_observer, config, program)
+
+    if args.format == "json":
+        payload = {"regions": region_report.to_payload()}
+        if timeline_observer is not None:
+            payload["timeline"] = timeline_observer.report.to_payload()
+        if hot_observer is not None:
+            payload["hot_spots"] = hot_observer.report.to_payload()
+        if cache_observer is not None:
+            payload["cache_events"] = cache_observer.report.to_payload()
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    sections = [region_report.table(top=args.top)]
+    if timeline_observer is not None:
+        sections.append(timeline_observer.report.table())
+    if hot_observer is not None:
+        sections.append(hot_observer.report.table(top=args.top))
+    if cache_observer is not None:
+        sections.append(cache_observer.report.table())
+    print("\n\n".join(sections))
     return 0
 
 
@@ -568,10 +619,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_program_options(p)
     p.set_defaults(func=_cmd_reference)
 
-    p = sub.add_parser("profile", help="per-region energy decomposition")
+    p = sub.add_parser(
+        "profile",
+        help="streaming energy/execution profile (regions, timeline, hot spots)",
+    )
     p.add_argument("model", help="model JSON from `characterize`")
     add_program_options(p)
-    p.add_argument("--top", type=int, default=None, help="show only the hottest N regions")
+    p.add_argument("--top", type=int, default=None, help="show only the hottest N rows")
+    p.add_argument(
+        "--timeline",
+        type=int,
+        default=None,
+        metavar="N",
+        help="add a per-interval energy timeline (N instructions per interval)",
+    )
+    p.add_argument(
+        "--hot",
+        action="store_true",
+        help="add a hot-PC / basic-block execution histogram",
+    )
+    p.add_argument(
+        "--cache-events",
+        action="store_true",
+        help="add cache-miss / uncached-fetch / interlock event counts",
+    )
+    p.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default table)",
+    )
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")

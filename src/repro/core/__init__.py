@@ -27,6 +27,7 @@ from .profiler import (
     EnergyProfiler,
     ProfileReport,
     RegionProfile,
+    RegionStatsObserver,
     regions_from_symbols,
     stats_from_records,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "MacroModelVariable",
     "ProfileReport",
     "RegionProfile",
+    "RegionStatsObserver",
     "RegressionError",
     "RegressionResult",
     "ResourceUsage",

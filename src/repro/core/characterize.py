@@ -26,8 +26,9 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..asm import Program
+from ..obs import run_session
 from ..rtl import RtlEnergyEstimator, generate_netlist
-from ..xtcore import ExecutionStats, ProcessorConfig, Simulator
+from ..xtcore import ExecutionStats, ProcessorConfig
 from .extract import extract_variables
 from .model import EnergyMacroModel
 from .regression import (
@@ -173,11 +174,17 @@ class Characterizer:
         program: Program,
         max_instructions: int = 5_000_000,
     ) -> CharacterizationSample:
-        """Run one test program through the full characterization pipeline."""
-        result = Simulator(
-            config, program, collect_trace=True, max_instructions=max_instructions
-        ).run()
-        report = self._estimator_for(config).estimate(result)
+        """Run one test program through the full characterization pipeline.
+
+        The reference energy is accumulated online by the estimator's
+        streaming observer — no trace is materialized, so characterizing
+        long programs costs O(1) memory.
+        """
+        observer = self._estimator_for(config).observer()
+        result = run_session(
+            config, program, observers=(observer,), max_instructions=max_instructions
+        )
+        report = observer.report
         variables = extract_variables(result.stats, config, self.template)
         sample = CharacterizationSample(
             name=program.name,

@@ -20,7 +20,8 @@ import json
 import numpy as np
 
 from ..asm import Program
-from ..xtcore import ExecutionStats, ProcessorConfig, Simulator
+from ..obs import run_session
+from ..xtcore import ExecutionStats, ProcessorConfig
 from .extract import extract_variables
 from .template import (
     MacroModelTemplate,
@@ -99,9 +100,7 @@ class EnergyMacroModel:
         This is exactly what the paper promises: evaluating a candidate
         custom-instruction set needs no synthesized processor.
         """
-        result = Simulator(
-            config, program, collect_trace=False, max_instructions=max_instructions
-        ).run()
+        result = run_session(config, program, max_instructions=max_instructions)
         variables = extract_variables(result.stats, config, self.template)
         return MacroEstimate(
             program_name=program.name,

@@ -15,13 +15,19 @@ within floating-point error; a property test enforces this.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..asm import Program
 from ..isa import InstructionClass
 from ..isa.classes import BASE_ENERGY_CLASSES
-from ..xtcore import ExecutionStats, ProcessorConfig, Simulator, TraceRecord
+from ..obs.bundled import apply_event, gpr_accessing_mnemonics
+from ..obs.protocol import SimObserver
+from ..obs.session import run_session
+from ..xtcore import ExecutionStats, ProcessorConfig, TraceRecord
 from .model import EnergyMacroModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.events import RetireEvent
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,6 +117,25 @@ class ProfileReport:
         lines.append(f"{'total':<22}{self.total_energy:>14.1f}")
         return "\n".join(lines)
 
+    def to_payload(self) -> dict:
+        """JSON-ready payload (mirrors the observer reports' shape)."""
+        return {
+            "program": self.program_name,
+            "processor": self.processor_name,
+            "total_energy": self.total_energy,
+            "regions": [
+                {
+                    "name": row.name,
+                    "start": row.region.start,
+                    "end": row.region.end,
+                    "energy": row.energy,
+                    "cycles": row.cycles,
+                    "instructions": row.instructions,
+                }
+                for row in self.sorted_by_energy()
+            ],
+        }
+
 
 def _record_issue_cycles(record: TraceRecord, config: ProcessorConfig) -> int:
     """Strip penalty cycles off a trace record, leaving issue cycles."""
@@ -174,56 +199,104 @@ def stats_from_records(
     return stats
 
 
+class RegionStatsObserver(SimObserver):
+    """Streams retire events into per-region :class:`ExecutionStats`.
+
+    Replaces the trace-bucketing profiler pass: each retired instruction
+    is folded into the stats of the first region (in ascending-start
+    order) containing its address, with a per-address memo so the region
+    scan runs once per static instruction rather than once per dynamic
+    one.  Addresses outside every region accumulate into a synthetic
+    ``<unmapped>`` region spanning the stray addresses seen.
+    """
+
+    wants_retire = True
+
+    def __init__(self, regions: Sequence[CodeRegion]) -> None:
+        self.regions = sorted(regions, key=lambda region: region.start)
+        self._stats: dict[str, ExecutionStats] = {}
+        self._by_addr: dict[int, ExecutionStats] = {}
+        self._region_of: dict[int, Optional[CodeRegion]] = {}
+        self._overflow: Optional[ExecutionStats] = None
+        self._overflow_min = 0
+        self._overflow_max = 0
+        self._gpr_mnemonics: frozenset[str] = frozenset()
+
+    def on_run_start(self, config: ProcessorConfig, program: Program) -> None:
+        self._gpr_mnemonics = gpr_accessing_mnemonics(config)
+
+    def on_retire(self, event: "RetireEvent") -> None:
+        addr = event.addr
+        stats = self._by_addr.get(addr)
+        if stats is None:
+            target = None
+            for region in self.regions:
+                if addr in region:
+                    target = region
+                    break
+            self._region_of[addr] = target
+            if target is None:
+                if self._overflow is None:
+                    self._overflow = ExecutionStats()
+                    self._overflow_min = self._overflow_max = addr
+                stats = self._overflow
+            else:
+                stats = self._stats.setdefault(target.name, ExecutionStats())
+            self._by_addr[addr] = stats
+        if stats is self._overflow:
+            self._overflow_min = min(self._overflow_min, addr)
+            self._overflow_max = max(self._overflow_max, addr)
+        apply_event(stats, event, self._gpr_mnemonics)
+
+    def buckets(self) -> list[tuple[CodeRegion, ExecutionStats]]:
+        """(region, stats) pairs in region order, unmapped last; empty
+        regions are omitted."""
+        pairs = [
+            (region, self._stats[region.name])
+            for region in self.regions
+            if region.name in self._stats
+        ]
+        if self._overflow is not None:
+            pairs.append(
+                (
+                    CodeRegion(
+                        "<unmapped>", self._overflow_min, self._overflow_max + 4
+                    ),
+                    self._overflow,
+                )
+            )
+        return pairs
+
+
 class EnergyProfiler:
     """Attributes a program's macro-model energy to its code regions."""
 
     def __init__(self, model: EnergyMacroModel) -> None:
         self.model = model
 
-    def profile(
+    def observer(
         self,
-        config: ProcessorConfig,
         program: Program,
         regions: Optional[Sequence[CodeRegion]] = None,
-        max_instructions: int = 5_000_000,
-    ) -> ProfileReport:
-        """Trace one run and decompose its estimated energy by region."""
+    ) -> RegionStatsObserver:
+        """A fresh region observer for ``program`` (label-derived regions
+        by default) — register it on a session, then pass it to
+        :meth:`report_from`.  Lets callers compose the region profile with
+        other observers in a single simulation run."""
         if regions is None:
             regions = regions_from_symbols(program)
-        result = Simulator(
-            config, program, collect_trace=True, max_instructions=max_instructions
-        ).run()
-        assert result.trace is not None
+        return RegionStatsObserver(regions)
 
-        buckets: dict[str, list[TraceRecord]] = {region.name: [] for region in regions}
-        overflow: list[TraceRecord] = []
-        region_list = sorted(regions, key=lambda region: region.start)
-        for record in result.trace:
-            target = None
-            for region in region_list:
-                if record.addr in region:
-                    target = region
-                    break
-            if target is None:
-                overflow.append(record)
-            else:
-                buckets[target.name].append(record)
-
+    def report_from(
+        self,
+        observer: RegionStatsObserver,
+        config: ProcessorConfig,
+        program: Program,
+    ) -> ProfileReport:
+        """Decompose a completed region observer into a :class:`ProfileReport`."""
         profiles: list[RegionProfile] = []
-        all_regions = list(region_list)
-        if overflow:
-            start = min(record.addr for record in overflow)
-            end = max(record.addr for record in overflow) + 4
-            region = CodeRegion("<unmapped>", start, end)
-            all_regions.append(region)
-            buckets[region.name] = overflow
-
         total = 0.0
-        for region in all_regions:
-            records = buckets[region.name]
-            if not records:
-                continue
-            stats = stats_from_records(records, config)
+        for region, stats in observer.buckets():
             energy = self.model.estimate_from_stats(stats, config)
             total += energy
             profiles.append(
@@ -242,3 +315,24 @@ class EnergyProfiler:
             regions=profiles,
             total_energy=total,
         )
+
+    def profile(
+        self,
+        config: ProcessorConfig,
+        program: Program,
+        regions: Optional[Sequence[CodeRegion]] = None,
+        max_instructions: int = 5_000_000,
+    ) -> ProfileReport:
+        """Run once, decomposing the estimated energy by region online.
+
+        Region statistics accumulate in a streaming observer, so no trace
+        is materialized and peak memory is independent of run length.
+        """
+        observer = self.observer(program, regions)
+        run_session(
+            config,
+            program,
+            observers=(observer,),
+            max_instructions=max_instructions,
+        )
+        return self.report_from(observer, config, program)

@@ -39,7 +39,8 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from ..asm import Program
-from ..xtcore import ProcessorConfig, SimulationResult, Simulator
+from ..obs.session import DEFAULT_MAX_INSTRUCTIONS, SessionFn, run_session
+from ..xtcore import ProcessorConfig, SimulationResult
 from .characterize import (
     CharacterizationResult,
     CharacterizationSample,
@@ -49,7 +50,11 @@ from .characterize import (
 from .coverage import CoverageReport, audit_coverage
 from .extract import extract_variables
 
-#: ``simulate(config, program, collect_trace, max_instructions)`` seam.
+#: Legacy positional ``simulate(config, program, collect_trace,
+#: max_instructions)`` seam shape.  The runner now invokes its simulation
+#: stage with keyword arguments (the :data:`~repro.obs.session.SessionFn`
+#: contract); callables of this legacy shape keep working as long as they
+#: use the standard parameter names.
 SimulateFn = Callable[[ProcessorConfig, Program, bool, int], SimulationResult]
 
 #: ``estimate_energy(config, sim_result) -> float`` seam.
@@ -89,13 +94,20 @@ class CheckpointError(ValueError):
 def default_simulate(
     config: ProcessorConfig,
     program: Program,
-    collect_trace: bool,
-    max_instructions: int,
+    collect_trace: bool = False,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
 ) -> SimulationResult:
-    """The production simulation stage (fault harnesses wrap this)."""
-    return Simulator(
-        config, program, collect_trace=collect_trace, max_instructions=max_instructions
-    ).run()
+    """Positional-compatibility wrapper around :func:`repro.obs.run_session`.
+
+    The production simulation stage is :func:`~repro.obs.session.run_session`
+    itself; this shim keeps the pre-session positional call shape working.
+    """
+    return run_session(
+        config,
+        program,
+        collect_trace=collect_trace,
+        max_instructions=max_instructions,
+    )
 
 
 def default_estimate(characterizer: Characterizer) -> EstimateFn:
@@ -286,6 +298,11 @@ class CharacterizationRunner:
         surviving samples no longer span the template.
     simulate / estimate_energy:
         Injectable pipeline stages (used by the fault-injection harness).
+        ``simulate`` is invoked with keyword arguments per the
+        :data:`~repro.obs.session.SessionFn` contract — wrap it with
+        :meth:`repro.testing.faults.FaultPlan.wrap_session`; legacy
+        positional-signature callables keep working as long as their
+        parameters are named ``collect_trace`` / ``max_instructions``.
     """
 
     def __init__(
@@ -298,7 +315,7 @@ class CharacterizationRunner:
         max_failures: Optional[int] = None,
         degradation: str = "warn",
         progress: Optional[Callable[[str], None]] = None,
-        simulate: Optional[SimulateFn] = None,
+        simulate: Optional[SessionFn] = None,
         estimate_energy: Optional[EstimateFn] = None,
     ) -> None:
         if degradation not in ("warn", "strict"):
@@ -315,7 +332,7 @@ class CharacterizationRunner:
         self.degradation = degradation
         self.progress = progress
         self.failures: list[SampleFailure] = []
-        self._simulate = simulate if simulate is not None else default_simulate
+        self._simulate: SessionFn = simulate if simulate is not None else run_session
         self._estimate = (
             estimate_energy
             if estimate_energy is not None
@@ -457,8 +474,12 @@ class CharacterizationRunner:
                 stage = "simulate"
                 if attempt > 1 and self.retry.probe_without_trace:
                     # cheap termination probe before paying for the trace
-                    self._simulate(config, program, False, budget)
-                sim = self._simulate(config, program, True, budget)
+                    self._simulate(
+                        config, program, collect_trace=False, max_instructions=budget
+                    )
+                sim = self._simulate(
+                    config, program, collect_trace=True, max_instructions=budget
+                )
                 stage = "estimate"
                 energy = float(self._estimate(config, sim))
                 stage = "extract"

@@ -1,0 +1,423 @@
+"""Observability observers: energy timeline, hot spots, cache events.
+
+Three ready-made :class:`~repro.obs.protocol.SimObserver` implementations
+that answer the operational questions a pluggable event stream unlocks —
+*when* does a program burn energy (per-interval timeline driven by the
+fitted macro-model), *where* does it execute (hot-PC / basic-block
+histogram), and *what* does its memory system do (cache-event tracker).
+All three are O(program)-memory streaming consumers: none of them
+materializes the execution trace.
+
+Each observer exposes a ``report`` property after the run finishes; the
+reports render as aligned text tables or JSON-ready payloads, which is
+what the ``repro profile`` CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+from .bundled import apply_event, gpr_accessing_mnemonics
+from .events import RetireEvent
+from .protocol import SimObserver
+from .records import ExecutionStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..asm import Program
+    from ..core.model import EnergyMacroModel
+    from ..xtcore import ProcessorConfig, SimulationResult
+
+
+class ObserverStateError(RuntimeError):
+    """A report was requested before the observed run finished."""
+
+
+def _require(report, name: str):
+    if report is None:
+        raise ObserverStateError(
+            f"{name} has no report yet; register it with run_session() and "
+            "read .report after the run finishes"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# energy timeline
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class TimelineInterval:
+    """One slice of the run, with its macro-model energy attribution."""
+
+    index: int
+    start_instruction: int
+    instructions: int
+    cycles: int
+    energy: float
+
+    @property
+    def energy_per_cycle(self) -> float:
+        return self.energy / self.cycles if self.cycles else 0.0
+
+
+@dataclasses.dataclass
+class TimelineReport:
+    """Per-interval energy decomposition of one run."""
+
+    program_name: str
+    processor_name: str
+    interval_instructions: int
+    intervals: list[TimelineInterval]
+    total_energy: float
+
+    def table(self) -> str:
+        lines = [
+            f"energy timeline: {self.program_name} on {self.processor_name} "
+            f"({self.interval_instructions} instructions/interval)",
+            f"{'interval':>8}{'instrs':>9}{'cycles':>9}{'energy':>14}{'e/cycle':>10}  profile",
+            "-" * 72,
+        ]
+        peak = max((iv.energy_per_cycle for iv in self.intervals), default=0.0)
+        for iv in self.intervals:
+            bar = "#" * int(round(18 * iv.energy_per_cycle / peak)) if peak else ""
+            lines.append(
+                f"{iv.index:>8}{iv.instructions:>9}{iv.cycles:>9}"
+                f"{iv.energy:>14.1f}{iv.energy_per_cycle:>10.2f}  {bar}"
+            )
+        lines.append("-" * 72)
+        lines.append(f"{'total':>8}{'':>18}{self.total_energy:>14.1f}")
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        return {
+            "program": self.program_name,
+            "processor": self.processor_name,
+            "interval_instructions": self.interval_instructions,
+            "total_energy": self.total_energy,
+            "intervals": [
+                {
+                    "index": iv.index,
+                    "start_instruction": iv.start_instruction,
+                    "instructions": iv.instructions,
+                    "cycles": iv.cycles,
+                    "energy": iv.energy,
+                }
+                for iv in self.intervals
+            ],
+        }
+
+
+class EnergyTimelineObserver(SimObserver):
+    """Streams the run into fixed-size instruction intervals and charges
+    each with the fitted macro-model — "when does the energy go?".
+
+    Because the macro-model is linear in the stats, the interval energies
+    sum exactly to the whole-run macro-model estimate (same property the
+    region profiler relies on).
+    """
+
+    wants_retire = True
+
+    def __init__(self, model: "EnergyMacroModel", interval_instructions: int = 1000) -> None:
+        if interval_instructions < 1:
+            raise ValueError(
+                f"interval_instructions must be >= 1, got {interval_instructions}"
+            )
+        self.model = model
+        self.interval_instructions = interval_instructions
+        self._config: Optional["ProcessorConfig"] = None
+        self._gpr: frozenset = frozenset()
+        self._current = ExecutionStats()
+        self._start_instruction = 0
+        self._intervals: list[TimelineInterval] = []
+        self._report: Optional[TimelineReport] = None
+
+    def on_run_start(self, config: "ProcessorConfig", program: "Program") -> None:
+        self._config = config
+        self._gpr = gpr_accessing_mnemonics(config)
+        self._current = ExecutionStats()
+        self._start_instruction = 0
+        self._intervals = []
+        self._report = None
+
+    def _close_interval(self) -> None:
+        stats = self._current
+        if stats.total_instructions == 0:
+            return
+        energy = self.model.estimate_from_stats(stats, self._config)
+        self._intervals.append(
+            TimelineInterval(
+                index=len(self._intervals),
+                start_instruction=self._start_instruction,
+                instructions=stats.total_instructions,
+                cycles=stats.total_cycles,
+                energy=energy,
+            )
+        )
+        self._start_instruction += stats.total_instructions
+        self._current = ExecutionStats()
+
+    def on_retire(self, event: RetireEvent) -> None:
+        apply_event(self._current, event, self._gpr)
+        if self._current.total_instructions >= self.interval_instructions:
+            self._close_interval()
+
+    def on_run_finish(self, result: "SimulationResult") -> None:
+        self._close_interval()
+        self._report = TimelineReport(
+            program_name=result.program.name,
+            processor_name=result.config.name,
+            interval_instructions=self.interval_instructions,
+            intervals=self._intervals,
+            total_energy=sum(iv.energy for iv in self._intervals),
+        )
+
+    @property
+    def report(self) -> TimelineReport:
+        return _require(self._report, type(self).__name__)
+
+
+# ---------------------------------------------------------------------------
+# hot-PC / basic-block histogram
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class HotSpot:
+    """One hot location — a PC or a labelled block."""
+
+    location: str
+    addr: int
+    count: int
+    cycles: int
+
+
+@dataclasses.dataclass
+class HotSpotReport:
+    """Execution histogram of one run, by PC and by labelled block."""
+
+    program_name: str
+    total_instructions: int
+    total_cycles: int
+    pcs: list[HotSpot]
+    blocks: list[HotSpot]
+
+    def table(self, top: Optional[int] = None) -> str:
+        lines = [f"hot spots: {self.program_name}"]
+        for title, rows in (("block", self.blocks), ("pc", self.pcs)):
+            shown = rows if top is None else rows[:top]
+            lines.append(f"{title:<26}{'count':>10}{'cycles':>10}{'cyc share':>10}")
+            lines.append("-" * 56)
+            for spot in shown:
+                share = (
+                    100.0 * spot.cycles / self.total_cycles if self.total_cycles else 0.0
+                )
+                lines.append(
+                    f"{spot.location:<26}{spot.count:>10}{spot.cycles:>10}{share:>9.1f}%"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+    def to_payload(self) -> dict:
+        def rows(spots: list[HotSpot]) -> list[dict]:
+            return [
+                {
+                    "location": s.location,
+                    "addr": s.addr,
+                    "count": s.count,
+                    "cycles": s.cycles,
+                }
+                for s in spots
+            ]
+
+        return {
+            "program": self.program_name,
+            "total_instructions": self.total_instructions,
+            "total_cycles": self.total_cycles,
+            "blocks": rows(self.blocks),
+            "pcs": rows(self.pcs),
+        }
+
+
+class HotSpotObserver(SimObserver):
+    """Counts executions and cycles per PC, aggregated into labelled blocks.
+
+    Memory is bounded by the *static* program size (one counter pair per
+    distinct executed address), not by the dynamic instruction count.
+    """
+
+    wants_retire = True
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._cycles: dict[int, int] = {}
+        self._label_addrs: list[int] = []
+        self._label_names: list[str] = []
+        self._report: Optional[HotSpotReport] = None
+
+    def on_run_start(self, config: "ProcessorConfig", program: "Program") -> None:
+        self._counts = {}
+        self._cycles = {}
+        self._report = None
+        text_addresses = set(program.instructions)
+        labels = sorted(
+            (addr, name)
+            for name, addr in program.symbols.items()
+            if addr in text_addresses
+        )
+        self._label_addrs = [addr for addr, _ in labels]
+        self._label_names = [name for _, name in labels]
+
+    def on_retire(self, event: RetireEvent) -> None:
+        addr = event.addr
+        self._counts[addr] = self._counts.get(addr, 0) + 1
+        self._cycles[addr] = self._cycles.get(addr, 0) + event.cycles
+
+    def _label_of(self, addr: int) -> tuple[str, int]:
+        """(block label, block start) containing ``addr``."""
+        i = bisect.bisect_right(self._label_addrs, addr) - 1
+        if i < 0:
+            return "<prologue>", addr
+        return self._label_names[i], self._label_addrs[i]
+
+    def on_run_finish(self, result: "SimulationResult") -> None:
+        pcs = []
+        block_counts: dict[tuple[str, int], list[int]] = {}
+        for addr, count in self._counts.items():
+            cycles = self._cycles[addr]
+            label, start = self._label_of(addr)
+            offset = addr - start
+            location = label if offset == 0 else f"{label}+{offset:#x}"
+            pcs.append(HotSpot(location=location, addr=addr, count=count, cycles=cycles))
+            bucket = block_counts.setdefault((label, start), [0, 0])
+            bucket[0] += count
+            bucket[1] += cycles
+        pcs.sort(key=lambda s: (-s.cycles, s.addr))
+        blocks = [
+            HotSpot(location=label, addr=start, count=count, cycles=cycles)
+            for (label, start), (count, cycles) in block_counts.items()
+        ]
+        blocks.sort(key=lambda s: (-s.cycles, s.addr))
+        self._report = HotSpotReport(
+            program_name=result.program.name,
+            total_instructions=result.stats.total_instructions,
+            total_cycles=result.stats.total_cycles,
+            pcs=pcs,
+            blocks=blocks,
+        )
+
+    @property
+    def report(self) -> HotSpotReport:
+        return _require(self._report, type(self).__name__)
+
+
+# ---------------------------------------------------------------------------
+# cache-event tracker
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CacheEventReport:
+    """Counts (and hottest addresses) of the four penalty event kinds."""
+
+    program_name: str
+    icache_misses: int
+    dcache_misses: int
+    uncached_fetches: int
+    interlocks: int
+    hot_icache_lines: list[tuple[int, int]]  # (addr, misses), descending
+    hot_dcache_lines: list[tuple[int, int]]
+
+    def table(self, top: int = 8) -> str:
+        lines = [
+            f"cache events: {self.program_name}",
+            f"  icache misses    {self.icache_misses:>10}",
+            f"  dcache misses    {self.dcache_misses:>10}",
+            f"  uncached fetches {self.uncached_fetches:>10}",
+            f"  interlocks       {self.interlocks:>10}",
+        ]
+        for title, rows in (
+            ("hot icache-miss addresses", self.hot_icache_lines),
+            ("hot dcache-miss addresses", self.hot_dcache_lines),
+        ):
+            if rows:
+                lines.append(f"  {title}:")
+                for addr, misses in rows[:top]:
+                    lines.append(f"    {addr:#010x}  {misses}")
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        return {
+            "program": self.program_name,
+            "icache_misses": self.icache_misses,
+            "dcache_misses": self.dcache_misses,
+            "uncached_fetches": self.uncached_fetches,
+            "interlocks": self.interlocks,
+            "hot_icache_lines": [
+                {"addr": addr, "misses": n} for addr, n in self.hot_icache_lines
+            ],
+            "hot_dcache_lines": [
+                {"addr": addr, "misses": n} for addr, n in self.hot_dcache_lines
+            ],
+        }
+
+
+class CacheEventObserver(SimObserver):
+    """Subscribes to the fine-grained event callbacks only — no retire
+    stream — demonstrating the cheapest possible observer granularity."""
+
+    wants_retire = False
+    wants_events = True
+
+    def __init__(self) -> None:
+        self.icache_misses = 0
+        self.dcache_misses = 0
+        self.uncached_fetches = 0
+        self.interlocks = 0
+        self._icache_by_addr: dict[int, int] = {}
+        self._dcache_by_addr: dict[int, int] = {}
+        self._report: Optional[CacheEventReport] = None
+
+    def on_run_start(self, config: "ProcessorConfig", program: "Program") -> None:
+        self.icache_misses = 0
+        self.dcache_misses = 0
+        self.uncached_fetches = 0
+        self.interlocks = 0
+        self._icache_by_addr = {}
+        self._dcache_by_addr = {}
+        self._report = None
+
+    def on_icache_miss(self, addr: int) -> None:
+        self.icache_misses += 1
+        self._icache_by_addr[addr] = self._icache_by_addr.get(addr, 0) + 1
+
+    def on_dcache_miss(self, addr: int) -> None:
+        self.dcache_misses += 1
+        self._dcache_by_addr[addr] = self._dcache_by_addr.get(addr, 0) + 1
+
+    def on_uncached_fetch(self, addr: int) -> None:
+        self.uncached_fetches += 1
+
+    def on_interlock(self, addr: int) -> None:
+        self.interlocks += 1
+
+    def on_run_finish(self, result: "SimulationResult") -> None:
+        def ranked(by_addr: dict[int, int]) -> list[tuple[int, int]]:
+            return sorted(by_addr.items(), key=lambda kv: (-kv[1], kv[0]))
+
+        self._report = CacheEventReport(
+            program_name=result.program.name,
+            icache_misses=self.icache_misses,
+            dcache_misses=self.dcache_misses,
+            uncached_fetches=self.uncached_fetches,
+            interlocks=self.interlocks,
+            hot_icache_lines=ranked(self._icache_by_addr),
+            hot_dcache_lines=ranked(self._dcache_by_addr),
+        )
+
+    @property
+    def report(self) -> CacheEventReport:
+        return _require(self._report, type(self).__name__)

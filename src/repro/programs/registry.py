@@ -10,11 +10,12 @@ benchmark in the suite is *verified*, not just executed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..asm import Program, assemble
+from ..obs import SimObserver, run_session
 from ..tie import TieSpec
-from ..xtcore import ProcessorConfig, SimulationResult, Simulator, build_processor
+from ..xtcore import ProcessorConfig, SimulationResult, build_processor
 
 SpecFactory = Callable[[], TieSpec]
 CheckFn = Callable[[SimulationResult], None]
@@ -62,19 +63,28 @@ class BenchmarkCase:
     def program(self) -> Program:
         return self.build()[1]
 
-    def run(self, collect_trace: bool = False) -> SimulationResult:
+    def run(
+        self,
+        collect_trace: bool = False,
+        observers: Sequence[SimObserver] = (),
+    ) -> SimulationResult:
         """Simulate the case (does not run the functional check)."""
         config, program = self.build()
-        return Simulator(
+        return run_session(
             config,
             program,
+            observers=observers,
             collect_trace=collect_trace,
             max_instructions=self.max_instructions,
-        ).run()
+        )
 
-    def run_verified(self, collect_trace: bool = False) -> SimulationResult:
+    def run_verified(
+        self,
+        collect_trace: bool = False,
+        observers: Sequence[SimObserver] = (),
+    ) -> SimulationResult:
         """Simulate and run the functional check (if any)."""
-        result = self.run(collect_trace=collect_trace)
+        result = self.run(collect_trace=collect_trace, observers=observers)
         self.verify(result)
         return result
 

@@ -1,8 +1,8 @@
 """Reference RTL-level energy estimator (WattWatcher substitute).
 
 This is the paper's *ground truth*: a slow, detailed, structural energy
-simulation of the generated processor running one program.  It walks the
-full dynamic execution trace and charges every hardware block — base-core
+simulation of the generated processor running one program.  It consumes
+the dynamic execution stream and charges every hardware block — base-core
 blocks, custom-hardware instances and auto-generated control logic —
 per-cycle energies that depend on
 
@@ -20,15 +20,30 @@ Because the charge is per-instruction and data-dependent while the
 macro-model sees only class-level aggregates, the macro-model's fit has
 an irreducible error of a few percent — reproducing the paper's Fig. 3 /
 Table II error profile rather than a degenerate exact fit.
+
+Two consumption modes share one switching-activity accumulator:
+
+* **streaming** (:meth:`RtlEnergyEstimator.observer` /
+  :meth:`~RtlEnergyEstimator.estimate_program`): an observer subscribed
+  to the simulator's retire-event stream computes data-dependent
+  switching activity *online* — one pass, O(1) trace memory; and
+* **materialized** (:meth:`~RtlEnergyEstimator.estimate`): the
+  compatibility path over a ``collect_trace=True`` trace list.
+
+Both walk identical arithmetic over identical per-instruction values, so
+their energy reports agree exactly.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING, Optional
 
 from ..hwlib import ComponentInstance
 from ..isa import InstructionClass, hamming_distance
-from ..xtcore import ProcessorConfig, SimulationResult, Simulator
+from ..obs.protocol import SimObserver
+from ..obs.session import run_session
+from ..xtcore import ProcessorConfig, SimulationResult
 from ..asm import Program
 from .blocks import (
     BLOCKS_BY_NAME,
@@ -39,6 +54,9 @@ from .blocks import (
     stable_unit_variation,
 )
 from .netlist import ProcessorNetlist, generate_netlist
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.events import RetireEvent
 
 #: Floor of the switching-activity factor: even a quiet block precharges
 #: lines, clocks registers and drives control nets when accessed, so the
@@ -81,6 +99,278 @@ class EnergyReport:
             share = 100.0 * value / self.total if self.total else 0.0
             lines.append(f"  {group:<12} {value:12.1f}  ({share:4.1f}%)")
         return "\n".join(lines)
+
+
+class _ActivityAccumulator:
+    """Online switching-activity integration over one execution stream.
+
+    Accepts :class:`~repro.obs.records.TraceRecord` and
+    :class:`~repro.obs.events.RetireEvent` interchangeably (identical
+    field layout) and never retains a reference past the
+    :meth:`feed` call, so streaming consumption is O(1) in trace length.
+    """
+
+    def __init__(self, estimator: "RtlEnergyEstimator") -> None:
+        self._est = estimator
+        self.by_block: dict[str, float] = {name: 0.0 for name in estimator._blocks}
+        for instance in estimator.netlist.custom_instances:
+            self.by_block[instance.name] = 0.0
+        self.by_block["tie_control"] = 0.0
+        self.groups = {
+            "base_core": 0.0,
+            "custom_hw": 0.0,
+            "events": 0.0,
+            "control": 0.0,
+            "idle": 0.0,
+        }
+        mean_toggle = (_TOGGLE_FLOOR + 1.0) / 2.0
+        if estimator.data_dependent:
+            self._toggle_of = _toggle_factor
+        else:
+            def toggle_of(previous: int, current: int, width: int = 32) -> float:
+                return mean_toggle
+
+            self._toggle_of = toggle_of
+        # Activity history (per consumer context).
+        self._prev_pc = 0
+        self._prev_alu = (0, 0)
+        self._prev_mul = (0, 0)
+        self._prev_shift = (0, 0)
+        self._prev_mem = 0
+        self._prev_bus = (0, 0)
+        self._prev_custom: dict[str, tuple[int, ...]] = {}
+
+    def feed(self, record: "RetireEvent | object") -> None:
+        """Charge every block touched by one retired instruction."""
+        est = self._est
+        by_block = self.by_block
+        groups = self.groups
+        blocks = est._blocks
+        extensions = est.config.extension_index
+        control = est.netlist.control
+        toggle_of = self._toggle_of
+
+        def charge(block: str, amount: float, group: str) -> None:
+            by_block[block] += amount
+            groups[group] += amount
+
+        operands = record.operands
+        cycles = record.cycles
+
+        # ---- fetch + decode (every instruction) ----------------------
+        fetch_toggle = toggle_of(self._prev_pc, record.addr)
+        charge("fetch_unit", blocks["fetch_unit"].active_energy * fetch_toggle, "base_core")
+        self._prev_pc = record.addr
+        decode_var = est._decode_variation.get(record.mnemonic)
+        if decode_var is None:
+            if est.data_dependent:
+                decode_var = stable_unit_variation(
+                    "decode/" + record.mnemonic, spread=0.06
+                )
+            else:
+                decode_var = 1.0
+            est._decode_variation[record.mnemonic] = decode_var
+        charge(
+            "instruction_decoder",
+            blocks["instruction_decoder"].active_energy * decode_var,
+            "base_core",
+        )
+        if not record.uncached_fetch:
+            charge("icache", blocks["icache"].active_energy * fetch_toggle, "base_core")
+        if extensions:
+            # The generated TIE decoder examines every fetched opcode.
+            charge("tie_control", control.decode_energy, "control")
+
+        # ---- register file -------------------------------------------
+        port_uses = len(operands) + (1 if record.result or record.iclass in (
+            InstructionClass.ARITH, InstructionClass.LOAD, InstructionClass.CUSTOM
+        ) else 0)
+        if port_uses:
+            # Decode, word-line precharge etc. dominate; the marginal
+            # cost of extra ports is sub-linear.
+            port_factor = 0.55 + 0.15 * min(port_uses, 3)
+            charge(
+                "register_file",
+                blocks["register_file"].active_energy * port_factor,
+                "base_core",
+            )
+
+        # ---- execution units ------------------------------------------
+        iclass = record.iclass
+        if iclass is InstructionClass.ARITH:
+            a = operands[0] if operands else 0
+            b = operands[1] if len(operands) > 1 else record.result
+            if record.mnemonic in MULTIPLIER_MNEMONICS:
+                toggle = (
+                    toggle_of(self._prev_mul[0], a) + toggle_of(self._prev_mul[1], b)
+                ) / 2.0
+                self._prev_mul = (a, b)
+                active_cycles = est._latency[record.mnemonic]
+                charge(
+                    "base_multiplier",
+                    blocks["base_multiplier"].active_energy * toggle * active_cycles,
+                    "base_core",
+                )
+            elif record.mnemonic in SHIFTER_MNEMONICS:
+                toggle = toggle_of(self._prev_shift[0], a)
+                self._prev_shift = (a, b)
+                charge("base_shifter", blocks["base_shifter"].active_energy * toggle, "base_core")
+            else:
+                toggle = (
+                    toggle_of(self._prev_alu[0], a) + toggle_of(self._prev_alu[1], b)
+                ) / 2.0
+                self._prev_alu = (a, b)
+                # Iterative units (divide/remainder) keep the ALU busy
+                # for every issue cycle.
+                active_cycles = est._latency[record.mnemonic]
+                charge(
+                    "alu",
+                    blocks["alu"].active_energy * toggle * active_cycles,
+                    "base_core",
+                )
+        elif iclass in (InstructionClass.LOAD, InstructionClass.STORE):
+            addr = record.mem_addr or 0
+            toggle = toggle_of(self._prev_mem, addr)
+            self._prev_mem = addr
+            charge("load_store_unit", blocks["load_store_unit"].active_energy * toggle, "base_core")
+            charge("dcache", blocks["dcache"].active_energy * toggle, "base_core")
+        elif iclass in (
+            InstructionClass.JUMP,
+            InstructionClass.BRANCH_TAKEN,
+            InstructionClass.BRANCH_UNTAKEN,
+        ):
+            # Compare/target logic rides on the ALU; taken control flow
+            # additionally re-steers the fetch unit.
+            charge("alu", blocks["alu"].active_energy * 0.6, "base_core")
+            if iclass is not InstructionClass.BRANCH_UNTAKEN:
+                charge("fetch_unit", blocks["fetch_unit"].active_energy * 0.8, "base_core")
+
+        # ---- custom instruction execution ------------------------------
+        if iclass is InstructionClass.CUSTOM:
+            impl = extensions[record.mnemonic]
+            previous = self._prev_custom.get(record.mnemonic)
+            toggle = _TOGGLE_FLOOR + (1.0 - _TOGGLE_FLOOR) * 0.5
+            if est.data_dependent and previous is not None and operands:
+                widths = est._custom_widths.get(record.mnemonic, ())
+                densities = [
+                    hamming_distance(p, c, width) / width
+                    for p, c, width in zip(
+                        previous, operands, widths or (32,) * len(operands)
+                    )
+                ]
+                mean_density = sum(densities) / len(densities)
+                toggle = _TOGGLE_FLOOR + (1.0 - _TOGGLE_FLOOR) * mean_density
+            self._prev_custom[record.mnemonic] = operands
+            for instance in impl.instances:
+                active = len(impl.active_cycles[instance.name])
+                if not active:
+                    continue
+                energy = est._instance_energy[instance.name] * toggle * active
+                charge(instance.name, energy, "custom_hw")
+            # A multi-cycle custom instruction stalls issue but keeps
+            # the decode latches, register-file ports and bypass logic
+            # engaged every cycle it occupies the pipeline.
+            extra_cycles = impl.latency - 1
+            if extra_cycles:
+                charge(
+                    "instruction_decoder",
+                    blocks["instruction_decoder"].active_energy * decode_var * extra_cycles,
+                    "base_core",
+                )
+                if port_uses:
+                    charge(
+                        "register_file",
+                        blocks["register_file"].active_energy * port_factor * extra_cycles,
+                        "base_core",
+                    )
+            if impl.accesses_gpr:
+                charge("tie_control", control.bypass_energy * impl.latency, "control")
+
+        # ---- spurious operand-bus activation ----------------------------
+        elif operands and est._taps:
+            a = operands[0]
+            b = operands[1] if len(operands) > 1 else 0
+            bus_toggle = (
+                toggle_of(self._prev_bus[0], a) + toggle_of(self._prev_bus[1], b)
+            ) / 2.0
+            self._prev_bus = (a, b)
+            for instance, nominal in est._taps:
+                charge(
+                    instance.name,
+                    nominal * SPURIOUS_INPUT_STAGE_WEIGHT * bus_toggle,
+                    "custom_hw",
+                )
+
+        # ---- events ------------------------------------------------------
+        if record.icache_miss:
+            charge("bus_interface", EVENT_ENERGY["icache_miss"], "events")
+        if record.dcache_miss:
+            charge("bus_interface", EVENT_ENERGY["dcache_miss"], "events")
+        if record.uncached_fetch:
+            charge("bus_interface", EVENT_ENERGY["uncached_fetch"], "events")
+        if record.interlock:
+            charge("pipeline_control", EVENT_ENERGY["interlock"], "events")
+
+        # ---- per-cycle clock / pipeline / idle ----------------------------
+        charge("pipeline_control", blocks["pipeline_control"].active_energy * cycles, "base_core")
+        charge("clock_tree", blocks["clock_tree"].active_energy * cycles, "base_core")
+        idle = (est._base_idle_per_cycle + est._custom_idle_per_cycle) * cycles
+        charge("clock_tree", idle, "idle")
+
+    def finish(self, program_name: str, cycles: int, instructions: int) -> EnergyReport:
+        """Package the accumulated charges into an :class:`EnergyReport`."""
+        return EnergyReport(
+            program_name=program_name,
+            processor_name=self._est.config.name,
+            total=sum(self.groups.values()),
+            by_block=self.by_block,
+            by_group=self.groups,
+            cycles=cycles,
+            instructions=instructions,
+        )
+
+
+class RtlEnergyObserver(SimObserver):
+    """Streams retire events into a switching-activity accumulator.
+
+    Register one on a :func:`repro.obs.run_session` run (no trace
+    collection needed) and read :attr:`report` after the run — the
+    streaming reference path: one pass, peak trace memory independent of
+    instruction count.
+    """
+
+    wants_retire = True
+    #: operand-result values feed the register-file port model
+    needs_result = True
+
+    def __init__(self, estimator: "RtlEnergyEstimator") -> None:
+        self._estimator = estimator
+        self._accumulator: Optional[_ActivityAccumulator] = None
+        self._report: Optional[EnergyReport] = None
+
+    def on_run_start(self, config: ProcessorConfig, program: Program) -> None:
+        self._estimator._check_config(config, source="run")
+        self._accumulator = _ActivityAccumulator(self._estimator)
+        self._report = None
+
+    def on_retire(self, event: "RetireEvent") -> None:
+        self._accumulator.feed(event)
+
+    def on_run_finish(self, result: SimulationResult) -> None:
+        self._report = self._accumulator.finish(
+            result.program.name,
+            result.stats.total_cycles,
+            result.stats.total_instructions,
+        )
+
+    @property
+    def report(self) -> EnergyReport:
+        if self._report is None:
+            raise ValueError(
+                "no energy report yet; the observer must complete a "
+                "run_session() run before its report is read"
+            )
+        return self._report
 
 
 class RtlEnergyEstimator:
@@ -139,235 +429,67 @@ class RtlEnergyEstimator:
 
     # -- public API -----------------------------------------------------------
 
+    def _check_config(self, other: ProcessorConfig, source: str) -> None:
+        """Reject execution streams produced on a content-different config.
+
+        Names can collide across content-different configs, so the error
+        reports content fingerprints of both sides.
+        """
+        if other is self.config or other.fingerprint() == self.config.fingerprint():
+            return
+        noun = "trace" if source == "trace" else "simulation run"
+        raise ValueError(
+            f"{noun} was produced on {other.name!r} "
+            f"(fingerprint {other.fingerprint()[:12]}), but this estimator "
+            f"models {self.config.name!r} "
+            f"(fingerprint {self.config.fingerprint()[:12]})"
+        )
+
+    def observer(self) -> RtlEnergyObserver:
+        """A fresh streaming observer bound to this estimator's netlist."""
+        return RtlEnergyObserver(self)
+
     def estimate(self, result: SimulationResult) -> EnergyReport:
-        """Estimate the energy of a simulated run (requires a full trace)."""
+        """Estimate the energy of a simulated run (requires a full trace).
+
+        Compatibility path over a materialized trace; the streaming
+        observer computes the identical report without one.
+        """
         if result.trace is None:
             raise ValueError(
-                "RTL estimation needs a full execution trace; simulate with collect_trace=True"
+                "RTL estimation needs a full execution trace; simulate with "
+                "collect_trace=True, or use the streaming observer() / "
+                "estimate_program() path which needs no trace at all"
             )
-        if (
-            result.config is not self.config
-            and result.config.fingerprint() != self.config.fingerprint()
-        ):
-            raise ValueError(
-                f"trace was produced on {result.config.name!r}, "
-                f"but this estimator models {self.config.name!r}"
-            )
-
-        by_block: dict[str, float] = {name: 0.0 for name in self._blocks}
-        for instance in self.netlist.custom_instances:
-            by_block[instance.name] = 0.0
-        by_block["tie_control"] = 0.0
-
-        groups = {"base_core": 0.0, "custom_hw": 0.0, "events": 0.0, "control": 0.0, "idle": 0.0}
-
-        blocks = self._blocks
-        extensions = self.config.extension_index
-        control = self.netlist.control
-        mean_toggle = (_TOGGLE_FLOOR + 1.0) / 2.0
-
-        if self.data_dependent:
-            toggle_of = _toggle_factor
-        else:
-            def toggle_of(previous: int, current: int, width: int = 32) -> float:
-                return mean_toggle
-
-        # Activity history (per consumer context).
-        prev_pc = 0
-        prev_alu = (0, 0)
-        prev_mul = (0, 0)
-        prev_shift = (0, 0)
-        prev_mem = 0
-        prev_bus = (0, 0)
-        prev_custom: dict[str, tuple[int, ...]] = {}
-
-        def charge(block: str, amount: float, group: str) -> None:
-            by_block[block] += amount
-            groups[group] += amount
-
+        self._check_config(result.config, source="trace")
+        accumulator = _ActivityAccumulator(self)
         for record in result.trace:
-            operands = record.operands
-            cycles = record.cycles
-
-            # ---- fetch + decode (every instruction) ----------------------
-            fetch_toggle = toggle_of(prev_pc, record.addr)
-            charge("fetch_unit", blocks["fetch_unit"].active_energy * fetch_toggle, "base_core")
-            prev_pc = record.addr
-            decode_var = self._decode_variation.get(record.mnemonic)
-            if decode_var is None:
-                if self.data_dependent:
-                    decode_var = stable_unit_variation(
-                        "decode/" + record.mnemonic, spread=0.06
-                    )
-                else:
-                    decode_var = 1.0
-                self._decode_variation[record.mnemonic] = decode_var
-            charge(
-                "instruction_decoder",
-                blocks["instruction_decoder"].active_energy * decode_var,
-                "base_core",
-            )
-            if not record.uncached_fetch:
-                charge("icache", blocks["icache"].active_energy * fetch_toggle, "base_core")
-            if extensions:
-                # The generated TIE decoder examines every fetched opcode.
-                charge("tie_control", control.decode_energy, "control")
-
-            # ---- register file -------------------------------------------
-            port_uses = len(operands) + (1 if record.result or record.iclass in (
-                InstructionClass.ARITH, InstructionClass.LOAD, InstructionClass.CUSTOM
-            ) else 0)
-            if port_uses:
-                # Decode, word-line precharge etc. dominate; the marginal
-                # cost of extra ports is sub-linear.
-                port_factor = 0.55 + 0.15 * min(port_uses, 3)
-                charge(
-                    "register_file",
-                    blocks["register_file"].active_energy * port_factor,
-                    "base_core",
-                )
-
-            # ---- execution units ------------------------------------------
-            iclass = record.iclass
-            if iclass is InstructionClass.ARITH:
-                a = operands[0] if operands else 0
-                b = operands[1] if len(operands) > 1 else record.result
-                if record.mnemonic in MULTIPLIER_MNEMONICS:
-                    toggle = (
-                        toggle_of(prev_mul[0], a) + toggle_of(prev_mul[1], b)
-                    ) / 2.0
-                    prev_mul = (a, b)
-                    active_cycles = self._latency[record.mnemonic]
-                    charge(
-                        "base_multiplier",
-                        blocks["base_multiplier"].active_energy * toggle * active_cycles,
-                        "base_core",
-                    )
-                elif record.mnemonic in SHIFTER_MNEMONICS:
-                    toggle = toggle_of(prev_shift[0], a)
-                    prev_shift = (a, b)
-                    charge("base_shifter", blocks["base_shifter"].active_energy * toggle, "base_core")
-                else:
-                    toggle = (
-                        toggle_of(prev_alu[0], a) + toggle_of(prev_alu[1], b)
-                    ) / 2.0
-                    prev_alu = (a, b)
-                    # Iterative units (divide/remainder) keep the ALU busy
-                    # for every issue cycle.
-                    active_cycles = self._latency[record.mnemonic]
-                    charge(
-                        "alu",
-                        blocks["alu"].active_energy * toggle * active_cycles,
-                        "base_core",
-                    )
-            elif iclass in (InstructionClass.LOAD, InstructionClass.STORE):
-                addr = record.mem_addr or 0
-                toggle = toggle_of(prev_mem, addr)
-                prev_mem = addr
-                charge("load_store_unit", blocks["load_store_unit"].active_energy * toggle, "base_core")
-                charge("dcache", blocks["dcache"].active_energy * toggle, "base_core")
-            elif iclass in (
-                InstructionClass.JUMP,
-                InstructionClass.BRANCH_TAKEN,
-                InstructionClass.BRANCH_UNTAKEN,
-            ):
-                # Compare/target logic rides on the ALU; taken control flow
-                # additionally re-steers the fetch unit.
-                charge("alu", blocks["alu"].active_energy * 0.6, "base_core")
-                if iclass is not InstructionClass.BRANCH_UNTAKEN:
-                    charge("fetch_unit", blocks["fetch_unit"].active_energy * 0.8, "base_core")
-
-            # ---- custom instruction execution ------------------------------
-            if iclass is InstructionClass.CUSTOM:
-                impl = extensions[record.mnemonic]
-                previous = prev_custom.get(record.mnemonic)
-                toggle = _TOGGLE_FLOOR + (1.0 - _TOGGLE_FLOOR) * 0.5
-                if self.data_dependent and previous is not None and operands:
-                    widths = self._custom_widths.get(record.mnemonic, ())
-                    densities = [
-                        hamming_distance(p, c, width) / width
-                        for p, c, width in zip(
-                            previous, operands, widths or (32,) * len(operands)
-                        )
-                    ]
-                    mean_density = sum(densities) / len(densities)
-                    toggle = _TOGGLE_FLOOR + (1.0 - _TOGGLE_FLOOR) * mean_density
-                prev_custom[record.mnemonic] = operands
-                for instance in impl.instances:
-                    active = len(impl.active_cycles[instance.name])
-                    if not active:
-                        continue
-                    energy = self._instance_energy[instance.name] * toggle * active
-                    charge(instance.name, energy, "custom_hw")
-                # A multi-cycle custom instruction stalls issue but keeps
-                # the decode latches, register-file ports and bypass logic
-                # engaged every cycle it occupies the pipeline.
-                extra_cycles = impl.latency - 1
-                if extra_cycles:
-                    charge(
-                        "instruction_decoder",
-                        blocks["instruction_decoder"].active_energy * decode_var * extra_cycles,
-                        "base_core",
-                    )
-                    if port_uses:
-                        charge(
-                            "register_file",
-                            blocks["register_file"].active_energy * port_factor * extra_cycles,
-                            "base_core",
-                        )
-                if impl.accesses_gpr:
-                    charge("tie_control", control.bypass_energy * impl.latency, "control")
-
-            # ---- spurious operand-bus activation ----------------------------
-            elif operands and self._taps:
-                a = operands[0]
-                b = operands[1] if len(operands) > 1 else 0
-                bus_toggle = (
-                    toggle_of(prev_bus[0], a) + toggle_of(prev_bus[1], b)
-                ) / 2.0
-                prev_bus = (a, b)
-                for instance, nominal in self._taps:
-                    charge(
-                        instance.name,
-                        nominal * SPURIOUS_INPUT_STAGE_WEIGHT * bus_toggle,
-                        "custom_hw",
-                    )
-
-            # ---- events ------------------------------------------------------
-            if record.icache_miss:
-                charge("bus_interface", EVENT_ENERGY["icache_miss"], "events")
-            if record.dcache_miss:
-                charge("bus_interface", EVENT_ENERGY["dcache_miss"], "events")
-            if record.uncached_fetch:
-                charge("bus_interface", EVENT_ENERGY["uncached_fetch"], "events")
-            if record.interlock:
-                charge("pipeline_control", EVENT_ENERGY["interlock"], "events")
-
-            # ---- per-cycle clock / pipeline / idle ----------------------------
-            charge("pipeline_control", blocks["pipeline_control"].active_energy * cycles, "base_core")
-            charge("clock_tree", blocks["clock_tree"].active_energy * cycles, "base_core")
-            idle = (self._base_idle_per_cycle + self._custom_idle_per_cycle) * cycles
-            charge("clock_tree", idle, "idle")
-
-        total = sum(groups.values())
-        return EnergyReport(
-            program_name=result.program.name,
-            processor_name=self.config.name,
-            total=total,
-            by_block=by_block,
-            by_group=groups,
-            cycles=result.stats.total_cycles,
-            instructions=result.stats.total_instructions,
+            accumulator.feed(record)
+        return accumulator.finish(
+            result.program.name,
+            result.stats.total_cycles,
+            result.stats.total_instructions,
         )
 
     def estimate_program(
         self, program: Program, max_instructions: int = 5_000_000
     ) -> tuple[EnergyReport, SimulationResult]:
-        """Full reference path: trace-collecting simulation + estimation."""
-        result = Simulator(
-            self.config, program, collect_trace=True, max_instructions=max_instructions
-        ).run()
-        return self.estimate(result), result
+        """Full reference path: simulation with *online* energy accumulation.
+
+        Streams the run through :class:`RtlEnergyObserver` — no trace is
+        materialized, so peak memory is independent of instruction count.
+        The returned :class:`SimulationResult` therefore has
+        ``trace=None``; call :meth:`estimate` on a ``collect_trace=True``
+        run if the trace itself is needed.
+        """
+        observer = self.observer()
+        result = run_session(
+            self.config,
+            program,
+            observers=(observer,),
+            max_instructions=max_instructions,
+        )
+        return observer.report, result
 
 
 def reference_energy(

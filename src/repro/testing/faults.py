@@ -16,12 +16,15 @@ Everything here is deterministic: no randomness, no wall-clock.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import warnings
+from typing import Optional, Sequence
 
 from ..asm import Program, assemble
+from ..obs.protocol import SimObserver
+from ..obs.session import DEFAULT_MAX_INSTRUCTIONS, SessionFn, run_session
 from ..xtcore import ProcessorConfig, SimulationResult, build_processor
 from ..xtcore.iss import SimulationError, SimulationLimitExceeded
-from ..core.runner import EstimateFn, RunnerTask, SimulateFn, default_simulate
+from ..core.runner import EstimateFn, RunnerTask, SimulateFn
 
 #: Inject on every attempt (never exhausts).
 ALWAYS = -1
@@ -77,15 +80,24 @@ class FaultPlan:
 
     # -- stage wrappers ----------------------------------------------------
 
-    def wrap_simulate(self, inner: Optional[SimulateFn] = None) -> SimulateFn:
-        """A ``simulate`` stage that injects the scheduled simulator faults."""
-        inner_fn = inner if inner is not None else default_simulate
+    def wrap_session(self, inner: Optional[SessionFn] = None) -> SessionFn:
+        """A session stage that injects the scheduled simulator faults.
 
-        def simulate(
+        The returned callable satisfies the keyword-only
+        :data:`~repro.obs.session.SessionFn` contract, so it plugs
+        directly into :class:`~repro.core.runner.CharacterizationRunner`
+        (and anything else built on :func:`repro.obs.run_session`).
+        """
+        inner_fn = inner if inner is not None else run_session
+
+        def session(
             config: ProcessorConfig,
             program: Program,
-            collect_trace: bool,
-            max_instructions: int,
+            *,
+            observers: Sequence[SimObserver] = (),
+            collect_trace: bool = False,
+            max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+            entry: Optional[int] = None,
         ) -> SimulationResult:
             spec = self._simulation.get(program.name)
             if spec is not None and spec.fire():
@@ -95,7 +107,61 @@ class FaultPlan:
                         f"injected instruction-budget exhaustion in {program.name!r}"
                     )
                 raise InjectedFault(f"injected simulator fault in {program.name!r}")
-            return inner_fn(config, program, collect_trace, max_instructions)
+            return inner_fn(
+                config,
+                program,
+                observers=observers,
+                collect_trace=collect_trace,
+                max_instructions=max_instructions,
+                entry=entry,
+            )
+
+        return session
+
+    def wrap_simulate(self, inner: Optional[SimulateFn] = None) -> SimulateFn:
+        """Deprecated positional-shape wrapper; use :meth:`wrap_session`.
+
+        Kept for pre-session callers: accepts and returns the old
+        positional ``(config, program, collect_trace, max_instructions)``
+        stage shape, delegating to :meth:`wrap_session` internally.
+        """
+        warnings.warn(
+            "FaultPlan.wrap_simulate() is deprecated; use wrap_session(), "
+            "which follows the keyword-only run_session() signature",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        inner_session: Optional[SessionFn] = None
+        if inner is not None:
+            inner_positional = inner
+
+            def inner_session(
+                config: ProcessorConfig,
+                program: Program,
+                *,
+                observers: Sequence[SimObserver] = (),
+                collect_trace: bool = False,
+                max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                entry: Optional[int] = None,
+            ) -> SimulationResult:
+                return inner_positional(
+                    config, program, collect_trace, max_instructions
+                )
+
+        session = self.wrap_session(inner_session)
+
+        def simulate(
+            config: ProcessorConfig,
+            program: Program,
+            collect_trace: bool = False,
+            max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        ) -> SimulationResult:
+            return session(
+                config,
+                program,
+                collect_trace=collect_trace,
+                max_instructions=max_instructions,
+            )
 
         return simulate
 

@@ -16,12 +16,21 @@ The timing model is a five-stage in-order pipeline abstraction:
 * instruction fetches hit the I-cache, pay a miss penalty, or pay the
   uncached-fetch penalty when the address lies in an uncached region;
 * loads and stores access the D-cache and pay miss penalties.
+
+Simulation output is delivered through the streaming observer protocol
+(:mod:`repro.obs`): the loop populates one reused
+:class:`~repro.obs.events.RetireEvent` per instruction and fans it out to
+the registered :class:`~repro.obs.protocol.SimObserver` chain.  The
+always-on statistics and the optional trace materialization are the two
+bundled observers; callers register further observers (online RTL energy
+accumulation, profilers, trackers) via the ``observers`` argument or the
+:func:`repro.obs.run_session` entry point.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..asm import Program
 from ..isa import (
@@ -31,6 +40,9 @@ from ..isa import (
 )
 from ..isa.bits import truncate
 from ..isa.instructions import Instruction, InstructionDef
+from ..obs.bundled import StatsObserver, TraceObserver
+from ..obs.events import RetireEvent
+from ..obs.protocol import SimObserver
 from .caches import SetAssociativeCache
 from .config import ProcessorConfig
 from .trace import ExecutionStats, TraceRecord
@@ -109,7 +121,14 @@ class SimulationResult:
 
 
 class Simulator:
-    """Executes one :class:`Program` on one :class:`ProcessorConfig`."""
+    """Executes one :class:`Program` on one :class:`ProcessorConfig`.
+
+    ``observers`` registers extra :class:`~repro.obs.protocol.SimObserver`
+    subscribers on every run; statistics (and, with ``collect_trace=True``,
+    trace materialization) are provided by bundled observers regardless.
+    Most callers should go through :func:`repro.obs.run_session` instead
+    of constructing a ``Simulator`` directly.
+    """
 
     def __init__(
         self,
@@ -117,11 +136,13 @@ class Simulator:
         program: Program,
         collect_trace: bool = False,
         max_instructions: int = 5_000_000,
+        observers: Sequence[SimObserver] = (),
     ) -> None:
         self.config = config
         self.program = program
         self.collect_trace = collect_trace
         self.max_instructions = max_instructions
+        self.observers = tuple(observers)
         isa = config.isa
         # Pre-decode: (instruction, definition, uncached?) per address.
         self._decoded: dict[int, tuple[Instruction, InstructionDef, bool]] = {}
@@ -150,13 +171,27 @@ class Simulator:
         state = self._reset()
         if entry is not None:
             state.pc = entry
-        stats = ExecutionStats()
-        trace: Optional[list[TraceRecord]] = [] if self.collect_trace else None
+        stats_observer = StatsObserver()
+        chain: list[SimObserver] = [stats_observer]
+        trace_observer: Optional[TraceObserver] = None
+        if self.collect_trace:
+            trace_observer = TraceObserver()
+            chain.append(trace_observer)
+        chain.extend(self.observers)
+        for observer in chain:
+            observer.on_run_start(self.config, self.program)
+        # Prefilter per granularity once, so unused callbacks cost nothing
+        # in the hot loop.
+        retire_observers = [o for o in chain if o.wants_retire]
+        event_observers = [o for o in chain if o.wants_events]
+        need_result = any(o.needs_result for o in retire_observers)
+        event = RetireEvent()  # reused every instruction (observers copy)
+
+        stats = stats_observer.stats
         icache = SetAssociativeCache(self.config.icache, "icache")
         dcache = SetAssociativeCache(self.config.dcache, "dcache")
         timing = self.config.timing
         decoded = self._decoded
-        extensions = self.config.extension_index
 
         prev_load_dests: tuple[int, ...] = ()
         executed = 0
@@ -182,12 +217,16 @@ class Simulator:
             cycles = 0
             icache_miss = False
             if uncached:
-                stats.uncached_fetches += 1
                 cycles += timing.uncached_fetch_penalty
+                if event_observers:
+                    for observer in event_observers:
+                        observer.on_uncached_fetch(pc)
             elif not icache.access(pc):
                 icache_miss = True
-                stats.icache_misses += 1
                 cycles += self.config.icache.miss_penalty
+                if event_observers:
+                    for observer in event_observers:
+                        observer.on_icache_miss(pc)
 
             # ---- decode / hazard detection -------------------------------
             sources = definition.source_registers(ins)
@@ -195,8 +234,10 @@ class Simulator:
                 src in prev_load_dests for src in sources
             )
             if interlock:
-                stats.interlocks += 1
                 cycles += timing.interlock_stall
+                if event_observers:
+                    for observer in event_observers:
+                        observer.on_interlock(pc)
 
             operands = tuple(state.get(src) for src in sources)
 
@@ -211,8 +252,10 @@ class Simulator:
                 mem_addr = truncate(operands[0] + (ins.imm or 0))
                 if not dcache.access(mem_addr):
                     dcache_miss = True
-                    stats.dcache_misses += 1
                     cycles += self.config.dcache.miss_penalty
+                    if event_observers:
+                        for observer in event_observers:
+                            observer.on_dcache_miss(mem_addr)
 
             # ---- cycle attribution ----------------------------------------
             if iclass is InstructionClass.BRANCH:
@@ -221,63 +264,34 @@ class Simulator:
                     InstructionClass.BRANCH_TAKEN if taken else InstructionClass.BRANCH_UNTAKEN
                 )
                 issue_cycles = definition.latency + (timing.branch_taken_penalty if taken else 0)
-                stats.class_cycles[resolved] += issue_cycles
-                stats.class_counts[resolved] += 1
             elif iclass is InstructionClass.JUMP:
                 resolved = iclass
                 issue_cycles = definition.latency + timing.branch_taken_penalty
-                stats.class_cycles[iclass] += issue_cycles
-                stats.class_counts[iclass] += 1
-            elif iclass is InstructionClass.CUSTOM:
+            else:  # ARITH, LOAD, STORE, CUSTOM, SYSTEM
                 resolved = iclass
                 issue_cycles = definition.latency
-                mnemonic = ins.mnemonic
-                stats.custom_cycles[mnemonic] = (
-                    stats.custom_cycles.get(mnemonic, 0) + issue_cycles
-                )
-                stats.custom_counts[mnemonic] = stats.custom_counts.get(mnemonic, 0) + 1
-                impl = extensions[mnemonic]
-                if impl.accesses_gpr:
-                    stats.custom_gpr_cycles += issue_cycles
-            elif iclass is InstructionClass.SYSTEM:
-                resolved = iclass
-                issue_cycles = definition.latency
-                stats.system_cycles += issue_cycles
-            else:  # ARITH, LOAD, STORE
-                resolved = iclass
-                issue_cycles = definition.latency
-                stats.class_cycles[iclass] += issue_cycles
-                stats.class_counts[iclass] += 1
 
             cycles += issue_cycles
-            stats.total_cycles += cycles
-            stats.total_instructions += 1
-            stats.mnemonic_counts[ins.mnemonic] = (
-                stats.mnemonic_counts.get(ins.mnemonic, 0) + 1
-            )
-            # Base instructions with register sources drive the shared
-            # operand buses, spuriously activating bus-tapped custom logic.
-            if iclass is not InstructionClass.CUSTOM and sources:
-                stats.base_bus_cycles += issue_cycles
 
-            if trace is not None:
+            # ---- retire: fan the event out to the observer chain ----------
+            event.addr = pc
+            event.mnemonic = ins.mnemonic
+            event.iclass = resolved
+            event.cycles = cycles
+            event.issue_cycles = issue_cycles
+            event.operands = operands
+            if need_result:
                 dests = definition.dest_registers(ins)
-                result = state.get(dests[0]) if dests else 0
-                trace.append(
-                    TraceRecord(
-                        addr=pc,
-                        mnemonic=ins.mnemonic,
-                        iclass=resolved,
-                        cycles=cycles,
-                        operands=operands,
-                        result=result,
-                        icache_miss=icache_miss,
-                        dcache_miss=dcache_miss,
-                        uncached_fetch=uncached,
-                        interlock=interlock,
-                        mem_addr=mem_addr,
-                    )
-                )
+                event.result = state.get(dests[0]) if dests else 0
+            else:
+                event.result = 0
+            event.icache_miss = icache_miss
+            event.dcache_miss = dcache_miss
+            event.uncached_fetch = uncached
+            event.interlock = interlock
+            event.mem_addr = mem_addr
+            for observer in retire_observers:
+                observer.on_retire(event)
 
             # ---- hazard bookkeeping / next pc -----------------------------
             prev_load_dests = (
@@ -287,13 +301,16 @@ class Simulator:
             )
             state.pc = next_pc if next_pc is not None else pc + INSTRUCTION_BYTES
 
-        return SimulationResult(
+        result = SimulationResult(
             program=self.program,
             config=self.config,
             stats=stats,
             state=state,
-            trace=trace,
+            trace=trace_observer.records if trace_observer is not None else None,
         )
+        for observer in chain:
+            observer.on_run_finish(result)
+        return result
 
 
 def simulate(
@@ -301,8 +318,13 @@ def simulate(
     program: Program,
     collect_trace: bool = False,
     max_instructions: int = 5_000_000,
+    observers: Sequence[SimObserver] = (),
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     return Simulator(
-        config, program, collect_trace=collect_trace, max_instructions=max_instructions
+        config,
+        program,
+        collect_trace=collect_trace,
+        max_instructions=max_instructions,
+        observers=observers,
     ).run()

@@ -45,7 +45,7 @@ def base_tasks():
 def _runner(characterizer=None, plan=None, **kwargs):
     characterizer = characterizer if characterizer is not None else Characterizer()
     if plan is not None:
-        kwargs.setdefault("simulate", plan.wrap_simulate())
+        kwargs.setdefault("simulate", plan.wrap_session())
         kwargs.setdefault(
             "estimate_energy", plan.wrap_estimate(default_estimate(characterizer))
         )

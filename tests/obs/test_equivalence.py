@@ -1,0 +1,146 @@
+"""Observer-path equivalence with the pre-observer simulation semantics.
+
+The refactor's contract: statistics and traces delivered through the
+observer protocol are identical to what the hard-wired collection
+produced, and the streaming RTL estimator reproduces the materialized
+``estimate(result)`` numbers to 1e-9 relative tolerance on every bundled
+program (the acceptance bar — in practice they are bitwise equal, since
+both paths walk identical arithmetic over identical per-instruction
+values).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import StatsObserver, TraceObserver, run_session
+from repro.programs import characterization_suite
+from repro.rtl import RtlEnergyEstimator, generate_netlist
+
+SUITE = characterization_suite(include_variants=False)
+
+
+def _assert_stats_equal(a, b):
+    for field in dataclasses.fields(a):
+        assert getattr(a, field.name) == getattr(b, field.name), field.name
+
+
+class TestBundledObserverEquivalence:
+    @pytest.mark.parametrize("case", SUITE[:6], ids=lambda c: c.name)
+    def test_external_stats_observer_matches_result_stats(self, case):
+        observer = StatsObserver()
+        result = case.run(observers=(observer,))
+        assert observer.stats is not result.stats
+        _assert_stats_equal(observer.stats, result.stats)
+
+    @pytest.mark.parametrize("case", SUITE[:6], ids=lambda c: c.name)
+    def test_external_trace_observer_matches_result_trace(self, case):
+        observer = TraceObserver()
+        result = case.run(collect_trace=True, observers=(observer,))
+        assert result.trace is not None
+        assert len(observer.records) == len(result.trace)
+        for mine, bundled in zip(observer.records, result.trace):
+            for field in mine.__slots__:
+                assert getattr(mine, field) == getattr(bundled, field), field
+
+    def test_session_without_trace_returns_none(self):
+        case = SUITE[0]
+        config, program = case.build()
+        result = run_session(config, program, max_instructions=case.max_instructions)
+        assert result.trace is None
+        assert result.stats.total_instructions > 0
+
+
+class TestStreamingRtlEquivalence:
+    @pytest.mark.parametrize("case", SUITE, ids=lambda c: c.name)
+    def test_streaming_matches_materialized(self, case):
+        config, program = case.build()
+        estimator = RtlEnergyEstimator(generate_netlist(config))
+
+        traced = run_session(
+            config,
+            program,
+            collect_trace=True,
+            max_instructions=case.max_instructions,
+        )
+        materialized = estimator.estimate(traced)
+
+        streaming, result = estimator.estimate_program(
+            program, max_instructions=case.max_instructions
+        )
+
+        assert result.trace is None  # no list[TraceRecord] retained
+        assert streaming.total == pytest.approx(materialized.total, rel=1e-9)
+        assert streaming.cycles == materialized.cycles
+        assert streaming.instructions == materialized.instructions
+        for block, energy in materialized.by_block.items():
+            assert streaming.by_block[block] == pytest.approx(
+                energy, rel=1e-9, abs=1e-12
+            ), block
+        for group, energy in materialized.by_group.items():
+            assert streaming.by_group[group] == pytest.approx(
+                energy, rel=1e-9, abs=1e-12
+            ), group
+
+    def test_frozen_activity_mode_matches_too(self):
+        case = SUITE[0]
+        config, program = case.build()
+        estimator = RtlEnergyEstimator(generate_netlist(config), data_dependent=False)
+        traced = run_session(
+            config, program, collect_trace=True, max_instructions=case.max_instructions
+        )
+        materialized = estimator.estimate(traced)
+        streaming, _ = estimator.estimate_program(
+            program, max_instructions=case.max_instructions
+        )
+        assert streaming.total == pytest.approx(materialized.total, rel=1e-9)
+
+
+class TestEstimatorErrors:
+    def test_materialized_requires_trace(self, base_config, tiny_loop_program):
+        estimator = RtlEnergyEstimator(generate_netlist(base_config))
+        untraced = run_session(base_config, tiny_loop_program)
+        with pytest.raises(ValueError, match="streaming observer"):
+            estimator.estimate(untraced)
+
+    def test_config_mismatch_reports_fingerprints(self, base_config, tiny_loop_program):
+        from repro.programs.extensions import ALL_SPEC_FACTORIES
+        from repro.xtcore import build_processor
+
+        other = build_processor("obs-other", [ALL_SPEC_FACTORIES["mul16"]()])
+        estimator = RtlEnergyEstimator(generate_netlist(other))
+        traced = run_session(base_config, tiny_loop_program, collect_trace=True)
+        with pytest.raises(ValueError) as excinfo:
+            estimator.estimate(traced)
+        message = str(excinfo.value)
+        assert base_config.fingerprint()[:12] in message
+        assert other.fingerprint()[:12] in message
+        assert base_config.name in message
+        assert other.name in message
+
+    def test_observer_rejects_mismatched_session(self, base_config, tiny_loop_program):
+        from repro.programs.extensions import ALL_SPEC_FACTORIES
+        from repro.xtcore import build_processor
+
+        other = build_processor("obs-other", [ALL_SPEC_FACTORIES["mul16"]()])
+        estimator = RtlEnergyEstimator(generate_netlist(other))
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_session(
+                base_config, tiny_loop_program, observers=(estimator.observer(),)
+            )
+
+    def test_report_before_run_raises(self, base_config):
+        estimator = RtlEnergyEstimator(generate_netlist(base_config))
+        with pytest.raises(ValueError, match="no energy report yet"):
+            estimator.observer().report
+
+    def test_identical_content_configs_interchange(self, tiny_loop_program):
+        # fingerprint equality, not object identity, is the contract
+        from repro.xtcore import build_processor
+
+        config_a = build_processor("twin")
+        config_b = build_processor("twin")
+        estimator = RtlEnergyEstimator(generate_netlist(config_a))
+        traced = run_session(config_b, tiny_loop_program, collect_trace=True)
+        report = estimator.estimate(traced)
+        assert report.total > 0

@@ -1,0 +1,210 @@
+"""Observer-protocol behaviour: lifecycle, prefilter flags, event reuse."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import InstructionClass
+from repro.obs import RetireEvent, SimObserver, run_session
+from repro.xtcore import build_processor
+
+
+def _program(source, config, name="obs-test"):
+    return assemble(source, name, isa=config.isa)
+
+
+EVENTFUL = """
+    .data
+v: .word 7
+    .text
+main:
+    la a2, v
+    l32i a3, a2, 0      ; dcache miss (cold)
+    add a4, a3, a3      ; load-use interlock
+    halt
+"""
+
+
+class RecordingObserver(SimObserver):
+    wants_events = True
+
+    def __init__(self):
+        self.calls = []
+        self.event_ids = set()
+
+    def on_run_start(self, config, program):
+        self.calls.append(("start", config.name, program.name))
+
+    def on_retire(self, event):
+        self.event_ids.add(id(event))
+        self.calls.append(("retire", event.mnemonic, event.iclass))
+
+    def on_icache_miss(self, addr):
+        self.calls.append(("icache_miss", addr))
+
+    def on_dcache_miss(self, addr):
+        self.calls.append(("dcache_miss", addr))
+
+    def on_uncached_fetch(self, addr):
+        self.calls.append(("uncached_fetch", addr))
+
+    def on_interlock(self, addr):
+        self.calls.append(("interlock", addr))
+
+    def on_run_finish(self, result):
+        self.calls.append(("finish", result.stats.total_instructions))
+
+
+class TestLifecycle:
+    def test_callback_order_and_payloads(self, base_config):
+        program = _program(EVENTFUL, base_config)
+        observer = RecordingObserver()
+        result = run_session(base_config, program, observers=(observer,))
+
+        kinds = [call[0] for call in observer.calls]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "finish"
+        assert observer.calls[0] == ("start", base_config.name, program.name)
+        assert observer.calls[-1] == ("finish", result.stats.total_instructions)
+        # fine-grained events fire before the retire of their instruction
+        assert kinds.index("dcache_miss") < kinds.index("interlock")
+        retires = [call for call in observer.calls if call[0] == "retire"]
+        assert len(retires) == result.stats.total_instructions
+
+    def test_event_instance_reused(self, base_config):
+        program = _program(EVENTFUL, base_config)
+        observer = RecordingObserver()
+        run_session(base_config, program, observers=(observer,))
+        assert len(observer.event_ids) == 1  # one RetireEvent per run, reused
+
+    def test_branch_iclass_resolved(self, base_config):
+        source = """
+main:
+    movi a2, 2
+loop:
+    addi a2, a2, -1
+    bnez a2, loop
+    halt
+"""
+        observer = RecordingObserver()
+        run_session(base_config, _program(source, base_config), observers=(observer,))
+        classes = {call[2] for call in observer.calls if call[0] == "retire"}
+        assert InstructionClass.BRANCH_TAKEN in classes
+        assert InstructionClass.BRANCH_UNTAKEN in classes
+        assert InstructionClass.BRANCH not in classes
+
+    def test_no_finish_when_run_raises(self, base_config):
+        from repro.xtcore import SimulationLimitExceeded
+
+        source = "main:\n    j main\n"
+        observer = RecordingObserver()
+        with pytest.raises(SimulationLimitExceeded):
+            run_session(
+                base_config,
+                _program(source, base_config),
+                observers=(observer,),
+                max_instructions=50,
+            )
+        kinds = [call[0] for call in observer.calls]
+        assert "start" in kinds
+        assert "finish" not in kinds
+
+    def test_raising_in_on_run_start_vetoes_run(self, base_config):
+        class Veto(SimObserver):
+            def on_run_start(self, config, program):
+                raise RuntimeError("vetoed")
+
+        witness = RecordingObserver()
+        with pytest.raises(RuntimeError, match="vetoed"):
+            run_session(
+                base_config,
+                _program(EVENTFUL, base_config),
+                observers=(witness, Veto()),
+            )
+        assert all(call[0] == "start" for call in witness.calls)
+
+
+class TestPrefilters:
+    def test_retire_not_delivered_without_wants_retire(self, base_config):
+        class EventsOnly(SimObserver):
+            wants_retire = False
+            wants_events = True
+
+            def __init__(self):
+                self.retires = 0
+                self.events = 0
+
+            def on_retire(self, event):
+                self.retires += 1
+
+            def on_dcache_miss(self, addr):
+                self.events += 1
+
+        observer = EventsOnly()
+        run_session(base_config, _program(EVENTFUL, base_config), observers=(observer,))
+        assert observer.retires == 0
+        assert observer.events > 0
+
+    def test_events_not_delivered_without_wants_events(self, base_config):
+        class RetireOnly(SimObserver):
+            def __init__(self):
+                self.events = 0
+                self.retires = 0
+
+            def on_retire(self, event):
+                self.retires += 1
+
+            def on_dcache_miss(self, addr):
+                self.events += 1
+
+        observer = RetireOnly()
+        run_session(base_config, _program(EVENTFUL, base_config), observers=(observer,))
+        assert observer.events == 0
+        assert observer.retires > 0
+
+    def test_result_populated_only_on_demand(self, base_config):
+        class Capture(SimObserver):
+            def __init__(self, needs_result):
+                self.needs_result = needs_result
+                self.results = {}
+
+            def on_retire(self, event):
+                self.results[event.mnemonic] = event.result
+
+        source = "main:\n    movi a2, 41\n    addi a3, a2, 1\n    halt\n"
+        program = _program(source, base_config)
+
+        cheap = Capture(needs_result=False)
+        run_session(base_config, program, observers=(cheap,))
+        assert cheap.results["addi"] == 0  # not read back
+
+        eager = Capture(needs_result=True)
+        run_session(base_config, program, observers=(eager,))
+        assert eager.results["addi"] == 42
+
+
+class TestRetireEvent:
+    def test_to_record_copies_fields(self):
+        event = RetireEvent()
+        event.addr = 0x40
+        event.mnemonic = "add"
+        event.iclass = InstructionClass.ARITH
+        event.cycles = 3
+        event.issue_cycles = 1
+        event.operands = (5, 6)
+        event.result = 11
+        event.dcache_miss = True
+        record = event.to_record()
+        event.mnemonic = "clobbered"  # record must be an independent copy
+        assert record.mnemonic == "add"
+        assert record.addr == 0x40
+        assert record.operands == (5, 6)
+        assert record.result == 11
+        assert record.dcache_miss is True
+
+    def test_field_layout_matches_trace_record(self):
+        from repro.obs import TraceRecord
+
+        record_fields = set(TraceRecord.__slots__)
+        event_fields = set(RetireEvent.__slots__)
+        assert event_fields - record_fields == {"issue_cycles"}
+        assert record_fields <= event_fields

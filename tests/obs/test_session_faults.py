@@ -1,0 +1,111 @@
+"""The session seam: run_session wrapping, fault injection, legacy shim."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.runner import CharacterizationRunner, RunnerTask, default_simulate
+from repro.obs import StatsObserver, run_session
+from repro.testing.faults import FaultPlan, InjectedFault
+from repro.xtcore import build_processor
+
+
+@pytest.fixture()
+def pair(base_config, tiny_loop_program):
+    return base_config, tiny_loop_program
+
+
+class TestWrapSession:
+    def test_passthrough_preserves_session_semantics(self, pair):
+        config, program = pair
+        session = FaultPlan().wrap_session()
+        observer = StatsObserver()
+        result = session(config, program, observers=(observer,), collect_trace=True)
+        assert result.trace is not None
+        assert observer.stats.total_instructions == result.stats.total_instructions
+
+    def test_injects_for_named_program(self, pair):
+        config, program = pair
+        plan = FaultPlan().fail_simulation(program.name, times=1)
+        session = plan.wrap_session()
+        with pytest.raises(InjectedFault):
+            session(config, program)
+        # fault budget exhausted: second call passes through
+        result = session(config, program)
+        assert result.stats.total_instructions > 0
+        assert plan.injected == [(program.name, "sim-error")]
+
+    def test_inner_session_receives_keywords(self, pair):
+        config, program = pair
+        seen = {}
+
+        def inner(config, program, *, observers=(), collect_trace=False,
+                  max_instructions=0, entry=None):
+            seen.update(collect_trace=collect_trace, max_instructions=max_instructions)
+            return run_session(
+                config,
+                program,
+                observers=observers,
+                collect_trace=collect_trace,
+                max_instructions=max_instructions,
+            )
+
+        session = FaultPlan().wrap_session(inner)
+        session(config, program, collect_trace=True, max_instructions=1234)
+        assert seen == {"collect_trace": True, "max_instructions": 1234}
+
+    def test_runner_accepts_wrapped_session(self, pair):
+        config, program = pair
+        plan = FaultPlan().fail_simulation("absent-program")
+        runner = CharacterizationRunner(simulate=plan.wrap_session())
+        report = runner.run([RunnerTask.from_pair(config, program)], fit=False)
+        assert report.ok
+        assert len(report.samples) == 1
+
+
+class TestLegacyShim:
+    def test_wrap_simulate_warns(self):
+        with pytest.warns(DeprecationWarning, match="wrap_session"):
+            FaultPlan().wrap_simulate()
+
+    def test_positional_shape_still_works(self, pair):
+        config, program = pair
+        with pytest.warns(DeprecationWarning):
+            simulate = FaultPlan().wrap_simulate()
+        result = simulate(config, program, True, 5000)
+        assert result.trace is not None
+
+    def test_positional_inner_still_wrapped(self, pair):
+        config, program = pair
+        calls = []
+
+        def inner(config, program, collect_trace, max_instructions):
+            calls.append((collect_trace, max_instructions))
+            return default_simulate(config, program, collect_trace, max_instructions)
+
+        with pytest.warns(DeprecationWarning):
+            simulate = FaultPlan().wrap_simulate(inner)
+        simulate(config, program, False, 777)
+        assert calls == [(False, 777)]
+
+    def test_default_simulate_matches_run_session(self, pair):
+        config, program = pair
+        legacy = default_simulate(config, program, False, 10_000)
+        modern = run_session(config, program, max_instructions=10_000)
+        assert legacy.stats.total_cycles == modern.stats.total_cycles
+
+
+class TestSessionEntry:
+    def test_entry_override(self, base_config):
+        source = """
+main:
+    movi a2, 1
+    halt
+alt:
+    movi a2, 2
+    halt
+"""
+        program = assemble(source, "entries", isa=base_config.isa)
+        default = run_session(base_config, program)
+        alt = run_session(base_config, program, entry=program.symbol("alt"))
+        assert default.state.get(2) == 1
+        assert alt.state.get(2) == 2

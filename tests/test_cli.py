@@ -159,6 +159,61 @@ class TestEstimateAndProfile:
         assert "energy profile" in out
         assert "total" in out
 
+    def test_profile_observers(self, model_file, demo_file, capsys):
+        assert (
+            main(
+                [
+                    "profile",
+                    model_file,
+                    demo_file,
+                    "--timeline",
+                    "10",
+                    "--hot",
+                    "--cache-events",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "energy timeline" in out
+        assert "hot spots" in out
+        assert "cache events" in out
+
+    def test_profile_json(self, model_file, demo_file, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "profile",
+                    model_file,
+                    demo_file,
+                    "--timeline",
+                    "10",
+                    "--hot",
+                    "--cache-events",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"regions", "timeline", "hot_spots", "cache_events"}
+        # linearity: the timeline intervals partition the run exactly
+        assert payload["timeline"]["total_energy"] == pytest.approx(
+            payload["regions"]["total_energy"]
+        )
+        assert payload["hot_spots"]["blocks"]
+        assert all(
+            iv["instructions"] <= 10 for iv in payload["timeline"]["intervals"][:-1]
+        )
+
+    def test_profile_rejects_bad_timeline(self, model_file, demo_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", model_file, demo_file, "--timeline", "0"])
+        assert excinfo.value.code == 2
+
 
 class TestInputErrorHygiene:
     def test_missing_program_file_is_clean_exit(self, capsys):

@@ -23,30 +23,30 @@ def run_args():
 class TestSimulationFaults:
     def test_injects_exactly_n_times(self, run_args):
         config, program = run_args
-        simulate = FaultPlan().fail_simulation("victim", times=2).wrap_simulate()
+        session = FaultPlan().fail_simulation("victim", times=2).wrap_session()
         for _ in range(2):
             with pytest.raises(InjectedFault, match="victim"):
-                simulate(config, program, False, 1000)
-        result = simulate(config, program, False, 1000)  # injections used up
+                session(config, program, max_instructions=1000)
+        result = session(config, program, max_instructions=1000)  # injections used up
         assert result.stats.total_instructions > 0
 
     def test_always_injects_by_default(self, run_args):
         config, program = run_args
-        simulate = FaultPlan().fail_simulation("victim").wrap_simulate()
+        session = FaultPlan().fail_simulation("victim").wrap_session()
         for _ in range(5):
             with pytest.raises(InjectedFault):
-                simulate(config, program, False, 1000)
+                session(config, program, max_instructions=1000)
 
     def test_budget_exhaustion_kind(self, run_args):
         config, program = run_args
-        simulate = FaultPlan().exhaust_budget("victim", times=1).wrap_simulate()
+        session = FaultPlan().exhaust_budget("victim", times=1).wrap_session()
         with pytest.raises(SimulationLimitExceeded, match="injected"):
-            simulate(config, program, False, 1000)
+            session(config, program, max_instructions=1000)
 
     def test_unlisted_programs_pass_through(self, run_args):
         config, program = run_args
         plan = FaultPlan().fail_simulation("someone-else")
-        result = plan.wrap_simulate()(config, program, False, 1000)
+        result = plan.wrap_session()(config, program, max_instructions=1000)
         assert result.stats.total_instructions > 0
         assert plan.injected == []
 

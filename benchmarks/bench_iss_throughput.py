@@ -1,0 +1,228 @@
+"""ISS retire throughput: reference interpreter vs compiled dispatch paths.
+
+Measures retired-MIPS (millions of retired instructions per second of
+host wall-clock) on the bundled characterization programs for three
+engines:
+
+* ``interpreted`` — :class:`repro.xtcore.ReferenceSimulator`, the
+  retained pre-compilation loop;
+* ``instrumented`` — the compiled dispatch loop with an external
+  retire observer subscribed (full event protocol active);
+* ``fast`` — the compiled dispatch loop with no observers and no trace
+  (counter-folding fast path).
+
+Run as a script to (re)generate ``BENCH_ISS.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_iss_throughput.py
+
+or as a CI smoke check on a couple of programs:
+
+    PYTHONPATH=src python benchmarks/bench_iss_throughput.py \
+        --programs tp01_alu_mix tp05_memcpy --repeat 2 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import time
+
+import pytest
+
+from repro.obs import SimObserver
+from repro.programs import characterization_suite
+from repro.xtcore import ReferenceSimulator, Simulator, compile_program
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_ISS.json"
+
+
+class NullRetireObserver(SimObserver):
+    """Subscribes to retires and does nothing — forces the instrumented path."""
+
+    wants_retire = True
+
+    def on_retire(self, event) -> None:
+        pass
+
+
+def _measure(make_runner, repeat: int) -> tuple[float, int]:
+    """Best-of-``repeat`` (MIPS, retired instructions) for one engine."""
+    best_mips = 0.0
+    retired = 0
+    for _ in range(repeat):
+        runner = make_runner()
+        start = time.perf_counter()
+        result = runner.run()
+        elapsed = time.perf_counter() - start
+        retired = result.stats.total_instructions
+        best_mips = max(best_mips, retired / elapsed / 1e6)
+    return best_mips, retired
+
+
+def measure_case(case, repeat: int = 3) -> dict:
+    """Throughput of all three engines on one benchmark case."""
+    config, program = case.build()
+    executable = compile_program(config, program)
+    budget = case.max_instructions
+
+    interp_mips, retired = _measure(
+        lambda: ReferenceSimulator(config, program, max_instructions=budget),
+        repeat,
+    )
+    instr_mips, _ = _measure(
+        lambda: Simulator(
+            config,
+            program,
+            max_instructions=budget,
+            observers=[NullRetireObserver()],
+            executable=executable,
+        ),
+        repeat,
+    )
+    fast_mips, _ = _measure(
+        lambda: Simulator(
+            config, program, max_instructions=budget, executable=executable
+        ),
+        repeat,
+    )
+    return {
+        "program": case.name,
+        "retired_instructions": retired,
+        "interpreted_mips": round(interp_mips, 3),
+        "instrumented_mips": round(instr_mips, 3),
+        "fast_mips": round(fast_mips, 3),
+        "instrumented_speedup": round(instr_mips / interp_mips, 2),
+        "fast_speedup": round(fast_mips / interp_mips, 2),
+    }
+
+
+def _geomean(values) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_suite(program_names=None, repeat: int = 3) -> dict:
+    """Measure the (sub)suite and assemble the BENCH_ISS payload."""
+    cases = characterization_suite(include_variants=False)
+    if program_names:
+        by_name = {case.name: case for case in cases}
+        unknown = [n for n in program_names if n not in by_name]
+        if unknown:
+            raise SystemExit(f"unknown program(s): {', '.join(unknown)}")
+        cases = [by_name[n] for n in program_names]
+    results = [measure_case(case, repeat=repeat) for case in cases]
+    return {
+        "benchmark": "iss_retire_throughput",
+        "unit": "retired MIPS (best of repeats, host wall-clock)",
+        "repeat": repeat,
+        "programs": results,
+        "summary": {
+            "instrumented_speedup_geomean": round(
+                _geomean([r["instrumented_speedup"] for r in results]), 2
+            ),
+            "fast_speedup_geomean": round(
+                _geomean([r["fast_speedup"] for r in results]), 2
+            ),
+            "targets": {"instrumented": 3.0, "fast": 5.0},
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--programs",
+        nargs="*",
+        default=None,
+        help="benchmark case names to measure (default: the full suite)",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON payload (default: repo-root BENCH_ISS.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if either compiled path is slower than the interpreter",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(args.programs, repeat=args.repeat)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    header = f"{'program':<24}{'interp':>9}{'instr':>9}{'fast':>9}{'instr x':>9}{'fast x':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in payload["programs"]:
+        print(
+            f"{row['program']:<24}{row['interpreted_mips']:>9.2f}"
+            f"{row['instrumented_mips']:>9.2f}{row['fast_mips']:>9.2f}"
+            f"{row['instrumented_speedup']:>9.2f}{row['fast_speedup']:>8.2f}"
+        )
+    summary = payload["summary"]
+    print(
+        f"geomean speedup: instrumented {summary['instrumented_speedup_geomean']}x, "
+        f"fast {summary['fast_speedup_geomean']}x  -> {args.output}"
+    )
+
+    if args.check:
+        slow = [
+            row["program"]
+            for row in payload["programs"]
+            if row["instrumented_speedup"] < 1.0 or row["fast_speedup"] < 1.0
+        ]
+        if slow:
+            print(f"CHECK FAILED: compiled dispatch slower than interpreter on: {slow}")
+            return 1
+        print("CHECK OK: compiled dispatch at least as fast as the interpreter")
+    return 0
+
+
+# -- pytest-benchmark harness ------------------------------------------------
+
+SMOKE_CASES = ("tp01_alu_mix", "tp06_memcpy")
+
+
+@pytest.fixture(scope="module")
+def smoke_case():
+    cases = {c.name: c for c in characterization_suite(include_variants=False)}
+    return cases[SMOKE_CASES[0]]
+
+
+def test_fast_path_throughput(benchmark, smoke_case):
+    config, program = smoke_case.build()
+    executable = compile_program(config, program)
+    result = benchmark(
+        lambda: Simulator(
+            config,
+            program,
+            max_instructions=smoke_case.max_instructions,
+            executable=executable,
+        ).run()
+    )
+    assert result.stats.total_instructions > 0
+
+
+def test_compiled_not_slower_than_interpreter(benchmark, save_report):
+    payload = benchmark.pedantic(
+        run_suite, args=(list(SMOKE_CASES),), kwargs={"repeat": 2}, rounds=1, iterations=1
+    )
+    lines = [
+        f"{row['program']}: interpreted {row['interpreted_mips']} MIPS, "
+        f"instrumented {row['instrumented_mips']} MIPS "
+        f"({row['instrumented_speedup']}x), fast {row['fast_mips']} MIPS "
+        f"({row['fast_speedup']}x)"
+        for row in payload["programs"]
+    ]
+    save_report("iss_throughput", "\n".join(lines))
+    for row in payload["programs"]:
+        assert row["instrumented_speedup"] >= 1.0, row
+        assert row["fast_speedup"] >= 1.0, row
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ macro-model estimation flow all consume.  It carries:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import Iterator
 
 from ..isa import INSTRUCTION_BYTES, Instruction, InstructionSet, encode
@@ -70,6 +72,35 @@ class Program:
     def is_uncached(self, addr: int) -> bool:
         """True if instruction fetches from ``addr`` bypass the I-cache."""
         return any(addr in r for r in self.uncached_ranges)
+
+    def digest(self) -> str:
+        """Stable content hash of everything that affects execution.
+
+        Covers the instruction stream, data image, entry point, symbol
+        table and uncached ranges — but not the cosmetic ``name`` or the
+        original ``source`` text, so re-assembling identical source under
+        a different program name digests identically.  Pairs with
+        :meth:`repro.xtcore.ProcessorConfig.fingerprint` to key the
+        cross-run compilation cache.
+        """
+        memo = self.__dict__.get("_digest_memo")
+        if memo is not None:
+            return memo
+        payload = {
+            "format": "repro-program-digest/1",
+            "entry": self.entry,
+            "instructions": [
+                [addr, ins.mnemonic, ins.rd, ins.rs, ins.rt, ins.imm]
+                for addr, ins in sorted(self.instructions.items())
+            ],
+            "data": [[addr, blob.hex()] for addr, blob in sorted(self.data)],
+            "symbols": sorted(self.symbols.items()),
+            "uncached": [[r.start, r.end] for r in self.uncached_ranges],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        memo = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        self.__dict__["_digest_memo"] = memo
+        return memo
 
     def symbol(self, name: str) -> int:
         """Return the address bound to label ``name``."""

@@ -30,7 +30,7 @@ from .core import EnergyMacroModel, EnergyProfiler
 from .obs import run_session
 from .programs.extensions import ALL_SPEC_FACTORIES
 from .rtl import reference_energy
-from .xtcore import ProcessorConfig, build_processor
+from .xtcore import DEFAULT_MAX_INSTRUCTIONS, ProcessorConfig, build_processor
 
 #: Exit code for unusable input files (missing program, malformed image).
 EXIT_BAD_INPUT = 2
@@ -462,7 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
             default="",
             help="comma-separated custom instructions from the bundled library",
         )
-        p.add_argument("--max-instructions", type=int, default=5_000_000)
+        p.add_argument("--max-instructions", type=int, default=DEFAULT_MAX_INSTRUCTIONS)
 
     p = sub.add_parser("list-extensions", help="list the bundled custom instructions")
     p.set_defaults(func=_cmd_list_extensions)
@@ -548,7 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated custom instructions from the bundled library",
     )
-    p.add_argument("--max-instructions", type=int, default=5_000_000)
+    p.add_argument("--max-instructions", type=int, default=DEFAULT_MAX_INSTRUCTIONS)
     p.add_argument("--variables", action="store_true", help="print the variable breakdown")
     p.set_defaults(func=_cmd_estimate)
 
@@ -600,7 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="abort once more than N candidates fail (default: unlimited)",
     )
-    p.add_argument("--max-instructions", type=int, default=5_000_000)
+    p.add_argument("--max-instructions", type=int, default=DEFAULT_MAX_INSTRUCTIONS)
     p.add_argument(
         "--format", choices=("table", "json", "csv"), default="table"
     )

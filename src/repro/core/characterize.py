@@ -28,7 +28,7 @@ import numpy as np
 from ..asm import Program
 from ..obs import run_session
 from ..rtl import RtlEnergyEstimator, generate_netlist
-from ..xtcore import ExecutionStats, ProcessorConfig
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ExecutionStats, ProcessorConfig
 from .extract import extract_variables
 from .model import EnergyMacroModel
 from .regression import (
@@ -172,7 +172,7 @@ class Characterizer:
         self,
         config: ProcessorConfig,
         program: Program,
-        max_instructions: int = 5_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> CharacterizationSample:
         """Run one test program through the full characterization pipeline.
 

@@ -19,7 +19,7 @@ import time
 
 from ..asm import Program
 from ..rtl import RtlEnergyEstimator, generate_netlist
-from ..xtcore import ProcessorConfig
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ProcessorConfig
 from .model import EnergyMacroModel, MacroEstimate
 
 
@@ -106,7 +106,7 @@ class EstimationStudy:
         self,
         config: ProcessorConfig,
         program: Program,
-        max_instructions: int = 5_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> ComparisonRow:
         """Estimate one application both ways and record the comparison."""
         start = time.perf_counter()

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..asm import Program
 from ..obs import run_session
-from ..xtcore import ExecutionStats, ProcessorConfig
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ExecutionStats, ProcessorConfig
 from .extract import extract_variables
 from .template import (
     MacroModelTemplate,
@@ -93,7 +93,7 @@ class EnergyMacroModel:
         self,
         config: ProcessorConfig,
         program: Program,
-        max_instructions: int = 5_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> MacroEstimate:
         """The fast estimation path: ISS (no trace) + variable extraction.
 

@@ -23,7 +23,7 @@ from ..isa.classes import BASE_ENERGY_CLASSES
 from ..obs.bundled import apply_event, gpr_accessing_mnemonics
 from ..obs.protocol import SimObserver
 from ..obs.session import run_session
-from ..xtcore import ExecutionStats, ProcessorConfig, TraceRecord
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ExecutionStats, ProcessorConfig, TraceRecord
 from .model import EnergyMacroModel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -321,7 +321,7 @@ class EnergyProfiler:
         config: ProcessorConfig,
         program: Program,
         regions: Optional[Sequence[CodeRegion]] = None,
-        max_instructions: int = 5_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> ProfileReport:
         """Run once, decomposing the estimated energy by region online.
 

@@ -206,7 +206,7 @@ class RunnerTask:
         cls,
         config: ProcessorConfig,
         program: Program,
-        max_instructions: int = 5_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> "RunnerTask":
         return cls(
             name=program.name,

@@ -27,6 +27,7 @@ from typing import Callable, Optional, Sequence
 from ..core.model import EnergyMacroModel
 from ..core.runner import SampleFailure, TooManyFailures
 from ..rtl import generate_netlist
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, compilation_cache
 from .cache import ResultCache, candidate_cache_key, model_digest
 from .space import Candidate, SearchSpace
 
@@ -172,7 +173,7 @@ class EvaluationEngine:
         space: SearchSpace,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
-        max_instructions: int = 5_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         max_failures: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
     ) -> None:
@@ -262,6 +263,16 @@ class EvaluationEngine:
                 )
                 for _, candidate, built in pending
             ]
+        # Lower every pending design point in the parent before forking:
+        # workers inherit the populated compilation cache copy-on-write, so
+        # each (program, config-content) pair compiles exactly once per
+        # exploration instead of once per worker.
+        for _, candidate, built in pending:
+            try:
+                config, program = built if built is not None else candidate.build()
+                compilation_cache().get_or_compile(config, program)
+            except Exception:  # noqa: BLE001 — the worker records the real failure
+                continue
         with context.Pool(
             processes=min(self.jobs, len(pending)),
             initializer=_worker_init,

@@ -23,6 +23,7 @@ from ..analysis.metrics import spearman_rho
 from ..core.model import EnergyMacroModel
 from ..core.runner import SampleFailure
 from ..rtl import reference_energy
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS
 from .cache import ResultCache
 from .evaluate import CandidateScore, EvaluationEngine
 from .pareto import PARETO_AXES, pareto_frontier, rank_scores
@@ -158,7 +159,7 @@ def explore(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     objective: str = "edp",
-    max_instructions: int = 5_000_000,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     max_failures: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExplorationReport:
@@ -212,7 +213,7 @@ def cross_check(
     scores: Sequence[CandidateScore],
     top_k: Optional[int] = None,
     objective: str = "edp",
-    max_instructions: int = 5_000_000,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
 ) -> CrossCheckResult:
     """Re-estimate the top-k with the slow reference path; Spearman rho.
 

@@ -205,6 +205,31 @@ class InstructionDef:
         dests.extend(self.extra_writes)
         return tuple(dests)
 
+    def resolve_timing(
+        self, branch_taken_penalty: int
+    ) -> tuple[InstructionClass, InstructionClass, int, int]:
+        """Resolve retire class and issue cycles for both control outcomes.
+
+        Returns ``(class_untaken, class_taken, issue_untaken, issue_taken)``
+        where "taken" means the semantics redirected the pc.  BRANCH splits
+        into the taken/untaken energy classes with the flush penalty on the
+        taken side; JUMP always redirects and always pays the penalty; every
+        other class is outcome-independent.  This is the whole per-retire
+        class/latency decision tree, evaluated once at program-compile time
+        instead of per retired instruction.
+        """
+        if self.iclass is InstructionClass.BRANCH:
+            return (
+                InstructionClass.BRANCH_UNTAKEN,
+                InstructionClass.BRANCH_TAKEN,
+                self.latency,
+                self.latency + branch_taken_penalty,
+            )
+        if self.iclass is InstructionClass.JUMP:
+            latency = self.latency + branch_taken_penalty
+            return (self.iclass, self.iclass, latency, latency)
+        return (self.iclass, self.iclass, self.latency, self.latency)
+
 
 # ---------------------------------------------------------------------------
 # Semantics factories.  Each factory returns a Semantics callable; keeping

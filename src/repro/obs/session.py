@@ -18,14 +18,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..xtcore import ProcessorConfig, SimulationResult
     from .protocol import SimObserver
 
+from ..xtcore.config import DEFAULT_MAX_INSTRUCTIONS
+
 #: The injectable session seam: ``(config, program, *, observers,
 #: collect_trace, max_instructions, entry) -> SimulationResult``.  All
 #: options are keyword-only, so wrappers stay signature-compatible as the
 #: session API grows.
 SessionFn = Callable[..., "SimulationResult"]
-
-#: Default instruction budget of a session (matches the simulator's).
-DEFAULT_MAX_INSTRUCTIONS = 5_000_000
 
 
 def run_session(
@@ -43,6 +42,12 @@ def run_session(
     trace is materialized only with ``collect_trace=True`` — streaming
     consumers should register an observer instead and leave the trace
     off, which keeps per-run memory independent of instruction count.
+
+    The program is lowered through the process-wide compilation cache
+    (:func:`repro.xtcore.compilation_cache`), so repeated sessions over
+    the same ``(program, config)`` content share one compiled form.  With
+    no observers and no trace the run takes the fast dispatch path — see
+    ``docs/PERFORMANCE.md``.
     """
     # Imported lazily: the simulator itself subscribes its bundled
     # observers from this package, so a module-level import would cycle.

@@ -21,6 +21,7 @@ TIE_csa + TIE_add + custom register together).
 from __future__ import annotations
 
 from ..tie import TieSpec, TieState
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS
 from . import extensions as ext
 from .data import Lcg, format_words
 from .registry import BenchmarkCase, expect_words
@@ -139,7 +140,7 @@ tap_loop:
         description="16-tap FIR, base ISA (mull + add per tap)",
         source=source,
         check=expect_words("outp", expected),
-        max_instructions=5_000_000,
+        max_instructions=DEFAULT_MAX_INSTRUCTIONS,
     )
 
 

@@ -25,6 +25,7 @@ pure-Python reference in :mod:`repro.programs.gf`.
 from __future__ import annotations
 
 from ..tie import TieSpec, TieState
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS
 from . import extensions as ext
 from . import gf
 from .data import Lcg, format_words
@@ -180,7 +181,7 @@ gfm_no_red:
         description="Reed-Solomon syndromes, software GF multiply (no TIE)",
         source=source,
         check=expect_words("synd", expected),
-        max_instructions=5_000_000,
+        max_instructions=DEFAULT_MAX_INSTRUCTIONS,
     )
 
 

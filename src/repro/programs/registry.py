@@ -15,7 +15,13 @@ from typing import Callable, Optional, Sequence
 from ..asm import Program, assemble
 from ..obs import SimObserver, run_session
 from ..tie import TieSpec
-from ..xtcore import ProcessorConfig, SimulationResult, build_processor
+from ..xtcore import (
+    ExecutableProgram,
+    ProcessorConfig,
+    SimulationResult,
+    build_processor,
+    compilation_cache,
+)
 
 SpecFactory = Callable[[], TieSpec]
 CheckFn = Callable[[SimulationResult], None]
@@ -62,6 +68,18 @@ class BenchmarkCase:
     @property
     def program(self) -> Program:
         return self.build()[1]
+
+    @property
+    def executable(self) -> ExecutableProgram:
+        """The case's compiled form, via the process-wide compilation cache.
+
+        ``run()`` resolves the same cache entry through ``run_session``, so
+        repeated runs of one case never re-lower the program; this accessor
+        exists for callers that want the lowering itself (benchmarks,
+        diagnostics).
+        """
+        config, program = self.build()
+        return compilation_cache().get_or_compile(config, program)
 
     def run(
         self,

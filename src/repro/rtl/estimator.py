@@ -43,7 +43,7 @@ from ..hwlib import ComponentInstance
 from ..isa import InstructionClass, hamming_distance
 from ..obs.protocol import SimObserver
 from ..obs.session import run_session
-from ..xtcore import ProcessorConfig, SimulationResult
+from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ProcessorConfig, SimulationResult
 from ..asm import Program
 from .blocks import (
     BLOCKS_BY_NAME,
@@ -472,7 +472,7 @@ class RtlEnergyEstimator:
         )
 
     def estimate_program(
-        self, program: Program, max_instructions: int = 5_000_000
+        self, program: Program, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
     ) -> tuple[EnergyReport, SimulationResult]:
         """Full reference path: simulation with *online* energy accumulation.
 
@@ -495,7 +495,7 @@ class RtlEnergyEstimator:
 def reference_energy(
     config: ProcessorConfig,
     program: Program,
-    max_instructions: int = 5_000_000,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
 ) -> tuple[EnergyReport, SimulationResult]:
     """One-shot: generate the netlist and run the reference estimator."""
     estimator = RtlEnergyEstimator(generate_netlist(config))

@@ -1,12 +1,25 @@
 """``repro.xtcore`` — the extensible-processor substrate (Xtensa substitute)."""
 
 from .caches import SetAssociativeCache
-from .config import CacheConfig, ProcessorConfig, TimingConfig, build_processor
+from .compiled import (
+    CompilationCache,
+    ExecutableProgram,
+    compilation_cache,
+    compile_program,
+    describe_invalid_pc,
+)
+from .config import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    CacheConfig,
+    ProcessorConfig,
+    TimingConfig,
+    build_processor,
+)
+from .errors import SimulationError, SimulationLimitExceeded
+from .interp import ReferenceSimulator
 from .iss import (
     DEFAULT_STACK_TOP,
     EXIT_ADDRESS,
-    SimulationError,
-    SimulationLimitExceeded,
     SimulationResult,
     Simulator,
     simulate,
@@ -15,10 +28,14 @@ from .trace import ExecutionStats, TraceRecord, class_mix
 
 __all__ = [
     "CacheConfig",
+    "CompilationCache",
+    "DEFAULT_MAX_INSTRUCTIONS",
     "DEFAULT_STACK_TOP",
     "EXIT_ADDRESS",
+    "ExecutableProgram",
     "ExecutionStats",
     "ProcessorConfig",
+    "ReferenceSimulator",
     "SetAssociativeCache",
     "SimulationError",
     "SimulationLimitExceeded",
@@ -28,5 +45,8 @@ __all__ = [
     "TraceRecord",
     "build_processor",
     "class_mix",
+    "compilation_cache",
+    "compile_program",
+    "describe_invalid_pc",
     "simulate",
 ]

@@ -19,14 +19,21 @@ class SetAssociativeCache:
         self.name = name
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._index_mask = config.num_sets - 1
+        self._index_bits = self._index_mask.bit_length()
+        self._num_ways = config.ways
         # Per set: list of tags in LRU order (front = most recent).
         self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
         self.hits = 0
         self.misses = 0
 
+    @property
+    def offset_bits(self) -> int:
+        """Byte-offset width of one line (``addr >> offset_bits`` = line)."""
+        return self._offset_bits
+
     def _locate(self, addr: int) -> tuple[int, int]:
         line = addr >> self._offset_bits
-        return line & self._index_mask, line >> self._index_mask.bit_length()
+        return line & self._index_mask, line >> self._index_bits
 
     def access(self, addr: int) -> bool:
         """Access the line containing ``addr``; returns True on a hit.
@@ -34,16 +41,21 @@ class SetAssociativeCache:
         Misses allocate the line (write-allocate for the D-cache; fills
         for the I-cache), evicting the LRU way when the set is full.
         """
-        index, tag = self._locate(addr)
-        ways = self._sets[index]
-        if tag in ways:
-            ways.remove(tag)
-            ways.insert(0, tag)
-            self.hits += 1
-            return True
+        line = addr >> self._offset_bits
+        tag = line >> self._index_bits
+        ways = self._sets[line & self._index_mask]
+        if ways:
+            if ways[0] == tag:  # MRU hit: no reordering needed
+                self.hits += 1
+                return True
+            if tag in ways:
+                ways.remove(tag)
+                ways.insert(0, tag)
+                self.hits += 1
+                return True
         self.misses += 1
         ways.insert(0, tag)
-        if len(ways) > self.config.ways:
+        if len(ways) > self._num_ways:
             ways.pop()
         return False
 

@@ -1,0 +1,887 @@
+"""Program compilation: lowering a :class:`Program` to dispatchable micro-ops.
+
+The interpreter used to re-resolve everything per retired instruction —
+semantics lookup, ``source_registers``/``dest_registers`` construction,
+the branch/jump class-and-latency decision tree, the uncached-range scan
+— and re-decode the whole program on every :class:`Simulator`
+construction.  This module hoists all of that to **compile time**:
+
+* :func:`compile_program` lowers a ``(ProcessorConfig, Program)`` pair
+  into an :class:`ExecutableProgram` — a dense, index-addressed tuple of
+  fused micro-op records with the semantics callable, operand register
+  tuples, resolved-or-BRANCH instruction class, issue latencies for both
+  control outcomes, uncached flag and fall-through successor index all
+  pre-bound;
+* :class:`CompilationCache` memoizes those lowerings across runs, keyed
+  by ``(Program.digest(), ProcessorConfig.fingerprint())`` — content
+  hashes, so equal-content programs/configs share one compilation no
+  matter how many objects or processes spell them;
+* :func:`describe_invalid_pc` turns a wild program counter into an
+  actionable diagnostic (nearest preceding symbol, last retired address).
+
+The dispatch loops that consume this IR live in :mod:`repro.xtcore.iss`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+from ..isa import INSTRUCTION_BYTES, InstructionClass
+from ..isa.bits import (
+    byte_swap,
+    count_leading_zeros,
+    count_trailing_zeros,
+    popcount,
+    rotate_left,
+    rotate_right,
+    sign_extend,
+)
+from ..isa.classes import BASE_ENERGY_CLASSES
+from ..isa.state import SparseMemory
+from .errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..asm import Program
+    from .config import ProcessorConfig
+
+#: Field indices of one micro-op record (a plain tuple, unpacked by the
+#: dispatch loops).  Kept flat and positional on purpose: attribute access
+#: on a dataclass costs a dict probe per field per retire, tuple unpacking
+#: is a single bytecode.
+OP_SEM = 0  #: semantics callable
+OP_INS = 1  #: the decoded :class:`Instruction`
+OP_SRCS = 2  #: source-register tuple (pre-resolved)
+OP_SRC0 = 3  #: first source register, or -1 (memory base / result fast path)
+OP_IMM = 4  #: ``ins.imm or 0`` (memory-address offset)
+OP_MEM = 5  #: True when the op is a LOAD or STORE
+OP_CACHED = 6  #: True when fetched through the I-cache (not an uncached range)
+OP_BRANCH = 7  #: True when the static class is BRANCH (outcome-resolved)
+OP_LOAD_DESTS = 8  #: dest-register tuple when LOAD (interlock source), else ()
+OP_FALL_IDX = 9  #: index of the fall-through successor, or -1
+OP_ADDR = 10  #: byte address of the instruction
+OP_MNEMONIC = 11  #: mnemonic string
+OP_CLASS_UNTAKEN = 12  #: retire class when the pc is not redirected
+OP_CLASS_TAKEN = 13  #: retire class when the pc is redirected
+OP_ISSUE_UNTAKEN = 14  #: issue cycles, untaken outcome
+OP_ISSUE_TAKEN = 15  #: issue cycles, taken outcome (jump penalty folded in)
+OP_DEST0 = 16  #: first destination register, or -1
+OP_CUSTOM_KIND = 17  #: 0 = base op, 1 = custom, 2 = custom accessing the GPR file
+OP_HAS_SRCS = 18  #: bool(srcs) — drives base-bus-cycle attribution
+OP_BASE_CLASS = 19  #: untaken class is one of the six base energy classes
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutableProgram:
+    """A :class:`Program` lowered against one :class:`ProcessorConfig`.
+
+    Index-addressed: ``ops[i]`` executes the instruction at ``addrs[i]``,
+    and sequential fall-through is ``ops[i][OP_FALL_IDX]`` instead of a
+    dict probe on the next byte address.  Immutable once built, so one
+    instance is safely shared across runs, sessions and forked workers.
+    """
+
+    program_name: str
+    config_name: str
+    program_digest: str
+    config_fingerprint: str
+    entry: int
+    ops: tuple[tuple, ...]
+    addrs: tuple[int, ...]
+    pc_to_index: dict[int, int]
+    #: ``(addr, name)`` pairs sorted by address — diagnostics only.
+    symbols_by_addr: tuple[tuple[int, str], ...]
+    #: every source/dest register of every op is < num_registers, so the
+    #: dispatch loops may read the register file without bounds checks.
+    regs_in_range: bool = True
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def index_of(self, pc: int) -> int:
+        """Micro-op index for ``pc``, or -1 when no instruction lives there."""
+        return self.pc_to_index.get(pc, -1)
+
+    def nearest_symbol(self, pc: int) -> Optional[tuple[str, int]]:
+        """``(name, offset)`` of the closest symbol at or before ``pc``."""
+        table = self.symbols_by_addr
+        pos = bisect_right(table, (pc, "￿")) - 1
+        if pos < 0:
+            return None
+        addr, name = table[pos]
+        return name, pc - addr
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutableProgram({self.program_name} on {self.config_name}: "
+            f"{len(self.ops)} ops, key {self.program_digest[:8]}/"
+            f"{self.config_fingerprint[:8]})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compile-time semantics specialization
+# ---------------------------------------------------------------------------
+#
+# The generic semantics callables go through ``ctx.get``/``ctx.set`` (a
+# bounds check + method call per register touch), re-probe ``ins``
+# attributes per retire, and call ``truncate``/``to_signed`` helpers.
+# All of that is static once the instruction is known: register indices
+# can be bounds-checked *at compile time* (skipping specialization when
+# one is out of range, so the generic runtime error is preserved),
+# immediates can be pre-masked, and loads/stores can take a single-page
+# fast path through the sparse memory.  Each emitter below produces a
+# closure that is observationally identical to the generic callable —
+# same register/memory mutations, same return value — just with the
+# per-retire overhead folded away.  The differential harness
+# (tests/integration/test_dispatch_differential.py) pins that claim.
+#
+# Unspecialized mnemonics (TIE customs, divides, ``break``) fall back to
+# ``definition.semantics`` unchanged.
+
+_M = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+_TWO32 = 0x100000000
+_PAGE_BITS = SparseMemory.PAGE_BITS
+_PAGE_SIZE = SparseMemory.PAGE_SIZE
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+def _regs_ok(num_regs: int, *regs: Optional[int]) -> bool:
+    for reg in regs:
+        if reg is None or reg < 0 or reg >= num_regs:
+            return False
+    return True
+
+
+def _r3(fn):
+    """rd <- fn(rs, rt) & M  (unsigned-operand R3 ops)."""
+
+    def emit(ins, addr, num_regs):
+        rd, rs, rt = ins.rd, ins.rs, ins.rt
+        if not _regs_ok(num_regs, rd, rs, rt):
+            return None
+
+        def sem(state, _ins):
+            regs = state.regs
+            regs[rd] = fn(regs[rs], regs[rt]) & _M
+
+        return sem
+
+    return emit
+
+
+def _r3_signed(fn):
+    """rd <- fn(signed rs, signed rt) & M."""
+
+    def emit(ins, addr, num_regs):
+        rd, rs, rt = ins.rd, ins.rs, ins.rt
+        if not _regs_ok(num_regs, rd, rs, rt):
+            return None
+
+        def sem(state, _ins):
+            regs = state.regs
+            a = regs[rs]
+            b = regs[rt]
+            if a & _SIGN_BIT:
+                a -= _TWO32
+            if b & _SIGN_BIT:
+                b -= _TWO32
+            regs[rd] = fn(a, b) & _M
+
+        return sem
+
+    return emit
+
+
+def _r2(fn):
+    """rd <- fn(rs) & M."""
+
+    def emit(ins, addr, num_regs):
+        rd, rs = ins.rd, ins.rs
+        if not _regs_ok(num_regs, rd, rs):
+            return None
+
+        def sem(state, _ins):
+            regs = state.regs
+            regs[rd] = fn(regs[rs]) & _M
+
+        return sem
+
+    return emit
+
+
+def _cond_move(test):
+    """rd <- rs when test(rt-value) holds (MOVEQZ family)."""
+
+    def emit(ins, addr, num_regs):
+        rd, rs, rt = ins.rd, ins.rs, ins.rt
+        if not _regs_ok(num_regs, rd, rs, rt):
+            return None
+
+        def sem(state, _ins):
+            regs = state.regs
+            if test(regs[rt]):
+                regs[rd] = regs[rs]
+
+        return sem
+
+    return emit
+
+
+def _imm_op(fold, fn):
+    """rd <- fn(rs, fold(imm)) & M — immediate pre-masked at compile time."""
+
+    def emit(ins, addr, num_regs):
+        rd, rs = ins.rd, ins.rs
+        if not _regs_ok(num_regs, rd, rs):
+            return None
+        k = fold(ins.imm)
+
+        def sem(state, _ins):
+            regs = state.regs
+            regs[rd] = fn(regs[rs], k) & _M
+
+        return sem
+
+    return emit
+
+
+def _load_emitter(size, signed):
+    ext_bits = size * 8
+    sign_bit = 1 << (ext_bits - 1)
+    ext_mask = (_M >> ext_bits) << ext_bits  # high bits set on sign extension
+    in_page_limit = _PAGE_SIZE - size
+
+    def emit(ins, addr, num_regs):
+        rt, rs = ins.rt, ins.rs
+        if not _regs_ok(num_regs, rt, rs):
+            return None
+        imm = (ins.imm or 0) & _M
+
+        def sem(state, _ins):
+            regs = state.regs
+            mem_addr = (regs[rs] + imm) & _M
+            offset = mem_addr & _PAGE_MASK
+            if offset <= in_page_limit:
+                page = state.memory._pages.get(mem_addr >> _PAGE_BITS)
+                value = (
+                    0
+                    if page is None
+                    else int.from_bytes(page[offset : offset + size], "little")
+                )
+            else:  # straddles a page boundary: per-byte generic read
+                value = state.memory.read(mem_addr, size)
+            if signed and value & sign_bit:
+                value |= ext_mask
+            regs[rt] = value
+
+        return sem
+
+    return emit
+
+
+def _store_emitter(size):
+    in_page_limit = _PAGE_SIZE - size
+    value_mask = (1 << (size * 8)) - 1
+
+    def emit(ins, addr, num_regs):
+        rt, rs = ins.rt, ins.rs
+        if not _regs_ok(num_regs, rt, rs):
+            return None
+        imm = (ins.imm or 0) & _M
+
+        def sem(state, _ins):
+            regs = state.regs
+            mem_addr = (regs[rs] + imm) & _M
+            offset = mem_addr & _PAGE_MASK
+            if offset <= in_page_limit:
+                pages = state.memory._pages
+                index = mem_addr >> _PAGE_BITS
+                page = pages.get(index)
+                if page is None:
+                    page = bytearray(_PAGE_SIZE)
+                    pages[index] = page
+                page[offset : offset + size] = (regs[rt] & value_mask).to_bytes(
+                    size, "little"
+                )
+            else:  # straddles a page boundary: per-byte generic write
+                state.memory.write(mem_addr, regs[rt], size)
+
+        return sem
+
+    return emit
+
+
+def _branch2(test):
+    """Taken target (imm) when test(rs-value, rt-value) holds."""
+
+    def emit(ins, addr, num_regs):
+        rs, rt = ins.rs, ins.rt
+        if not _regs_ok(num_regs, rs, rt):
+            return None
+        target = ins.imm
+
+        def sem(state, _ins):
+            regs = state.regs
+            return target if test(regs[rs], regs[rt]) else None
+
+        return sem
+
+    return emit
+
+
+def _branch2_signed(test):
+    def emit(ins, addr, num_regs):
+        rs, rt = ins.rs, ins.rt
+        if not _regs_ok(num_regs, rs, rt):
+            return None
+        target = ins.imm
+
+        def sem(state, _ins):
+            regs = state.regs
+            a = regs[rs]
+            b = regs[rt]
+            if a & _SIGN_BIT:
+                a -= _TWO32
+            if b & _SIGN_BIT:
+                b -= _TWO32
+            return target if test(a, b) else None
+
+        return sem
+
+    return emit
+
+
+def _branch1(test):
+    """Taken target when test(rs-value) holds (unsigned/sign-bit forms)."""
+
+    def emit(ins, addr, num_regs):
+        rs = ins.rs
+        if not _regs_ok(num_regs, rs):
+            return None
+        target = ins.imm
+
+        def sem(state, _ins):
+            return target if test(state.regs[rs]) else None
+
+        return sem
+
+    return emit
+
+
+def _branch_imm(test):
+    """BI compares: rs against the signed immediate folded into ``rt``."""
+
+    def emit(ins, addr, num_regs):
+        rs = ins.rs
+        if not _regs_ok(num_regs, rs):
+            return None
+        target = ins.imm
+        b = ins.rt - _TWO32 if ins.rt & _SIGN_BIT else ins.rt
+
+        def sem(state, _ins):
+            a = state.regs[rs]
+            if a & _SIGN_BIT:
+                a -= _TWO32
+            return target if test(a, b) else None
+
+        return sem
+
+    return emit
+
+
+def _branch_bit(want_set):
+    def emit(ins, addr, num_regs):
+        rs = ins.rs
+        if not _regs_ok(num_regs, rs):
+            return None
+        target = ins.imm
+        shift = ins.rt & 31
+
+        def sem(state, _ins):
+            taken = ((state.regs[rs] >> shift) & 1) == want_set
+            return target if taken else None
+
+        return sem
+
+    return emit
+
+
+def _emit_movi(ins, addr, num_regs):
+    rd = ins.rd
+    if not _regs_ok(num_regs, rd):
+        return None
+    value = ins.imm & _M
+
+    def sem(state, _ins):
+        state.regs[rd] = value
+
+    return sem
+
+
+def _emit_movhi(ins, addr, num_regs):
+    rd = ins.rd
+    if not _regs_ok(num_regs, rd):
+        return None
+    value = ((ins.imm & 0x3FFFF) << 12) & _M
+
+    def sem(state, _ins):
+        state.regs[rd] = value
+
+    return sem
+
+
+def _emit_j(ins, addr, num_regs):
+    target = ins.imm
+
+    def sem(state, _ins):
+        return target
+
+    return sem
+
+
+def _emit_jx(ins, addr, num_regs):
+    rs = ins.rs
+    if not _regs_ok(num_regs, rs):
+        return None
+
+    def sem(state, _ins):
+        return state.regs[rs]
+
+    return sem
+
+
+def _emit_call(ins, addr, num_regs):
+    # ``ctx.pc`` equals the instruction's own address when semantics run,
+    # so the link value is a compile-time constant.
+    target = ins.imm
+    link = (addr + INSTRUCTION_BYTES) & _M
+
+    def sem(state, _ins):
+        state.regs[0] = link
+        return target
+
+    return sem
+
+
+def _emit_callx(ins, addr, num_regs):
+    rs = ins.rs
+    if not _regs_ok(num_regs, rs):
+        return None
+    link = (addr + INSTRUCTION_BYTES) & _M
+
+    def sem(state, _ins):
+        target = state.regs[rs]  # read before the link write (rs may be a0)
+        state.regs[0] = link
+        return target
+
+    return sem
+
+
+def _emit_ret(ins, addr, num_regs):
+    def sem(state, _ins):
+        return state.regs[0]
+
+    return sem
+
+
+def _emit_nop(ins, addr, num_regs):
+    def sem(state, _ins):
+        return None
+
+    return sem
+
+
+def _emit_halt(ins, addr, num_regs):
+    def sem(state, _ins):
+        state.halted = True
+
+    return sem
+
+
+def _emit_mulh(signed):
+    def emit(ins, addr, num_regs):
+        rd, rs, rt = ins.rd, ins.rs, ins.rt
+        if not _regs_ok(num_regs, rd, rs, rt):
+            return None
+
+        def sem(state, _ins):
+            regs = state.regs
+            a = regs[rs]
+            b = regs[rt]
+            if signed:
+                if a & _SIGN_BIT:
+                    a -= _TWO32
+                if b & _SIGN_BIT:
+                    b -= _TWO32
+            regs[rd] = ((a * b) >> 32) & _M
+
+        return sem
+
+    return emit
+
+
+def _emit_abs(ins, addr, num_regs):
+    rd, rs = ins.rd, ins.rs
+    if not _regs_ok(num_regs, rd, rs):
+        return None
+
+    def sem(state, _ins):
+        regs = state.regs
+        a = regs[rs]
+        if a & _SIGN_BIT:
+            a = _TWO32 - a  # |signed(a)| for the negative half, mod 2^32
+        regs[rd] = a & _M
+
+    return sem
+
+
+def _emit_slti(ins, addr, num_regs):
+    rd, rs = ins.rd, ins.rs
+    if not _regs_ok(num_regs, rd, rs):
+        return None
+    k = ins.imm
+
+    def sem(state, _ins):
+        a = state.regs[rs]
+        if a & _SIGN_BIT:
+            a -= _TWO32
+        state.regs[rd] = 1 if a < k else 0
+
+    return sem
+
+
+def _emit_sltiu(ins, addr, num_regs):
+    rd, rs = ins.rd, ins.rs
+    if not _regs_ok(num_regs, rd, rs):
+        return None
+    k = ins.imm & _M
+
+    def sem(state, _ins):
+        state.regs[rd] = 1 if state.regs[rs] < k else 0
+
+    return sem
+
+
+#: mnemonic -> emitter(ins, addr, num_regs) -> specialized callable or None.
+_EMITTERS = {
+    # R3 unsigned arithmetic/logic
+    "add": _r3(lambda a, b: a + b),
+    "sub": _r3(lambda a, b: a - b),
+    "and": _r3(lambda a, b: a & b),
+    "or": _r3(lambda a, b: a | b),
+    "xor": _r3(lambda a, b: a ^ b),
+    "nor": _r3(lambda a, b: ~(a | b)),
+    "andn": _r3(lambda a, b: a & ~b),
+    "orn": _r3(lambda a, b: a | ~b),
+    "xnor": _r3(lambda a, b: ~(a ^ b)),
+    "addx2": _r3(lambda a, b: (a << 1) + b),
+    "addx4": _r3(lambda a, b: (a << 2) + b),
+    "addx8": _r3(lambda a, b: (a << 3) + b),
+    "subx2": _r3(lambda a, b: (a << 1) - b),
+    "subx4": _r3(lambda a, b: (a << 2) - b),
+    "sltu": _r3(lambda a, b: 1 if a < b else 0),
+    "minu": _r3(min),
+    "maxu": _r3(max),
+    "mull": _r3(lambda a, b: a * b),
+    # R3 signed
+    "slt": _r3_signed(lambda a, b: 1 if a < b else 0),
+    "min": _r3_signed(min),
+    "max": _r3_signed(max),
+    "mulh": _emit_mulh(signed=True),
+    "mulhu": _emit_mulh(signed=False),
+    # register shifts
+    "sll": _r3(lambda a, b: a << (b & 31)),
+    "srl": _r3(lambda a, b: a >> (b & 31)),
+    "sra": _r3(lambda a, b: (a - _TWO32 if a & _SIGN_BIT else a) >> (b & 31)),
+    "rotl": _r3(lambda a, b: rotate_left(a, b & 31)),
+    "rotr": _r3(lambda a, b: rotate_right(a, b & 31)),
+    # R2 unary
+    "mov": _r2(lambda a: a),
+    "neg": _r2(lambda a: -a),
+    "not": _r2(lambda a: ~a),
+    "abs": _emit_abs,
+    "sext8": _r2(lambda a: sign_extend(a, 8)),
+    "sext16": _r2(lambda a: sign_extend(a, 16)),
+    "zext8": _r2(lambda a: a & 0xFF),
+    "zext16": _r2(lambda a: a & 0xFFFF),
+    "clz": _r2(count_leading_zeros),
+    "ctz": _r2(count_trailing_zeros),
+    "popc": _r2(popcount),
+    "bswap": _r2(byte_swap),
+    # conditional moves (rt tested as signed; sign bit is all that matters)
+    "moveqz": _cond_move(lambda t: t == 0),
+    "movnez": _cond_move(lambda t: t != 0),
+    "movltz": _cond_move(lambda t: t & _SIGN_BIT != 0),
+    "movgez": _cond_move(lambda t: t & _SIGN_BIT == 0),
+    # immediates
+    "addi": _imm_op(lambda i: i & _M, lambda a, k: a + k),
+    "addmi": _imm_op(lambda i: (i & _M) << 8, lambda a, k: a + k),
+    "andi": _imm_op(lambda i: i & 0xFFF, lambda a, k: a & k),
+    "ori": _imm_op(lambda i: i & 0xFFF, lambda a, k: a | k),
+    "xori": _imm_op(lambda i: i & 0xFFF, lambda a, k: a ^ k),
+    "slti": _emit_slti,
+    "sltiu": _emit_sltiu,
+    "slli": _imm_op(lambda i: i & 31, lambda a, k: a << k),
+    "srli": _imm_op(lambda i: i & 31, lambda a, k: a >> k),
+    "srai": _imm_op(
+        lambda i: i & 31, lambda a, k: (a - _TWO32 if a & _SIGN_BIT else a) >> k
+    ),
+    "roli": _imm_op(lambda i: i & 31, rotate_left),
+    "rori": _imm_op(lambda i: i & 31, rotate_right),
+    "movi": _emit_movi,
+    "movhi": _emit_movhi,
+    # memory
+    "l32i": _load_emitter(4, signed=False),
+    "l16ui": _load_emitter(2, signed=False),
+    "l16si": _load_emitter(2, signed=True),
+    "l8ui": _load_emitter(1, signed=False),
+    "l8si": _load_emitter(1, signed=True),
+    "s32i": _store_emitter(4),
+    "s16i": _store_emitter(2),
+    "s8i": _store_emitter(1),
+    # jumps / calls
+    "j": _emit_j,
+    "jx": _emit_jx,
+    "call": _emit_call,
+    "callx": _emit_callx,
+    "ret": _emit_ret,
+    # branches
+    "beq": _branch2(lambda a, b: a == b),
+    "bne": _branch2(lambda a, b: a != b),
+    "blt": _branch2_signed(lambda a, b: a < b),
+    "bge": _branch2_signed(lambda a, b: a >= b),
+    "bltu": _branch2(lambda a, b: a < b),
+    "bgeu": _branch2(lambda a, b: a >= b),
+    "beqz": _branch1(lambda a: a == 0),
+    "bnez": _branch1(lambda a: a != 0),
+    "bltz": _branch1(lambda a: a & _SIGN_BIT != 0),
+    "bgez": _branch1(lambda a: a & _SIGN_BIT == 0),
+    "beqi": _branch_imm(lambda a, b: a == b),
+    "bnei": _branch_imm(lambda a, b: a != b),
+    "blti": _branch_imm(lambda a, b: a < b),
+    "bgei": _branch_imm(lambda a, b: a >= b),
+    "bbs": _branch_bit(1),
+    "bbc": _branch_bit(0),
+    # system ("break" stays generic: it raises with runtime context)
+    "nop": _emit_nop,
+    "halt": _emit_halt,
+}
+
+
+def _specialize(definition, ins, addr: int, num_registers: int):
+    """A specialized semantics closure for this op, or None to use the generic."""
+    if definition.iclass is InstructionClass.CUSTOM:
+        return None
+    emitter = _EMITTERS.get(definition.mnemonic)
+    if emitter is None:
+        return None
+    return emitter(ins, addr, num_registers)
+
+
+def compile_program(config: "ProcessorConfig", program: "Program") -> ExecutableProgram:
+    """Lower ``program`` against ``config`` into an :class:`ExecutableProgram`.
+
+    Raises :class:`SimulationError` when the program uses a mnemonic that
+    is not in the processor's ISA (same contract the per-run decoder had).
+    """
+    isa = config.isa
+    penalty = config.timing.branch_taken_penalty
+    gpr_mnemonics = frozenset(
+        mnemonic
+        for mnemonic, impl in config.extension_index.items()
+        if impl.accesses_gpr
+    )
+
+    addrs = tuple(sorted(program.instructions))
+    pc_to_index = {addr: index for index, addr in enumerate(addrs)}
+    ops: list[tuple] = []
+    num_registers = config.num_registers
+    regs_in_range = True
+    for addr in addrs:
+        ins = program.instructions[addr]
+        try:
+            definition = isa.lookup(ins.mnemonic)
+        except KeyError as exc:
+            raise SimulationError(
+                f"{program.name}: instruction {ins.mnemonic!r} at {addr:#x} "
+                f"is not in processor {config.name}'s ISA"
+            ) from exc
+        srcs = definition.source_registers(ins)
+        dests = definition.dest_registers(ins)
+        if regs_in_range and any(
+            reg < 0 or reg >= num_registers for reg in srcs + dests
+        ):
+            regs_in_range = False
+        iclass = definition.iclass
+        class_untaken, class_taken, issue_untaken, issue_taken = (
+            definition.resolve_timing(penalty)
+        )
+        if iclass is InstructionClass.CUSTOM:
+            custom_kind = 2 if ins.mnemonic in gpr_mnemonics else 1
+        else:
+            custom_kind = 0
+        semantics = (
+            _specialize(definition, ins, addr, num_registers)
+            or definition.semantics
+        )
+        ops.append(
+            (
+                semantics,
+                ins,
+                srcs,
+                srcs[0] if srcs else -1,
+                ins.imm or 0,
+                iclass in (InstructionClass.LOAD, InstructionClass.STORE),
+                not program.is_uncached(addr),
+                iclass is InstructionClass.BRANCH,
+                dests if iclass is InstructionClass.LOAD else (),
+                pc_to_index.get(addr + INSTRUCTION_BYTES, -1),
+                addr,
+                ins.mnemonic,
+                class_untaken,
+                class_taken,
+                issue_untaken,
+                issue_taken,
+                dests[0] if dests else -1,
+                custom_kind,
+                bool(srcs),
+                class_untaken in BASE_ENERGY_CLASSES,
+            )
+        )
+
+    return ExecutableProgram(
+        program_name=program.name,
+        config_name=config.name,
+        program_digest=program.digest(),
+        config_fingerprint=config.fingerprint(),
+        entry=program.entry,
+        ops=tuple(ops),
+        addrs=addrs,
+        pc_to_index=pc_to_index,
+        symbols_by_addr=tuple(
+            sorted((addr, name) for name, addr in program.symbols.items())
+        ),
+        regs_in_range=regs_in_range,
+    )
+
+
+def describe_invalid_pc(
+    program_name: str,
+    pc: int,
+    executable: Optional[ExecutableProgram] = None,
+    last_retired_addr: Optional[int] = None,
+) -> str:
+    """Diagnostic for a pc with no instruction: where did the jump come from?
+
+    Keeps the historical ``pc=... is not a valid instruction address``
+    phrasing (matched by callers and tests) and appends the nearest
+    preceding label/symbol plus the address of the last retired
+    instruction, so wild jumps in user programs are debuggable.
+    """
+    message = f"{program_name}: pc={pc:#010x} is not a valid instruction address"
+    context: list[str] = []
+    if executable is not None:
+        near = executable.nearest_symbol(pc)
+        if near is not None:
+            name, offset = near
+            where = f"{name!r}" if offset == 0 else f"{name!r}+{offset:#x}"
+            context.append(f"nearest preceding symbol: {where}")
+        else:
+            context.append("before the first symbol")
+    if last_retired_addr is not None:
+        context.append(f"last retired instruction at {last_retired_addr:#010x}")
+    else:
+        context.append("no instructions retired")
+    return f"{message} ({'; '.join(context)})"
+
+
+class CompilationCache:
+    """LRU cache of :class:`ExecutableProgram` lowerings across runs.
+
+    Keys are ``(program digest, config fingerprint)`` — pure content, so
+    a re-assembled identical program or a re-built identical config hits.
+    The counters are part of the public contract: design-space exploration
+    asserts exactly one compilation per (program, config-content) pair via
+    :attr:`compilations`.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("compilation cache needs room for at least one entry")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple[str, str], ExecutableProgram]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.compilations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compile(
+        self, config: "ProcessorConfig", program: "Program"
+    ) -> ExecutableProgram:
+        """Return the cached lowering for the pair, compiling on first use."""
+        key = (program.digest(), config.fingerprint())
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        executable = compile_program(config, program)  # may raise; not cached
+        self.compilations += 1
+        self._entries[key] = executable
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return executable
+
+    def put(self, executable: ExecutableProgram) -> None:
+        """Insert a pre-built lowering (e.g. compiled in a parent process)."""
+        key = (executable.program_digest, executable.config_fingerprint)
+        self._entries[key] = executable
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset every counter."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.compilations = 0
+        self.evictions = 0
+
+    def info(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "compilations": self.compilations,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompilationCache({len(self._entries)}/{self.maxsize} entries, "
+            f"{self.hits} hits / {self.misses} misses, "
+            f"{self.compilations} compilations)"
+        )
+
+
+#: Process-wide cache used by :class:`repro.xtcore.Simulator` (and thereby
+#: ``run_session``).  Forked worker processes inherit the parent's entries
+#: copy-on-write, which is how the DSE pool compiles once pre-fork.
+_GLOBAL_CACHE = CompilationCache()
+
+
+def compilation_cache() -> CompilationCache:
+    """The process-wide compilation cache (counters included)."""
+    return _GLOBAL_CACHE

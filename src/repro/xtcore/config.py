@@ -18,6 +18,12 @@ from ..hwlib import ComponentInstance
 from ..isa import InstructionSet, base_isa
 from ..tie import TieImplementation, TieSpec, compile_extension
 
+#: Default per-run instruction budget shared by the simulator, ``simulate``,
+#: ``run_session`` and every CLI subcommand.  Defined here (the leaf config
+#: module) so both ``repro.xtcore`` and ``repro.obs`` can import it without
+#: creating an import cycle.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
 
 @dataclasses.dataclass(frozen=True)
 class CacheConfig:

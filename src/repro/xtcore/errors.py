@@ -1,0 +1,17 @@
+"""Simulation exception types.
+
+Defined in their own leaf module so both the program compiler
+(:mod:`repro.xtcore.compiled`) and the dispatch engine
+(:mod:`repro.xtcore.iss`) can raise them without importing each other;
+``repro.xtcore`` re-exports them under their historical names.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """The simulated program did something unrecoverable."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The instruction budget ran out (probable infinite loop)."""

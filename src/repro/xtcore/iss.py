@@ -1,4 +1,4 @@
-"""Cycle-approximate instruction-set simulator for the extensible core.
+"""Cycle-approximate instruction-set simulation: the dispatch engine.
 
 This is the fast path of the paper's methodology (steps 6 and 9 of its
 flow): instruction-set simulation gathers execution statistics — class
@@ -17,14 +17,26 @@ The timing model is a five-stage in-order pipeline abstraction:
   uncached-fetch penalty when the address lies in an uncached region;
 * loads and stores access the D-cache and pay miss penalties.
 
-Simulation output is delivered through the streaming observer protocol
-(:mod:`repro.obs`): the loop populates one reused
-:class:`~repro.obs.events.RetireEvent` per instruction and fans it out to
-the registered :class:`~repro.obs.protocol.SimObserver` chain.  The
-always-on statistics and the optional trace materialization are the two
-bundled observers; callers register further observers (online RTL energy
-accumulation, profilers, trackers) via the ``observers`` argument or the
-:func:`repro.obs.run_session` entry point.
+Execution is a three-stage **compile → link → dispatch** pipeline: the
+program is lowered once against the processor config into an
+:class:`~repro.xtcore.compiled.ExecutableProgram` (memoized across runs
+by the :func:`~repro.xtcore.compiled.compilation_cache`), and
+:meth:`Simulator.run` dispatches over that IR with two specializations:
+
+* the **instrumented path** runs whenever observers are registered or a
+  trace is requested: it populates one reused
+  :class:`~repro.obs.events.RetireEvent` per instruction and fans it out
+  to the :class:`~repro.obs.protocol.SimObserver` chain, exactly as the
+  streaming protocol documents;
+* the **fast path** runs when there is nothing to observe (the
+  characterize/DSE common case): no event objects, no operand tuples, no
+  callback dispatch — just semantics plus per-op retire counters.
+
+Both paths fold statistics the same way — per-op retire/taken counts and
+scalar event counters, aggregated into :class:`ExecutionStats` at run
+end — so their stats are identical by construction, and the differential
+suite pins both against the retained reference interpreter
+(:class:`repro.xtcore.interp.ReferenceSimulator`).
 """
 
 from __future__ import annotations
@@ -33,18 +45,15 @@ import dataclasses
 from typing import Optional, Sequence
 
 from ..asm import Program
-from ..isa import (
-    INSTRUCTION_BYTES,
-    InstructionClass,
-    MachineState,
-)
-from ..isa.bits import truncate
-from ..isa.instructions import Instruction, InstructionDef
-from ..obs.bundled import StatsObserver, TraceObserver
+from ..isa import INSTRUCTION_BYTES, MachineState
+from ..isa.classes import InstructionClass
+from ..obs.bundled import TraceObserver
 from ..obs.events import RetireEvent
 from ..obs.protocol import SimObserver
 from .caches import SetAssociativeCache
-from .config import ProcessorConfig
+from .compiled import ExecutableProgram, compilation_cache, describe_invalid_pc
+from .config import DEFAULT_MAX_INSTRUCTIONS, ProcessorConfig
+from .errors import SimulationError, SimulationLimitExceeded
 from .trace import ExecutionStats, TraceRecord
 
 #: Value planted in the link register at reset; returning to it halts the
@@ -54,13 +63,19 @@ EXIT_ADDRESS = 0xFFFF_FFF0
 #: Default stack-pointer value at reset (grows downward).
 DEFAULT_STACK_TOP = 0x0007_FF00
 
+_BRANCH_TAKEN = InstructionClass.BRANCH_TAKEN
+_BRANCH_UNTAKEN = InstructionClass.BRANCH_UNTAKEN
 
-class SimulationError(RuntimeError):
-    """The simulated program did something unrecoverable."""
-
-
-class SimulationLimitExceeded(SimulationError):
-    """The instruction budget ran out (probable infinite loop)."""
+__all__ = [
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "DEFAULT_STACK_TOP",
+    "EXIT_ADDRESS",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+]
 
 
 @dataclasses.dataclass
@@ -120,12 +135,101 @@ class SimulationResult:
         return [self.state.memory.read(base + 4 * i, 4) for i in range(count)]
 
 
+def _aggregate_stats(
+    config: ProcessorConfig,
+    executable: ExecutableProgram,
+    counts: list[int],
+    taken_counts: list[int],
+    icache_misses: int,
+    dcache_misses: int,
+    interlocks: int,
+) -> ExecutionStats:
+    """Fold per-op retire counters into :class:`ExecutionStats`.
+
+    Mathematically identical to applying :func:`repro.obs.bundled.apply_event`
+    per retired instruction (the reference interpreter's folding rule), but
+    O(static ops) instead of O(dynamic instructions): every retire of one
+    micro-op contributes the same class, issue cycles and bus attribution,
+    so the per-retire sums collapse to ``count x per-op values`` — with
+    branches split by their taken count.  Both dispatch paths use this, so
+    fast-path stats equal instrumented-path stats by construction.
+    """
+    stats = ExecutionStats()
+    class_cycles = stats.class_cycles
+    class_counts = stats.class_counts
+    mnemonic_counts = stats.mnemonic_counts
+    custom_cycles = stats.custom_cycles
+    custom_counts = stats.custom_counts
+    total_instructions = 0
+    issue_total = 0
+    base_bus = 0
+    system = 0
+    gpr_cycles = 0
+    uncached_fetches = 0
+    ops = executable.ops
+    for index, count in enumerate(counts):
+        if not count:
+            continue
+        op = ops[index]
+        taken = taken_counts[index]
+        untaken = count - taken
+        issue = untaken * op[14] + taken * op[15]
+        mnemonic = op[11]
+        total_instructions += count
+        issue_total += issue
+        mnemonic_counts[mnemonic] = mnemonic_counts.get(mnemonic, 0) + count
+        kind = op[17]
+        if kind:  # custom instruction
+            custom_cycles[mnemonic] = custom_cycles.get(mnemonic, 0) + issue
+            custom_counts[mnemonic] = custom_counts.get(mnemonic, 0) + count
+            if kind == 2:
+                gpr_cycles += issue
+        else:
+            if op[7]:  # BRANCH: split by outcome
+                if untaken:
+                    class_cycles[_BRANCH_UNTAKEN] += untaken * op[14]
+                    class_counts[_BRANCH_UNTAKEN] += untaken
+                if taken:
+                    class_cycles[_BRANCH_TAKEN] += taken * op[15]
+                    class_counts[_BRANCH_TAKEN] += taken
+            elif op[19]:  # one of the six base energy classes
+                iclass = op[12]
+                class_cycles[iclass] += issue
+                class_counts[iclass] += count
+            else:  # SYSTEM
+                system += issue
+            if op[18]:  # base op driving the shared operand buses
+                base_bus += issue
+        if not op[6]:
+            uncached_fetches += count
+    timing = config.timing
+    stats.icache_misses = icache_misses
+    stats.dcache_misses = dcache_misses
+    stats.interlocks = interlocks
+    stats.uncached_fetches = uncached_fetches
+    stats.custom_gpr_cycles = gpr_cycles
+    stats.base_bus_cycles = base_bus
+    stats.system_cycles = system
+    stats.total_instructions = total_instructions
+    stats.total_cycles = (
+        issue_total
+        + interlocks * timing.interlock_stall
+        + icache_misses * config.icache.miss_penalty
+        + dcache_misses * config.dcache.miss_penalty
+        + uncached_fetches * timing.uncached_fetch_penalty
+    )
+    return stats
+
+
 class Simulator:
     """Executes one :class:`Program` on one :class:`ProcessorConfig`.
 
-    ``observers`` registers extra :class:`~repro.obs.protocol.SimObserver`
-    subscribers on every run; statistics (and, with ``collect_trace=True``,
-    trace materialization) are provided by bundled observers regardless.
+    Construction resolves the program against the process-wide
+    :func:`~repro.xtcore.compiled.compilation_cache` (pass ``executable``
+    to reuse a lowering compiled elsewhere, e.g. pre-fork in a worker
+    pool).  ``observers`` registers extra
+    :class:`~repro.obs.protocol.SimObserver` subscribers on every run;
+    with no observers and no trace the run takes the fast dispatch path.
     Most callers should go through :func:`repro.obs.run_session` instead
     of constructing a ``Simulator`` directly.
     """
@@ -135,26 +239,26 @@ class Simulator:
         config: ProcessorConfig,
         program: Program,
         collect_trace: bool = False,
-        max_instructions: int = 5_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         observers: Sequence[SimObserver] = (),
+        executable: Optional[ExecutableProgram] = None,
     ) -> None:
         self.config = config
         self.program = program
         self.collect_trace = collect_trace
         self.max_instructions = max_instructions
         self.observers = tuple(observers)
-        isa = config.isa
-        # Pre-decode: (instruction, definition, uncached?) per address.
-        self._decoded: dict[int, tuple[Instruction, InstructionDef, bool]] = {}
-        for addr, ins in program.instructions.items():
-            try:
-                definition = isa.lookup(ins.mnemonic)
-            except KeyError as exc:
-                raise SimulationError(
-                    f"{program.name}: instruction {ins.mnemonic!r} at {addr:#x} "
-                    f"is not in processor {config.name}'s ISA"
-                ) from exc
-            self._decoded[addr] = (ins, definition, program.is_uncached(addr))
+        if executable is None:
+            executable = compilation_cache().get_or_compile(config, program)
+        elif (
+            executable.program_digest != program.digest()
+            or executable.config_fingerprint != config.fingerprint()
+        ):
+            raise SimulationError(
+                f"executable {executable!r} was compiled for different content "
+                f"than ({program.name}, {config.name})"
+            )
+        self.executable = executable
 
     def _reset(self) -> MachineState:
         state = MachineState(self.config.num_registers)
@@ -171,15 +275,132 @@ class Simulator:
         state = self._reset()
         if entry is not None:
             state.pc = entry
-        stats_observer = StatsObserver()
-        chain: list[SimObserver] = [stats_observer]
+        if self.observers or self.collect_trace:
+            return self._run_instrumented(state)
+        return self._run_fast(state)
+
+    # ------------------------------------------------------------------
+    # fast path: no observers, no trace — counters only
+    # ------------------------------------------------------------------
+
+    def _run_fast(self, state: MachineState) -> SimulationResult:
+        executable = self.executable
+        ops = executable.ops
+        pc_map = executable.pc_to_index
+        counts = [0] * len(ops)
+        taken_counts = [0] * len(ops)
+        config = self.config
+        icache = SetAssociativeCache(config.icache, "icache")
+        dcache = SetAssociativeCache(config.dcache, "dcache")
+        icache_access = icache.access
+        dcache_access = dcache.access
+        ishift = icache.offset_bits
+        dshift = dcache.offset_bits
+        icache_misses = 0
+        dcache_misses = 0
+        interlocks = 0
+        # Same-line memo: a repeat access to the line just touched is a
+        # guaranteed MRU hit with no LRU movement and no events, so the
+        # cache model call can be skipped without changing any outcome.
+        ilast = -1
+        dlast = -1
+        prev_load_dests: tuple[int, ...] = ()
+        max_instructions = self.max_instructions
+        # Register reads skip the bounds check when compilation proved
+        # every index in range (the out-of-range IndexError path is kept
+        # for programs where it did not).
+        state_get = state.regs.__getitem__ if executable.regs_in_range else state.get
+        executed = 0
+        mem_base = 0
+
+        pc = state.pc
+        if pc != EXIT_ADDRESS:
+            idx = pc_map.get(pc, -1)
+            if idx < 0:
+                raise SimulationError(
+                    describe_invalid_pc(executable.program_name, pc, executable, None)
+                )
+            while True:
+                if executed >= max_instructions:
+                    raise SimulationLimitExceeded(
+                        f"{executable.program_name}: "
+                        f"exceeded {max_instructions} instructions"
+                    )
+                executed += 1
+                op = ops[idx]
+                addr = op[10]
+                if op[6]:  # cached fetch
+                    line = addr >> ishift
+                    if line != ilast:
+                        ilast = line
+                        if not icache_access(addr):
+                            icache_misses += 1
+                if prev_load_dests:
+                    for src in op[2]:
+                        if src in prev_load_dests:
+                            interlocks += 1
+                            break
+                if op[5]:  # memory op: base register read precedes execution
+                    mem_base = state_get(op[3])
+                state.pc = addr
+                counts[idx] += 1
+                next_pc = op[0](state, op[1])
+                if op[5]:
+                    mem_addr = (mem_base + op[4]) & 0xFFFFFFFF
+                    line = mem_addr >> dshift
+                    if line != dlast:
+                        dlast = line
+                        if not dcache_access(mem_addr):
+                            dcache_misses += 1
+                prev_load_dests = op[8]
+                if next_pc is None:
+                    if state.halted:
+                        state.pc = addr + INSTRUCTION_BYTES
+                        break
+                    idx = op[9]
+                    if idx >= 0:
+                        continue
+                    pc = addr + INSTRUCTION_BYTES
+                else:
+                    taken_counts[idx] += 1
+                    if state.halted:
+                        state.pc = next_pc
+                        break
+                    if next_pc == EXIT_ADDRESS:
+                        state.pc = EXIT_ADDRESS
+                        break
+                    idx = pc_map.get(next_pc, -1)
+                    if idx >= 0:
+                        continue
+                    pc = next_pc
+                state.pc = pc
+                raise SimulationError(
+                    describe_invalid_pc(executable.program_name, pc, executable, addr)
+                )
+
+        stats = _aggregate_stats(
+            config, executable, counts, taken_counts,
+            icache_misses, dcache_misses, interlocks,
+        )
+        return SimulationResult(
+            program=self.program, config=config, stats=stats, state=state
+        )
+
+    # ------------------------------------------------------------------
+    # instrumented path: observer chain and/or trace materialization
+    # ------------------------------------------------------------------
+
+    def _run_instrumented(self, state: MachineState) -> SimulationResult:
+        executable = self.executable
+        config = self.config
+        chain: list[SimObserver] = []
         trace_observer: Optional[TraceObserver] = None
         if self.collect_trace:
             trace_observer = TraceObserver()
             chain.append(trace_observer)
         chain.extend(self.observers)
         for observer in chain:
-            observer.on_run_start(self.config, self.program)
+            observer.on_run_start(config, self.program)
         # Prefilter per granularity once, so unused callbacks cost nothing
         # in the hot loop.
         retire_observers = [o for o in chain if o.wants_retire]
@@ -187,123 +408,162 @@ class Simulator:
         need_result = any(o.needs_result for o in retire_observers)
         event = RetireEvent()  # reused every instruction (observers copy)
 
-        stats = stats_observer.stats
-        icache = SetAssociativeCache(self.config.icache, "icache")
-        dcache = SetAssociativeCache(self.config.dcache, "dcache")
-        timing = self.config.timing
-        decoded = self._decoded
-
+        ops = executable.ops
+        pc_map = executable.pc_to_index
+        counts = [0] * len(ops)
+        taken_counts = [0] * len(ops)
+        icache = SetAssociativeCache(config.icache, "icache")
+        dcache = SetAssociativeCache(config.dcache, "dcache")
+        icache_access = icache.access
+        dcache_access = dcache.access
+        ishift = icache.offset_bits
+        dshift = dcache.offset_bits
+        icache_penalty = config.icache.miss_penalty
+        dcache_penalty = config.dcache.miss_penalty
+        timing = config.timing
+        uncached_penalty = timing.uncached_fetch_penalty
+        interlock_stall = timing.interlock_stall
+        icache_misses = 0
+        dcache_misses = 0
+        interlocks = 0
+        ilast = -1
+        dlast = -1
         prev_load_dests: tuple[int, ...] = ()
+        max_instructions = self.max_instructions
+        state_get = state.regs.__getitem__ if executable.regs_in_range else state.get
         executed = 0
 
-        while not state.halted:
-            pc = state.pc
-            if pc == EXIT_ADDRESS:
-                break
-            entry_tuple = decoded.get(pc)
-            if entry_tuple is None:
+        pc = state.pc
+        if pc != EXIT_ADDRESS:
+            idx = pc_map.get(pc, -1)
+            if idx < 0:
                 raise SimulationError(
-                    f"{self.program.name}: pc={pc:#010x} is not a valid instruction address"
+                    describe_invalid_pc(executable.program_name, pc, executable, None)
                 )
-            ins, definition, uncached = entry_tuple
+            while True:
+                if executed >= max_instructions:
+                    raise SimulationLimitExceeded(
+                        f"{executable.program_name}: "
+                        f"exceeded {max_instructions} instructions"
+                    )
+                executed += 1
+                op = ops[idx]
+                addr = op[10]
 
-            if executed >= self.max_instructions:
-                raise SimulationLimitExceeded(
-                    f"{self.program.name}: exceeded {self.max_instructions} instructions"
+                # ---- fetch -----------------------------------------------
+                cycles = 0
+                icache_miss = False
+                uncached = not op[6]
+                if uncached:
+                    cycles += uncached_penalty
+                    for observer in event_observers:
+                        observer.on_uncached_fetch(addr)
+                else:
+                    line = addr >> ishift
+                    if line != ilast:
+                        ilast = line
+                        if not icache_access(addr):
+                            icache_miss = True
+                            icache_misses += 1
+                            cycles += icache_penalty
+                            for observer in event_observers:
+                                observer.on_icache_miss(addr)
+
+                # ---- decode / hazard detection ---------------------------
+                srcs = op[2]
+                interlock = False
+                if prev_load_dests:
+                    for src in srcs:
+                        if src in prev_load_dests:
+                            interlock = True
+                            interlocks += 1
+                            cycles += interlock_stall
+                            for observer in event_observers:
+                                observer.on_interlock(addr)
+                            break
+                operands = tuple([state_get(src) for src in srcs]) if srcs else ()
+
+                # ---- execute ---------------------------------------------
+                state.pc = addr
+                counts[idx] += 1
+                next_pc = op[0](state, op[1])
+
+                # ---- memory timing ---------------------------------------
+                dcache_miss = False
+                mem_addr: Optional[int] = None
+                if op[5]:
+                    mem_addr = (operands[0] + op[4]) & 0xFFFFFFFF
+                    line = mem_addr >> dshift
+                    if line != dlast:
+                        dlast = line
+                        if not dcache_access(mem_addr):
+                            dcache_miss = True
+                            dcache_misses += 1
+                            cycles += dcache_penalty
+                            for observer in event_observers:
+                                observer.on_dcache_miss(mem_addr)
+
+                # ---- retire: fan the event out to the observer chain -----
+                if next_pc is None:
+                    issue_cycles = op[14]
+                    resolved = op[12]
+                else:
+                    taken_counts[idx] += 1
+                    issue_cycles = op[15]
+                    resolved = op[13]
+                cycles += issue_cycles
+                event.addr = addr
+                event.mnemonic = op[11]
+                event.iclass = resolved
+                event.cycles = cycles
+                event.issue_cycles = issue_cycles
+                event.operands = operands
+                if need_result:
+                    dest0 = op[16]
+                    event.result = state_get(dest0) if dest0 >= 0 else 0
+                else:
+                    event.result = 0
+                event.icache_miss = icache_miss
+                event.dcache_miss = dcache_miss
+                event.uncached_fetch = uncached
+                event.interlock = interlock
+                event.mem_addr = mem_addr
+                for observer in retire_observers:
+                    observer.on_retire(event)
+
+                # ---- hazard bookkeeping / next pc ------------------------
+                prev_load_dests = op[8]
+                if next_pc is None:
+                    if state.halted:
+                        state.pc = addr + INSTRUCTION_BYTES
+                        break
+                    idx = op[9]
+                    if idx >= 0:
+                        continue
+                    pc = addr + INSTRUCTION_BYTES
+                else:
+                    if state.halted:
+                        state.pc = next_pc
+                        break
+                    if next_pc == EXIT_ADDRESS:
+                        state.pc = EXIT_ADDRESS
+                        break
+                    idx = pc_map.get(next_pc, -1)
+                    if idx >= 0:
+                        continue
+                    pc = next_pc
+                state.pc = pc
+                raise SimulationError(
+                    describe_invalid_pc(executable.program_name, pc, executable, addr)
                 )
-            executed += 1
 
-            # ---- fetch ---------------------------------------------------
-            cycles = 0
-            icache_miss = False
-            if uncached:
-                cycles += timing.uncached_fetch_penalty
-                if event_observers:
-                    for observer in event_observers:
-                        observer.on_uncached_fetch(pc)
-            elif not icache.access(pc):
-                icache_miss = True
-                cycles += self.config.icache.miss_penalty
-                if event_observers:
-                    for observer in event_observers:
-                        observer.on_icache_miss(pc)
-
-            # ---- decode / hazard detection -------------------------------
-            sources = definition.source_registers(ins)
-            interlock = bool(prev_load_dests) and any(
-                src in prev_load_dests for src in sources
-            )
-            if interlock:
-                cycles += timing.interlock_stall
-                if event_observers:
-                    for observer in event_observers:
-                        observer.on_interlock(pc)
-
-            operands = tuple(state.get(src) for src in sources)
-
-            # ---- execute --------------------------------------------------
-            next_pc = definition.semantics(state, ins)
-
-            # ---- memory timing -------------------------------------------
-            dcache_miss = False
-            mem_addr: Optional[int] = None
-            iclass = definition.iclass
-            if iclass in (InstructionClass.LOAD, InstructionClass.STORE):
-                mem_addr = truncate(operands[0] + (ins.imm or 0))
-                if not dcache.access(mem_addr):
-                    dcache_miss = True
-                    cycles += self.config.dcache.miss_penalty
-                    if event_observers:
-                        for observer in event_observers:
-                            observer.on_dcache_miss(mem_addr)
-
-            # ---- cycle attribution ----------------------------------------
-            if iclass is InstructionClass.BRANCH:
-                taken = next_pc is not None
-                resolved = (
-                    InstructionClass.BRANCH_TAKEN if taken else InstructionClass.BRANCH_UNTAKEN
-                )
-                issue_cycles = definition.latency + (timing.branch_taken_penalty if taken else 0)
-            elif iclass is InstructionClass.JUMP:
-                resolved = iclass
-                issue_cycles = definition.latency + timing.branch_taken_penalty
-            else:  # ARITH, LOAD, STORE, CUSTOM, SYSTEM
-                resolved = iclass
-                issue_cycles = definition.latency
-
-            cycles += issue_cycles
-
-            # ---- retire: fan the event out to the observer chain ----------
-            event.addr = pc
-            event.mnemonic = ins.mnemonic
-            event.iclass = resolved
-            event.cycles = cycles
-            event.issue_cycles = issue_cycles
-            event.operands = operands
-            if need_result:
-                dests = definition.dest_registers(ins)
-                event.result = state.get(dests[0]) if dests else 0
-            else:
-                event.result = 0
-            event.icache_miss = icache_miss
-            event.dcache_miss = dcache_miss
-            event.uncached_fetch = uncached
-            event.interlock = interlock
-            event.mem_addr = mem_addr
-            for observer in retire_observers:
-                observer.on_retire(event)
-
-            # ---- hazard bookkeeping / next pc -----------------------------
-            prev_load_dests = (
-                definition.dest_registers(ins)
-                if iclass is InstructionClass.LOAD
-                else ()
-            )
-            state.pc = next_pc if next_pc is not None else pc + INSTRUCTION_BYTES
-
+        stats = _aggregate_stats(
+            config, executable, counts, taken_counts,
+            icache_misses, dcache_misses, interlocks,
+        )
         result = SimulationResult(
             program=self.program,
-            config=self.config,
+            config=config,
             stats=stats,
             state=state,
             trace=trace_observer.records if trace_observer is not None else None,
@@ -317,8 +577,9 @@ def simulate(
     config: ProcessorConfig,
     program: Program,
     collect_trace: bool = False,
-    max_instructions: int = 5_000_000,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     observers: Sequence[SimObserver] = (),
+    executable: Optional[ExecutableProgram] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     return Simulator(
@@ -327,4 +588,5 @@ def simulate(
         collect_trace=collect_trace,
         max_instructions=max_instructions,
         observers=observers,
+        executable=executable,
     ).run()

@@ -1,0 +1,41 @@
+"""Exploration must compile each (program, config-content) pair exactly once."""
+
+from repro.dse.evaluate import EvaluationEngine
+from repro.xtcore import compilation_cache
+
+from .conftest import make_toy_space
+
+
+def test_explore_compiles_each_pair_exactly_once(synthetic_model):
+    space = make_toy_space(with_pad=False)  # 3 distinct design points
+    candidates = list(space.candidates())
+
+    cache = compilation_cache()
+    cache.clear()
+    engine = EvaluationEngine(synthetic_model, space)
+    scores = engine.evaluate(candidates)
+    assert len(scores) == len(candidates)
+    assert cache.compilations == len(candidates)
+
+    # warm re-evaluation with a fresh engine (no per-run memo): the
+    # compilation cache absorbs every lowering, so nothing recompiles
+    warm = EvaluationEngine(synthetic_model, space)
+    warm_scores = warm.evaluate(list(space.candidates()))
+    assert len(warm_scores) == len(candidates)
+    assert cache.compilations == len(candidates)
+    assert cache.hits >= len(candidates)
+
+
+def test_repeated_sessions_share_one_lowering(synthetic_model):
+    space = make_toy_space(with_pad=False)
+    candidate = next(space.candidates())
+    config, program = candidate.build()
+
+    cache = compilation_cache()
+    cache.clear()
+    from repro.obs import run_session
+
+    for _ in range(4):
+        run_session(config, program)
+    assert cache.compilations == 1
+    assert cache.hits == 3

@@ -1,0 +1,150 @@
+"""Differential tests: compiled dispatch == reference interpreter.
+
+The compiled engine (:class:`repro.xtcore.Simulator`) must be bitwise
+equivalent to the retained reference interpreter
+(:class:`repro.xtcore.ReferenceSimulator`) on statistics, traces and
+final machine state — on every bundled benchmark and on hundreds of
+seeded random programs from :mod:`repro.testing.progen`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.programs import characterization_suite
+from repro.testing.progen import generate_program, generate_source
+from repro.xtcore import (
+    ReferenceSimulator,
+    Simulator,
+    build_processor,
+    compile_program,
+)
+
+TRACE_FIELDS = (
+    "addr",
+    "mnemonic",
+    "iclass",
+    "cycles",
+    "operands",
+    "result",
+    "icache_miss",
+    "dcache_miss",
+    "uncached_fetch",
+    "interlock",
+    "mem_addr",
+)
+
+#: Seed count for the randomized sweep (the issue floor is 200).
+RANDOM_SEEDS = range(220)
+
+MAX_INSTRUCTIONS = 200_000
+
+
+def assert_stats_equal(expected, actual, context):
+    for field in dataclasses.fields(expected):
+        a = getattr(expected, field.name)
+        b = getattr(actual, field.name)
+        assert a == b, f"{context}: stats.{field.name} differs: {a!r} != {b!r}"
+
+
+def assert_traces_equal(expected, actual, context):
+    assert len(expected) == len(actual), (
+        f"{context}: trace length differs: {len(expected)} != {len(actual)}"
+    )
+    for i, (ref, new) in enumerate(zip(expected, actual)):
+        for field in TRACE_FIELDS:
+            a = getattr(ref, field)
+            b = getattr(new, field)
+            assert a == b, (
+                f"{context}: trace[{i}].{field} differs: {a!r} != {b!r}"
+            )
+
+
+def assert_states_equal(expected, actual, context):
+    assert expected.regs == actual.regs, f"{context}: register file differs"
+    assert expected.pc == actual.pc, (
+        f"{context}: final pc differs: {expected.pc:#x} != {actual.pc:#x}"
+    )
+    assert expected.halted == actual.halted, f"{context}: halted flag differs"
+    assert expected.tie_state == actual.tie_state, f"{context}: TIE state differs"
+    ref_pages = {k: bytes(v) for k, v in expected.memory._pages.items()}
+    new_pages = {k: bytes(v) for k, v in actual.memory._pages.items()}
+    assert ref_pages == new_pages, f"{context}: memory contents differ"
+
+
+def run_both(config, program, max_instructions=MAX_INSTRUCTIONS):
+    reference = ReferenceSimulator(
+        config, program, collect_trace=True, max_instructions=max_instructions
+    )
+    ref_result = reference.run()
+    executable = compile_program(config, program)
+    compiled = Simulator(
+        config,
+        program,
+        collect_trace=True,
+        max_instructions=max_instructions,
+        executable=executable,
+    )
+    new_result = compiled.run()
+    return reference, ref_result, compiled, new_result, executable
+
+
+class TestBundledSuiteEquivalence:
+    @pytest.mark.parametrize(
+        "case", characterization_suite(include_variants=False), ids=lambda c: c.name
+    )
+    def test_case_bitwise_identical(self, case):
+        config, program = case.build()
+        reference, ref_result, compiled, new_result, executable = run_both(
+            config, program, max_instructions=case.max_instructions
+        )
+        assert_stats_equal(ref_result.stats, new_result.stats, case.name)
+        assert_traces_equal(ref_result.trace, new_result.trace, case.name)
+        assert_states_equal(ref_result.state, new_result.state, case.name)
+        case.verify(new_result)
+
+        # the fast path (no trace, no observers) must agree as well
+        fast = Simulator(
+            config,
+            program,
+            max_instructions=case.max_instructions,
+            executable=executable,
+        )
+        fast_result = fast.run()
+        assert_stats_equal(ref_result.stats, fast_result.stats, f"{case.name} (fast)")
+        assert fast_result.trace is None  # trace off => not materialized
+        assert_states_equal(ref_result.state, fast_result.state, f"{case.name} (fast)")
+
+
+class TestRandomProgramEquivalence:
+    def test_generator_is_deterministic(self):
+        assert generate_source(1234) == generate_source(1234)
+        assert generate_source(1) != generate_source(2)
+
+    def test_random_sweep(self):
+        config = build_processor("xt-differential", [])
+        for seed in RANDOM_SEEDS:
+            program = generate_program(seed)
+            reference, ref_result, compiled, new_result, executable = run_both(
+                config, program
+            )
+            context = f"seed {seed}"
+            assert_stats_equal(ref_result.stats, new_result.stats, context)
+            assert_traces_equal(ref_result.trace, new_result.trace, context)
+            assert_states_equal(ref_result.state, new_result.state, context)
+
+            fast = Simulator(
+                config, program, max_instructions=MAX_INSTRUCTIONS, executable=executable
+            )
+            fast_result = fast.run()
+            assert_stats_equal(
+                ref_result.stats, fast_result.stats, f"{context} (fast)"
+            )
+            assert_states_equal(ref_result.state, fast_result.state, f"{context} (fast)")
+
+    def test_sweep_exercises_interesting_shapes(self):
+        sources = [generate_source(seed) for seed in RANDOM_SEEDS]
+        assert any(".utext" in src for src in sources), "no uncached programs generated"
+        assert any("loop" in src for src in sources), "no loops generated"
+        assert any("skip" in src for src in sources), "no branch skips generated"
+        assert all(src.rstrip().endswith("halt") for src in sources)

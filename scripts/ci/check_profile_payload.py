@@ -1,0 +1,23 @@
+"""Assert a ``repro profile --format json`` payload has every section.
+
+    python scripts/ci/check_profile_payload.py profile.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+EXPECTED = {"regions", "timeline", "hot_spots", "cache_events"}
+
+
+def main(argv: list[str]) -> int:
+    with open(argv[1], encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert set(payload) == EXPECTED, sorted(payload)
+    print(f"profile payload: sections {sorted(payload)} all present")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,31 @@
+"""Write the synthetic macro-model every CI smoke check estimates against.
+
+The coefficients are an arbitrary-but-fixed ramp over the default
+template — smoke checks exercise plumbing (caching, serving, profiling),
+not model accuracy, so any well-formed model will do as long as every
+check uses the *same* one.
+
+    python scripts/ci/make_smoke_model.py [output.json]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.core import EnergyMacroModel, default_template
+
+
+def main(argv: list[str]) -> int:
+    output = pathlib.Path(argv[1] if len(argv) > 1 else "smoke-model.json")
+    template = default_template()
+    coefficients = np.linspace(50, 5000, len(template))
+    EnergyMacroModel(template, coefficients).save(str(output))
+    print(f"smoke model: {len(template)} coefficients -> {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

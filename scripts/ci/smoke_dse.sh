@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Design-space exploration smoke: a cold exploration populates the result
+# cache, an identical warm rerun must be answered entirely from it.
+# Run identically by CI and locally:  bash scripts/ci/smoke_dse.sh
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+ROOT="$(cd "$SCRIPT_DIR/../.." && pwd)"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+python "$SCRIPT_DIR/make_smoke_model.py" "$WORK/smoke-model.json"
+
+python -m repro explore --list-spaces
+
+python -m repro explore "$WORK/smoke-model.json" --space reed_solomon_tuned \
+    --strategy random --budget 6 --seed 1 --jobs 2 \
+    --cache "$WORK/dse-smoke-cache" --top-k 3
+
+python -m repro explore "$WORK/smoke-model.json" --space reed_solomon_tuned \
+    --strategy random --budget 6 --seed 1 --jobs 2 \
+    --cache "$WORK/dse-smoke-cache" --top-k 3 \
+    | tee "$WORK/warm.txt"
+
+grep -q "6 hit(s), 0 miss(es)" "$WORK/warm.txt"
+echo "smoke_dse: OK (warm rerun fully cached)"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ISS throughput smoke: the compiled dispatch paths must not be slower
+# than the reference interpreter on a two-program subset.
+# Run identically by CI and locally:  bash scripts/ci/smoke_iss.sh
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+ROOT="$(cd "$SCRIPT_DIR/../.." && pwd)"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+python "$ROOT/benchmarks/bench_iss_throughput.py" \
+    --programs tp01_alu_mix tp06_memcpy --repeat 2 \
+    --output "$WORK/iss-smoke.json" --check
+echo "smoke_iss: OK"

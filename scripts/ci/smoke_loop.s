@@ -1,0 +1,14 @@
+    .data
+buf: .word 1, 2, 3, 4, 5, 6, 7, 8
+    .text
+main:
+    la a2, buf
+    movi a3, 8
+    movi a4, 0
+accumulate:
+    l32i a5, a2, 0
+    add a4, a4, a5
+    addi a2, a2, 4
+    addi a3, a3, -1
+    bnez a3, accumulate
+    halt

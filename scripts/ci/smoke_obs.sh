@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Observability smoke: streaming profile over a committed loop program in
+# both table and JSON form, then the observer equivalence test suite.
+# Run identically by CI and locally:  bash scripts/ci/smoke_obs.sh
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+ROOT="$(cd "$SCRIPT_DIR/../.." && pwd)"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+python "$SCRIPT_DIR/make_smoke_model.py" "$WORK/smoke-model.json"
+
+python -m repro profile "$WORK/smoke-model.json" "$SCRIPT_DIR/smoke_loop.s" \
+    --timeline 16 --hot --cache-events
+
+python -m repro profile "$WORK/smoke-model.json" "$SCRIPT_DIR/smoke_loop.s" \
+    --timeline 16 --hot --cache-events --format json \
+    > "$WORK/profile.json"
+python "$SCRIPT_DIR/check_profile_payload.py" "$WORK/profile.json"
+
+python -m pytest "$ROOT/tests/obs" -q
+echo "smoke_obs: OK"

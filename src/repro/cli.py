@@ -11,6 +11,7 @@ Exposes the library's main flows without writing Python:
 ``reference``             reference RTL-level energy of a program (slow path)
 ``explore``               design-space exploration over a bundled search space
 ``profile``               streaming energy/execution profile of a program
+``serve``                 long-running batch estimation service (HTTP)
 ``experiments``           regenerate the paper's tables/figures
 ========================  ===================================================
 
@@ -414,6 +415,54 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .core.runner import RetryPolicy
+    from .serve import EstimationService, run_server
+
+    try:
+        model = EnergyMacroModel.load(args.model)
+    except (OSError, ValueError) as exc:
+        raise _die(f"cannot load model {args.model!r}: {exc}")
+    if args.workers < 0:
+        raise _die("--workers must be >= 0")
+    if args.queue_limit < 1:
+        raise _die("--queue-limit must be >= 1")
+    if args.batch_max < 1:
+        raise _die("--batch-max must be >= 1")
+    if args.timeout <= 0:
+        raise _die("--timeout must be positive")
+    if args.max_attempts < 1:
+        raise _die("--max-attempts must be >= 1")
+    prewarm: list[str] = []
+    if args.prewarm:
+        if args.prewarm.strip() == "suite":
+            prewarm = ["suite"]
+        else:
+            prewarm = [t.strip() for t in args.prewarm.split(",") if t.strip()]
+    try:
+        service = EstimationService(
+            model,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            batch_max=args.batch_max,
+            batch_window=args.batch_window_ms / 1e3,
+            dedupe=not args.no_dedupe,
+            cache_dir=args.cache,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            request_timeout=args.timeout,
+            prewarm=prewarm,
+        )
+    except ValueError as exc:
+        raise _die(str(exc))
+    try:
+        asyncio.run(run_server(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .analysis import (
         default_context,
@@ -650,6 +699,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default table)",
     )
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "serve", help="long-running batch estimation service (JSON over HTTP)"
+    )
+    p.add_argument("model", help="model JSON from `characterize`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8731, help="TCP port (0 picks an ephemeral port)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="forked estimation workers (0 = in-process serial fallback)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="pending-request bound before 429 backpressure (default 64)",
+    )
+    p.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max requests dispatched to a worker as one batch (default 8)",
+    )
+    p.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long to gather a batch after the first request (default 5ms)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="shared on-disk result cache (same format as `explore --cache`)",
+    )
+    p.add_argument(
+        "--no-dedupe",
+        action="store_true",
+        help="disable request coalescing and the in-memory result memo",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="per-batch worker timeout in seconds (default 30)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="attempts per batch before failing its requests (default 2)",
+    )
+    p.add_argument(
+        "--prewarm",
+        metavar="NAMES",
+        help="comma-separated bundled benchmarks to pre-compile before forking "
+        "workers ('suite' = all 25)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument(

@@ -163,6 +163,30 @@ class SampleFailure:
     message: str
     attempts: int
 
+    @classmethod
+    def from_exception(
+        cls,
+        name: str,
+        processor_name: str,
+        stage: str,
+        exc: BaseException,
+        attempts: int = 1,
+    ) -> "SampleFailure":
+        """Capture an exception as a structured failure record.
+
+        The one spelling shared by the characterization runner, the DSE
+        engine's worker payloads and the estimation service, so failure
+        records look identical no matter which layer contained the error.
+        """
+        return cls(
+            name=name,
+            processor_name=processor_name,
+            stage=stage,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=attempts,
+        )
+
     def describe(self) -> str:
         return (
             f"{self.name} ({self.processor_name or '?'}) failed at {self.stage} "
@@ -456,14 +480,7 @@ class CharacterizationRunner:
         try:
             config, program = task.builder()
         except Exception as exc:  # noqa: BLE001 — isolation is the point
-            return SampleFailure(
-                name=task.name,
-                processor_name="",
-                stage="build",
-                error_type=type(exc).__name__,
-                message=str(exc),
-                attempts=1,
-            )
+            return SampleFailure.from_exception(task.name, "", "build", exc)
         stage = "simulate"
         last_exc: Optional[Exception] = None
         attempt = 0
@@ -501,13 +518,8 @@ class CharacterizationRunner:
             except Exception as exc:  # noqa: BLE001 — isolation is the point
                 last_exc = exc
         assert last_exc is not None
-        return SampleFailure(
-            name=task.name,
-            processor_name=config.name,
-            stage=stage,
-            error_type=type(last_exc).__name__,
-            message=str(last_exc),
-            attempts=attempt,
+        return SampleFailure.from_exception(
+            task.name, config.name, stage, last_exc, attempts=attempt
         )
 
     def _emit(self, message: str) -> None:

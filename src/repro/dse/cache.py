@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from typing import Optional
 
 from ..asm import Program, write_image
@@ -63,13 +64,22 @@ def candidate_cache_key(
 
 
 class ResultCache:
-    """One directory of content-addressed candidate scores."""
+    """One directory of content-addressed candidate scores.
+
+    Concurrency-safe by construction: entries are immutable once written
+    (same key ⇒ same content), writes are atomic, and corrupt reads are
+    misses — so any number of processes (DSE workers, the estimation
+    service's pool) may share one directory.  The hit/miss counters are
+    guarded by a lock so in-process concurrent readers keep them exact.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = root
         os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.stores = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
@@ -80,18 +90,35 @@ class ResultCache:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            payload = None
+        if (
+            payload is None
+            or not isinstance(payload, dict)
+            or payload.get("format") != CACHE_FORMAT
+        ):
+            with self._lock:
+                self.misses += 1
             return None
-        if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
-            self.misses += 1
-            return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return payload
 
     def put(self, key: str, payload: dict) -> None:
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         atomic_write_json(path, {**payload, "format": CACHE_FORMAT, "key": key})
+        with self._lock:
+            self.stores += 1
+
+    def info(self) -> dict:
+        """Counter snapshot (cheap — does not walk the directory)."""
+        with self._lock:
+            return {
+                "root": self.root,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+            }
 
     def __len__(self) -> int:
         count = 0

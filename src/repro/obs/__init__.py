@@ -30,6 +30,7 @@ from .profilers import (
 from .protocol import SimObserver
 from .records import ExecutionStats, TraceRecord, class_mix
 from .session import DEFAULT_MAX_INSTRUCTIONS, SessionFn, run_session
+from .tally import RunTallyObserver
 
 __all__ = [
     "CacheEventObserver",
@@ -41,6 +42,7 @@ __all__ = [
     "HotSpotReport",
     "ObserverStateError",
     "RetireEvent",
+    "RunTallyObserver",
     "SessionFn",
     "SimObserver",
     "StatsObserver",

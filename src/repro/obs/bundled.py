@@ -16,7 +16,7 @@ whole-run stats.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..isa import InstructionClass
 from .events import RetireEvent

@@ -1,0 +1,50 @@
+"""``repro.serve`` — the batch estimation service.
+
+The paper's macro-model estimate is ~1000x cheaper than RTL power
+simulation, which makes energy estimation viable as an *interactive
+service*: a DSE loop, a CI fleet or many concurrent users hammering one
+long-running process.  This package is that server-shaped entry point:
+
+* :class:`EstimationService` — request coalescing by content address,
+  windowed batching, a persistent fork-based worker pool pre-warmed
+  through the shared :class:`~repro.xtcore.compiled.CompilationCache`,
+  the DSE :class:`~repro.dse.cache.ResultCache` as a shared on-disk
+  result store, bounded queues with ``429`` backpressure and
+  :class:`~repro.core.runner.RetryPolicy`-driven timeouts;
+* :class:`EstimationServer` / :func:`run_server` — the stdlib-only
+  asyncio HTTP transport (``repro serve`` on the command line);
+* :class:`ServiceMetrics` / :class:`ServiceMetricsObserver` — the
+  ``/metrics`` registry, fed worker-side through the
+  :mod:`repro.obs` observer protocol.
+
+See ``docs/SERVING.md`` for the wire API and operational semantics.
+"""
+
+from .api import ApiError, EstimateRequest, ExploreRequest, parse_estimate, parse_explore, request_key
+from .batching import BatchQueue, Coalescer, Job, partition_compatible
+from .metrics import LatencyWindow, ServiceMetrics, ServiceMetricsObserver, render_prometheus
+from .pool import WorkerPool, run_estimate_batch, run_explore
+from .server import EstimationServer, EstimationService, run_server
+
+__all__ = [
+    "ApiError",
+    "BatchQueue",
+    "Coalescer",
+    "EstimateRequest",
+    "EstimationServer",
+    "EstimationService",
+    "ExploreRequest",
+    "Job",
+    "LatencyWindow",
+    "ServiceMetrics",
+    "ServiceMetricsObserver",
+    "WorkerPool",
+    "parse_estimate",
+    "parse_explore",
+    "partition_compatible",
+    "render_prometheus",
+    "request_key",
+    "run_estimate_batch",
+    "run_explore",
+    "run_server",
+]

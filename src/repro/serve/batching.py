@@ -1,0 +1,150 @@
+"""Request coalescing and batch assembly.
+
+Two independent mechanisms make a duplicate-heavy workload cheap:
+
+* **Coalescing** (:class:`Coalescer`): each estimate request is
+  content-addressed by :func:`repro.serve.api.request_key`.  A request
+  whose key is already *in flight* attaches to the existing job's future
+  instead of enqueueing a second simulation; a request whose key is in
+  the bounded completed-**memo** is answered without touching the queue
+  at all.  Estimation is a pure function of (model, config, program,
+  budget), so both merges are exact, not heuristic.
+* **Batching** (:class:`BatchQueue`): the dispatcher takes the first
+  queued job, then keeps collecting for up to ``batch_window`` seconds
+  or ``max_batch`` jobs, and partitions the harvest into per-processor
+  groups (:func:`partition_compatible`).  One worker round-trip then
+  amortizes config resolution and pool overhead across the whole group —
+  the server-side analog of the CLI's multi-program ``estimate`` fast
+  path.
+
+The queue is **bounded**: ``put_nowait`` raising
+:class:`asyncio.QueueFull` is the backpressure signal the server turns
+into ``429 Retry-After``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from collections import OrderedDict
+from typing import Optional
+
+
+@dataclasses.dataclass
+class Job:
+    """One enqueued estimate, shared by every coalesced waiter."""
+
+    key: str
+    #: batch-compatibility group (the processor-config fingerprint)
+    group: str
+    #: picklable worker item (see :func:`repro.serve.pool.resolve_workload`)
+    item: dict
+    future: "asyncio.Future[dict]"
+    enqueued_at: float = dataclasses.field(default_factory=time.monotonic)
+    #: how many requests this job answers (1 + coalesced attachments)
+    waiters: int = 1
+
+
+class Coalescer:
+    """Exact duplicate suppression: an in-flight map plus a completed memo."""
+
+    def __init__(self, memo_size: int = 4096) -> None:
+        if memo_size < 0:
+            raise ValueError(f"memo_size must be >= 0, got {memo_size}")
+        self.memo_size = memo_size
+        self._memo: "OrderedDict[str, dict]" = OrderedDict()
+        self._inflight: dict[str, Job] = {}
+        self.memo_hits = 0
+        self.coalesced = 0
+
+    def find_memo(self, key: str) -> Optional[dict]:
+        payload = self._memo.get(key)
+        if payload is not None:
+            self._memo.move_to_end(key)
+            self.memo_hits += 1
+        return payload
+
+    def find_inflight(self, key: str) -> Optional[Job]:
+        job = self._inflight.get(key)
+        if job is not None:
+            job.waiters += 1
+            self.coalesced += 1
+        return job
+
+    def open(self, job: Job) -> None:
+        """Register a job as the in-flight owner of its key."""
+        self._inflight[job.key] = job
+
+    def close(self, key: str, payload: Optional[dict] = None) -> None:
+        """Retire an in-flight key, memoizing its payload on success."""
+        self._inflight.pop(key, None)
+        if payload is not None and self.memo_size:
+            self._memo[key] = payload
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def memo_count(self) -> int:
+        return len(self._memo)
+
+
+class BatchQueue:
+    """A bounded job queue with windowed batch harvesting."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue(maxsize)
+
+    def put_nowait(self, job: Job) -> None:
+        """Enqueue or raise :class:`asyncio.QueueFull` (the 429 signal)."""
+        self._queue.put_nowait(job)
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    async def next_batch(self, max_batch: int, window: float) -> list[Job]:
+        """Block for the first job, then harvest more for up to ``window`` s.
+
+        Already-queued jobs are collected without waiting, so a deep queue
+        drains at full batch width regardless of the window.
+        """
+        first = await self._queue.get()
+        batch = [first]
+        deadline = time.monotonic() + max(0.0, window)
+        while len(batch) < max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # drain whatever is immediately available, then stop
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+
+def partition_compatible(jobs: list[Job]) -> list[list[Job]]:
+    """Split a harvest into dispatchable groups (same processor config).
+
+    Jobs sharing a config fingerprint resolve the config once worker-side;
+    mixing fingerprints in one batch would serialize distinct processors
+    behind each other for no amortization gain.
+    """
+    groups: "OrderedDict[str, list[Job]]" = OrderedDict()
+    for job in jobs:
+        groups.setdefault(job.group, []).append(job)
+    return list(groups.values())

@@ -1,0 +1,207 @@
+"""Service observability: counters, latency percentiles, cache rates.
+
+Three layers feed ``GET /metrics``:
+
+* **request accounting** in the event loop — totals per endpoint and
+  outcome, duplicate suppression (coalesced vs. memo), backpressure
+  rejections, timeouts, queue depth;
+* **latency windows** — bounded reservoirs of recent request latencies
+  per endpoint, reduced to p50/p95/mean on demand;
+* **simulation tallies** — a :class:`ServiceMetricsObserver` (the
+  :mod:`repro.obs` protocol's :class:`~repro.obs.tally.RunTallyObserver`
+  plus nothing service-specific yet) rides along every worker-side
+  ``run_session``; workers ship its ``snapshot()`` back with their
+  results and the parent merges them, so instruction/cycle throughput is
+  exact even though simulations happen in forked children.
+
+Everything renders twice: a JSON payload (the default, what smoke tests
+assert against) and a Prometheus text exposition (``?format=prom``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from ..obs.tally import RunTallyObserver
+
+
+class ServiceMetricsObserver(RunTallyObserver):
+    """Per-worker simulation tally shipped back to the service frontend.
+
+    Subscribes to the simulator's event stream via the
+    :class:`~repro.obs.protocol.SimObserver` protocol with the per-retire
+    stream switched off, so instrumenting every service request costs two
+    callbacks per run regardless of run length.
+    """
+
+
+class LatencyWindow:
+    """A bounded reservoir of recent latencies with percentile reduction."""
+
+    def __init__(self, maxlen: int = 2048) -> None:
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) over the window."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        samples = list(self._samples)
+        mean = sum(samples) / len(samples) if samples else 0.0
+        return {
+            "count": self.count,
+            "window": len(samples),
+            "mean_ms": mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+        }
+
+
+class ServiceMetrics:
+    """The service-wide metrics registry behind ``/healthz`` and ``/metrics``."""
+
+    COUNTERS = (
+        "requests_total",
+        "estimate_requests",
+        "explore_requests",
+        "responses_ok",
+        "responses_error",
+        "coalesced_total",
+        "memo_hits_total",
+        "disk_cache_hits_total",
+        "rejected_total",
+        "timeouts_total",
+        "retries_total",
+        "batches_dispatched",
+        "batched_requests",
+        "failures_total",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.counters: dict[str, int] = {name: 0 for name in self.COUNTERS}
+        self.queue_depth = 0
+        self.inflight = 0
+        self.latency = {"estimate": LatencyWindow(), "explore": LatencyWindow()}
+        self.sim_tally = RunTallyObserver()
+
+    # -- mutation ----------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: int) -> None:
+        with self._lock:
+            setattr(self, name, value)
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            self.latency[endpoint].record(seconds)
+
+    def merge_sim_snapshot(self, snapshot: dict) -> None:
+        """Fold a worker-side :class:`ServiceMetricsObserver` snapshot in."""
+        with self._lock:
+            self.sim_tally.merge(snapshot)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def duplicates_merged(self) -> int:
+        """Requests answered without a fresh simulation (coalesced or memo).
+
+        The serve smoke asserts on this: two duplicate requests must
+        merge no matter whether the second arrived while the first was
+        in flight (coalesced) or after it completed (memo hit).
+        """
+        with self._lock:
+            return (
+                self.counters["coalesced_total"]
+                + self.counters["memo_hits_total"]
+                + self.counters["disk_cache_hits_total"]
+            )
+
+    def to_payload(
+        self,
+        compilation_cache: Optional[dict] = None,
+        result_cache: Optional[dict] = None,
+    ) -> dict:
+        with self._lock:
+            payload = {
+                "uptime_seconds": time.time() - self.started_at,
+                "counters": dict(self.counters),
+                "queue_depth": self.queue_depth,
+                "inflight": self.inflight,
+                "latency": {
+                    name: window.snapshot() for name, window in self.latency.items()
+                },
+                "simulation": self.sim_tally.snapshot(),
+            }
+        payload["counters"]["duplicates_merged"] = (
+            payload["counters"]["coalesced_total"]
+            + payload["counters"]["memo_hits_total"]
+            + payload["counters"]["disk_cache_hits_total"]
+        )
+        caches: dict = {}
+        if compilation_cache is not None:
+            hits = compilation_cache.get("hits", 0)
+            misses = compilation_cache.get("misses", 0)
+            total = hits + misses
+            caches["compilation"] = {
+                **compilation_cache,
+                "hit_rate": (hits / total) if total else 0.0,
+            }
+        if result_cache is not None:
+            hits = result_cache.get("hits", 0)
+            misses = result_cache.get("misses", 0)
+            total = hits + misses
+            caches["results"] = {
+                **result_cache,
+                "hit_rate": (hits / total) if total else 0.0,
+            }
+        payload["caches"] = caches
+        return payload
+
+
+def render_prometheus(payload: dict) -> str:
+    """Flatten a :meth:`ServiceMetrics.to_payload` dict to Prometheus text."""
+    lines: list[str] = []
+
+    def emit(name: str, value: float, labels: str = "") -> None:
+        if isinstance(value, float):
+            lines.append(f"repro_serve_{name}{labels} {value:.6g}")
+        else:
+            lines.append(f"repro_serve_{name}{labels} {value}")
+
+    emit("uptime_seconds", payload["uptime_seconds"])
+    for name, value in sorted(payload["counters"].items()):
+        emit(name, value)
+    emit("queue_depth", payload["queue_depth"])
+    emit("inflight", payload["inflight"])
+    for endpoint, window in sorted(payload["latency"].items()):
+        labels = f'{{endpoint="{endpoint}"}}'
+        emit("latency_requests", window["count"], labels)
+        emit("latency_p50_ms", window["p50_ms"], labels)
+        emit("latency_p95_ms", window["p95_ms"], labels)
+        emit("latency_mean_ms", window["mean_ms"], labels)
+    for name, value in sorted(payload["simulation"].items()):
+        emit(f"sim_{name}", value)
+    for cache_name, info in sorted(payload.get("caches", {}).items()):
+        labels = f'{{cache="{cache_name}"}}'
+        for field in ("hits", "misses", "hit_rate", "entries", "stores", "evictions"):
+            if field in info:
+                emit(f"cache_{field}", info[field], labels)
+    return "\n".join(lines) + "\n"

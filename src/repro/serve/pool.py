@@ -1,0 +1,289 @@
+"""The service's persistent worker pool and its worker-side evaluators.
+
+Estimation requests are CPU-bound (one untraced instruction-set
+simulation each), so the service dispatches them to a pool of **forked**
+worker processes.  Fork matters twice:
+
+* the parent **pre-warms** the process-wide
+  :class:`~repro.xtcore.compiled.CompilationCache` before the first fork,
+  so every child inherits the lowered benchmark programs copy-on-write
+  and never pays first-request compilation latency;
+* the model and the per-process config/program caches are inherited or
+  built once per worker, never per request.
+
+Where fork is unavailable (or ``workers=0`` is requested) the pool
+degrades to an in-process thread executor — same interface, same worker
+functions, no pickling — which is also what the unit tests run.
+
+Worker functions receive *batches*: a list of small picklable item
+dicts sharing one processor configuration, so the per-batch cost of
+config resolution is paid once and the per-item cost is exactly one
+simulation.  Each batch result carries a
+:class:`~repro.serve.metrics.ServiceMetricsObserver` snapshot so the
+frontend's metrics see worker-side simulation totals.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from typing import Optional, Sequence
+
+from ..core.model import EnergyMacroModel
+from ..programs import characterization_suite
+from ..rtl import generate_netlist
+from ..xtcore import ProcessorConfig, build_processor, compilation_cache
+from .metrics import ServiceMetricsObserver
+
+#: Worker-process globals, installed by :func:`_worker_init`.
+_WORKER: dict = {}
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start method, or None where only spawn exists."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def benchmark_cases() -> dict:
+    """Name → bundled :class:`~repro.programs.BenchmarkCase` (per process)."""
+    cases = _WORKER.get("benchmark_cases")
+    if cases is None:
+        cases = {case.name: case for case in characterization_suite(include_variants=False)}
+        _WORKER["benchmark_cases"] = cases
+    return cases
+
+
+def _worker_init(model: EnergyMacroModel) -> None:
+    """Install per-process state (runs in each worker, and inline mode)."""
+    _WORKER["model"] = model
+    _WORKER.setdefault("configs", {})
+    _WORKER.setdefault("programs", {})
+    _WORKER.setdefault("areas", {})
+
+
+def _config_for(extensions: tuple[str, ...]) -> ProcessorConfig:
+    """Per-process memo of built processor configs, keyed by extensions."""
+    configs = _WORKER["configs"]
+    config = configs.get(extensions)
+    if config is None:
+        from ..programs.extensions import ALL_SPEC_FACTORIES
+
+        specs = []
+        for mnemonic in extensions:
+            factory = ALL_SPEC_FACTORIES.get(mnemonic)
+            if factory is None:
+                raise ValueError(
+                    f"unknown extension {mnemonic!r}; available: "
+                    + ", ".join(sorted(ALL_SPEC_FACTORIES))
+                )
+            specs.append(factory())
+        config = build_processor("serve", specs)
+        configs[extensions] = config
+    return config
+
+
+def _custom_area(config: ProcessorConfig) -> float:
+    """Per-process memo of the netlist custom-area proxy."""
+    areas = _WORKER["areas"]
+    fingerprint = config.fingerprint()
+    area = areas.get(fingerprint)
+    if area is None:
+        area = float(generate_netlist(config).custom_area)
+        areas[fingerprint] = area
+    return area
+
+
+def resolve_workload(item: dict):
+    """Build (config, program) for one request item, with per-process memos.
+
+    Items are the picklable wire shape: either ``{"benchmark": name}`` or
+    ``{"name", "source", "extensions"}``.
+    """
+    benchmark = item.get("benchmark")
+    if benchmark is not None:
+        case = benchmark_cases().get(benchmark)
+        if case is None:
+            raise ValueError(
+                f"unknown benchmark {benchmark!r}; available: "
+                + ", ".join(sorted(benchmark_cases()))
+            )
+        return case.build()
+    from ..asm import assemble
+
+    config = _config_for(tuple(item.get("extensions", ())))
+    cache_key = (hash(item["source"]), tuple(item.get("extensions", ())))
+    programs = _WORKER["programs"]
+    program = programs.get(cache_key)
+    if program is None:
+        program = assemble(item["source"], item.get("name", "request"), isa=config.isa)
+        programs[cache_key] = program
+    return config, program
+
+
+def run_estimate_batch(items: Sequence[dict]) -> dict:
+    """Score one batch of estimate items; never raises.
+
+    Per-item failures become ``{"ok": False, ...}`` payloads in the same
+    stage/error shape as :class:`~repro.core.runner.SampleFailure`.  One
+    :class:`ServiceMetricsObserver` subscribes to every simulation of the
+    batch and its snapshot rides back with the results.
+    """
+    from ..core.extract import extract_variables
+    from ..obs import run_session
+
+    model: EnergyMacroModel = _WORKER["model"]
+    observer = ServiceMetricsObserver()
+    results: list[dict] = []
+    for item in items:
+        stage = "build"
+        try:
+            config, program = resolve_workload(item)
+            stage = "estimate"
+            result = run_session(
+                config,
+                program,
+                observers=[observer],
+                max_instructions=int(item["max_instructions"]),
+            )
+            variables = extract_variables(result.stats, config, model.template)
+            # keep the entry ResultCache/DSE-compatible: area included
+            payload = {
+                "ok": True,
+                "program": program.name,
+                "processor": config.name,
+                "energy": float(variables @ model.coefficients),
+                "cycles": int(result.stats.total_cycles),
+                "area": _custom_area(config),
+                "instructions": int(result.stats.total_instructions),
+            }
+            # always shipped: a coalesced waiter may want the breakdown even
+            # when the request that triggered the simulation did not
+            payload["variables"] = dict(
+                zip(model.template.keys(), (float(v) for v in variables))
+            )
+            results.append(payload)
+        except Exception as exc:  # noqa: BLE001 — per-item isolation is the point
+            results.append(
+                {
+                    "ok": False,
+                    "stage": stage,
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                }
+            )
+    return {"results": results, "tally": observer.snapshot()}
+
+
+def run_explore(item: dict) -> dict:
+    """Run one exploration request inside a worker; never raises."""
+    import json
+
+    from ..dse import ResultCache, explore, get_space, make_strategy
+
+    model: EnergyMacroModel = _WORKER["model"]
+    try:
+        space = get_space(item["space"])
+        strategy = make_strategy(
+            item["strategy"],
+            budget=item.get("budget"),
+            seed=int(item.get("seed", 0)),
+            objective=item.get("objective", "edp"),
+        )
+        cache_root = item.get("cache_root")
+        cache = ResultCache(cache_root) if cache_root else None
+        report = explore(
+            model,
+            space,
+            strategy,
+            jobs=1,  # the service pool is the parallelism; keep workers serial
+            cache=cache,
+            objective=item.get("objective", "edp"),
+            max_instructions=int(item["max_instructions"]),
+        )
+    except Exception as exc:  # noqa: BLE001 — per-request isolation is the point
+        return {
+            "ok": False,
+            "stage": "explore",
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+    payload = json.loads(report.to_json())
+    top_k = item.get("top_k")
+    if top_k is not None:
+        payload["scores"] = payload["scores"][: int(top_k)]
+    return {"ok": True, "report": payload}
+
+
+class WorkerPool:
+    """Persistent executor of estimate batches and explore jobs.
+
+    ``workers >= 1`` with fork available → a
+    :class:`concurrent.futures.ProcessPoolExecutor` over forked children.
+    ``workers == 0`` (or no fork) → a single-thread in-process executor
+    with identical semantics, used by tests and tiny deployments.
+    """
+
+    def __init__(
+        self,
+        model: EnergyMacroModel,
+        workers: int = 0,
+        prewarm: Sequence[str] = (),
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.model = model
+        self.prewarmed = self._prewarm(prewarm)
+        context = _fork_context() if workers >= 1 else None
+        if context is not None:
+            self.mode = "fork"
+            self.workers = workers
+            self._executor: concurrent.futures.Executor = (
+                concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(model,),
+                )
+            )
+        else:
+            self.mode = "inline"
+            self.workers = max(1, workers)
+            _worker_init(model)
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve"
+            )
+
+    def _prewarm(self, prewarm: Sequence[str]) -> int:
+        """Lower bundled benchmarks into the compilation cache pre-fork.
+
+        Runs in the parent, *before* the executor exists: forked children
+        inherit the populated :func:`~repro.xtcore.compilation_cache`
+        copy-on-write, so no worker ever compiles a prewarmed program.
+        """
+        _worker_init(self.model)  # parent needs the same memos for keys
+        names = list(prewarm)
+        if names == ["suite"]:
+            names = sorted(benchmark_cases())
+        warmed = 0
+        for name in names:
+            case = benchmark_cases().get(name)
+            if case is None:
+                raise ValueError(f"cannot prewarm unknown benchmark {name!r}")
+            config, program = case.build()
+            compilation_cache().get_or_compile(config, program)
+            warmed += 1
+        return warmed
+
+    def submit_estimate_batch(
+        self, items: Sequence[dict]
+    ) -> "concurrent.futures.Future[dict]":
+        return self._executor.submit(run_estimate_batch, list(items))
+
+    def submit_explore(self, item: dict) -> "concurrent.futures.Future[dict]":
+        return self._executor.submit(run_explore, dict(item))
+
+    def shutdown(self) -> None:
+        # don't block on stragglers: timed-out jobs may still be running
+        self._executor.shutdown(wait=False, cancel_futures=True)

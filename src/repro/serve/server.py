@@ -1,0 +1,575 @@
+"""The estimation service: routing, policy, lifecycle.
+
+:class:`EstimationService` owns the whole request path —
+
+    parse → resolve (config, program) → content-address → dedupe
+    (memo / in-flight / shared disk cache) → bounded queue → windowed
+    batch → forked worker pool → resolve coalesced waiters → memoize
+
+— and exposes it over four endpoints:
+
+========================  ===================================================
+``POST /estimate``        macro-model energy of one program (coalesced+batched)
+``POST /explore``         one DSE run over a bundled space (pool-dispatched)
+``GET  /healthz``         liveness + queue/pool posture
+``GET  /metrics``         counters, p50/p95 latency, cache rates (JSON or prom)
+========================  ===================================================
+
+Backpressure is explicit: a full queue answers ``429`` with a
+``Retry-After`` header instead of buffering unboundedly.  Per-batch
+timeouts reuse the characterization :class:`~repro.core.runner.RetryPolicy`
+— a timed-out batch is retried with the policy's lowered instruction
+budget, and a batch that exhausts its attempts resolves every waiter
+with a :class:`~repro.core.runner.SampleFailure`-shaped ``504``.
+
+:class:`EstimationServer` is the thin asyncio TCP transport around the
+service; :func:`run_server` adds signal-driven graceful shutdown for the
+``repro serve`` CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from collections import deque
+from typing import Optional, Sequence
+
+from ..core.model import EnergyMacroModel
+from ..core.runner import RetryPolicy, SampleFailure
+from ..dse.cache import ResultCache, model_digest
+from .api import (
+    ApiError,
+    EstimateRequest,
+    parse_estimate,
+    parse_explore,
+    request_key,
+)
+from .batching import BatchQueue, Coalescer, Job, partition_compatible
+from .http import (
+    HttpProtocolError,
+    HttpRequest,
+    json_response,
+    read_request,
+    text_response,
+)
+from .metrics import ServiceMetrics, render_prometheus
+from .pool import WorkerPool, resolve_workload
+
+
+class EstimationService:
+    """Transport-independent service core (see module docstring)."""
+
+    def __init__(
+        self,
+        model: EnergyMacroModel,
+        *,
+        workers: int = 0,
+        queue_limit: int = 64,
+        batch_max: int = 8,
+        batch_window: float = 0.005,
+        dedupe: bool = True,
+        memo_size: int = 4096,
+        cache_dir: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        request_timeout: float = 30.0,
+        explore_timeout: float = 600.0,
+        prewarm: Sequence[str] = (),
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if request_timeout <= 0 or explore_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        self.model = model
+        self.model_digest = model_digest(model)
+        self.dedupe = dedupe
+        self.batch_max = batch_max
+        self.batch_window = batch_window
+        self.request_timeout = request_timeout
+        self.explore_timeout = explore_timeout
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=2)
+        self.metrics = ServiceMetrics()
+        self.coalescer = Coalescer(memo_size if dedupe else 0)
+        self.pool = WorkerPool(model, workers=workers, prewarm=prewarm)
+        self.result_cache = ResultCache(cache_dir) if cache_dir else None
+        self.queue = BatchQueue(queue_limit)
+        #: most recent contained failures, for /healthz debugging
+        self.failures: deque[SampleFailure] = deque(maxlen=64)
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._active_explores = 0
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(
+                self._dispatch_loop(), name="repro-serve-dispatcher"
+            )
+
+    async def stop(self) -> None:
+        self._draining = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+        for task in list(self._batch_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self.pool.shutdown()
+
+    # -- HTTP dispatch -----------------------------------------------------
+
+    async def dispatch_http(self, request: HttpRequest) -> bytes:
+        keep_alive = request.keep_alive
+        try:
+            status, payload, headers = await self._route(request)
+        except HttpProtocolError as exc:
+            return json_response(
+                exc.status,
+                {"error": "protocol", "message": str(exc)},
+                keep_alive=False,
+            )
+        except ApiError as exc:
+            self.metrics.incr("responses_error")
+            return json_response(
+                exc.status, exc.to_payload(), exc.headers, keep_alive=keep_alive
+            )
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the loop
+            self.metrics.incr("responses_error")
+            return json_response(
+                500,
+                {"error": "internal", "message": f"{type(exc).__name__}: {exc}"},
+                keep_alive=keep_alive,
+            )
+        if isinstance(payload, str):
+            return text_response(status, payload, keep_alive=keep_alive)
+        return json_response(status, payload, headers, keep_alive=keep_alive)
+
+    async def _route(self, request: HttpRequest):
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                raise ApiError(405, "use GET /healthz", code="method_not_allowed")
+            return 200, self.health_payload(), None
+        if path == "/metrics":
+            if method != "GET":
+                raise ApiError(405, "use GET /metrics", code="method_not_allowed")
+            payload = self.metrics_payload()
+            if request.query.get("format") == "prom":
+                return 200, render_prometheus(payload), None
+            return 200, payload, None
+        if path == "/estimate":
+            if method != "POST":
+                raise ApiError(405, "use POST /estimate", code="method_not_allowed")
+            return await self._handle_estimate(request.json())
+        if path == "/explore":
+            if method != "POST":
+                raise ApiError(405, "use POST /explore", code="method_not_allowed")
+            return await self._handle_explore(request.json())
+        raise ApiError(404, f"no such endpoint {path!r}", code="not_found")
+
+    # -- introspection endpoints -------------------------------------------
+
+    def health_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": time.time() - self.metrics.started_at,
+            "pool": {
+                "mode": self.pool.mode,
+                "workers": self.pool.workers,
+                "prewarmed": self.pool.prewarmed,
+            },
+            "queue": {"depth": self.queue.qsize(), "limit": self.queue.maxsize},
+            "inflight": self.coalescer.inflight_count,
+            "recent_failures": [failure.describe() for failure in self.failures],
+        }
+
+    def metrics_payload(self) -> dict:
+        from ..xtcore import compilation_cache
+
+        return self.metrics.to_payload(
+            compilation_cache=compilation_cache().info(),
+            result_cache=(
+                self.result_cache.info() if self.result_cache is not None else None
+            ),
+        )
+
+    # -- estimate path -----------------------------------------------------
+
+    async def _handle_estimate(self, body: object):
+        began = time.perf_counter()
+        self.metrics.incr("requests_total")
+        self.metrics.incr("estimate_requests")
+        req = parse_estimate(body)
+        if req.benchmark is not None:
+            item = {"benchmark": req.benchmark, "max_instructions": req.max_instructions}
+        else:
+            item = {
+                "name": req.name,
+                "source": req.source,
+                "extensions": list(req.extensions),
+                "max_instructions": req.max_instructions,
+            }
+        try:
+            config, program = resolve_workload(item)
+        except ApiError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — bad workload == bad request
+            raise ApiError(400, f"cannot build workload: {exc}", code="bad_workload")
+        key = request_key(self.model_digest, config, program, req.max_instructions)
+        payload, dedup = await self._obtain(key, config.fingerprint(), item)
+        status, response = self._estimate_response(req, key, payload, dedup)
+        self.metrics.observe_latency("estimate", time.perf_counter() - began)
+        self.metrics.incr("responses_ok" if status == 200 else "responses_error")
+        return status, response, None
+
+    async def _obtain(self, key: str, group: str, item: dict):
+        """Answer one keyed estimate: memo, coalesce, disk cache, or enqueue."""
+        if self.dedupe:
+            memo = self.coalescer.find_memo(key)
+            if memo is not None:
+                self.metrics.incr("memo_hits_total")
+                return memo, "memo"
+            inflight = self.coalescer.find_inflight(key)
+            if inflight is not None:
+                self.metrics.incr("coalesced_total")
+                return await asyncio.shield(inflight.future), "coalesced"
+        if self.result_cache is not None:
+            stored = self.result_cache.get(key)
+            if stored is not None:
+                payload = {**stored, "ok": True}
+                self.metrics.incr("disk_cache_hits_total")
+                if self.dedupe:
+                    self.coalescer.close(key, payload)  # promote to memo
+                return payload, "disk"
+        job = Job(
+            key=key,
+            group=group,
+            item=item,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if self.dedupe:
+            self.coalescer.open(job)
+        try:
+            self.queue.put_nowait(job)
+        except asyncio.QueueFull:
+            if self.dedupe:
+                self.coalescer.close(key)
+            self.metrics.incr("rejected_total")
+            raise ApiError(
+                429,
+                f"estimation queue is full ({self.queue.maxsize} pending)",
+                code="overloaded",
+                headers={"Retry-After": "1"},
+            )
+        self.metrics.set_gauge("queue_depth", self.queue.qsize())
+        return await asyncio.shield(job.future), "fresh"
+
+    def _estimate_response(
+        self, req: EstimateRequest, key: str, payload: dict, dedup: str
+    ):
+        if payload.get("ok"):
+            response = {
+                "program": req.name,
+                "processor": payload["processor"],
+                "energy": payload["energy"],
+                "cycles": payload["cycles"],
+                "edp": payload["energy"] * payload["cycles"],
+                "area": payload.get("area", 0.0),
+                "key": key,
+                "dedup": dedup,
+            }
+            if req.variables and "variables" in payload:
+                response["variables"] = payload["variables"]
+            return 200, response
+        status = 504 if payload.get("stage") == "timeout" else 500
+        if payload.get("stage") == "build":
+            status = 400
+        return status, {
+            "error": "estimation_failed",
+            "stage": payload.get("stage", "?"),
+            "error_type": payload.get("error_type", "?"),
+            "message": payload.get("message", ""),
+            "key": key,
+            "dedup": dedup,
+        }
+
+    # -- explore path ------------------------------------------------------
+
+    async def _handle_explore(self, body: object):
+        began = time.perf_counter()
+        self.metrics.incr("requests_total")
+        self.metrics.incr("explore_requests")
+        req = parse_explore(body)
+        if self._active_explores >= self.pool.workers:
+            self.metrics.incr("rejected_total")
+            raise ApiError(
+                429,
+                f"all {self.pool.workers} worker(s) busy with explorations",
+                code="overloaded",
+                headers={"Retry-After": "5"},
+            )
+        item = {
+            "space": req.space,
+            "strategy": req.strategy,
+            "budget": req.budget,
+            "seed": req.seed,
+            "objective": req.objective,
+            "max_instructions": req.max_instructions,
+            "top_k": req.top_k,
+            "cache_root": self.result_cache.root if self.result_cache else None,
+        }
+        self._active_explores += 1
+        try:
+            future = self.pool.submit_explore(item)
+            try:
+                outcome = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self.explore_timeout
+                )
+            except asyncio.TimeoutError:
+                future.cancel()
+                self.metrics.incr("timeouts_total")
+                failure = SampleFailure(
+                    name=f"explore:{req.space}",
+                    processor_name="",
+                    stage="timeout",
+                    error_type="TimeoutError",
+                    message=f"exploration exceeded {self.explore_timeout}s",
+                    attempts=1,
+                )
+                self._record_failure(failure)
+                raise ApiError(504, failure.describe(), code="timeout")
+        finally:
+            self._active_explores -= 1
+        elapsed = time.perf_counter() - began
+        self.metrics.observe_latency("explore", elapsed)
+        if not outcome.get("ok"):
+            self.metrics.incr("responses_error")
+            failure = SampleFailure(
+                name=f"explore:{req.space}",
+                processor_name="",
+                stage=outcome.get("stage", "explore"),
+                error_type=outcome.get("error_type", "?"),
+                message=outcome.get("message", ""),
+                attempts=1,
+            )
+            self._record_failure(failure)
+            bad_request = failure.error_type in ("SpaceError", "ValueError")
+            return (
+                400 if bad_request else 500,
+                {
+                    "error": "exploration_failed",
+                    "stage": failure.stage,
+                    "error_type": failure.error_type,
+                    "message": failure.message,
+                },
+                None,
+            )
+        self.metrics.incr("responses_ok")
+        return 200, outcome["report"], None
+
+    # -- batch dispatch ----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            jobs = await self.queue.next_batch(self.batch_max, self.batch_window)
+            self.metrics.set_gauge("queue_depth", self.queue.qsize())
+            for group in partition_compatible(jobs):
+                task = asyncio.create_task(self._run_batch(group))
+                self._batch_tasks.add(task)
+                task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, jobs: list[Job]) -> None:
+        self.metrics.incr("batches_dispatched")
+        self.metrics.incr("batched_requests", len(jobs))
+        self.metrics.set_gauge("inflight", self.coalescer.inflight_count)
+        attempt = 0
+        outcome: Optional[dict] = None
+        while outcome is None:
+            attempt += 1
+            items = [
+                {
+                    **job.item,
+                    "max_instructions": self.retry.budget_for(
+                        attempt, job.item["max_instructions"]
+                    ),
+                }
+                for job in jobs
+            ]
+            future = self.pool.submit_estimate_batch(items)
+            try:
+                outcome = await asyncio.wait_for(
+                    asyncio.wrap_future(future), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                future.cancel()
+                self.metrics.incr("timeouts_total")
+                if attempt >= self.retry.max_attempts:
+                    self._fail_batch(
+                        jobs,
+                        stage="timeout",
+                        error_type="TimeoutError",
+                        message=(
+                            f"batch of {len(jobs)} timed out after {attempt} "
+                            f"attempt(s) of {self.request_timeout}s"
+                        ),
+                        attempts=attempt,
+                    )
+                    return
+                self.metrics.incr("retries_total")
+            except Exception as exc:  # noqa: BLE001 — a dead pool must not hang waiters
+                self._fail_batch(
+                    jobs,
+                    stage="dispatch",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempt,
+                )
+                return
+        for job, payload in zip(jobs, outcome["results"]):
+            if payload.get("ok"):
+                if self.dedupe:
+                    self.coalescer.close(job.key, payload)
+                if self.result_cache is not None:
+                    stored = {k: v for k, v in payload.items() if k != "ok"}
+                    self.result_cache.put(job.key, stored)
+            else:
+                if self.dedupe:
+                    self.coalescer.close(job.key)
+                self._record_failure(
+                    SampleFailure(
+                        name=job.item.get("benchmark") or job.item.get("name", "?"),
+                        processor_name="",
+                        stage=payload.get("stage", "?"),
+                        error_type=payload.get("error_type", "?"),
+                        message=payload.get("message", ""),
+                        attempts=attempt,
+                    )
+                )
+            if not job.future.done():
+                job.future.set_result(payload)
+        self.metrics.merge_sim_snapshot(outcome.get("tally", {}))
+        self.metrics.set_gauge("inflight", self.coalescer.inflight_count)
+
+    def _fail_batch(
+        self, jobs: list[Job], stage: str, error_type: str, message: str, attempts: int
+    ) -> None:
+        for job in jobs:
+            if self.dedupe:
+                self.coalescer.close(job.key)
+            self._record_failure(
+                SampleFailure(
+                    name=job.item.get("benchmark") or job.item.get("name", "?"),
+                    processor_name="",
+                    stage=stage,
+                    error_type=error_type,
+                    message=message,
+                    attempts=attempts,
+                )
+            )
+            if not job.future.done():
+                job.future.set_result(
+                    {
+                        "ok": False,
+                        "stage": stage,
+                        "error_type": error_type,
+                        "message": message,
+                    }
+                )
+        self.metrics.set_gauge("inflight", self.coalescer.inflight_count)
+
+    def _record_failure(self, failure: SampleFailure) -> None:
+        self.metrics.incr("failures_total")
+        self.failures.append(failure)
+
+
+class EstimationServer:
+    """asyncio TCP transport around one :class:`EstimationService`."""
+
+    def __init__(
+        self, service: EstimationService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpProtocolError as exc:
+                    writer.write(
+                        json_response(
+                            exc.status,
+                            {"error": "protocol", "message": str(exc)},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                writer.write(await self.service.dispatch_http(request))
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+
+async def run_server(
+    service: EstimationService,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    announce=print,
+) -> None:
+    """Serve until SIGTERM/SIGINT, then drain and shut down cleanly."""
+    import signal
+
+    server = EstimationServer(service, host, port)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # non-unix loops
+            loop.add_signal_handler(signum, stop.set)
+    announce(
+        f"repro serve: listening on {server.address} "
+        f"({service.pool.mode} pool, {service.pool.workers} worker(s), "
+        f"queue limit {service.queue.maxsize})"
+    )
+    try:
+        await stop.wait()
+    finally:
+        announce("repro serve: shutting down")
+        await server.stop()

@@ -25,6 +25,7 @@ The dispatch loops that consume this IR live in :mod:`repro.xtcore.iss`.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from bisect import bisect_right
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional
@@ -807,6 +808,13 @@ class CompilationCache:
     The counters are part of the public contract: design-space exploration
     asserts exactly one compilation per (program, config-content) pair via
     :attr:`compilations`.
+
+    Thread-safe: the estimation service's worker pool resolves lowerings
+    from concurrent threads, so every mutation of the LRU order and the
+    counters happens under one lock.  ``get_or_compile`` holds the lock
+    across the compilation itself — that serializes first-time lowerings
+    of *different* pairs, but guarantees the one-compilation-per-pair
+    invariant under races (and compilation is a one-time cost by design).
     """
 
     def __init__(self, maxsize: int = 256) -> None:
@@ -814,65 +822,72 @@ class CompilationCache:
             raise ValueError("compilation cache needs room for at least one entry")
         self.maxsize = maxsize
         self._entries: "OrderedDict[tuple[str, str], ExecutableProgram]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.compilations = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get_or_compile(
         self, config: "ProcessorConfig", program: "Program"
     ) -> ExecutableProgram:
         """Return the cached lowering for the pair, compiling on first use."""
         key = (program.digest(), config.fingerprint())
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
-        executable = compile_program(config, program)  # may raise; not cached
-        self.compilations += 1
-        self._entries[key] = executable
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        return executable
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            executable = compile_program(config, program)  # may raise; not cached
+            self.compilations += 1
+            self._entries[key] = executable
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return executable
 
     def put(self, executable: ExecutableProgram) -> None:
         """Insert a pre-built lowering (e.g. compiled in a parent process)."""
         key = (executable.program_digest, executable.config_fingerprint)
-        self._entries[key] = executable
-        self._entries.move_to_end(key)
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = executable
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries and reset every counter."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.compilations = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.compilations = 0
+            self.evictions = 0
 
     def info(self) -> dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "compilations": self.compilations,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "compilations": self.compilations,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:
+        info = self.info()
         return (
-            f"CompilationCache({len(self._entries)}/{self.maxsize} entries, "
-            f"{self.hits} hits / {self.misses} misses, "
-            f"{self.compilations} compilations)"
+            f"CompilationCache({info['entries']}/{self.maxsize} entries, "
+            f"{info['hits']} hits / {info['misses']} misses, "
+            f"{info['compilations']} compilations)"
         )
 
 

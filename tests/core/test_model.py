@@ -10,7 +10,7 @@ from repro.core import (
     extract_variables,
     instruction_level_template,
 )
-from repro.xtcore import build_processor, simulate
+from repro.xtcore import simulate
 
 
 @pytest.fixture()

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    MacroModelTemplate,
     VariableDomain,
     default_template,
     instruction_level_template,

@@ -11,7 +11,7 @@ from repro.dse import (
     SearchSpace,
 )
 
-from .conftest import build_toy_point, make_toy_space
+from .conftest import build_toy_point
 
 
 def _broken_builder(assignment):

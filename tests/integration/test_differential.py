@@ -10,9 +10,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.asm import assemble
-from repro.isa import BASE_ISA, MachineState
+from repro.isa import MachineState
 from repro.programs.extensions import add4x8_spec, mul16_spec
-from repro.tie import compile_spec
 from repro.xtcore import DEFAULT_STACK_TOP, EXIT_ADDRESS, Simulator, build_processor
 
 #: straight-line instruction templates over registers a2..a9

@@ -404,8 +404,6 @@ class TestDefinitionsMetadata:
             BASE_ISA.opcode("frobnicate")
 
     def test_extend_rejects_duplicates(self):
-        from repro.isa import InstructionSet
-
         definition = BASE_ISA.lookup("add")
         with pytest.raises(ValueError):
             BASE_ISA.extend("dup", [definition])

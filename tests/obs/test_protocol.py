@@ -5,7 +5,6 @@ import pytest
 from repro.asm import assemble
 from repro.isa import InstructionClass
 from repro.obs import RetireEvent, SimObserver, run_session
-from repro.xtcore import build_processor
 
 
 def _program(source, config, name="obs-test"):

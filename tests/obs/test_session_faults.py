@@ -6,7 +6,6 @@ from repro.asm import assemble
 from repro.core.runner import CharacterizationRunner, RunnerTask, default_simulate
 from repro.obs import StatsObserver, run_session
 from repro.testing.faults import FaultPlan, InjectedFault
-from repro.xtcore import build_processor
 
 
 @pytest.fixture()

@@ -1,0 +1,60 @@
+"""RunTallyObserver: cross-run aggregation on the observer protocol."""
+
+from __future__ import annotations
+
+from repro.obs import RunTallyObserver, run_session
+
+
+class TestTallyAccumulation:
+    def test_matches_execution_stats(self, base_config, tiny_loop_program):
+        observer = RunTallyObserver()
+        first = run_session(base_config, tiny_loop_program, observers=[observer])
+        second = run_session(base_config, tiny_loop_program, observers=[observer])
+        assert observer.runs_started == 2
+        assert observer.runs_finished == 2
+        assert observer.instructions == (
+            first.stats.total_instructions + second.stats.total_instructions
+        )
+        assert observer.cycles == first.stats.total_cycles + second.stats.total_cycles
+        assert observer.icache_misses == (
+            first.stats.icache_misses + second.stats.icache_misses
+        )
+        assert observer.sim_seconds > 0.0
+
+    def test_opts_out_of_per_retire_stream(self):
+        # the whole point: O(1) per run, not O(instructions)
+        assert RunTallyObserver.wants_retire is False
+        assert RunTallyObserver.wants_events is False
+        assert RunTallyObserver.needs_result is False
+
+
+class TestSnapshotMerge:
+    def test_snapshot_round_trips(self, base_config, tiny_loop_program):
+        observer = RunTallyObserver()
+        run_session(base_config, tiny_loop_program, observers=[observer])
+        snapshot = observer.snapshot()
+        clone = RunTallyObserver()
+        clone.merge(snapshot)
+        assert clone.snapshot() == snapshot
+
+    def test_merge_is_associative_accumulation(self):
+        parent = RunTallyObserver()
+        worker_a = {"runs_started": 2, "runs_finished": 2, "instructions": 100,
+                    "cycles": 150, "icache_misses": 3, "dcache_misses": 1,
+                    "sim_seconds": 0.5}
+        worker_b = {"runs_started": 1, "runs_finished": 1, "instructions": 40,
+                    "cycles": 60, "sim_seconds": 0.25}  # partial dicts merge too
+        parent.merge(worker_a)
+        parent.merge(worker_b)
+        assert parent.runs_finished == 3
+        assert parent.instructions == 140
+        assert parent.cycles == 210
+        assert parent.icache_misses == 3
+        assert parent.sim_seconds == 0.75
+
+    def test_clear_resets_everything(self, base_config, tiny_loop_program):
+        observer = RunTallyObserver()
+        run_session(base_config, tiny_loop_program, observers=[observer])
+        observer.clear()
+        empty = RunTallyObserver().snapshot()
+        assert observer.snapshot() == empty

@@ -5,7 +5,6 @@ randomized operands — this is the contract that makes the assembly
 kernels' functional checks trustworthy.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.hwlib import ComponentCategory
 from repro.rtl import BASE_BLOCKS, generate_netlist, stable_unit_variation
-from repro.tie import TieSpec
 from repro.xtcore import build_processor
 
 

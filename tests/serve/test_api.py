@@ -1,0 +1,126 @@
+"""Request parsing/validation and the content-addressed request key."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import assemble
+from repro.dse.cache import candidate_cache_key
+from repro.serve import parse_estimate, parse_explore, request_key
+from repro.serve.api import ApiError, MAX_SOURCE_BYTES
+from repro.xtcore import build_processor
+
+
+class TestParseEstimate:
+    def test_benchmark_form(self):
+        req = parse_estimate({"benchmark": "tp01_alu_mix"})
+        assert req.benchmark == "tp01_alu_mix"
+        assert req.source is None
+        assert req.name == "tp01_alu_mix"
+        assert req.extensions == ()
+
+    def test_inline_form(self):
+        req = parse_estimate(
+            {
+                "program": {"source": "main:\n    halt\n", "name": "p"},
+                "extensions": ["mul16"],
+                "max_instructions": 500,
+                "variables": True,
+            }
+        )
+        assert req.source is not None
+        assert req.extensions == ("mul16",)
+        assert req.max_instructions == 500
+        assert req.variables
+
+    def test_extensions_accept_comma_string(self):
+        req = parse_estimate(
+            {"program": {"source": "main:\n    halt\n"}, "extensions": "mul16, mac16"}
+        )
+        assert req.extensions == ("mul16", "mac16")
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},  # neither form
+            {"benchmark": "a", "program": {"source": "x"}},  # both forms
+            {"benchmark": ""},
+            {"benchmark": "a", "extensions": ["mul16"]},  # ext on benchmark
+            {"program": {"source": ""}},
+            {"program": {"source": "x", "name": ""}},
+            {"program": {"source": "x"}, "max_instructions": 0},
+            {"program": {"source": "x"}, "max_instructions": True},
+            {"program": {"source": "x"}, "variables": "yes"},
+            {"program": {"source": "x"}, "extensions": [1]},
+            [],  # not an object
+        ],
+    )
+    def test_rejects_bad_bodies(self, body):
+        with pytest.raises(ApiError) as exc_info:
+            parse_estimate(body)
+        assert exc_info.value.status == 400
+
+    def test_rejects_oversized_source(self):
+        body = {"program": {"source": "x" * (MAX_SOURCE_BYTES + 1)}}
+        with pytest.raises(ApiError) as exc_info:
+            parse_estimate(body)
+        assert exc_info.value.status == 413
+
+    def test_rejects_absurd_budget(self):
+        with pytest.raises(ApiError):
+            parse_estimate(
+                {"program": {"source": "x"}, "max_instructions": 10**12}
+            )
+
+
+class TestParseExplore:
+    def test_defaults(self):
+        req = parse_explore({"space": "reed_solomon"})
+        assert req.strategy == "exhaustive"
+        assert req.objective == "edp"
+        assert req.seed == 0
+        assert req.budget is None
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"space": "s", "strategy": "annealing"},
+            {"space": "s", "budget": 0},
+            {"space": "s", "objective": "speed"},
+            {"space": "s", "seed": "one"},
+            {"space": "s", "top_k": 0},
+        ],
+    )
+    def test_rejects_bad_bodies(self, body):
+        with pytest.raises(ApiError) as exc_info:
+            parse_explore(body)
+        assert exc_info.value.status == 400
+
+
+class TestRequestKey:
+    def test_matches_dse_content_address(self):
+        """Service results and exploration results share one address space."""
+        config = build_processor("key-test")
+        program = assemble("main:\n    halt\n", "p", isa=config.isa)
+        assert request_key("m" * 64, config, program, 1000) == candidate_cache_key(
+            "m" * 64, config, program, 1000
+        )
+
+    def test_sensitive_to_each_component(self):
+        config = build_processor("key-test")
+        program = assemble("main:\n    halt\n", "p", isa=config.isa)
+        other = assemble("main:\n    nop\n    halt\n", "p", isa=config.isa)
+        base = request_key("m" * 64, config, program, 1000)
+        assert request_key("n" * 64, config, program, 1000) != base
+        assert request_key("m" * 64, config, other, 1000) != base
+        assert request_key("m" * 64, config, program, 999) != base
+
+    def test_name_insensitive(self):
+        """Cosmetic program names must not defeat coalescing."""
+        config = build_processor("key-test")
+        a = assemble("main:\n    halt\n", "first", isa=config.isa)
+        b = assemble("main:\n    halt\n", "second", isa=config.isa)
+        assert request_key("m" * 64, config, a, 1000) == request_key(
+            "m" * 64, config, b, 1000
+        )

@@ -1,0 +1,150 @@
+"""Coalescer semantics, windowed batch harvesting, and group partitioning."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import BatchQueue, Coalescer, Job, partition_compatible
+
+
+def job_without_future(key: str, group: str = "g") -> Job:
+    """Jobs for sync-only tests; the future is never awaited."""
+    loop = asyncio.new_event_loop()
+    try:
+        return Job(key=key, group=group, item={"max_instructions": 1}, future=loop.create_future())
+    finally:
+        loop.close()
+
+
+class TestCoalescer:
+    def test_inflight_attach_counts_waiters(self):
+        coalescer = Coalescer()
+        job = job_without_future("k1")
+        coalescer.open(job)
+        assert coalescer.find_inflight("k1") is job
+        assert coalescer.find_inflight("k1") is job
+        assert job.waiters == 3  # owner + two attachments
+        assert coalescer.coalesced == 2
+        assert coalescer.find_inflight("other") is None
+
+    def test_close_memoizes_and_clears_inflight(self):
+        coalescer = Coalescer()
+        job = job_without_future("k1")
+        coalescer.open(job)
+        coalescer.close("k1", {"ok": True, "energy": 1.0})
+        assert coalescer.inflight_count == 0
+        assert coalescer.find_memo("k1") == {"ok": True, "energy": 1.0}
+        assert coalescer.memo_hits == 1
+
+    def test_failed_close_does_not_memoize(self):
+        coalescer = Coalescer()
+        coalescer.open(job_without_future("k1"))
+        coalescer.close("k1")  # failure path: no payload
+        assert coalescer.find_memo("k1") is None
+        assert coalescer.memo_hits == 0
+
+    def test_memo_lru_eviction(self):
+        coalescer = Coalescer(memo_size=2)
+        for key in ("a", "b", "c"):
+            coalescer.close(key, {"ok": True, "key": key})
+        assert coalescer.memo_count == 2
+        assert coalescer.find_memo("a") is None  # oldest evicted
+        assert coalescer.find_memo("b") is not None
+        # touching "b" makes "c" the eviction victim
+        coalescer.close("d", {"ok": True})
+        assert coalescer.find_memo("c") is None
+        assert coalescer.find_memo("b") is not None
+
+    def test_zero_memo_size_disables_memoization(self):
+        coalescer = Coalescer(memo_size=0)
+        coalescer.close("a", {"ok": True})
+        assert coalescer.memo_count == 0
+        assert coalescer.find_memo("a") is None
+
+    def test_negative_memo_size_rejected(self):
+        with pytest.raises(ValueError):
+            Coalescer(memo_size=-1)
+
+
+class TestBatchQueue:
+    def test_rejects_silly_maxsize(self):
+        with pytest.raises(ValueError):
+            BatchQueue(0)
+
+    def test_full_queue_raises(self):
+        async def scenario():
+            queue = BatchQueue(2)
+            queue.put_nowait(job_without_future("a"))
+            queue.put_nowait(job_without_future("b"))
+            with pytest.raises(asyncio.QueueFull):
+                queue.put_nowait(job_without_future("c"))
+            assert queue.qsize() == 2
+
+        asyncio.run(scenario())
+
+    def test_harvests_queued_jobs_up_to_max(self):
+        async def scenario():
+            queue = BatchQueue(16)
+            for key in "abcde":
+                queue.put_nowait(job_without_future(key))
+            batch = await queue.next_batch(max_batch=3, window=0.0)
+            assert [job.key for job in batch] == ["a", "b", "c"]
+            batch = await queue.next_batch(max_batch=8, window=0.0)
+            assert [job.key for job in batch] == ["d", "e"]
+
+        asyncio.run(scenario())
+
+    def test_window_waits_for_stragglers(self):
+        async def scenario():
+            queue = BatchQueue(16)
+            queue.put_nowait(job_without_future("first"))
+
+            async def straggler():
+                await asyncio.sleep(0.02)
+                queue.put_nowait(job_without_future("late"))
+
+            task = asyncio.create_task(straggler())
+            batch = await queue.next_batch(max_batch=8, window=0.5)
+            await task
+            assert [job.key for job in batch] == ["first", "late"]
+
+        asyncio.run(scenario())
+
+    def test_blocks_until_first_job(self):
+        async def scenario():
+            queue = BatchQueue(4)
+
+            async def producer():
+                await asyncio.sleep(0.02)
+                queue.put_nowait(job_without_future("only"))
+
+            task = asyncio.create_task(producer())
+            batch = await queue.next_batch(max_batch=4, window=0.0)
+            await task
+            assert [job.key for job in batch] == ["only"]
+
+        asyncio.run(scenario())
+
+
+class TestPartitionCompatible:
+    def test_groups_by_fingerprint_preserving_order(self):
+        jobs = [
+            job_without_future("a", group="base"),
+            job_without_future("b", group="ext"),
+            job_without_future("c", group="base"),
+            job_without_future("d", group="ext"),
+        ]
+        groups = partition_compatible(jobs)
+        assert [[job.key for job in group] for group in groups] == [
+            ["a", "c"],
+            ["b", "d"],
+        ]
+
+    def test_single_group_stays_whole(self):
+        jobs = [job_without_future(k) for k in "abc"]
+        assert partition_compatible(jobs) == [jobs]
+
+    def test_empty(self):
+        assert partition_compatible([]) == []

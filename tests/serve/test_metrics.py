@@ -1,0 +1,82 @@
+"""Latency windows, the metrics registry, and Prometheus rendering."""
+
+from __future__ import annotations
+
+from repro.obs import RunTallyObserver, run_session
+from repro.serve import LatencyWindow, ServiceMetrics, ServiceMetricsObserver, render_prometheus
+from repro.serve.metrics import ServiceMetricsObserver as _ObserverAlias
+
+
+class TestLatencyWindow:
+    def test_empty_window_is_zero(self):
+        window = LatencyWindow()
+        assert window.percentile(50) == 0.0
+        assert window.snapshot()["p95_ms"] == 0.0
+
+    def test_percentiles(self):
+        window = LatencyWindow()
+        for ms in range(1, 101):  # 1..100 ms
+            window.record(ms / 1e3)
+        snap = window.snapshot()
+        assert 45 <= snap["p50_ms"] <= 55
+        assert 90 <= snap["p95_ms"] <= 100
+        assert snap["count"] == 100
+
+    def test_bounded_reservoir(self):
+        window = LatencyWindow(maxlen=8)
+        for _ in range(100):
+            window.record(0.001)
+        assert window.snapshot()["window"] == 8
+        assert window.count == 100
+
+
+class TestServiceMetricsObserver:
+    def test_rides_the_observer_protocol(self, base_config, tiny_loop_program):
+        observer = ServiceMetricsObserver()
+        result = run_session(base_config, tiny_loop_program, observers=[observer])
+        run_session(base_config, tiny_loop_program, observers=[observer])
+        snap = observer.snapshot()
+        assert snap["runs_finished"] == 2
+        assert snap["instructions"] == 2 * result.stats.total_instructions
+        assert snap["cycles"] == 2 * result.stats.total_cycles
+        assert snap["sim_seconds"] > 0
+
+    def test_is_a_run_tally(self):
+        # the service observer is the obs-layer tally, shipped across forks
+        assert issubclass(_ObserverAlias, RunTallyObserver)
+
+
+class TestServiceMetrics:
+    def test_duplicates_merged_combines_sources(self):
+        metrics = ServiceMetrics()
+        metrics.incr("coalesced_total", 2)
+        metrics.incr("memo_hits_total", 3)
+        metrics.incr("disk_cache_hits_total", 1)
+        assert metrics.duplicates_merged == 6
+        payload = metrics.to_payload()
+        assert payload["counters"]["duplicates_merged"] == 6
+
+    def test_payload_shape_and_cache_rates(self):
+        metrics = ServiceMetrics()
+        metrics.observe_latency("estimate", 0.002)
+        metrics.merge_sim_snapshot({"runs_finished": 4, "instructions": 100})
+        payload = metrics.to_payload(
+            compilation_cache={"hits": 3, "misses": 1},
+            result_cache={"hits": 0, "misses": 0},
+        )
+        assert payload["caches"]["compilation"]["hit_rate"] == 0.75
+        assert payload["caches"]["results"]["hit_rate"] == 0.0
+        assert payload["simulation"]["runs_finished"] == 4
+        assert payload["latency"]["estimate"]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        metrics = ServiceMetrics()
+        metrics.incr("requests_total", 7)
+        metrics.observe_latency("estimate", 0.010)
+        text = render_prometheus(
+            metrics.to_payload(compilation_cache={"hits": 1, "misses": 1})
+        )
+        assert "repro_serve_requests_total 7" in text
+        assert 'repro_serve_latency_p50_ms{endpoint="estimate"} 10' in text
+        assert 'repro_serve_cache_hit_rate{cache="compilation"} 0.5' in text
+        assert text.endswith("\n")

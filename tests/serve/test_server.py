@@ -1,0 +1,352 @@
+"""End-to-end service tests over real HTTP, plus service-level policy units.
+
+The HTTP tests go through :class:`ServerHarness` (a live asyncio server on
+an ephemeral port); the backpressure and timeout/retry tests drive the
+service object directly so the failure timing is deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.core.runner import RetryPolicy
+from repro.serve import EstimationService, Job
+from repro.serve.api import ApiError
+
+from .conftest import TINY_SOURCE
+
+INLINE_BODY = {
+    "program": {"source": TINY_SOURCE, "name": "tiny"},
+    "max_instructions": 10_000,
+}
+
+
+class TestEstimateEndpoint:
+    def test_fresh_then_memo(self, make_server):
+        server = make_server()
+        status, first = server.estimate({"benchmark": "tp01_alu_mix"})
+        assert status == 200
+        assert first["dedup"] == "fresh"
+        assert first["energy"] > 0
+        assert first["cycles"] > 0
+        assert first["edp"] == pytest.approx(first["energy"] * first["cycles"])
+        status, second = server.estimate({"benchmark": "tp01_alu_mix"})
+        assert status == 200
+        assert second["dedup"] == "memo"
+        assert second["energy"] == first["energy"]
+        assert second["key"] == first["key"]
+
+    def test_inline_program_with_variables(self, make_server, serve_model):
+        server = make_server()
+        status, body = server.estimate({**INLINE_BODY, "variables": True})
+        assert status == 200
+        assert body["dedup"] == "fresh"
+        assert set(body["variables"]) == set(serve_model.template.keys())
+        recomputed = sum(
+            body["variables"][name] * coeff
+            for name, coeff in zip(serve_model.template.keys(), serve_model.coefficients)
+        )
+        assert body["energy"] == pytest.approx(recomputed)
+
+    def test_variables_omitted_by_default(self, make_server):
+        server = make_server()
+        status, body = server.estimate(INLINE_BODY)
+        assert status == 200
+        assert "variables" not in body
+
+    def test_concurrent_duplicates_merge(self, make_server):
+        """N identical requests cost one simulation: 1 fresh + N-1 merged."""
+        server = make_server(batch_window=0.05)
+        results: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+
+        def fire():
+            outcome = server.estimate(INLINE_BODY)
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=fire) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(results) == 4
+        assert all(status == 200 for status, _ in results)
+        energies = {body["energy"] for _, body in results}
+        assert len(energies) == 1
+        dedups = sorted(body["dedup"] for _, body in results)
+        assert dedups.count("fresh") == 1
+        assert all(d in ("fresh", "coalesced", "memo") for d in dedups)
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["duplicates_merged"] == 3
+        assert metrics["counters"]["estimate_requests"] == 4
+
+    def test_dedupe_disabled_runs_every_request(self, make_server):
+        server = make_server(dedupe=False)
+        assert server.estimate(INLINE_BODY)[1]["dedup"] == "fresh"
+        assert server.estimate(INLINE_BODY)[1]["dedup"] == "fresh"
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["duplicates_merged"] == 0
+        assert metrics["counters"]["batched_requests"] == 2
+
+    def test_unknown_benchmark_is_bad_request(self, make_server):
+        server = make_server()
+        status, body = server.estimate({"benchmark": "no_such_benchmark"})
+        assert status == 400
+        assert body["error"] == "bad_workload"
+
+    def test_broken_program_is_bad_request(self, make_server):
+        server = make_server()
+        status, body = server.estimate({"program": {"source": "main:\n    bogus_op\n"}})
+        assert status == 400
+
+    def test_malformed_json_is_bad_request(self, make_server):
+        server = make_server()
+        status, _ = server.request("POST", "/estimate", body=None)
+        assert status == 400
+
+    def test_batch_counters_advance(self, make_server):
+        server = make_server()
+        server.estimate({"benchmark": "tp01_alu_mix"})
+        server.estimate(INLINE_BODY)
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["batches_dispatched"] >= 2
+        assert metrics["counters"]["batched_requests"] >= 2
+        assert metrics["simulation"]["runs_finished"] >= 2
+        assert metrics["latency"]["estimate"]["count"] == 2
+
+
+class TestDiskCache:
+    def test_results_survive_restart(self, make_server, tmp_path):
+        cache_dir = str(tmp_path / "serve-cache")
+        first = make_server(cache_dir=cache_dir)
+        status, body = first.estimate(INLINE_BODY)
+        assert status == 200 and body["dedup"] == "fresh"
+        _, metrics = first.request("GET", "/metrics")
+        assert metrics["caches"]["results"]["stores"] == 1
+        first.close()
+
+        second = make_server(cache_dir=cache_dir)
+        status, again = second.estimate(INLINE_BODY)
+        assert status == 200
+        assert again["dedup"] == "disk"
+        assert again["energy"] == body["energy"]
+        # the disk hit was promoted to the memo
+        assert second.estimate(INLINE_BODY)[1]["dedup"] == "memo"
+
+
+class TestIntrospection:
+    def test_healthz(self, make_server):
+        server = make_server(queue_limit=7)
+        status, body = server.request("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["pool"]["mode"] == "inline"
+        assert body["queue"] == {"depth": 0, "limit": 7}
+        assert body["recent_failures"] == []
+
+    def test_metrics_json_and_prometheus(self, make_server):
+        server = make_server()
+        server.estimate({"benchmark": "tp01_alu_mix"})
+        status, body = server.request("GET", "/metrics")
+        assert status == 200
+        assert body["counters"]["responses_ok"] == 1
+        assert body["caches"]["compilation"]["hits"] + body["caches"]["compilation"][
+            "misses"
+        ] >= 1
+        status, text = server.request("GET", "/metrics?format=prom")
+        assert status == 200
+        assert isinstance(text, str)
+        assert "repro_serve_requests_total" in text
+
+    def test_unknown_path_404(self, make_server):
+        status, body = make_server().request("GET", "/nope")
+        assert status == 404
+        assert body["error"] == "not_found"
+
+    def test_wrong_method_405(self, make_server):
+        server = make_server()
+        assert server.request("POST", "/healthz", body={})[0] == 405
+        assert server.request("GET", "/estimate")[0] == 405
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429(self, serve_model):
+        async def scenario():
+            service = EstimationService(serve_model, workers=0, queue_limit=1)
+            # never started: nothing drains the queue, so fill it by hand
+            loop = asyncio.get_running_loop()
+            service.queue.put_nowait(
+                Job(
+                    key="occupant",
+                    group="g",
+                    item={"max_instructions": 100},
+                    future=loop.create_future(),
+                )
+            )
+            with pytest.raises(ApiError) as exc_info:
+                await service._obtain("rejected", "g", {"max_instructions": 100})
+            service.pool.shutdown()
+            return service, exc_info.value
+
+        service, error = asyncio.run(scenario())
+        assert error.status == 429
+        assert error.code == "overloaded"
+        assert error.headers == {"Retry-After": "1"}
+        assert service.metrics.counters["rejected_total"] == 1
+        # the rejected key must not linger as a phantom in-flight owner
+        assert service.coalescer.inflight_count == 0
+
+
+class StallingPool:
+    """A pool stub whose batches never finish — forces the timeout path."""
+
+    mode = "stub"
+    workers = 1
+    prewarmed = 0
+
+    def __init__(self) -> None:
+        self.budgets: list[list[int]] = []
+
+    def submit_estimate_batch(self, items):
+        self.budgets.append([item["max_instructions"] for item in items])
+        return concurrent.futures.Future()  # intentionally never resolved
+
+    def shutdown(self) -> None:
+        pass
+
+
+class TestTimeoutRetry:
+    def test_retries_with_lowered_budget_then_times_out(self, serve_model):
+        async def scenario():
+            service = EstimationService(
+                serve_model,
+                workers=0,
+                request_timeout=0.05,
+                retry=RetryPolicy(max_attempts=2),
+            )
+            service.pool.shutdown()
+            stub = StallingPool()
+            service.pool = stub
+            job = Job(
+                key="k",
+                group="g",
+                item={"benchmark": "tp01_alu_mix", "max_instructions": 1000},
+                future=asyncio.get_running_loop().create_future(),
+            )
+            service.coalescer.open(job)
+            await service._run_batch([job])
+            return service, stub, job.future.result()
+
+        service, stub, payload = asyncio.run(scenario())
+        # attempt 2 reran the batch at the policy's halved budget
+        assert stub.budgets == [[1000], [500]]
+        assert payload["ok"] is False
+        assert payload["stage"] == "timeout"
+        assert service.metrics.counters["timeouts_total"] == 2
+        assert service.metrics.counters["retries_total"] == 1
+        assert service.metrics.counters["failures_total"] == 1
+        assert service.coalescer.inflight_count == 0
+        failure = service.failures[-1]
+        assert failure.stage == "timeout"
+        assert failure.attempts == 2
+
+    def test_timeout_surfaces_as_504(self, make_server, serve_model):
+        server = make_server()
+        service = server.service
+        real_pool = service.pool
+        service.pool = StallingPool()
+        service.request_timeout = 0.05
+        service.retry = RetryPolicy(max_attempts=1)
+        try:
+            status, body = server.estimate(INLINE_BODY)
+        finally:
+            service.pool = real_pool
+        assert status == 504
+        assert body["stage"] == "timeout"
+
+
+class TestExploreEndpoint:
+    def test_random_exploration(self, make_server):
+        server = make_server()
+        status, report = server.request(
+            "POST",
+            "/explore",
+            {"space": "fir_tuned", "strategy": "random", "budget": 2, "top_k": 2},
+            timeout=300,
+        )
+        assert status == 200
+        assert len(report["scores"]) == 2
+        assert all(score["energy"] > 0 for score in report["scores"])
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["explore_requests"] == 1
+        assert metrics["latency"]["explore"]["count"] == 1
+
+    def test_unknown_space_is_bad_request(self, make_server):
+        status, body = make_server().request(
+            "POST", "/explore", {"space": "not_a_space"}
+        )
+        assert status == 400
+        assert body["error_type"] == "SpaceError"
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestForkPool:
+    def test_forked_workers_report_tallies(self, make_server):
+        server = make_server(workers=1, prewarm=["tp01_alu_mix"])
+        _, health = server.request("GET", "/healthz")
+        assert health["pool"] == {"mode": "fork", "workers": 1, "prewarmed": 1}
+        status, body = server.estimate({"benchmark": "tp01_alu_mix"})
+        assert status == 200
+        assert body["dedup"] == "fresh"
+        # the worker-side observer snapshot crossed the process boundary
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["simulation"]["runs_finished"] >= 1
+        assert metrics["simulation"]["instructions"] > 0
+
+
+class TestCliWiring:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "model.json"])
+        assert args.model == "model.json"
+        assert args.port == 8731
+        assert args.workers == 2
+        assert args.queue_limit == 64
+        assert args.batch_max == 8
+        assert args.batch_window_ms == 5.0
+        assert not args.no_dedupe
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_serve_parser_overrides(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "m.json",
+                "--port",
+                "0",
+                "--workers",
+                "0",
+                "--no-dedupe",
+                "--prewarm",
+                "suite",
+                "--cache",
+                "/tmp/c",
+            ]
+        )
+        assert args.port == 0
+        assert args.workers == 0
+        assert args.no_dedupe
+        assert args.prewarm == "suite"
+        assert args.cache == "/tmp/c"

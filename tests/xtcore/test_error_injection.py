@@ -3,7 +3,7 @@
 import pytest
 
 from repro.asm import assemble
-from repro.isa import BreakpointHit, Instruction
+from repro.isa import BreakpointHit
 from repro.tie import TieSpec, compile_spec
 from repro.xtcore import SimulationError, SimulationLimitExceeded, Simulator, build_processor
 

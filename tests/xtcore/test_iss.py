@@ -7,7 +7,6 @@ from repro.isa import InstructionClass
 from repro.tie import TieSpec
 from repro.xtcore import (
     DEFAULT_STACK_TOP,
-    EXIT_ADDRESS,
     CacheConfig,
     ProcessorConfig,
     SimulationError,

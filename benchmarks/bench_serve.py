@@ -107,7 +107,14 @@ class LiveServer:
         self._loop.close()
 
 
-def _post_estimate(port: int, body: dict) -> dict:
+#: Transient statuses a live service legitimately answers under load:
+#: 429 backpressure, 503 draining, 504 shed/timeout.  The load generator
+#: retries them with jittered backoff instead of failing the whole run.
+RETRYABLE_STATUSES = (429, 503, 504)
+MAX_POST_ATTEMPTS = 6
+
+
+def _post_estimate_once(port: int, body: dict) -> tuple[int, dict]:
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
     try:
         conn.request(
@@ -117,12 +124,29 @@ def _post_estimate(port: int, body: dict) -> dict:
             {"Content-Type": "application/json"},
         )
         response = conn.getresponse()
-        payload = json.loads(response.read())
-        if response.status != 200:
-            raise RuntimeError(f"estimate failed ({response.status}): {payload}")
-        return payload
+        return response.status, json.loads(response.read())
     finally:
         conn.close()
+
+
+def _post_estimate(port: int, body: dict) -> dict:
+    """POST with bounded jittered retries on transient congestion."""
+    last: tuple[int, object] = (0, None)
+    for attempt in range(1, MAX_POST_ATTEMPTS + 1):
+        try:
+            status, payload = _post_estimate_once(port, body)
+        except (ConnectionError, http.client.HTTPException) as exc:
+            last = (0, repr(exc))
+            status = None
+        else:
+            if status == 200:
+                return payload
+            last = (status, payload)
+            if status not in RETRYABLE_STATUSES:
+                break
+        if attempt < MAX_POST_ATTEMPTS:
+            time.sleep(min(2.0, 0.05 * 2**attempt) * (0.5 + random.random()))
+    raise RuntimeError(f"estimate failed (status {last[0]}): {last[1]}")
 
 
 def _get_metrics(port: int) -> dict:

@@ -435,6 +435,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise _die("--timeout must be positive")
     if args.max_attempts < 1:
         raise _die("--max-attempts must be >= 1")
+    if args.quarantine_after < 1:
+        raise _die("--quarantine-after must be >= 1")
+    if args.breaker_failures < 1:
+        raise _die("--breaker-failures must be >= 1")
+    if args.breaker_cooldown <= 0:
+        raise _die("--breaker-cooldown must be positive")
+    if args.drain_grace < 0:
+        raise _die("--drain-grace must be >= 0")
+    chaos = None
+    if args.chaos:
+        from .testing.faults import ServiceChaosPlan
+
+        try:
+            chaos = ServiceChaosPlan.parse(args.chaos)
+        except ValueError as exc:
+            raise _die(f"bad --chaos spec: {exc}")
     prewarm: list[str] = []
     if args.prewarm:
         if args.prewarm.strip() == "suite":
@@ -453,6 +469,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retry=RetryPolicy(max_attempts=args.max_attempts),
             request_timeout=args.timeout,
             prewarm=prewarm,
+            quarantine_after=args.quarantine_after,
+            breaker_failures=args.breaker_failures,
+            breaker_cooldown=args.breaker_cooldown,
+            drain_grace=args.drain_grace,
+            chaos=chaos,
         )
     except ValueError as exc:
         raise _die(str(exc))
@@ -764,6 +785,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAMES",
         help="comma-separated bundled benchmarks to pre-compile before forking "
         "workers ('suite' = all 25)",
+    )
+    p.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=2,
+        metavar="N",
+        help="singleton pool crashes before a request key is quarantined "
+        "(default 2)",
+    )
+    p.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive pool crashes that trip the circuit breaker into "
+        "degraded inline serving (default 5)",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds an open breaker waits before probing the pool again "
+        "(default 30)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds SIGTERM waits for in-flight work before forcing "
+        "shutdown (default 10)",
+    )
+    p.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="inject deterministic service faults, e.g. "
+        "'seed=7,crashes=3,hangs=1,resets=1,horizon=24,hang=2.5,poison=a|b' "
+        "(testing only)",
     )
     p.set_defaults(func=_cmd_serve)
 

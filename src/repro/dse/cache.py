@@ -14,7 +14,11 @@ happen to build the same design point.
 
 Entries are one JSON file per key, sharded by key prefix, written
 atomically (tmp + ``os.replace``); a corrupt or truncated entry reads as
-a miss and is rewritten, never trusted.
+a miss and is rewritten, never trusted.  Corrupt entries are not just
+skipped: the damaged file is renamed aside to ``<key>.json.corrupt``
+(preserved for forensics, never re-read) and counted, so a cache that is
+rotting — a flaky disk, a torn copy — is visible in ``info()`` and the
+serving layer's ``/metrics`` instead of silently costing re-simulations.
 """
 
 from __future__ import annotations
@@ -80,28 +84,51 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_entries = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
     def get(self, key: str) -> Optional[dict]:
-        """The stored payload, or None (counted as a miss) if absent/corrupt."""
+        """The stored payload, or None (counted as a miss) if absent/corrupt.
+
+        A *present but unreadable* entry (truncated JSON, wrong format
+        tag) is quarantined: renamed to ``<key>.json.corrupt`` so the
+        next ``put`` rewrites cleanly, and counted in
+        ``corrupt_entries``.  A missing file is a plain miss.
+        """
+        corrupt = False
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            payload = None
         except (OSError, json.JSONDecodeError):
             payload = None
-        if (
-            payload is None
-            or not isinstance(payload, dict)
-            or payload.get("format") != CACHE_FORMAT
+            corrupt = True
+        if payload is not None and (
+            not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT
         ):
+            payload = None
+            corrupt = True
+        if corrupt:
+            self._quarantine_corrupt(key)
+        if payload is None:
             with self._lock:
                 self.misses += 1
             return None
         with self._lock:
             self.hits += 1
         return payload
+
+    def _quarantine_corrupt(self, key: str) -> None:
+        path = self._path(key)
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass  # racing reader already moved it (or the disk is that bad)
+        with self._lock:
+            self.corrupt_entries += 1
 
     def put(self, key: str, payload: dict) -> None:
         path = self._path(key)
@@ -118,6 +145,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
+                "corrupt_entries": self.corrupt_entries,
             }
 
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Optional, Sequence
 
 from ..core.model import EnergyMacroModel
@@ -189,6 +190,9 @@ class EvaluationEngine:
         self.failures: list[SampleFailure] = []
         self.evaluated = 0  # candidates actually simulated this run
         self.memo_hits = 0
+        #: worker-pool breakages survived this run (each one degrades the
+        #: remaining candidates of the run to serial in-parent scoring)
+        self.pool_restarts = 0
         self._model_digest = model_digest(model)
         self._memo: dict[str, CandidateScore] = {}
 
@@ -273,14 +277,72 @@ class EvaluationEngine:
                 compilation_cache().get_or_compile(config, program)
             except Exception:  # noqa: BLE001 — the worker records the real failure
                 continue
-        with context.Pool(
-            processes=min(self.jobs, len(pending)),
+        return self._run_forked(context, pending)
+
+    def _run_forked(self, context, pending: list) -> list[dict]:
+        """Parallel scoring that survives worker death.
+
+        Candidates go to a :class:`ProcessPoolExecutor` in bounded waves
+        (``jobs * 4``).  If a worker dies (``BrokenProcessPool`` — a
+        segfaulting candidate, an OOM kill), only the in-flight wave is
+        affected: its unfinished candidates become ``stage="pool"``
+        failures (the crasher cannot be told apart from innocents that
+        were in flight beside it), and every not-yet-submitted candidate
+        is scored serially in the parent, so one bad design point cannot
+        sink an exploration.
+        """
+        assignments = [candidate.assignment_dict for _, candidate, _ in pending]
+        results: list[Optional[dict]] = [None] * len(pending)
+        wave_size = max(1, self.jobs * 4)
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)),
+            mp_context=context,
             initializer=_worker_init,
             initargs=(self.model, self.space, self.max_instructions),
-        ) as pool:
-            return pool.map(
-                _worker_evaluate, [candidate.assignment_dict for _, candidate, _ in pending]
-            )
+        )
+        try:
+            for start in range(0, len(pending), wave_size):
+                wave = range(start, min(start + wave_size, len(pending)))
+                futures = [
+                    executor.submit(_worker_evaluate, assignments[i]) for i in wave
+                ]
+                crash: Optional[BaseException] = None
+                for offset, future in zip(wave, futures):
+                    try:
+                        results[offset] = future.result()
+                    except BrokenExecutor as exc:
+                        crash = exc
+                        results[offset] = {
+                            "ok": False,
+                            "key": pending[offset][1].key,
+                            "processor": "",
+                            "stage": "pool",
+                            "error_type": type(exc).__name__,
+                            "message": (
+                                "worker pool died while this candidate was "
+                                f"in flight: {exc}"
+                            ),
+                        }
+                if crash is not None:
+                    self.pool_restarts += 1
+                    self._emit(
+                        "worker pool died; scoring the remaining "
+                        f"{len(pending) - wave.stop} candidate(s) serially"
+                    )
+                    break
+        finally:
+            executor.shutdown(wait=False)
+        for index, raw in enumerate(results):
+            if raw is None:
+                _, candidate, built = pending[index]
+                results[index] = _score_point(
+                    self.model,
+                    self.space,
+                    candidate.assignment_dict,
+                    self.max_instructions,
+                    built=built,
+                )
+        return results
 
     def _try_cache(self, candidate: Candidate):
         """A cached score, a built (config, program) pair, or None."""

@@ -47,6 +47,8 @@ class ExplorationReport:
     evaluated: int  # candidates actually simulated (cache/memo hits excluded)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: worker-pool breakages the run survived (0 = clean run)
+    pool_restarts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -80,6 +82,11 @@ class ExplorationReport:
         if self.cache_hits or self.cache_misses:
             lines.append(
                 f"result cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
+            )
+        if self.pool_restarts:
+            lines.append(
+                f"worker pool died {self.pool_restarts} time(s); "
+                "run completed with serial fallback"
             )
         header = (
             f"{'#':>3} {'design point':<34}{'program':<14}"
@@ -116,6 +123,7 @@ class ExplorationReport:
             "evaluated": self.evaluated,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "pool_restarts": self.pool_restarts,
             "scores": [score.to_payload() for score in self.ranked()],
             "pareto": [score.key for score in self.pareto],
             "failures": [failure.to_payload() for failure in self.failures],
@@ -189,6 +197,7 @@ def explore(
         evaluated=engine.evaluated,
         cache_hits=engine.cache_hits,
         cache_misses=engine.cache_misses,
+        pool_restarts=engine.pool_restarts,
     )
 
 

@@ -25,20 +25,34 @@ from .batching import BatchQueue, Coalescer, Job, partition_compatible
 from .metrics import LatencyWindow, ServiceMetrics, ServiceMetricsObserver, render_prometheus
 from .pool import WorkerPool, run_estimate_batch, run_explore
 from .server import EstimationServer, EstimationService, run_server
+from .supervise import (
+    CircuitBreaker,
+    InjectedWorkerCrash,
+    QuarantineRegistry,
+    deadline_at,
+    deadline_expired,
+    is_pool_crash,
+)
 
 __all__ = [
     "ApiError",
     "BatchQueue",
+    "CircuitBreaker",
     "Coalescer",
     "EstimateRequest",
     "EstimationServer",
     "EstimationService",
     "ExploreRequest",
+    "InjectedWorkerCrash",
     "Job",
     "LatencyWindow",
+    "QuarantineRegistry",
     "ServiceMetrics",
     "ServiceMetricsObserver",
     "WorkerPool",
+    "deadline_at",
+    "deadline_expired",
+    "is_pool_crash",
     "parse_estimate",
     "parse_explore",
     "partition_compatible",

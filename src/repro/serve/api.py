@@ -81,6 +81,24 @@ def _parse_budget(payload: dict) -> int:
     return raw
 
 
+#: Hard ceiling on a client deadline (anything longer is "no deadline").
+MAX_DEADLINE_MS = 3_600_000
+
+
+def _parse_deadline(payload: dict) -> Optional[int]:
+    raw = payload.get("deadline_ms")
+    if raw is None:
+        return None
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < 1:
+        raise ApiError(400, "deadline_ms must be a positive integer")
+    if raw > MAX_DEADLINE_MS:
+        raise ApiError(
+            400,
+            f"deadline_ms {raw} exceeds the service ceiling {MAX_DEADLINE_MS}",
+        )
+    return raw
+
+
 def _parse_extensions(payload: dict) -> tuple[str, ...]:
     raw = payload.get("extensions", ())
     if isinstance(raw, str):
@@ -107,6 +125,9 @@ class EstimateRequest:
     max_instructions: int
     #: include the per-variable energy breakdown in the response
     variables: bool = False
+    #: client-supplied total deadline; the service sheds the request
+    #: (504) anywhere along the pipeline once it expires
+    deadline_ms: Optional[int] = None
 
 
 def parse_estimate(payload: object) -> EstimateRequest:
@@ -122,6 +143,7 @@ def parse_estimate(payload: object) -> EstimateRequest:
     if not isinstance(variables, bool):
         raise ApiError(400, "variables must be a boolean")
     max_instructions = _parse_budget(body)
+    deadline_ms = _parse_deadline(body)
     if benchmark is not None:
         if not isinstance(benchmark, str) or not benchmark:
             raise ApiError(400, "benchmark must be a non-empty string")
@@ -136,6 +158,7 @@ def parse_estimate(payload: object) -> EstimateRequest:
             extensions=(),
             max_instructions=max_instructions,
             variables=variables,
+            deadline_ms=deadline_ms,
         )
     prog = _require_dict(program)
     source = prog.get("source")
@@ -155,6 +178,7 @@ def parse_estimate(payload: object) -> EstimateRequest:
         extensions=_parse_extensions(body),
         max_instructions=max_instructions,
         variables=variables,
+        deadline_ms=deadline_ms,
     )
 
 

@@ -44,6 +44,13 @@ class Job:
     enqueued_at: float = dataclasses.field(default_factory=time.monotonic)
     #: how many requests this job answers (1 + coalesced attachments)
     waiters: int = 1
+    #: absolute monotonic deadline (None = none); checked at harvest time
+    #: and again worker-side, so an expired request is shed, not simulated
+    deadline: Optional[float] = None
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
 
 
 class Coalescer:

@@ -87,6 +87,17 @@ class ServiceMetrics:
         "batches_dispatched",
         "batched_requests",
         "failures_total",
+        # -- supervision / self-healing (see repro.serve.supervise) --------
+        "pool_restarts_total",
+        "worker_crashes_total",
+        "worker_hangs_total",
+        "quarantined_total",
+        "quarantine_rejections_total",
+        "deadline_shed_total",
+        "breaker_trips_total",
+        "degraded_batches_total",
+        "drain_rejected_total",
+        "chaos_injected_total",
     )
 
     def __init__(self) -> None:
@@ -138,6 +149,7 @@ class ServiceMetrics:
         self,
         compilation_cache: Optional[dict] = None,
         result_cache: Optional[dict] = None,
+        supervision: Optional[dict] = None,
     ) -> dict:
         with self._lock:
             payload = {
@@ -173,6 +185,8 @@ class ServiceMetrics:
                 "hit_rate": (hits / total) if total else 0.0,
             }
         payload["caches"] = caches
+        if supervision is not None:
+            payload["supervision"] = supervision
         return payload
 
 
@@ -201,7 +215,29 @@ def render_prometheus(payload: dict) -> str:
         emit(f"sim_{name}", value)
     for cache_name, info in sorted(payload.get("caches", {}).items()):
         labels = f'{{cache="{cache_name}"}}'
-        for field in ("hits", "misses", "hit_rate", "entries", "stores", "evictions"):
+        for field in (
+            "hits",
+            "misses",
+            "hit_rate",
+            "entries",
+            "stores",
+            "evictions",
+            "corrupt_entries",
+        ):
             if field in info:
                 emit(f"cache_{field}", info[field], labels)
+    supervision = payload.get("supervision")
+    if supervision:
+        from .supervise import BREAKER_STATE_CODES
+
+        breaker = supervision.get("breaker", {})
+        if "state" in breaker:
+            emit("breaker_state", BREAKER_STATE_CODES.get(breaker["state"], -1))
+        quarantine = supervision.get("quarantine", {})
+        if "held" in quarantine:
+            emit("quarantine_held", quarantine["held"])
+        pool = supervision.get("pool", {})
+        for field in ("restarts", "generation"):
+            if field in pool:
+                emit(f"pool_{field}", pool[field])
     return "\n".join(lines) + "\n"

@@ -34,6 +34,12 @@ from ..programs import characterization_suite
 from ..rtl import generate_netlist
 from ..xtcore import ProcessorConfig, build_processor, compilation_cache
 from .metrics import ServiceMetricsObserver
+from .supervise import (
+    CHAOS_KEY,
+    DEADLINE_KEY,
+    deadline_expired,
+    execute_chaos_directive,
+)
 
 #: Worker-process globals, installed by :func:`_worker_init`.
 _WORKER: dict = {}
@@ -55,9 +61,26 @@ def benchmark_cases() -> dict:
     return cases
 
 
-def _worker_init(model: EnergyMacroModel) -> None:
+def _worker_init(model: EnergyMacroModel, fork: bool = False) -> None:
     """Install per-process state (runs in each worker, and inline mode)."""
+    if fork:
+        # Forked children inherit the parent's asyncio signal plumbing:
+        # its Python-level handlers AND the signal wakeup fd (the event
+        # loop's self-pipe).  A signal delivered to a *child* — e.g. the
+        # supervisor terminating a wedged worker — would then write into
+        # the shared pipe and the PARENT's loop would dispatch it as if
+        # the server itself had been signalled (spontaneous drain).
+        # Disarm both before the worker takes any work.
+        import signal
+
+        signal.set_wakeup_fd(-1)
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(signum, signal.SIG_DFL)
+            except (OSError, ValueError):  # non-main thread / exotic platform
+                pass
     _WORKER["model"] = model
+    _WORKER["fork"] = fork
     _WORKER.setdefault("configs", {})
     _WORKER.setdefault("programs", {})
     _WORKER.setdefault("areas", {})
@@ -123,12 +146,17 @@ def resolve_workload(item: dict):
 
 
 def run_estimate_batch(items: Sequence[dict]) -> dict:
-    """Score one batch of estimate items; never raises.
+    """Score one batch of estimate items; never raises (except by chaos).
 
     Per-item failures become ``{"ok": False, ...}`` payloads in the same
     stage/error shape as :class:`~repro.core.runner.SampleFailure`.  One
     :class:`ServiceMetricsObserver` subscribes to every simulation of the
     batch and its snapshot rides back with the results.
+
+    Two supervision hooks run *before* each item's isolation block:
+    a parent-stamped chaos directive (worker crash/hang — deliberately
+    not contained, that is the point) and the item's propagated
+    deadline, shedding expired requests before they pay for simulation.
     """
     from ..core.extract import extract_variables
     from ..obs import run_session
@@ -137,6 +165,19 @@ def run_estimate_batch(items: Sequence[dict]) -> dict:
     observer = ServiceMetricsObserver()
     results: list[dict] = []
     for item in items:
+        directive = item.get(CHAOS_KEY)
+        if directive is not None:
+            execute_chaos_directive(directive, fork=bool(_WORKER.get("fork")))
+        if deadline_expired(item.get(DEADLINE_KEY)):
+            results.append(
+                {
+                    "ok": False,
+                    "stage": "deadline",
+                    "error_type": "DeadlineExceeded",
+                    "message": "deadline expired before simulation started",
+                }
+            )
+            continue
         stage = "build"
         try:
             config, program = resolve_workload(item)
@@ -217,12 +258,19 @@ def run_explore(item: dict) -> dict:
 
 
 class WorkerPool:
-    """Persistent executor of estimate batches and explore jobs.
+    """Persistent, *supervised* executor of estimate batches and explore jobs.
 
     ``workers >= 1`` with fork available → a
     :class:`concurrent.futures.ProcessPoolExecutor` over forked children.
     ``workers == 0`` (or no fork) → a single-thread in-process executor
     with identical semantics, used by tests and tiny deployments.
+
+    A dead or wedged pool is recoverable: :meth:`restart` kills any
+    surviving children, replaces the executor and bumps ``generation``
+    so concurrent crash handlers can tell "already respawned" from
+    "respawn needed".  Because prewarming happened in the parent before
+    the *first* fork, respawned children re-inherit the warm
+    :func:`~repro.xtcore.compilation_cache` copy-on-write for free.
     """
 
     def __init__(
@@ -235,25 +283,27 @@ class WorkerPool:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.model = model
         self.prewarmed = self._prewarm(prewarm)
-        context = _fork_context() if workers >= 1 else None
-        if context is not None:
-            self.mode = "fork"
-            self.workers = workers
-            self._executor: concurrent.futures.Executor = (
-                concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=context,
-                    initializer=_worker_init,
-                    initargs=(model,),
-                )
+        self.mode = "fork" if workers >= 1 and _fork_context() is not None else "inline"
+        self.workers = workers if self.mode == "fork" else max(1, workers)
+        #: bumped on every restart; crash handlers use it to deduplicate
+        self.generation = 0
+        #: pool respawns performed over the service lifetime
+        self.restarts = 0
+        self._fallback: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._executor = self._make_executor()
+
+    def _make_executor(self) -> concurrent.futures.Executor:
+        if self.mode == "fork":
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_fork_context(),
+                initializer=_worker_init,
+                initargs=(self.model, True),
             )
-        else:
-            self.mode = "inline"
-            self.workers = max(1, workers)
-            _worker_init(model)
-            self._executor = concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-serve"
-            )
+        _worker_init(self.model)
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
 
     def _prewarm(self, prewarm: Sequence[str]) -> int:
         """Lower bundled benchmarks into the compilation cache pre-fork.
@@ -276,10 +326,56 @@ class WorkerPool:
             warmed += 1
         return warmed
 
+    def restart(self) -> int:
+        """Replace a dead/wedged executor; returns the new generation.
+
+        Fork mode first terminates surviving children (a hung worker
+        never finishes its batch on its own), then abandons the broken
+        executor without waiting and builds a fresh one.  Inline mode
+        cannot kill threads; it just swaps executors and lets stragglers
+        drain into cancelled futures.
+        """
+        old = self._executor
+        processes = getattr(old, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    # SIGKILL, not SIGTERM: a wedged worker may never
+                    # service a catchable signal, and an uncatchable one
+                    # also cannot echo into any signal plumbing the
+                    # child inherited from the parent across fork
+                    process.kill()
+                except Exception:  # noqa: BLE001 — already-dead children are fine
+                    pass
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 — a broken executor may refuse politely
+            pass
+        self._executor = self._make_executor()
+        self.generation += 1
+        self.restarts += 1
+        return self.generation
+
     def submit_estimate_batch(
         self, items: Sequence[dict]
     ) -> "concurrent.futures.Future[dict]":
         return self._executor.submit(run_estimate_batch, list(items))
+
+    def submit_inline_batch(
+        self, items: Sequence[dict]
+    ) -> "concurrent.futures.Future[dict]":
+        """Run a batch in-process, bypassing the (possibly broken) pool.
+
+        This is the circuit breaker's degraded path: the parent already
+        holds the model and memos (installed during prewarm), so the
+        batch runs on a lazily-created single-thread executor exactly
+        like ``--workers 0`` mode would.
+        """
+        if self._fallback is None:
+            self._fallback = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-degraded"
+            )
+        return self._fallback.submit(run_estimate_batch, list(items))
 
     def submit_explore(self, item: dict) -> "concurrent.futures.Future[dict]":
         return self._executor.submit(run_explore, dict(item))
@@ -287,3 +383,5 @@ class WorkerPool:
     def shutdown(self) -> None:
         # don't block on stragglers: timed-out jobs may still be running
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._fallback is not None:
+            self._fallback.shutdown(wait=False, cancel_futures=True)

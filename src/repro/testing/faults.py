@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the characterization runtime.
+"""Deterministic fault injection for the characterization and serving runtimes.
 
 The harness wraps the two injectable pipeline stages of
 :class:`repro.core.runner.CharacterizationRunner` (``simulate`` and
@@ -10,12 +10,23 @@ fault → structured failure record".  It also fabricates genuinely hanging
 programs (an infinite loop contained by the instruction budget) and
 corrupts checkpoint files the way a crash mid-write would.
 
-Everything here is deterministic: no randomness, no wall-clock.
+:class:`ServiceChaosPlan` extends the same philosophy one layer up, to
+the ``repro serve`` estimation service: a seeded schedule of **worker
+crashes** (``os._exit`` in a forked child), **worker hangs** and
+**mid-response connection resets**, plus per-name **poisoned requests**
+that crash every batch containing them.  The plan only *decides*; the
+service stamps directives onto worker items and
+:func:`repro.serve.supervise.execute_chaos_directive` executes them in
+the worker, so fork-mode chaos kills real processes and inline-mode
+chaos raises the equivalent :class:`~repro.serve.supervise.InjectedWorkerCrash`.
+
+Everything here is deterministic: seeded randomness only, no wall-clock.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import random
 import warnings
 from typing import Optional, Sequence
 
@@ -176,6 +187,141 @@ class FaultPlan:
             return inner(config, result)
 
         return estimate
+
+
+class ServiceChaosPlan:
+    """A seeded, deterministic schedule of service-layer faults.
+
+    Batch-granular faults (``crashes``, ``hangs``) are assigned to
+    distinct dispatch ordinals drawn from ``range(horizon)`` with a
+    seeded RNG: the service counts every batch dispatch and consults
+    :meth:`directive_for_batch` with the running ordinal.  Connection
+    resets work the same way over response ordinals.  ``poison`` names
+    programs whose mere presence in a batch crashes the worker — the
+    deterministic stand-in for a request that segfaults the simulator —
+    which is what drives the bisect-and-quarantine path.
+
+    Same seed + same traffic ⇒ same injections, so chaos benchmarks and
+    smokes are reproducible run to run.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crashes: int = 0,
+        hangs: int = 0,
+        resets: int = 0,
+        horizon: int = 24,
+        hang_seconds: float = 30.0,
+        poison: Sequence[str] = (),
+    ) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if crashes + hangs > horizon:
+            raise ValueError(
+                f"cannot schedule {crashes + hangs} batch faults in a "
+                f"horizon of {horizon}"
+            )
+        self.seed = seed
+        self.horizon = horizon
+        self.hang_seconds = hang_seconds
+        self.poison = frozenset(poison)
+        rng = random.Random(seed)
+        ordinals = rng.sample(range(horizon), crashes + hangs)
+        self._batch_faults: dict[int, str] = {}
+        for ordinal in ordinals[:crashes]:
+            self._batch_faults[ordinal] = "crash"
+        for ordinal in ordinals[crashes:]:
+            self._batch_faults[ordinal] = f"hang:{hang_seconds:g}"
+        self._reset_ordinals = frozenset(
+            rng.sample(range(horizon), min(resets, horizon))
+        )
+        self._responses_seen = 0
+        #: (kind, ordinal) log of every injection actually fired
+        self.injected: list[tuple[str, int]] = []
+
+    # -- parent-side decisions ---------------------------------------------
+
+    def directive_for_batch(self, ordinal: int) -> Optional[str]:
+        """The chaos directive for one batch dispatch, logging the firing."""
+        directive = self._batch_faults.pop(ordinal, None)
+        if directive is not None:
+            kind = directive.split(":", 1)[0]
+            self.injected.append((kind, ordinal))
+        return directive
+
+    def rearm(self, directive: str, not_before: int) -> None:
+        """Re-schedule a directive whose batch never reached a worker.
+
+        When the pool breaks under a *concurrent* batch, a directive
+        already stamped onto this one is consumed without ever executing.
+        The service hands it back here: the firing is removed from the
+        log and the directive re-enters the schedule at the first free
+        ordinal at or after ``not_before`` — the fault count a plan
+        promises is the fault count the run actually experiences.
+        """
+        kind = directive.split(":", 1)[0]
+        for index in range(len(self.injected) - 1, -1, -1):
+            if self.injected[index][0] == kind:
+                del self.injected[index]
+                break
+        ordinal = max(0, not_before)
+        while ordinal in self._batch_faults:
+            ordinal += 1
+        self._batch_faults[ordinal] = directive
+
+    def is_poisoned(self, item: dict) -> bool:
+        """Whether one worker item names a poisoned program."""
+        if not self.poison:
+            return False
+        name = item.get("benchmark") or item.get("name")
+        return name in self.poison
+
+    def take_connection_reset(self) -> bool:
+        """Whether the current response should be cut mid-write."""
+        ordinal = self._responses_seen
+        self._responses_seen += 1
+        if ordinal in self._reset_ordinals:
+            self.injected.append(("reset", ordinal))
+            return True
+        return False
+
+    def injected_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for kind, _ in self.injected:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    # -- CLI spec ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "ServiceChaosPlan":
+        """Build a plan from a ``--chaos`` CLI spec string.
+
+        The spec is comma-separated ``key=value`` pairs, e.g.
+        ``seed=7,crashes=3,hangs=1,resets=1,horizon=24,hang=2.5,poison=a|b``.
+        """
+        kwargs: dict = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, sep, value = token.partition("=")
+            if not sep:
+                raise ValueError(f"chaos spec token {token!r} is not key=value")
+            key = key.strip()
+            value = value.strip()
+            if key in ("seed", "crashes", "hangs", "resets", "horizon"):
+                kwargs[key] = int(value)
+            elif key in ("hang", "hang_seconds"):
+                kwargs["hang_seconds"] = float(value)
+            elif key == "poison":
+                kwargs["poison"] = tuple(
+                    name for name in value.split("|") if name
+                )
+            else:
+                raise ValueError(f"unknown chaos spec key {key!r}")
+        return cls(**kwargs)
 
 
 def hanging_task(

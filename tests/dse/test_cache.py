@@ -90,6 +90,42 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.hits == 0 and cache.misses == 2
 
+    def test_corrupt_entry_is_quarantined_aside(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "aa" + "0" * 62
+        cache.put(key, dict(self.PAYLOAD))
+        path = pathlib.Path(cache._path(key))
+        path.write_text('{"format": "torn-half-of-a', encoding="utf-8")
+
+        assert cache.get(key) is None
+        # the damaged file moved aside for forensics; the slot is free
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert cache.info()["corrupt_entries"] == 1
+
+        # a rewrite fills the slot cleanly and reads back as a hit
+        cache.put(key, dict(self.PAYLOAD))
+        assert cache.get(key) is not None
+        assert cache.info()["corrupt_entries"] == 1
+
+    def test_missing_entry_is_a_plain_miss_not_corruption(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.get("bb" + "0" * 62) is None
+        info = cache.info()
+        assert info["misses"] == 1
+        assert info["corrupt_entries"] == 0
+        assert not list((tmp_path / "c").rglob("*.corrupt"))
+
+    def test_wrong_format_tag_counts_as_corrupt(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = "cc" + "0" * 62
+        path = pathlib.Path(cache._path(key))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"format": "ancient/0"}), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.info()["corrupt_entries"] == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+
     def test_entries_shard_by_key_prefix(self, tmp_path):
         cache = ResultCache(str(tmp_path / "c"))
         key = "ef" + "0" * 62

@@ -1,5 +1,8 @@
 """Evaluation engine: scoring, memo, disk cache, parallelism, failures."""
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.core.runner import TooManyFailures
@@ -144,6 +147,85 @@ class TestParallel:
         )
         warm.evaluate(list(toy_space.candidates()))
         assert warm.cache_hits == toy_space.size and warm.evaluated == 0
+
+
+#: pid of the process that imported this module (the pytest parent).
+#: Fork-pool workers inherit the module but have their own pid, so
+#: :func:`_crashing_builder` can die only inside a worker and stay
+#: harmless in the parent's prewarm/serial paths.
+_PARENT_PID = os.getpid()
+
+POISON_N = 3  # distinct from the toy loop lengths so keys never collide
+
+
+def _crashing_builder(assignment):
+    if assignment["n"] == POISON_N and os.getpid() != _PARENT_PID:
+        os._exit(13)  # simulate a segfaulting candidate killing its worker
+    return build_toy_point(assignment)
+
+
+def _crashing_space(values):
+    return SearchSpace(
+        name="crashy",
+        description="one design point kills any worker that scores it",
+        knobs=(Knob("n", tuple(values)),),
+        builder=_crashing_builder,
+    )
+
+
+@pytest.mark.faults
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker crashes need the fork pool (spawn-only platform runs serial)",
+)
+class TestPoolBreakage:
+    def test_run_survives_a_worker_death(self, synthetic_model):
+        # 12 candidates, poison first: wave 0 (jobs*4 = 8) breaks the
+        # pool, waves after it must be scored serially in the parent.
+        values = [POISON_N] + list(range(4, 15))
+        space = _crashing_space(values)
+        engine = EvaluationEngine(synthetic_model, space, jobs=2)
+        candidates = list(space.candidates())
+        scores = engine.evaluate(candidates)
+
+        # exactly-once accounting: every candidate is a score or a failure
+        assert len(scores) + len(engine.failures) == len(candidates)
+        assert engine.pool_restarts == 1
+
+        pool_failures = [f for f in engine.failures if f.stage == "pool"]
+        assert pool_failures, "the in-flight wave must surface pool failures"
+        assert all(f.stage == "pool" for f in engine.failures)
+        assert f"n={POISON_N}" in {f.name for f in pool_failures}
+        for failure in pool_failures:
+            assert "worker pool died" in failure.message
+
+        # the candidates the pool never saw were scored by the serial
+        # fallback — the tail of the space always lands after the break
+        scored_keys = {score.key for score in scores}
+        for candidate in candidates[8:]:
+            assert candidate.key in scored_keys
+
+    def test_pool_failures_respect_max_failures(self, synthetic_model):
+        space = _crashing_space([POISON_N, 2, 4])
+        engine = EvaluationEngine(synthetic_model, space, jobs=2, max_failures=0)
+        with pytest.raises(TooManyFailures):
+            engine.evaluate(list(space.candidates()))
+
+    def test_explore_reports_pool_restarts(self, synthetic_model):
+        from repro.dse import ExhaustiveStrategy, explore
+
+        space = _crashing_space([POISON_N, 2, 4])
+        report = explore(synthetic_model, space, ExhaustiveStrategy(), jobs=2)
+        assert report.pool_restarts == 1
+        assert report.to_payload()["pool_restarts"] == 1
+        assert "worker pool died 1 time(s)" in report.table()
+
+    def test_healthy_parallel_run_reports_zero_restarts(
+        self, synthetic_model, toy_space
+    ):
+        engine = EvaluationEngine(synthetic_model, toy_space, jobs=2)
+        engine.evaluate(list(toy_space.candidates()))
+        assert engine.pool_restarts == 0
 
 
 class TestFailureIsolation:

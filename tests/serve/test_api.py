@@ -124,3 +124,25 @@ class TestRequestKey:
         assert request_key("m" * 64, config, a, 1000) == request_key(
             "m" * 64, config, b, 1000
         )
+
+
+class TestDeadlineMs:
+    def test_defaults_to_none(self):
+        assert parse_estimate({"benchmark": "b"}).deadline_ms is None
+
+    def test_accepts_positive_deadline(self):
+        req = parse_estimate({"benchmark": "b", "deadline_ms": 2500})
+        assert req.deadline_ms == 2500
+
+    @pytest.mark.parametrize("bad", [0, -5, True, 1.5, "100"])
+    def test_rejects_non_positive_or_non_int(self, bad):
+        with pytest.raises(ApiError) as excinfo:
+            parse_estimate({"benchmark": "b", "deadline_ms": bad})
+        assert excinfo.value.status == 400
+
+    def test_rejects_over_ceiling(self):
+        from repro.serve.api import MAX_DEADLINE_MS
+
+        with pytest.raises(ApiError) as excinfo:
+            parse_estimate({"benchmark": "b", "deadline_ms": MAX_DEADLINE_MS + 1})
+        assert excinfo.value.status == 400

@@ -1,0 +1,195 @@
+"""Chaos tests: the service under injected worker crashes, hangs, poison.
+
+Everything runs the inline (thread) pool, where the chaos harness's
+``crash`` directive raises
+:class:`~repro.serve.supervise.InjectedWorkerCrash` instead of killing
+the test process — the supervisor treats both identically via
+:func:`~repro.serve.supervise.is_pool_crash`, and the fork-mode
+equivalent (real ``os._exit`` children) is exercised by
+``benchmarks/bench_serve_chaos.py`` and ``scripts/ci/smoke_chaos.sh``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.runner import RetryPolicy
+from repro.testing.faults import ServiceChaosPlan
+
+pytestmark = pytest.mark.chaos
+
+
+def inline_body(name: str, loops: int) -> dict:
+    """A tiny unique program: ``loops`` varies the image, so distinct
+    ``loops`` values get distinct content-addressed request keys (the
+    name alone does not change the assembled image)."""
+    source = f"""
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {loops}
+    movi a3, 0
+loop:
+    add a3, a3, a2
+    addi a2, a2, -1
+    bnez a2, loop
+    la a4, out
+    s32i a3, a4, 0
+    halt
+"""
+    return {"program": {"source": source, "name": name}}
+
+
+class TestCrashRecovery:
+    def test_every_request_answered_despite_crashes(self, make_server):
+        # ordinals 0 and 1 both crash; quarantine_after is high so the
+        # re-dispatched singleton is retried, not condemned
+        server = make_server(
+            chaos=ServiceChaosPlan(seed=3, crashes=2, horizon=2),
+            quarantine_after=5,
+        )
+        statuses = []
+        for i in range(6):
+            status, body = server.estimate(inline_body(f"prog{i}", loops=5 + i))
+            statuses.append(status)
+            assert "energy" in body or "error" in body
+        # exactly-once, all successful: crashes were retried transparently
+        assert statuses == [200] * 6
+        _, metrics = server.request("GET", "/metrics")
+        counters = metrics["counters"]
+        assert counters["worker_crashes_total"] == 2
+        assert counters["pool_restarts_total"] == 2
+        assert counters["chaos_injected_total"] == 2
+        assert metrics["supervision"]["chaos"]["injected"] == {"crash": 2}
+        # nothing ended up quarantined: successes exonerated the retried key
+        assert metrics["supervision"]["quarantine"]["held"] == 0
+
+    def test_prometheus_exposes_supervision_gauges(self, make_server):
+        server = make_server(chaos=ServiceChaosPlan(seed=3, crashes=1, horizon=1))
+        assert server.estimate(inline_body("p", loops=9))[0] == 200
+        _, text = server.request("GET", "/metrics?format=prom")
+        assert "repro_serve_breaker_state 0" in text
+        assert "repro_serve_pool_restarts 1" in text
+        assert "repro_serve_worker_crashes_total 1" in text
+        assert "repro_serve_quarantine_held 0" in text
+
+
+class TestPoisonQuarantine:
+    def test_bisect_isolates_poison_and_quarantines_it(self, make_server):
+        server = make_server(
+            chaos=ServiceChaosPlan(poison=("bad",)),
+            quarantine_after=2,
+            breaker_failures=10,  # keep the breaker out of this scenario
+            batch_max=8,
+            batch_window=0.25,
+        )
+        results: dict[str, tuple[int, dict]] = {}
+        lock = threading.Lock()
+
+        def post(name: str, loops: int) -> None:
+            outcome = server.estimate(inline_body(name, loops), timeout=60)
+            with lock:
+                results[name] = outcome
+
+        names = ["bad", "good1", "good2", "good3"]
+        threads = [
+            threading.Thread(target=post, args=(name, 3 + i))
+            for i, name in enumerate(names)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        assert set(results) == set(names)
+        # the innocents that shared batches with the poison all succeeded
+        for name in ("good1", "good2", "good3"):
+            status, body = results[name]
+            assert status == 200, body
+        # the poison was isolated by bisection and quarantined
+        status, body = results["bad"]
+        assert status == 500
+        assert body["stage"] == "quarantine"
+
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["quarantined_total"] == 1
+        quarantine = metrics["supervision"]["quarantine"]
+        assert quarantine["held"] == 1
+        assert "bad" in quarantine["keys"].values()
+
+        # the key stays quarantined: repeats answer 500 without dispatch
+        status, body = server.estimate(inline_body("bad", loops=3))
+        assert status == 500
+        assert body["stage"] == "quarantine"
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["quarantine_rejections_total"] >= 1
+
+        # /healthz stays ok but names the quarantine in its reasons
+        _, health = server.request("GET", "/healthz")
+        assert health["status"] == "ok"
+        assert any("quarantined" in reason for reason in health["reasons"])
+
+
+class TestCircuitBreaker:
+    def test_crash_trips_breaker_into_degraded_serving(self, make_server):
+        server = make_server(
+            chaos=ServiceChaosPlan(poison=("bad",)),
+            breaker_failures=1,
+            breaker_cooldown=60.0,
+        )
+        # the poisoned request crashes the pool once, trips the breaker,
+        # and is then served by the chaos-free degraded inline path
+        status, body = server.estimate(inline_body("bad", loops=3))
+        assert status == 200, body
+
+        _, metrics = server.request("GET", "/metrics")
+        counters = metrics["counters"]
+        assert counters["breaker_trips_total"] == 1
+        assert counters["worker_crashes_total"] == 1
+        assert counters["degraded_batches_total"] >= 1
+        assert metrics["supervision"]["breaker"]["state"] == "open"
+
+        # while open, even clean requests take the degraded path
+        status, _ = server.estimate(inline_body("fine", loops=7))
+        assert status == 200
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["degraded_batches_total"] >= 2
+
+        _, health = server.request("GET", "/healthz")
+        assert health["status"] == "degraded"
+        assert any("circuit breaker" in reason for reason in health["reasons"])
+
+
+class TestWorkerHang:
+    def test_hang_times_out_then_retry_succeeds(self, make_server):
+        server = make_server(
+            chaos=ServiceChaosPlan(seed=5, hangs=1, horizon=1, hang_seconds=0.4),
+            request_timeout=0.2,
+            retry=RetryPolicy(max_attempts=3),
+        )
+        status, body = server.estimate(inline_body("slowpoke", loops=6), timeout=30)
+        assert status == 200, body
+        _, metrics = server.request("GET", "/metrics")
+        counters = metrics["counters"]
+        assert counters["timeouts_total"] >= 1
+        assert counters["retries_total"] >= 1
+        assert metrics["supervision"]["chaos"]["injected"]["hang"] == 1
+
+
+class TestConnectionReset:
+    def test_torn_response_then_service_keeps_going(self, make_server):
+        server = make_server(chaos=ServiceChaosPlan(seed=1, resets=1, horizon=1))
+        # the first response is cut mid-write: the client sees a torn read
+        with pytest.raises(Exception):
+            server.request("GET", "/healthz")
+        # the service itself is unharmed
+        status, health = server.request("GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        status, _ = server.estimate(inline_body("after_reset", loops=4))
+        assert status == 200
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["supervision"]["chaos"]["injected"]["reset"] == 1

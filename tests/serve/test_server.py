@@ -209,6 +209,8 @@ class StallingPool:
     mode = "stub"
     workers = 1
     prewarmed = 0
+    generation = 0
+    restarts = 0
 
     def __init__(self) -> None:
         self.budgets: list[list[int]] = []
@@ -303,7 +305,13 @@ class TestForkPool:
     def test_forked_workers_report_tallies(self, make_server):
         server = make_server(workers=1, prewarm=["tp01_alu_mix"])
         _, health = server.request("GET", "/healthz")
-        assert health["pool"] == {"mode": "fork", "workers": 1, "prewarmed": 1}
+        assert health["pool"] == {
+            "mode": "fork",
+            "workers": 1,
+            "prewarmed": 1,
+            "restarts": 0,
+            "generation": 0,
+        }
         status, body = server.estimate({"benchmark": "tp01_alu_mix"})
         assert status == 200
         assert body["dedup"] == "fresh"
@@ -350,3 +358,93 @@ class TestCliWiring:
         assert args.no_dedupe
         assert args.prewarm == "suite"
         assert args.cache == "/tmp/c"
+
+
+class TestDeadlines:
+    def test_expired_deadline_shed_with_504(self, make_server):
+        # a 1 ms deadline expires inside the 100 ms batch window, so the
+        # job is shed at harvest time without paying for simulation
+        server = make_server(batch_window=0.1)
+        status, body = server.estimate({**INLINE_BODY, "deadline_ms": 1})
+        assert status == 504
+        assert body["stage"] == "deadline"
+        assert body["error_type"] == "DeadlineExceeded"
+        _, metrics = server.request("GET", "/metrics")
+        assert metrics["counters"]["deadline_shed_total"] == 1
+        # sheds are load management, not failures
+        assert metrics["counters"]["failures_total"] == 0
+
+    def test_generous_deadline_serves_normally(self, make_server):
+        server = make_server()
+        status, body = server.estimate({**INLINE_BODY, "deadline_ms": 60_000})
+        assert status == 200
+        assert body["energy"] > 0
+
+
+class TestGracefulDrain:
+    def test_drain_completes_inflight_and_refuses_new(self, make_server):
+        import time
+
+        server = make_server()
+        service = server.service
+        gate = threading.Event()
+        original = service.pool.submit_estimate_batch
+
+        def gated(items):
+            # hold the batch hostage until the test releases the gate,
+            # making "in-flight during drain" deterministic
+            outer: concurrent.futures.Future = concurrent.futures.Future()
+
+            def run() -> None:
+                gate.wait(30)
+                try:
+                    outer.set_result(original(items).result(30))
+                except BaseException as exc:  # noqa: BLE001 — relayed to the service
+                    outer.set_exception(exc)
+
+            threading.Thread(target=run, daemon=True).start()
+            return outer
+
+        service.pool.submit_estimate_batch = gated
+
+        results: dict[str, tuple] = {}
+
+        def post() -> None:
+            results["inflight"] = server.estimate(INLINE_BODY, timeout=60)
+
+        client = threading.Thread(target=post)
+        client.start()
+        for _ in range(500):
+            if service.coalescer.inflight_count:
+                break
+            time.sleep(0.01)
+        assert service.coalescer.inflight_count == 1
+
+        async def begin() -> None:
+            service.begin_drain()
+
+        server.run(begin())
+
+        # introspection stays up and reports draining
+        status, health = server.request("GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "draining"
+        assert any("shutdown" in reason for reason in health["reasons"])
+
+        # new work is refused with a typed 503
+        status, body = server.request("POST", "/estimate", {"benchmark": "tp01_alu_mix"})
+        assert status == 503
+        assert body["error"] == "draining"
+
+        # the in-flight request still completes successfully
+        gate.set()
+        client.join(timeout=30)
+        status, body = results["inflight"]
+        assert status == 200
+        assert body["energy"] > 0
+
+        async def drained() -> bool:
+            return await service.drain(grace=10)
+
+        assert server.run(drained()) is True
+        assert service.metrics.counters["drain_rejected_total"] == 1

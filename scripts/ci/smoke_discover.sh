@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Instruction-discovery smoke: mine + legalize candidates from the FIR
+# software profile, verify and score them with a synthetic macro-model,
+# then feed the resulting manifest back into the explorer.
+# Run identically by CI and locally:  bash scripts/ci/smoke_discover.sh
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+ROOT="$(cd "$SCRIPT_DIR/../.." && pwd)"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+python "$SCRIPT_DIR/make_smoke_model.py" "$WORK/smoke-model.json"
+
+python -m repro discover "$WORK/smoke-model.json" --workload fir \
+    --top-k 3 --format json -o "$WORK/report.json" \
+    --manifest "$WORK/fir-manifest.json" -v
+
+python - "$WORK/report.json" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report["legalized"] >= 1, f"no legalized candidates: {report}"
+assert report["candidates"], f"no verified+scored candidates: {report}"
+for cand in report["candidates"]:
+    assert cand["energy"] > 0 and cand["cycles"] > 0, cand
+print(
+    f"discover: {report['mined']} mined, {report['legalized']} legalized, "
+    f"{len(report['candidates'])} scored"
+)
+EOF
+
+# the manifest round-trips into a registered explorer space
+python -m repro explore --discovered "$WORK/fir-manifest.json" --list-spaces \
+    | tee "$WORK/spaces.txt"
+grep -q "\[registered\] space discovered:fir:" "$WORK/spaces.txt"
+
+python -m repro explore "$WORK/smoke-model.json" \
+    --discovered "$WORK/fir-manifest.json" --space discovered:fir \
+    --strategy random --budget 4 --seed 1
+
+echo "smoke_discover: OK"

@@ -10,6 +10,7 @@ Exposes the library's main flows without writing Python:
 ``estimate``              macro-model energy of one or more programs (fast path)
 ``reference``             reference RTL-level energy of a program (slow path)
 ``explore``               design-space exploration over a bundled search space
+``discover``              mine + legalize + score custom instructions from a profile
 ``profile``               streaming energy/execution profile of a program
 ``serve``                 long-running batch estimation service (HTTP)
 ``experiments``           regenerate the paper's tables/figures
@@ -254,6 +255,20 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_discovered(path: str) -> str:
+    """Register the ``discovered:<workload>`` space from a manifest file;
+    returns the space name."""
+    from .discover import DiscoveryError, DiscoveryManifest, register_discovered
+
+    try:
+        manifest = DiscoveryManifest.load(path)
+    except OSError as exc:
+        raise _die(f"cannot read manifest {path!r}: {exc.strerror or exc}")
+    except DiscoveryError as exc:
+        raise _die(f"bad manifest {path!r}: {exc}")
+    return register_discovered(manifest)
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .core.runner import TooManyFailures
     from .dse import (
@@ -265,10 +280,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         get_space,
         make_strategy,
     )
+    from .dse.space import BUILTIN_SPACES
+
+    if args.discovered:
+        _load_discovered(args.discovered)
 
     if args.list_spaces:
+        # runtime-registered spaces (e.g. from --discovered) list alongside
+        # the bundled ones, annotated by origin
+        builtin = frozenset(BUILTIN_SPACES)
         for name in available_spaces():
-            print(get_space(name).describe())
+            origin = "builtin" if name in builtin else "registered"
+            print(f"[{origin}] {get_space(name).describe()}")
         return 0
     if args.model is None:
         raise _die("a model JSON file is required (or use --list-spaces)")
@@ -343,6 +366,73 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if report.failures:
         print(
             f"warning: {len(report.failures)} candidate failure(s) during exploration",
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from .discover import (
+        DiscoveryError,
+        DiscoveryOptions,
+        LegalizeOptions,
+        discover_workload,
+    )
+    from .discover.pipeline import SOFTWARE_CASES
+
+    try:
+        model = EnergyMacroModel.load(args.model)
+    except (OSError, ValueError) as exc:
+        raise _die(f"cannot load model {args.model!r}: {exc}")
+    if args.workload not in SOFTWARE_CASES:
+        raise _die(
+            f"unknown workload {args.workload!r}; available: "
+            + ", ".join(sorted(SOFTWARE_CASES))
+        )
+    if args.top_k < 1:
+        raise _die("--top-k must be >= 1")
+    if args.max_ports not in (1, 2):
+        raise _die("--max-ports must be 1 or 2 (the operand-bus width)")
+    if not 0.0 <= args.min_coverage <= 1.0:
+        raise _die("--min-coverage must be within [0, 1]")
+    options = DiscoveryOptions(
+        top_k=args.top_k,
+        max_nodes=args.max_nodes,
+        max_ports=args.max_ports,
+        min_coverage=args.min_coverage,
+        legalize=LegalizeOptions(max_latency=args.max_latency),
+        max_instructions=args.max_instructions,
+        jobs=args.jobs,
+    )
+    progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) if args.verbose else None
+    try:
+        report = discover_workload(args.workload, model, options, progress=progress)
+    except DiscoveryError as exc:
+        print(f"repro: discovery aborted: {exc}", file=sys.stderr)
+        return EXIT_ABORTED
+
+    rendered = report.to_json() if args.format == "json" else report.table()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.manifest:
+        manifest = report.manifest()
+        manifest.save(args.manifest)
+        print(
+            f"manifest with {len(manifest.entries)} verified candidate(s) "
+            f"written to {args.manifest} (load with `explore --discovered`)"
+        )
+    if not report.evaluated:
+        print("repro: no candidate survived verification", file=sys.stderr)
+        return EXIT_ABORTED
+    if report.failures:
+        print(
+            f"warning: {len(report.failures)} candidate(s) failed after "
+            "legalization",
             file=sys.stderr,
         )
         return EXIT_DEGRADED
@@ -634,7 +724,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered search space (see --list-spaces)",
     )
     p.add_argument(
-        "--list-spaces", action="store_true", help="list the bundled search spaces"
+        "--list-spaces",
+        action="store_true",
+        help="list the available search spaces (bundled and registered)",
+    )
+    p.add_argument(
+        "--discovered",
+        metavar="MANIFEST",
+        help="register the discovered:<workload> space from a `discover "
+        "--manifest` file before exploring",
     )
     p.add_argument(
         "--strategy",
@@ -688,6 +786,63 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reference", help="reference RTL-level energy (slow path)")
     add_program_options(p)
     p.set_defaults(func=_cmd_reference)
+
+    p = sub.add_parser(
+        "discover",
+        help="mine, legalize and score custom instructions from a profile",
+    )
+    p.add_argument("model", help="model JSON from `characterize`")
+    p.add_argument(
+        "--workload",
+        default="reed_solomon",
+        help="bundled workload whose software baseline is profiled "
+        "(fir, reed_solomon)",
+    )
+    p.add_argument(
+        "--top-k",
+        type=int,
+        default=8,
+        help="legalized candidates carried into rewrite + scoring (default 8)",
+    )
+    p.add_argument(
+        "--max-nodes",
+        type=int,
+        default=6,
+        help="block-miner subgraph size bound (default 6)",
+    )
+    p.add_argument(
+        "--max-ports",
+        type=int,
+        default=2,
+        help="register-file read ports a candidate may use (default 2)",
+    )
+    p.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="drop candidates covering less than FRAC of dynamic instructions",
+    )
+    p.add_argument(
+        "--max-latency",
+        type=int,
+        default=6,
+        help="issue-cycle budget for a candidate datapath (default 6)",
+    )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1, help="parallel verification processes"
+    )
+    p.add_argument("--max-instructions", type=int, default=DEFAULT_MAX_INSTRUCTIONS)
+    p.add_argument("--format", choices=("table", "json"), default="table")
+    p.add_argument("-o", "--output", help="write the report to a file")
+    p.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="also write the verified candidates as a manifest for "
+        "`explore --discovered`",
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_discover)
 
     p = sub.add_parser(
         "profile",

@@ -1,0 +1,111 @@
+"""Automatic custom-instruction discovery (the closed ISE loop).
+
+The paper evaluates *hand-written* instruction extensions; this package
+closes the loop the authors leave open — finding those extensions
+automatically from an execution profile:
+
+1. **profile** — :class:`DataflowTraceObserver` rides the simulator's
+   observer protocol and records per-block def-use chains plus block
+   execution counts (:mod:`repro.discover.trace`);
+2. **mine** — convex, connected subgraphs of hot blocks
+   (:mod:`repro.discover.miner`) and symbolically-unrolled leaf
+   subroutine calls (:mod:`repro.discover.unroll`) become candidate
+   dataflow graphs, structurally deduplicated by canonical hash;
+3. **legalize** — candidates are lifted to :class:`repro.tie.TieSpec`
+   datapaths and compiled by the real TIE compiler under latency /
+   operand-bus-tap / area budgets (:mod:`repro.discover.lift`,
+   :mod:`repro.discover.legalize`);
+4. **rewrite + prove** — each survivor's custom opcode replaces its
+   matched sequences; the rewritten program must re-assemble and finish
+   in a bitwise-identical architectural state
+   (:mod:`repro.discover.rewrite`);
+5. **estimate** — the macro-model fast path scores every proven
+   candidate against the unmodified baseline
+   (:mod:`repro.discover.pipeline`), and verified candidates feed
+   ``discovered:<workload>`` search spaces for ``repro explore``
+   (:mod:`repro.discover.space`).
+"""
+
+from .graph import CandidateGraph, GraphBuilder, GraphError, evaluate_graph
+from .legalize import (
+    LegalizedCandidate,
+    LegalizeOptions,
+    RejectedCandidate,
+    legalize_candidates,
+    legalize_one,
+)
+from .lift import LiftedCandidate, LiftError, lift_candidate
+from .miner import (
+    MinedCandidate,
+    MinerOptions,
+    Site,
+    mine_programs,
+    mine_report,
+)
+from .pipeline import (
+    CandidateFailure,
+    DiscoveryError,
+    DiscoveryManifest,
+    DiscoveryOptions,
+    DiscoveryReport,
+    EvaluatedCandidate,
+    discover_case,
+    discover_workload,
+    software_case,
+)
+from .rewrite import (
+    RewriteError,
+    RewriteResult,
+    rewrite_program,
+    states_equivalent,
+    verify_roundtrip,
+)
+from .space import discovered_space, register_discovered
+from .trace import DataflowReport, DataflowTraceObserver, ObserverStateError
+from .unroll import Unliftable, mine_call_sites, unroll_entry
+from .vocab import LIFTABLE, SUPPORTED_BRANCHES, UnsupportedInstruction
+
+__all__ = [
+    "CandidateFailure",
+    "CandidateGraph",
+    "DataflowReport",
+    "DataflowTraceObserver",
+    "DiscoveryError",
+    "DiscoveryManifest",
+    "DiscoveryOptions",
+    "DiscoveryReport",
+    "EvaluatedCandidate",
+    "GraphBuilder",
+    "GraphError",
+    "LIFTABLE",
+    "LegalizeOptions",
+    "LegalizedCandidate",
+    "LiftError",
+    "LiftedCandidate",
+    "MinedCandidate",
+    "MinerOptions",
+    "ObserverStateError",
+    "RejectedCandidate",
+    "RewriteError",
+    "RewriteResult",
+    "SUPPORTED_BRANCHES",
+    "Site",
+    "Unliftable",
+    "UnsupportedInstruction",
+    "discover_case",
+    "discover_workload",
+    "discovered_space",
+    "evaluate_graph",
+    "legalize_candidates",
+    "legalize_one",
+    "lift_candidate",
+    "mine_call_sites",
+    "mine_programs",
+    "mine_report",
+    "register_discovered",
+    "rewrite_program",
+    "software_case",
+    "states_equivalent",
+    "unroll_entry",
+    "verify_roundtrip",
+]

@@ -1,0 +1,214 @@
+"""Static control-flow and liveness analysis over assembled programs.
+
+The miner needs two facts the dynamic trace cannot give it: which
+registers are *live* at the point where a candidate's matched sequence
+ends (to bound the candidate's outputs), and where the basic-block
+boundaries are (candidates never straddle them).  This module computes
+both from the static instruction stream, conservatively:
+
+* indirect control transfers (``jx``, ``callx``, ``ret``) are modelled
+  as exits at which **every** register is live;
+* ``call`` flows both into the callee (whose entry block then demands
+  the argument registers) and to its fall-through;
+* ``ret`` reads the link register ``a0`` even though its ``N`` format
+  advertises no source operands.
+
+Conservative liveness can only make the miner reject a legal candidate,
+never accept an illegal one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from ..asm.program import Program
+from ..isa.classes import InstructionClass
+from ..isa.instructions import (
+    INSTRUCTION_BYTES,
+    LINK_REGISTER,
+    NUM_REGISTERS,
+    Instruction,
+    InstructionDef,
+    InstructionSet,
+)
+
+#: Mnemonics that end a block with no successors inside the program.
+_TERMINATORS = frozenset({"halt", "break"})
+#: Indirect transfers: successor unknown -> all registers live.
+_INDIRECT = frozenset({"jx", "callx", "ret"})
+
+ALL_REGS = frozenset(range(NUM_REGISTERS))
+
+
+def reads(definition: InstructionDef, ins: Instruction) -> tuple[int, ...]:
+    """Registers read by ``ins`` — ``source_registers`` plus the implicit
+    link-register read of ``ret``."""
+    if ins.mnemonic == "ret":
+        return (LINK_REGISTER,)
+    return definition.source_registers(ins)
+
+
+def writes(definition: InstructionDef, ins: Instruction) -> tuple[int, ...]:
+    """Registers written by ``ins`` (includes ``extra_writes``, e.g. the
+    link register of ``call``)."""
+    return definition.dest_registers(ins)
+
+
+@dataclasses.dataclass
+class Block:
+    """One basic block: consecutive instruction addresses, single entry,
+    control transfer (if any) only at the end."""
+
+    start: int
+    addrs: list[int]
+    succ: list[int] = dataclasses.field(default_factory=list)
+    #: True when the block ends in an indirect transfer (or falls off the
+    #: end of the text image): treat every register as live-out.
+    all_live_exit: bool = False
+    live_in: frozenset[int] = frozenset()
+    live_out: frozenset[int] = frozenset()
+
+    @property
+    def end(self) -> int:
+        return self.addrs[-1] + INSTRUCTION_BYTES
+
+
+class ProgramDfg:
+    """Basic blocks + CFG + per-block (and per-point) register liveness."""
+
+    def __init__(self, program: Program, isa: InstructionSet) -> None:
+        self.program = program
+        self.isa = isa
+        self.blocks: dict[int, Block] = {}
+        self._block_of: dict[int, int] = {}
+        self._build_blocks()
+        self._solve_liveness()
+
+    # -- construction ------------------------------------------------------
+
+    def _control_kind(self, ins: Instruction) -> str:
+        definition = self.isa.lookup(ins.mnemonic)
+        if ins.mnemonic in _TERMINATORS:
+            return "halt"
+        if ins.mnemonic in _INDIRECT:
+            return "indirect"
+        if definition.iclass is InstructionClass.BRANCH:
+            return "branch"
+        if ins.mnemonic == "call":
+            return "call"
+        if ins.mnemonic == "j":
+            return "jump"
+        return "plain"
+
+    def _build_blocks(self) -> None:
+        program = self.program
+        addrs = sorted(program.instructions)
+        addr_set = set(addrs)
+        leaders: set[int] = {program.entry} & addr_set
+        for rng in program.text_ranges():
+            leaders.add(rng.start)
+        for addr in addrs:
+            ins = program.instructions[addr]
+            kind = self._control_kind(ins)
+            if kind == "plain":
+                continue
+            after = addr + INSTRUCTION_BYTES
+            if after in addr_set:
+                leaders.add(after)
+            if kind in ("branch", "jump", "call"):
+                target = ins.imm or 0
+                if target in addr_set:
+                    leaders.add(target)
+
+        ordered = sorted(leaders)
+        for i, start in enumerate(ordered):
+            block = Block(start=start, addrs=[start])
+            addr = start + INSTRUCTION_BYTES
+            next_leader = ordered[i + 1] if i + 1 < len(ordered) else None
+            while addr in addr_set and addr != next_leader:
+                block.addrs.append(addr)
+                addr += INSTRUCTION_BYTES
+            self.blocks[start] = block
+            for a in block.addrs:
+                self._block_of[a] = start
+
+        for block in self.blocks.values():
+            last = self.program.instructions[block.addrs[-1]]
+            kind = self._control_kind(last)
+            after = block.end
+            target = last.imm or 0
+            if kind == "halt":
+                pass
+            elif kind == "indirect":
+                block.all_live_exit = True
+            elif kind == "jump":
+                self._link(block, target)
+            elif kind == "branch":
+                self._link(block, after)
+                self._link(block, target)
+            elif kind == "call":
+                self._link(block, target)
+                self._link(block, after)
+            else:  # plain fall-through
+                if after in self._block_of:
+                    self._link(block, after)
+                else:
+                    block.all_live_exit = True
+
+    def _link(self, block: Block, target: int) -> None:
+        if target in self.blocks:
+            block.succ.append(target)
+        else:
+            # Transfer to an address we have no instructions for —
+            # conservatively an all-live exit.
+            block.all_live_exit = True
+
+    # -- liveness ----------------------------------------------------------
+
+    def _transfer(self, block: Block, live: set[int]) -> set[int]:
+        """Backward transfer of ``live`` (the live-out set) through a block."""
+        for addr in reversed(block.addrs):
+            ins = self.program.instructions[addr]
+            definition = self.isa.lookup(ins.mnemonic)
+            live -= set(writes(definition, ins))
+            live |= set(reads(definition, ins))
+        return live
+
+    def _solve_liveness(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks.values():
+                out: set[int] = set(ALL_REGS) if block.all_live_exit else set()
+                for succ in block.succ:
+                    out |= self.blocks[succ].live_in
+                live_in = frozenset(self._transfer(block, set(out)))
+                live_out = frozenset(out)
+                if live_in != block.live_in or live_out != block.live_out:
+                    block.live_in = live_in
+                    block.live_out = live_out
+                    changed = True
+
+    # -- queries -----------------------------------------------------------
+
+    def block_of(self, addr: int) -> Block:
+        return self.blocks[self._block_of[addr]]
+
+    def live_after(self, addr: int) -> frozenset[int]:
+        """Registers live immediately *after* the instruction at ``addr``
+        (before its successor instruction executes)."""
+        block = self.block_of(addr)
+        live: set[int] = set(block.live_out)
+        for a in reversed(block.addrs):
+            if a == addr:
+                return frozenset(live)
+            ins = self.program.instructions[a]
+            definition = self.isa.lookup(ins.mnemonic)
+            live -= set(writes(definition, ins))
+            live |= set(reads(definition, ins))
+        raise KeyError(f"address {addr:#x} not in its own block")  # pragma: no cover
+
+    def instructions_of(self, block: Block) -> Iterable[tuple[int, Instruction]]:
+        for addr in block.addrs:
+            yield addr, self.program.instructions[addr]

@@ -1,0 +1,332 @@
+"""Candidate dataflow graphs: the miner's portable intermediate form.
+
+A :class:`CandidateGraph` is a small pure-dataflow program over the
+vocabulary of :mod:`repro.tie.nodes` operators — the shape shared by
+every stage of the discovery pipeline.  The block miner and the
+subroutine unroller *build* graphs (through :class:`GraphBuilder`), the
+lifter translates them 1:1 into :class:`repro.tie.TieSpec` datapaths,
+and the manifest serializes them so a discovered extension can be
+reconstructed in a fresh process.
+
+Identity is structural: :meth:`CandidateGraph.canonical_hash` is a
+bottom-up sha256 over ``(op, width, payload, argument positions)``,
+independent of source addresses and register names, so the same
+computation mined from two different blocks (or two different programs)
+dedups to one candidate.  Builders construct nodes in deterministic
+program order, which makes the hash stable across runs and processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional, Sequence
+
+#: Graph ops that lower to wiring (no hardware component, no latency).
+WIRING_OPS = frozenset({"slice", "concat", "sext", "zext"})
+
+#: Non-leaf ops the lifter knows how to translate into a TieSpec.
+OPERATOR_OPS = frozenset(
+    {
+        "add", "sub", "and", "or", "xor", "not", "mux",
+        "eq", "ne", "lt_s", "lt_u", "ge_s", "ge_u",
+        "min_s", "min_u", "max_s", "max_u",
+        "shl", "shr", "sar", "mul",
+    }
+    | WIRING_OPS
+)
+
+#: Leaf ops: an external input port, a hard-wired constant.
+LEAF_OPS = frozenset({"in", "const"})
+
+
+class GraphError(ValueError):
+    """A malformed candidate graph or an invalid builder call."""
+
+
+@dataclasses.dataclass(frozen=True)
+class GNode:
+    """One node: ``op`` over ``args`` (node ids), producing ``width`` bits.
+
+    ``payload`` is the port index for ``in``, the value for ``const`` and
+    the low bit for ``slice``; ``None`` otherwise.
+    """
+
+    op: str
+    width: int
+    args: tuple[int, ...] = ()
+    payload: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateGraph:
+    """An immutable candidate: nodes in topological order plus its ports.
+
+    ``acc_port`` marks the input port promoted to a custom state register
+    (accumulator promotion) — ``None`` for plain candidates.
+    """
+
+    nodes: tuple[GNode, ...]
+    output: int
+    n_inputs: int
+    acc_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for nid, node in enumerate(self.nodes):
+            if node.op not in OPERATOR_OPS and node.op not in LEAF_OPS:
+                raise GraphError(f"node {nid}: unknown op {node.op!r}")
+            if any(arg >= nid or arg < 0 for arg in node.args):
+                raise GraphError(f"node {nid}: args {node.args} not topologically ordered")
+        if not 0 <= self.output < len(self.nodes):
+            raise GraphError(f"output {self.output} out of range")
+        ports = sorted(
+            node.payload for node in self.nodes if node.op == "in"  # type: ignore[misc]
+        )
+        if ports != list(range(self.n_inputs)):
+            raise GraphError(f"input ports {ports} are not 0..{self.n_inputs - 1}")
+        if self.acc_port is not None and not 0 <= self.acc_port < self.n_inputs:
+            raise GraphError(f"acc_port {self.acc_port} is not an input port")
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def hardware_node_count(self) -> int:
+        """Operator nodes that become library component instances."""
+        return sum(
+            1
+            for node in self.nodes
+            if node.op in OPERATOR_OPS and node.op not in WIRING_OPS
+        )
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the output is just an input port or constant."""
+        return self.nodes[self.output].op in LEAF_OPS
+
+    # -- identity ----------------------------------------------------------
+
+    def canonical_hash(self) -> str:
+        """Structural sha256, stable across runs/blocks/programs."""
+        payload = {
+            "format": "repro-candidate-graph/1",
+            "nodes": [
+                [node.op, node.width, node.payload, list(node.args)]
+                for node in self.nodes
+            ],
+            "output": self.output,
+            "acc_port": self.acc_port,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "nodes": [
+                [node.op, node.width, node.payload, list(node.args)]
+                for node in self.nodes
+            ],
+            "output": self.output,
+            "n_inputs": self.n_inputs,
+            "acc_port": self.acc_port,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CandidateGraph":
+        nodes = tuple(
+            GNode(op=op, width=width, payload=extra, args=tuple(args))
+            for op, width, extra, args in payload["nodes"]
+        )
+        return cls(
+            nodes=nodes,
+            output=payload["output"],
+            n_inputs=payload["n_inputs"],
+            acc_port=payload.get("acc_port"),
+        )
+
+
+def evaluate_graph(graph: CandidateGraph, inputs: Sequence[int]) -> int:
+    """Interpret a candidate graph on concrete port values.
+
+    Semantics mirror :func:`repro.tie.nodes.evaluate_node` exactly
+    (shift amounts modulo the node width, signed compares over the
+    *input* widths, every result masked to the node width) — the lifted
+    TieSpec and this interpreter must agree bit-for-bit.
+    """
+    if len(inputs) != graph.n_inputs:
+        raise GraphError(f"expected {graph.n_inputs} inputs, got {len(inputs)}")
+    vals: list[int] = [0] * len(graph.nodes)
+    for nid, node in enumerate(graph.nodes):
+        vals[nid] = _eval_one(graph, node, [vals[a] for a in node.args], inputs)
+    return vals[graph.output]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _signed(value: int, width: int) -> int:
+    value &= _mask(width)
+    return value - (1 << width) if value >> (width - 1) else value
+
+
+def _eval_one(
+    graph: CandidateGraph, node: GNode, vals: list[int], inputs: Sequence[int]
+) -> int:
+    op, width = node.op, node.width
+    if op == "in":
+        result = inputs[node.payload]  # type: ignore[index]
+    elif op == "const":
+        result = node.payload  # type: ignore[assignment]
+    elif op == "add":
+        result = vals[0] + vals[1]
+    elif op == "sub":
+        result = vals[0] - vals[1]
+    elif op == "and":
+        result = vals[0] & vals[1]
+    elif op == "or":
+        result = vals[0] | vals[1]
+    elif op == "xor":
+        result = vals[0] ^ vals[1]
+    elif op == "not":
+        result = ~vals[0]
+    elif op == "mux":
+        result = vals[1] if vals[0] else vals[2]
+    elif op in ("eq", "ne"):
+        result = int((vals[0] == vals[1]) == (op == "eq"))
+    elif op in ("lt_s", "ge_s", "lt_u", "ge_u", "min_s", "max_s", "min_u", "max_u"):
+        widths = [graph.nodes[a].width for a in node.args]
+        a, b = vals
+        if op.endswith("_s"):
+            a, b = _signed(a, widths[0]), _signed(b, widths[1])
+        if op.startswith("lt"):
+            result = int(a < b)
+        elif op.startswith("ge"):
+            result = int(a >= b)
+        elif op.startswith("min"):
+            result = min(a, b)
+        else:
+            result = max(a, b)
+    elif op in ("shl", "shr", "sar"):
+        amount = vals[1] % width
+        if op == "shl":
+            result = vals[0] << amount
+        elif op == "shr":
+            result = vals[0] >> amount
+        else:
+            result = _signed(vals[0], graph.nodes[node.args[0]].width) >> amount
+    elif op == "mul":
+        result = vals[0] * vals[1]
+    elif op == "slice":
+        result = vals[0] >> node.payload  # type: ignore[operator]
+    elif op == "concat":
+        result = (vals[0] << graph.nodes[node.args[1]].width) | vals[1]
+    elif op == "sext":
+        result = _signed(vals[0], graph.nodes[node.args[0]].width)
+    elif op == "zext":
+        result = vals[0]
+    else:  # pragma: no cover - validated at construction
+        raise GraphError(f"no evaluator for op {op!r}")
+    return result & _mask(width)
+
+
+class GraphBuilder:
+    """Append-only graph construction with constant dedup and dead-node
+    pruning at :meth:`finish` time.
+
+    Node ids are handed out in call order; arguments must already exist,
+    which keeps every build topologically ordered by construction.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[GNode] = []
+        self._ports: list[int] = []  # node id per port index
+        self._const_memo: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def width_of(self, nid: int) -> int:
+        return self._nodes[nid].width
+
+    def input(self, width: int = 32) -> int:
+        nid = len(self._nodes)
+        self._nodes.append(GNode("in", width, (), payload=len(self._ports)))
+        self._ports.append(nid)
+        return nid
+
+    def const(self, value: int, width: int = 32) -> int:
+        if not 0 <= value < (1 << width):
+            raise GraphError(f"constant {value} does not fit {width} bits")
+        memo = self._const_memo.get((value, width))
+        if memo is not None:
+            return memo
+        nid = len(self._nodes)
+        self._nodes.append(GNode("const", width, (), payload=value))
+        self._const_memo[(value, width)] = nid
+        return nid
+
+    def op(
+        self,
+        op: str,
+        args: Sequence[int],
+        width: int,
+        payload: Optional[int] = None,
+    ) -> int:
+        if op not in OPERATOR_OPS:
+            raise GraphError(f"unknown graph op {op!r}")
+        nid = len(self._nodes)
+        for arg in args:
+            if not 0 <= arg < nid:
+                raise GraphError(f"{op}: argument {arg} does not exist yet")
+        self._nodes.append(GNode(op, width, tuple(args), payload=payload))
+        return nid
+
+    def finish(
+        self, output: int, acc_port: Optional[int] = None
+    ) -> tuple[CandidateGraph, dict[int, int]]:
+        """Freeze the graph rooted at ``output``.
+
+        Dead nodes are pruned and the surviving input ports renumbered
+        consecutively; the returned map translates *old* port indices to
+        the frozen graph's ports (callers must re-map any per-site
+        register bindings through it).  Non-destructive: the builder can
+        be finished again with a different output.
+        """
+        if not 0 <= output < len(self._nodes):
+            raise GraphError(f"output node {output} does not exist")
+        reachable: set[int] = set()
+        stack = [output]
+        while stack:
+            nid = stack.pop()
+            if nid in reachable:
+                continue
+            reachable.add(nid)
+            stack.extend(self._nodes[nid].args)
+        keep = sorted(reachable)
+        remap = {old: new for new, old in enumerate(keep)}
+        port_map: dict[int, int] = {}
+        nodes: list[GNode] = []
+        for old in keep:
+            node = self._nodes[old]
+            if node.op == "in":
+                new_port = len(port_map)
+                port_map[node.payload] = new_port  # type: ignore[index]
+                node = dataclasses.replace(node, payload=new_port)
+            nodes.append(
+                dataclasses.replace(node, args=tuple(remap[a] for a in node.args))
+            )
+        new_acc = None
+        if acc_port is not None:
+            if acc_port not in port_map:
+                raise GraphError(f"acc_port {acc_port} is dead in the finished graph")
+            new_acc = port_map[acc_port]
+        graph = CandidateGraph(
+            nodes=tuple(nodes),
+            output=remap[output],
+            n_inputs=len(port_map),
+            acc_port=new_acc,
+        )
+        return graph, port_map

@@ -1,0 +1,161 @@
+"""Legalization: which mined candidates can actually become hardware.
+
+Every candidate that survives mining is lifted to a TieSpec and pushed
+through the real TIE compiler (:mod:`repro.tie.compiler`); anything the
+spec layer rejects — malformed widths, operand-bus misuse, state
+inconsistencies — surfaces here as a :class:`RejectedCandidate` with
+the offending node and category from the enriched
+:class:`~repro.tie.TieSpecError`.  On top of spec validity the
+legalizer enforces the microarchitectural budgets the paper's energy
+model cares about:
+
+* **latency** — deep datapaths schedule over multiple execute cycles;
+  beyond ``max_latency`` the candidate stalls the pipeline more than it
+  saves;
+* **operand-bus taps** — components fed directly from the shared GPR
+  operand buses switch spuriously on *every* base instruction (paper
+  Example 1); each tap adds a standing energy cost, so candidates whose
+  datapaths hang too much logic straight off the buses are rejected;
+* **GPR side-effects** — a discovered instruction always reads and
+  writes the register file (``N_sd``); instructions that would need
+  more than the two R-format read ports were already culled by the
+  miner, but the check is re-asserted here after lifting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..tie import TieImplementation, TieSpecError, compile_extension
+from .lift import LiftedCandidate, LiftError, lift_candidate
+from .miner import MinedCandidate
+
+
+@dataclasses.dataclass(frozen=True)
+class LegalizeOptions:
+    """Microarchitectural budgets for discovered instructions."""
+
+    #: maximum issue latency (execute cycles) of the custom instruction
+    max_latency: int = 6
+    #: maximum components tapping the shared GPR operand buses.  The
+    #: hand-written extensions tap 0-4 components (they lean on lookup
+    #: tables); a logic-heavy unrolled datapath legitimately taps ~10,
+    #: and the macro-model charges every tap's spurious-activation
+    #: energy regardless — this bound only culls pathological graphs.
+    max_bus_taps: int = 16
+    #: maximum hardware component instances across the candidate's specs
+    max_instances: int = 96
+
+
+@dataclasses.dataclass(frozen=True)
+class RejectedCandidate:
+    """A candidate that failed legalization, with an actionable reason."""
+
+    candidate: MinedCandidate
+    reason: str
+    category: str
+    #: offending spec node, when the spec layer identified one
+    node: Optional[int] = None
+
+
+@dataclasses.dataclass
+class LegalizedCandidate:
+    """A mined candidate with compiled, schedulable hardware."""
+
+    candidate: MinedCandidate
+    mnemonic: str
+    lifted: LiftedCandidate
+    implementations: list[TieImplementation]
+
+    @property
+    def implementation(self) -> TieImplementation:
+        """The main instruction's implementation (sync spec excluded)."""
+        return self.implementations[0]
+
+    @property
+    def latency(self) -> int:
+        return self.implementation.latency
+
+    @property
+    def bus_taps(self) -> int:
+        return len(self.implementation.bus_tapped)
+
+    @property
+    def sync_mnemonic(self) -> Optional[str]:
+        if self.lifted.sync_spec is None:
+            return None
+        return self.lifted.sync_spec.mnemonic
+
+
+def legalize_candidates(
+    candidates: list[MinedCandidate],
+    options: LegalizeOptions = LegalizeOptions(),
+    prefix: str = "disc",
+) -> tuple[list[LegalizedCandidate], list[RejectedCandidate]]:
+    """Lift + compile every candidate; split into (legal, rejected).
+
+    Mnemonics are assigned ``<prefix>0``, ``<prefix>1``, ... in candidate
+    order, so the same ranked input yields the same names every run.
+    """
+    legal: list[LegalizedCandidate] = []
+    rejected: list[RejectedCandidate] = []
+    for index, candidate in enumerate(candidates):
+        mnemonic = f"{prefix}{index}"
+        outcome = legalize_one(candidate, mnemonic, options)
+        if isinstance(outcome, LegalizedCandidate):
+            legal.append(outcome)
+        else:
+            rejected.append(outcome)
+    return legal, rejected
+
+
+def legalize_one(
+    candidate: MinedCandidate,
+    mnemonic: str,
+    options: LegalizeOptions = LegalizeOptions(),
+) -> "LegalizedCandidate | RejectedCandidate":
+    try:
+        lifted = lift_candidate(candidate.graph, mnemonic)
+    except LiftError as exc:
+        return RejectedCandidate(candidate, str(exc), category="ports")
+    except TieSpecError as exc:
+        return RejectedCandidate(
+            candidate, str(exc), category=exc.category or "spec", node=exc.node
+        )
+
+    try:
+        implementations = compile_extension(lifted.specs)
+    except TieSpecError as exc:
+        return RejectedCandidate(
+            candidate, str(exc), category=exc.category or "spec", node=exc.node
+        )
+
+    main = implementations[0]
+    if main.latency > options.max_latency:
+        return RejectedCandidate(
+            candidate,
+            f"{mnemonic}: latency {main.latency} exceeds budget {options.max_latency}",
+            category="latency",
+        )
+    if len(main.bus_tapped) > options.max_bus_taps:
+        return RejectedCandidate(
+            candidate,
+            f"{mnemonic}: {len(main.bus_tapped)} operand-bus taps exceed "
+            f"budget {options.max_bus_taps}",
+            category="bus-taps",
+        )
+    instances = sum(len(impl.instances) for impl in implementations)
+    if instances > options.max_instances:
+        return RejectedCandidate(
+            candidate,
+            f"{mnemonic}: {instances} hardware instances exceed budget "
+            f"{options.max_instances}",
+            category="area",
+        )
+    return LegalizedCandidate(
+        candidate=candidate,
+        mnemonic=mnemonic,
+        lifted=lifted,
+        implementations=implementations,
+    )

@@ -1,0 +1,156 @@
+"""Lifting candidate graphs into :class:`repro.tie.TieSpec` datapaths.
+
+A :class:`~repro.discover.graph.CandidateGraph` and a ``TieSpec`` speak
+the same operator vocabulary by construction, so lifting is a 1:1
+translation: input ports become GPR operand reads (``rs``/``rt``),
+constants become hard-wired constants, every operator maps to the
+corresponding spec builder call, and the graph output drives
+``spec.result``.
+
+Accumulator-promoted candidates (``graph.acc_port`` set) lift to **two**
+specs sharing one custom state register: the main instruction reads the
+state in place of the promoted port and writes the result to both the
+destination GPR and the state; a companion *sync* instruction
+(``<mnemonic>_ld``) loads the state from a GPR, inserted by the
+rewriter after every external definition of the accumulated register so
+the state always mirrors it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..tie import TieSpec, TieState
+from ..tie.spec import Node
+from .graph import CandidateGraph
+
+#: graph op -> TieSpec builder call, for the regular binary/unary ops
+_FMT_BY_PORTS = {0: "RD1", 1: "R2", 2: "R3"}
+_GPR_FIELDS = ("rs", "rt")
+
+
+class LiftError(ValueError):
+    """The candidate graph cannot be expressed as a TieSpec."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LiftedCandidate:
+    """The spec bundle one candidate compiles to."""
+
+    spec: TieSpec
+    #: companion state-load spec for accumulator candidates
+    sync_spec: Optional[TieSpec]
+    #: GPR operand field per graph input port (``None`` for the acc port)
+    port_fields: tuple[Optional[str], ...]
+
+    @property
+    def specs(self) -> list[TieSpec]:
+        return [self.spec] + ([self.sync_spec] if self.sync_spec else [])
+
+    @property
+    def state_name(self) -> Optional[str]:
+        return next(iter(self.spec.states)) if self.spec.states else None
+
+
+def lift_candidate(graph: CandidateGraph, mnemonic: str, description: str = "") -> LiftedCandidate:
+    """Translate ``graph`` into TieSpec(s) named ``mnemonic``."""
+    gpr_ports = [p for p in range(graph.n_inputs) if p != graph.acc_port]
+    if len(gpr_ports) > len(_GPR_FIELDS):
+        raise LiftError(
+            f"{mnemonic}: {len(gpr_ports)} GPR ports exceed the R-format's two operand buses"
+        )
+    fmt = _FMT_BY_PORTS[len(gpr_ports)]
+    spec = TieSpec(mnemonic, fmt=fmt, description=description or f"discovered {mnemonic}")
+
+    state: Optional[TieState] = None
+    if graph.acc_port is not None:
+        state = TieState(f"{mnemonic}_acc", width=32)
+        spec.use_state(state)
+
+    port_fields: list[Optional[str]] = [None] * graph.n_inputs
+    for field, port in zip(_GPR_FIELDS, gpr_ports):
+        port_fields[port] = field
+
+    values: list[Node] = []
+    for gnode in graph.nodes:
+        values.append(_lift_node(spec, state, gnode, values, port_fields))
+
+    out = values[graph.output]
+    if out.width < 32:
+        out = spec.zero_extend(out, 32)
+    elif out.width > 32:
+        out = spec.slice(out, 0, 32)
+    spec.result(out)
+
+    sync_spec: Optional[TieSpec] = None
+    if state is not None:
+        spec.write_state(state, out)
+        sync_spec = TieSpec(
+            f"{mnemonic}_ld",
+            fmt="RS1",
+            description=f"{mnemonic}_acc = rs (state sync)",
+        )
+        sync_state = TieState(f"{mnemonic}_acc", width=32)
+        sync_spec.use_state(sync_state)
+        sync_spec.write_state(sync_state, sync_spec.source("rs"))
+
+    return LiftedCandidate(
+        spec=spec, sync_spec=sync_spec, port_fields=tuple(port_fields)
+    )
+
+
+def _lift_node(
+    spec: TieSpec,
+    state: Optional[TieState],
+    gnode,
+    values: list[Node],
+    port_fields: list[Optional[str]],
+) -> Node:
+    op, width = gnode.op, gnode.width
+    args = [values[a] for a in gnode.args]
+    if op == "in":
+        field = port_fields[gnode.payload]
+        if field is None:
+            assert state is not None
+            return spec.read_state(state)
+        return spec.source(field, width=width)
+    if op == "const":
+        return spec.const(gnode.payload, width)
+    if op == "add":
+        return spec.add(args[0], args[1], width=width)
+    if op == "sub":
+        return spec.sub(args[0], args[1], width=width)
+    if op == "and":
+        return spec.bit_and(args[0], args[1])
+    if op == "or":
+        return spec.bit_or(args[0], args[1])
+    if op == "xor":
+        return spec.bit_xor(args[0], args[1])
+    if op == "not":
+        return spec.bit_not(args[0])
+    if op == "mux":
+        return spec.mux(args[0], args[1], args[2])
+    if op in ("eq", "ne", "lt_s", "lt_u", "ge_s", "ge_u"):
+        return spec.compare(op, args[0], args[1])
+    if op in ("min_s", "min_u"):
+        return spec.minimum(args[0], args[1], signed=op == "min_s")
+    if op in ("max_s", "max_u"):
+        return spec.maximum(args[0], args[1], signed=op == "max_s")
+    if op == "shl":
+        return spec.shift_left(args[0], args[1], width=width)
+    if op == "shr":
+        return spec.shift_right(args[0], args[1], width=width)
+    if op == "sar":
+        return spec.shift_right_arith(args[0], args[1], width=width)
+    if op == "mul":
+        return spec.mul(args[0], args[1], width=width)
+    if op == "slice":
+        return spec.slice(args[0], gnode.payload, width)
+    if op == "concat":
+        return spec.concat(args[0], args[1])
+    if op == "sext":
+        return spec.sign_extend(args[0], width)
+    if op == "zext":
+        return spec.zero_extend(args[0], width)
+    raise LiftError(f"{spec.mnemonic}: no lifting for graph op {op!r}")  # pragma: no cover

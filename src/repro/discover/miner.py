@@ -1,0 +1,353 @@
+"""Convex-subgraph enumeration over profiled basic blocks.
+
+This is the MaxMISO-style identification step of the classic ISE flow
+(profile → enumerate → legalize → evaluate): within each hot basic
+block the miner grows connected sets of *liftable* instructions along
+def-use edges, keeps only the *convex* ones (no dataflow path from a
+member through an outsider back to a member — otherwise the candidate
+cannot be scheduled as one atomic instruction), bounds their GPR port
+usage to the two read ports of the R-format, and emits each surviving
+set as a :class:`MinedCandidate` carrying its dataflow graph plus every
+*site* (block occurrence) it matched.
+
+Candidates are deduplicated **structurally**: two sites whose
+computations lift to the same canonical graph — across blocks or even
+programs — merge into one candidate whose coverage is the sum of its
+sites'.  A three-input accumulation pattern (``acc = acc op f(a, b)``)
+is rescued from the two-port bound by *accumulator promotion*: the port
+that matches the output register becomes a custom state register
+(``graph.acc_port``), mirroring how the hand-written ``mac16``
+extension keeps its running sum out of the GPR file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Iterable, Optional
+
+from ..isa.instructions import InstructionSet
+from .dfg import reads, writes
+from .graph import CandidateGraph, GraphBuilder, GraphError
+from .trace import BlockTrace, DataflowReport
+from .vocab import LIFTABLE, emit_instruction
+
+#: Registers never promoted to accumulator state: a0 is the link
+#: register, a1 the stack pointer — both carry ABI meaning the custom
+#: state register must not shadow.
+_RESERVED_REGS = frozenset({0, 1})
+
+#: Source key for a register that is live into the block.
+_LIVE_IN = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class Site:
+    """One concrete occurrence of a candidate in a program.
+
+    ``members`` are the instruction addresses replaced by the custom
+    opcode (inserted at the last member, the *anchor*); ``port_regs``
+    binds each graph input port to the GPR read at this site;
+    ``clobbers`` are registers the original sequence defined that the
+    rewritten program no longer writes (all dead at the anchor — the
+    differential verifier masks them).
+    """
+
+    block_start: int
+    members: tuple[int, ...]
+    port_regs: tuple[int, ...]
+    output_reg: int
+    clobbers: frozenset[int]
+    count: int
+    #: dynamic base instructions one execution of the custom replaces —
+    #: ``len(members)`` for block sites, the whole unrolled body for
+    #: call sites (members + callee instructions per invocation).
+    replaced_per_exec: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replaced_per_exec == 0:
+            object.__setattr__(self, "replaced_per_exec", len(self.members))
+
+    @property
+    def anchor(self) -> int:
+        return self.members[-1]
+
+
+@dataclasses.dataclass
+class MinedCandidate:
+    """A structurally-unique candidate and everywhere it matched."""
+
+    graph: CandidateGraph
+    hash: str
+    sites: list[Site]
+
+    @property
+    def dynamic_coverage(self) -> int:
+        """Dynamic base instructions this candidate would replace."""
+        return sum(site.count * site.replaced_per_exec for site in self.sites)
+
+    @property
+    def static_saving(self) -> int:
+        """Net dynamic instruction-count reduction (one custom per site
+        execution replaces ``replaced_per_exec`` base instructions)."""
+        return sum(site.count * (site.replaced_per_exec - 1) for site in self.sites)
+
+
+@dataclasses.dataclass(frozen=True)
+class MinerOptions:
+    """Enumeration bounds — all deterministic."""
+
+    #: largest candidate, in member instructions
+    max_nodes: int = 6
+    #: GPR input ports (the R3 format reads two operand buses)
+    max_ports: int = 2
+    #: enumeration budget per block, in grown sets
+    max_sets_per_block: int = 256
+    #: promote three-port accumulation patterns to custom state
+    allow_state: bool = True
+    #: drop blocks below this share of dynamic instructions
+    min_coverage: float = 0.0
+
+
+def mine_report(
+    report: DataflowReport, options: MinerOptions = MinerOptions()
+) -> list[MinedCandidate]:
+    """Mine every hot block of a profiled run; structurally deduped."""
+    miner = _Miner(report.dfg.isa, options)
+    for block in report.hot_blocks(options.min_coverage):
+        miner.mine_block(report, block)
+    return miner.finish()
+
+
+class _Miner:
+    def __init__(self, isa: InstructionSet, options: MinerOptions) -> None:
+        self.isa = isa
+        self.options = options
+        self._by_hash: dict[str, MinedCandidate] = {}
+
+    # -- public ------------------------------------------------------------
+
+    def mine_block(self, report: DataflowReport, block: BlockTrace) -> None:
+        program = report.dfg.program
+        instructions = [program.instructions[a] for a in block.addrs]
+        definitions = [self.isa.lookup(ins.mnemonic) for ins in instructions]
+        n = len(instructions)
+        liftable = [ins.mnemonic in LIFTABLE for ins in instructions]
+
+        # Static def-use edges between positions (last-writer scan).
+        producers: list[dict[int, int]] = []  # position -> {reg: producer pos}
+        last_writer: dict[int, int] = {}
+        consumers: list[set[int]] = [set() for _ in range(n)]
+        for i in range(n):
+            srcs = {}
+            for reg in reads(definitions[i], instructions[i]):
+                producer = last_writer.get(reg)
+                if producer is not None:
+                    srcs[reg] = producer
+                    consumers[producer].add(i)
+            producers.append(srcs)
+            for reg in writes(definitions[i], instructions[i]):
+                last_writer[reg] = i
+
+        # Ancestor/descendant bitmasks for the convexity check.
+        anc = [0] * n
+        for i in range(n):
+            for p in producers[i].values():
+                anc[i] |= anc[p] | (1 << p)
+        desc = [0] * n
+        for i in range(n - 1, -1, -1):
+            for c in consumers[i]:
+                desc[i] |= desc[c] | (1 << c)
+
+        def convex(members: frozenset[int]) -> bool:
+            mask = 0
+            for m in members:
+                mask |= 1 << m
+            for outsider in range(n):
+                if outsider in members:
+                    continue
+                if anc[outsider] & mask and desc[outsider] & mask:
+                    return False
+            return True
+
+        # Grow connected sets along def-use edges, BFS with dedup.
+        neighbors: list[set[int]] = [
+            {p for p in producers[i].values() if liftable[p]}
+            | {c for c in consumers[i] if liftable[c]}
+            for i in range(n)
+        ]
+        seen: set[frozenset[int]] = set()
+        frontier: deque[frozenset[int]] = deque(
+            frozenset({i}) for i in range(n) if liftable[i]
+        )
+        seen.update(frontier)
+        emitted = 0
+        while frontier and emitted < self.options.max_sets_per_block:
+            members = frontier.popleft()
+            if convex(members):
+                emitted += 1
+                self._emit(report, block, instructions, definitions, producers, members)
+            if len(members) >= self.options.max_nodes:
+                continue
+            grown = sorted(
+                {m for i in members for m in neighbors[i]} - members
+            )
+            for extra in grown:
+                new = members | {extra}
+                if new not in seen:
+                    seen.add(new)
+                    frontier.append(new)
+
+    def finish(self) -> list[MinedCandidate]:
+        candidates = list(self._by_hash.values())
+        for candidate in candidates:
+            candidate.sites.sort(key=lambda s: (s.block_start, s.members))
+        candidates.sort(key=lambda c: (-c.static_saving, -c.dynamic_coverage, c.hash))
+        return candidates
+
+    # -- candidate emission ------------------------------------------------
+
+    def _emit(
+        self,
+        report: DataflowReport,
+        block: BlockTrace,
+        instructions: list,
+        definitions: list,
+        producers: list[dict[int, int]],
+        members: frozenset[int],
+    ) -> None:
+        """Lift one convex member set; silently drop illegal sites."""
+        ordered = sorted(members)
+        anchor = ordered[-1]
+        builder = GraphBuilder()
+        env: dict[int, int] = {}  # reg -> graph node, for member-internal defs
+        ports: dict[tuple[int, int], int] = {}  # (reg, source pos) -> node
+        port_order: list[tuple[int, int]] = []
+
+        for i in ordered:
+            ins, definition = instructions[i], definitions[i]
+            srcs = []
+            for reg in reads(definition, ins):
+                producer = producers[i].get(reg, _LIVE_IN)
+                if producer in members:
+                    srcs.append(env[reg])
+                else:
+                    key = (reg, producer)
+                    node = ports.get(key)
+                    if node is None:
+                        node = builder.input()
+                        ports[key] = node
+                        port_order.append(key)
+                    srcs.append(node)
+            try:
+                result = emit_instruction(builder, ins.mnemonic, srcs, ins)
+            except GraphError:
+                return
+            for reg in writes(definition, ins):
+                env[reg] = result
+
+        # Any register may be read by two different external sources only
+        # if a member redefined it in between — those reads already go
+        # through ``env``; two *distinct external* sources are illegal.
+        regs_seen: dict[int, int] = {}
+        for reg, source in port_order:
+            if reg in regs_seen and regs_seen[reg] != source:
+                return
+            regs_seen[reg] = source
+
+        # Exactly one live output.
+        defined = set(env)
+        live = report.dfg.live_after(block.addrs[anchor])
+        outs = sorted(defined & set(live))
+        if len(outs) != 1:
+            return
+        output_reg = outs[0]
+
+        # Gap legality: outsiders between the first member and the anchor
+        # must neither read a member def nor redefine a port register
+        # after its source.
+        first = ordered[0]
+        for g in range(first, anchor):
+            if g in members:
+                continue
+            ins, definition = instructions[g], definitions[g]
+            for reg in reads(definition, ins):
+                producer = producers[g].get(reg, _LIVE_IN)
+                if producer in members:
+                    return
+            for reg in writes(definition, ins):
+                for port_reg, source in port_order:
+                    if reg == port_reg and source < g:
+                        return
+
+        try:
+            graph, port_map = builder.finish(env[output_reg])
+        except GraphError:
+            return
+        if graph.is_identity:
+            return
+
+        # Re-bind surviving ports in the *frozen* graph's order.
+        port_regs: list[int] = [0] * graph.n_inputs
+        for old_idx, key in enumerate(port_order):
+            new_idx = port_map.get(old_idx)
+            if new_idx is not None:
+                port_regs[new_idx] = key[0]
+
+        acc_port: Optional[int] = None
+        if graph.n_inputs > self.options.max_ports:
+            if not (
+                self.options.allow_state
+                and graph.n_inputs == self.options.max_ports + 1
+                and output_reg in port_regs
+                and output_reg not in _RESERVED_REGS
+            ):
+                return
+            acc_port = port_regs.index(output_reg)
+            # Re-finish with the promotion recorded; structure and port
+            # numbering are unchanged (finish() is deterministic).
+            graph, _ = builder.finish(env[output_reg], acc_port=_old_port(port_map, acc_port))
+            assert graph.n_inputs == len(port_regs)
+
+        clobbers = frozenset(defined - {output_reg})
+        site = Site(
+            block_start=block.start,
+            members=tuple(block.addrs[i] for i in ordered),
+            port_regs=tuple(port_regs),
+            output_reg=output_reg,
+            clobbers=clobbers,
+            count=block.count,
+        )
+        digest = graph.canonical_hash()
+        candidate = self._by_hash.get(digest)
+        if candidate is None:
+            self._by_hash[digest] = MinedCandidate(graph=graph, hash=digest, sites=[site])
+        elif site not in candidate.sites:
+            candidate.sites.append(site)
+
+
+def _old_port(port_map: dict[int, int], new_port: int) -> int:
+    """Invert the builder's old→new port map for one new index."""
+    for old, new in port_map.items():
+        if new == new_port:
+            return old
+    raise KeyError(new_port)  # pragma: no cover
+
+
+def mine_programs(
+    reports: Iterable[DataflowReport], options: MinerOptions = MinerOptions()
+) -> list[MinedCandidate]:
+    """Mine several profiled runs into one structurally-deduped pool."""
+    merged: dict[str, MinedCandidate] = {}
+    for report in reports:
+        for candidate in mine_report(report, options):
+            existing = merged.get(candidate.hash)
+            if existing is None:
+                merged[candidate.hash] = candidate
+            else:
+                existing.sites.extend(
+                    s for s in candidate.sites if s not in existing.sites
+                )
+    candidates = list(merged.values())
+    candidates.sort(key=lambda c: (-c.static_saving, -c.dynamic_coverage, c.hash))
+    return candidates

@@ -1,0 +1,260 @@
+"""Program rewriting: replace matched sequences with the custom opcode.
+
+For each applied :class:`~repro.discover.miner.Site` the member
+instructions are deleted and the discovered instruction is emitted at
+the anchor (the last member's position); the surrounding instructions
+are *packed* — each text range keeps its start address and the stream
+is renumbered contiguously, with every branch, jump, call, symbol and
+the entry point remapped through the old→new address map.  Branch
+targets that pointed *at* a deleted member resolve to the next retained
+instruction, which is sound because members never straddle a basic
+block: jumping to the first member originally executed the whole
+member sequence, and its only surviving effect (the output register)
+is produced by the custom instruction the target now falls through to.
+
+Accumulator candidates additionally get a state-sync instruction
+(``<mnemonic>_ld``) inserted after **every** external definition of the
+accumulated register, so the custom state mirrors the GPR at all times.
+
+The rewritten program must survive an assembler round-trip
+(:func:`verify_roundtrip`) and a clobber-aware differential run against
+the original (:func:`states_equivalent`) before it is trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..asm import assemble, disassemble_program
+from ..asm.program import Program
+from ..isa.instructions import (
+    BRANCHING_FORMATS,
+    INSTRUCTION_BYTES,
+    Instruction,
+    InstructionSet,
+)
+from ..isa import LINK_REGISTER
+from .dfg import writes
+from .legalize import LegalizedCandidate
+from .miner import Site
+
+
+class RewriteError(Exception):
+    """The program cannot be rewritten with this candidate."""
+
+
+@dataclasses.dataclass
+class RewriteResult:
+    program: Program
+    applied: list[Site]
+    skipped: list[Site]
+    #: every register an applied site stops writing (for the verifier)
+    clobbers: frozenset[int]
+    syncs_inserted: int
+
+
+def rewrite_program(
+    program: Program, isa: InstructionSet, legalized: LegalizedCandidate
+) -> RewriteResult:
+    """Apply every non-overlapping site of ``legalized`` to ``program``.
+
+    ``isa`` must be the *extended* instruction set (it validates the
+    custom mnemonic and, for accumulator candidates, the sync mnemonic).
+    """
+    if program.uncached_ranges:
+        raise RewriteError(
+            "programs with uncached ranges pin instruction addresses; refusing to pack"
+        )
+    if legalized.mnemonic not in isa:
+        raise RewriteError(f"ISA does not define {legalized.mnemonic!r}")
+
+    sites = sorted(legalized.candidate.sites, key=lambda s: s.members)
+    applied: list[Site] = []
+    skipped: list[Site] = []
+    taken: set[int] = set()
+    for site in sites:
+        if any(addr not in program.instructions for addr in site.members):
+            skipped.append(site)  # site mined from a different program
+            continue
+        if taken.intersection(site.members):
+            skipped.append(site)  # overlaps an already-applied site
+            continue
+        taken.update(site.members)
+        applied.append(site)
+    if not applied:
+        raise RewriteError("no applicable sites in this program")
+
+    custom_at = {site.anchor: site for site in applied}
+    deleted = {
+        addr for site in applied for addr in site.members if addr != site.anchor
+    }
+
+    # Accumulator candidates: sync the state after every surviving
+    # definition of the accumulated register.
+    acc_reg = None
+    sync_mnemonic = legalized.sync_mnemonic
+    if legalized.candidate.graph.acc_port is not None:
+        if sync_mnemonic is None or sync_mnemonic not in isa:
+            raise RewriteError(
+                f"ISA does not define the sync instruction for {legalized.mnemonic!r}"
+            )
+        acc_regs = {site.output_reg for site in applied}
+        if len(acc_regs) != 1:
+            raise RewriteError(
+                f"accumulator candidate binds state to different registers: {sorted(acc_regs)}"
+            )
+        acc_reg = acc_regs.pop()
+
+    new_instructions: dict[int, Instruction] = {}
+    addr_map: dict[int, int] = {}
+    syncs = 0
+    link_moved = False
+
+    ranges = program.text_ranges()
+    for index, rng in enumerate(ranges):
+        cursor = rng.start
+        pending: list[int] = []  # deleted addrs awaiting their forward target
+
+        def emit(ins: Instruction) -> None:
+            nonlocal cursor
+            new_instructions[cursor] = dataclasses.replace(ins, addr=cursor)
+            cursor += INSTRUCTION_BYTES
+
+        for addr in range(rng.start, rng.end, INSTRUCTION_BYTES):
+            ins = program.instructions[addr]
+            if addr in deleted:
+                pending.append(addr)
+                continue
+            for waiting in pending:
+                addr_map[waiting] = cursor
+            pending.clear()
+            addr_map[addr] = cursor
+            site = custom_at.get(addr)
+            if site is not None:
+                emit(_custom_instruction(legalized, site))
+                continue
+            ins_writes = writes(isa.lookup(ins.mnemonic), ins)
+            if LINK_REGISTER in ins_writes and cursor != addr:
+                # Packing relocated this call: its saved return address is
+                # a different (equally valid) value now, so the final a0
+                # is excluded from the bitwise comparison.
+                link_moved = True
+            emit(ins)
+            if acc_reg is not None and acc_reg in ins_writes:
+                emit(Instruction(sync_mnemonic, rs=acc_reg))
+                syncs += 1
+        if pending:  # pragma: no cover - anchors always follow members
+            raise RewriteError("deleted members with no following instruction")
+
+        if index + 1 < len(ranges):
+            limit: Optional[int] = ranges[index + 1].start
+        else:
+            limit = min(
+                (addr for addr, _ in program.data if addr >= rng.start),
+                default=None,
+            )
+        if limit is not None and cursor > limit:
+            raise RewriteError(
+                f"sync insertions overflow text range at {rng.start:#x} "
+                f"(needs {cursor - rng.start} bytes, has {limit - rng.start})"
+            )
+
+    remapped: dict[int, Instruction] = {}
+    for addr, ins in new_instructions.items():
+        definition = isa.lookup(ins.mnemonic)
+        if definition.fmt in BRANCHING_FORMATS and ins.imm is not None:
+            target = addr_map.get(ins.imm)
+            if target is not None and target != ins.imm:
+                ins = dataclasses.replace(ins, imm=target)
+        remapped[addr] = ins
+
+    symbols = {
+        name: addr_map.get(addr, addr) for name, addr in program.symbols.items()
+    }
+    rewritten = Program(
+        name=f"{program.name}+{legalized.mnemonic}",
+        instructions=remapped,
+        data=program.data,
+        symbols=symbols,
+        entry=addr_map.get(program.entry, program.entry),
+        uncached_ranges=program.uncached_ranges,
+    )
+    clobbers = frozenset().union(*(site.clobbers for site in applied))
+    if link_moved:
+        clobbers |= {LINK_REGISTER}
+    return RewriteResult(
+        program=rewritten,
+        applied=applied,
+        skipped=skipped,
+        clobbers=clobbers,
+        syncs_inserted=syncs,
+    )
+
+
+def _custom_instruction(legalized: LegalizedCandidate, site: Site) -> Instruction:
+    """Assemble the custom opcode for one site's register bindings."""
+    fields: dict[str, int] = {"rd": site.output_reg}
+    for port, field in enumerate(legalized.lifted.port_fields):
+        if field is not None:
+            fields[field] = site.port_regs[port]
+    return Instruction(
+        legalized.mnemonic,
+        rd=fields.get("rd"),
+        rs=fields.get("rs"),
+        rt=fields.get("rt"),
+    )
+
+
+def verify_roundtrip(program: Program, isa: InstructionSet) -> None:
+    """Disassemble + re-assemble; raise if the streams disagree.
+
+    Guards the rewriter's output against emitting anything the
+    assembler dialect cannot express (the acceptance bar for rewritten
+    programs entering the benchmark suite).
+    """
+    source = disassemble_program(program, isa)
+    try:
+        again = assemble(source, f"{program.name}-roundtrip", isa=isa)
+    except Exception as exc:  # pragma: no cover - assembler rejects nothing we emit
+        raise RewriteError(f"rewritten program does not re-assemble: {exc}") from exc
+    ours = {
+        addr: _operand_tuple(ins) for addr, ins in program.instructions.items()
+    }
+    theirs = {
+        addr: _operand_tuple(ins) for addr, ins in again.instructions.items()
+    }
+    if ours != theirs:
+        diff = sorted(set(ours.items()) ^ set(theirs.items()))[:4]
+        raise RewriteError(f"assembler round-trip diverges: {diff}")
+
+
+def _operand_tuple(ins: Instruction) -> tuple:
+    return (ins.mnemonic, ins.rd, ins.rs, ins.rt, ins.imm)
+
+
+def states_equivalent(
+    original, rewritten, ignore_regs: frozenset[int]
+) -> tuple[bool, str]:
+    """Clobber-aware bitwise comparison of two final machine states.
+
+    ``original``/``rewritten`` are :class:`~repro.isa.MachineState`;
+    registers in ``ignore_regs`` (the rewrite's clobbers) and custom TIE
+    state are excluded — everything else, including all of memory, must
+    match exactly.
+    """
+    for reg in range(original.num_registers):
+        if reg in ignore_regs:
+            continue
+        if original.regs[reg] != rewritten.regs[reg]:
+            return False, (
+                f"a{reg}: {original.regs[reg]:#010x} != {rewritten.regs[reg]:#010x}"
+            )
+    mem_a = original.memory.snapshot()
+    mem_b = rewritten.memory.snapshot()
+    if mem_a != mem_b:
+        pages = sorted(set(mem_a) ^ set(mem_b)) or [
+            p for p in mem_a if mem_a[p] != mem_b.get(p)
+        ]
+        return False, f"memory differs (pages {pages[:4]})"
+    return True, ""

@@ -1,0 +1,70 @@
+"""Discovered-instruction search spaces for ``repro explore``.
+
+:func:`discovered_space` turns a :class:`~repro.discover.pipeline.
+DiscoveryManifest` into a :class:`~repro.dse.SearchSpace` named
+``discovered:<workload>``: one ``impl`` knob whose values are the
+software baseline plus every verified discovered instruction, crossed
+with the same cache-geometry knobs as the bundled ``*_tuned`` spaces.
+Each discovered design point rebuilds deterministically from the
+manifest — re-lift the stored graph, recompile its TIE extension,
+rewrite the software program — so exploration workers never need the
+profiling run that produced it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..asm import Program, assemble
+from ..dse.space import Knob, SearchSpace, register_space
+from ..xtcore import CacheConfig, ProcessorConfig, build_processor
+from .pipeline import DiscoveryManifest, software_case
+from .rewrite import rewrite_program
+
+
+def _build_discovered_point(
+    manifest: DiscoveryManifest, assignment: dict
+) -> Tuple[ProcessorConfig, Program]:
+    case = software_case(manifest.workload)
+    base = ProcessorConfig(
+        icache=CacheConfig(size_bytes=int(assignment.get("icache_kb", 16)) * 1024),
+        dcache=CacheConfig(
+            size_bytes=int(assignment.get("dcache_kb", 16)) * 1024,
+            ways=int(assignment.get("dcache_ways", 4)),
+        ),
+    )
+    impl = assignment["impl"]
+    if impl == "sw":
+        config = build_processor(f"xt-{case.name}", base=base)
+        return config, assemble(case.source, case.name, isa=config.isa)
+    entry = next(e for e in manifest.entries if e.mnemonic == impl)
+    legalized = entry.legalize()
+    config = build_processor(f"xt-{case.name}+{impl}", legalized.lifted.specs, base=base)
+    program = assemble(case.source, case.name, isa=config.isa)
+    return config, rewrite_program(program, config.isa, legalized).program
+
+
+def discovered_space(manifest: DiscoveryManifest) -> SearchSpace:
+    """The ``discovered:<workload>`` space for one manifest."""
+    impls = ("sw",) + tuple(entry.mnemonic for entry in manifest.entries)
+    return SearchSpace(
+        name=f"discovered:{manifest.workload}",
+        description=(
+            f"software {manifest.workload} vs {len(manifest.entries)} discovered "
+            "instruction(s), crossed with cache-geometry knobs"
+        ),
+        knobs=(
+            Knob("impl", impls),
+            Knob("icache_kb", (4, 8, 16)),
+            Knob("dcache_kb", (4, 8, 16)),
+            Knob("dcache_ways", (1, 2, 4)),
+        ),
+        builder=lambda a: _build_discovered_point(manifest, a),
+    )
+
+
+def register_discovered(manifest: DiscoveryManifest) -> str:
+    """Register the manifest's space for by-name lookup; returns its name."""
+    space = discovered_space(manifest)
+    register_space(space.name, lambda: discovered_space(manifest))
+    return space.name

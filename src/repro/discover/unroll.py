@@ -1,0 +1,619 @@
+"""Symbolic unrolling of leaf subroutines into candidate graphs.
+
+Block-level mining cannot see past a ``call`` — yet the richest custom
+instructions hide exactly there (the Reed-Solomon software GF multiply
+is a whole shift-and-xor *subroutine*).  This module closes that gap:
+it symbolically executes small leaf subroutines with the caller's
+argument registers as free inputs, concrete values folded through the
+real ISA semantics, counted loops unrolled, and data-dependent forward
+branches *if-converted* into mux nodes — producing one candidate graph
+that computes the subroutine's entire effect, matched at every call
+site (with argument ``mov`` chains folded into the port bindings).
+
+Limits are deliberate: no loads/stores, no nested calls, no backward
+branch on a symbolic condition (an unbounded loop), and a hard step
+budget.  Anything outside raises :class:`Unliftable` and the call site
+is simply skipped — discovery is best-effort.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from ..asm.program import Program
+from ..isa.instructions import INSTRUCTION_BYTES, LINK_REGISTER, InstructionSet
+from ..isa.state import MachineState
+from .dfg import ALL_REGS, ProgramDfg, reads, writes
+from .graph import CandidateGraph, GraphBuilder, GraphError
+from .miner import MinedCandidate, Site
+from .trace import DataflowReport
+from .vocab import (
+    LIFTABLE,
+    SUPPORTED_BRANCHES,
+    UnsupportedInstruction,
+    branch_taken_cond,
+    emit_instruction,
+)
+
+#: Maximum instructions symbolically executed per subroutine (bounds
+#: loop unrolling).
+STEP_BUDGET = 512
+
+Value = Union[int, "SymNode"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SymNode:
+    """A symbolic 32-bit value: a node in the builder's graph."""
+
+    nid: int
+
+
+class Unliftable(Exception):
+    """The subroutine cannot be expressed as one pure dataflow graph."""
+
+
+class _SymbolicExecutor:
+    def __init__(self, program: Program, isa: InstructionSet, entry: int, end: int) -> None:
+        self.program = program
+        self.isa = isa
+        self.entry = entry
+        self.end = end  # address of the ret instruction
+        self.builder = GraphBuilder()
+        self.env: dict[int, Value] = {}
+        self.port_regs: list[int] = []
+        self.written: set[int] = set()
+        self.steps = 0
+        #: reg -> its lazily-created input node (the pre-call value)
+        self._input_of: dict[int, int] = {}
+        #: every write, in order — sliced to find per-region write sets
+        self._write_log: list[int] = []
+
+    # -- value plumbing ----------------------------------------------------
+
+    def _read(self, reg: int) -> Value:
+        value = self.env.get(reg)
+        if value is None:
+            value = SymNode(self._fresh_input(reg))
+            self.env[reg] = value
+        return value
+
+    def _fresh_input(self, reg: int) -> int:
+        """The input node carrying ``reg``'s pre-call value."""
+        nid = self._input_of.get(reg)
+        if nid is None:
+            nid = self.builder.input()
+            self.port_regs.append(reg)
+            self._input_of[reg] = nid
+        return nid
+
+    def _as_node(self, value: Value) -> int:
+        if isinstance(value, SymNode):
+            return value.nid
+        return self.builder.const(value & 0xFFFFFFFF)
+
+    def _concrete_fold(self, ins, definition, srcs: list[int]) -> int:
+        """Execute one liftable instruction on concrete operands using
+        the *real* ISA semantics (no second interpretation of them)."""
+        scratch = MachineState()
+        for reg, value in zip(reads(definition, ins), srcs):
+            scratch.set(reg, value)
+        definition.semantics(scratch, ins)
+        return scratch.get(ins.rd)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> None:
+        self._exec(self.entry, self.end)
+
+    def _step_budget(self) -> None:
+        self.steps += 1
+        if self.steps > STEP_BUDGET:
+            raise Unliftable("step budget exhausted (unbounded loop?)")
+
+    def _exec(self, pc: int, end: int) -> None:
+        """Execute [pc, end) symbolically; returns at ``end``."""
+        while pc != end:
+            ins = self.program.instructions.get(pc)
+            if ins is None:
+                raise Unliftable(f"fell off the instruction stream at {pc:#x}")
+            if pc < self.entry or pc > self.end:
+                raise Unliftable(f"escaped the subroutine extent at {pc:#x}")
+            self._step_budget()
+            mnemonic = ins.mnemonic
+            definition = self.isa.lookup(mnemonic)
+
+            if mnemonic in SUPPORTED_BRANCHES:
+                pc = self._branch(pc, end, ins, definition)
+                continue
+            if mnemonic == "j":
+                target = ins.imm or 0
+                if not pc < target <= end:
+                    raise Unliftable(f"jump outside forward extent at {pc:#x}")
+                pc = target
+                continue
+            if mnemonic not in LIFTABLE:
+                raise Unliftable(f"unsupported {mnemonic!r} at {pc:#x}")
+
+            src_regs = reads(definition, ins)
+            values = [self._read(r) for r in src_regs]
+            if all(isinstance(v, int) for v in values):
+                result: Value = self._concrete_fold(  # type: ignore[arg-type]
+                    ins, definition, list(values)
+                )
+            else:
+                nodes = [self._as_node(v) for v in values]
+                try:
+                    result = SymNode(emit_instruction(self.builder, mnemonic, nodes, ins))
+                except (GraphError, UnsupportedInstruction) as exc:
+                    raise Unliftable(str(exc)) from exc
+            for reg in writes(definition, ins):
+                self.env[reg] = result
+                self.written.add(reg)
+                self._write_log.append(reg)
+            pc += INSTRUCTION_BYTES
+
+    def _branch(self, pc: int, end: int, ins, definition) -> int:
+        target = ins.imm or 0
+        src_regs = reads(definition, ins)
+        values = [self._read(r) for r in src_regs]
+
+        if all(isinstance(v, int) for v in values):
+            scratch = MachineState()
+            for reg, value in zip(src_regs, values):
+                scratch.set(reg, value)  # type: ignore[arg-type]
+            taken = definition.semantics(scratch, ins) is not None
+            next_pc = target if taken else pc + INSTRUCTION_BYTES
+            if taken and not (self.entry <= target <= self.end):
+                raise Unliftable(f"branch escapes the subroutine at {pc:#x}")
+            return next_pc
+
+        # Symbolic condition: only *forward* branches can be if-converted.
+        if target <= pc:
+            raise Unliftable(f"symbolic backward branch at {pc:#x}")
+        if target > end:
+            raise Unliftable(f"symbolic branch past region end at {pc:#x}")
+        nodes = [self._as_node(v) for v in values]
+        try:
+            cond, taken_when_true = branch_taken_cond(self.builder, ins, nodes)
+        except (GraphError, UnsupportedInstruction) as exc:
+            raise Unliftable(str(exc)) from exc
+        before = dict(self.env)
+        mark = len(self._write_log)
+        self._exec(pc + INSTRUCTION_BYTES, target)
+        after = self.env
+        region_writes = set(self._write_log[mark:])
+        merged: dict[int, Value] = dict(after)
+        for reg in sorted(region_writes):
+            a = after[reg]
+            # The not-taken value: whatever the register held before the
+            # region — its pre-call input if this is its first mention.
+            b = before.get(reg)
+            if b is None:
+                b = SymNode(self._fresh_input(reg))
+            if b == a:
+                continue
+            nb, na = self._as_node(b), self._as_node(a)
+            # cond true means *taken* (region skipped) for bbs-style
+            # branches, *fall through* (region executed) for bbc.
+            if taken_when_true:
+                merged[reg] = SymNode(self.builder.op("mux", [cond, nb, na], 32))
+            else:
+                merged[reg] = SymNode(self.builder.op("mux", [cond, na, nb], 32))
+        self.env = merged
+        return target
+
+
+def _leaf_extent(program: Program, isa: InstructionSet, entry: int) -> Optional[int]:
+    """Address of the single ``ret`` ending a contiguous leaf subroutine
+    at ``entry``; ``None`` if the shape doesn't match."""
+    addr = entry
+    while True:
+        ins = program.instructions.get(addr)
+        if ins is None:
+            return None
+        if ins.mnemonic == "ret":
+            return addr
+        if ins.mnemonic in ("call", "callx", "jx", "halt", "break"):
+            return None
+        if addr - entry > STEP_BUDGET * INSTRUCTION_BYTES:
+            return None
+        addr += INSTRUCTION_BYTES
+
+
+@dataclasses.dataclass
+class SubUnroll:
+    """Executor snapshot: freeze a graph for any chosen output register."""
+
+    executor: _SymbolicExecutor
+
+    @property
+    def written(self) -> frozenset[int]:
+        return frozenset(self.executor.written)
+
+    @property
+    def steps(self) -> int:
+        return self.executor.steps
+
+    def freeze(self, output_reg: int) -> tuple[CandidateGraph, tuple[int, ...]]:
+        """(graph, port index -> argument register) for ``output_reg``."""
+        value = self.executor.env.get(output_reg)
+        if value is None or output_reg not in self.executor.written:
+            raise Unliftable(f"subroutine does not define a{output_reg}")
+        out_node = self.executor._as_node(value)
+        graph, port_map = self.executor.builder.finish(out_node)
+        port_regs = [0] * graph.n_inputs
+        for old_idx, reg in enumerate(self.executor.port_regs):
+            new_idx = port_map.get(old_idx)
+            if new_idx is not None:
+                port_regs[new_idx] = reg
+        return graph, tuple(port_regs)
+
+
+def unroll_entry(program: Program, isa: InstructionSet, entry: int) -> SubUnroll:
+    """Symbolically unroll the leaf subroutine at ``entry`` (or raise
+    :class:`Unliftable`)."""
+    end = _leaf_extent(program, isa, entry)
+    if end is None:
+        raise Unliftable(f"no leaf extent at {entry:#x}")
+    for addr in range(entry, end, INSTRUCTION_BYTES):
+        ins = program.instructions.get(addr)
+        if ins is None:
+            raise Unliftable(f"hole in subroutine at {addr:#x}")
+        if ins.mnemonic in SUPPORTED_BRANCHES or ins.mnemonic == "j":
+            target = ins.imm or 0
+            if not entry <= target <= end:
+                raise Unliftable(f"branch target {target:#x} outside subroutine")
+    executor = _SymbolicExecutor(program, isa, entry, end)
+    executor.run()
+    executor.steps += 1  # the ret itself
+    if not executor.written:
+        raise Unliftable("subroutine computes nothing")
+    return SubUnroll(executor)
+
+
+def mine_call_sites(
+    report: DataflowReport, max_ports: int = 2
+) -> list[MinedCandidate]:
+    """Candidates from every liftable ``call`` site in a profiled run.
+
+    For each call whose target unrolls, the candidate's members are the
+    foldable argument-``mov`` run plus the ``call`` itself; the custom
+    instruction lands at the call's position and the callee body is left
+    in place (it may have other callers — if not, it becomes dead code
+    that never executes).
+    """
+    dfg: ProgramDfg = report.dfg
+    program, isa = dfg.program, dfg.isa
+    counts = {b.start: b.count for b in report.blocks}
+
+    unrolls: dict[int, Optional[SubUnroll]] = {}
+    merged: dict[str, MinedCandidate] = {}
+
+    for addr in sorted(program.instructions):
+        ins = program.instructions[addr]
+        if ins.mnemonic != "call":
+            continue
+        entry = ins.imm or 0
+        if entry not in unrolls:
+            try:
+                unrolls[entry] = unroll_entry(program, isa, entry)
+            except Unliftable:
+                unrolls[entry] = None
+        sub = unrolls[entry]
+        if sub is None:
+            continue
+        for graph, site in _lift_call_site(report, sub, addr, max_ports, counts):
+            digest = graph.canonical_hash()
+            existing = merged.get(digest)
+            if existing is None:
+                merged[digest] = MinedCandidate(graph=graph, hash=digest, sites=[site])
+            elif site not in existing.sites:
+                existing.sites.append(site)
+
+    candidates = list(merged.values())
+    candidates.sort(key=lambda c: (-c.static_saving, -c.dynamic_coverage, c.hash))
+    return candidates
+
+
+def _fold_arg_movs(
+    program: Program,
+    block_addrs: set[int],
+    call_addr: int,
+    port_regs: tuple[int, ...],
+    live_after,
+) -> Optional[tuple[list[int], dict[int, int]]]:
+    """Fold the contiguous ``mov`` run feeding the callee's argument
+    registers; returns (mov addresses, callee reg -> caller reg) or
+    ``None`` when the run is self-referential."""
+    mov_addrs: list[int] = []
+    rebind: dict[int, int] = {}
+    folded_sources: set[int] = set()
+    addr = call_addr - INSTRUCTION_BYTES
+    while addr in program.instructions and addr in block_addrs:
+        mov = program.instructions[addr]
+        if mov.mnemonic != "mov":
+            break
+        dest, source = mov.rd, mov.rs
+        if (
+            dest in port_regs
+            and dest not in rebind
+            and dest not in live_after
+            and source not in rebind
+        ):
+            rebind[dest] = source  # type: ignore[index]
+            folded_sources.add(source)  # type: ignore[arg-type]
+            mov_addrs.append(addr)
+        addr -= INSTRUCTION_BYTES
+    if set(rebind) & folded_sources:
+        return None  # a mov both consumes and feeds the folded run
+    return mov_addrs, rebind
+
+
+def _lift_call_site(
+    report: DataflowReport,
+    sub: SubUnroll,
+    call_addr: int,
+    max_ports: int,
+    counts: dict[int, int],
+) -> list[tuple[CandidateGraph, Site]]:
+    dfg = report.dfg
+    program = dfg.program
+    block = dfg.block_of(call_addr)
+    if block.addrs[-1] != call_addr:
+        return []  # call must terminate its block (it always does)
+    count = counts.get(block.start, 0)
+    if count == 0:
+        return []  # never executed — no profile weight
+
+    fallthrough = call_addr + INSTRUCTION_BYTES
+    fall_block = dfg.blocks.get(fallthrough)
+    live_after = fall_block.live_in if fall_block is not None else ALL_REGS
+
+    outs = sorted(sub.written & set(live_after))
+    if len(outs) != 1:
+        return []
+    output_reg = outs[0]
+    if LINK_REGISTER in live_after:
+        return []  # deleting the call leaves a0 stale
+
+    try:
+        graph, port_regs = sub.freeze(output_reg)
+    except (Unliftable, GraphError):
+        return []
+    if graph.n_inputs > max_ports or graph.is_identity:
+        return []
+
+    folded = _fold_arg_movs(
+        program, set(block.addrs), call_addr, port_regs, live_after
+    )
+    if folded is None:
+        return []
+    mov_addrs, rebind = folded
+    members = sorted(mov_addrs + [call_addr])
+    bindings = [rebind.get(reg, reg) for reg in port_regs]
+    clobbers = frozenset(
+        (sub.written | {LINK_REGISTER} | set(rebind)) - {output_reg}
+    )
+    site = Site(
+        block_start=block.start,
+        members=tuple(members),
+        port_regs=tuple(bindings),
+        output_reg=output_reg,
+        clobbers=clobbers,
+        count=count,
+        replaced_per_exec=len(members) + sub.steps,
+    )
+    results = [(graph, site)]
+    grown = _absorb_consumers(report, sub, call_addr, max_ports, count, members, rebind)
+    if grown is not None:
+        results.append(grown)
+    return results
+
+
+def _rewritten_live_after(
+    dfg: ProgramDfg,
+    members: list[int],
+    anchor: int,
+    anchor_reads: frozenset[int],
+    anchor_write: int,
+) -> frozenset[int]:
+    """Registers live after ``anchor`` once the rewrite is applied:
+    non-anchor members are deleted (including the ``call``'s edge into
+    the callee, which may become dead code) and the anchor becomes the
+    custom instruction (reads ``anchor_reads``, writes ``anchor_write``)."""
+    member_set = set(members)
+
+    def effect(addr: int) -> tuple[set[int], set[int]]:
+        if addr == anchor:
+            return set(anchor_reads), {anchor_write}
+        if addr in member_set:
+            return set(), set()
+        ins = dfg.program.instructions[addr]
+        definition = dfg.isa.lookup(ins.mnemonic)
+        return set(reads(definition, ins)), set(writes(definition, ins))
+
+    def successors(block) -> list[int]:
+        last = dfg.program.instructions[block.addrs[-1]]
+        if block.addrs[-1] in member_set and last.mnemonic == "call":
+            return [s for s in block.succ if s != last.imm]
+        return block.succ
+
+    live_in: dict[int, set[int]] = {start: set() for start in dfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for start, block in dfg.blocks.items():
+            out: set[int] = set(ALL_REGS) if block.all_live_exit else set()
+            for succ in successors(block):
+                out |= live_in[succ]
+            for addr in reversed(block.addrs):
+                rds, wrs = effect(addr)
+                out -= wrs
+                out |= rds
+            if out != live_in[start]:
+                live_in[start] = out
+                changed = True
+
+    block = dfg.block_of(anchor)
+    out = set(ALL_REGS) if block.all_live_exit else set()
+    for succ in successors(block):
+        out |= live_in[succ]
+    for addr in reversed(block.addrs):
+        if addr == anchor:
+            return frozenset(out)
+        rds, wrs = effect(addr)
+        out -= wrs
+        out |= rds
+    raise KeyError(f"address {anchor:#x} not in its own block")  # pragma: no cover
+
+
+def _absorb_consumers(
+    report: DataflowReport,
+    sub: SubUnroll,
+    call_addr: int,
+    max_ports: int,
+    count: int,
+    members: list[int],
+    rebind: dict[int, int],
+) -> Optional[tuple[CandidateGraph, Site]]:
+    """Grow the call-site candidate forward over liftable consumers.
+
+    The richest patterns chain the callee's result straight into more
+    dataflow — Reed-Solomon's Horner step is ``syn = gfmult(syn, α) ^
+    byte``, one ``xor`` past the call.  This pass walks the fallthrough
+    block in order, absorbing liftable instructions that consume a
+    value the candidate already computes; everything else is a *gap*
+    instruction that must neither read a member-defined register nor
+    redefine an input port before the new anchor.  The grown candidate
+    is emitted alongside the plain call fold (both are ranked; often
+    the grown one wins because the accumulator promotion turns a
+    three-port graph into custom state, exactly like the hand-written
+    ``gfmac``).
+    """
+    dfg = report.dfg
+    program, isa = dfg.program, dfg.isa
+    executor = sub.executor
+    fall_block = dfg.blocks.get(call_addr + INSTRUCTION_BYTES)
+    if fall_block is None:
+        return None
+
+    # Machine state after the call: every register the callee wrote
+    # holds its symbolic final value.
+    env: dict[int, Value] = {reg: executor.env[reg] for reg in sub.written}
+    pre_call_ports = set(executor._input_of)
+    absorbed: list[int] = []
+    defined: set[int] = set(sub.written)
+    extra_first_read: dict[int, int] = {}
+    gap_writes: list[tuple[int, int]] = []  # (position, register)
+
+    for pos, addr in enumerate(fall_block.addrs):
+        ins = program.instructions[addr]
+        definition = isa.lookup(ins.mnemonic)
+        rds = reads(definition, ins)
+        if ins.mnemonic in LIFTABLE and any(r in env for r in rds):
+            nodes = []
+            for reg in rds:
+                value = env.get(reg)
+                if value is not None:
+                    nodes.append(executor._as_node(value))
+                    continue
+                if reg not in executor._input_of:
+                    extra_first_read.setdefault(reg, pos)
+                nodes.append(executor._fresh_input(reg))
+            try:
+                result = emit_instruction(executor.builder, ins.mnemonic, nodes, ins)
+            except (GraphError, UnsupportedInstruction):
+                break
+            for reg in writes(definition, ins):
+                env[reg] = SymNode(result)
+                defined.add(reg)
+            absorbed.append(pos)
+        else:
+            if any(r in env for r in rds):
+                break  # a survivor needs a member-defined value: stop here
+            for reg in writes(definition, ins):
+                gap_writes.append((pos, reg))
+    if not absorbed:
+        return None
+
+    anchor_pos = absorbed[-1]
+    anchor = fall_block.addrs[anchor_pos]
+    grown_members = sorted(members + [fall_block.addrs[p] for p in absorbed])
+
+    # Exactly one register of everything the candidate defines may be
+    # live past the new anchor.  Program liveness is too conservative
+    # here: in a loop, an absorbed member's *own* read (next iteration)
+    # keeps its operand live around the back edge, yet that read is
+    # deleted by the rewrite.  Disambiguate with liveness of the
+    # rewritten world — members gone, the custom instruction at the
+    # anchor reading the external inputs.
+    outs = sorted(defined & set(dfg.live_after(anchor)))
+    if not outs:
+        return None
+    if len(outs) > 1:
+        ext_reads = frozenset(rebind.get(r, r) for r in executor.port_regs)
+        outs = [
+            reg
+            for reg in outs
+            if not (
+                (defined - {reg})
+                & _rewritten_live_after(dfg, grown_members, anchor, ext_reads, reg)
+            )
+        ]
+        if len(outs) != 1:
+            return None
+    output_reg = outs[0]
+    out_value = env[output_reg]
+
+    graph, port_map = executor.builder.finish(executor._as_node(out_value))
+    port_regs = [0] * graph.n_inputs
+    for old_idx, reg in enumerate(executor.port_regs):
+        new_idx = port_map.get(old_idx)
+        if new_idx is not None:
+            port_regs[new_idx] = reg
+    bindings = [rebind.get(reg, reg) for reg in port_regs]
+
+    # Port stability: each port is read at the anchor, so its register
+    # must still hold the value the original sequence read.  Pre-call
+    # ports tolerate no gap write at all; extra ports tolerate writes
+    # only before their first read (that write IS their producer).
+    for pos, reg in gap_writes:
+        if pos >= anchor_pos:
+            continue
+        if reg in extra_first_read:
+            if pos >= extra_first_read[reg]:
+                return None
+        elif reg in bindings or reg in pre_call_ports:
+            return None
+
+    acc_port: Optional[int] = None
+    if graph.n_inputs > max_ports:
+        if not (
+            graph.n_inputs == max_ports + 1
+            and output_reg in bindings
+            and output_reg not in (0, 1)
+        ):
+            return None
+        acc_port = bindings.index(output_reg)
+        old_acc = next(o for o, n in port_map.items() if n == acc_port)
+        graph, _ = executor.builder.finish(
+            executor._as_node(out_value), acc_port=old_acc
+        )
+    if graph.is_identity:
+        return None
+
+    clobbers = frozenset(
+        (defined | {LINK_REGISTER} | set(rebind)) - {output_reg}
+    )
+    site = Site(
+        block_start=dfg.block_of(call_addr).start,
+        members=tuple(grown_members),
+        port_regs=tuple(bindings),
+        output_reg=output_reg,
+        clobbers=clobbers,
+        count=count,
+        replaced_per_exec=len(grown_members) + sub.steps,
+    )
+    return graph, site

@@ -1,0 +1,234 @@
+"""Lowering of base-ISA instructions into candidate-graph nodes.
+
+This is the miner's vocabulary: ``LIFTABLE`` names every base
+instruction whose semantics can be expressed exactly over the
+:mod:`repro.tie.nodes` operator library, and :func:`emit_instruction`
+performs that lowering into a :class:`~repro.discover.graph.GraphBuilder`.
+
+The lowering is *semantics-preserving by construction* — each mapping
+mirrors the executable definition in :mod:`repro.isa.instructions`
+(constant shifts become wiring, compares are 1-bit then zero-extended,
+``mulh`` widens to 64 bits before slicing) — and is differential-tested
+against the base semantics on random operand vectors.
+
+Deliberately excluded:
+
+* ``quos/quou/rems/remu`` — no divider in the component library;
+* ``rotl/rotr`` (register-amount rotates) and ``clz/ctz/popc`` — no
+  matching library operator (constant-amount ``roli/rori`` *are*
+  liftable: they are pure wiring);
+* ``moveqz`` family — their "write rd conditionally" semantics needs
+  the *old* rd as a third input, which the miner models explicitly when
+  profitable rather than hiding it here;
+* loads, stores, branches, jumps and system instructions — candidates
+  are pure dataflow (branches are handled by the unroller through
+  :func:`branch_taken_cond`, not as candidate members).
+"""
+
+from __future__ import annotations
+
+from ..isa.bits import to_unsigned, truncate
+from ..isa.instructions import Instruction
+from .graph import GraphBuilder
+
+#: Base mnemonics that :func:`emit_instruction` can lower exactly.
+LIFTABLE = frozenset(
+    {
+        # register-register ALU
+        "add", "sub", "and", "or", "xor", "nor", "andn", "orn", "xnor",
+        "addx2", "addx4", "addx8", "subx2", "subx4",
+        "slt", "sltu", "min", "max", "minu", "maxu",
+        "mull", "mulh", "mulhu",
+        "sll", "srl", "sra",
+        # unary
+        "mov", "neg", "not", "abs", "sext8", "sext16", "zext8", "zext16", "bswap",
+        # immediate ALU
+        "addi", "addmi", "andi", "ori", "xori", "slti", "sltiu",
+        "slli", "srli", "srai", "roli", "rori",
+        # immediate loads
+        "movi", "movhi",
+    }
+)
+
+#: Branch mnemonics the subroutine unroller can turn into mux conditions.
+SUPPORTED_BRANCHES = frozenset(
+    {
+        "beq", "bne", "blt", "bge", "bltu", "bgeu",
+        "beqz", "bnez", "bltz", "bgez",
+        "beqi", "bnei", "blti", "bgei",
+        "bbs", "bbc",
+    }
+)
+
+_B2_COMPARE = {
+    "beq": "eq", "bne": "ne", "blt": "lt_s", "bge": "ge_s",
+    "bltu": "lt_u", "bgeu": "ge_u",
+}
+_B1_COMPARE = {"beqz": "eq", "bnez": "ne", "bltz": "lt_s", "bgez": "ge_s"}
+_BI_COMPARE = {"beqi": "eq", "bnei": "ne", "blti": "lt_s", "bgei": "ge_s"}
+
+
+class UnsupportedInstruction(ValueError):
+    """Raised when asked to lower a mnemonic outside ``LIFTABLE``."""
+
+
+def _zext32(b: GraphBuilder, nid: int) -> int:
+    """Widen a narrow (e.g. 1-bit compare) value to a 32-bit data value."""
+    if b.width_of(nid) == 32:
+        return nid
+    return b.op("zext", [nid], 32)
+
+
+def _shl_const(b: GraphBuilder, a: int, s: int) -> int:
+    """``a << s`` for a compile-time ``s`` — pure wiring, no shifter."""
+    if s == 0:
+        return a
+    hi = b.op("slice", [a], 32 - s, payload=0)
+    return b.op("concat", [hi, b.const(0, s)], 32)
+
+
+def _shr_const(b: GraphBuilder, a: int, s: int, *, arithmetic: bool) -> int:
+    """``a >> s`` (logical or arithmetic) for compile-time ``s`` — wiring."""
+    if s == 0:
+        return a
+    top = b.op("slice", [a], 32 - s, payload=s)
+    return b.op("sext" if arithmetic else "zext", [top], 32)
+
+
+def _rotl_const(b: GraphBuilder, a: int, s: int) -> int:
+    """Rotate left by compile-time ``s`` — two slices and a concat."""
+    s %= 32
+    if s == 0:
+        return a
+    low = b.op("slice", [a], 32 - s, payload=0)
+    top = b.op("slice", [a], s, payload=32 - s)
+    return b.op("concat", [low, top], 32)
+
+
+def _mul_wide(b: GraphBuilder, a: int, c: int, *, signed: bool) -> int:
+    """High 32 bits of the 64-bit product — widen, multiply, slice."""
+    ext = "sext" if signed else "zext"
+    a64 = b.op(ext, [a], 64)
+    c64 = b.op(ext, [c], 64)
+    product = b.op("mul", [a64, c64], 64)
+    return b.op("slice", [product], 32, payload=32)
+
+
+def _signed_imm(b: GraphBuilder, ins: Instruction) -> int:
+    return b.const(to_unsigned(ins.imm or 0))
+
+
+def emit_instruction(
+    b: GraphBuilder, mnemonic: str, srcs: list[int], ins: Instruction
+) -> int:
+    """Lower one liftable instruction; returns the 32-bit result node.
+
+    ``srcs`` holds the graph nodes for the instruction's source
+    registers, in :func:`~repro.isa.instructions.InstructionDef.source_registers`
+    order (R3: ``[rs, rt]``; unary/immediate: ``[rs]``; loads of an
+    immediate: ``[]``).
+    """
+    if mnemonic not in LIFTABLE:
+        raise UnsupportedInstruction(f"cannot lift {mnemonic!r}")
+
+    # -- direct binary operators ------------------------------------------
+    direct = {
+        "add": "add", "sub": "sub", "and": "and", "or": "or", "xor": "xor",
+        "mull": "mul", "sll": "shl", "srl": "shr", "sra": "sar",
+        "min": "min_s", "max": "max_s", "minu": "min_u", "maxu": "max_u",
+    }
+    if mnemonic in direct:
+        return b.op(direct[mnemonic], srcs, 32)
+
+    a = srcs[0] if srcs else None
+
+    if mnemonic in ("nor", "xnor"):
+        inner = b.op("or" if mnemonic == "nor" else "xor", srcs, 32)
+        return b.op("not", [inner], 32)
+    if mnemonic in ("andn", "orn"):
+        nb = b.op("not", [srcs[1]], 32)
+        return b.op("and" if mnemonic == "andn" else "or", [srcs[0], nb], 32)
+    if mnemonic in ("addx2", "addx4", "addx8", "subx2", "subx4"):
+        shift = {"2": 1, "4": 2, "8": 3}[mnemonic[-1]]
+        scaled = _shl_const(b, srcs[0], shift)
+        return b.op("sub" if mnemonic.startswith("sub") else "add", [scaled, srcs[1]], 32)
+    if mnemonic in ("slt", "sltu"):
+        cmp = b.op("lt_s" if mnemonic == "slt" else "lt_u", srcs, 1)
+        return _zext32(b, cmp)
+    if mnemonic in ("mulh", "mulhu"):
+        return _mul_wide(b, srcs[0], srcs[1], signed=mnemonic == "mulh")
+
+    # -- unary -------------------------------------------------------------
+    if mnemonic == "mov":
+        return a  # type: ignore[return-value]
+    if mnemonic == "neg":
+        return b.op("sub", [b.const(0), a], 32)
+    if mnemonic == "not":
+        return b.op("not", [a], 32)
+    if mnemonic == "abs":
+        non_negative = b.op("ge_s", [a, b.const(0)], 1)
+        negated = b.op("sub", [b.const(0), a], 32)
+        return b.op("mux", [non_negative, a, negated], 32)
+    if mnemonic in ("sext8", "sext16", "zext8", "zext16"):
+        width = 8 if mnemonic.endswith("8") else 16
+        low = b.op("slice", [a], width, payload=0)
+        return b.op("sext" if mnemonic.startswith("s") else "zext", [low], 32)
+    if mnemonic == "bswap":
+        b0, b1, b2, b3 = (b.op("slice", [a], 8, payload=8 * i) for i in range(4))
+        hi = b.op("concat", [b0, b1], 16)
+        lo = b.op("concat", [b2, b3], 16)
+        return b.op("concat", [hi, lo], 32)
+
+    # -- immediate ALU ------------------------------------------------------
+    if mnemonic == "addi":
+        return b.op("add", [a, _signed_imm(b, ins)], 32)
+    if mnemonic == "addmi":
+        shifted = truncate(to_unsigned(ins.imm or 0) << 8)
+        return b.op("add", [a, b.const(shifted)], 32)
+    if mnemonic in ("andi", "ori", "xori"):
+        imm = b.const((ins.imm or 0) & 0xFFF)
+        return b.op(mnemonic[:-1], [a, imm], 32)
+    if mnemonic in ("slti", "sltiu"):
+        cmp = b.op(
+            "lt_s" if mnemonic == "slti" else "lt_u", [a, _signed_imm(b, ins)], 1
+        )
+        return _zext32(b, cmp)
+    if mnemonic in ("slli", "srli", "srai"):
+        s = (ins.imm or 0) & 31
+        if mnemonic == "slli":
+            return _shl_const(b, a, s)
+        return _shr_const(b, a, s, arithmetic=mnemonic == "srai")
+    if mnemonic in ("roli", "rori"):
+        s = (ins.imm or 0) & 31
+        return _rotl_const(b, a, s if mnemonic == "roli" else (32 - s) % 32)
+
+    # -- immediate loads ----------------------------------------------------
+    if mnemonic == "movi":
+        return b.const(to_unsigned(ins.imm or 0))
+    if mnemonic == "movhi":
+        return b.const(truncate(((ins.imm or 0) & 0x3FFFF) << 12))
+
+    raise UnsupportedInstruction(f"no lowering for {mnemonic!r}")  # pragma: no cover
+
+
+def branch_taken_cond(
+    b: GraphBuilder, ins: Instruction, srcs: list[int]
+) -> tuple[int, bool]:
+    """Lower a branch's *condition* to a 1-bit node.
+
+    Returns ``(cond_node, taken_when_true)`` — the unroller muxes the
+    taken/fall-through values with the condition, swapping mux arms when
+    ``taken_when_true`` is ``False`` (``bbc``) instead of adding a NOT.
+    """
+    mnemonic = ins.mnemonic
+    if mnemonic in _B2_COMPARE:
+        return b.op(_B2_COMPARE[mnemonic], srcs, 1), True
+    if mnemonic in _B1_COMPARE:
+        return b.op(_B1_COMPARE[mnemonic], [srcs[0], b.const(0)], 1), True
+    if mnemonic in _BI_COMPARE:
+        imm = b.const(to_unsigned(ins.rt or 0))
+        return b.op(_BI_COMPARE[mnemonic], [srcs[0], imm], 1), True
+    if mnemonic in ("bbs", "bbc"):
+        bit = b.op("slice", [srcs[0]], 1, payload=(ins.rt or 0) & 31)
+        return bit, mnemonic == "bbs"
+    raise UnsupportedInstruction(f"unsupported branch {mnemonic!r}")

@@ -68,6 +68,21 @@ class SparseMemory:
         """Number of pages that have been materialized (for tests)."""
         return len(self._pages)
 
+    def snapshot(self) -> dict[int, bytes]:
+        """Immutable copy of all materialized pages, keyed by page index.
+
+        Pages of all zeroes compare equal to absent pages, so snapshots
+        of two memories hold the same bytes iff their normalized
+        snapshots are equal — used by the discovery pipeline's
+        differential verifier.
+        """
+        zero = bytes(self.PAGE_SIZE)
+        return {
+            index: bytes(page)
+            for index, page in sorted(self._pages.items())
+            if bytes(page) != zero
+        }
+
 
 class MachineState:
     """Registers + memory + pc: the functional core of the simulator."""

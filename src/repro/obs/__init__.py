@@ -15,6 +15,8 @@ are configured in one place (and fault harnesses wrap exactly this
 signature).
 """
 
+from typing import Any
+
 from .bundled import StatsObserver, TraceObserver, apply_event, gpr_accessing_mnemonics
 from .events import RetireEvent
 from .profilers import (
@@ -32,10 +34,21 @@ from .records import ExecutionStats, TraceRecord, class_mix
 from .session import DEFAULT_MAX_INSTRUCTIONS, SessionFn, run_session
 from .tally import RunTallyObserver
 
+def __getattr__(name: str) -> Any:
+    # Lazy: the observer lives with its consumers in repro.discover, whose
+    # package import is far heavier than this one.
+    if name == "DataflowTraceObserver":
+        from ..discover.trace import DataflowTraceObserver
+
+        return DataflowTraceObserver
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CacheEventObserver",
     "CacheEventReport",
     "DEFAULT_MAX_INSTRUCTIONS",
+    "DataflowTraceObserver",
     "EnergyTimelineObserver",
     "ExecutionStats",
     "HotSpotObserver",

@@ -248,13 +248,16 @@ def compile_extension(specs: list[TieSpec]) -> list[TieImplementation]:
     implementations: list[TieImplementation] = []
     for spec in specs:
         if spec.mnemonic in seen_mnemonics:
-            raise TieSpecError(f"duplicate custom mnemonic {spec.mnemonic!r} in extension")
+            raise TieSpecError(
+                f"duplicate custom mnemonic {spec.mnemonic!r} in extension", category="mnemonic"
+            )
         seen_mnemonics.add(spec.mnemonic)
         for name, state in spec.states.items():
             existing = seen_states.get(name)
             if existing is not None and existing != state:
                 raise TieSpecError(
-                    f"state register {name!r} declared inconsistently across the extension"
+                    f"state register {name!r} declared inconsistently across the extension",
+                    category="state",
                 )
             seen_states[name] = state
         implementations.append(compile_spec(spec))

@@ -49,7 +49,34 @@ _FORMAT_OPERANDS = {
 
 
 class TieSpecError(ValueError):
-    """A malformed custom-instruction specification."""
+    """A malformed custom-instruction specification.
+
+    Carries machine-readable context so tooling (notably the candidate
+    legalizer in :mod:`repro.discover`) can report *which* node broke
+    *which* rule instead of surfacing a bare message: ``node`` is the id
+    of the offending dataflow node when one exists, and ``category`` is a
+    short classification (``format``, ``mnemonic``, ``operand``,
+    ``width``, ``state``, ``table``, ``result``, ``datapath``).  Both are
+    appended to the rendered message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: Optional[int] = None,
+        category: Optional[str] = None,
+    ) -> None:
+        details = []
+        if node is not None:
+            details.append(f"node {node}")
+        if category is not None:
+            details.append(f"category {category}")
+        if details:
+            message = f"{message} [{'; '.join(details)}]"
+        super().__init__(message)
+        self.node = node
+        self.category = category
 
 
 class TieSpec:
@@ -59,10 +86,11 @@ class TieSpec:
         if fmt not in _FORMAT_OPERANDS:
             raise TieSpecError(
                 f"{mnemonic}: format {fmt!r} not usable by custom instructions "
-                f"(choose from {sorted(_FORMAT_OPERANDS)})"
+                f"(choose from {sorted(_FORMAT_OPERANDS)})",
+                category="format",
             )
         if not mnemonic or not mnemonic.isidentifier():
-            raise TieSpecError(f"bad custom mnemonic {mnemonic!r}")
+            raise TieSpecError(f"bad custom mnemonic {mnemonic!r}", category="mnemonic")
         self.mnemonic = mnemonic
         self.fmt = fmt
         self.description = description
@@ -85,31 +113,41 @@ class TieSpec:
         allowed, _, _ = _FORMAT_OPERANDS[self.fmt]
         if field not in allowed:
             raise TieSpecError(
-                f"{self.mnemonic}: format {self.fmt} has no GPR source field {field!r}"
+                f"{self.mnemonic}: format {self.fmt} has no GPR source field {field!r}",
+                category="operand",
             )
         if field in self._sources_used:
-            raise TieSpecError(f"{self.mnemonic}: source field {field!r} read twice; reuse the node")
+            raise TieSpecError(
+                f"{self.mnemonic}: source field {field!r} read twice; reuse the node",
+                category="operand",
+            )
         self._sources_used.add(field)
         if not 1 <= width <= 32:
-            raise TieSpecError(f"{self.mnemonic}: GPR source width must be 1..32")
+            raise TieSpecError(f"{self.mnemonic}: GPR source width must be 1..32", category="width")
         return self._add(Node(self._next_id(), KIND_GPR, width, payload=field))
 
     def immediate(self, width: int = 12) -> Node:
         """Read the instruction's immediate field (``I`` format only)."""
         _, _, has_imm = _FORMAT_OPERANDS[self.fmt]
         if not has_imm:
-            raise TieSpecError(f"{self.mnemonic}: format {self.fmt} has no immediate field")
+            raise TieSpecError(
+                f"{self.mnemonic}: format {self.fmt} has no immediate field", category="operand"
+            )
         if self._imm_used:
-            raise TieSpecError(f"{self.mnemonic}: immediate field read twice; reuse the node")
+            raise TieSpecError(
+                f"{self.mnemonic}: immediate field read twice; reuse the node", category="operand"
+            )
         self._imm_used = True
         if not 1 <= width <= 12:
-            raise TieSpecError(f"{self.mnemonic}: immediate width must be 1..12")
+            raise TieSpecError(f"{self.mnemonic}: immediate width must be 1..12", category="width")
         return self._add(Node(self._next_id(), KIND_IMM, width))
 
     def const(self, value: int, width: int) -> Node:
         """A hard-wired constant (free: wiring, not hardware)."""
         if not 0 <= value <= mask(width):
-            raise TieSpecError(f"{self.mnemonic}: constant {value} does not fit {width} bits")
+            raise TieSpecError(
+                f"{self.mnemonic}: constant {value} does not fit {width} bits", category="width"
+            )
         return self._add(Node(self._next_id(), KIND_CONST, width, payload=value))
 
     def state(self, name: str, width: int, init: int = 0) -> TieState:
@@ -117,7 +155,10 @@ class TieSpec:
         candidate = TieState(name, width, init)
         existing = self.states.get(name)
         if existing is not None and existing != candidate:
-            raise TieSpecError(f"{self.mnemonic}: state {name!r} redeclared with different shape")
+            raise TieSpecError(
+                f"{self.mnemonic}: state {name!r} redeclared with different shape",
+                category="state",
+            )
         self.states[name] = candidate
         return candidate
 
@@ -125,7 +166,10 @@ class TieSpec:
         """Attach an externally created (possibly shared) state register."""
         existing = self.states.get(state.name)
         if existing is not None and existing != state:
-            raise TieSpecError(f"{self.mnemonic}: state {state.name!r} conflicts with existing declaration")
+            raise TieSpecError(
+                f"{self.mnemonic}: state {state.name!r} conflicts with existing declaration",
+                category="state",
+            )
         self.states[state.name] = state
         return state
 
@@ -140,13 +184,17 @@ class TieSpec:
         """Validate operand nodes early and return their widths."""
         for node in nodes:
             if not isinstance(node, Node):
-                raise TieSpecError(f"{self.mnemonic}: {op} input {node!r} is not a Node")
+                raise TieSpecError(
+                    f"{self.mnemonic}: {op} input {node!r} is not a Node", category="operand"
+                )
         return [node.width for node in nodes]  # type: ignore[union-attr]
 
     def _op(self, op: str, inputs: Sequence[Node], width: int, payload: object = None) -> Node:
         for node in inputs:
             if not isinstance(node, Node):
-                raise TieSpecError(f"{self.mnemonic}: {op} input {node!r} is not a Node")
+                raise TieSpecError(
+                    f"{self.mnemonic}: {op} input {node!r} is not a Node", category="operand"
+                )
         kind = KIND_WIRE if op in WIRING_OPS else KIND_OP
         category = OP_CATEGORY.get(op)
         return self._add(
@@ -162,7 +210,7 @@ class TieSpec:
     def compare(self, kind: str, a: Node, b: Node) -> Node:
         """1-bit comparison: kind in eq/ne/lt_s/lt_u/ge_s/ge_u."""
         if kind not in ("eq", "ne", "lt_s", "lt_u", "ge_s", "ge_u"):
-            raise TieSpecError(f"{self.mnemonic}: unknown comparison {kind!r}")
+            raise TieSpecError(f"{self.mnemonic}: unknown comparison {kind!r}", category="operand")
         return self._op(kind, (a, b), 1)
 
     def minimum(self, a: Node, b: Node, signed: bool = False) -> Node:
@@ -219,7 +267,7 @@ class TieSpec:
     def tie_add(self, *terms: Node, width: Optional[int] = None) -> Node:
         """Multi-operand adder module (category 8)."""
         if len(terms) < 2:
-            raise TieSpecError(f"{self.mnemonic}: tie_add needs at least two terms")
+            raise TieSpecError(f"{self.mnemonic}: tie_add needs at least two terms", category="operand")
         return self._op("tie_add", terms, width or max(self._widths("tie_add", *terms)) + len(terms).bit_length())
 
     def csa(self, a: Node, b: Node, c: Node, width: Optional[int] = None) -> tuple[Node, Node]:
@@ -233,11 +281,19 @@ class TieSpec:
         """Lookup table (category 10).  ``len(data)`` must be a power of two."""
         entries = len(data)
         if entries == 0 or entries & (entries - 1):
-            raise TieSpecError(f"{self.mnemonic}: table {name!r} needs a power-of-two entry count")
+            raise TieSpecError(
+                f"{self.mnemonic}: table {name!r} needs a power-of-two entry count",
+                node=index.nid,
+                category="table",
+            )
         limit = mask(out_width)
         for i, value in enumerate(data):
             if not 0 <= value <= limit:
-                raise TieSpecError(f"{self.mnemonic}: table {name!r} entry {i} = {value} exceeds {out_width} bits")
+                raise TieSpecError(
+                    f"{self.mnemonic}: table {name!r} entry {i} = {value} exceeds {out_width} bits",
+                    node=index.nid,
+                    category="table",
+                )
         node = Node(
             self._next_id(),
             KIND_TABLE,
@@ -257,7 +313,9 @@ class TieSpec:
         """Extract ``width`` bits of ``a`` starting at bit ``low`` (free wiring)."""
         if low < 0 or width <= 0 or low + width > a.width:
             raise TieSpecError(
-                f"{self.mnemonic}: slice [{low}+:{width}] out of range for {a.width}-bit value"
+                f"{self.mnemonic}: slice [{low}+:{width}] out of range for {a.width}-bit value",
+                node=a.nid,
+                category="width",
             )
         return self._op("slice", (a,), width, payload=low)
 
@@ -267,12 +325,20 @@ class TieSpec:
 
     def sign_extend(self, a: Node, width: int) -> Node:
         if width < a.width:
-            raise TieSpecError(f"{self.mnemonic}: sign_extend target narrower than source")
+            raise TieSpecError(
+                f"{self.mnemonic}: sign_extend target narrower than source",
+                node=a.nid,
+                category="width",
+            )
         return self._op("sext", (a,), width)
 
     def zero_extend(self, a: Node, width: int) -> Node:
         if width < a.width:
-            raise TieSpecError(f"{self.mnemonic}: zero_extend target narrower than source")
+            raise TieSpecError(
+                f"{self.mnemonic}: zero_extend target narrower than source",
+                node=a.nid,
+                category="width",
+            )
         return self._op("zext", (a,), width)
 
     # -- outputs -------------------------------------------------------------
@@ -281,16 +347,26 @@ class TieSpec:
         """Route ``node`` to the instruction's GPR result (rd)."""
         _, has_rd, _ = _FORMAT_OPERANDS[self.fmt]
         if not has_rd:
-            raise TieSpecError(f"{self.mnemonic}: format {self.fmt} has no result field")
+            raise TieSpecError(
+                f"{self.mnemonic}: format {self.fmt} has no result field",
+                node=node.nid,
+                category="result",
+            )
         if self.result_node is not None:
-            raise TieSpecError(f"{self.mnemonic}: result assigned twice")
+            raise TieSpecError(
+                f"{self.mnemonic}: result assigned twice", node=node.nid, category="result"
+            )
         self.result_node = node
 
     def write_state(self, state: TieState, node: Node) -> None:
         """Latch ``node`` into custom register ``state`` at instruction end."""
         self.use_state(state)
         if any(s.name == state.name for s, _ in self.state_writes):
-            raise TieSpecError(f"{self.mnemonic}: state {state.name!r} written twice")
+            raise TieSpecError(
+                f"{self.mnemonic}: state {state.name!r} written twice",
+                node=node.nid,
+                category="state",
+            )
         self.state_writes.append((state, node))
 
     # -- introspection ---------------------------------------------------------
@@ -314,16 +390,23 @@ class TieSpec:
         """Check the spec is complete and well-formed (raises TieSpecError)."""
         _, has_rd, _ = _FORMAT_OPERANDS[self.fmt]
         if has_rd and self.result_node is None:
-            raise TieSpecError(f"{self.mnemonic}: format {self.fmt} requires a result()")
+            raise TieSpecError(
+                f"{self.mnemonic}: format {self.fmt} requires a result()", category="result"
+            )
         if not has_rd and not self.state_writes:
-            raise TieSpecError(f"{self.mnemonic}: instruction has no architectural effect")
+            raise TieSpecError(
+                f"{self.mnemonic}: instruction has no architectural effect", category="result"
+            )
         if not self.nodes:
-            raise TieSpecError(f"{self.mnemonic}: empty datapath")
+            raise TieSpecError(f"{self.mnemonic}: empty datapath", category="datapath")
         written = {s.name for s, _ in self.state_writes}
         read = {n.payload for n in self.nodes if n.kind == KIND_STATE}
         unused = set(self.states) - written - read
         if unused:
-            raise TieSpecError(f"{self.mnemonic}: declared but unused state registers {sorted(unused)}")
+            raise TieSpecError(
+                f"{self.mnemonic}: declared but unused state registers {sorted(unused)}",
+                category="state",
+            )
 
     # -- internals -----------------------------------------------------------
 

@@ -1,0 +1,52 @@
+"""Shared fixtures for the discovery-subsystem tests.
+
+The profiled runs and discovery reports are session-scoped: profiling
+the software baselines and proving candidates is the expensive part,
+and every test only *reads* the results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EnergyMacroModel, default_template
+from repro.discover import DiscoveryOptions, discover_workload
+from repro.discover.trace import DataflowTraceObserver
+from repro.xtcore import ReferenceSimulator
+
+
+@pytest.fixture(scope="session")
+def smoke_model():
+    """A deterministic synthetic model (no characterization run)."""
+    template = default_template()
+    return EnergyMacroModel(template, np.linspace(50, 5000, len(template)))
+
+
+def _profile(case):
+    config, program = case.build()
+    observer = DataflowTraceObserver()
+    result = ReferenceSimulator(config, program, observers=[observer]).run()
+    return config, program, observer.report, result
+
+
+@pytest.fixture(scope="session")
+def fir_profile():
+    from repro.programs.fir import fir_software
+
+    return _profile(fir_software())
+
+
+@pytest.fixture(scope="session")
+def rs_profile():
+    from repro.programs.reed_solomon import rs_software
+
+    return _profile(rs_software())
+
+
+@pytest.fixture(scope="session")
+def fir_discovery(smoke_model):
+    return discover_workload("fir", smoke_model, DiscoveryOptions())
+
+
+@pytest.fixture(scope="session")
+def rs_discovery(smoke_model):
+    return discover_workload("reed_solomon", smoke_model, DiscoveryOptions())

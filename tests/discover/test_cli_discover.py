@@ -1,0 +1,150 @@
+"""CLI ``discover`` command and the ``explore --discovered`` bridge."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import EXIT_ABORTED, EXIT_BAD_INPUT, main
+from repro.core import EnergyMacroModel, default_template
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory):
+    template = default_template()
+    model = EnergyMacroModel(template, np.linspace(50, 5000, len(template)))
+    path = tmp_path_factory.mktemp("discover-cli") / "model.json"
+    model.save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def fir_manifest(model_file, tmp_path_factory):
+    """One real discovery run, shared by every test that needs a manifest."""
+    path = tmp_path_factory.mktemp("discover-cli") / "fir.json"
+    code = main(
+        [
+            "discover",
+            model_file,
+            "--workload",
+            "fir",
+            "--top-k",
+            "3",
+            "--manifest",
+            str(path),
+        ]
+    )
+    return code, str(path)
+
+
+class TestDiscover:
+    def test_table_output(self, fir_manifest, model_file, capsys):
+        capsys.readouterr()
+        assert main(["discover", model_file, "--workload", "fir", "--top-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mined" in out and "legalized" in out
+        assert "(baseline)" in out
+
+    def test_json_output(self, model_file, capsys):
+        assert (
+            main(
+                [
+                    "discover",
+                    model_file,
+                    "--workload",
+                    "fir",
+                    "--top-k",
+                    "2",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "fir"
+        assert payload["mined"] >= 5
+        assert payload["candidates"]
+
+    def test_manifest_written(self, fir_manifest):
+        code, path = fir_manifest
+        assert code == 0
+        payload = json.loads(open(path).read())
+        assert payload["format"] == "repro-discovery-manifest/1"
+        assert payload["candidates"]
+
+    def test_unknown_workload_exits_bad_input(self, model_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["discover", model_file, "--workload", "quake"])
+        assert excinfo.value.code == EXIT_BAD_INPUT
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_model_exits_bad_input(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["discover", missing])
+        assert excinfo.value.code == EXIT_BAD_INPUT
+
+    def test_bad_top_k_exits_bad_input(self, model_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["discover", model_file, "--top-k", "0"])
+        assert excinfo.value.code == EXIT_BAD_INPUT
+
+
+class TestExploreDiscovered:
+    def test_list_spaces_shows_registered(self, fir_manifest, capsys):
+        _, path = fir_manifest
+        capsys.readouterr()
+        assert main(["explore", "--discovered", path, "--list-spaces"]) == 0
+        out = capsys.readouterr().out
+        assert "[registered] space discovered:fir:" in out
+        assert "[builtin] space fir:" in out
+
+    def test_explore_discovered_space(self, fir_manifest, model_file, capsys):
+        _, path = fir_manifest
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "explore",
+                    model_file,
+                    "--discovered",
+                    path,
+                    "--space",
+                    "discovered:fir",
+                    "--strategy",
+                    "random",
+                    "--budget",
+                    "4",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "discovered:fir" in out
+
+    def test_bad_manifest_exits_bad_input(self, model_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", model_file, "--discovered", str(bad)])
+        assert excinfo.value.code == EXIT_BAD_INPUT
+        assert "bad manifest" in capsys.readouterr().err
+
+
+class TestDiscoverAborted:
+    def test_impossible_coverage_aborts(self, model_file, capsys):
+        # a coverage floor no candidate can meet leaves nothing to evaluate
+        code = main(
+            [
+                "discover",
+                model_file,
+                "--workload",
+                "fir",
+                "--min-coverage",
+                "1.0",
+            ]
+        )
+        assert code == EXIT_ABORTED

@@ -1,0 +1,50 @@
+"""Candidate-graph invariants: hashing, serialization, evaluation."""
+
+import pytest
+
+from repro.discover import CandidateGraph, GraphBuilder, GraphError, evaluate_graph
+
+
+def _mac_graph():
+    builder = GraphBuilder()
+    a = builder.input()
+    b = builder.input()
+    product = builder.op("mul", [a, b], 32)
+    total = builder.op("add", [product, a], 32)
+    return builder.finish(total)
+
+
+class TestCanonicalHash:
+    def test_stable_across_independent_builds(self):
+        graph_a, _ = _mac_graph()
+        graph_b, _ = _mac_graph()
+        assert graph_a.canonical_hash() == graph_b.canonical_hash()
+
+    def test_distinguishes_structure(self):
+        graph, _ = _mac_graph()
+        builder = GraphBuilder()
+        a = builder.input()
+        b = builder.input()
+        other, _ = builder.finish(builder.op("xor", [a, b], 32))
+        assert graph.canonical_hash() != other.canonical_hash()
+
+    def test_hash_survives_payload_round_trip(self):
+        graph, _ = _mac_graph()
+        clone = CandidateGraph.from_payload(graph.to_payload())
+        assert clone.canonical_hash() == graph.canonical_hash()
+        assert clone.n_inputs == graph.n_inputs
+
+
+class TestEvaluate:
+    def test_mac_semantics(self):
+        graph, _ = _mac_graph()
+        assert evaluate_graph(graph, [3, 5]) == (3 * 5 + 3)
+
+    def test_wrong_arity_rejected(self):
+        graph, _ = _mac_graph()
+        with pytest.raises(GraphError):
+            evaluate_graph(graph, [1])
+
+    def test_masking_to_32_bits(self):
+        graph, _ = _mac_graph()
+        assert evaluate_graph(graph, [0xFFFFFFFF, 2]) < 2**32

@@ -1,0 +1,91 @@
+"""Rewriter: packing, branch remap, sync insertion, verification."""
+
+import pytest
+
+from repro.discover import (
+    RewriteError,
+    legalize_candidates,
+    mine_call_sites,
+    rewrite_program,
+    states_equivalent,
+    verify_roundtrip,
+)
+from repro.discover.miner import MinerOptions, mine_report
+from repro.xtcore import ReferenceSimulator, build_processor
+
+
+def _best_legal(report, prefix):
+    candidates = mine_call_sites(report, max_ports=2)
+    candidates += mine_report(report, MinerOptions())
+    candidates.sort(key=lambda c: (-c.static_saving, -c.dynamic_coverage, c.hash))
+    legal, _ = legalize_candidates(candidates, prefix=prefix)
+    return legal
+
+
+class TestRewriteReedSolomon:
+    @pytest.fixture(scope="class")
+    def rewritten(self, rs_profile):
+        config, program, report, base = rs_profile
+        legalized = _best_legal(report, "rsw")[0]
+        extended = build_processor(
+            f"{config.name}+{legalized.mnemonic}", legalized.lifted.specs, base=config
+        )
+        result = rewrite_program(program, extended.isa, legalized)
+        return config, program, base, legalized, extended, result
+
+    def test_site_applied_and_shrinks_stream(self, rewritten):
+        _, program, _, _, _, result = rewritten
+        assert result.applied
+        assert len(result.program.instructions) < len(program.instructions)
+
+    def test_round_trips_through_assembler(self, rewritten):
+        _, _, _, _, extended, result = rewritten
+        verify_roundtrip(result.program, extended.isa)
+
+    def test_branch_targets_remapped(self, rewritten):
+        _, _, _, _, extended, result = rewritten
+        for ins in result.program.instructions.values():
+            definition = extended.isa.lookup(ins.mnemonic)
+            if definition.fmt in ("B1", "B2", "BI", "J") and ins.imm is not None:
+                assert ins.imm in result.program.instructions or ins.imm == 0
+
+    def test_differential_state_match(self, rewritten):
+        _, _, base, _, extended, result = rewritten
+        rerun = ReferenceSimulator(extended, result.program).run()
+        ok, why = states_equivalent(base.state, rerun.state, result.clobbers)
+        assert ok, why
+        assert rerun.instructions < base.instructions / 5
+
+    def test_accumulator_sync_inserted(self, rewritten):
+        _, _, _, legalized, _, result = rewritten
+        # the grown Horner candidate promotes the accumulator to custom
+        # state: its external initialisation must be mirrored with a sync
+        assert legalized.candidate.graph.acc_port is not None
+        assert result.syncs_inserted >= 1
+        syncs = [
+            ins
+            for ins in result.program.instructions.values()
+            if ins.mnemonic == legalized.sync_mnemonic
+        ]
+        assert len(syncs) == result.syncs_inserted
+
+
+class TestRewriteRejections:
+    def test_unknown_mnemonic_rejected(self, rs_profile):
+        config, program, report, _ = rs_profile
+        legalized = _best_legal(report, "rsx")[0]
+        # base ISA lacks the custom opcode entirely
+        with pytest.raises(RewriteError, match="does not define"):
+            rewrite_program(program, config.isa, legalized)
+
+    def test_uncached_program_rejected(self, rs_profile):
+        import dataclasses
+
+        config, program, report, _ = rs_profile
+        legalized = _best_legal(report, "rsy")[0]
+        extended = build_processor(
+            f"{config.name}+u{legalized.mnemonic}", legalized.lifted.specs, base=config
+        )
+        pinned = dataclasses.replace(program, uncached_ranges=((0x1000, 0x1010),))
+        with pytest.raises(RewriteError, match="uncached"):
+            rewrite_program(pinned, extended.isa, legalized)

@@ -1,0 +1,55 @@
+"""Call-site mining: symbolic unrolling + consumer absorption."""
+
+import pytest
+
+from repro.discover import Unliftable, mine_call_sites, unroll_entry
+from repro.isa import LINK_REGISTER
+
+
+@pytest.fixture(scope="session")
+def rs_call_candidates(rs_profile):
+    _, _, report, _ = rs_profile
+    return mine_call_sites(report, max_ports=2)
+
+
+class TestUnrollEntry:
+    def test_rs_gfmult_unrolls(self, rs_profile):
+        config, program, _, _ = rs_profile
+        entry = program.symbols["gfmult_sw"]
+        sub = unroll_entry(program, config.isa, entry)
+        # the GF(2^8) multiply writes its result plus scratch registers
+        assert 8 in sub.written
+        assert sub.steps > 8  # the 8-iteration shift-xor loop, unrolled
+
+    def test_non_leaf_rejected(self, rs_profile):
+        config, program, _, _ = rs_profile
+        with pytest.raises(Unliftable):
+            unroll_entry(program, config.isa, program.entry)
+
+
+class TestCallSiteMining:
+    def test_plain_and_grown_candidates(self, rs_call_candidates):
+        # the plain call fold (gfmult-like, 2 ports) AND the forward-grown
+        # Horner step (gfmac-like, accumulator promoted to custom state)
+        assert len(rs_call_candidates) >= 2
+        plain = [c for c in rs_call_candidates if c.graph.acc_port is None]
+        grown = [c for c in rs_call_candidates if c.graph.acc_port is not None]
+        assert plain and grown
+
+    def test_grown_candidate_shape(self, rs_call_candidates):
+        grown = next(c for c in rs_call_candidates if c.graph.acc_port is not None)
+        site = grown.sites[0]
+        # movs + call + absorbed xor
+        assert len(site.members) == 4
+        # the accumulator register is the single live output
+        assert site.output_reg in site.port_regs
+        assert site.output_reg not in site.clobbers
+        # deleting the call makes the saved return address stale
+        assert LINK_REGISTER in site.clobbers
+
+    def test_grown_replaces_whole_subroutine(self, rs_call_candidates):
+        grown = next(c for c in rs_call_candidates if c.graph.acc_port is not None)
+        plain = next(c for c in rs_call_candidates if c.graph.acc_port is None)
+        assert (
+            grown.sites[0].replaced_per_exec > plain.sites[0].replaced_per_exec > 50
+        )

@@ -1,17 +1,35 @@
-"""DSE engine throughput: serial vs parallel vs warm-cache evaluation.
+"""DSE engine throughput: serial vs parallel vs warm-cache vs batched.
 
 The exploration engine's whole value is candidates/second on the
 macro-model fast path.  This benchmark scores the same seeded random
 sample of the tuned Reed-Solomon space three ways — serial, with a
 worker pool, and from a warm on-disk result cache — asserts the three
 agree on the ranking, and writes the measured throughput table.
+
+A fourth case measures the batched evaluator: one program across 64
+cache-geometry variants (a single semantic partition), scored through
+one :func:`repro.xtcore.run_batch` pass versus 64 per-point runs.
 """
+
+import dataclasses
+import time
 
 import pytest
 
-from repro.dse import RandomStrategy, ResultCache, explore, get_space
+from repro.dse import (
+    EvaluationEngine,
+    Knob,
+    RandomStrategy,
+    ResultCache,
+    SearchSpace,
+    explore,
+    get_space,
+)
+from repro.programs import characterization_suite
+from repro.xtcore import build_processor
 
 BUDGET = 12
+BATCH_CONFIGS = 64
 
 
 @pytest.fixture(scope="module")
@@ -75,3 +93,94 @@ def test_dse_warm_cache(benchmark, ctx, space, serial_report, tmp_path, save_rep
             f"{report.cache_hits:>6}"
         )
     save_report("dse_throughput", "\n".join(lines))
+
+
+# -- batched evaluation: one program x 64 configs ----------------------------
+
+
+def _cache_geometry_space():
+    """64 cache/clock variants of the base core over one fixed program.
+
+    Every knob is timing/energy-plane only, so all candidates share one
+    semantic partition and the serial evaluator folds them into a single
+    ``run_batch`` pass.
+    """
+    base = build_processor("xt-batch-dse", [])
+    cases = {c.name: c for c in characterization_suite(include_variants=False)}
+    _, program = cases["tp01_alu_mix"].build()
+
+    def build(assignment):
+        config = dataclasses.replace(
+            base,
+            name=(
+                f"{base.name}-i{assignment['icache_line']}"
+                f"-d{assignment['dcache_line']}-p{assignment['dmiss_penalty']}"
+            ),
+            icache=dataclasses.replace(
+                base.icache, line_bytes=assignment["icache_line"]
+            ),
+            dcache=dataclasses.replace(
+                base.dcache,
+                line_bytes=assignment["dcache_line"],
+                miss_penalty=assignment["dmiss_penalty"],
+            ),
+        )
+        return config, program
+
+    return SearchSpace(
+        name="cache_geometry_64",
+        description="cache line/penalty sweep over one program",
+        knobs=(
+            Knob("icache_line", (16, 32, 64, 128)),
+            Knob("dcache_line", (16, 32, 64, 128)),
+            Knob("dmiss_penalty", (8, 12, 16, 20)),
+        ),
+        builder=build,
+    )
+
+
+def test_dse_batched_partition(benchmark, ctx, save_report):
+    space = _cache_geometry_space()
+    candidates = list(space.candidates())
+    assert len(candidates) == BATCH_CONFIGS
+
+    # per-point baseline: singleton evaluate() calls can never group
+    solo_engine = EvaluationEngine(ctx.model, space)
+    start = time.perf_counter()
+    solo_scores = [
+        score
+        for candidate in candidates
+        for score in solo_engine.evaluate([candidate])
+    ]
+    solo_elapsed = time.perf_counter() - start
+    assert solo_engine.batch_groups == 0
+
+    batch_engine = EvaluationEngine(ctx.model, space)
+    start = time.perf_counter()
+    batch_scores = benchmark.pedantic(
+        batch_engine.evaluate, args=(candidates,), rounds=1, iterations=1
+    )
+    batch_elapsed = time.perf_counter() - start
+    assert batch_engine.batch_groups == 1
+    assert batch_engine.batch_members == BATCH_CONFIGS
+    assert len(batch_scores) == BATCH_CONFIGS
+
+    # batching must never change the answer
+    for solo, batched in zip(solo_scores, batch_scores):
+        assert solo.key == batched.key
+        assert solo.energy == batched.energy
+        assert solo.cycles == batched.cycles
+        assert solo.area == batched.area
+
+    gain = solo_elapsed / batch_elapsed
+    lines = [
+        f"1 program (tp01_alu_mix) x {BATCH_CONFIGS} cache-geometry configs",
+        f"per-point: {BATCH_CONFIGS / solo_elapsed:.1f} cand/s "
+        f"({solo_elapsed:.3f} s)",
+        f"batched:   {BATCH_CONFIGS / batch_elapsed:.1f} cand/s "
+        f"({batch_elapsed:.3f} s)",
+        f"gain: {gain:.2f}x (one run_batch pass, "
+        f"{batch_engine.batch_members} members)",
+    ]
+    save_report("dse_batched_partition", "\n".join(lines))
+    assert gain > 1.0

@@ -1,15 +1,21 @@
-"""ISS retire throughput: reference interpreter vs compiled dispatch paths.
+"""ISS retire throughput: reference interpreter vs compiled dispatch tiers.
 
 Measures retired-MIPS (millions of retired instructions per second of
-host wall-clock) on the bundled characterization programs for three
+host wall-clock) on the bundled characterization programs for four
 engines:
 
 * ``interpreted`` — :class:`repro.xtcore.ReferenceSimulator`, the
   retained pre-compilation loop;
 * ``instrumented`` — the compiled dispatch loop with an external
   retire observer subscribed (full event protocol active);
-* ``fast`` — the compiled dispatch loop with no observers and no trace
-  (counter-folding fast path).
+* ``compiled`` — the per-op compiled dispatch loop with no observers
+  and no trace (counter-folding fast path);
+* ``superop`` — block-level fused dispatch (one Python call per basic
+  block; what ``engine="auto"`` resolves to for uninstrumented runs).
+
+A batch section additionally measures :func:`repro.xtcore.run_batch`
+(one program across N cache/clock variants in a single pass) against
+the same N runs done solo through the superop engine.
 
 Run as a script to (re)generate ``BENCH_ISS.json`` at the repo root:
 
@@ -19,11 +25,16 @@ or as a CI smoke check on a couple of programs:
 
     PYTHONPATH=src python benchmarks/bench_iss_throughput.py \
         --programs tp01_alu_mix tp05_memcpy --repeat 2 --check
+
+``--check`` fails when any tier drops below the interpreter on any
+program, or when the superop tier's geomean falls below the compiled
+tier's (the fused blocks must pay for themselves).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import math
 import pathlib
@@ -33,7 +44,7 @@ import pytest
 
 from repro.obs import SimObserver
 from repro.programs import characterization_suite
-from repro.xtcore import ReferenceSimulator, Simulator, compile_program
+from repro.xtcore import ReferenceSimulator, Simulator, compile_program, run_batch
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_ISS.json"
 
@@ -81,9 +92,23 @@ def measure_case(case, repeat: int = 3) -> dict:
         ),
         repeat,
     )
-    fast_mips, _ = _measure(
+    compiled_mips, _ = _measure(
         lambda: Simulator(
-            config, program, max_instructions=budget, executable=executable
+            config,
+            program,
+            max_instructions=budget,
+            executable=executable,
+            engine="compiled",
+        ),
+        repeat,
+    )
+    superop_mips, _ = _measure(
+        lambda: Simulator(
+            config,
+            program,
+            max_instructions=budget,
+            executable=executable,
+            engine="superop",
         ),
         repeat,
     )
@@ -92,9 +117,12 @@ def measure_case(case, repeat: int = 3) -> dict:
         "retired_instructions": retired,
         "interpreted_mips": round(interp_mips, 3),
         "instrumented_mips": round(instr_mips, 3),
-        "fast_mips": round(fast_mips, 3),
+        "compiled_mips": round(compiled_mips, 3),
+        "superop_mips": round(superop_mips, 3),
         "instrumented_speedup": round(instr_mips / interp_mips, 2),
-        "fast_speedup": round(fast_mips / interp_mips, 2),
+        "compiled_speedup": round(compiled_mips / interp_mips, 2),
+        "superop_speedup": round(superop_mips / interp_mips, 2),
+        "superop_vs_compiled": round(superop_mips / compiled_mips, 2),
     }
 
 
@@ -102,7 +130,56 @@ def _geomean(values) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-def run_suite(program_names=None, repeat: int = 3) -> dict:
+def _batch_variants(base, count: int):
+    """``count`` cache/clock variants of ``base`` in one semantic partition."""
+    variants = []
+    lines = (16, 32, 64)
+    for i in range(count):
+        line = lines[i % len(lines)]
+        variants.append(
+            dataclasses.replace(
+                base,
+                name=f"{base.name}-v{i}",
+                clock_mhz=base.clock_mhz + 10.0 * i,
+                icache=dataclasses.replace(base.icache, line_bytes=line),
+                dcache=dataclasses.replace(
+                    base.dcache,
+                    line_bytes=line,
+                    miss_penalty=base.dcache.miss_penalty + (i % 4),
+                ),
+            )
+        )
+    return variants
+
+
+def measure_batch(case, n_configs: int = 16, repeat: int = 3) -> dict:
+    """One program x N configs: run_batch vs the same N solo superop runs."""
+    config, program = case.build()
+    configs = _batch_variants(config, n_configs)
+    budget = case.max_instructions
+
+    solo_best = float("inf")
+    batch_best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for variant in configs:
+            Simulator(variant, program, max_instructions=budget).run()
+        solo_best = min(solo_best, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        results = run_batch(configs, program, max_instructions=budget)
+        batch_best = min(batch_best, time.perf_counter() - start)
+    return {
+        "program": case.name,
+        "configs": n_configs,
+        "retired_instructions": results[0].stats.total_instructions,
+        "solo_configs_per_second": round(n_configs / solo_best, 2),
+        "batch_configs_per_second": round(n_configs / batch_best, 2),
+        "batch_speedup": round(solo_best / batch_best, 2),
+    }
+
+
+def run_suite(program_names=None, repeat: int = 3, batch_configs: int = 16) -> dict:
     """Measure the (sub)suite and assemble the BENCH_ISS payload."""
     cases = characterization_suite(include_variants=False)
     if program_names:
@@ -117,14 +194,21 @@ def run_suite(program_names=None, repeat: int = 3) -> dict:
         "unit": "retired MIPS (best of repeats, host wall-clock)",
         "repeat": repeat,
         "programs": results,
+        "batch": measure_batch(cases[0], n_configs=batch_configs, repeat=repeat),
         "summary": {
             "instrumented_speedup_geomean": round(
                 _geomean([r["instrumented_speedup"] for r in results]), 2
             ),
-            "fast_speedup_geomean": round(
-                _geomean([r["fast_speedup"] for r in results]), 2
+            "compiled_speedup_geomean": round(
+                _geomean([r["compiled_speedup"] for r in results]), 2
             ),
-            "targets": {"instrumented": 3.0, "fast": 5.0},
+            "superop_speedup_geomean": round(
+                _geomean([r["superop_speedup"] for r in results]), 2
+            ),
+            "superop_vs_compiled_geomean": round(
+                _geomean([r["superop_vs_compiled"] for r in results]), 2
+            ),
+            "targets": {"instrumented": 3.0, "compiled": 5.0, "superop": 10.0},
         },
     }
 
@@ -139,6 +223,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--repeat", type=int, default=3, help="best-of repeats")
     parser.add_argument(
+        "--batch-configs",
+        type=int,
+        default=16,
+        help="config count for the run_batch measurement (default 16)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=DEFAULT_OUTPUT,
@@ -151,34 +241,66 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    payload = run_suite(args.programs, repeat=args.repeat)
+    payload = run_suite(
+        args.programs, repeat=args.repeat, batch_configs=args.batch_configs
+    )
     args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
-    header = f"{'program':<24}{'interp':>9}{'instr':>9}{'fast':>9}{'instr x':>9}{'fast x':>8}"
+    header = (
+        f"{'program':<24}{'interp':>9}{'instr':>9}{'compiled':>10}{'superop':>9}"
+        f"{'comp x':>8}{'sup x':>7}"
+    )
     print(header)
     print("-" * len(header))
     for row in payload["programs"]:
         print(
             f"{row['program']:<24}{row['interpreted_mips']:>9.2f}"
-            f"{row['instrumented_mips']:>9.2f}{row['fast_mips']:>9.2f}"
-            f"{row['instrumented_speedup']:>9.2f}{row['fast_speedup']:>8.2f}"
+            f"{row['instrumented_mips']:>9.2f}{row['compiled_mips']:>10.2f}"
+            f"{row['superop_mips']:>9.2f}"
+            f"{row['compiled_speedup']:>8.2f}{row['superop_speedup']:>7.2f}"
         )
     summary = payload["summary"]
+    batch = payload["batch"]
     print(
         f"geomean speedup: instrumented {summary['instrumented_speedup_geomean']}x, "
-        f"fast {summary['fast_speedup_geomean']}x  -> {args.output}"
+        f"compiled {summary['compiled_speedup_geomean']}x, "
+        f"superop {summary['superop_speedup_geomean']}x "
+        f"(superop/compiled {summary['superop_vs_compiled_geomean']}x)"
+    )
+    print(
+        f"batch: {batch['program']} x {batch['configs']} configs: "
+        f"{batch['solo_configs_per_second']} solo vs "
+        f"{batch['batch_configs_per_second']} batched configs/s "
+        f"({batch['batch_speedup']}x)  -> {args.output}"
     )
 
     if args.check:
+        failed = False
         slow = [
             row["program"]
             for row in payload["programs"]
-            if row["instrumented_speedup"] < 1.0 or row["fast_speedup"] < 1.0
+            if row["instrumented_speedup"] < 1.0
+            or row["compiled_speedup"] < 1.0
+            or row["superop_speedup"] < 1.0
         ]
         if slow:
             print(f"CHECK FAILED: compiled dispatch slower than interpreter on: {slow}")
+            failed = True
+        if summary["superop_vs_compiled_geomean"] < 1.0:
+            print(
+                "CHECK FAILED: superop tier geomean below the compiled tier "
+                f"({summary['superop_vs_compiled_geomean']}x)"
+            )
+            failed = True
+        if batch["batch_speedup"] < 1.0:
+            print(f"CHECK FAILED: run_batch slower than solo runs ({batch['batch_speedup']}x)")
+            failed = True
+        if failed:
             return 1
-        print("CHECK OK: compiled dispatch at least as fast as the interpreter")
+        print(
+            "CHECK OK: every tier at least as fast as the interpreter, "
+            "superop >= compiled, batch >= solo"
+        )
     return 0
 
 
@@ -214,14 +336,16 @@ def test_compiled_not_slower_than_interpreter(benchmark, save_report):
     lines = [
         f"{row['program']}: interpreted {row['interpreted_mips']} MIPS, "
         f"instrumented {row['instrumented_mips']} MIPS "
-        f"({row['instrumented_speedup']}x), fast {row['fast_mips']} MIPS "
-        f"({row['fast_speedup']}x)"
+        f"({row['instrumented_speedup']}x), compiled {row['compiled_mips']} MIPS "
+        f"({row['compiled_speedup']}x), superop {row['superop_mips']} MIPS "
+        f"({row['superop_speedup']}x)"
         for row in payload["programs"]
     ]
     save_report("iss_throughput", "\n".join(lines))
     for row in payload["programs"]:
         assert row["instrumented_speedup"] >= 1.0, row
-        assert row["fast_speedup"] >= 1.0, row
+        assert row["compiled_speedup"] >= 1.0, row
+        assert row["superop_speedup"] >= 1.0, row
 
 
 if __name__ == "__main__":

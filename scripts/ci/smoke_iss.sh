@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# ISS throughput smoke: the compiled dispatch paths must not be slower
-# than the reference interpreter on a two-program subset.
+# ISS throughput smoke, per engine tier: instrumented, per-op compiled
+# and fused superop dispatch must all beat the reference interpreter on
+# a two-program subset, the superop tier must not be slower than the
+# compiled tier (geomean), and run_batch must not be slower than the
+# same configs run solo.  All of that is --check's contract.
 # Run identically by CI and locally:  bash scripts/ci/smoke_iss.sh
 set -euo pipefail
 
@@ -12,6 +15,6 @@ WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
 python "$ROOT/benchmarks/bench_iss_throughput.py" \
-    --programs tp01_alu_mix tp06_memcpy --repeat 2 \
+    --programs tp01_alu_mix tp06_memcpy --repeat 2 --batch-configs 8 \
     --output "$WORK/iss-smoke.json" --check
 echo "smoke_iss: OK"

@@ -28,7 +28,12 @@ from typing import Callable, Optional, Sequence
 from ..core.model import EnergyMacroModel
 from ..core.runner import SampleFailure, TooManyFailures
 from ..rtl import generate_netlist
-from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, compilation_cache
+from ..xtcore import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    compilation_cache,
+    run_batch,
+    semantic_fingerprint,
+)
 from .cache import ResultCache, candidate_cache_key, model_digest
 from .space import Candidate, SearchSpace
 
@@ -193,6 +198,11 @@ class EvaluationEngine:
         #: worker-pool breakages survived this run (each one degrades the
         #: remaining candidates of the run to serial in-parent scoring)
         self.pool_restarts = 0
+        #: batched-execution accounting: groups of semantically compatible
+        #: candidates scored through one run_batch pass, and how many
+        #: member candidates those passes covered
+        self.batch_groups = 0
+        self.batch_members = 0
         self._model_digest = model_digest(model)
         self._memo: dict[str, CandidateScore] = {}
 
@@ -257,16 +267,7 @@ class EvaluationEngine:
             return []
         context = _fork_context() if self.jobs > 1 and len(pending) > 1 else None
         if context is None:
-            return [
-                _score_point(
-                    self.model,
-                    self.space,
-                    candidate.assignment_dict,
-                    self.max_instructions,
-                    built=built,
-                )
-                for _, candidate, built in pending
-            ]
+            return self._run_serial(pending)
         # Lower every pending design point in the parent before forking:
         # workers inherit the populated compilation cache copy-on-write, so
         # each (program, config-content) pair compiles exactly once per
@@ -278,6 +279,94 @@ class EvaluationEngine:
             except Exception:  # noqa: BLE001 — the worker records the real failure
                 continue
         return self._run_forked(context, pending)
+
+    def _run_serial(self, pending: list) -> list[dict]:
+        """In-parent scoring with batched multi-config execution.
+
+        Design points that share one program (by content digest) and one
+        semantic partition (:func:`repro.xtcore.semantic_fingerprint`)
+        execute the identical instruction trajectory, so each such group
+        of two or more is scored through a single
+        :func:`repro.xtcore.run_batch` pass — one simulation feeding N
+        per-config stats planes — instead of N full simulations.
+        Singles, build failures and batch-incompatible points keep the
+        per-point path; result records are shaped identically either way.
+        """
+        results: list[Optional[dict]] = [None] * len(pending)
+        groups: dict[tuple, list] = {}
+        for index, (_, candidate, built) in enumerate(pending):
+            try:
+                config, program = (
+                    built if built is not None else candidate.build()
+                )
+                partition = (program.digest(), semantic_fingerprint(config))
+            except Exception:  # noqa: BLE001 — scored per-point for the real record
+                results[index] = _score_point(
+                    self.model,
+                    self.space,
+                    pending[index][1].assignment_dict,
+                    self.max_instructions,
+                    built=built,
+                )
+                continue
+            groups.setdefault(partition, []).append(
+                (index, candidate, config, program)
+            )
+        for members in groups.values():
+            if len(members) < 2:
+                index, candidate, config, program = members[0]
+                results[index] = _score_point(
+                    self.model,
+                    self.space,
+                    candidate.assignment_dict,
+                    self.max_instructions,
+                    built=(config, program),
+                )
+                continue
+            self.batch_groups += 1
+            self.batch_members += len(members)
+            try:
+                batch = run_batch(
+                    [member[2] for member in members],
+                    members[0][3],
+                    max_instructions=self.max_instructions,
+                )
+            except Exception as exc:  # noqa: BLE001 — the fault is trajectory-wide
+                for index, candidate, config, program in members:
+                    results[index] = {
+                        "ok": False,
+                        "key": candidate.key,
+                        "processor": config.name,
+                        "stage": "estimate",
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                    }
+                continue
+            for (index, candidate, config, program), result in zip(members, batch):
+                try:
+                    energy = self.model.estimate_from_stats(result.stats, config)
+                    area = generate_netlist(config).custom_area
+                except Exception as exc:  # noqa: BLE001 — per-candidate isolation
+                    results[index] = {
+                        "ok": False,
+                        "key": candidate.key,
+                        "processor": config.name,
+                        "stage": "estimate",
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                    }
+                    continue
+                results[index] = {
+                    "ok": True,
+                    "key": candidate.key,
+                    "assignment": dict(candidate.assignment_dict),
+                    "program": program.name,
+                    "processor": config.name,
+                    "energy": float(energy),
+                    "cycles": int(result.stats.total_cycles),
+                    "area": float(area),
+                }
+        return results
 
     def _run_forked(self, context, pending: list) -> list[dict]:
         """Parallel scoring that survives worker death.

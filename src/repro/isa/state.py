@@ -46,22 +46,53 @@ class SparseMemory:
 
     def read(self, addr: int, size: int) -> int:
         """Little-endian read of ``size`` bytes."""
+        offset = addr & (self.PAGE_SIZE - 1)
+        if offset + size <= self.PAGE_SIZE:
+            page = self._pages.get(addr >> self.PAGE_BITS)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset : offset + size], "little")
         value = 0
-        for offset in range(size):
-            value |= self.read_byte(addr + offset) << (8 * offset)
+        for i in range(size):
+            value |= self.read_byte(addr + i) << (8 * i)
         return value
 
     def write(self, addr: int, value: int, size: int) -> None:
         """Little-endian write of the low ``size`` bytes of ``value``."""
-        for offset in range(size):
-            self.write_byte(addr + offset, (value >> (8 * offset)) & 0xFF)
+        offset = addr & (self.PAGE_SIZE - 1)
+        if offset + size <= self.PAGE_SIZE:
+            page_index = addr >> self.PAGE_BITS
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.PAGE_SIZE)
+                self._pages[page_index] = page
+            page[offset : offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+                size, "little"
+            )
+            return
+        for i in range(size):
+            self.write_byte(addr + i, (value >> (8 * i)) & 0xFF)
 
     def write_bytes(self, addr: int, data: bytes) -> None:
-        for offset, byte in enumerate(data):
-            self.write_byte(addr + offset, byte)
+        pos = 0
+        size = len(data)
+        while pos < size:
+            offset = (addr + pos) & (self.PAGE_SIZE - 1)
+            chunk = min(size - pos, self.PAGE_SIZE - offset)
+            page = self._page_for(addr + pos, create=True)
+            page[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
 
     def read_bytes(self, addr: int, size: int) -> bytes:
-        return bytes(self.read_byte(addr + offset) for offset in range(size))
+        out = bytearray()
+        pos = 0
+        while pos < size:
+            offset = (addr + pos) & (self.PAGE_SIZE - 1)
+            chunk = min(size - pos, self.PAGE_SIZE - offset)
+            page = self._pages.get((addr + pos) >> self.PAGE_BITS)
+            out += page[offset : offset + chunk] if page is not None else bytes(chunk)
+            pos += chunk
+        return bytes(out)
 
     @property
     def touched_pages(self) -> int:

@@ -35,6 +35,7 @@ def run_session(
     collect_trace: bool = False,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     entry: Optional[int] = None,
+    engine: str = "auto",
 ) -> "SimulationResult":
     """Simulate ``program`` on ``config``, streaming events to ``observers``.
 
@@ -45,9 +46,13 @@ def run_session(
 
     The program is lowered through the process-wide compilation cache
     (:func:`repro.xtcore.compilation_cache`), so repeated sessions over
-    the same ``(program, config)`` content share one compiled form.  With
-    no observers and no trace the run takes the fast dispatch path — see
-    ``docs/PERFORMANCE.md``.
+    the same ``(program, config)`` content share one compiled form.
+
+    ``engine`` picks the dispatch tier (``auto`` / ``reference`` /
+    ``compiled`` / ``superop``).  The default ``auto`` resolves to fused
+    superop blocks when nothing needs per-retire visibility and to the
+    per-op compiled path when a trace or a retire/event observer is
+    registered — see ``docs/PERFORMANCE.md`` for the selection matrix.
     """
     # Imported lazily: the simulator itself subscribes its bundled
     # observers from this package, so a module-level import would cycle.
@@ -59,4 +64,5 @@ def run_session(
         collect_trace=collect_trace,
         max_instructions=max_instructions,
         observers=observers,
+        engine=engine,
     ).run(entry=entry)

@@ -226,6 +226,12 @@ def render_prometheus(payload: dict) -> str:
         ):
             if field in info:
                 emit(f"cache_{field}", info[field], labels)
+        # per-tier breakdown (compilation cache: ops vs superop lowering)
+        for tier_name, tier in sorted(info.get("tiers", {}).items()):
+            tier_labels = f'{{cache="{cache_name}",tier="{tier_name}"}}'
+            for field in ("hits", "misses", "entries", "compilations", "evictions"):
+                if field in tier:
+                    emit(f"cache_tier_{field}", tier[field], tier_labels)
     supervision = payload.get("supervision")
     if supervision:
         from .supervise import BREAKER_STATE_CODES

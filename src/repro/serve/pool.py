@@ -32,7 +32,13 @@ from typing import Optional, Sequence
 from ..core.model import EnergyMacroModel
 from ..programs import characterization_suite
 from ..rtl import generate_netlist
-from ..xtcore import ProcessorConfig, build_processor, compilation_cache
+from ..xtcore import (
+    ProcessorConfig,
+    build_processor,
+    compilation_cache,
+    run_batch,
+    semantic_fingerprint,
+)
 from .metrics import ServiceMetricsObserver
 from .supervise import (
     CHAOS_KEY,
@@ -145,6 +151,69 @@ def resolve_workload(item: dict):
     return config, program
 
 
+def _estimate_payload(result, config: ProcessorConfig, program, model) -> dict:
+    """The success wire payload for one simulation result."""
+    from ..core.extract import extract_variables
+
+    variables = extract_variables(result.stats, config, model.template)
+    # keep the entry ResultCache/DSE-compatible: area included
+    payload = {
+        "ok": True,
+        "program": program.name,
+        "processor": config.name,
+        "energy": float(variables @ model.coefficients),
+        "cycles": int(result.stats.total_cycles),
+        "area": _custom_area(config),
+        "instructions": int(result.stats.total_instructions),
+    }
+    # always shipped: a coalesced waiter may want the breakdown even
+    # when the request that triggered the simulation did not
+    payload["variables"] = dict(
+        zip(model.template.keys(), (float(v) for v in variables))
+    )
+    return payload
+
+
+def _estimate_item(item: dict, model, observer: ServiceMetricsObserver) -> dict:
+    """Score one estimate item through its own simulation; never raises.
+
+    Two supervision hooks run *before* the isolation block: a
+    parent-stamped chaos directive (worker crash/hang — deliberately not
+    contained, that is the point) and the item's propagated deadline,
+    shedding expired requests before they pay for simulation.
+    """
+    from ..obs import run_session
+
+    directive = item.get(CHAOS_KEY)
+    if directive is not None:
+        execute_chaos_directive(directive, fork=bool(_WORKER.get("fork")))
+    if deadline_expired(item.get(DEADLINE_KEY)):
+        return {
+            "ok": False,
+            "stage": "deadline",
+            "error_type": "DeadlineExceeded",
+            "message": "deadline expired before simulation started",
+        }
+    stage = "build"
+    try:
+        config, program = resolve_workload(item)
+        stage = "estimate"
+        result = run_session(
+            config,
+            program,
+            observers=[observer],
+            max_instructions=int(item["max_instructions"]),
+        )
+        return _estimate_payload(result, config, program, model)
+    except Exception as exc:  # noqa: BLE001 — per-item isolation is the point
+        return {
+            "ok": False,
+            "stage": stage,
+            "error_type": type(exc).__name__,
+            "message": str(exc),
+        }
+
+
 def run_estimate_batch(items: Sequence[dict]) -> dict:
     """Score one batch of estimate items; never raises (except by chaos).
 
@@ -153,67 +222,74 @@ def run_estimate_batch(items: Sequence[dict]) -> dict:
     :class:`ServiceMetricsObserver` subscribes to every simulation of the
     batch and its snapshot rides back with the results.
 
-    Two supervision hooks run *before* each item's isolation block:
-    a parent-stamped chaos directive (worker crash/hang — deliberately
-    not contained, that is the point) and the item's propagated
-    deadline, shedding expired requests before they pay for simulation.
+    Items sharing one program (by content digest), one semantic partition
+    (:func:`repro.xtcore.semantic_fingerprint`) and one instruction
+    budget are scored through a single :func:`repro.xtcore.run_batch`
+    execution pass; the observer is bracketed manually per member so the
+    tally matches the unbatched path run for run.  Chaos-carrying batches
+    keep the strict sequential per-item path — the directives crash or
+    wedge the worker at a specific position on purpose.
     """
-    from ..core.extract import extract_variables
-    from ..obs import run_session
-
     model: EnergyMacroModel = _WORKER["model"]
     observer = ServiceMetricsObserver()
-    results: list[dict] = []
-    for item in items:
-        directive = item.get(CHAOS_KEY)
-        if directive is not None:
-            execute_chaos_directive(directive, fork=bool(_WORKER.get("fork")))
-        if deadline_expired(item.get(DEADLINE_KEY)):
-            results.append(
-                {
-                    "ok": False,
-                    "stage": "deadline",
-                    "error_type": "DeadlineExceeded",
-                    "message": "deadline expired before simulation started",
-                }
-            )
-            continue
-        stage = "build"
+    if any(item.get(CHAOS_KEY) is not None for item in items):
+        return {
+            "results": [_estimate_item(item, model, observer) for item in items],
+            "tally": observer.snapshot(),
+        }
+
+    results: list[Optional[dict]] = [None] * len(items)
+    singles: list[int] = []
+    groups: dict[tuple, list] = {}
+    for index, item in enumerate(items):
         try:
+            if deadline_expired(item.get(DEADLINE_KEY)):
+                raise LookupError  # shed through the per-item path
             config, program = resolve_workload(item)
-            stage = "estimate"
-            result = run_session(
-                config,
-                program,
-                observers=[observer],
-                max_instructions=int(item["max_instructions"]),
+            partition = (
+                program.digest(),
+                semantic_fingerprint(config),
+                int(item["max_instructions"]),
             )
-            variables = extract_variables(result.stats, config, model.template)
-            # keep the entry ResultCache/DSE-compatible: area included
-            payload = {
-                "ok": True,
-                "program": program.name,
-                "processor": config.name,
-                "energy": float(variables @ model.coefficients),
-                "cycles": int(result.stats.total_cycles),
-                "area": _custom_area(config),
-                "instructions": int(result.stats.total_instructions),
-            }
-            # always shipped: a coalesced waiter may want the breakdown even
-            # when the request that triggered the simulation did not
-            payload["variables"] = dict(
-                zip(model.template.keys(), (float(v) for v in variables))
+        except Exception:  # noqa: BLE001 — per-item path records the real failure
+            singles.append(index)
+            continue
+        groups.setdefault(partition, []).append((index, item, config, program))
+
+    for partition, members in groups.items():
+        if len(members) == 1:
+            singles.append(members[0][0])
+            continue
+        try:
+            batch = run_batch(
+                [member[2] for member in members],
+                members[0][3],
+                max_instructions=partition[2],
             )
-            results.append(payload)
-        except Exception as exc:  # noqa: BLE001 — per-item isolation is the point
-            results.append(
-                {
+        except Exception as exc:  # noqa: BLE001 — the fault is trajectory-wide
+            for index, _item, config, _program in members:
+                results[index] = {
                     "ok": False,
-                    "stage": stage,
+                    "stage": "estimate",
                     "error_type": type(exc).__name__,
                     "message": str(exc),
                 }
-            )
+            continue
+        for (index, _item, config, program), result in zip(members, batch):
+            observer.on_run_start(config, program)
+            observer.on_run_finish(result)
+            try:
+                results[index] = _estimate_payload(result, config, program, model)
+            except Exception as exc:  # noqa: BLE001 — per-item isolation
+                results[index] = {
+                    "ok": False,
+                    "stage": "estimate",
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                }
+
+    for index in singles:
+        results[index] = _estimate_item(items[index], model, observer)
     return {"results": results, "tally": observer.snapshot()}
 
 

@@ -16,6 +16,7 @@ program ends in ``halt``.  Generation is a pure function of the seed.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Optional
 
@@ -179,4 +180,150 @@ def generate_program(
         generate_source(seed, **kwargs),
         name if name is not None else f"progen-{seed}",
         isa=isa if isa is not None else base_isa(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Superop side-exit stress programs
+# ---------------------------------------------------------------------------
+#
+# The block-level superop engine fuses straight interior runs into one
+# dispatch and *side-exits* to the per-op path for everything that could
+# make the fusion observable.  Random programs rarely pin those seams
+# hard, so each case below is built around exactly one of them: blocks
+# of a single instruction, taken branches whose target is the very next
+# address, a dynamic jump landing mid-block, the instruction budget
+# expiring inside a would-be block, and faults (wild jumps, running off
+# the end of the text segment) that must surface identically.
+
+
+@dataclasses.dataclass(frozen=True)
+class StressCase:
+    """One side-exit stress program for differential engine testing."""
+
+    name: str
+    source: str
+    max_instructions: int = 200_000
+    #: True when the program is *supposed* to raise (same exception type
+    #: and message across engines) rather than run to completion.
+    faulting: bool = False
+
+
+def stress_cases() -> tuple[StressCase, ...]:
+    """The handwritten superop side-exit suite (pure function)."""
+    single_op_blocks = "\n".join(
+        [
+            "    .text",
+            "main:",
+            "    movi a2, 0",
+            "    movi a3, 12",
+            "tick:",
+            "    addi a2, a2, 1",  # single-instruction block per iteration
+            "    bne a2, a3, tick",
+            "    halt",
+        ]
+    )
+    back_to_back_taken = "\n".join(
+        [
+            "    .text",
+            "main:",
+            "    movi a2, 8",
+            "    movi a3, 0",
+            "chain:",
+            # taken branches whose target is the fall-through address:
+            # three block boundaries with no interior ops between them
+            "    bnez a2, c1",
+            "c1:",
+            "    bnez a2, c2",
+            "c2:",
+            "    bnez a2, c3",
+            "c3:",
+            "    addi a2, a2, -1",
+            "    addi a3, a3, 1",
+            "    bnez a2, chain",
+            "    halt",
+        ]
+    )
+    midblock_landing = "\n".join(
+        [
+            "    .text",
+            "main:",
+            "    la a5, mid",
+            "    movi a2, 1",
+            "    jx a5",
+            "run:",
+            # `mid` is never a static branch target, so this whole run
+            # fuses into one block; the dynamic jx lands in its middle
+            # and must walk per-op to the next leader
+            "    add a2, a2, a2",
+            "    add a2, a2, a2",
+            "mid:",
+            "    addi a2, a2, 3",
+            "    add a2, a2, a2",
+            "    halt",
+        ]
+    )
+    budget_in_block = "\n".join(
+        [
+            "    .text",
+            "main:",
+            "    movi a2, 1",
+            "spin:",
+        ]
+        + ["    add a2, a2, a2"] * 6
+        + ["    addi a2, a2, 1"] * 6
+        + [
+            "    j spin",
+        ]
+    )
+    wild_jump = "\n".join(
+        [
+            "    .data",
+            "buf:",
+            "    .word 1, 2, 3, 4",
+            "    .text",
+            "main:",
+            "    movi a2, 7",
+            "    la a5, buf",
+            "    jx a5",
+            "    halt",
+        ]
+    )
+    fall_off_end = "\n".join(
+        [
+            "    .text",
+            "main:",
+            "    movi a2, 1",
+            "    j tail",
+            "    halt",
+            "tail:",
+            # the block's last op has no successor address: the fused
+            # fall-off path must raise the same invalid-pc diagnostic
+            "    add a2, a2, a2",
+            "    addi a2, a2, 5",
+        ]
+    )
+    return (
+        StressCase("stress_single_op_blocks", single_op_blocks),
+        StressCase("stress_back_to_back_taken", back_to_back_taken),
+        StressCase("stress_midblock_landing", midblock_landing),
+        # 1 preamble op + 8 full 12-op spins + 3 ops: expiry lands 3 ops
+        # into a block, forcing the budget side exit mid-run
+        StressCase(
+            "stress_budget_in_block",
+            budget_in_block,
+            max_instructions=100,
+            faulting=True,
+        ),
+        StressCase("stress_wild_jump", wild_jump, faulting=True),
+        StressCase("stress_fall_off_end", fall_off_end, faulting=True),
+    )
+
+
+def stress_programs() -> tuple[tuple[StressCase, Program], ...]:
+    """Assembled stress cases against the base ISA."""
+    isa = base_isa()
+    return tuple(
+        (case, assemble(case.source + "\n", case.name, isa=isa))
+        for case in stress_cases()
     )

@@ -128,8 +128,140 @@ def _state_instance_name(state: TieState) -> str:
     return f"state/{state.name}"
 
 
+def _codegen_node(node: Node, v) -> "str | None":
+    """Python expression for one operator node, or None when not handled.
+
+    Mirrors :func:`repro.tie.nodes.evaluate_node` exactly — same masking,
+    same signedness windows, same shift-amount modulus — with every width
+    constant folded into the source.
+    """
+
+    def signed(expr: str, width: int) -> str:
+        # inputs are already masked to their widths, so to_signed's
+        # truncation is the identity here
+        return f"({expr} - {1 << width} if {expr} & {1 << (width - 1)} else {expr})"
+
+    m = mask(node.width)
+    op = node.op
+    ins = node.inputs
+    a = v[ins[0].nid] if ins else ""
+    b = v[ins[1].nid] if len(ins) > 1 else ""
+    if op == "add":
+        return f"({a} + {b}) & {m}"
+    if op == "sub":
+        return f"({a} - {b}) & {m}"
+    if op in ("and", "or", "xor"):
+        sym = {"and": "&", "or": "|", "xor": "^"}[op]
+        return f"({a} {sym} {b}) & {m}"
+    if op == "not":
+        return f"(~{a}) & {m}"
+    if op == "mux":
+        sel, x, y = (v[i.nid] for i in ins)
+        return f"(({x} if {sel} else {y})) & {m}"
+    if op in ("eq", "ne", "lt_s", "lt_u", "ge_s", "ge_u"):
+        if op.endswith("_s"):
+            a = signed(a, ins[0].width)
+            b = signed(b, ins[1].width)
+        sym = {"eq": "==", "ne": "!=", "lt": "<", "ge": ">="}[op[:2]]
+        return f"(1 if {a} {sym} {b} else 0)"
+    if op in ("min_s", "min_u", "max_s", "max_u"):
+        fn = op[:3]
+        if op.endswith("_s"):
+            a = signed(a, ins[0].width)
+            b = signed(b, ins[1].width)
+        return f"{fn}({a}, {b}) & {m}"
+    if op in ("red_or", "red_and", "red_xor"):
+        if op == "red_or":
+            return f"(1 if {a} else 0)"
+        if op == "red_and":
+            return f"(1 if {a} == {mask(ins[0].width)} else 0)"
+        return f"({a}).bit_count() & 1"
+    if op in ("shl", "shr", "sar"):
+        amount = f"({b} % {node.width})"
+        if op == "shl":
+            return f"({a} << {amount}) & {m}"
+        if op == "shr":
+            return f"({a} >> {amount}) & {m}"
+        return f"({signed(a, ins[0].width)} >> {amount}) & {m}"
+    if op in ("mul", "tie_mult"):
+        return f"({a} * {b}) & {m}"
+    if op == "tie_mac":
+        return f"({a} * {b} + {v[ins[2].nid]}) & {m}"
+    if op == "tie_add":
+        return f"({' + '.join(v[i.nid] for i in ins)}) & {m}"
+    if op == "csa_sum":
+        c = v[ins[2].nid]
+        return f"({a} ^ {b} ^ {c}) & {m}"
+    if op == "csa_carry":
+        c = v[ins[2].nid]
+        return f"((({a} & {b}) | ({b} & {c}) | ({a} & {c})) << 1) & {m}"
+    if op == "table":
+        return f"_table_{node.nid}[{a} & {len(node.payload) - 1}] & {m}"
+    if op == "concat":
+        return f"(({a} << {ins[1].width}) | {b}) & {m}"
+    if op == "slice":
+        return f"({a} >> {node.payload}) & {m}"
+    if op == "sext":
+        return f"{signed(a, ins[0].width)} & {m}"
+    if op == "zext":
+        return f"{a} & {m}"
+    return None
+
+
+def _codegen_semantics(spec: TieSpec, state_inits: Mapping[str, int]):
+    """Compile the dataflow graph to one flat Python closure, or None.
+
+    The node-walking interpreter in :func:`_make_semantics` pays a kind
+    dispatch, an input-list build and an evaluator call per node per
+    retire; for the DSE/serving hot path that interpretive overhead
+    dominates custom-heavy programs.  Nodes arrive in topological order
+    (builders only reference already-added nodes), so the graph unrolls
+    into straight-line assignments with all width masks pre-folded.
+    """
+    v = {node.nid: f"v{node.nid}" for node in spec.nodes}
+    lines = ["def semantics(ctx, ins):", "    tie_state = ctx.tie_state"]
+    namespace: dict = {"min": min, "max": max}
+    for node in spec.nodes:
+        if node.kind == KIND_GPR:
+            field = "rs" if node.payload == "rs" else "rt"
+            expr = f"ctx.get(ins.{field}) & {mask(node.width)}"
+        elif node.kind == KIND_IMM:
+            expr = f"(ins.imm or 0) & {mask(node.width)}"
+        elif node.kind == KIND_STATE:
+            expr = f"tie_state.get({node.payload!r}, {state_inits[node.payload]})"
+        elif node.kind == KIND_CONST:
+            expr = repr(node.payload & mask(node.width))
+        else:
+            expr = _codegen_node(node, v)
+            if expr is None:
+                return None
+            if node.op == "table":
+                namespace[f"_table_{node.nid}"] = tuple(node.payload)
+        lines.append(f"    {v[node.nid]} = {expr}")
+    # All reads above observe pre-instruction state; the write-back below
+    # only uses the computed v-locals, so commits are effectively atomic.
+    for state, node in spec.state_writes:
+        lines.append(
+            f"    tie_state[{state.name!r}] = {v[node.nid]} & {mask(spec.states[state.name].width)}"
+        )
+    if spec.result_node is not None:
+        lines.append(f"    ctx.set(ins.rd, {v[spec.result_node.nid]} & 0xFFFFFFFF)")
+    source = "\n".join(lines)
+    exec(compile(source, f"<tie:{spec.mnemonic}>", "exec"), namespace)
+    return namespace["semantics"]
+
+
 def _make_semantics(spec: TieSpec, state_inits: Mapping[str, int]):
-    """Build the executable semantics closure for a compiled spec."""
+    """Build the executable semantics closure for a compiled spec.
+
+    Prefers the flat generated form (:func:`_codegen_semantics`); the
+    node-walking interpreter below remains the reference fallback for any
+    graph the generator cannot express.
+    """
+    generated = _codegen_semantics(spec, state_inits)
+    if generated is not None:
+        generated.tie_straightline = True
+        return generated
     nodes = tuple(spec.nodes)
     writes = tuple((state.name, node.nid) for state, node in spec.state_writes)
     result_nid = spec.result_node.nid if spec.result_node is not None else None
@@ -157,6 +289,11 @@ def _make_semantics(spec: TieSpec, state_inits: Mapping[str, int]):
         if result_nid is not None:
             ctx.set(ins.rd, values[result_nid] & 0xFFFFFFFF)
 
+    # Straight-line contract marker: this closure never reads ``ctx.pc``,
+    # never redirects control and never halts, so the superop compiler
+    # (repro.xtcore.compiled) may fuse it into a block interior.  Hand
+    # built custom semantics lack the marker and stay on the per-op path.
+    semantics.tie_straightline = True
     return semantics
 
 

@@ -1,11 +1,14 @@
 """``repro.xtcore`` — the extensible-processor substrate (Xtensa substitute)."""
 
+from .batch import run_batch, semantic_fingerprint
 from .caches import SetAssociativeCache
 from .compiled import (
     CompilationCache,
     ExecutableProgram,
+    SuperopProgram,
     compilation_cache,
     compile_program,
+    compile_superops,
     describe_invalid_pc,
 )
 from .config import (
@@ -19,6 +22,7 @@ from .errors import SimulationError, SimulationLimitExceeded
 from .interp import ReferenceSimulator
 from .iss import (
     DEFAULT_STACK_TOP,
+    ENGINES,
     EXIT_ADDRESS,
     SimulationResult,
     Simulator,
@@ -31,6 +35,7 @@ __all__ = [
     "CompilationCache",
     "DEFAULT_MAX_INSTRUCTIONS",
     "DEFAULT_STACK_TOP",
+    "ENGINES",
     "EXIT_ADDRESS",
     "ExecutableProgram",
     "ExecutionStats",
@@ -41,12 +46,16 @@ __all__ = [
     "SimulationLimitExceeded",
     "SimulationResult",
     "Simulator",
+    "SuperopProgram",
     "TimingConfig",
     "TraceRecord",
     "build_processor",
     "class_mix",
     "compilation_cache",
     "compile_program",
+    "compile_superops",
     "describe_invalid_pc",
+    "run_batch",
+    "semantic_fingerprint",
     "simulate",
 ]

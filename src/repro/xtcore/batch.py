@@ -1,0 +1,266 @@
+"""Batched multi-config simulation: one program, N processors, one pass.
+
+The dominant DSE/serving workload evaluates the *same* program across
+many :class:`~repro.xtcore.config.ProcessorConfig` variants that differ
+only in cache geometry, pipeline penalties, clock or energy-relevant
+hardware — never in what the instructions *do*.  Within such a
+**semantic partition** (equal :func:`semantic_fingerprint`) the dynamic
+execution trajectory is config-independent: the same ops retire in the
+same order with the same branch outcomes, memory addresses and
+load-use interlocks, because register/memory contents only depend on
+instruction semantics, the register-file size and custom-state init
+values.  Timing and energy differ purely through the passive cache
+models and the per-class cycle attribution.
+
+:func:`run_batch` exploits that split:
+
+1. **Record** — execute the program once (a fast-path dispatch loop with
+   no cache models), capturing the per-op retire/taken counters, the
+   interlock count, and the I-fetch / D-access address streams deduped
+   at the *finest* line granularity present in the batch.  A coarser
+   line cannot change where its own same-line transitions fall: equal
+   fine lines imply equal coarse lines, so every coarse-grain transition
+   is preserved in the fine-grain stream.
+2. **Replay** — per config, push the recorded streams through that
+   config's own :class:`~repro.xtcore.caches.SetAssociativeCache` pair
+   (with the same same-line memo the dispatch loops use) to obtain its
+   miss counts.
+3. **Aggregate** — fold the shared counters plus the per-config miss
+   counts through :func:`repro.xtcore.iss._aggregate_stats` against each
+   config's own compiled lowering (issue latencies and branch penalties
+   are per-config), yielding stats bitwise identical to running that
+   config alone.
+
+The returned results share one final :class:`~repro.isa.MachineState`
+(the trajectory is shared, so the architectural outcome is too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Sequence
+
+from ..isa import INSTRUCTION_BYTES
+from .caches import SetAssociativeCache
+from .compiled import compilation_cache, describe_invalid_pc
+from .config import DEFAULT_MAX_INSTRUCTIONS, ProcessorConfig, _extension_payload
+from .errors import SimulationError, SimulationLimitExceeded
+from .iss import EXIT_ADDRESS, SimulationResult, Simulator, _aggregate_stats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..asm import Program
+
+__all__ = ["run_batch", "semantic_fingerprint"]
+
+#: Fingerprint-payload keys that shape energy/timing but not execution:
+#: a custom instruction's latency, hardware instances, schedule and bus
+#: taps change what a retire *costs*, never what it *computes*.
+_NON_SEMANTIC_EXTENSION_KEYS = ("latency", "instances", "active_cycles", "bus_tapped")
+
+
+def semantic_fingerprint(config: ProcessorConfig) -> str:
+    """Content hash of everything that shapes the execution *trajectory*.
+
+    Two configs with equal semantic fingerprints run any program through
+    the identical instruction sequence — same retires, branch outcomes,
+    memory addresses, interlocks and final machine state — no matter how
+    their caches, pipeline penalties, clock or custom-hardware costs
+    differ.  That is the compatibility contract of :func:`run_batch`.
+    """
+    extensions = []
+    for impl in config.extensions:
+        payload = _extension_payload(impl)
+        for key in _NON_SEMANTIC_EXTENSION_KEYS:
+            payload.pop(key, None)
+        extensions.append(payload)
+    blob = json.dumps(
+        {
+            "format": "repro-semantic-fingerprint/1",
+            "num_registers": config.num_registers,
+            "extensions": extensions,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _record_trajectory(
+    simulator: Simulator,
+    min_ishift: int,
+    min_dshift: int,
+    entry: int | None,
+):
+    """One fast-path execution with address-stream capture, no cache models.
+
+    Returns ``(state, counts, taken_counts, interlocks, ifetch, daccess)``
+    where the streams hold the first address of every same-line transition
+    at the ``min_*shift`` granularity — the exact access sequence any
+    batch member's cache model would see (coarser grains are subsequences
+    recovered by the replay memo).
+    """
+    executable = simulator.executable
+    ops = executable.ops
+    pc_map = executable.pc_to_index
+    counts = [0] * len(ops)
+    taken_counts = [0] * len(ops)
+    interlocks = 0
+    ifetch: list[int] = []
+    daccess: list[int] = []
+    ilast = -1
+    dlast = -1
+    prev_load_dests: tuple[int, ...] = ()
+    max_instructions = simulator.max_instructions
+    state = simulator._reset()
+    if entry is not None:
+        state.pc = entry
+    state_get = state.regs.__getitem__ if executable.regs_in_range else state.get
+    executed = 0
+    mem_base = 0
+
+    pc = state.pc
+    if pc != EXIT_ADDRESS:
+        idx = pc_map.get(pc, -1)
+        if idx < 0:
+            raise SimulationError(
+                describe_invalid_pc(executable.program_name, pc, executable, None)
+            )
+        while True:
+            if executed >= max_instructions:
+                raise SimulationLimitExceeded(
+                    f"{executable.program_name}: "
+                    f"exceeded {max_instructions} instructions"
+                )
+            executed += 1
+            op = ops[idx]
+            addr = op[10]
+            if op[6]:  # cached fetch: record the line transition
+                line = addr >> min_ishift
+                if line != ilast:
+                    ilast = line
+                    ifetch.append(addr)
+            if prev_load_dests:
+                for src in op[2]:
+                    if src in prev_load_dests:
+                        interlocks += 1
+                        break
+            if op[5]:  # memory op: base register read precedes execution
+                mem_base = state_get(op[3])
+            state.pc = addr
+            counts[idx] += 1
+            next_pc = op[0](state, op[1])
+            if op[5]:
+                mem_addr = (mem_base + op[4]) & 0xFFFFFFFF
+                line = mem_addr >> min_dshift
+                if line != dlast:
+                    dlast = line
+                    daccess.append(mem_addr)
+            prev_load_dests = op[8]
+            if next_pc is None:
+                if state.halted:
+                    state.pc = addr + INSTRUCTION_BYTES
+                    break
+                idx = op[9]
+                if idx >= 0:
+                    continue
+                pc = addr + INSTRUCTION_BYTES
+            else:
+                taken_counts[idx] += 1
+                if state.halted:
+                    state.pc = next_pc
+                    break
+                if next_pc == EXIT_ADDRESS:
+                    state.pc = EXIT_ADDRESS
+                    break
+                idx = pc_map.get(next_pc, -1)
+                if idx >= 0:
+                    continue
+                pc = next_pc
+            state.pc = pc
+            raise SimulationError(
+                describe_invalid_pc(executable.program_name, pc, executable, addr)
+            )
+
+    return state, counts, taken_counts, interlocks, ifetch, daccess
+
+
+def _replay_stream(stream: list[int], cache: SetAssociativeCache) -> int:
+    """Misses when ``cache`` sees ``stream``, with the same-line memo applied."""
+    access = cache.access
+    shift = cache.offset_bits
+    last = -1
+    misses = 0
+    for addr in stream:
+        line = addr >> shift
+        if line != last:
+            last = line
+            if not access(addr):
+                misses += 1
+    return misses
+
+
+def run_batch(
+    configs: Sequence[ProcessorConfig],
+    program: "Program",
+    *,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    entry: int | None = None,
+) -> list[SimulationResult]:
+    """Run ``program`` across ``configs`` in one execution pass.
+
+    All configs must belong to one semantic partition (equal
+    :func:`semantic_fingerprint`), or :class:`SimulationError` is raised
+    before anything executes.  Results are ordered like ``configs`` and
+    bitwise identical — stats and final state — to running each config
+    individually through the fast dispatch path; the final
+    :class:`~repro.isa.MachineState` object is shared across all results.
+    Execution faults (wild jumps, budget expiry, semantics errors) are
+    trajectory properties, so they raise once for the whole batch.
+    """
+    if not configs:
+        return []
+    partitions = {semantic_fingerprint(config) for config in configs}
+    if len(partitions) != 1:
+        raise SimulationError(
+            f"batch of {len(configs)} configs spans {len(partitions)} semantic "
+            f"partitions; run_batch requires one (group by semantic_fingerprint)"
+        )
+    cache = compilation_cache()
+    lead = Simulator(
+        configs[0], program, max_instructions=max_instructions, engine="compiled"
+    )
+    min_ishift = min(
+        config.icache.line_bytes.bit_length() - 1 for config in configs
+    )
+    min_dshift = min(
+        config.dcache.line_bytes.bit_length() - 1 for config in configs
+    )
+    state, counts, taken_counts, interlocks, ifetch, daccess = _record_trajectory(
+        lead, min_ishift, min_dshift, entry
+    )
+
+    results: list[SimulationResult] = []
+    for config in configs:
+        executable = cache.get_or_compile(config, program)
+        icache_misses = _replay_stream(ifetch, SetAssociativeCache(config.icache, "icache"))
+        dcache_misses = _replay_stream(daccess, SetAssociativeCache(config.dcache, "dcache"))
+        stats = _aggregate_stats(
+            config,
+            executable,
+            counts,
+            taken_counts,
+            icache_misses,
+            dcache_misses,
+            interlocks,
+        )
+        results.append(
+            SimulationResult(
+                program=program,
+                config=config,
+                stats=stats,
+                state=state,
+                engine="batch",
+            )
+        )
+    return results

@@ -72,6 +72,24 @@ OP_DEST0 = 16  #: first destination register, or -1
 OP_CUSTOM_KIND = 17  #: 0 = base op, 1 = custom, 2 = custom accessing the GPR file
 OP_HAS_SRCS = 18  #: bool(srcs) — drives base-bus-cycle attribution
 OP_BASE_CLASS = 19  #: untaken class is one of the six base energy classes
+OP_INTERIOR = 20  #: eligible for fusion into a superop block interior
+
+#: Generic (unspecialized) mnemonics proven safe as superop interiors:
+#: their semantics never read ``ctx.pc``, never redirect control, never
+#: halt, and touch only registers through the bounds-checked accessors —
+#: so fusing them into a block is observationally identical to per-op
+#: dispatch (a fault simply propagates out of the block).
+_SAFE_GENERIC_INTERIOR = frozenset({"quos", "quou", "rems", "remu"})
+
+#: Classes whose ops may be block interiors.  JUMP/BRANCH redirect the
+#: pc and SYSTEM covers ``halt``/``break`` (run terminators) — those end
+#: a block.  CUSTOM is handled separately: TIE-compiled semantics carry a
+#: ``tie_straightline`` marker proving they are pure dataflow.
+_INTERIOR_CLASSES = (
+    InstructionClass.ARITH,
+    InstructionClass.LOAD,
+    InstructionClass.STORE,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -725,9 +743,19 @@ def compile_program(config: "ProcessorConfig", program: "Program") -> Executable
             custom_kind = 2 if ins.mnemonic in gpr_mnemonics else 1
         else:
             custom_kind = 0
-        semantics = (
-            _specialize(definition, ins, addr, num_registers)
-            or definition.semantics
+        specialized = _specialize(definition, ins, addr, num_registers)
+        semantics = specialized or definition.semantics
+        # Interior ops are provably straight-line: they never redirect the
+        # pc, never halt, and never read ``ctx.pc``, so a whole run of them
+        # can execute as one fused superop call (see compile_superops).
+        # Custom instructions qualify when the TIE compiler marked their
+        # semantics straight-line (pure dataflow by construction).
+        interior = (
+            iclass in _INTERIOR_CLASSES
+            and (specialized is not None or ins.mnemonic in _SAFE_GENERIC_INTERIOR)
+        ) or (
+            iclass is InstructionClass.CUSTOM
+            and getattr(definition.semantics, "tie_straightline", False)
         )
         ops.append(
             (
@@ -751,6 +779,7 @@ def compile_program(config: "ProcessorConfig", program: "Program") -> Executable
                 custom_kind,
                 bool(srcs),
                 class_untaken in BASE_ENERGY_CLASSES,
+                interior,
             )
         )
 
@@ -767,6 +796,442 @@ def compile_program(config: "ProcessorConfig", program: "Program") -> Executable
             sorted((addr, name) for name, addr in program.symbols.items())
         ),
         regs_in_range=regs_in_range,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Superop lowering: fusing basic blocks into single-dispatch closures
+# ---------------------------------------------------------------------------
+#
+# The compiled fast path still pays one Python dispatch iteration per
+# retired instruction: budget check, op-tuple load, I-cache memo,
+# interlock scan, pc bookkeeping, successor resolution.  For a run of
+# *interior* ops (see OP_INTERIOR) every one of those outcomes is a
+# compile-time constant: the run retires exactly ``length`` instructions,
+# touches a fixed I-line sequence, stalls a fixed number of internal
+# interlocks and falls through to a fixed successor.  compile_superops
+# folds each maximal interior run into one block descriptor so the
+# dispatch loop in :mod:`repro.xtcore.iss` pays the bookkeeping once per
+# *block* instead of once per instruction — and anything that could make
+# the folding observable (faults, budget expiry mid-block, observers)
+# side-exits to the per-op path instead.
+
+#: Field indices of one superop block descriptor (flat tuple, same
+#: rationale as the OP_* layout above).
+BLK_ID = 0  #: dense block index (keys the per-block execution counter)
+BLK_START = 1  #: op index of the first instruction in the block
+BLK_LEN = 2  #: number of instructions retired per block execution
+BLK_STEPS = 3  #: fused execution steps (see compile_superops)
+BLK_IFETCH = 4  #: ``(line, addr)`` per distinct I-line touched, in order
+BLK_FIRST_SRCS = 5  #: source regs of the first op (incoming-interlock check)
+BLK_INTERLOCKS = 6  #: load-use interlocks internal to the block (static)
+BLK_LOAD_DESTS = 7  #: load dests of the last op (outgoing-interlock state)
+BLK_NEXT_IDX = 8  #: op index the block falls through to, or -1
+BLK_LAST_ADDR = 9  #: byte address of the last instruction (diagnostics)
+BLK_FN = 10  #: fused closure ``fn(state, ic, dc, icache_access, dcache_access)``
+
+
+@dataclasses.dataclass(frozen=True)
+class SuperopProgram:
+    """Block-level lowering of an :class:`ExecutableProgram`.
+
+    ``block_at[i]`` is the block descriptor whose first op is ``ops[i]``
+    (or None when op ``i`` does not lead a block), so the dispatch loop
+    can probe block entry with one tuple index per control transfer.
+    Derived purely from the executable plus the config's cache line
+    sizes, all already pinned by the digest/fingerprint pair — immutable
+    and safely shared across runs and forked workers.
+    """
+
+    program_digest: str
+    config_fingerprint: str
+    blocks: tuple[tuple, ...]
+    block_at: tuple[Optional[tuple], ...]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def fused_ops(self) -> int:
+        """Static op count covered by blocks (fusion coverage metric)."""
+        return sum(block[BLK_LEN] for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperopProgram({len(self.blocks)} blocks over "
+            f"{self.fused_ops}/{len(self.block_at)} ops, key "
+            f"{self.program_digest[:8]}/{self.config_fingerprint[:8]})"
+        )
+
+
+# Inline source templates for the superop block codegen.  Each template
+# reproduces its specializer closure's body exactly — same masks, same
+# signedness windows, same single-page memory fast path — so a fused
+# block is observationally identical to calling the per-op closures in
+# sequence (pinned by tests/integration/test_dispatch_differential.py).
+# Ops with no template (divides, TIE customs) stay as bound calls.
+
+_FUSE_R3 = {
+    "add": "regs[{s}] + regs[{t}]",
+    "sub": "regs[{s}] - regs[{t}]",
+    "and": "regs[{s}] & regs[{t}]",
+    "or": "regs[{s}] | regs[{t}]",
+    "xor": "regs[{s}] ^ regs[{t}]",
+    "nor": "~(regs[{s}] | regs[{t}])",
+    "andn": "regs[{s}] & ~regs[{t}]",
+    "orn": "regs[{s}] | ~regs[{t}]",
+    "xnor": "~(regs[{s}] ^ regs[{t}])",
+    "addx2": "(regs[{s}] << 1) + regs[{t}]",
+    "addx4": "(regs[{s}] << 2) + regs[{t}]",
+    "addx8": "(regs[{s}] << 3) + regs[{t}]",
+    "subx2": "(regs[{s}] << 1) - regs[{t}]",
+    "subx4": "(regs[{s}] << 2) - regs[{t}]",
+    "sltu": "1 if regs[{s}] < regs[{t}] else 0",
+    "minu": "min(regs[{s}], regs[{t}])",
+    "maxu": "max(regs[{s}], regs[{t}])",
+    "mull": "regs[{s}] * regs[{t}]",
+    "sll": "regs[{s}] << (regs[{t}] & 31)",
+    "srl": "regs[{s}] >> (regs[{t}] & 31)",
+    "rotl": "_rotl(regs[{s}], regs[{t}] & 31)",
+    "rotr": "_rotr(regs[{s}], regs[{t}] & 31)",
+}
+
+_FUSE_R2 = {
+    "mov": "regs[{s}]",
+    "neg": "-regs[{s}]",
+    "not": "~regs[{s}]",
+    "zext8": "regs[{s}] & 255",
+    "zext16": "regs[{s}] & 65535",
+    "clz": "_clz(regs[{s}])",
+    "ctz": "_ctz(regs[{s}])",
+    "popc": "_popc(regs[{s}])",
+    "bswap": "_bswap(regs[{s}])",
+}
+
+#: mnemonic -> (immediate fold, expression template) — folds match _EMITTERS.
+_FUSE_IMM = {
+    "addi": (lambda i: i & _M, "regs[{s}] + {k}"),
+    "addmi": (lambda i: (i & _M) << 8, "regs[{s}] + {k}"),
+    "andi": (lambda i: i & 0xFFF, "regs[{s}] & {k}"),
+    "ori": (lambda i: i & 0xFFF, "regs[{s}] | {k}"),
+    "xori": (lambda i: i & 0xFFF, "regs[{s}] ^ {k}"),
+    "slli": (lambda i: i & 31, "regs[{s}] << {k}"),
+    "srli": (lambda i: i & 31, "regs[{s}] >> {k}"),
+    "roli": (lambda i: i & 31, "_rotl(regs[{s}], {k})"),
+    "rori": (lambda i: i & 31, "_rotr(regs[{s}], {k})"),
+}
+
+#: signed compare/minmax forms: mnemonic -> result template over a/b temps.
+_FUSE_SIGNED_R3 = {
+    "slt": "1 if a{u} < b{u} else 0",
+    "min": "min(a{u}, b{u}) & 4294967295",
+    "max": "max(a{u}, b{u}) & 4294967295",
+}
+
+_FUSE_COND_MOVE = {
+    "moveqz": "regs[{t}] == 0",
+    "movnez": "regs[{t}] != 0",
+    "movltz": "regs[{t}] & 2147483648",
+    "movgez": "not regs[{t}] & 2147483648",
+}
+
+#: mnemonic -> (size, sign_extend, is_store) for the memory templates.
+_FUSE_MEM = {
+    "l32i": (4, False, False),
+    "l16ui": (2, False, False),
+    "l16si": (2, True, False),
+    "l8ui": (1, False, False),
+    "l8si": (1, True, False),
+    "s32i": (4, False, True),
+    "s16i": (2, False, True),
+    "s8i": (1, False, True),
+}
+
+
+def _fuse_op_lines(op: tuple, dshift: int) -> Optional[list]:
+    """Source statements executing this interior op inline, or None.
+
+    ``None`` means "no inline form" — the block codegen then binds the
+    op's (possibly specialized) semantics callable and emits a call.
+    Memory templates append the D-cache replay with the line shift
+    ``dshift`` folded in, mirroring the per-op dispatch order: address
+    from pre-op registers, semantics, then the cache model.
+    """
+    mnemonic = op[OP_MNEMONIC]
+    ins = op[OP_INS]
+    u = op[OP_ADDR]  # unique per op: byte addresses never collide
+    d, s, t = ins.rd, ins.rs, ins.rt
+
+    mem = _FUSE_MEM.get(mnemonic)
+    if mem is not None:
+        size, signed, is_store = mem
+        k = (ins.imm or 0) & _M
+        limit = _PAGE_SIZE - size
+        out = [
+            f"a{u} = (regs[{s}] + {k}) & 4294967295",
+            f"o{u} = a{u} & {_PAGE_MASK}",
+        ]
+        if is_store:
+            value_mask = (1 << (size * 8)) - 1
+            out += [
+                f"if o{u} <= {limit}:",
+                f"    p{u} = pages.get(a{u} >> {_PAGE_BITS})",
+                f"    if p{u} is None:",
+                f"        p{u} = bytearray({_PAGE_SIZE})",
+                f"        pages[a{u} >> {_PAGE_BITS}] = p{u}",
+                f"    p{u}[o{u}:o{u}+{size}] = "
+                f"(regs[{t}] & {value_mask}).to_bytes({size}, 'little')",
+                "else:",
+                f"    state.memory.write(a{u}, regs[{t}], {size})",
+            ]
+        else:
+            out += [
+                f"if o{u} <= {limit}:",
+                f"    p{u} = pages.get(a{u} >> {_PAGE_BITS})",
+                f"    v{u} = 0 if p{u} is None else "
+                f"int.from_bytes(p{u}[o{u}:o{u}+{size}], 'little')",
+                "else:",
+                f"    v{u} = state.memory.read(a{u}, {size})",
+            ]
+            if signed:
+                sign_bit = 1 << (size * 8 - 1)
+                ext_mask = (_M >> (size * 8)) << (size * 8)
+                out.append(f"if v{u} & {sign_bit}: v{u} |= {ext_mask}")
+            out.append(f"regs[{t}] = v{u}")
+        out += [
+            f"l{u} = a{u} >> {dshift}",
+            f"if l{u} != dc[0]:",
+            f"    dc[0] = l{u}",
+            f"    if not dcache_access(a{u}):",
+            "        dc[1] += 1",
+        ]
+        return out
+
+    expr = _FUSE_R3.get(mnemonic)
+    if expr is not None:
+        return [f"regs[{d}] = ({expr.format(s=s, t=t)}) & 4294967295"]
+    expr = _FUSE_R2.get(mnemonic)
+    if expr is not None:
+        return [f"regs[{d}] = ({expr.format(s=s)}) & 4294967295"]
+    imm_form = _FUSE_IMM.get(mnemonic)
+    if imm_form is not None:
+        fold, expr = imm_form
+        return [f"regs[{d}] = ({expr.format(s=s, k=fold(ins.imm))}) & 4294967295"]
+    signed_form = _FUSE_SIGNED_R3.get(mnemonic)
+    if signed_form is not None:
+        return [
+            f"a{u} = regs[{s}]",
+            f"b{u} = regs[{t}]",
+            f"if a{u} & 2147483648: a{u} -= 4294967296",
+            f"if b{u} & 2147483648: b{u} -= 4294967296",
+            f"regs[{d}] = {signed_form.format(u=u)}",
+        ]
+    cond = _FUSE_COND_MOVE.get(mnemonic)
+    if cond is not None:
+        return [f"if {cond.format(t=t)}: regs[{d}] = regs[{s}]"]
+    if mnemonic == "sra":
+        return [
+            f"a{u} = regs[{s}]",
+            f"if a{u} & 2147483648: a{u} -= 4294967296",
+            f"regs[{d}] = (a{u} >> (regs[{t}] & 31)) & 4294967295",
+        ]
+    if mnemonic == "srai":
+        return [
+            f"a{u} = regs[{s}]",
+            f"if a{u} & 2147483648: a{u} -= 4294967296",
+            f"regs[{d}] = (a{u} >> {ins.imm & 31}) & 4294967295",
+        ]
+    if mnemonic in ("mulh", "mulhu"):
+        out = [f"a{u} = regs[{s}]", f"b{u} = regs[{t}]"]
+        if mnemonic == "mulh":
+            out += [
+                f"if a{u} & 2147483648: a{u} -= 4294967296",
+                f"if b{u} & 2147483648: b{u} -= 4294967296",
+            ]
+        out.append(f"regs[{d}] = ((a{u} * b{u}) >> 32) & 4294967295")
+        return out
+    if mnemonic == "abs":
+        return [
+            f"a{u} = regs[{s}]",
+            f"if a{u} & 2147483648: a{u} = 4294967296 - a{u}",
+            f"regs[{d}] = a{u} & 4294967295",
+        ]
+    if mnemonic in ("sext8", "sext16"):
+        bits = 8 if mnemonic == "sext8" else 16
+        value_mask = (1 << bits) - 1
+        sign_bit = 1 << (bits - 1)
+        ext_mask = (_M >> bits) << bits
+        return [
+            f"v{u} = regs[{s}] & {value_mask}",
+            f"regs[{d}] = (v{u} | {ext_mask}) if v{u} & {sign_bit} else v{u}",
+        ]
+    if mnemonic == "slti":
+        return [
+            f"a{u} = regs[{s}]",
+            f"if a{u} & 2147483648: a{u} -= 4294967296",
+            f"regs[{d}] = 1 if a{u} < {ins.imm} else 0",
+        ]
+    if mnemonic == "sltiu":
+        return [f"regs[{d}] = 1 if regs[{s}] < {ins.imm & _M} else 0"]
+    if mnemonic == "movi":
+        return [f"regs[{d}] = {ins.imm & _M}"]
+    if mnemonic == "movhi":
+        return [f"regs[{d}] = {((ins.imm & 0x3FFFF) << 12) & _M}"]
+    return None
+
+
+def _fuse_block(
+    ops: tuple, start: int, end: int, ifetch: list, dshift: int
+):
+    """Generate one fused closure executing ops ``start..end`` inline.
+
+    Signature: ``fn(state, ic, dc, icache_access, dcache_access)`` where
+    ``ic``/``dc`` are two-slot lists ``[last_line, misses]`` shared with
+    the dispatch loop's per-op side-exit path, so the same-line memo
+    carries seamlessly across fused and per-op execution.
+    """
+    namespace = {
+        "_rotl": rotate_left,
+        "_rotr": rotate_right,
+        "_clz": count_leading_zeros,
+        "_ctz": count_trailing_zeros,
+        "_popc": popcount,
+        "_bswap": byte_swap,
+    }
+    body = ["    regs = state.regs"]
+    if any(ops[i][OP_MEM] for i in range(start, end + 1)):
+        body.append("    pages = state.memory._pages")
+    for line, fetch_addr in ifetch:
+        body += [
+            f"    if {line} != ic[0]:",
+            f"        ic[0] = {line}",
+            f"        if not icache_access({fetch_addr}):",
+            "            ic[1] += 1",
+        ]
+    for i in range(start, end + 1):
+        op = ops[i]
+        lines = _fuse_op_lines(op, dshift)
+        if lines is None:
+            namespace[f"_c{i}"] = op[OP_SEM]
+            namespace[f"_i{i}"] = op[OP_INS]
+            lines = [f"_c{i}(state, _i{i})"]
+        body += ["    " + stmt for stmt in lines]
+    source = (
+        "def _superop(state, ic, dc, icache_access, dcache_access):\n"
+        + "\n".join(body)
+    )
+    exec(
+        compile(source, f"<superop@{ops[start][OP_ADDR]:#x}>", "exec"),
+        namespace,
+    )
+    return namespace["_superop"]
+
+
+def compile_superops(
+    executable: ExecutableProgram, config: "ProcessorConfig"
+) -> SuperopProgram:
+    """Fuse the executable's maximal interior runs into superop blocks.
+
+    Block leaders are the static control-flow join points: the program
+    entry, every static branch/jump/call target, and the op after every
+    non-interior op.  Dynamic targets (``jx``/``callx``/``ret``) that
+    land mid-block are handled by the dispatch loop, which walks per-op
+    until it reaches the next leader.
+
+    Each block folds, at compile time:
+
+    * **steps** — the semantics calls, with straight ALU runs packed into
+      one ``(0, ((sem, ins), ...))`` step and each memory op kept as a
+      ``(1, sem, ins, base_reg, imm)`` step so the dispatch loop can read
+      the base register before semantics clobber it and replay the
+      D-cache access after, exactly as the per-op path does;
+    * **ifetch** — the I-line transition sequence at this config's line
+      granularity: intra-block fetch addresses are strictly increasing,
+      so consecutive same-line fetches collapse exactly like the per-op
+      same-line memo (uncached ops never touch the I-cache and are
+      excluded; their fetch penalty is count-derived at aggregation);
+    * **interlocks** — load-use stalls between ops inside the block,
+      a static property of adjacent (load dests, source regs) pairs.
+    """
+    ops = executable.ops
+    pc_map = executable.pc_to_index
+    n = len(ops)
+    ishift = config.icache.line_bytes.bit_length() - 1
+    dshift = config.dcache.line_bytes.bit_length() - 1
+
+    leaders = set()
+    entry_idx = pc_map.get(executable.entry, -1)
+    if entry_idx >= 0:
+        leaders.add(entry_idx)
+    if n:
+        leaders.add(0)
+    for i, op in enumerate(ops):
+        if not op[OP_INTERIOR] and i + 1 < n:
+            leaders.add(i + 1)
+        if op[OP_BRANCH] or op[OP_MNEMONIC] in ("j", "call"):
+            target_idx = pc_map.get(op[OP_INS].imm, -1)
+            if target_idx >= 0:
+                leaders.add(target_idx)
+
+    blocks: list[tuple] = []
+    block_at: list[Optional[tuple]] = [None] * n
+    for start in sorted(leaders):
+        if not ops[start][OP_INTERIOR]:
+            continue
+        end = start
+        while True:
+            fall = ops[end][OP_FALL_IDX]
+            if fall < 0 or fall in leaders or not ops[fall][OP_INTERIOR]:
+                break
+            end = fall
+
+        steps: list[tuple] = []
+        run: list[tuple] = []
+        interlocks = 0
+        ifetch: list[tuple[int, int]] = []
+        last_line = -1
+        for i in range(start, end + 1):
+            op = ops[i]
+            if op[OP_CACHED]:
+                line = op[OP_ADDR] >> ishift
+                if line != last_line:
+                    last_line = line
+                    ifetch.append((line, op[OP_ADDR]))
+            if i > start and ops[i - 1][OP_LOAD_DESTS]:
+                dests = ops[i - 1][OP_LOAD_DESTS]
+                if any(src in dests for src in op[OP_SRCS]):
+                    interlocks += 1
+            if op[OP_MEM]:
+                if run:
+                    steps.append((0, tuple(run)))
+                    run = []
+                steps.append((1, op[OP_SEM], op[OP_INS], op[OP_SRC0], op[OP_IMM]))
+            else:
+                run.append((op[OP_SEM], op[OP_INS]))
+        if run:
+            steps.append((0, tuple(run)))
+
+        block = (
+            len(blocks),
+            start,
+            end - start + 1,
+            tuple(steps),
+            tuple(ifetch),
+            ops[start][OP_SRCS],
+            interlocks,
+            ops[end][OP_LOAD_DESTS],
+            ops[end][OP_FALL_IDX],
+            ops[end][OP_ADDR],
+            _fuse_block(ops, start, end, ifetch, dshift),
+        )
+        blocks.append(block)
+        block_at[start] = block
+
+    return SuperopProgram(
+        program_digest=executable.program_digest,
+        config_fingerprint=executable.config_fingerprint,
+        blocks=tuple(blocks),
+        block_at=tuple(block_at),
     )
 
 
@@ -822,11 +1287,18 @@ class CompilationCache:
             raise ValueError("compilation cache needs room for at least one entry")
         self.maxsize = maxsize
         self._entries: "OrderedDict[tuple[str, str], ExecutableProgram]" = OrderedDict()
+        #: superop artifact tier: same key space, independent LRU order —
+        #: a pair that only ever runs per-op never pays block lowering.
+        self._superops: "OrderedDict[tuple[str, str], SuperopProgram]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.compilations = 0
         self.evictions = 0
+        self.superop_hits = 0
+        self.superop_misses = 0
+        self.superop_compilations = 0
+        self.superop_evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -852,6 +1324,37 @@ class CompilationCache:
                 self.evictions += 1
             return executable
 
+    def get_or_compile_superops(
+        self,
+        config: "ProcessorConfig",
+        program: "Program",
+        executable: Optional[ExecutableProgram] = None,
+    ) -> SuperopProgram:
+        """Return the cached block lowering for the pair, fusing on first use.
+
+        Pass ``executable`` when the per-op lowering is already in hand to
+        skip the ops-tier probe; it must carry the same digest/fingerprint
+        pair (the :class:`~repro.xtcore.iss.Simulator` constructor enforces
+        that before calling here).
+        """
+        if executable is None:
+            executable = self.get_or_compile(config, program)
+        key = (executable.program_digest, executable.config_fingerprint)
+        with self._lock:
+            cached = self._superops.get(key)
+            if cached is not None:
+                self._superops.move_to_end(key)
+                self.superop_hits += 1
+                return cached
+            self.superop_misses += 1
+            superops = compile_superops(executable, config)
+            self.superop_compilations += 1
+            self._superops[key] = superops
+            if len(self._superops) > self.maxsize:
+                self._superops.popitem(last=False)
+                self.superop_evictions += 1
+            return superops
+
     def put(self, executable: ExecutableProgram) -> None:
         """Insert a pre-built lowering (e.g. compiled in a parent process)."""
         key = (executable.program_digest, executable.config_fingerprint)
@@ -866,12 +1369,23 @@ class CompilationCache:
         """Drop all entries and reset every counter."""
         with self._lock:
             self._entries.clear()
+            self._superops.clear()
             self.hits = 0
             self.misses = 0
             self.compilations = 0
             self.evictions = 0
+            self.superop_hits = 0
+            self.superop_misses = 0
+            self.superop_compilations = 0
+            self.superop_evictions = 0
 
-    def info(self) -> dict[str, int]:
+    def info(self) -> dict:
+        """Counters, overall and per artifact tier.
+
+        The top-level keys keep their historical meaning (the per-op
+        ``ops`` tier, which every simulation resolves through); the
+        ``tiers`` breakdown adds the superop block-artifact tier.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -880,6 +1394,22 @@ class CompilationCache:
                 "misses": self.misses,
                 "compilations": self.compilations,
                 "evictions": self.evictions,
+                "tiers": {
+                    "ops": {
+                        "entries": len(self._entries),
+                        "hits": self.hits,
+                        "misses": self.misses,
+                        "compilations": self.compilations,
+                        "evictions": self.evictions,
+                    },
+                    "superop": {
+                        "entries": len(self._superops),
+                        "hits": self.superop_hits,
+                        "misses": self.superop_misses,
+                        "compilations": self.superop_compilations,
+                        "evictions": self.superop_evictions,
+                    },
+                },
             }
 
     def __repr__(self) -> str:

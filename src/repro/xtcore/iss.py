@@ -51,7 +51,22 @@ from ..obs.bundled import TraceObserver
 from ..obs.events import RetireEvent
 from ..obs.protocol import SimObserver
 from .caches import SetAssociativeCache
-from .compiled import ExecutableProgram, compilation_cache, describe_invalid_pc
+from .compiled import (
+    BLK_FIRST_SRCS,
+    BLK_ID,
+    BLK_IFETCH,
+    BLK_INTERLOCKS,
+    BLK_LAST_ADDR,
+    BLK_LEN,
+    BLK_LOAD_DESTS,
+    BLK_NEXT_IDX,
+    BLK_START,
+    BLK_STEPS,
+    ExecutableProgram,
+    SuperopProgram,
+    compilation_cache,
+    describe_invalid_pc,
+)
 from .config import DEFAULT_MAX_INSTRUCTIONS, ProcessorConfig
 from .errors import SimulationError, SimulationLimitExceeded
 from .trace import ExecutionStats, TraceRecord
@@ -66,9 +81,16 @@ DEFAULT_STACK_TOP = 0x0007_FF00
 _BRANCH_TAKEN = InstructionClass.BRANCH_TAKEN
 _BRANCH_UNTAKEN = InstructionClass.BRANCH_UNTAKEN
 
+#: Engine-selection names accepted by :class:`Simulator`, ``simulate`` and
+#: ``run_session``.  ``auto`` resolves to the fastest engine that can honor
+#: the run's instrumentation: superop blocks when nothing needs per-retire
+#: callbacks, the per-op compiled path when something does.
+ENGINES = ("auto", "reference", "compiled", "superop")
+
 __all__ = [
     "DEFAULT_MAX_INSTRUCTIONS",
     "DEFAULT_STACK_TOP",
+    "ENGINES",
     "EXIT_ADDRESS",
     "SimulationError",
     "SimulationLimitExceeded",
@@ -87,6 +109,9 @@ class SimulationResult:
     stats: ExecutionStats
     state: MachineState
     trace: Optional[list[TraceRecord]] = None
+    #: dispatch engine that produced this result ("reference", "compiled",
+    #: "superop" or "batch"); None when the producer predates the field.
+    engine: Optional[str] = None
 
     @property
     def cycles(self) -> int:
@@ -228,10 +253,18 @@ class Simulator:
     :func:`~repro.xtcore.compiled.compilation_cache` (pass ``executable``
     to reuse a lowering compiled elsewhere, e.g. pre-fork in a worker
     pool).  ``observers`` registers extra
-    :class:`~repro.obs.protocol.SimObserver` subscribers on every run;
-    with no observers and no trace the run takes the fast dispatch path.
-    Most callers should go through :func:`repro.obs.run_session` instead
-    of constructing a ``Simulator`` directly.
+    :class:`~repro.obs.protocol.SimObserver` subscribers on every run.
+
+    ``engine`` selects the dispatch tier explicitly — one of
+    :data:`ENGINES`.  The default ``auto`` resolves per run: superop
+    block dispatch when nothing needs per-retire visibility, the per-op
+    compiled path when a trace or a retire/event observer is registered,
+    never the reference interpreter.  An explicit ``superop`` request
+    likewise deoptimizes to the compiled per-op path for instrumented
+    runs — fused blocks cannot fan out per-retire callbacks — so stats
+    stay bitwise identical either way.  Most callers should go through
+    :func:`repro.obs.run_session` instead of constructing a ``Simulator``
+    directly.
     """
 
     def __init__(
@@ -242,12 +275,18 @@ class Simulator:
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         observers: Sequence[SimObserver] = (),
         executable: Optional[ExecutableProgram] = None,
+        engine: str = "auto",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+            )
         self.config = config
         self.program = program
         self.collect_trace = collect_trace
         self.max_instructions = max_instructions
         self.observers = tuple(observers)
+        self.engine = engine
         if executable is None:
             executable = compilation_cache().get_or_compile(config, program)
         elif (
@@ -259,6 +298,7 @@ class Simulator:
                 f"than ({program.name}, {config.name})"
             )
         self.executable = executable
+        self._superops: Optional[SuperopProgram] = None
 
     def _reset(self) -> MachineState:
         state = MachineState(self.config.num_registers)
@@ -270,13 +310,66 @@ class Simulator:
         state.pc = self.program.entry
         return state
 
+    def resolve_engine(self) -> str:
+        """The engine this simulator will actually dispatch through.
+
+        ``auto`` picks the fastest tier that honors the instrumentation;
+        a ``superop`` request deoptimizes to ``compiled`` when per-retire
+        visibility (a trace, or an observer with ``wants_retire`` /
+        ``wants_events``) is required, since fused blocks cannot fan out
+        per-instruction callbacks.  Run-scoped observers (tallies that
+        only need ``on_run_start``/``on_run_finish``) do not force the
+        deopt — both fast engines bracket the run for them.
+        """
+        engine = self.engine
+        if engine == "reference":
+            return engine
+        per_retire = self.collect_trace or any(
+            o.wants_retire or o.wants_events for o in self.observers
+        )
+        if per_retire:
+            return "compiled"
+        if engine == "auto":
+            return "superop"
+        return engine
+
     def run(self, entry: Optional[int] = None) -> SimulationResult:
         """Simulate from ``entry`` (default: program entry) to completion."""
+        engine = self.resolve_engine()
+        if engine == "reference":
+            from .interp import ReferenceSimulator
+
+            result = ReferenceSimulator(
+                self.config,
+                self.program,
+                collect_trace=self.collect_trace,
+                max_instructions=self.max_instructions,
+                observers=self.observers,
+            ).run(entry=entry)
+            result.engine = "reference"
+            return result
         state = self._reset()
         if entry is not None:
             state.pc = entry
-        if self.observers or self.collect_trace:
+        if self.collect_trace or any(
+            o.wants_retire or o.wants_events for o in self.observers
+        ):
             return self._run_instrumented(state)
+        if self.observers:
+            # Run-scoped observers only: bracket the fast engine with the
+            # start/finish callbacks the protocol guarantees.
+            for observer in self.observers:
+                observer.on_run_start(self.config, self.program)
+            result = (
+                self._run_superop(state)
+                if engine == "superop"
+                else self._run_fast(state)
+            )
+            for observer in self.observers:
+                observer.on_run_finish(result)
+            return result
+        if engine == "superop":
+            return self._run_superop(state)
         return self._run_fast(state)
 
     # ------------------------------------------------------------------
@@ -383,7 +476,166 @@ class Simulator:
             icache_misses, dcache_misses, interlocks,
         )
         return SimulationResult(
-            program=self.program, config=config, stats=stats, state=state
+            program=self.program,
+            config=config,
+            stats=stats,
+            state=state,
+            engine="compiled",
+        )
+
+    # ------------------------------------------------------------------
+    # superop path: one dispatch per basic block, per-op side exits
+    # ------------------------------------------------------------------
+
+    def _run_superop(self, state: MachineState) -> SimulationResult:
+        executable = self.executable
+        superops = self._superops
+        if superops is None:
+            superops = compilation_cache().get_or_compile_superops(
+                self.config, self.program, executable=executable
+            )
+            self._superops = superops
+        ops = executable.ops
+        pc_map = executable.pc_to_index
+        block_at = superops.block_at
+        counts = [0] * len(ops)
+        taken_counts = [0] * len(ops)
+        block_counts = [0] * len(superops.blocks)
+        config = self.config
+        icache = SetAssociativeCache(config.icache, "icache")
+        dcache = SetAssociativeCache(config.dcache, "dcache")
+        icache_access = icache.access
+        dcache_access = dcache.access
+        ishift = icache.offset_bits
+        dshift = dcache.offset_bits
+        interlocks = 0
+        # Same-line memo + miss counters as two-slot lists so fused block
+        # closures and the per-op side-exit path mutate one shared state.
+        ic = [-1, 0]
+        dc = [-1, 0]
+        prev_load_dests: tuple[int, ...] = ()
+        max_instructions = self.max_instructions
+        state_get = state.regs.__getitem__ if executable.regs_in_range else state.get
+        executed = 0
+        mem_base = 0
+
+        pc = state.pc
+        if pc != EXIT_ADDRESS:
+            idx = pc_map.get(pc, -1)
+            if idx < 0:
+                raise SimulationError(
+                    describe_invalid_pc(executable.program_name, pc, executable, None)
+                )
+            while True:
+                block = block_at[idx]
+                if block is not None and executed + block[2] <= max_instructions:
+                    # Fused fast path: the whole block retires in one
+                    # dispatch — semantics, I-line memo and D-cache
+                    # replays inlined into one generated closure, and
+                    # the remaining bookkeeping folded to block deltas.
+                    executed += block[2]
+                    if prev_load_dests:
+                        for src in block[5]:
+                            if src in prev_load_dests:
+                                interlocks += 1
+                                break
+                    interlocks += block[6]
+                    block[10](state, ic, dc, icache_access, dcache_access)
+                    block_counts[block[0]] += 1
+                    prev_load_dests = block[7]
+                    idx = block[8]
+                    if idx >= 0:
+                        continue
+                    # Fell off the end of the mapped address range.
+                    addr = block[9]
+                    pc = (addr + INSTRUCTION_BYTES) & 0xFFFFFFFF
+                    state.pc = pc
+                    raise SimulationError(
+                        describe_invalid_pc(
+                            executable.program_name, pc, executable, addr
+                        )
+                    )
+                # Side exit / per-op path: block boundaries (branches,
+                # jumps, system ops, customs), mid-block landings from
+                # dynamic jumps, and blocks that would cross the
+                # instruction budget (so SimulationLimitExceeded raises
+                # at the exact instruction, after any earlier fault).
+                if executed >= max_instructions:
+                    raise SimulationLimitExceeded(
+                        f"{executable.program_name}: "
+                        f"exceeded {max_instructions} instructions"
+                    )
+                executed += 1
+                op = ops[idx]
+                addr = op[10]
+                if op[6]:  # cached fetch
+                    line = addr >> ishift
+                    if line != ic[0]:
+                        ic[0] = line
+                        if not icache_access(addr):
+                            ic[1] += 1
+                if prev_load_dests:
+                    for src in op[2]:
+                        if src in prev_load_dests:
+                            interlocks += 1
+                            break
+                if op[5]:  # memory op: base register read precedes execution
+                    mem_base = state_get(op[3])
+                state.pc = addr
+                counts[idx] += 1
+                next_pc = op[0](state, op[1])
+                if op[5]:
+                    mem_addr = (mem_base + op[4]) & 0xFFFFFFFF
+                    line = mem_addr >> dshift
+                    if line != dc[0]:
+                        dc[0] = line
+                        if not dcache_access(mem_addr):
+                            dc[1] += 1
+                prev_load_dests = op[8]
+                if next_pc is None:
+                    if state.halted:
+                        state.pc = addr + INSTRUCTION_BYTES
+                        break
+                    idx = op[9]
+                    if idx >= 0:
+                        continue
+                    pc = addr + INSTRUCTION_BYTES
+                else:
+                    taken_counts[idx] += 1
+                    if state.halted:
+                        state.pc = next_pc
+                        break
+                    if next_pc == EXIT_ADDRESS:
+                        state.pc = EXIT_ADDRESS
+                        break
+                    idx = pc_map.get(next_pc, -1)
+                    if idx >= 0:
+                        continue
+                    pc = next_pc
+                state.pc = pc
+                raise SimulationError(
+                    describe_invalid_pc(executable.program_name, pc, executable, addr)
+                )
+
+        # Expand per-block execution counters into the per-op counts the
+        # aggregation contract expects (O(static ops), like aggregation).
+        blocks = superops.blocks
+        for block_id, count in enumerate(block_counts):
+            if not count:
+                continue
+            block = blocks[block_id]
+            for i in range(block[1], block[1] + block[2]):
+                counts[i] += count
+        stats = _aggregate_stats(
+            config, executable, counts, taken_counts,
+            ic[1], dc[1], interlocks,
+        )
+        return SimulationResult(
+            program=self.program,
+            config=config,
+            stats=stats,
+            state=state,
+            engine="superop",
         )
 
     # ------------------------------------------------------------------
@@ -567,6 +819,7 @@ class Simulator:
             stats=stats,
             state=state,
             trace=trace_observer.records if trace_observer is not None else None,
+            engine="compiled",
         )
         for observer in chain:
             observer.on_run_finish(result)
@@ -580,6 +833,7 @@ def simulate(
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     observers: Sequence[SimObserver] = (),
     executable: Optional[ExecutableProgram] = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     return Simulator(
@@ -589,4 +843,5 @@ def simulate(
         max_instructions=max_instructions,
         observers=observers,
         executable=executable,
+        engine=engine,
     ).run()

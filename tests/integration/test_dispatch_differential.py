@@ -12,9 +12,11 @@ import dataclasses
 import pytest
 
 from repro.programs import characterization_suite
-from repro.testing.progen import generate_program, generate_source
+from repro.testing.progen import generate_program, generate_source, stress_programs
 from repro.xtcore import (
     ReferenceSimulator,
+    SimulationError,
+    SimulationLimitExceeded,
     Simulator,
     build_processor,
     compile_program,
@@ -103,17 +105,23 @@ class TestBundledSuiteEquivalence:
         assert_states_equal(ref_result.state, new_result.state, case.name)
         case.verify(new_result)
 
-        # the fast path (no trace, no observers) must agree as well
-        fast = Simulator(
-            config,
-            program,
-            max_instructions=case.max_instructions,
-            executable=executable,
-        )
-        fast_result = fast.run()
-        assert_stats_equal(ref_result.stats, fast_result.stats, f"{case.name} (fast)")
-        assert fast_result.trace is None  # trace off => not materialized
-        assert_states_equal(ref_result.state, fast_result.state, f"{case.name} (fast)")
+        # both untraced tiers (per-op fast path and fused superop blocks)
+        # must agree as well; auto resolves to superop, so the compiled
+        # tier needs an explicit request
+        for engine in ("compiled", "superop"):
+            fast = Simulator(
+                config,
+                program,
+                max_instructions=case.max_instructions,
+                executable=executable,
+                engine=engine,
+            )
+            fast_result = fast.run()
+            context = f"{case.name} ({engine})"
+            assert fast_result.engine == engine
+            assert_stats_equal(ref_result.stats, fast_result.stats, context)
+            assert fast_result.trace is None  # trace off => not materialized
+            assert_states_equal(ref_result.state, fast_result.state, context)
 
 
 class TestRandomProgramEquivalence:
@@ -133,14 +141,22 @@ class TestRandomProgramEquivalence:
             assert_traces_equal(ref_result.trace, new_result.trace, context)
             assert_states_equal(ref_result.state, new_result.state, context)
 
-            fast = Simulator(
-                config, program, max_instructions=MAX_INSTRUCTIONS, executable=executable
-            )
-            fast_result = fast.run()
-            assert_stats_equal(
-                ref_result.stats, fast_result.stats, f"{context} (fast)"
-            )
-            assert_states_equal(ref_result.state, fast_result.state, f"{context} (fast)")
+            for engine in ("compiled", "superop"):
+                fast = Simulator(
+                    config,
+                    program,
+                    max_instructions=MAX_INSTRUCTIONS,
+                    executable=executable,
+                    engine=engine,
+                )
+                fast_result = fast.run()
+                assert fast_result.engine == engine
+                assert_stats_equal(
+                    ref_result.stats, fast_result.stats, f"{context} ({engine})"
+                )
+                assert_states_equal(
+                    ref_result.state, fast_result.state, f"{context} ({engine})"
+                )
 
     def test_sweep_exercises_interesting_shapes(self):
         sources = [generate_source(seed) for seed in RANDOM_SEEDS]
@@ -148,3 +164,69 @@ class TestRandomProgramEquivalence:
         assert any("loop" in src for src in sources), "no loops generated"
         assert any("skip" in src for src in sources), "no branch skips generated"
         assert all(src.rstrip().endswith("halt") for src in sources)
+
+
+class TestStressPrograms:
+    """Superop side-exit seams: handwritten programs that pin each one.
+
+    Each :func:`~repro.testing.progen.stress_cases` program targets one
+    spot where the fused block path hands control back to the per-op
+    path (single-op blocks, taken-to-fall-through branches, dynamic
+    jumps landing mid-block, budget expiry inside a block, faults).
+    """
+
+    @pytest.mark.parametrize(
+        "case_program", stress_programs(), ids=lambda cp: cp[0].name
+    )
+    def test_engines_agree(self, case_program):
+        case, program = case_program
+        config = build_processor("xt-stress", [])
+        if not case.faulting:
+            reference = ReferenceSimulator(
+                config, program, max_instructions=case.max_instructions
+            )
+            ref_result = reference.run()
+            for engine in ("compiled", "superop"):
+                result = Simulator(
+                    config,
+                    program,
+                    max_instructions=case.max_instructions,
+                    engine=engine,
+                ).run()
+                assert result.engine == engine
+                context = f"{case.name} ({engine})"
+                assert_stats_equal(ref_result.stats, result.stats, context)
+                assert_states_equal(ref_result.state, result.state, context)
+            return
+
+        # faulting case: same exception type everywhere; the compiled
+        # tiers agree exactly, and both extend the reference's bare
+        # message with locator diagnostics (never contradict it)
+        errors = {}
+        for engine in ("reference", "compiled", "superop"):
+            with pytest.raises((SimulationError, SimulationLimitExceeded)) as info:
+                Simulator(
+                    config,
+                    program,
+                    max_instructions=case.max_instructions,
+                    engine=engine,
+                ).run()
+            errors[engine] = info.value
+        assert type(errors["compiled"]) is type(errors["reference"])
+        assert type(errors["superop"]) is type(errors["reference"])
+        assert str(errors["compiled"]) == str(errors["superop"])
+        assert str(errors["superop"]).startswith(str(errors["reference"]))
+
+    def test_fused_fall_off_end_diagnostics(self):
+        """Satellite: the fused path's invalid-pc fault names the nearest
+        preceding symbol (with offset) and the last retired address."""
+        config = build_processor("xt-stress", [])
+        case, program = next(
+            cp for cp in stress_programs() if cp[0].name == "stress_fall_off_end"
+        )
+        with pytest.raises(SimulationError) as info:
+            Simulator(config, program, engine="superop").run()
+        message = str(info.value)
+        assert "is not a valid instruction address" in message
+        assert "nearest preceding symbol: 'tail'" in message
+        assert "last retired instruction at 0x" in message

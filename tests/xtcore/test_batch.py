@@ -1,0 +1,130 @@
+"""Unit tests for batched multi-config simulation (repro.xtcore.batch).
+
+``run_batch`` must be bitwise identical — stats and final state — to
+running each config alone through the fast dispatch path, and must
+refuse batches that span more than one semantic partition.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import base_isa
+from repro.xtcore import (
+    SimulationError,
+    SimulationLimitExceeded,
+    Simulator,
+    build_processor,
+    run_batch,
+    semantic_fingerprint,
+)
+
+SOURCE = """\
+    .data
+buf:
+    .word 11, 22, 33, 44, 55, 66, 77, 88
+    .text
+main:
+    la a10, buf
+    movi a11, 6
+    movi a2, 0
+loop:
+    l32i a3, a10, 0
+    add a2, a2, a3
+    s32i a2, a10, 4
+    addi a11, a11, -1
+    bnez a11, loop
+    halt
+"""
+
+
+@pytest.fixture()
+def program():
+    return assemble(SOURCE, "batch-loop", isa=base_isa())
+
+
+def _cache_variant(base, *, line_bytes, size_bytes=None, miss_penalty=None):
+    return dataclasses.replace(
+        base,
+        line_bytes=line_bytes,
+        size_bytes=size_bytes if size_bytes is not None else base.size_bytes,
+        miss_penalty=miss_penalty if miss_penalty is not None else base.miss_penalty,
+    )
+
+
+def heterogeneous_configs():
+    """Four configs in one semantic partition with diverse cache/timing."""
+    base = build_processor("xt-batch-base", [])
+    variants = [base]
+    variants.append(
+        dataclasses.replace(
+            base,
+            name="xt-batch-small-lines",
+            icache=_cache_variant(base.icache, line_bytes=16),
+            dcache=_cache_variant(base.dcache, line_bytes=16, miss_penalty=20),
+        )
+    )
+    variants.append(
+        dataclasses.replace(
+            base,
+            name="xt-batch-big-lines",
+            icache=_cache_variant(base.icache, line_bytes=64, size_bytes=8192),
+            dcache=_cache_variant(base.dcache, line_bytes=64),
+        )
+    )
+    variants.append(
+        dataclasses.replace(base, name="xt-batch-fast-clock", clock_mhz=400.0)
+    )
+    return variants
+
+
+class TestSemanticFingerprint:
+    def test_cache_and_clock_do_not_split_partitions(self):
+        configs = heterogeneous_configs()
+        fingerprints = {semantic_fingerprint(c) for c in configs}
+        assert len(fingerprints) == 1
+
+    def test_register_count_splits_partitions(self):
+        base = build_processor("xt-fp", [])
+        other = dataclasses.replace(base, num_registers=32)
+        assert semantic_fingerprint(base) != semantic_fingerprint(other)
+
+    def test_stable_across_rebuilds(self):
+        assert semantic_fingerprint(build_processor("a", [])) == semantic_fingerprint(
+            build_processor("b", [])
+        )
+
+
+class TestRunBatch:
+    def test_empty_batch(self, program):
+        assert run_batch([], program) == []
+
+    def test_matches_solo_runs(self, program):
+        configs = heterogeneous_configs()
+        results = run_batch(configs, program)
+        assert len(results) == len(configs)
+        for config, result in zip(configs, results):
+            solo = Simulator(config, program, engine="compiled").run()
+            assert result.engine == "batch"
+            assert result.config is config
+            for field in dataclasses.fields(solo.stats):
+                a = getattr(solo.stats, field.name)
+                b = getattr(result.stats, field.name)
+                assert a == b, f"{config.name}: stats.{field.name}: {a!r} != {b!r}"
+            assert result.state.regs == solo.state.regs
+            assert result.state.halted
+
+    def test_results_share_final_state(self, program):
+        results = run_batch(heterogeneous_configs(), program)
+        assert all(r.state is results[0].state for r in results)
+
+    def test_partition_mismatch_rejected(self, program):
+        base = build_processor("xt-mix", [])
+        other = dataclasses.replace(base, num_registers=32)
+        with pytest.raises(SimulationError, match="semantic"):
+            run_batch([base, other], program)
+
+    def test_budget_faults_once_for_the_batch(self, program):
+        with pytest.raises(SimulationLimitExceeded):
+            run_batch(heterogeneous_configs(), program, max_instructions=5)

@@ -113,6 +113,22 @@ class TestCompilationCache:
             "misses": 1,
             "compilations": 1,
             "evictions": 0,
+            "tiers": {
+                "ops": {
+                    "entries": 1,
+                    "hits": 1,
+                    "misses": 1,
+                    "compilations": 1,
+                    "evictions": 0,
+                },
+                "superop": {
+                    "entries": 0,
+                    "hits": 0,
+                    "misses": 0,
+                    "compilations": 0,
+                    "evictions": 0,
+                },
+            },
         }
 
     def test_content_keying_across_objects(self, config, program):

@@ -24,12 +24,22 @@ from repro.dse import (
     SearchSpace,
     explore,
     get_space,
+    with_operating_points,
 )
+from repro.dse.cache import candidate_cache_key, model_digest
 from repro.programs import characterization_suite
-from repro.xtcore import build_processor
+from repro.tech import default_calibration
+from repro.xtcore import DEFAULT_MAX_INSTRUCTIONS, build_processor
 
 BUDGET = 12
 BATCH_CONFIGS = 64
+
+OP_POINTS = (
+    "130nm@1.5V@400MHz",
+    "90nm@1.2V@600MHz",
+    "65nm@1.1V@800MHz",
+    "45nm@1V@1200MHz",
+)
 
 
 @pytest.fixture(scope="module")
@@ -184,3 +194,92 @@ def test_dse_batched_partition(benchmark, ctx, save_report):
     ]
     save_report("dse_batched_partition", "\n".join(lines))
     assert gain > 1.0
+
+
+# -- operating-point axis: DVFS-only candidates share one partition ----------
+
+
+def _operating_point_space():
+    """One fixed core/program pair swept over the DVFS axis alone.
+
+    Operating points rescale the macro-model, not the simulation, so
+    every candidate shares the same semantic partition and one
+    ``run_batch`` pass covers the whole sweep.
+    """
+    base = build_processor("xt-batch-dvfs", [])
+    cases = {c.name: c for c in characterization_suite(include_variants=False)}
+    _, program = cases["tp01_alu_mix"].build()
+
+    inner = SearchSpace(
+        name="fixed_core",
+        description="one fixed core/program pair",
+        knobs=(Knob("core", ("base",)),),
+        builder=lambda assignment: (base, program),
+    )
+    return with_operating_points(inner, OP_POINTS)
+
+
+def test_dse_batched_operating_point_axis(benchmark, ctx, save_report):
+    space = _operating_point_space()
+    candidates = list(space.candidates())
+    assert len(candidates) == len(OP_POINTS)
+
+    solo_engine = EvaluationEngine(ctx.model, space)
+    solo_scores = [
+        score
+        for candidate in candidates
+        for score in solo_engine.evaluate([candidate])
+    ]
+    assert solo_engine.batch_groups == 0
+
+    batch_engine = EvaluationEngine(ctx.model, space)
+    start = time.perf_counter()
+    batch_scores = benchmark.pedantic(
+        batch_engine.evaluate, args=(candidates,), rounds=1, iterations=1
+    )
+    batch_elapsed = time.perf_counter() - start
+    # op-only-differing candidates collapse into ONE simulation group
+    assert batch_engine.batch_groups == 1
+    assert batch_engine.batch_members == len(OP_POINTS)
+    assert len(batch_scores) == len(OP_POINTS)
+
+    # the operating point must never perturb the simulation...
+    assert len({score.cycles for score in batch_scores}) == 1
+    # ...only the energy scale, exactly as the calibration dictates
+    calibration = default_calibration()
+    rescaled = {
+        round(score.energy / calibration.energy_scale(point), 6)
+        for score, point in zip(batch_scores, OP_POINTS)
+    }
+    assert len(rescaled) == 1
+
+    for solo, batched in zip(solo_scores, batch_scores):
+        assert solo.key == batched.key
+        assert solo.energy == batched.energy
+        assert solo.cycles == batched.cycles
+
+    # each point owns a disjoint slice of the result cache
+    config, program = space.build(candidates[0].assignment_dict)
+    keys = {
+        candidate_cache_key(
+            model_digest(ctx.model.at(point)),
+            config,
+            program,
+            DEFAULT_MAX_INSTRUCTIONS,
+        )
+        for point in OP_POINTS
+    }
+    assert len(keys) == len(OP_POINTS)
+
+    lines = [
+        f"1 core/program pair x {len(OP_POINTS)} operating points",
+        f"batched: {len(OP_POINTS) / batch_elapsed:.1f} cand/s "
+        f"({batch_elapsed:.3f} s, {batch_engine.batch_groups} group, "
+        f"{batch_engine.batch_members} members)",
+        "energies: "
+        + ", ".join(
+            f"{point}={score.energy:.0f}"
+            for score, point in zip(batch_scores, OP_POINTS)
+        ),
+    ]
+    save_report("dse_batched_operating_point_axis", "\n".join(lines))

@@ -163,7 +163,14 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     if args.max_attempts < 1:
         raise _die("--max-attempts must be >= 1")
 
-    characterizer = Characterizer(method=args.method)
+    from .tech import CalibrationError
+
+    try:
+        characterizer = Characterizer(
+            method=args.method, operating_point=args.operating_point
+        )
+    except CalibrationError as exc:
+        raise _die(f"bad --operating-point: {exc}")
     failures = []
     if args.from_samples:
         try:
@@ -229,7 +236,17 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    model = EnergyMacroModel.load(args.model)
+    from .tech import CalibrationError
+
+    try:
+        model = EnergyMacroModel.load(args.model)
+    except (OSError, ValueError) as exc:
+        raise _die(f"cannot load model {args.model!r}: {exc}")
+    if args.operating_point:
+        try:
+            model = model.at(args.operating_point)
+        except CalibrationError as exc:
+            raise _die(f"bad --operating-point: {exc}")
     # model load + config build (TIE compilation) happen once; each extra
     # program then costs only one untraced instruction-set simulation —
     # the mini-batch fast path that amortizes the one-time setup.
@@ -240,18 +257,58 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         estimates.append(
             model.estimate(config, program, max_instructions=args.max_instructions)
         )
+    if args.format == "json":
+        import json
+
+        from .dse.cache import model_digest
+
+        entries = []
+        for estimate in estimates:
+            entry = {
+                "program": estimate.program_name,
+                "processor": estimate.processor_name,
+                "energy": estimate.energy,
+                "cycles": estimate.cycles,
+                "edp": estimate.energy * estimate.cycles,
+            }
+            if estimate.operating_point is not None:
+                entry["seconds"] = estimate.seconds
+                entry["edp_seconds"] = estimate.edp_seconds
+            if args.variables:
+                entry["variables"] = dict(estimate.variables)
+            entries.append(entry)
+        payload = {
+            "format": "repro-estimates/1",
+            "model_digest": model_digest(model),
+            "operating_point": (
+                model.operating_point.key
+                if model.operating_point is not None
+                else None
+            ),
+            "estimates": entries,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     if len(estimates) == 1:
         (estimate,) = estimates
         print(estimate.summary())
     else:
+        with_time = model.operating_point is not None
         header = f"{'program':<24}{'energy':>14}{'cycles':>10}{'EDP':>15}"
+        if with_time:
+            header += f"{'time_us':>12}"
         print(header)
         print("-" * len(header))
         for estimate in estimates:
-            print(
+            row = (
                 f"{estimate.program_name:<24}{estimate.energy:>14.1f}"
                 f"{estimate.cycles:>10}{estimate.energy * estimate.cycles:>15.4g}"
             )
+            if with_time:
+                row += f"{estimate.seconds * 1e6:>12.2f}"
+            print(row)
+        if with_time:
+            print(f"(at {model.operating_point.key})")
     if args.variables:
         for estimate in estimates:
             if len(estimates) > 1:
@@ -277,6 +334,8 @@ def _load_discovered(path: str) -> str:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
+    import json as json_module
+
     from .core.runner import TooManyFailures
     from .dse import (
         ResultCache,
@@ -286,8 +345,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         explore,
         get_space,
         make_strategy,
+        with_operating_points,
     )
     from .dse.space import BUILTIN_SPACES
+    from .tech import CalibrationError, carbon_overlay, carbon_table
 
     if args.discovered:
         _load_discovered(args.discovered)
@@ -310,39 +371,100 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         space = get_space(args.space)
     except SpaceError as exc:
         raise _die(str(exc))
-    try:
-        strategy = make_strategy(
-            args.strategy,
-            budget=args.budget,
-            seed=args.seed,
-            objective=args.objective,
-            restarts=args.restarts,
-        )
-    except ValueError as exc:
-        raise _die(str(exc))
+    if args.op_axis:
+        # fold the operating point into the space itself: one exploration
+        # ranks DVFS settings against micro-architecture choices
+        axis = [token.strip() for token in args.op_axis.split(",") if token.strip()]
+        if not axis:
+            raise _die("--op-axis needs a comma-separated list of operating points")
+        try:
+            space = with_operating_points(space, axis)
+        except SpaceError as exc:
+            raise _die(str(exc))
+    points = args.operating_point if args.operating_point else [None]
+    if args.format == "csv" and len(points) > 1:
+        raise _die("csv format supports a single operating point")
+    # derive the per-point models up front so a typo dies before any
+    # simulation is spent
+    point_models = []
+    for point in points:
+        try:
+            point_models.append(model.at(point))
+        except CalibrationError as exc:
+            raise _die(f"bad --operating-point {point!r}: {exc}")
+    if args.objective in ("time", "edp_seconds") and not args.op_axis:
+        if any(m.operating_point is None for m in point_models):
+            raise _die(
+                f"objective {args.objective!r} needs a clock: pass "
+                "--operating-point/--op-axis or use a model characterized "
+                "at an operating point"
+            )
+    if args.carbon is not None and args.carbon <= 0:
+        raise _die("--carbon takes a positive executions-per-second rate")
     cache = ResultCache(args.cache) if args.cache else None
     progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) if args.verbose else None
-    try:
-        report = explore(
-            model,
-            space,
-            strategy,
-            jobs=args.jobs,
-            cache=cache,
-            objective=args.objective,
-            max_instructions=args.max_instructions,
-            max_failures=args.max_failures,
-            progress=progress,
+    reports = []
+    for point, point_model in zip(points, point_models):
+        try:
+            # stateful strategies (greedy, random) must start fresh per point
+            strategy = make_strategy(
+                args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+                objective=args.objective,
+                restarts=args.restarts,
+            )
+        except ValueError as exc:
+            raise _die(str(exc))
+        try:
+            report = explore(
+                point_model,
+                space,
+                strategy,
+                jobs=args.jobs,
+                cache=cache,
+                objective=args.objective,
+                max_instructions=args.max_instructions,
+                max_failures=args.max_failures,
+                progress=progress,
+            )
+        except TooManyFailures as exc:
+            print(f"repro: exploration aborted: {exc}", file=sys.stderr)
+            return EXIT_ABORTED
+        reports.append(report)
+
+    def carbon_rows(report):
+        return carbon_overlay(
+            report.ranked(args.top_k), executions_per_second=args.carbon
         )
-    except TooManyFailures as exc:
-        print(f"repro: exploration aborted: {exc}", file=sys.stderr)
-        return EXIT_ABORTED
+
     if args.format == "json":
-        rendered = report.to_json()
+        payloads = []
+        for report in reports:
+            payload = report.to_payload()
+            if args.carbon is not None:
+                payload["carbon"] = carbon_rows(report)
+            payloads.append(payload)
+        if len(payloads) == 1:
+            rendered = json_module.dumps(payloads[0], indent=2)
+        else:
+            rendered = json_module.dumps(
+                {"format": "repro-dse-scenario-matrix/1", "points": payloads},
+                indent=2,
+            )
     elif args.format == "csv":
-        rendered = report.to_csv()
+        rendered = reports[0].to_csv()
     else:
-        rendered = report.table(top_k=args.top_k)
+        sections = []
+        for point, report in zip(points, reports):
+            lines = []
+            if len(reports) > 1:
+                lines.append(f"=== operating point {point} ===")
+            lines.append(report.table(top_k=args.top_k))
+            if args.carbon is not None:
+                lines.append(carbon_table(carbon_rows(report)))
+            sections.append("\n".join(lines))
+        rendered = "\n\n".join(sections)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
@@ -350,15 +472,19 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     else:
         print(rendered, end="" if rendered.endswith("\n") else "\n")
     if args.verify_top:
-        if len(report.scores) < 2:
-            print("repro: not enough scored points to cross-check", file=sys.stderr)
-        else:
+        for report in reports:
+            if len(report.scores) < 2:
+                print(
+                    "repro: not enough scored points to cross-check", file=sys.stderr
+                )
+                continue
             result = cross_check(
                 space,
                 report.scores,
                 top_k=args.verify_top,
                 objective=args.objective,
                 max_instructions=args.max_instructions,
+                operating_point=report.operating_point,
             )
             print(result.table())
             if result.rho < 0.9:
@@ -367,12 +493,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                     f"from the reference (rho {result.rho:.3f} < 0.9)",
                     file=sys.stderr,
                 )
-    if not report.scores:
+    if any(not report.scores for report in reports):
         print("repro: exploration scored no candidates", file=sys.stderr)
         return EXIT_ABORTED
-    if report.failures:
+    total_failures = sum(len(report.failures) for report in reports)
+    if total_failures:
         print(
-            f"warning: {len(report.failures)} candidate failure(s) during exploration",
+            f"warning: {total_failures} candidate failure(s) during exploration",
             file=sys.stderr,
         )
         return EXIT_DEGRADED
@@ -447,9 +574,19 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 
 
 def _cmd_reference(args: argparse.Namespace) -> int:
+    from .tech import CalibrationError
+
     config = _build_config("cli", args.extensions)
     program = _load_program(args.program, config)
-    report, _ = reference_energy(config, program, max_instructions=args.max_instructions)
+    try:
+        report, _ = reference_energy(
+            config,
+            program,
+            max_instructions=args.max_instructions,
+            operating_point=args.operating_point,
+        )
+    except CalibrationError as exc:
+        raise _die(f"bad --operating-point: {exc}")
     print(report.summary())
     return 0
 
@@ -458,8 +595,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
     from .obs import CacheEventObserver, EnergyTimelineObserver, HotSpotObserver
+    from .tech import CalibrationError
 
     model = EnergyMacroModel.load(args.model)
+    if args.operating_point:
+        try:
+            model = model.at(args.operating_point)
+        except CalibrationError as exc:
+            raise _die(f"bad --operating-point: {exc}")
     config = _build_config("cli", args.extensions)
     program = _load_program(args.program, config)
 
@@ -662,9 +805,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_program_options(p)
     p.set_defaults(func=_cmd_disasm)
 
+    def add_operating_point(p: argparse.ArgumentParser, help_text: str) -> None:
+        p.add_argument(
+            "--operating-point",
+            metavar="POINT",
+            default=None,
+            help=help_text + " (e.g. '65nm@1.1V@800MHz'; see docs/CALIBRATION.md)",
+        )
+
     p = sub.add_parser("characterize", help="fit the macro-model over the bundled suite")
     p.add_argument("-o", "--output", default="macro_model.json")
     p.add_argument("--method", choices=("nnls", "ols", "ridge"), default="nnls")
+    add_operating_point(
+        p, "technology operating point to characterize the model at"
+    )
     p.add_argument("--core-only", action="store_true", help="use only the 25-program core")
     p.add_argument(
         "--save-samples",
@@ -724,6 +878,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-instructions", type=int, default=DEFAULT_MAX_INSTRUCTIONS)
     p.add_argument("--variables", action="store_true", help="print the variable breakdown")
+    add_operating_point(p, "rescale the model to this operating point first")
+    p.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format; json carries the model digest and operating "
+        "point alongside each estimate (default table)",
+    )
     p.set_defaults(func=_cmd_estimate)
 
     p = sub.add_parser(
@@ -762,9 +924,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--objective",
-        choices=("energy", "cycles", "edp", "area"),
+        choices=("energy", "cycles", "edp", "area", "time", "edp_seconds"),
         default="edp",
-        help="ranking/climbing objective (default edp)",
+        help="ranking/climbing objective (default edp); time and "
+        "edp_seconds need an operating point for the clock",
+    )
+    p.add_argument(
+        "--operating-point",
+        action="append",
+        metavar="POINT",
+        help="score against this technology operating point "
+        "(e.g. '65nm@1.1V@800MHz'); repeat the flag to explore a "
+        "scenario matrix, one exploration per point",
+    )
+    p.add_argument(
+        "--op-axis",
+        metavar="POINTS",
+        help="comma-separated operating points added to the space as an "
+        "extra knob, so one exploration ranks DVFS settings against "
+        "micro-architecture choices",
+    )
+    p.add_argument(
+        "--carbon",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="append a carbon/TCO overlay assuming RPS executions per second",
     )
     p.add_argument(
         "-j", "--jobs", type=int, default=1, help="parallel evaluation processes"
@@ -799,6 +984,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("reference", help="reference RTL-level energy (slow path)")
     add_program_options(p)
+    add_operating_point(p, "scale the RTL activity energies to this operating point")
     p.set_defaults(func=_cmd_reference)
 
     p = sub.add_parser(
@@ -888,6 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output format (default table)",
     )
+    add_operating_point(p, "rescale the model to this operating point first")
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(

@@ -28,6 +28,7 @@ import numpy as np
 from ..asm import Program
 from ..obs import run_session
 from ..rtl import RtlEnergyEstimator, generate_netlist
+from ..tech import OperatingPoint, default_calibration
 from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ExecutionStats, ProcessorConfig
 from .extract import extract_variables
 from .model import EnergyMacroModel
@@ -132,7 +133,15 @@ class CharacterizationResult:
 
 
 class Characterizer:
-    """Accumulates characterization samples and fits the macro-model."""
+    """Accumulates characterization samples and fits the macro-model.
+
+    ``operating_point`` binds the whole run — reference estimation,
+    collected samples and the fitted model — to one technology operating
+    point; ``None`` characterizes at the calibration reference.  Samples
+    collected at one point never mix with another (``load_samples``
+    enforces the binding), because energy magnitudes differ by the
+    technology scale factor and would corrupt the regression.
+    """
 
     def __init__(
         self,
@@ -140,6 +149,7 @@ class Characterizer:
         processor_family: str = "xt1040",
         method: str = "nnls",
         ridge_alpha: float = 1e-6,
+        operating_point: "OperatingPoint | str | None" = None,
     ) -> None:
         if method not in ("ols", "nnls", "ridge"):
             raise ValueError(
@@ -149,6 +159,11 @@ class Characterizer:
         self.processor_family = processor_family
         self.method = method
         self.ridge_alpha = ridge_alpha
+        self.operating_point: Optional[OperatingPoint] = (
+            default_calibration().validate(operating_point)
+            if operating_point is not None
+            else None
+        )
         self.samples: list[CharacterizationSample] = []
         # Keyed by content fingerprint: equal configs share one estimator
         # no matter how many distinct (or identically-named) objects the
@@ -164,7 +179,9 @@ class Characterizer:
         key = config.fingerprint()
         estimator = self._estimators.get(key)
         if estimator is None:
-            estimator = RtlEnergyEstimator(generate_netlist(config))
+            estimator = RtlEnergyEstimator(
+                generate_netlist(config), operating_point=self.operating_point
+            )
             self._estimators[key] = estimator
         return estimator
 
@@ -213,6 +230,9 @@ class Characterizer:
             "format": SAMPLES_FORMAT,
             "template": self.template.name,
             "processor_family": self.processor_family,
+            "operating_point": (
+                self.operating_point.key if self.operating_point is not None else None
+            ),
             "samples": [sample.to_payload() for sample in self.samples],
         }
 
@@ -240,6 +260,20 @@ class Characterizer:
             raise ValueError(
                 f"samples were extracted under template {payload.get('template')!r}, "
                 f"this characterizer uses {self.template.name!r}"
+            )
+        # Pre-operating-point sample files carry no key, which is exactly
+        # the None (calibration-reference) binding — so legacy files load
+        # into a reference-point characterizer unchanged.
+        saved_point = payload.get("operating_point")
+        own_point = (
+            self.operating_point.key if self.operating_point is not None else None
+        )
+        if saved_point != own_point:
+            raise ValueError(
+                f"samples were collected at operating point "
+                f"{saved_point or 'calibration reference'}, this characterizer "
+                f"runs at {own_point or 'calibration reference'}; energies at "
+                "different points are not comparable — re-characterize instead"
             )
         try:
             loaded = [CharacterizationSample.from_payload(p) for p in payload["samples"]]
@@ -302,18 +336,22 @@ class Characterizer:
         if with_loocv and design.shape[0] > design.shape[1]:
             loo = leave_one_out_errors(design, energies)
 
+        fit_info = {
+            "samples": len(self.samples),
+            "method": self.method,
+            "rms_percent_error": regression.rms_percent_error,
+            "max_abs_percent_error": regression.max_abs_percent_error,
+            "r_squared": regression.r_squared,
+            "condition_number": regression.condition_number,
+        }
+        if self.operating_point is not None:
+            fit_info["operating_point"] = self.operating_point.key
         model = EnergyMacroModel(
             template=self.template,
             coefficients=regression.coefficients,
             processor_family=self.processor_family,
-            fit_info={
-                "samples": len(self.samples),
-                "method": self.method,
-                "rms_percent_error": regression.rms_percent_error,
-                "max_abs_percent_error": regression.max_abs_percent_error,
-                "r_squared": regression.r_squared,
-                "condition_number": regression.condition_number,
-            },
+            fit_info=fit_info,
+            operating_point=self.operating_point,
         )
         return CharacterizationResult(
             model=model,
@@ -335,6 +373,7 @@ def characterize(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 5,
     max_failures: Optional[int] = None,
+    operating_point: "OperatingPoint | str | None" = None,
 ) -> CharacterizationResult:
     """One-shot characterization over (config, program) pairs.
 
@@ -347,7 +386,10 @@ def characterize(
     fitted from the surviving samples.
     """
     characterizer = Characterizer(
-        template=template, processor_family=processor_family, method=method
+        template=template,
+        processor_family=processor_family,
+        method=method,
+        operating_point=operating_point,
     )
     fault_tolerant = (
         retry is not None or checkpoint_path is not None or max_failures is not None

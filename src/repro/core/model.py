@@ -7,6 +7,13 @@ custom instructions requires only instruction-set simulation and
 resource-usage analysis — no processor generation, no RTL simulation —
 which is the paper's headline speed win.
 
+A model is fitted at one technology **operating point** (process node,
+supply voltage, clock).  ``model.at("65nm@1.1V@800MHz")`` derives the
+same model rescaled to another point via the committed calibration table
+(see ``repro.tech`` and ``docs/CALIBRATION.md``); the derived model's
+JSON — and therefore its content digest — carries the point, so cache
+keys at different points never collide.
+
 Models serialize to JSON so a characterized model can ship without the
 characterization infrastructure.
 """
@@ -15,12 +22,15 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
+from typing import Optional
 
 
 import numpy as np
 
 from ..asm import Program
 from ..obs import run_session
+from ..tech import CalibrationError, OperatingPoint, TechCalibration, default_calibration
 from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ExecutionStats, ProcessorConfig
 from .extract import extract_variables
 from .template import (
@@ -29,6 +39,13 @@ from .template import (
     instruction_level_template,
     unweighted_template,
 )
+
+#: Current model-file schema.  ``/2`` adds the ``operating_point`` field.
+MODEL_FORMAT = "repro-energy-macro-model/2"
+
+#: Older schemas :meth:`EnergyMacroModel.from_json` still accepts (with a
+#: migration warning) instead of rejecting.
+LEGACY_MODEL_FORMATS = ("repro-energy-macro-model/1",)
 
 _TEMPLATE_REGISTRY = {
     "hybrid-21": default_template,
@@ -46,26 +63,54 @@ class MacroEstimate:
     energy: float
     stats: ExecutionStats
     variables: dict[str, float]
+    operating_point: Optional[OperatingPoint] = None
 
     @property
     def cycles(self) -> int:
         return self.stats.total_cycles
 
+    @property
+    def seconds(self) -> Optional[float]:
+        """Wall-clock runtime; needs an operating point to pin the clock."""
+        if self.operating_point is None:
+            return None
+        return self.operating_point.seconds(self.cycles)
+
+    @property
+    def edp_seconds(self) -> Optional[float]:
+        """Energy-delay product with delay in real seconds."""
+        seconds = self.seconds
+        if seconds is None:
+            return None
+        return self.energy * seconds
+
     def summary(self) -> str:
-        return (
+        text = (
             f"macro-model estimate: {self.program_name} on {self.processor_name}: "
             f"{self.energy:.1f} units over {self.cycles} cycles"
         )
+        if self.operating_point is not None:
+            text += (
+                f" ({self.seconds * 1e6:.2f} us at {self.operating_point.key})"
+            )
+        return text
 
 
 @dataclasses.dataclass
 class EnergyMacroModel:
-    """A characterized extensible-processor energy macro-model."""
+    """A characterized extensible-processor energy macro-model.
+
+    ``operating_point`` records where the coefficients are valid: the
+    point the model was characterized at, or the point a derived model
+    was rescaled to.  ``None`` means the calibration table's reference
+    point (every pre-``/2`` model file is in that state).
+    """
 
     template: MacroModelTemplate
     coefficients: np.ndarray
     processor_family: str = "xt1040"
     fit_info: dict = dataclasses.field(default_factory=dict)
+    operating_point: Optional[OperatingPoint] = None
 
     def __post_init__(self) -> None:
         self.coefficients = np.asarray(self.coefficients, dtype=float)
@@ -74,6 +119,71 @@ class EnergyMacroModel:
                 f"coefficient vector shape {self.coefficients.shape} does not match "
                 f"template {self.template.name!r} with {len(self.template)} variables"
             )
+        if self.operating_point is not None and not isinstance(
+            self.operating_point, OperatingPoint
+        ):
+            self.operating_point = OperatingPoint.parse(self.operating_point)
+        # Per-instance memo of derived models (key -> EnergyMacroModel).
+        # Kept out of __eq__ semantics by not being a dataclass field, and
+        # out of pickles (forked DSE/serve workers) via __getstate__.
+        self._derived_cache: dict[str, "EnergyMacroModel"] = {}
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_derived_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._derived_cache = {}
+
+    # -- operating-point rescaling -----------------------------------------
+
+    def at(
+        self,
+        operating_point: "OperatingPoint | str | None",
+        calibration: Optional[TechCalibration] = None,
+    ) -> "EnergyMacroModel":
+        """This model rescaled to another operating point.
+
+        Per-operation energies scale by the calibration's first-order
+        CMOS factor ``C(node)/C(node_base) * (V/V_base)^2`` relative to
+        the point this model is valid at (its own ``operating_point``,
+        or the calibration reference when unset).  Frequency is carried
+        along for time conversion but does not touch the coefficients —
+        and nothing here touches simulation, so ``ExecutionStats`` stay
+        bitwise identical across points.
+
+        ``at(None)`` returns ``self`` (the model at its own fit point).
+        Results are memoized per instance, so repeated requests for the
+        same point (the DSE hot loop) share one derived model object.
+        """
+        if operating_point is None:
+            return self
+        cache_key: Optional[str] = None
+        if calibration is None:
+            calibration = default_calibration()
+            cache_key = OperatingPoint.parse(operating_point).key
+            cached = self._derived_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        op = calibration.validate(operating_point)
+        base = self.operating_point or calibration.reference
+        scale = calibration.relative_scale(op, base)
+        derived = EnergyMacroModel(
+            template=self.template,
+            coefficients=self.coefficients * scale,
+            processor_family=self.processor_family,
+            fit_info={
+                **self.fit_info,
+                "derived_from": base.key,
+                "energy_scale": scale,
+            },
+            operating_point=op,
+        )
+        if cache_key is not None:
+            self._derived_cache[cache_key] = derived
+        return derived
 
     # -- estimation -------------------------------------------------------
 
@@ -108,16 +218,23 @@ class EnergyMacroModel:
             energy=float(variables @ self.coefficients),
             stats=result.stats,
             variables=dict(zip(self.template.keys(), variables.tolist())),
+            operating_point=self.operating_point,
         )
 
     # -- reporting -----------------------------------------------------------
 
     def coefficient_table(self) -> str:
         """Format the fitted coefficients in the shape of the paper's Table I."""
+        point = (
+            self.operating_point.key
+            if self.operating_point is not None
+            else "calibration reference"
+        )
         header = (
             f"Energy coefficients of the characterized {self.processor_family} processor\n"
             f"(template {self.template.name}; "
-            f"{self.fit_info.get('samples', '?')} characterization programs)\n"
+            f"{self.fit_info.get('samples', '?')} characterization programs; "
+            f"operating point {point})\n"
         )
         rows = [f"{'coefficient':<16}{'description':<58}{'value':>12}"]
         rows.append("-" * 86)
@@ -129,21 +246,47 @@ class EnergyMacroModel:
 
     def to_json(self) -> str:
         payload = {
-            "format": "repro-energy-macro-model/1",
+            "format": MODEL_FORMAT,
             "template": self.template.name,
             "processor_family": self.processor_family,
             "coefficients": dict(
                 zip(self.template.keys(), (float(c) for c in self.coefficients))
             ),
             "fit_info": self.fit_info,
+            "operating_point": (
+                self.operating_point.to_payload()
+                if self.operating_point is not None
+                else None
+            ),
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "EnergyMacroModel":
         payload = json.loads(text)
-        if payload.get("format") != "repro-energy-macro-model/1":
-            raise ValueError(f"unrecognized model format {payload.get('format')!r}")
+        file_format = payload.get("format")
+        if file_format in LEGACY_MODEL_FORMATS:
+            warnings.warn(
+                f"model file uses legacy schema {file_format!r} "
+                f"(current: {MODEL_FORMAT!r}); it predates operating-point "
+                "metadata and is treated as fitted at the calibration "
+                "reference point — re-save with model.save() to migrate",
+                UserWarning,
+                stacklevel=2,
+            )
+            operating_point = None
+        elif file_format == MODEL_FORMAT:
+            raw_point = payload.get("operating_point")
+            try:
+                operating_point = (
+                    OperatingPoint.from_payload(raw_point)
+                    if raw_point is not None
+                    else None
+                )
+            except CalibrationError as exc:
+                raise ValueError(f"model file has a bad operating point: {exc}") from exc
+        else:
+            raise ValueError(f"unrecognized model format {file_format!r}")
         template_name = payload["template"]
         factory = _TEMPLATE_REGISTRY.get(template_name)
         if factory is None:
@@ -159,6 +302,7 @@ class EnergyMacroModel:
             coefficients=coefficients,
             processor_family=payload.get("processor_family", "unknown"),
             fit_info=payload.get("fit_info", {}),
+            operating_point=operating_point,
         )
 
     def save(self, path: str) -> None:

@@ -13,10 +13,10 @@ profiling run that produced it.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..asm import Program, assemble
-from ..dse.space import Knob, SearchSpace, register_space
+from ..dse.space import Knob, SearchSpace, register_space, with_operating_points
 from ..xtcore import CacheConfig, ProcessorConfig, build_processor
 from .pipeline import DiscoveryManifest, software_case
 from .rewrite import rewrite_program
@@ -44,10 +44,19 @@ def _build_discovered_point(
     return config, rewrite_program(program, config.isa, legalized).program
 
 
-def discovered_space(manifest: DiscoveryManifest) -> SearchSpace:
-    """The ``discovered:<workload>`` space for one manifest."""
+def discovered_space(
+    manifest: DiscoveryManifest,
+    operating_points: Optional[Sequence[str]] = None,
+) -> SearchSpace:
+    """The ``discovered:<workload>`` space for one manifest.
+
+    ``operating_points`` optionally crosses the space with a technology
+    operating-point axis (see :func:`repro.dse.with_operating_points`);
+    the space keeps its canonical name either way so by-name lookup and
+    manifests stay stable.
+    """
     impls = ("sw",) + tuple(entry.mnemonic for entry in manifest.entries)
-    return SearchSpace(
+    space = SearchSpace(
         name=f"discovered:{manifest.workload}",
         description=(
             f"software {manifest.workload} vs {len(manifest.entries)} discovered "
@@ -61,10 +70,16 @@ def discovered_space(manifest: DiscoveryManifest) -> SearchSpace:
         ),
         builder=lambda a: _build_discovered_point(manifest, a),
     )
+    if operating_points:
+        space = with_operating_points(space, operating_points, name=space.name)
+    return space
 
 
-def register_discovered(manifest: DiscoveryManifest) -> str:
+def register_discovered(
+    manifest: DiscoveryManifest,
+    operating_points: Optional[Sequence[str]] = None,
+) -> str:
     """Register the manifest's space for by-name lookup; returns its name."""
-    space = discovered_space(manifest)
-    register_space(space.name, lambda: discovered_space(manifest))
+    space = discovered_space(manifest, operating_points)
+    register_space(space.name, lambda: discovered_space(manifest, operating_points))
     return space.name

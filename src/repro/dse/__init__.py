@@ -32,6 +32,7 @@ from .pareto import PARETO_AXES, dominates, pareto_frontier, rank_scores
 from .report import CrossCheckResult, ExplorationReport, cross_check, explore
 from .space import (
     BUILTIN_SPACES,
+    OPERATING_POINT_KNOB,
     Assignment,
     Candidate,
     Knob,
@@ -41,6 +42,7 @@ from .space import (
     available_spaces,
     get_space,
     register_space,
+    with_operating_points,
 )
 from .strategies import (
     ExhaustiveStrategy,
@@ -62,6 +64,7 @@ __all__ = [
     "GreedyStrategy",
     "Knob",
     "OBJECTIVES",
+    "OPERATING_POINT_KNOB",
     "PARETO_AXES",
     "RandomStrategy",
     "ResultCache",
@@ -81,4 +84,5 @@ __all__ = [
     "program_digest",
     "rank_scores",
     "register_space",
+    "with_operating_points",
 ]

@@ -35,7 +35,7 @@ from ..core.model import EnergyMacroModel
 from ..xtcore import ProcessorConfig
 
 #: Format tag stored in every cache entry (bump to invalidate old caches).
-CACHE_FORMAT = "repro-dse-score/1"
+CACHE_FORMAT = "repro-dse-score/2"
 
 
 def model_digest(model: EnergyMacroModel) -> str:

@@ -35,12 +35,18 @@ from ..xtcore import (
     semantic_fingerprint,
 )
 from .cache import ResultCache, candidate_cache_key, model_digest
-from .space import Candidate, SearchSpace
+from .space import OPERATING_POINT_KNOB, Candidate, SearchSpace
 
 
 @dataclasses.dataclass
 class CandidateScore:
-    """One scored design point (all objectives are minimized)."""
+    """One scored design point (all objectives are minimized).
+
+    ``operating_point`` / ``frequency_mhz`` are set when the design point
+    carries an operating-point knob (or the model itself is bound to a
+    point); they unlock the real-time objectives ``time`` (seconds) and
+    ``edp_seconds`` on top of the cycle-based ones.
+    """
 
     key: str  # canonical assignment key within the space
     assignment: dict
@@ -50,11 +56,28 @@ class CandidateScore:
     cycles: int
     area: float
     from_cache: bool = False
+    operating_point: Optional[str] = None
+    frequency_mhz: Optional[float] = None
 
     @property
     def edp(self) -> float:
         """Energy-delay product, the default exploration objective."""
         return self.energy * self.cycles
+
+    @property
+    def seconds(self) -> Optional[float]:
+        """Wall-clock runtime; needs an operating point to pin the clock."""
+        if self.frequency_mhz is None:
+            return None
+        return self.cycles / (self.frequency_mhz * 1e6)
+
+    @property
+    def edp_seconds(self) -> Optional[float]:
+        """Energy-delay product with delay in real seconds."""
+        seconds = self.seconds
+        if seconds is None:
+            return None
+        return self.energy * seconds
 
     def objective(self, name: str) -> float:
         """Look up one scalar objective by name."""
@@ -62,12 +85,22 @@ class CandidateScore:
             return self.edp
         if name in ("energy", "cycles", "area"):
             return float(getattr(self, name))
+        if name in ("time", "edp_seconds"):
+            value = self.seconds if name == "time" else self.edp_seconds
+            if value is None:
+                raise ValueError(
+                    f"objective {name!r} needs an operating point (a clock "
+                    "frequency) — explore an operating-point space or pass "
+                    "--operating-point"
+                )
+            return float(value)
         raise ValueError(
-            f"unknown objective {name!r} (use energy, cycles, edp or area)"
+            f"unknown objective {name!r} "
+            f"(use {', '.join(OBJECTIVES[:-1])} or {OBJECTIVES[-1]})"
         )
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "key": self.key,
             "assignment": dict(self.assignment),
             "program": self.program_name,
@@ -76,10 +109,17 @@ class CandidateScore:
             "cycles": int(self.cycles),
             "edp": float(self.edp),
             "area": float(self.area),
+            "operating_point": self.operating_point,
+            "frequency_mhz": self.frequency_mhz,
         }
+        if self.frequency_mhz is not None:
+            payload["seconds"] = self.seconds
+            payload["edp_seconds"] = self.edp_seconds
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict, from_cache: bool = False) -> "CandidateScore":
+        frequency = payload.get("frequency_mhz")
         return cls(
             key=payload["key"],
             assignment=dict(payload["assignment"]),
@@ -89,10 +129,12 @@ class CandidateScore:
             cycles=int(payload["cycles"]),
             area=float(payload["area"]),
             from_cache=from_cache,
+            operating_point=payload.get("operating_point"),
+            frequency_mhz=float(frequency) if frequency is not None else None,
         )
 
 
-OBJECTIVES = ("energy", "cycles", "edp", "area")
+OBJECTIVES = ("energy", "cycles", "edp", "area", "time", "edp_seconds")
 
 
 # -- worker-process plumbing -------------------------------------------------
@@ -124,6 +166,10 @@ def _score_point(
     key = assignment_key(assignment)
     stage = "build"
     try:
+        # An operating-point knob rescales the model, never the hardware:
+        # model.at() memoizes per point, so the derived model is shared
+        # across every candidate at that point.
+        model = model.at(assignment.get(OPERATING_POINT_KNOB))
         config, program = built if built is not None else space.build(assignment)
         stage = "estimate"
         estimate = model.estimate(config, program, max_instructions=max_instructions)
@@ -137,6 +183,7 @@ def _score_point(
             "error_type": type(exc).__name__,
             "message": str(exc),
         }
+    point = model.operating_point
     return {
         "ok": True,
         "key": key,
@@ -146,6 +193,8 @@ def _score_point(
         "energy": float(estimate.energy),
         "cycles": int(estimate.cycles),
         "area": float(area),
+        "operating_point": point.key if point is not None else None,
+        "frequency_mhz": point.frequency_mhz if point is not None else None,
     }
 
 
@@ -203,8 +252,27 @@ class EvaluationEngine:
         #: member candidates those passes covered
         self.batch_groups = 0
         self.batch_members = 0
-        self._model_digest = model_digest(model)
+        # Per-operating-point (model, digest) pairs: the base model under
+        # None plus one derived model per point key seen in assignments.
+        # Distinct digests make cache keys disjoint across points.
+        self._models: dict[Optional[str], tuple[EnergyMacroModel, str]] = {
+            None: (model, model_digest(model))
+        }
         self._memo: dict[str, CandidateScore] = {}
+
+    def _resolve_model(self, assignment: dict) -> tuple[EnergyMacroModel, str]:
+        """The (derived model, digest) for one assignment's operating point.
+
+        Raises (CalibrationError) on a bad point — callers score inside
+        their per-candidate isolation, or pre-validate via the space.
+        """
+        point = assignment.get(OPERATING_POINT_KNOB)
+        entry = self._models.get(point)
+        if entry is None:
+            derived = self.model.at(point)
+            entry = (derived, model_digest(derived))
+            self._models[point] = entry
+        return entry
 
     # -- cache bookkeeping -------------------------------------------------
 
@@ -344,7 +412,12 @@ class EvaluationEngine:
                 continue
             for (index, candidate, config, program), result in zip(members, batch):
                 try:
-                    energy = self.model.estimate_from_stats(result.stats, config)
+                    # One shared simulation, one derived model per member's
+                    # operating point: candidates differing only in the
+                    # point collapse into this group (identical config ->
+                    # identical semantic fingerprint) and diverge here.
+                    member_model = self._resolve_model(candidate.assignment_dict)[0]
+                    energy = member_model.estimate_from_stats(result.stats, config)
                     area = generate_netlist(config).custom_area
                 except Exception as exc:  # noqa: BLE001 — per-candidate isolation
                     results[index] = {
@@ -356,6 +429,7 @@ class EvaluationEngine:
                         "message": str(exc),
                     }
                     continue
+                point = member_model.operating_point
                 results[index] = {
                     "ok": True,
                     "key": candidate.key,
@@ -365,6 +439,10 @@ class EvaluationEngine:
                     "energy": float(energy),
                     "cycles": int(result.stats.total_cycles),
                     "area": float(area),
+                    "operating_point": point.key if point is not None else None,
+                    "frequency_mhz": (
+                        point.frequency_mhz if point is not None else None
+                    ),
                 }
         return results
 
@@ -436,6 +514,7 @@ class EvaluationEngine:
     def _try_cache(self, candidate: Candidate):
         """A cached score, a built (config, program) pair, or None."""
         try:
+            digest = self._resolve_model(candidate.assignment_dict)[1]
             config, program = candidate.build()
         except Exception as exc:  # noqa: BLE001
             self._record_failure(
@@ -448,9 +527,7 @@ class EvaluationEngine:
                 },
             )
             return None
-        key = candidate_cache_key(
-            self._model_digest, config, program, self.max_instructions
-        )
+        key = candidate_cache_key(digest, config, program, self.max_instructions)
         payload = self.cache.get(key)
         if payload is not None:
             score = CandidateScore.from_payload(
@@ -466,7 +543,10 @@ class EvaluationEngine:
             return
         config, program = built if built is not None else candidate.build()
         key = candidate_cache_key(
-            self._model_digest, config, program, self.max_instructions
+            self._resolve_model(candidate.assignment_dict)[1],
+            config,
+            program,
+            self.max_instructions,
         )
         payload = dict(raw)
         payload.pop("ok", None)

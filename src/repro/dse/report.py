@@ -24,10 +24,10 @@ from ..core.model import EnergyMacroModel
 from ..core.runner import SampleFailure
 from ..rtl import reference_energy
 from ..xtcore import DEFAULT_MAX_INSTRUCTIONS
-from .cache import ResultCache
+from .cache import ResultCache, model_digest as _model_digest
 from .evaluate import CandidateScore, EvaluationEngine
 from .pareto import PARETO_AXES, pareto_frontier, rank_scores
-from .space import SearchSpace
+from .space import OPERATING_POINT_KNOB, SearchSpace
 from .strategies import Strategy
 
 
@@ -49,6 +49,12 @@ class ExplorationReport:
     cache_misses: int = 0
     #: worker-pool breakages the run survived (0 = clean run)
     pool_restarts: int = 0
+    #: content digest of the model the run scored against (self-describing
+    #: artifacts: re-running with a different model is visibly different)
+    model_digest: str = ""
+    #: the model's own operating-point key, or None at the calibration
+    #: reference; per-candidate points live on the scores themselves
+    operating_point: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -88,19 +94,35 @@ class ExplorationReport:
                 f"worker pool died {self.pool_restarts} time(s); "
                 "run completed with serial fallback"
             )
+        if self.model_digest or self.operating_point:
+            lines.append(
+                f"model {self.model_digest[:12] or '?'} at "
+                f"{self.operating_point or 'calibration reference'}"
+            )
+        ranked = self.ranked(top_k)
+        # Real-time columns only render when every ranked row has a clock
+        # (an operating-point axis or a point-bound model).
+        with_time = bool(ranked) and all(
+            score.frequency_mhz is not None for score in ranked
+        )
         header = (
             f"{'#':>3} {'design point':<34}{'program':<14}"
             f"{'energy':>12}{'cycles':>9}{'EDP':>13}{'area':>9}"
         )
+        if with_time:
+            header += f"{'time_us':>10}{'EDP_s':>12}"
         lines.append(header)
         lines.append("-" * len(header))
-        for i, score in enumerate(self.ranked(top_k), start=1):
+        for i, score in enumerate(ranked, start=1):
             marker = "*" if score in self.pareto else " "
-            lines.append(
+            row = (
                 f"{i:>3} {score.key:<33}{marker}{score.program_name:<14}"
                 f"{score.energy:>12.0f}{score.cycles:>9}{score.edp:>13.4g}"
                 f"{score.area:>9.2f}"
             )
+            if with_time:
+                row += f"{score.seconds * 1e6:>10.2f}{score.edp_seconds:>12.4g}"
+            lines.append(row)
         lines.append(
             f"pareto frontier (*): {len(self.pareto)} point(s) over "
             f"{'/'.join(PARETO_AXES)}"
@@ -118,6 +140,8 @@ class ExplorationReport:
             "space_size": self.space_size,
             "strategy": self.strategy,
             "objective": self.objective,
+            "model_digest": self.model_digest,
+            "operating_point": self.operating_point,
             "jobs": self.jobs,
             "elapsed_seconds": self.elapsed_seconds,
             "evaluated": self.evaluated,
@@ -142,10 +166,21 @@ class ExplorationReport:
         writer.writerow(
             ["rank", "key", "program", "processor"]
             + knob_names
-            + ["energy", "cycles", "edp", "area", "pareto"]
+            + [
+                "energy",
+                "cycles",
+                "edp",
+                "area",
+                "operating_point",
+                "frequency_mhz",
+                "seconds",
+                "edp_seconds",
+                "pareto",
+            ]
         )
         pareto_keys = {score.key for score in self.pareto}
         for rank, score in enumerate(self.ranked(), start=1):
+            seconds = score.seconds
             writer.writerow(
                 [rank, score.key, score.program_name, score.processor_name]
                 + [score.assignment.get(name, "") for name in knob_names]
@@ -154,6 +189,10 @@ class ExplorationReport:
                     score.cycles,
                     f"{score.edp:.6g}",
                     f"{score.area:.4f}",
+                    score.operating_point or "",
+                    f"{score.frequency_mhz:g}" if score.frequency_mhz else "",
+                    f"{seconds:.6g}" if seconds is not None else "",
+                    f"{score.edp_seconds:.6g}" if seconds is not None else "",
                     int(score.key in pareto_keys),
                 ]
             )
@@ -172,6 +211,18 @@ def explore(
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExplorationReport:
     """Run one exploration end to end and package the report."""
+    if objective in ("time", "edp_seconds"):
+        # fail before any simulation: real-time objectives need a clock,
+        # from the model's operating point or an operating_point knob
+        has_op_knob = any(
+            knob.name == OPERATING_POINT_KNOB for knob in space.knobs
+        )
+        if model.operating_point is None and not has_op_knob:
+            raise ValueError(
+                f"objective {objective!r} needs an operating point (a clock "
+                "frequency): rescale the model with model.at(...) or add an "
+                "operating_point knob via with_operating_points(...)"
+            )
     engine = EvaluationEngine(
         model,
         space,
@@ -198,6 +249,10 @@ def explore(
         cache_hits=engine.cache_hits,
         cache_misses=engine.cache_misses,
         pool_restarts=engine.pool_restarts,
+        model_digest=_model_digest(model),
+        operating_point=(
+            model.operating_point.key if model.operating_point is not None else None
+        ),
     )
 
 
@@ -223,6 +278,7 @@ def cross_check(
     top_k: Optional[int] = None,
     objective: str = "edp",
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    operating_point: Optional[str] = None,
 ) -> CrossCheckResult:
     """Re-estimate the top-k with the slow reference path; Spearman rho.
 
@@ -236,7 +292,15 @@ def cross_check(
     rows = []
     for score in chosen:
         config, program = space.candidate(score.assignment).build()
-        report, _ = reference_energy(config, program, max_instructions=max_instructions)
+        # Compare at the point each score was estimated at: the reference
+        # estimator applies the identical calibration factor, so the
+        # macro-vs-reference ratio is point-independent by construction.
+        report, _ = reference_energy(
+            config,
+            program,
+            max_instructions=max_instructions,
+            operating_point=score.operating_point or operating_point,
+        )
         rows.append((score.key, score.energy, report.total))
     rho = spearman_rho([row[1] for row in rows], [row[2] for row in rows])
     return CrossCheckResult(rows=rows, rho=rho)

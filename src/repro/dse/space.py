@@ -27,7 +27,14 @@ import dataclasses
 from typing import Callable, Dict, Iterator, Mapping, Sequence, Tuple
 
 from ..asm import Program, assemble
+from ..tech import DEFAULT_DVFS_POINTS, OperatingPoint, default_calibration
 from ..xtcore import CacheConfig, ProcessorConfig, build_processor
+
+#: Name of the reserved operating-point knob (see
+#: :func:`with_operating_points`).  Builders never see it — the value is
+#: a :class:`repro.tech.OperatingPoint` key consumed by the evaluation
+#: engine, which rescales the model instead of changing the hardware.
+OPERATING_POINT_KNOB = "operating_point"
 
 #: A knob assignment: knob name -> chosen value (JSON-scalar).
 Assignment = Dict[str, object]
@@ -180,6 +187,54 @@ class SearchSpace:
 
 
 # ---------------------------------------------------------------------------
+# operating-point axis
+# ---------------------------------------------------------------------------
+
+
+def with_operating_points(
+    space: SearchSpace,
+    points: Sequence["OperatingPoint | str"] = DEFAULT_DVFS_POINTS,
+    name: "str | None" = None,
+) -> SearchSpace:
+    """Cross a space with a technology operating-point axis.
+
+    Appends an ``operating_point`` knob whose values are canonical point
+    keys (validated against the default calibration table).  The wrapped
+    builder strips the knob before delegating, so the **hardware and the
+    simulation are identical across points** — only the energy/time
+    scaling differs, which is exactly what lets the evaluation engine
+    collapse op-only-differing candidates into one batched simulation.
+    """
+    if any(knob.name == OPERATING_POINT_KNOB for knob in space.knobs):
+        raise SpaceError(
+            f"space {space.name!r} already has an {OPERATING_POINT_KNOB!r} knob"
+        )
+    if not points:
+        raise SpaceError("with_operating_points needs at least one operating point")
+    calibration = default_calibration()
+    keys = []
+    for point in points:
+        try:
+            keys.append(calibration.validate(point).key)
+        except ValueError as exc:
+            raise SpaceError(f"bad operating point {point!r}: {exc}") from exc
+    if len(set(keys)) != len(keys):
+        raise SpaceError(f"duplicate operating points in {keys}")
+
+    def build(assignment: Assignment) -> Tuple[ProcessorConfig, Program]:
+        inner = dict(assignment)
+        inner.pop(OPERATING_POINT_KNOB, None)
+        return space.build(inner)
+
+    return SearchSpace(
+        name=name if name is not None else f"{space.name}@dvfs",
+        description=f"{space.description} x {len(keys)} DVFS operating points",
+        knobs=space.knobs + (Knob(OPERATING_POINT_KNOB, tuple(keys)),),
+        builder=build,
+    )
+
+
+# ---------------------------------------------------------------------------
 # bundled spaces
 # ---------------------------------------------------------------------------
 
@@ -262,6 +317,22 @@ def _builtin_spaces() -> dict[str, Callable[[], SearchSpace]]:
             "fir",
             ("sw", "mac", "packed"),
             "FIR choices crossed with cache-geometry knobs",
+        ),
+        "reed_solomon_dvfs": lambda: with_operating_points(
+            _impl_space(
+                "reed_solomon",
+                ("sw", "gfmul", "gfmac", "dual"),
+                "the paper's four Fig. 4 Reed-Solomon custom-instruction choices",
+            ),
+            name="reed_solomon_dvfs",
+        ),
+        "fir_dvfs": lambda: with_operating_points(
+            _impl_space(
+                "fir",
+                ("sw", "mac", "packed"),
+                "the three 16-tap FIR filter implementation choices",
+            ),
+            name="fir_dvfs",
         ),
     }
 

@@ -43,6 +43,7 @@ from ..hwlib import ComponentInstance
 from ..isa import InstructionClass, hamming_distance
 from ..obs.protocol import SimObserver
 from ..obs.session import run_session
+from ..tech import OperatingPoint, TechCalibration, default_calibration
 from ..xtcore import DEFAULT_MAX_INSTRUCTIONS, ProcessorConfig, SimulationResult
 from ..asm import Program
 from .blocks import (
@@ -149,10 +150,14 @@ class _ActivityAccumulator:
         extensions = est.config.extension_index
         control = est.netlist.control
         toggle_of = self._toggle_of
+        scale = est.energy_scale
 
+        # Every unit of energy flows through this closure, so one factor
+        # here rescales the whole report to the estimator's operating
+        # point — exactly linear, matching EnergyMacroModel.at().
         def charge(block: str, amount: float, group: str) -> None:
-            by_block[block] += amount
-            groups[group] += amount
+            by_block[block] += amount * scale
+            groups[group] += amount * scale
 
         operands = record.operands
         cycles = record.cycles
@@ -382,12 +387,33 @@ class RtlEnergyEstimator:
     ~0% error, demonstrating that the estimation error measured in the
     main experiments comes from the class-level abstraction, not from the
     regression machinery.
+
+    ``operating_point`` rescales every charged energy by the calibration
+    table's first-order CMOS factor relative to the reference point —
+    the same factor :meth:`EnergyMacroModel.at` applies to fitted
+    coefficients, so macro-vs-reference comparisons stay apples-to-apples
+    at any point.  ``None`` means the calibration reference (scale 1.0).
     """
 
-    def __init__(self, netlist: ProcessorNetlist, data_dependent: bool = True) -> None:
+    def __init__(
+        self,
+        netlist: ProcessorNetlist,
+        data_dependent: bool = True,
+        operating_point: "OperatingPoint | str | None" = None,
+        calibration: Optional[TechCalibration] = None,
+    ) -> None:
         self.netlist = netlist
         self.config = netlist.config
         self.data_dependent = data_dependent
+        if operating_point is not None:
+            cal = calibration or default_calibration()
+            self.operating_point: Optional[OperatingPoint] = cal.validate(
+                operating_point
+            )
+            self.energy_scale = cal.energy_scale(self.operating_point)
+        else:
+            self.operating_point = None
+            self.energy_scale = 1.0
         self._blocks = BLOCKS_BY_NAME
         # Pre-resolve per-instance nominal energies (variation applied).
         self._instance_energy: dict[str, float] = {}
@@ -496,7 +522,10 @@ def reference_energy(
     config: ProcessorConfig,
     program: Program,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    operating_point: "OperatingPoint | str | None" = None,
 ) -> tuple[EnergyReport, SimulationResult]:
     """One-shot: generate the netlist and run the reference estimator."""
-    estimator = RtlEnergyEstimator(generate_netlist(config))
+    estimator = RtlEnergyEstimator(
+        generate_netlist(config), operating_point=operating_point
+    )
     return estimator.estimate_program(program, max_instructions=max_instructions)

@@ -28,6 +28,7 @@ import dataclasses
 from typing import Optional
 
 from ..dse.cache import candidate_cache_key
+from ..tech import CalibrationError, default_calibration
 from ..xtcore import DEFAULT_MAX_INSTRUCTIONS
 
 #: Upper bound on inline assembly source accepted over the wire.
@@ -37,7 +38,7 @@ MAX_SOURCE_BYTES = 256 * 1024
 MAX_REQUEST_INSTRUCTIONS = 50_000_000
 
 #: Objectives accepted by an explore request (mirrors ``repro.dse``).
-EXPLORE_OBJECTIVES = ("energy", "cycles", "edp", "area")
+EXPLORE_OBJECTIVES = ("energy", "cycles", "edp", "area", "time", "edp_seconds")
 
 #: Strategies accepted by an explore request.
 EXPLORE_STRATEGIES = ("exhaustive", "random", "greedy")
@@ -99,6 +100,26 @@ def _parse_deadline(payload: dict) -> Optional[int]:
     return raw
 
 
+def _parse_operating_point(payload: dict) -> Optional[str]:
+    """Validate an optional operating point; returns the canonical key.
+
+    Canonicalizing here (``"65 nm @ 1.1 V @ 800 MHz"`` and
+    ``"65nm@1.1V@800MHz"`` become one key) keeps request dedup exact.
+    """
+    raw = payload.get("operating_point")
+    if raw is None:
+        return None
+    if not isinstance(raw, str) or not raw:
+        raise ApiError(
+            400,
+            "operating_point must be a string like '65nm@1.1V@800MHz'",
+        )
+    try:
+        return default_calibration().validate(raw).key
+    except CalibrationError as exc:
+        raise ApiError(400, f"bad operating_point: {exc}") from exc
+
+
 def _parse_extensions(payload: dict) -> tuple[str, ...]:
     raw = payload.get("extensions", ())
     if isinstance(raw, str):
@@ -128,6 +149,9 @@ class EstimateRequest:
     #: client-supplied total deadline; the service sheds the request
     #: (504) anywhere along the pipeline once it expires
     deadline_ms: Optional[int] = None
+    #: canonical operating-point key to estimate at, or None for the
+    #: model's own fit point
+    operating_point: Optional[str] = None
 
 
 def parse_estimate(payload: object) -> EstimateRequest:
@@ -144,6 +168,7 @@ def parse_estimate(payload: object) -> EstimateRequest:
         raise ApiError(400, "variables must be a boolean")
     max_instructions = _parse_budget(body)
     deadline_ms = _parse_deadline(body)
+    operating_point = _parse_operating_point(body)
     if benchmark is not None:
         if not isinstance(benchmark, str) or not benchmark:
             raise ApiError(400, "benchmark must be a non-empty string")
@@ -159,6 +184,7 @@ def parse_estimate(payload: object) -> EstimateRequest:
             max_instructions=max_instructions,
             variables=variables,
             deadline_ms=deadline_ms,
+            operating_point=operating_point,
         )
     prog = _require_dict(program)
     source = prog.get("source")
@@ -179,6 +205,7 @@ def parse_estimate(payload: object) -> EstimateRequest:
         max_instructions=max_instructions,
         variables=variables,
         deadline_ms=deadline_ms,
+        operating_point=operating_point,
     )
 
 
@@ -193,6 +220,9 @@ class ExploreRequest:
     objective: str
     max_instructions: int
     top_k: Optional[int]
+    #: canonical operating-point key to score against, or None for the
+    #: model's own fit point
+    operating_point: Optional[str] = None
 
 
 def parse_explore(payload: object) -> ExploreRequest:
@@ -232,6 +262,7 @@ def parse_explore(payload: object) -> ExploreRequest:
         objective=objective,
         max_instructions=_parse_budget(body),
         top_k=top_k,
+        operating_point=_parse_operating_point(body),
     )
 
 

@@ -108,6 +108,8 @@ class ServiceMetrics:
         self.inflight = 0
         self.latency = {"estimate": LatencyWindow(), "explore": LatencyWindow()}
         self.sim_tally = RunTallyObserver()
+        #: requests per operating-point key ("fit-point" = no point given)
+        self.operating_points: dict[str, int] = {}
 
     # -- mutation ----------------------------------------------------------
 
@@ -122,6 +124,12 @@ class ServiceMetrics:
     def observe_latency(self, endpoint: str, seconds: float) -> None:
         with self._lock:
             self.latency[endpoint].record(seconds)
+
+    def observe_operating_point(self, point: Optional[str]) -> None:
+        """Count one request against its operating point."""
+        label = point if point is not None else "fit-point"
+        with self._lock:
+            self.operating_points[label] = self.operating_points.get(label, 0) + 1
 
     def merge_sim_snapshot(self, snapshot: dict) -> None:
         """Fold a worker-side :class:`ServiceMetricsObserver` snapshot in."""
@@ -161,6 +169,7 @@ class ServiceMetrics:
                     name: window.snapshot() for name, window in self.latency.items()
                 },
                 "simulation": self.sim_tally.snapshot(),
+                "operating_points": dict(self.operating_points),
             }
         payload["counters"]["duplicates_merged"] = (
             payload["counters"]["coalesced_total"]
@@ -213,6 +222,8 @@ def render_prometheus(payload: dict) -> str:
         emit("latency_mean_ms", window["mean_ms"], labels)
     for name, value in sorted(payload["simulation"].items()):
         emit(f"sim_{name}", value)
+    for point, count in sorted(payload.get("operating_points", {}).items()):
+        emit("operating_point_requests", count, f'{{point="{point}"}}')
     for cache_name, info in sorted(payload.get("caches", {}).items()):
         labels = f'{{cache="{cache_name}"}}'
         for field in (

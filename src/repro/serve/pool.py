@@ -157,6 +157,7 @@ def _estimate_payload(result, config: ProcessorConfig, program, model) -> dict:
 
     variables = extract_variables(result.stats, config, model.template)
     # keep the entry ResultCache/DSE-compatible: area included
+    point = model.operating_point
     payload = {
         "ok": True,
         "program": program.name,
@@ -165,7 +166,11 @@ def _estimate_payload(result, config: ProcessorConfig, program, model) -> dict:
         "cycles": int(result.stats.total_cycles),
         "area": _custom_area(config),
         "instructions": int(result.stats.total_instructions),
+        "operating_point": point.key if point is not None else None,
+        "frequency_mhz": point.frequency_mhz if point is not None else None,
     }
+    if point is not None:
+        payload["seconds"] = point.seconds(result.stats.total_cycles)
     # always shipped: a coalesced waiter may want the breakdown even
     # when the request that triggered the simulation did not
     payload["variables"] = dict(
@@ -196,6 +201,9 @@ def _estimate_item(item: dict, model, observer: ServiceMetricsObserver) -> dict:
         }
     stage = "build"
     try:
+        # The operating point rescales the model only — the simulation
+        # below is identical across points (bitwise-equal stats).
+        model = model.at(item.get("operating_point"))
         config, program = resolve_workload(item)
         stage = "estimate"
         result = run_session(
@@ -279,7 +287,11 @@ def run_estimate_batch(items: Sequence[dict]) -> dict:
             observer.on_run_start(config, program)
             observer.on_run_finish(result)
             try:
-                results[index] = _estimate_payload(result, config, program, model)
+                # One shared execution pass, one derived model per item's
+                # operating point (memoized on the base model instance).
+                results[index] = _estimate_payload(
+                    result, config, program, model.at(_item.get("operating_point"))
+                )
             except Exception as exc:  # noqa: BLE001 — per-item isolation
                 results[index] = {
                     "ok": False,
@@ -301,6 +313,7 @@ def run_explore(item: dict) -> dict:
 
     model: EnergyMacroModel = _WORKER["model"]
     try:
+        model = model.at(item.get("operating_point"))
         space = get_space(item["space"])
         strategy = make_strategy(
             item["strategy"],
@@ -319,6 +332,9 @@ def run_explore(item: dict) -> dict:
             objective=item.get("objective", "edp"),
             max_instructions=int(item["max_instructions"]),
         )
+        # ranking happens during serialization, so objective errors
+        # (e.g. a time objective with no clock) must stay inside the try
+        payload = json.loads(report.to_json())
     except Exception as exc:  # noqa: BLE001 — per-request isolation is the point
         return {
             "ok": False,
@@ -326,7 +342,6 @@ def run_explore(item: dict) -> dict:
             "error_type": type(exc).__name__,
             "message": str(exc),
         }
-    payload = json.loads(report.to_json())
     top_k = item.get("top_k")
     if top_k is not None:
         payload["scores"] = payload["scores"][: int(top_k)]

@@ -131,6 +131,12 @@ class EstimationService:
             raise ValueError(f"drain_grace must be >= 0, got {drain_grace}")
         self.model = model
         self.model_digest = model_digest(model)
+        # Per-operating-point derived models and their digests: requests
+        # at different points must dedupe/cache separately, and the
+        # distinct digest of each derived model guarantees exactly that.
+        self._op_models: dict[Optional[str], tuple] = {
+            None: (model, self.model_digest)
+        }
         self.dedupe = dedupe
         self.batch_max = batch_max
         self.batch_window = batch_window
@@ -353,6 +359,15 @@ class EstimationService:
 
     # -- estimate path -----------------------------------------------------
 
+    def _digest_for(self, operating_point: Optional[str]) -> str:
+        """Model digest at one operating point (memoized per point)."""
+        entry = self._op_models.get(operating_point)
+        if entry is None:
+            derived = self.model.at(operating_point)
+            entry = (derived, model_digest(derived))
+            self._op_models[operating_point] = entry
+        return entry[1]
+
     async def _handle_estimate(self, body: object):
         began = time.perf_counter()
         self.metrics.incr("requests_total")
@@ -367,13 +382,24 @@ class EstimationService:
                 "extensions": list(req.extensions),
                 "max_instructions": req.max_instructions,
             }
+        if req.operating_point is not None:
+            # Only stamped when set so the wire item (and therefore the
+            # worker path) is byte-identical to the pre-calibration shape
+            # for point-less requests.
+            item["operating_point"] = req.operating_point
+        self.metrics.observe_operating_point(req.operating_point)
         try:
             config, program = resolve_workload(item)
         except ApiError:
             raise
         except Exception as exc:  # noqa: BLE001 — bad workload == bad request
             raise ApiError(400, f"cannot build workload: {exc}", code="bad_workload")
-        key = request_key(self.model_digest, config, program, req.max_instructions)
+        key = request_key(
+            self._digest_for(req.operating_point),
+            config,
+            program,
+            req.max_instructions,
+        )
         deadline = deadline_at(req.deadline_ms)
         payload, dedup = await self._obtain(
             key, config.fingerprint(), item, deadline=deadline
@@ -460,6 +486,11 @@ class EstimationService:
                 "key": key,
                 "dedup": dedup,
             }
+            if payload.get("operating_point") is not None:
+                response["operating_point"] = payload["operating_point"]
+                response["frequency_mhz"] = payload.get("frequency_mhz")
+                if payload.get("seconds") is not None:
+                    response["seconds"] = payload["seconds"]
             if req.variables and "variables" in payload:
                 response["variables"] = payload["variables"]
             return 200, response
@@ -499,8 +530,10 @@ class EstimationService:
             "objective": req.objective,
             "max_instructions": req.max_instructions,
             "top_k": req.top_k,
+            "operating_point": req.operating_point,
             "cache_root": self.result_cache.root if self.result_cache else None,
         }
+        self.metrics.observe_operating_point(req.operating_point)
         self._active_explores += 1
         try:
             future = self.pool.submit_explore(item)
@@ -536,7 +569,11 @@ class EstimationService:
                 attempts=1,
             )
             self._record_failure(failure)
-            bad_request = failure.error_type in ("SpaceError", "ValueError")
+            bad_request = failure.error_type in (
+                "SpaceError",
+                "ValueError",
+                "CalibrationError",
+            )
             return (
                 400 if bad_request else 500,
                 {

@@ -1,0 +1,37 @@
+"""Technology calibration layer: operating points, scaling, overlays.
+
+One characterized :class:`~repro.core.model.EnergyMacroModel` is fitted
+at a single (process node, voltage, frequency) point.  This package
+turns that point into a family: ``model.at("65nm@1.1V@800MHz")`` derives
+a rescaled model for any operating point the committed calibration table
+covers, and the DSE/serving layers thread the point through cache keys,
+request schemas and reports.  See ``docs/CALIBRATION.md``.
+"""
+
+from .calibration import (
+    CALIB_FORMAT,
+    DEFAULT_CALIB_PATH,
+    DEFAULT_DVFS_POINTS,
+    CalibrationError,
+    OperatingPoint,
+    TechCalibration,
+    TechNode,
+    default_calibration,
+    reference_operating_point,
+)
+from .carbon import CarbonModel, overlay as carbon_overlay, table as carbon_table
+
+__all__ = [
+    "CALIB_FORMAT",
+    "DEFAULT_CALIB_PATH",
+    "DEFAULT_DVFS_POINTS",
+    "CalibrationError",
+    "OperatingPoint",
+    "TechCalibration",
+    "TechNode",
+    "default_calibration",
+    "reference_operating_point",
+    "CarbonModel",
+    "carbon_overlay",
+    "carbon_table",
+]

@@ -1,0 +1,144 @@
+"""Optional energy -> carbon / total-cost-of-ownership overlay.
+
+The macro-model speaks in abstract energy units per execution.  Once an
+operating point pins those units to a deployment scenario, a fleet-level
+question becomes answerable: *what does running this candidate at N
+executions per second cost per year, in grams of CO2 and in dollars?*
+This module is deliberately first-order — a single grid intensity, a
+single electricity tariff, a linear silicon cost per area unit — because
+the point is ranking candidates, not invoicing a data center.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+_JOULES_PER_KWH = 3.6e6
+
+
+@dataclasses.dataclass(frozen=True)
+class CarbonModel:
+    """First-order conversion from model energy units to carbon and cost.
+
+    ``joules_per_unit`` anchors the macro-model's abstract energy unit to
+    physical joules (the default treats one unit as one nanojoule, the
+    right order of magnitude for the paper's per-instruction figures).
+    """
+
+    joules_per_unit: float = 1e-9
+    grid_intensity_g_per_kwh: float = 400.0
+    electricity_cost_per_kwh: float = 0.12
+    silicon_cost_per_area_unit: float = 0.02
+
+    def execution_joules(self, energy_units: float) -> float:
+        return energy_units * self.joules_per_unit
+
+    def annual_kwh(self, energy_units: float, executions_per_second: float) -> float:
+        joules_per_year = (
+            self.execution_joules(energy_units)
+            * executions_per_second
+            * _SECONDS_PER_YEAR
+        )
+        return joules_per_year / _JOULES_PER_KWH
+
+    def annual_grams_co2(
+        self, energy_units: float, executions_per_second: float
+    ) -> float:
+        return (
+            self.annual_kwh(energy_units, executions_per_second)
+            * self.grid_intensity_g_per_kwh
+        )
+
+    def annual_energy_cost(
+        self, energy_units: float, executions_per_second: float
+    ) -> float:
+        return (
+            self.annual_kwh(energy_units, executions_per_second)
+            * self.electricity_cost_per_kwh
+        )
+
+    def tco(
+        self,
+        energy_units: float,
+        area: float,
+        executions_per_second: float,
+        years: float = 3.0,
+    ) -> float:
+        """Silicon cost plus the energy bill over the deployment lifetime."""
+        return (
+            area * self.silicon_cost_per_area_unit
+            + self.annual_energy_cost(energy_units, executions_per_second) * years
+        )
+
+
+def overlay(
+    scores: Iterable,
+    executions_per_second: float = 1000.0,
+    years: float = 3.0,
+    model: Optional[CarbonModel] = None,
+) -> list[dict]:
+    """Carbon/TCO rows for DSE scores (anything with .key/.energy/.area).
+
+    Returns plain dicts so the result embeds directly into JSON reports.
+    Per-execution energy is rate-independent, so the overlay works even
+    for scores without an operating point — the rate is the deployment's,
+    not the silicon's.
+    """
+    carbon = model or CarbonModel()
+    rows = []
+    for score in scores:
+        energy = float(score.energy)
+        area = float(score.area)
+        rows.append(
+            {
+                "key": score.key,
+                "energy": energy,
+                "area": area,
+                "executions_per_second": executions_per_second,
+                "annual_kwh": carbon.annual_kwh(energy, executions_per_second),
+                "annual_grams_co2": carbon.annual_grams_co2(
+                    energy, executions_per_second
+                ),
+                "annual_energy_cost": carbon.annual_energy_cost(
+                    energy, executions_per_second
+                ),
+                "tco": carbon.tco(energy, area, executions_per_second, years),
+                "tco_years": years,
+            }
+        )
+    return rows
+
+
+def table(rows: list[dict]) -> str:
+    """Render overlay rows as an aligned text table."""
+    if not rows:
+        return "carbon overlay: no scored candidates"
+    header = ("candidate", "kWh/yr", "gCO2/yr", "$/yr", "TCO($)")
+    body = [
+        (
+            str(row["key"]),
+            f"{row['annual_kwh']:.4g}",
+            f"{row['annual_grams_co2']:.4g}",
+            f"{row['annual_energy_cost']:.4g}",
+            f"{row['tco']:.4g}",
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    rate = rows[0]["executions_per_second"]
+    years = rows[0]["tco_years"]
+    lines.append(
+        f"(at {rate:g} executions/s, {years:g}-year TCO horizon)"
+    )
+    return "\n".join(lines)

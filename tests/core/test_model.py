@@ -120,3 +120,85 @@ class TestSerialization:
         )
         restored = EnergyMacroModel.from_json(model.to_json())
         assert restored.fit_info["samples"] == 50
+
+
+class TestOperatingPointSchema:
+    """Versioned model files: legacy migration, digests, at() scaling."""
+
+    def test_legacy_v1_migrates_with_warning(self, model):
+        import json
+
+        payload = json.loads(model.to_json())
+        payload["format"] = "repro-energy-macro-model/1"
+        del payload["operating_point"]
+        with pytest.warns(UserWarning, match="legacy schema"):
+            restored = EnergyMacroModel.from_json(json.dumps(payload))
+        assert restored.operating_point is None
+        assert np.allclose(restored.coefficients, model.coefficients)
+        # re-saving writes the current schema; no warning the second time
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            EnergyMacroModel.from_json(restored.to_json())
+
+    def test_unknown_extra_fields_tolerated(self, model):
+        import json
+
+        payload = json.loads(model.to_json())
+        payload["future_field"] = {"nested": True}
+        restored = EnergyMacroModel.from_json(json.dumps(payload))
+        assert np.allclose(restored.coefficients, model.coefficients)
+
+    def test_operating_point_round_trips(self, model):
+        derived = model.at("65nm@1.1V@800MHz")
+        restored = EnergyMacroModel.from_json(derived.to_json())
+        assert restored.operating_point == derived.operating_point
+        assert np.allclose(restored.coefficients, derived.coefficients)
+
+    def test_bad_operating_point_rejected(self, model):
+        import json
+
+        payload = json.loads(model.to_json())
+        payload["operating_point"] = {"node_nm": 65}
+        with pytest.raises(ValueError, match="bad operating point"):
+            EnergyMacroModel.from_json(json.dumps(payload))
+
+    def test_digest_stable_across_save_load(self, model, tmp_path):
+        from repro.dse.cache import model_digest
+
+        derived = model.at("90nm@1.2V@600MHz")
+        path = tmp_path / "derived.json"
+        derived.save(str(path))
+        assert model_digest(EnergyMacroModel.load(str(path))) == model_digest(derived)
+        # the operating point is part of the digest: base and derived differ
+        assert model_digest(model) != model_digest(derived)
+
+    def test_at_scales_by_hand_computed_factor(self, model):
+        # C(65)/C(180) * (1.1/1.8)^2 over the committed table
+        expected = (0.68 / 2.4) * (1.1 / 1.8) ** 2
+        derived = model.at("65nm@1.1V@800MHz")
+        assert np.allclose(derived.coefficients, model.coefficients * expected)
+        assert derived.fit_info["energy_scale"] == pytest.approx(expected)
+        assert derived.operating_point.key == "65nm@1.1V@800MHz"
+
+    def test_at_relative_to_own_fit_point(self, model):
+        low = model.at("90nm@1V@100MHz")
+        high = low.at("90nm@1.2V@100MHz")
+        assert np.allclose(
+            high.coefficients, low.coefficients * (1.2 / 1.0) ** 2
+        )
+
+    def test_at_none_is_self_and_memoized(self, model):
+        assert model.at(None) is model
+        assert model.at("65nm@1.1V@800MHz") is model.at("65 nm @ 1.1 V @ 800 MHz")
+
+    def test_pickle_round_trip_keeps_point(self, model):
+        import pickle
+
+        derived = model.at("65nm@1.1V@800MHz")
+        clone = pickle.loads(pickle.dumps(derived))
+        assert clone.operating_point == derived.operating_point
+        assert np.allclose(clone.coefficients, derived.coefficients)
+        # the derived-model memo never travels through the pickle
+        assert clone._derived_cache == {}

@@ -117,3 +117,148 @@ class TestExploreErrors:
         with pytest.raises(SystemExit) as excinfo:
             main(["explore", model_file, "--space", "fir", "--strategy", "random"])
         assert excinfo.value.code == 2
+
+
+class TestExploreOperatingPoints:
+    def test_scenario_matrix_sections(self, model_file, capsys):
+        assert (
+            main(
+                [
+                    "explore", model_file, "--space", "fir",
+                    "--operating-point", "130nm@1.5V@400MHz",
+                    "--operating-point", "65nm@1.1V@800MHz",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "=== operating point 130nm@1.5V@400MHz ===" in out
+        assert "=== operating point 65nm@1.1V@800MHz ===" in out
+        assert "time_us" in out
+
+    def test_scenario_matrix_json(self, model_file, capsys):
+        assert (
+            main(
+                [
+                    "explore", model_file, "--space", "fir", "--format", "json",
+                    "--operating-point", "130nm@1.5V@400MHz",
+                    "--operating-point", "65nm@1.1V@800MHz",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-dse-scenario-matrix/1"
+        points = payload["points"]
+        assert [p["operating_point"] for p in points] == [
+            "130nm@1.5V@400MHz", "65nm@1.1V@800MHz",
+        ]
+        # distinct frontiers: same candidates, different energies
+        a, b = points
+        energies_a = {s["key"]: s["energy"] for s in a["scores"]}
+        energies_b = {s["key"]: s["energy"] for s in b["scores"]}
+        assert set(energies_a) == set(energies_b)
+        assert all(energies_a[k] != energies_b[k] for k in energies_a)
+        # ...but bitwise-identical execution statistics
+        cycles_a = {s["key"]: s["cycles"] for s in a["scores"]}
+        cycles_b = {s["key"]: s["cycles"] for s in b["scores"]}
+        assert cycles_a == cycles_b
+
+    def test_matrix_shares_cache_with_disjoint_keys(self, model_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "matrix-cache")
+        argv = [
+            "explore", model_file, "--space", "fir", "--cache", cache_dir,
+            "--operating-point", "130nm@1.5V@400MHz",
+            "--operating-point", "65nm@1.1V@800MHz",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        # disjoint key sets: the second point misses instead of hitting
+        assert "0 hit(s), 3 miss(es)" in cold
+        assert "0 hit(s), 6 miss(es)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "3 hit(s), 0 miss(es)" in warm
+        assert "6 hit(s), 0 miss(es)" in warm
+
+    def test_csv_rejects_matrix(self, model_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "explore", model_file, "--space", "fir", "--format", "csv",
+                    "--operating-point", "130nm@1.5V@400MHz",
+                    "--operating-point", "65nm@1.1V@800MHz",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "single operating point" in capsys.readouterr().err
+
+    def test_bad_point_dies_before_simulating(self, model_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["explore", model_file, "--space", "fir",
+                 "--operating-point", "65nm@9V@800MHz"]
+            )
+        assert excinfo.value.code == 2
+        assert "bad --operating-point" in capsys.readouterr().err
+
+    def test_op_axis_folds_into_space(self, model_file, capsys):
+        assert (
+            main(
+                [
+                    "explore", model_file, "--space", "fir", "--format", "json",
+                    "--op-axis", "90nm@1.2V@600MHz,65nm@1.1V@800MHz",
+                    "--objective", "time",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["space"] == "fir@dvfs"
+        assert len(payload["scores"]) == 6
+        assert {s["operating_point"] for s in payload["scores"]} == {
+            "90nm@1.2V@600MHz", "65nm@1.1V@800MHz",
+        }
+
+    def test_time_objective_without_clock_dies(self, model_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", model_file, "--space", "fir", "--objective", "time"])
+        assert excinfo.value.code == 2
+        assert "needs a clock" in capsys.readouterr().err
+
+    def test_carbon_overlay(self, model_file, capsys):
+        assert (
+            main(
+                [
+                    "explore", model_file, "--space", "fir",
+                    "--operating-point", "65nm@1.1V@800MHz",
+                    "--carbon", "1000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "TCO($)" in out
+        assert "1000 executions/s" in out
+
+    def test_carbon_json(self, model_file, capsys):
+        assert (
+            main(
+                [
+                    "explore", model_file, "--space", "fir", "--format", "json",
+                    "--operating-point", "65nm@1.1V@800MHz",
+                    "--carbon", "1000",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["carbon"]) == 3
+        assert all(row["annual_kwh"] > 0 for row in payload["carbon"])
+
+    def test_carbon_rejects_non_positive_rate(self, model_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["explore", model_file, "--space", "fir", "--carbon", "0"]
+            )
+        assert excinfo.value.code == 2

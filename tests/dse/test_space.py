@@ -97,6 +97,8 @@ class TestBundledSpaces:
             "fir",
             "reed_solomon_tuned",
             "fir_tuned",
+            "reed_solomon_dvfs",
+            "fir_dvfs",
         }
         assert set(BUILTIN_SPACES) <= set(available_spaces())
 

@@ -1,0 +1,104 @@
+"""Operating points over the wire: request schema, dedup, metrics."""
+
+import pytest
+
+from repro.tech import default_calibration
+
+from .conftest import TINY_SOURCE
+
+
+def _estimate_body(**extra):
+    return {"program": {"name": "tiny", "source": TINY_SOURCE}, **extra}
+
+
+class TestEstimateEndpoint:
+    def test_point_scales_energy_and_adds_seconds(self, make_server):
+        server = make_server()
+        status, base = server.estimate(_estimate_body())
+        assert status == 200
+        status, scaled = server.estimate(
+            _estimate_body(operating_point="65nm@1.1V@800MHz")
+        )
+        assert status == 200
+        scale = default_calibration().energy_scale("65nm@1.1V@800MHz")
+        assert scaled["energy"] == pytest.approx(base["energy"] * scale)
+        # the simulation itself is untouched by the point
+        assert scaled["cycles"] == base["cycles"]
+        assert scaled["operating_point"] == "65nm@1.1V@800MHz"
+        assert scaled["frequency_mhz"] == 800.0
+        assert scaled["seconds"] == pytest.approx(base["cycles"] / 800e6)
+        # the fit-point response keeps the legacy wire shape
+        assert "operating_point" not in base
+
+    def test_point_is_canonicalized(self, make_server):
+        server = make_server()
+        status, body = server.estimate(
+            _estimate_body(operating_point="65 nm @ 1.1 V @ 800 MHz")
+        )
+        assert status == 200
+        assert body["operating_point"] == "65nm@1.1V@800MHz"
+
+    def test_bad_point_is_rejected(self, make_server):
+        server = make_server()
+        for bad in ("65nm", "65nm@9V@800MHz", "10nm@0.7V@2000MHz", 65):
+            status, body = server.estimate(_estimate_body(operating_point=bad))
+            assert status == 400
+            assert body["error"] == "bad_request"
+
+    def test_points_dedupe_separately(self, make_server):
+        server = make_server()
+        for _ in range(2):
+            status, _ = server.estimate(
+                _estimate_body(operating_point="65nm@1.1V@800MHz")
+            )
+            assert status == 200
+        status, _ = server.estimate(
+            _estimate_body(operating_point="90nm@1.2V@600MHz")
+        )
+        assert status == 200
+        status, metrics = server.request("GET", "/metrics")
+        assert status == 200
+        # the duplicate at the same point merged; the other point did not
+        assert metrics["counters"]["duplicates_merged"] == 1
+
+    def test_metrics_count_per_point(self, make_server):
+        server = make_server()
+        server.estimate(_estimate_body())
+        server.estimate(_estimate_body(operating_point="65nm@1.1V@800MHz"))
+        server.estimate(_estimate_body(operating_point="65 nm@1.1 V@800 MHz"))
+        status, metrics = server.request("GET", "/metrics")
+        assert status == 200
+        points = metrics["operating_points"]
+        assert points["fit-point"] == 1
+        assert points["65nm@1.1V@800MHz"] == 2
+        status, prom = server.request("GET", "/metrics?format=prom")
+        assert status == 200
+        assert 'operating_point_requests{point="65nm@1.1V@800MHz"} 2' in prom
+
+
+class TestExploreEndpoint:
+    def test_explore_at_point(self, make_server):
+        server = make_server()
+        body = {"space": "reed_solomon", "objective": "edp_seconds",
+                "operating_point": "65nm@1.1V@800MHz"}
+        status, base_body = server.request(
+            "POST", "/explore", {"space": "reed_solomon"}
+        )
+        assert status == 200
+        status, scaled_body = server.request("POST", "/explore", body)
+        assert status == 200
+        scale = default_calibration().energy_scale("65nm@1.1V@800MHz")
+        base = {s["key"]: s for s in base_body["scores"]}
+        for score in scaled_body["scores"]:
+            assert score["operating_point"] == "65nm@1.1V@800MHz"
+            assert score["energy"] == pytest.approx(
+                base[score["key"]]["energy"] * scale
+            )
+            assert score["cycles"] == base[score["key"]]["cycles"]
+
+    def test_time_objective_needs_a_point(self, make_server):
+        server = make_server()
+        status, _ = server.request(
+            "POST", "/explore", {"space": "reed_solomon", "objective": "time"}
+        )
+        assert status == 400

@@ -1,0 +1,66 @@
+"""Carbon/TCO overlay: unit conversions and report rendering."""
+
+import dataclasses
+
+import pytest
+
+from repro.tech import CarbonModel, carbon_overlay, carbon_table
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclasses.dataclass
+class FakeScore:
+    key: str
+    energy: float
+    area: float
+
+
+class TestCarbonModel:
+    def test_annual_kwh_hand_computed(self):
+        # 1 J per execution at 1 exec/s -> seconds-per-year J -> kWh
+        model = CarbonModel(joules_per_unit=1.0)
+        expected = _SECONDS_PER_YEAR / 3.6e6
+        assert model.annual_kwh(1.0, 1.0) == pytest.approx(expected)
+
+    def test_carbon_and_cost_scale_with_kwh(self):
+        model = CarbonModel(
+            joules_per_unit=1.0,
+            grid_intensity_g_per_kwh=500.0,
+            electricity_cost_per_kwh=0.10,
+        )
+        kwh = model.annual_kwh(2.0, 10.0)
+        assert model.annual_grams_co2(2.0, 10.0) == pytest.approx(kwh * 500.0)
+        assert model.annual_energy_cost(2.0, 10.0) == pytest.approx(kwh * 0.10)
+
+    def test_tco_is_silicon_plus_lifetime_energy(self):
+        model = CarbonModel(joules_per_unit=1.0, silicon_cost_per_area_unit=3.0)
+        tco = model.tco(1.0, area=2.0, executions_per_second=1.0, years=2.0)
+        assert tco == pytest.approx(
+            2.0 * 3.0 + model.annual_energy_cost(1.0, 1.0) * 2.0
+        )
+
+    def test_energy_per_execution_is_rate_independent(self):
+        model = CarbonModel()
+        assert model.annual_kwh(1.0, 2000.0) == pytest.approx(
+            2 * model.annual_kwh(1.0, 1000.0)
+        )
+
+
+class TestOverlay:
+    def test_rows_embed_into_json(self):
+        scores = [FakeScore("a", 100.0, 1.0), FakeScore("b", 200.0, 2.0)]
+        rows = carbon_overlay(scores, executions_per_second=500.0, years=5.0)
+        assert [row["key"] for row in rows] == ["a", "b"]
+        assert rows[1]["annual_kwh"] == pytest.approx(2 * rows[0]["annual_kwh"])
+        assert all(row["tco_years"] == 5.0 for row in rows)
+
+    def test_table_renders_every_candidate(self):
+        rows = carbon_overlay([FakeScore("impl=dual", 100.0, 1.0)])
+        text = carbon_table(rows)
+        assert "impl=dual" in text
+        assert "TCO($)" in text
+        assert "1000 executions/s" in text
+
+    def test_empty_table(self):
+        assert "no scored candidates" in carbon_table([])

@@ -280,3 +280,95 @@ class TestCharacterizeFlagValidation:
             main(["characterize", "--from-samples", str(bad), "-o", str(tmp_path / "m.json")])
         assert excinfo.value.code == 2
         assert "cannot load samples" in capsys.readouterr().err
+
+
+class TestOperatingPointFlags:
+    def test_estimate_json_carries_model_metadata(self, model_file, demo_file, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "estimate", model_file, demo_file,
+                    "--format", "json",
+                    "--operating-point", "65nm@1.1V@800MHz",
+                    "--variables",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-estimates/1"
+        assert payload["operating_point"] == "65nm@1.1V@800MHz"
+        assert len(payload["model_digest"]) == 64
+        (entry,) = payload["estimates"]
+        assert entry["seconds"] == pytest.approx(entry["cycles"] / 800e6)
+        assert entry["edp_seconds"] == pytest.approx(
+            entry["energy"] * entry["seconds"]
+        )
+        assert entry["variables"]
+
+    def test_estimate_json_without_point_omits_time(self, model_file, demo_file, capsys):
+        import json
+
+        assert main(["estimate", model_file, demo_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["operating_point"] is None
+        (entry,) = payload["estimates"]
+        assert "seconds" not in entry
+
+    def test_estimate_point_scales_energy(self, model_file, demo_file, capsys):
+        import json
+
+        from repro.tech import default_calibration
+
+        energies = {}
+        for point in (None, "90nm@1.2V@600MHz"):
+            argv = ["estimate", model_file, demo_file, "--format", "json"]
+            if point:
+                argv += ["--operating-point", point]
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            energies[point] = payload["estimates"][0]["energy"]
+        scale = default_calibration().energy_scale("90nm@1.2V@600MHz")
+        assert energies["90nm@1.2V@600MHz"] == pytest.approx(
+            energies[None] * scale
+        )
+
+    def test_estimate_summary_mentions_point(self, model_file, demo_file, capsys):
+        assert (
+            main(
+                ["estimate", model_file, demo_file,
+                 "--operating-point", "65nm@1.1V@800MHz"]
+            )
+            == 0
+        )
+        assert "65nm@1.1V@800MHz" in capsys.readouterr().out
+
+    def test_bad_point_is_clean_exit(self, model_file, demo_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["estimate", model_file, demo_file,
+                 "--operating-point", "65nm@9V@800MHz"]
+            )
+        assert excinfo.value.code == 2
+        assert "bad --operating-point" in capsys.readouterr().err
+
+    def test_characterize_rejects_bad_point(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["characterize", "--operating-point", "nope",
+                 "-o", str(tmp_path / "m.json")]
+            )
+        assert excinfo.value.code == 2
+        assert "bad --operating-point" in capsys.readouterr().err
+
+    def test_profile_at_point(self, model_file, demo_file, capsys):
+        assert (
+            main(
+                ["profile", model_file, demo_file,
+                 "--operating-point", "65nm@1.1V@800MHz"]
+            )
+            == 0
+        )
+        assert "energy" in capsys.readouterr().out

@@ -1,0 +1,498 @@
+"""Fleet serving: consistent-hash sharding vs one node, with a mid-soak kill.
+
+A closed-loop load generator drives a live fleet — real node subprocesses
+spawned by :class:`FleetManager` behind a real :class:`FleetRouter` — over
+HTTP with a seeded zipf workload (U unique programs, skewed popularity,
+every program requested at least once):
+
+* ``single`` — a 1-node fleet: the pre-sharding baseline; every request
+  funnels through one process;
+* ``fleet``  — N nodes: the router shards the key space, each node
+  simulates only its arc, and the shared cache tier answers duplicates
+  that land anywhere;
+* ``soak``   — N nodes again, but one node is SIGKILLed after half the
+  requests have been answered.  Every request must still be answered
+  exactly once, and the p99 must stay within a bounded factor of the
+  undisturbed fleet run.
+
+Honest-scaling note: near-linear *wall-clock* scaling needs one core per
+node.  The payload records ``cpu_count``; the ``--check`` gate enforces
+the throughput-scaling target only when enough cores exist to express
+it, and always enforces exactly-once + dedup + the p99 kill bound.
+
+Run as a script to (re)generate ``BENCH_SERVE_FLEET.json`` at the repo
+root:
+
+    PYTHONPATH=src python benchmarks/bench_serve_fleet.py
+
+or scaled down as a check:
+
+    PYTHONPATH=src python benchmarks/bench_serve_fleet.py \
+        --uniques 4 --requests 24 --clients 4 --check --output fleet-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import os
+import pathlib
+import random
+import tempfile
+import threading
+import time
+from typing import cast
+
+import numpy as np
+
+from repro.core import EnergyMacroModel, default_template
+from repro.fleet import FleetManager, FleetRouter
+from repro.serve import EstimationServer, EstimationService
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_SERVE_FLEET.json"
+)
+#: Fleet-vs-single throughput target, enforced only with >= nodes+1 cores.
+SCALING_TARGET = 2.5
+#: p99 under a mid-soak node kill may degrade at most this much vs clean.
+KILL_P99_FACTOR = 5.0
+ZIPF_EXPONENT = 1.1
+
+PROGRAM_TEMPLATE = """
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {loops}
+    movi a3, 0
+    movi a5, {salt}
+loop:
+    add a3, a3, a2
+    xor a3, a3, a5
+    slli a6, a3, 1
+    srli a7, a6, 3
+    add a3, a3, a7
+    sub a6, a3, a5
+    or a3, a3, a6
+    andi a3, a3, 2047
+    addi a2, a2, -1
+    bnez a2, loop
+    la a4, out
+    s32i a3, a4, 0
+    halt
+"""
+
+
+def make_workload(
+    uniques: int, total_requests: int, loops: int, seed: int
+) -> list[dict]:
+    """Seeded zipf over ``uniques`` programs; every program appears >= once."""
+    if total_requests < uniques:
+        raise SystemExit("--requests must be >= --uniques (every key once)")
+    if not 1 <= loops <= 2000:
+        raise SystemExit("--loops must be in [1, 2000] (movi immediate range)")
+    bodies = []
+    for index in range(uniques):
+        source = PROGRAM_TEMPLATE.format(loops=loops, salt=index + 1)
+        bodies.append(
+            {
+                "program": {"source": source, "name": f"zipf{index}"},
+                "max_instructions": max(100_000, loops * 10),
+            }
+        )
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(uniques)]
+    workload = list(bodies)  # every key at least once
+    workload.extend(
+        rng.choices(bodies, weights=weights, k=total_requests - uniques)
+    )
+    rng.shuffle(workload)
+    return workload
+
+
+class LiveFleet:
+    """N node subprocesses + a live router on a background event loop."""
+
+    def __init__(
+        self,
+        model_path: str,
+        workdir: str,
+        nodes: int,
+        health_interval: float = 0.5,
+    ) -> None:
+        self.manager = FleetManager(
+            model_path=model_path,
+            workdir=workdir,
+            workers=0,
+            node_args=("--drain-grace", "5"),
+        )
+        self.manager.start(nodes)
+        self.addresses = self.manager.wait_ready()
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
+        self._thread.start()
+        self.router = FleetRouter(
+            self.addresses,
+            health_interval=health_interval,
+            node_failures=1,
+            node_cooldown=300.0,  # a killed node stays out for the whole run
+        )
+        self.server = EstimationServer(
+            cast(EstimationService, self.router), port=0
+        )
+        self._run(self.server.start())
+        self.port = self.server.port
+
+    def _run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(60)
+
+    def kill_node(self, index: int) -> str:
+        self.manager.kill(index)
+        return self.addresses[index]
+
+    def close(self) -> None:
+        try:
+            self._run(self.server.stop())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()
+            self.manager.stop()
+
+
+RETRYABLE_STATUSES = (429, 503, 504)
+MAX_POST_ATTEMPTS = 6
+
+
+def _post_estimate_once(port: int, body: dict) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(
+            "POST",
+            "/estimate",
+            json.dumps(body),
+            {"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _post_estimate(port: int, body: dict) -> tuple[dict, int]:
+    """POST with bounded jittered retries; returns (payload, retries_used)."""
+    last: tuple[int, object] = (0, None)
+    for attempt in range(1, MAX_POST_ATTEMPTS + 1):
+        try:
+            status, payload = _post_estimate_once(port, body)
+        except (ConnectionError, http.client.HTTPException) as exc:
+            last = (0, repr(exc))
+        else:
+            if status == 200:
+                return payload, attempt - 1
+            last = (status, payload)
+            if status not in RETRYABLE_STATUSES:
+                break
+        if attempt < MAX_POST_ATTEMPTS:
+            time.sleep(min(2.0, 0.05 * 2**attempt) * (0.5 + random.random()))
+    raise RuntimeError(f"estimate failed (status {last[0]}): {last[1]}")
+
+
+def _get_metrics(port: int) -> dict:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", "/metrics")
+        return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(round(p / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def drive(
+    port: int,
+    bodies: list[dict],
+    clients: int,
+    kill_after: int | None = None,
+    on_kill=None,
+) -> dict:
+    """Closed loop; optionally fire ``on_kill()`` once after ``kill_after``
+    requests have been answered (the mid-soak node loss)."""
+    pending = list(enumerate(bodies))
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    answered = 0
+    retries = 0
+    killed = threading.Event()
+    lock = threading.Lock()
+
+    def worker() -> None:
+        nonlocal answered, retries
+        while True:
+            with lock:
+                if not pending or errors:
+                    return
+                _, body = pending.pop()
+            began = time.perf_counter()
+            try:
+                _, attempts_over_one = _post_estimate(port, body)
+            except BaseException as exc:  # noqa: BLE001 — reported, fails the run
+                with lock:
+                    errors.append(exc)
+                return
+            elapsed = time.perf_counter() - began
+            fire_kill = False
+            with lock:
+                latencies.append(elapsed)
+                answered += 1
+                retries += attempts_over_one
+                if (
+                    kill_after is not None
+                    and answered >= kill_after
+                    and not killed.is_set()
+                ):
+                    killed.set()
+                    fire_kill = True
+            if fire_kill and on_kill is not None:
+                on_kill()
+
+    began = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - began
+    if errors:
+        raise errors[0]
+    latencies.sort()
+    return {
+        "requests": len(bodies),
+        "answered": answered,
+        "client_retries": retries,
+        "clients": clients,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(len(bodies) / wall, 2),
+        "p50_ms": round(_percentile(latencies, 50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 99) * 1e3, 3),
+    }
+
+
+def _fleet_rollup(port: int) -> dict:
+    metrics = _get_metrics(port)
+    return {
+        "simulations": metrics["fleet"]["simulation"]["runs_finished"],
+        "duplicates_merged": metrics["fleet"]["counters"]["duplicates_merged"],
+        "nodes_reporting": metrics["fleet"]["nodes_reporting"],
+        "reroutes": metrics["router"]["counters"]["reroutes_total"],
+        "forward_failures": metrics["router"]["counters"]["forward_failures_total"],
+    }
+
+
+def _write_model(path: pathlib.Path) -> None:
+    template = default_template()
+    model = EnergyMacroModel(template, np.linspace(50, 5000, len(template)))
+    model.save(str(path))
+
+
+def run_loadtest(
+    uniques: int = 12,
+    requests: int = 150,
+    clients: int = 8,
+    nodes: int = 3,
+    loops: int = 2000,
+    seed: int = 11,
+) -> dict:
+    """Three fleets, one workload: single-node, N-node, N-node + kill."""
+    bodies = make_workload(uniques, requests, loops, seed)
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="bench-fleet-"))
+    model_path = scratch / "bench-model.json"
+    _write_model(model_path)
+
+    def run_topology(name: str, node_count: int, kill: bool) -> dict:
+        fleet = LiveFleet(
+            str(model_path), str(scratch / name), nodes=node_count
+        )
+        try:
+            kill_after = len(bodies) // 2 if kill else None
+
+            def on_first_node_down() -> None:
+                fleet.kill_node(0)
+
+            on_kill = on_first_node_down if kill else None
+            result = drive(
+                fleet.port, bodies, clients=clients,
+                kill_after=kill_after, on_kill=on_kill,
+            )
+            result.update(nodes=node_count, **_fleet_rollup(fleet.port))
+            return result
+        finally:
+            fleet.close()
+
+    single = run_topology("single", 1, kill=False)
+    fleet = run_topology("fleet", nodes, kill=False)
+    soak = run_topology("soak", nodes, kill=True)
+
+    cpu_count = os.cpu_count() or 1
+    scaling = round(fleet["throughput_rps"] / single["throughput_rps"], 2)
+    p99_factor = (
+        round(soak["p99_ms"] / fleet["p99_ms"], 2) if fleet["p99_ms"] else 0.0
+    )
+    return {
+        "benchmark": "serve_fleet_scaling_and_failover",
+        "unit": "estimate requests per second of host wall-clock (closed loop)",
+        "workload": {
+            "unique_programs": uniques,
+            "total_requests": requests,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "loop_iterations": loops,
+            "seed": seed,
+        },
+        "environment": {
+            "cpu_count": cpu_count,
+            "cores_for_scaling_gate": nodes + 1,
+        },
+        "single": single,
+        "fleet": fleet,
+        "soak": soak,
+        "summary": {
+            "throughput_scaling": scaling,
+            "scaling_target": SCALING_TARGET,
+            "scaling_gate_active": cpu_count >= nodes + 1,
+            "kill_p99_factor": p99_factor,
+            "kill_p99_bound": KILL_P99_FACTOR,
+        },
+    }
+
+
+def _check(payload: dict) -> list[str]:
+    """The gates ``--check`` enforces; returns human-readable failures."""
+    failures = []
+    uniques = payload["workload"]["unique_programs"]
+    total = payload["workload"]["total_requests"]
+    for name in ("single", "fleet", "soak"):
+        run = payload[name]
+        if run["answered"] != total:
+            failures.append(
+                f"{name}: {run['answered']}/{total} requests answered"
+            )
+        if run["simulations"] > uniques:
+            failures.append(
+                f"{name}: {run['simulations']} simulations for "
+                f"{uniques} unique programs (dedup leaked)"
+            )
+    if payload["soak"]["nodes_reporting"] != payload["soak"]["nodes"] - 1:
+        failures.append("soak: the killed node still reports metrics")
+    summary = payload["summary"]
+    if summary["kill_p99_factor"] > summary["kill_p99_bound"]:
+        failures.append(
+            f"soak p99 degraded {summary['kill_p99_factor']}x "
+            f"(bound {summary['kill_p99_bound']}x)"
+        )
+    if (
+        summary["scaling_gate_active"]
+        and summary["throughput_scaling"] < summary["scaling_target"]
+    ):
+        failures.append(
+            f"fleet scaling {summary['throughput_scaling']}x below "
+            f"{summary['scaling_target']}x with enough cores"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--uniques", type=int, default=12, help="distinct programs")
+    parser.add_argument("--requests", type=int, default=150, help="total requests")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent clients")
+    parser.add_argument("--nodes", type=int, default=3, help="fleet size")
+    parser.add_argument(
+        "--loops", type=int, default=2000, help="loop iterations per program (sim cost)"
+    )
+    parser.add_argument("--seed", type=int, default=11, help="zipf sampling seed")
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON (default: repo-root BENCH_SERVE_FLEET.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless exactly-once, dedup, p99 and scaling gates pass",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_loadtest(
+        uniques=args.uniques,
+        requests=args.requests,
+        clients=args.clients,
+        nodes=args.nodes,
+        loops=args.loops,
+        seed=args.seed,
+    )
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for name in ("single", "fleet", "soak"):
+        row = payload[name]
+        print(
+            f"{name:<8} {row['nodes']} node(s) {row['throughput_rps']:>8.1f} req/s   "
+            f"p50 {row['p50_ms']:>7.2f} ms   p99 {row['p99_ms']:>8.2f} ms   "
+            f"{row['simulations']} sim(s), {row['reroutes']} reroute(s)"
+        )
+    summary = payload["summary"]
+    gate = "active" if summary["scaling_gate_active"] else (
+        f"inactive ({payload['environment']['cpu_count']} core(s))"
+    )
+    print(
+        f"scaling {summary['throughput_scaling']}x (target "
+        f"{summary['scaling_target']}x, gate {gate}); kill p99 factor "
+        f"{summary['kill_p99_factor']}x (bound {summary['kill_p99_bound']}x)"
+        f"  -> {args.output}"
+    )
+
+    if args.check:
+        failures = _check(payload)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        if failures:
+            return 1
+        print("CHECK OK: exactly-once, dedup, p99 and scaling gates pass")
+    return 0
+
+
+# -- pytest-benchmark harness ------------------------------------------------
+
+
+def test_fleet_survives_mid_soak_kill(benchmark, save_report):
+    payload = benchmark.pedantic(
+        run_loadtest,
+        kwargs={"uniques": 4, "requests": 24, "clients": 4, "loops": 2000},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "serve_fleet",
+        (
+            f"single: {payload['single']['throughput_rps']} req/s; "
+            f"fleet: {payload['fleet']['throughput_rps']} req/s; "
+            f"soak (node killed): {payload['soak']['throughput_rps']} req/s, "
+            f"p99 {payload['soak']['p99_ms']} ms, "
+            f"{payload['soak']['reroutes']} reroute(s)\n"
+            f"scaling {payload['summary']['throughput_scaling']}x, "
+            f"kill p99 factor {payload['summary']['kill_p99_factor']}x"
+        ),
+    )
+    assert not _check(payload)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

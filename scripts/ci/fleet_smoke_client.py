@@ -1,0 +1,155 @@
+"""The client half of the fleet smoke: dedup fleet-wide, kill a node,
+prove every request is still answered exactly once.
+
+Driven against a live ``repro serve --fleet 3`` router:
+
+* **Phase A** — M distinct workloads, each POSTed twice under different
+  cosmetic names.  The fleet ``/metrics`` aggregate must show exactly M
+  simulations: consistent-hash routing plus each node's dedup tiers
+  merge every duplicate, no matter which node a request landed on.
+* **Phase B** — SIGKILL one node (a real machine loss, no drain), then
+  re-submit every workload plus the victim's share of traffic.  Every
+  request must be answered exactly once (one 200 per POST, none by the
+  dead node), and the kill must add **zero** re-simulations: re-routed
+  keys are shared-cache-tier hits on their new owners.
+
+    python scripts/ci/fleet_smoke_client.py ROUTER_PORT VICTIM_PID VICTIM_ADDR
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import sys
+import time
+
+#: Distinct workloads in the smoke (each submitted more than once).
+DISTINCT_WORKLOADS = 6
+
+SOURCE_TEMPLATE = """
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {n}
+    movi a3, 0
+loop:
+    add a3, a3, a2
+    addi a2, a2, -1
+    bnez a2, loop
+    la a4, out
+    s32i a3, a4, 0
+    halt
+"""
+
+
+def estimate_body(name: str, workload: int) -> dict:
+    return {
+        "program": {
+            "name": name,
+            "source": SOURCE_TEMPLATE.format(n=workload + 3),
+        },
+        "max_instructions": 10_000,
+    }
+
+
+def request(port: int, method: str, path: str, body: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read()), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def main(argv: list[str]) -> int:
+    port = int(argv[1])
+    victim_pid = int(argv[2])
+    victim_addr = argv[3]
+    sent = 0
+    answered = 0
+
+    status, health, _ = request(port, "GET", "/healthz")
+    assert status == 200, (status, health)
+    assert health["status"] == "ok", health
+    assert health["fleet"]["nodes_routable"] == 3, health["fleet"]
+
+    # -- phase A: cross-node dedup ----------------------------------------
+    answered_by: set[str] = set()
+    for i in range(DISTINCT_WORKLOADS):
+        for name in (f"smoke{i}", f"smoke{i}_dup"):
+            sent += 1
+            status, resp, headers = request(
+                port, "POST", "/estimate", estimate_body(name, i)
+            )
+            assert status == 200, (status, resp)
+            answered += 1
+            answered_by.add(headers.get("X-Repro-Node", "?"))
+
+    status, metrics, _ = request(port, "GET", "/metrics")
+    assert status == 200, (status, metrics)
+    fleet = metrics["fleet"]
+    # M distinct keys -> exactly M simulations, fleet-wide, regardless of
+    # which node each of the 2M requests hit
+    assert fleet["simulation"]["runs_finished"] == DISTINCT_WORKLOADS, fleet
+    assert fleet["counters"]["duplicates_merged"] >= DISTINCT_WORKLOADS, fleet
+    assert fleet["nodes_reporting"] == 3, fleet
+    # per-node payloads ride along the aggregate
+    assert len(metrics["nodes"]) == 3, list(metrics["nodes"])
+    assert all("counters" in node for node in metrics["nodes"].values())
+
+    # -- phase B: kill a node mid-soak ------------------------------------
+    os.kill(victim_pid, signal.SIGKILL)
+    for i in range(DISTINCT_WORKLOADS + 2):
+        # the first DISTINCT_WORKLOADS bodies repeat known workloads (the
+        # victim's keys re-route and hit the shared tier); the final two
+        # are brand-new work arriving after the loss
+        sent += 1
+        status, resp, headers = request(
+            port, "POST", "/estimate", estimate_body(f"after{i}", i)
+        )
+        assert status == 200, (status, resp)
+        answered += 1
+        assert headers.get("X-Repro-Node") != victim_addr, headers
+
+    status, metrics, _ = request(port, "GET", "/metrics")
+    assert status == 200, (status, metrics)
+    fleet = metrics["fleet"]
+    # exactly-once accounting: every POST got exactly one 200 answer
+    assert sent == answered == 2 * DISTINCT_WORKLOADS + DISTINCT_WORKLOADS + 2
+    # the dead node's tally left the aggregate; survivors re-simulated
+    # nothing old (shared-tier hits) and only the 2 new workloads
+    assert fleet["nodes_reporting"] == 2, fleet
+    assert fleet["simulation"]["runs_finished"] <= DISTINCT_WORKLOADS + 2, fleet
+
+    # the router marks the victim down (forward failures and/or health poll)
+    for _ in range(50):
+        status, health, _ = request(port, "GET", "/healthz")
+        if health["status"] == "degraded" and victim_addr in health["fleet"]["nodes_down"]:
+            break
+        time.sleep(0.1)
+    else:
+        raise AssertionError(f"victim {victim_addr} never marked down: {health}")
+
+    artifact_dir = os.environ.get("SMOKE_ARTIFACT_DIR")
+    if artifact_dir:
+        os.makedirs(artifact_dir, exist_ok=True)
+        with open(os.path.join(artifact_dir, "fleet_metrics.json"), "w") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+
+    print(
+        f"fleet smoke: {answered}/{sent} requests answered exactly once "
+        f"across {sorted(answered_by)}; {DISTINCT_WORKLOADS} distinct "
+        f"workloads -> {DISTINCT_WORKLOADS} simulations before the kill; "
+        f"node {victim_addr} SIGKILLed and routed around"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

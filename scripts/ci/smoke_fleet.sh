@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Fleet smoke: boot `repro serve --fleet 3` (three node subprocesses behind
+# one consistent-hash router) on ephemeral ports, prove cross-node dedup via
+# the fleet /metrics aggregate (M distinct keys -> M simulations regardless
+# of which node each request hit), SIGKILL one node mid-soak, assert every
+# request is still answered exactly once, then verify SIGTERM produces a
+# clean shutdown that reaps the surviving nodes.
+# Run identically by CI and locally:  bash scripts/ci/smoke_fleet.sh
+#
+# When SMOKE_ARTIFACT_DIR is set, the final fleet /metrics payload and all
+# fleet logs are copied there for upload on failure.
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+ROOT="$(cd "$SCRIPT_DIR/../.." && pwd)"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="$(mktemp -d)"
+FLEET_PID=""
+ROUTER_PORT=""
+dump_artifacts() {
+    [ -n "${SMOKE_ARTIFACT_DIR:-}" ] || return 0
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    # best-effort live /metrics grab: meaningful when we die mid-soak with
+    # the router still up (on success the client already wrote a snapshot)
+    if [ -n "$ROUTER_PORT" ] && [ ! -s "$SMOKE_ARTIFACT_DIR/fleet_metrics.json" ]; then
+        python -c 'import sys, urllib.request; sys.stdout.write(urllib.request.urlopen(f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10).read().decode())' \
+            "$ROUTER_PORT" > "$SMOKE_ARTIFACT_DIR/fleet_metrics.json" 2>/dev/null || true
+        [ -s "$SMOKE_ARTIFACT_DIR/fleet_metrics.json" ] \
+            || rm -f "$SMOKE_ARTIFACT_DIR/fleet_metrics.json"
+    fi
+    cp "$WORK/fleet.log" "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+    cp "$WORK"/fleet/node*.log "$SMOKE_ARTIFACT_DIR/" 2>/dev/null || true
+}
+cleanup() {
+    dump_artifacts
+    [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+python "$SCRIPT_DIR/make_smoke_model.py" "$WORK/smoke-model.json"
+
+python -m repro serve "$WORK/smoke-model.json" --fleet 3 --port 0 \
+    --port-file "$WORK/router.port" --fleet-workdir "$WORK/fleet" \
+    --workers 0 --health-interval 0.5 --node-failures 1 --node-cooldown 30 \
+    > "$WORK/fleet.log" 2>&1 &
+FLEET_PID=$!
+
+# the router writes its ephemeral port to the port file once every node is
+# up and the router socket is bound
+for _ in $(seq 1 300); do
+    [ -s "$WORK/router.port" ] && break
+    kill -0 "$FLEET_PID" 2>/dev/null || { cat "$WORK/fleet.log"; exit 1; }
+    sleep 0.1
+done
+ROUTER_PORT="$(cat "$WORK/router.port")"
+[ -n "$ROUTER_PORT" ] || { echo "no router port published"; cat "$WORK/fleet.log"; exit 1; }
+
+# the victim for the mid-soak kill: node 0's announce line carries its pid
+# and address ("repro serve: node 0 pid 1234 at http://127.0.0.1:45678")
+VICTIM_PID="$(sed -n 's/^repro serve: node 0 pid \([0-9]*\) .*/\1/p' "$WORK/fleet.log")"
+VICTIM_ADDR="$(sed -n 's#^repro serve: node 0 pid [0-9]* at http://\(.*\)#\1#p' "$WORK/fleet.log")"
+[ -n "$VICTIM_PID" ] && [ -n "$VICTIM_ADDR" ] || {
+    echo "no node announce line"; cat "$WORK/fleet.log"; exit 1;
+}
+
+python "$SCRIPT_DIR/fleet_smoke_client.py" "$ROUTER_PORT" "$VICTIM_PID" "$VICTIM_ADDR"
+
+# clean shutdown: SIGTERM must stop the router and reap the survivors
+kill -TERM "$FLEET_PID"
+STATUS=0
+wait "$FLEET_PID" || STATUS=$?
+FLEET_PID=""
+[ "$STATUS" -eq 0 ] || { echo "fleet exited $STATUS"; cat "$WORK/fleet.log"; exit 1; }
+grep -q "repro route: shutting down" "$WORK/fleet.log"
+grep -q "repro serve: stopping fleet nodes" "$WORK/fleet.log"
+echo "smoke_fleet: OK (cross-node dedup, node kill survived, clean shutdown)"

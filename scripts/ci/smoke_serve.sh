@@ -11,7 +11,20 @@ export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
 WORK="$(mktemp -d)"
 SERVER_PID=""
+PORT=""
+dump_artifacts() {
+    [ -n "${SMOKE_ARTIFACT_DIR:-}" ] || return 0
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    if [ -n "$PORT" ]; then
+        python -c 'import sys, urllib.request; sys.stdout.write(urllib.request.urlopen(f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10).read().decode())' \
+            "$PORT" > "$SMOKE_ARTIFACT_DIR/serve_metrics.json" 2>/dev/null || true
+        [ -s "$SMOKE_ARTIFACT_DIR/serve_metrics.json" ] \
+            || rm -f "$SMOKE_ARTIFACT_DIR/serve_metrics.json"
+    fi
+    cp "$WORK/serve.log" "$SMOKE_ARTIFACT_DIR/serve.log" 2>/dev/null || true
+}
 cleanup() {
+    dump_artifacts
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
     rm -rf "$WORK"
 }

@@ -26,7 +26,13 @@ Typical use::
     best = report.best
 """
 
-from .cache import ResultCache, candidate_cache_key, model_digest, program_digest
+from .cache import (
+    ResultCache,
+    TieredResultCache,
+    candidate_cache_key,
+    model_digest,
+    program_digest,
+)
 from .evaluate import OBJECTIVES, CandidateScore, EvaluationEngine
 from .pareto import PARETO_AXES, dominates, pareto_frontier, rank_scores
 from .report import CrossCheckResult, ExplorationReport, cross_check, explore
@@ -68,6 +74,7 @@ __all__ = [
     "PARETO_AXES",
     "RandomStrategy",
     "ResultCache",
+    "TieredResultCache",
     "SearchSpace",
     "SpaceError",
     "Strategy",

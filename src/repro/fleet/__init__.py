@@ -1,0 +1,52 @@
+"""``repro.fleet`` — the multi-node serving topology.
+
+One router in front of N single-node estimation services (each a full
+:mod:`repro.serve` stack) turns the estimation server into a fleet:
+
+* :class:`HashRing` / :func:`routing_key` — consistent-hash sharding of
+  the request's workload content across nodes, with bounded (~K/N)
+  remapping when membership changes;
+* :class:`TieredResultCache` (in :mod:`repro.dse.cache`) — each node's
+  local cache layered over one cross-node shared tier, so any node can
+  answer any key the fleet has ever computed;
+* :class:`AdmissionController` — queue-depth gossip (response headers +
+  healthz polls), weighted load shedding, computed ``Retry-After``;
+* :class:`FleetHealthMonitor` — a per-node
+  :class:`~repro.serve.supervise.CircuitBreaker` driving ring
+  membership: dead nodes leave (their keys re-route), cooled-down nodes
+  rejoin half-open and the next request is the probe;
+* :class:`FleetRouter` / :func:`run_router` — the front door
+  (``repro route --nodes ...``), reusing the single-node asyncio
+  transport;
+* :class:`FleetManager` / ``repro serve --fleet N`` — node subprocess
+  lifecycle with port-file discovery.
+
+See docs/SERVING.md ("Fleet topology") for the full story and the
+failure-mode runbook.
+"""
+
+from .admission import AdmissionController, NodeLoad
+from .health import FleetHealthMonitor
+from .manager import FleetManager, FleetNode, FleetSpawnError
+from .ring import HashRing
+from .router import FleetRouter, RouterMetrics, run_router
+from .routing import routing_key
+from .wire import NodeResponse, NodeUnreachable, node_get_json, node_request
+
+__all__ = [
+    "AdmissionController",
+    "FleetHealthMonitor",
+    "FleetManager",
+    "FleetNode",
+    "FleetRouter",
+    "FleetSpawnError",
+    "HashRing",
+    "NodeLoad",
+    "NodeResponse",
+    "NodeUnreachable",
+    "RouterMetrics",
+    "node_get_json",
+    "node_request",
+    "routing_key",
+    "run_router",
+]

@@ -1,0 +1,184 @@
+"""Fleet admission control: gossip-fed, weighted, deterministic shedding.
+
+The router learns each node's queue posture two ways, both free:
+
+* **passive gossip** — every node stamps ``X-Repro-Queue-Depth`` /
+  ``X-Repro-Queue-Limit`` on every response, so the hottest nodes are
+  also the most-recently observed;
+* **active polls** — the background health loop reads ``/healthz``,
+  refreshing nodes that happen to get no traffic.
+
+Admission is decided *before* forwarding, against the target node's
+last-known fill fraction:
+
+* below ``soft_fraction`` of the queue limit → admit;
+* at or above the limit → shed (the node would answer 429 anyway;
+  shedding at the router saves the round trip);
+* in between → shed a *fraction* of traffic that ramps linearly from 0
+  at the soft threshold to 1 at the limit.  The fraction is enforced
+  with an error-diffusion accumulator instead of a random draw, so the
+  shed rate is exact and every run is reproducible.
+
+Shed responses carry a computed ``Retry-After``: observed fleet-wide
+queue depth over the observed fleet-wide drain rate (an exponentially
+decayed completions-per-second estimate), the same arithmetic each node
+applies locally (:mod:`repro.serve.admission`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from ..serve.admission import DrainRateEstimator, retry_after_seconds
+
+#: Header names the nodes stamp on every response (lowercased on read).
+QUEUE_DEPTH_HEADER = "x-repro-queue-depth"
+QUEUE_LIMIT_HEADER = "x-repro-queue-limit"
+
+#: Start shedding a ramping fraction of traffic above this queue fill.
+DEFAULT_SOFT_FRACTION = 0.7
+
+#: Forget a node's load report after this long without a fresher one.
+DEFAULT_STALE_AFTER = 10.0
+
+
+@dataclass
+class NodeLoad:
+    """One node's last-reported queue posture."""
+
+    depth: int
+    limit: int
+    observed_at: float
+
+    @property
+    def fraction(self) -> float:
+        return self.depth / self.limit if self.limit > 0 else 0.0
+
+
+class AdmissionController:
+    """Decide, per forward, whether the target node should take more work."""
+
+    def __init__(
+        self,
+        soft_fraction: float = DEFAULT_SOFT_FRACTION,
+        stale_after: float = DEFAULT_STALE_AFTER,
+        drain_tau: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < soft_fraction <= 1.0:
+            raise ValueError(
+                f"soft_fraction must be in (0, 1], got {soft_fraction}"
+            )
+        self.soft_fraction = soft_fraction
+        self.stale_after = stale_after
+        self._clock = clock
+        self._loads: dict[str, NodeLoad] = {}
+        # error-diffusion state: fractional shed decisions accumulate here
+        # and shed one request each time the debt crosses a whole unit
+        self._shed_debt = 0.0
+        self.drain = DrainRateEstimator(tau=drain_tau, clock=clock)
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    # -- gossip intake -----------------------------------------------------
+
+    def observe_gossip(self, node: str, headers: Mapping[str, str]) -> None:
+        """Fold one response's queue-posture headers into the table."""
+        depth = headers.get(QUEUE_DEPTH_HEADER)
+        limit = headers.get(QUEUE_LIMIT_HEADER)
+        if depth is None or limit is None:
+            return
+        try:
+            self._loads[node] = NodeLoad(
+                depth=int(depth), limit=int(limit), observed_at=self._clock()
+            )
+        except ValueError:
+            pass  # a garbled header is not worth failing a request over
+
+    def observe_depth(self, node: str, depth: int, limit: int) -> None:
+        """Fold an actively polled queue posture (healthz) into the table."""
+        self._loads[node] = NodeLoad(
+            depth=depth, limit=limit, observed_at=self._clock()
+        )
+
+    def forget(self, node: str) -> None:
+        """Drop a node's report (it left the fleet or went dark)."""
+        self._loads.pop(node, None)
+
+    def record_completion(self, n: int = 1) -> None:
+        """One (or ``n``) requests finished fleet-wide: a drain event."""
+        self.drain.record(n)
+
+    # -- the admission decision --------------------------------------------
+
+    def _current_load(self, node: str) -> Optional[NodeLoad]:
+        load = self._loads.get(node)
+        if load is None:
+            return None
+        if self._clock() - load.observed_at > self.stale_after:
+            return None  # stale gossip must not shed traffic forever
+        return load
+
+    def shed_fraction(self, node: str) -> float:
+        """How much of ``node``'s new traffic should be shed right now."""
+        load = self._current_load(node)
+        if load is None:
+            return 0.0
+        fraction = load.fraction
+        if fraction >= 1.0:
+            return 1.0
+        if fraction <= self.soft_fraction:
+            return 0.0
+        return (fraction - self.soft_fraction) / (1.0 - self.soft_fraction)
+
+    def admit(self, node: str) -> bool:
+        """Whether to forward one more request to ``node``.
+
+        A full node sheds unconditionally; a node in the soft band sheds
+        its ramp fraction exactly, via error diffusion.
+        """
+        fraction = self.shed_fraction(node)
+        if fraction >= 1.0:
+            self.shed_total += 1
+            return False
+        if fraction > 0.0:
+            self._shed_debt += fraction
+            if self._shed_debt >= 1.0:
+                self._shed_debt -= 1.0
+                self.shed_total += 1
+                return False
+        self.admitted_total += 1
+        return True
+
+    def retry_after(self) -> int:
+        """Seconds a shed client should back off: fleet depth over drain."""
+        depth = sum(
+            load.depth
+            for node in self._loads
+            if (load := self._current_load(node)) is not None
+        )
+        return retry_after_seconds(max(1, depth), self.drain.rate)
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        now = self._clock()
+        return {
+            "soft_fraction": self.soft_fraction,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "drain": self.drain.snapshot(),
+            "retry_after_s": self.retry_after(),
+            "nodes": {
+                node: {
+                    "depth": load.depth,
+                    "limit": load.limit,
+                    "fraction": round(load.fraction, 4),
+                    "age_seconds": round(now - load.observed_at, 3),
+                    "stale": (now - load.observed_at) > self.stale_after,
+                }
+                for node, load in sorted(self._loads.items())
+            },
+        }

@@ -1,0 +1,140 @@
+"""Node health tracking: circuit breakers driving ring membership.
+
+Each node gets its own :class:`~repro.serve.supervise.CircuitBreaker`
+(the same primitive that guards the in-process worker pool — PR 6's
+supervision machinery reused one level up).  The monitor keeps the
+routing ring consistent with breaker state:
+
+* **closed / half-open** → the node owns its arcs.  Half-open is
+  deliberately routable: after the cooldown the next request whose key
+  lands on the node *is* the probe, and its outcome closes or re-opens
+  the breaker — no separate probe traffic needed.
+* **open** → the node is removed from the ring, so its keys remap to
+  the next node clockwise (~K/N keys, see :mod:`repro.fleet.ring`) and
+  no client waits on a dead socket.
+
+Failures are recorded by the router on transport errors (refused,
+reset, torn read, timeout) and by the background health poll; any
+success — forwarded request or healthz poll — closes the breaker and
+restores membership immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from ..serve.supervise import BREAKER_OPEN, CircuitBreaker
+from .ring import HashRing
+
+#: Fleet default: open a node's breaker after this many consecutive
+#: transport failures.  Lower than the pool breaker's 5 — a dead process
+#: fails every probe, and each failure costs a client-visible re-route.
+DEFAULT_NODE_FAILURES = 3
+
+#: Fleet default cooldown before a down node is probed again (seconds).
+DEFAULT_NODE_COOLDOWN = 5.0
+
+
+class FleetHealthMonitor:
+    """Per-node breakers, synchronized into a :class:`HashRing`."""
+
+    def __init__(
+        self,
+        ring: HashRing,
+        nodes: Iterable[str] = (),
+        failure_threshold: int = DEFAULT_NODE_FAILURES,
+        cooldown: float = DEFAULT_NODE_COOLDOWN,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.ring = ring
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: ring-membership transitions (monotonic counters)
+        self.nodes_removed_total = 0
+        self.nodes_restored_total = 0
+        for node in nodes:
+            self.add_node(node)
+
+    def add_node(self, node: str) -> None:
+        """Track a node (idempotent); a fresh node starts routable."""
+        if node not in self._breakers:
+            self._breakers[node] = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown=self.cooldown,
+                clock=self._clock,
+            )
+        self._sync(node)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._breakers))
+
+    def breaker_for(self, node: str) -> CircuitBreaker:
+        return self._breakers[node]
+
+    # -- signal intake -----------------------------------------------------
+
+    def record_failure(self, node: str) -> bool:
+        """One transport failure against ``node``; True if it left the ring."""
+        breaker = self._breakers.get(node)
+        if breaker is None:
+            return False
+        breaker.record_failure()
+        return self._sync(node) == "removed"
+
+    def record_success(self, node: str) -> bool:
+        """One successful exchange with ``node``; True if it rejoined."""
+        breaker = self._breakers.get(node)
+        if breaker is None:
+            return False
+        breaker.record_success()
+        return self._sync(node) == "restored"
+
+    # -- ring synchronization ----------------------------------------------
+
+    def _sync(self, node: str) -> str:
+        """Align one node's ring membership with its breaker state."""
+        routable = self._breakers[node].state != BREAKER_OPEN
+        if routable:
+            if self.ring.add(node):
+                self.nodes_restored_total += 1
+                return "restored"
+        else:
+            if self.ring.remove(node):
+                self.nodes_removed_total += 1
+                return "removed"
+        return "unchanged"
+
+    def refresh(self) -> None:
+        """Re-sync every node (open → half-open transitions are time-driven,
+        so cooled-down nodes rejoin the ring here even with no traffic)."""
+        for node in self._breakers:
+            self._sync(node)
+
+    def routable(self, node: str) -> bool:
+        breaker = self._breakers.get(node)
+        return breaker is not None and breaker.state != BREAKER_OPEN
+
+    @property
+    def down_nodes(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(
+                node
+                for node, breaker in self._breakers.items()
+                if breaker.state == BREAKER_OPEN
+            )
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "nodes": {
+                node: breaker.snapshot()
+                for node, breaker in sorted(self._breakers.items())
+            },
+            "ring": self.ring.snapshot(),
+            "nodes_removed_total": self.nodes_removed_total,
+            "nodes_restored_total": self.nodes_restored_total,
+        }

@@ -1,0 +1,217 @@
+"""Node process lifecycle: spawn, discover, kill, drain.
+
+:class:`FleetManager` turns ``repro serve --fleet N`` into N real
+``python -m repro serve`` child processes — each a full single-node
+service (own worker pool, own queue, own per-node disk cache) — plus
+the shared cache directory they all tier under.  Ports are ephemeral:
+each child binds port 0 and publishes the bound port through
+``--port-file``, which the manager polls; there is no port-collision
+window and no config file.
+
+The manager is deliberately synchronous (plain ``subprocess`` +
+polling): it runs *before* the router's event loop exists and its job —
+fork children, learn addresses, forward signals — has no concurrency to
+exploit.  Chaos tooling (the fleet bench and smoke) reuses
+:meth:`kill` to SIGKILL a node mid-soak and :meth:`spawn_node` to grow
+the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+class FleetSpawnError(RuntimeError):
+    """A node failed to come up (died early or never published a port)."""
+
+
+@dataclass
+class FleetNode:
+    """One managed node process."""
+
+    index: int
+    process: subprocess.Popen
+    port_file: str
+    cache_dir: str
+    log_path: str
+    address: Optional[str] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+@dataclass
+class FleetManager:
+    """Spawn and supervise N `repro serve` node processes."""
+
+    model_path: str
+    workdir: str
+    host: str = "127.0.0.1"
+    workers: int = 0
+    queue_limit: int = 64
+    batch_max: int = 8
+    node_args: Sequence[str] = ()
+    python: str = sys.executable
+    shared_cache: Optional[str] = None
+    nodes: list[FleetNode] = field(default_factory=list)
+
+    @property
+    def shared_cache_dir(self) -> str:
+        return self.shared_cache or os.path.join(self.workdir, "shared-cache")
+
+    def _node_command(self, index: int, node: FleetNode) -> list[str]:
+        return [
+            self.python,
+            "-m",
+            "repro",
+            "serve",
+            self.model_path,
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--port-file",
+            node.port_file,
+            "--workers",
+            str(self.workers),
+            "--queue-limit",
+            str(self.queue_limit),
+            "--batch-max",
+            str(self.batch_max),
+            "--cache",
+            node.cache_dir,
+            "--shared-cache",
+            self.shared_cache_dir,
+            *self.node_args,
+        ]
+
+    def spawn_node(self, index: Optional[int] = None) -> FleetNode:
+        """Fork one node process (does not wait for readiness)."""
+        if index is None:
+            index = len(self.nodes)
+        os.makedirs(self.workdir, exist_ok=True)
+        port_file = os.path.join(self.workdir, f"node{index}.port")
+        if os.path.exists(port_file):
+            os.unlink(port_file)  # never read a previous incarnation's port
+        cache_dir = os.path.join(self.workdir, f"node{index}-cache")
+        log_path = os.path.join(self.workdir, f"node{index}.log")
+        node = FleetNode(
+            index=index,
+            process=None,  # type: ignore[arg-type] — set just below
+            port_file=port_file,
+            cache_dir=cache_dir,
+            log_path=log_path,
+        )
+        env = dict(os.environ)
+        # children must resolve the same `repro` package as the parent,
+        # however the parent was launched (installed, src-layout, test run)
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        log = open(log_path, "ab")
+        try:
+            node.process = subprocess.Popen(
+                self._node_command(index, node),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+                start_new_session=True,  # shield nodes from the parent's ^C
+            )
+        finally:
+            log.close()
+        self.nodes.append(node)
+        return node
+
+    def start(self, count: int) -> None:
+        """Spawn ``count`` nodes (addresses become known in wait_ready)."""
+        if count < 1:
+            raise ValueError(f"fleet size must be >= 1, got {count}")
+        for _ in range(count):
+            self.spawn_node()
+
+    def wait_ready(self, timeout: float = 60.0) -> list[str]:
+        """Block until every node published its port; return addresses.
+
+        A node that exits before publishing fails the whole fleet with
+        its log tail — a half-up fleet routes requests into the void.
+        """
+        deadline = time.monotonic() + timeout
+        for node in self.nodes:
+            while node.address is None:
+                if not node.alive:
+                    raise FleetSpawnError(
+                        f"node {node.index} exited with "
+                        f"{node.process.returncode} before binding; log tail:\n"
+                        f"{self._log_tail(node)}"
+                    )
+                port = self._read_port(node.port_file)
+                if port is not None:
+                    node.address = f"{self.host}:{port}"
+                    break
+                if time.monotonic() >= deadline:
+                    raise FleetSpawnError(
+                        f"node {node.index} did not publish a port within "
+                        f"{timeout}s; log tail:\n{self._log_tail(node)}"
+                    )
+                time.sleep(0.05)
+        return self.addresses()
+
+    @staticmethod
+    def _read_port(path: str) -> Optional[int]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read().strip()
+        except OSError:
+            return None
+        return int(text) if text.isdigit() else None
+
+    def _log_tail(self, node: FleetNode, lines: int = 20) -> str:
+        try:
+            with open(node.log_path, encoding="utf-8", errors="replace") as handle:
+                return "".join(handle.readlines()[-lines:])
+        except OSError:
+            return "<no log>"
+
+    def addresses(self) -> list[str]:
+        return [node.address for node in self.nodes if node.address is not None]
+
+    def live_nodes(self) -> list[FleetNode]:
+        return [node for node in self.nodes if node.alive]
+
+    # -- chaos / teardown --------------------------------------------------
+
+    def kill(self, index: int, sig: int = signal.SIGKILL) -> FleetNode:
+        """Send ``sig`` to one node (SIGKILL = an abrupt machine loss)."""
+        node = self.nodes[index]
+        if node.alive:
+            node.process.send_signal(sig)
+        return node
+
+    def stop(self, grace: float = 15.0) -> None:
+        """SIGTERM everything (nodes drain in-flight work), then reap."""
+        for node in self.nodes:
+            if node.alive:
+                node.process.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + grace
+        for node in self.nodes:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                node.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                node.process.kill()
+                node.process.wait()
+
+    def __enter__(self) -> "FleetManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

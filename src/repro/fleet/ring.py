@@ -1,0 +1,138 @@
+"""Consistent-hash routing of content-addressed request keys.
+
+The service's request key is already a sha256 content address, so the
+natural shard function is a consistent-hash ring: each node owns
+``vnodes`` pseudo-random points on a 64-bit circle, and a key is served
+by the node owning the first point at or after the key's own position.
+
+Why a ring and not ``hash(key) % N``: when a node joins or leaves, the
+modulo scheme remaps almost *every* key (all cached state on every node
+is suddenly cold), while the ring moves only the keys that landed on the
+departed node's arcs — **~K/N of K keys**, bounded and local.  The
+per-node shared-over-local cache tier (see
+:class:`repro.dse.cache.TieredResultCache`) absorbs even those moves:
+a remapped key's score is a shared-tier hit on its new owner.
+
+Virtual nodes flatten the load: one point per node makes arc lengths
+exponentially skewed (the largest arc is ~``ln N / N`` of the circle),
+while ``vnodes`` points per node concentrate each node's total share
+around ``1/N`` with relative spread ``~1/sqrt(vnodes)``.  The default
+of 128 keeps every node within a few tens of percent of fair share.
+
+Everything is deterministic: points are sha256 of ``"{node}#{replica}"``,
+so every router instance — across processes, restarts, hosts — computes
+the identical ring from the same membership.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator, Optional
+
+DEFAULT_VNODES = 128
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for an arbitrary label."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    ``node_for(key)`` is O(log(N * vnodes)); membership changes are
+    O(vnodes log(N * vnodes)).  Node names are opaque strings (the fleet
+    uses ``host:port`` addresses).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, str]] = []  # sorted (position, node)
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, node: str) -> bool:
+        """Add a node (idempotent); True when membership changed."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for replica in range(self.vnodes):
+            bisect.insort(self._points, (_point(f"{node}#{replica}"), node))
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove a node (idempotent); True when membership changed."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        self._points = [entry for entry in self._points if entry[1] != node]
+        return True
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    # -- lookup ------------------------------------------------------------
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The node owning ``key``, or None on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, (_point(key), "￿"))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the circle
+        return self._points[index][1]
+
+    def preference(self, key: str) -> Iterator[str]:
+        """Distinct nodes in ring order starting at ``key``'s owner.
+
+        This is the re-route order: if the owner is unreachable the next
+        distinct node clockwise takes the key, which is exactly where the
+        key would live had the owner never joined — so retries agree with
+        the rebalanced ring.
+        """
+        if not self._points:
+            return
+        start = bisect.bisect_right(self._points, (_point(key), "￿"))
+        seen: set[str] = set()
+        total = len(self._points)
+        for offset in range(total):
+            node = self._points[(start + offset) % total][1]
+            if node not in seen:
+                seen.add(node)
+                yield node
+
+    # -- introspection -----------------------------------------------------
+
+    def assignments(self, keys: Iterable[str]) -> dict[str, str]:
+        """key → owning node, for remap/balance analysis and tests."""
+        table: dict[str, str] = {}
+        for key in keys:
+            node = self.node_for(key)
+            if node is not None:
+                table[key] = node
+        return table
+
+    def snapshot(self) -> dict:
+        """The /healthz view: membership and ring geometry."""
+        return {
+            "nodes": list(self.nodes),
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }

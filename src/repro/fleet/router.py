@@ -1,0 +1,489 @@
+"""The fleet router: one front door over N estimation nodes.
+
+:class:`FleetRouter` implements the same duck-typed service contract as
+:class:`~repro.serve.server.EstimationService` (``start`` / ``stop`` /
+``dispatch_http`` / ``chaos``), so the existing asyncio TCP transport
+(:class:`~repro.serve.server.EstimationServer`) serves it unchanged —
+the fleet adds a routing tier, not a second HTTP stack.
+
+The request path::
+
+    parse (validated at the edge) → routing_key → admission check
+    against the owner's gossiped queue posture → consistent-hash owner
+    → forward → on transport failure: breaker + re-route to the next
+    distinct node clockwise → relay the node's response verbatim
+
+Endpoints:
+
+========================  ==================================================
+``POST /estimate``        routed by workload content (see fleet.routing)
+``POST /explore``         routed by body hash (any healthy node will do)
+``GET  /healthz``         ring membership, per-node breakers, load table
+``GET  /metrics``         router counters + per-node payloads + fleet sums
+========================  ==================================================
+
+Exactly-once, fleet-wide: a re-routed request may reach a node whose
+predecessor already simulated the key, but estimates are content
+addressed — the memo, per-node cache or shared tier answers, so the
+client gets exactly one response and the fleet runs each distinct
+workload's simulation once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import Optional, Sequence
+
+from ..serve.api import ApiError, parse_estimate
+from ..serve.http import (
+    HttpProtocolError,
+    HttpRequest,
+    format_response,
+    json_response,
+    text_response,
+)
+from ..serve.metrics import LatencyWindow
+from .admission import DEFAULT_SOFT_FRACTION, AdmissionController
+from .health import (
+    DEFAULT_NODE_COOLDOWN,
+    DEFAULT_NODE_FAILURES,
+    FleetHealthMonitor,
+)
+from .ring import DEFAULT_VNODES, HashRing
+from .routing import routing_key
+from .wire import NodeUnreachable, node_get_json, node_request
+
+#: Simulation-tally fields summed into the fleet-aggregate view.
+SIM_FIELDS = (
+    "runs_started",
+    "runs_finished",
+    "instructions",
+    "cycles",
+    "icache_misses",
+    "dcache_misses",
+    "sim_seconds",
+)
+
+#: Node counters summed into the fleet-aggregate view (a subset with
+#: fleet-wide meaning; per-node detail stays under ``nodes``).
+FLEET_COUNTER_FIELDS = (
+    "requests_total",
+    "estimate_requests",
+    "explore_requests",
+    "responses_ok",
+    "responses_error",
+    "coalesced_total",
+    "memo_hits_total",
+    "disk_cache_hits_total",
+    "duplicates_merged",
+    "rejected_total",
+    "timeouts_total",
+    "batches_dispatched",
+    "batched_requests",
+    "failures_total",
+    "pool_restarts_total",
+    "worker_crashes_total",
+)
+
+
+class RouterMetrics:
+    """The router's own counters (node counters live on the nodes)."""
+
+    COUNTERS = (
+        "requests_total",
+        "estimate_requests",
+        "explore_requests",
+        "forwarded_total",
+        "reroutes_total",
+        "forward_failures_total",
+        "shed_total",
+        "no_nodes_total",
+        "responses_ok",
+        "responses_error",
+        "health_polls_total",
+    )
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.counters: dict[str, int] = {name: 0 for name in self.COUNTERS}
+        self.forwards_by_node: dict[str, int] = {}
+        self.latency = LatencyWindow()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def count_forward(self, node: str) -> None:
+        self.counters["forwarded_total"] += 1
+        self.forwards_by_node[node] = self.forwards_by_node.get(node, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "counters": dict(self.counters),
+            "forwards_by_node": dict(sorted(self.forwards_by_node.items())),
+            "latency": self.latency.snapshot(),
+        }
+
+
+class FleetRouter:
+    """Routing + health + admission over a fixed fleet of node addresses."""
+
+    #: :class:`EstimationServer` transport contract (the router never
+    #: injects connection-level chaos itself; nodes own their chaos plans).
+    chaos = None
+
+    def __init__(
+        self,
+        nodes: Sequence[str],
+        vnodes: int = DEFAULT_VNODES,
+        forward_timeout: float = 120.0,
+        health_interval: float = 2.0,
+        node_failures: int = DEFAULT_NODE_FAILURES,
+        node_cooldown: float = DEFAULT_NODE_COOLDOWN,
+        soft_fraction: float = DEFAULT_SOFT_FRACTION,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a fleet needs at least one node address")
+        self.ring = HashRing(vnodes=vnodes)
+        self.health = FleetHealthMonitor(
+            self.ring,
+            nodes,
+            failure_threshold=node_failures,
+            cooldown=node_cooldown,
+        )
+        self.admission = AdmissionController(soft_fraction=soft_fraction)
+        self.metrics = RouterMetrics()
+        self.forward_timeout = forward_timeout
+        self.health_interval = health_interval
+        self._health_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._health_task is None and self.health_interval > 0:
+            self._health_task = asyncio.create_task(
+                self._health_loop(), name="repro-fleet-health"
+            )
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+
+    async def drain(self, grace: Optional[float] = None) -> bool:
+        """The router holds no queued work; draining is instantaneous."""
+        return True
+
+    # -- health polling ----------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await self.poll_health()
+
+    async def poll_health(self) -> None:
+        """One sweep: probe every node's /healthz, refresh ring + gossip."""
+        self.metrics.incr("health_polls_total")
+        self.health.refresh()  # time-driven open → half-open rejoins
+        nodes = self.health.nodes
+        results = await asyncio.gather(
+            *(
+                node_get_json(node, "/healthz", timeout=self.health_interval + 3.0)
+                for node in nodes
+            ),
+            return_exceptions=True,
+        )
+        for node, result in zip(nodes, results):
+            if isinstance(result, BaseException):
+                self.health.record_failure(node)
+                self.admission.forget(node)
+                continue
+            self.health.record_success(node)
+            if isinstance(result, dict):
+                queue = result.get("queue", {})
+                if isinstance(queue, dict) and "depth" in queue:
+                    self.admission.observe_depth(
+                        node,
+                        int(queue.get("depth", 0)),
+                        int(queue.get("limit", 0)),
+                    )
+
+    # -- HTTP dispatch -----------------------------------------------------
+
+    async def dispatch_http(self, request: HttpRequest) -> bytes:
+        keep_alive = request.keep_alive
+        try:
+            return await self._route(request)
+        except HttpProtocolError as exc:
+            return json_response(
+                exc.status,
+                {"error": "protocol", "message": str(exc)},
+                keep_alive=False,
+            )
+        except ApiError as exc:
+            self.metrics.incr("responses_error")
+            return json_response(
+                exc.status, exc.to_payload(), exc.headers, keep_alive=keep_alive
+            )
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the loop
+            self.metrics.incr("responses_error")
+            return json_response(
+                500,
+                {"error": "internal", "message": f"{type(exc).__name__}: {exc}"},
+                keep_alive=keep_alive,
+            )
+
+    async def _route(self, request: HttpRequest) -> bytes:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                raise ApiError(405, "use GET /healthz", code="method_not_allowed")
+            return json_response(
+                200, self.health_payload(), keep_alive=request.keep_alive
+            )
+        if path == "/metrics":
+            if method != "GET":
+                raise ApiError(405, "use GET /metrics", code="method_not_allowed")
+            payload = await self.metrics_payload()
+            if request.query.get("format") == "prom":
+                return text_response(
+                    200, render_fleet_prometheus(payload), keep_alive=request.keep_alive
+                )
+            return json_response(200, payload, keep_alive=request.keep_alive)
+        if path == "/estimate":
+            if method != "POST":
+                raise ApiError(405, "use POST /estimate", code="method_not_allowed")
+            self.metrics.incr("requests_total")
+            self.metrics.incr("estimate_requests")
+            # validate at the edge: a malformed request is answered here,
+            # never forwarded — and the parse yields the routing key
+            req = parse_estimate(request.json())
+            return await self._forward(
+                request, "/estimate", routing_key(req), check_admission=True
+            )
+        if path == "/explore":
+            if method != "POST":
+                raise ApiError(405, "use POST /explore", code="method_not_allowed")
+            self.metrics.incr("requests_total")
+            self.metrics.incr("explore_requests")
+            # explorations are not content-addressed at the router; a
+            # stable body hash spreads them while keeping re-submissions
+            # of the identical sweep on one node
+            import hashlib
+
+            key = hashlib.sha256(request.body).hexdigest()
+            return await self._forward(
+                request, "/explore", key, check_admission=True
+            )
+        raise ApiError(404, f"no such endpoint {path!r}", code="not_found")
+
+    async def _forward(
+        self,
+        request: HttpRequest,
+        path: str,
+        key: str,
+        check_admission: bool,
+    ) -> bytes:
+        began = time.perf_counter()
+        self.health.refresh()
+        candidates = list(self.ring.preference(key))
+        if not candidates:
+            self.metrics.incr("no_nodes_total")
+            self.metrics.incr("responses_error")
+            raise ApiError(
+                503,
+                "no reachable fleet nodes "
+                f"({len(self.health.down_nodes)} down)",
+                code="fleet_down",
+                headers={"Retry-After": str(self.admission.retry_after())},
+            )
+        owner = candidates[0]
+        if check_admission and not self.admission.admit(owner):
+            self.metrics.incr("shed_total")
+            self.metrics.incr("responses_error")
+            raise ApiError(
+                429,
+                f"node {owner} is saturated "
+                f"({self.admission.shed_fraction(owner):.0%} of new work shed)",
+                code="fleet_overloaded",
+                headers={"Retry-After": str(self.admission.retry_after())},
+            )
+        last_error: Optional[NodeUnreachable] = None
+        for attempt, node in enumerate(candidates):
+            try:
+                response = await node_request(
+                    node,
+                    "POST",
+                    path,
+                    request.body,
+                    timeout=self.forward_timeout,
+                )
+            except NodeUnreachable as exc:
+                # breaker the node out of the ring and take the next
+                # distinct node clockwise — where the key now lives
+                self.metrics.incr("forward_failures_total")
+                self.health.record_failure(node)
+                self.admission.forget(node)
+                last_error = exc
+                continue
+            self.health.record_success(node)
+            self.admission.observe_gossip(node, response.headers)
+            self.admission.record_completion()
+            if attempt > 0:
+                self.metrics.incr("reroutes_total", attempt)
+            self.metrics.count_forward(node)
+            self.metrics.latency.record(time.perf_counter() - began)
+            self.metrics.incr(
+                "responses_ok" if response.status < 400 else "responses_error"
+            )
+            return format_response(
+                response.status,
+                response.body,
+                response.content_type,
+                {"X-Repro-Node": node},
+                keep_alive=request.keep_alive,
+            )
+        self.metrics.incr("no_nodes_total")
+        self.metrics.incr("responses_error")
+        raise ApiError(
+            503,
+            f"every candidate node unreachable for this key "
+            f"(last: {last_error})",
+            code="fleet_unreachable",
+            headers={"Retry-After": str(self.admission.retry_after())},
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def health_payload(self) -> dict:
+        down = self.health.down_nodes
+        if len(self.ring) == 0:
+            status = "down"
+        elif down:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "role": "router",
+            "uptime_seconds": time.time() - self.metrics.started_at,
+            "fleet": {
+                "nodes_configured": len(self.health.nodes),
+                "nodes_routable": len(self.ring),
+                "nodes_down": list(down),
+            },
+            "health": self.health.snapshot(),
+            "admission": self.admission.snapshot(),
+        }
+
+    async def metrics_payload(self) -> dict:
+        """Router counters, per-node payloads, and fleet-aggregate sums.
+
+        Node metrics are fetched live and concurrently; a node that
+        cannot answer contributes an ``error`` stanza instead of sums
+        (so the aggregate under-counts during an outage rather than
+        blocking the endpoint).
+        """
+        nodes = self.health.nodes
+        results = await asyncio.gather(
+            *(node_get_json(node, "/metrics", timeout=10.0) for node in nodes),
+            return_exceptions=True,
+        )
+        node_payloads: dict[str, dict] = {}
+        fleet_counters = {name: 0 for name in FLEET_COUNTER_FIELDS}
+        fleet_sim = {name: 0 for name in SIM_FIELDS}
+        nodes_reporting = 0
+        for node, result in zip(nodes, results):
+            if isinstance(result, BaseException) or not isinstance(result, dict):
+                node_payloads[node] = {"error": str(result)}
+                continue
+            nodes_reporting += 1
+            node_payloads[node] = result
+            counters = result.get("counters", {})
+            for name in FLEET_COUNTER_FIELDS:
+                value = counters.get(name)
+                if isinstance(value, (int, float)):
+                    fleet_counters[name] += int(value)
+            simulation = result.get("simulation", {})
+            for name in SIM_FIELDS:
+                value = simulation.get(name)
+                if isinstance(value, (int, float)):
+                    fleet_sim[name] += value
+        return {
+            "router": {
+                **self.metrics.snapshot(),
+                "health": self.health.snapshot(),
+                "admission": self.admission.snapshot(),
+            },
+            "fleet": {
+                "nodes_configured": len(nodes),
+                "nodes_reporting": nodes_reporting,
+                "counters": fleet_counters,
+                "simulation": fleet_sim,
+            },
+            "nodes": node_payloads,
+        }
+
+
+def render_fleet_prometheus(payload: dict) -> str:
+    """Flatten the router/fleet metrics payload to Prometheus text."""
+    lines: list[str] = []
+
+    def emit(name: str, value, labels: str = "") -> None:
+        if isinstance(value, float):
+            lines.append(f"repro_fleet_{name}{labels} {value:.6g}")
+        else:
+            lines.append(f"repro_fleet_{name}{labels} {value}")
+
+    router = payload["router"]
+    emit("router_uptime_seconds", router["uptime_seconds"])
+    for name, value in sorted(router["counters"].items()):
+        emit(f"router_{name}", value)
+    for node, count in sorted(router.get("forwards_by_node", {}).items()):
+        emit("router_forwards", count, f'{{node="{node}"}}')
+    fleet = payload["fleet"]
+    emit("nodes_configured", fleet["nodes_configured"])
+    emit("nodes_reporting", fleet["nodes_reporting"])
+    for name, value in sorted(fleet["counters"].items()):
+        emit(name, value)
+    for name, value in sorted(fleet["simulation"].items()):
+        emit(f"sim_{name}", value)
+    return "\n".join(lines) + "\n"
+
+
+async def run_router(
+    router: FleetRouter,
+    host: str = "127.0.0.1",
+    port: int = 8730,
+    announce=print,
+    port_file: Optional[str] = None,
+) -> None:
+    """Serve the router until SIGTERM/SIGINT (the ``repro route`` CLI)."""
+    import signal
+    from typing import cast
+
+    from ..serve.server import EstimationServer, EstimationService, write_port_file
+
+    # the router satisfies the transport's duck-typed service contract
+    server = EstimationServer(cast(EstimationService, router), host, port)
+    await server.start()
+    if port_file is not None:
+        write_port_file(port_file, server.port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # non-unix loops
+            loop.add_signal_handler(signum, stop.set)
+    announce(
+        f"repro route: listening on {server.address} "
+        f"({len(router.health.nodes)} node(s): {', '.join(router.health.nodes)})"
+    )
+    try:
+        await stop.wait()
+    finally:
+        announce("repro route: shutting down")
+        await server.stop()

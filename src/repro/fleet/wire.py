@@ -1,0 +1,143 @@
+"""Router-side HTTP client: forward a request to one node, read the reply.
+
+The router speaks to nodes over the same tiny HTTP/1.1 subset the nodes
+serve (:mod:`repro.serve.http`), with stdlib asyncio streams and no
+third-party dependencies.  One connection per forward keeps failure
+semantics trivial — a dead node surfaces as a refused connect or a torn
+read on *this* request only, which is exactly the signal the health
+monitor wants.
+
+All transport-level trouble (refused, reset, torn, timeout) is
+normalized into :class:`NodeUnreachable` so the router's re-route loop
+handles one exception type; HTTP-level errors (a node answering 4xx/5xx)
+are *not* transport failures and are relayed to the client untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+#: Bound on a node response body the router will buffer (metrics included).
+MAX_RESPONSE_BYTES = 8 * 1024 * 1024
+
+
+class NodeUnreachable(Exception):
+    """A node could not be reached or did not answer a whole response."""
+
+    def __init__(self, address: str, reason: str) -> None:
+        super().__init__(f"node {address} unreachable: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+@dataclass
+class NodeResponse:
+    """One complete HTTP response read back from a node."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        return json.loads(self.body)
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "application/json")
+
+
+def split_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"node address must look like host:port, got {address!r}")
+    return host, int(port)
+
+
+async def _read_response(
+    reader: asyncio.StreamReader, address: str
+) -> NodeResponse:
+    status_line = await reader.readline()
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise NodeUnreachable(address, f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length_header = headers.get("content-length")
+    if length_header is None:
+        body = await reader.read(MAX_RESPONSE_BYTES)
+    else:
+        length = int(length_header)
+        if length > MAX_RESPONSE_BYTES:
+            raise NodeUnreachable(address, f"response of {length} bytes too large")
+        body = await reader.readexactly(length)
+    return NodeResponse(status=status, headers=headers, body=body)
+
+
+async def node_request(
+    address: str,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    timeout: float = 30.0,
+) -> NodeResponse:
+    """One request/response round trip against ``host:port``.
+
+    Raises :class:`NodeUnreachable` for every transport-shaped failure;
+    returns whatever HTTP status the node answered otherwise.
+    """
+    host, port = split_address(address)
+    writer: Optional[asyncio.StreamWriter] = None
+
+    async def round_trip() -> NodeResponse:
+        nonlocal writer
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {address}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+        return await _read_response(reader, address)
+
+    try:
+        # wait_for rather than asyncio.timeout(): the support floor is 3.10
+        return await asyncio.wait_for(round_trip(), timeout)
+    except NodeUnreachable:
+        raise
+    except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError, TimeoutError) as exc:
+        raise NodeUnreachable(address, f"{type(exc).__name__}: {exc}") from exc
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 — close races are uninteresting
+                pass
+
+
+async def node_get_json(address: str, path: str, timeout: float = 10.0) -> object:
+    """GET ``path`` from a node and decode the JSON body (or raise)."""
+    response = await node_request(address, "GET", path, timeout=timeout)
+    if response.status != 200:
+        raise NodeUnreachable(
+            address, f"GET {path} answered {response.status}"
+        )
+    try:
+        return response.json()
+    except json.JSONDecodeError as exc:
+        raise NodeUnreachable(address, f"GET {path} returned bad JSON: {exc}")

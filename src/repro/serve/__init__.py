@@ -20,6 +20,7 @@ long-running process.  This package is that server-shaped entry point:
 See ``docs/SERVING.md`` for the wire API and operational semantics.
 """
 
+from .admission import DrainRateEstimator, retry_after_seconds
 from .api import ApiError, EstimateRequest, ExploreRequest, parse_estimate, parse_explore, request_key
 from .batching import BatchQueue, Coalescer, Job, partition_compatible
 from .metrics import LatencyWindow, ServiceMetrics, ServiceMetricsObserver, render_prometheus
@@ -39,6 +40,7 @@ __all__ = [
     "BatchQueue",
     "CircuitBreaker",
     "Coalescer",
+    "DrainRateEstimator",
     "EstimateRequest",
     "EstimationServer",
     "EstimationService",
@@ -58,6 +60,7 @@ __all__ = [
     "partition_compatible",
     "render_prometheus",
     "request_key",
+    "retry_after_seconds",
     "run_estimate_batch",
     "run_explore",
     "run_server",

@@ -170,7 +170,16 @@ def json_response(
     )
 
 
-def text_response(status: int, text: str, keep_alive: bool = True) -> bytes:
+def text_response(
+    status: int,
+    text: str,
+    extra_headers: Optional[dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
     return format_response(
-        status, text.encode("utf-8"), "text/plain; charset=utf-8", None, keep_alive
+        status,
+        text.encode("utf-8"),
+        "text/plain; charset=utf-8",
+        extra_headers,
+        keep_alive,
     )

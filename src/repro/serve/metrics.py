@@ -158,6 +158,7 @@ class ServiceMetrics:
         compilation_cache: Optional[dict] = None,
         result_cache: Optional[dict] = None,
         supervision: Optional[dict] = None,
+        admission: Optional[dict] = None,
     ) -> dict:
         with self._lock:
             payload = {
@@ -196,6 +197,8 @@ class ServiceMetrics:
         payload["caches"] = caches
         if supervision is not None:
             payload["supervision"] = supervision
+        if admission is not None:
+            payload["admission"] = admission
         return payload
 
 
@@ -234,6 +237,7 @@ def render_prometheus(payload: dict) -> str:
             "stores",
             "evictions",
             "corrupt_entries",
+            "promotions",
         ):
             if field in info:
                 emit(f"cache_{field}", info[field], labels)
@@ -243,6 +247,17 @@ def render_prometheus(payload: dict) -> str:
             for field in ("hits", "misses", "entries", "compilations", "evictions"):
                 if field in tier:
                     emit(f"cache_tier_{field}", tier[field], tier_labels)
+    admission = payload.get("admission")
+    if admission:
+        emit("admission_queue_depth", admission.get("queue_depth", 0))
+        emit("admission_queue_limit", admission.get("queue_limit", 0))
+        emit("admission_retry_after_seconds", admission.get("retry_after_s", 0))
+        drain = admission.get("drain", {})
+        if "rate_per_s" in drain:
+            emit("admission_drain_rate", drain["rate_per_s"])
+        explore_drain = admission.get("explore_drain", {})
+        if "rate_per_s" in explore_drain:
+            emit("admission_explore_drain_rate", explore_drain["rate_per_s"])
     supervision = payload.get("supervision")
     if supervision:
         from .supervise import BREAKER_STATE_CODES

@@ -56,7 +56,8 @@ from typing import Optional, Sequence
 
 from ..core.model import EnergyMacroModel
 from ..core.runner import RetryPolicy, SampleFailure
-from ..dse.cache import ResultCache, model_digest
+from ..dse.cache import ResultCache, TieredResultCache, model_digest
+from .admission import DrainRateEstimator, retry_after_seconds
 from .api import (
     ApiError,
     EstimateRequest,
@@ -113,6 +114,7 @@ class EstimationService:
         dedupe: bool = True,
         memo_size: int = 4096,
         cache_dir: Optional[str] = None,
+        shared_cache_dir: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
         request_timeout: float = 30.0,
         explore_timeout: float = 600.0,
@@ -146,8 +148,21 @@ class EstimationService:
         self.metrics = ServiceMetrics()
         self.coalescer = Coalescer(memo_size if dedupe else 0)
         self.pool = WorkerPool(model, workers=workers, prewarm=prewarm)
-        self.result_cache = ResultCache(cache_dir) if cache_dir else None
+        # Per-node disk cache, optionally tiered under a cross-node shared
+        # directory so any node of a fleet can answer a key another node
+        # computed (see docs/SERVING.md "Fleet topology").
+        self.result_cache: Optional[ResultCache]
+        only_root = cache_dir or shared_cache_dir
+        if cache_dir and shared_cache_dir:
+            self.result_cache = TieredResultCache(cache_dir, shared_cache_dir)
+        elif only_root:
+            self.result_cache = ResultCache(only_root)
+        else:
+            self.result_cache = None
         self.queue = BatchQueue(queue_limit)
+        #: observed completion rates, feeding computed Retry-After hints
+        self.drain_rate = DrainRateEstimator()
+        self.explore_drain = DrainRateEstimator(tau=60.0)
         #: most recent contained failures, for /healthz debugging
         self.failures: deque[SampleFailure] = deque(maxlen=64)
         #: crash accounting + poisoned-request isolation
@@ -215,6 +230,13 @@ class EstimationService:
 
     # -- HTTP dispatch -----------------------------------------------------
 
+    def _gossip_headers(self) -> dict[str, str]:
+        """Queue posture stamped on every response (fleet routers read it)."""
+        return {
+            "X-Repro-Queue-Depth": str(self.queue.qsize()),
+            "X-Repro-Queue-Limit": str(self.queue.maxsize),
+        }
+
     async def dispatch_http(self, request: HttpRequest) -> bytes:
         keep_alive = request.keep_alive
         try:
@@ -228,18 +250,23 @@ class EstimationService:
         except ApiError as exc:
             self.metrics.incr("responses_error")
             return json_response(
-                exc.status, exc.to_payload(), exc.headers, keep_alive=keep_alive
+                exc.status,
+                exc.to_payload(),
+                {**self._gossip_headers(), **(exc.headers or {})},
+                keep_alive=keep_alive,
             )
         except Exception as exc:  # noqa: BLE001 — a request must never kill the loop
             self.metrics.incr("responses_error")
             return json_response(
                 500,
                 {"error": "internal", "message": f"{type(exc).__name__}: {exc}"},
+                self._gossip_headers(),
                 keep_alive=keep_alive,
             )
+        merged = {**self._gossip_headers(), **(headers or {})}
         if isinstance(payload, str):
-            return text_response(status, payload, keep_alive=keep_alive)
-        return json_response(status, payload, headers, keep_alive=keep_alive)
+            return text_response(status, payload, merged, keep_alive=keep_alive)
+        return json_response(status, payload, merged, keep_alive=keep_alive)
 
     async def _route(self, request: HttpRequest):
         path, method = request.path, request.method
@@ -266,6 +293,19 @@ class EstimationService:
             return await self._handle_explore(request.json())
         raise ApiError(404, f"no such endpoint {path!r}", code="not_found")
 
+    def retry_after_hint(self) -> int:
+        """Estimate-path Retry-After: queue depth over observed drain rate."""
+        return retry_after_seconds(
+            self.queue.qsize() + self.coalescer.inflight_count,
+            self.drain_rate.rate,
+        )
+
+    def explore_retry_after_hint(self) -> int:
+        """Explore-path Retry-After from the (slower) explore drain rate."""
+        return retry_after_seconds(
+            self._active_explores, self.explore_drain.rate, cold_start=5
+        )
+
     def _refuse_if_draining(self) -> None:
         if self._draining:
             self.metrics.incr("drain_rejected_total")
@@ -273,7 +313,7 @@ class EstimationService:
                 503,
                 "service is draining; no new work accepted",
                 code="draining",
-                headers={"Retry-After": "1"},
+                headers={"Retry-After": str(self.retry_after_hint())},
             )
 
     # -- introspection endpoints -------------------------------------------
@@ -355,6 +395,13 @@ class EstimationService:
                 self.result_cache.info() if self.result_cache is not None else None
             ),
             supervision=self.supervision_payload(),
+            admission={
+                "queue_depth": self.queue.qsize(),
+                "queue_limit": self.queue.maxsize,
+                "drain": self.drain_rate.snapshot(),
+                "explore_drain": self.explore_drain.snapshot(),
+                "retry_after_s": self.retry_after_hint(),
+            },
         )
 
     # -- estimate path -----------------------------------------------------
@@ -467,7 +514,7 @@ class EstimationService:
                 429,
                 f"estimation queue is full ({self.queue.maxsize} pending)",
                 code="overloaded",
-                headers={"Retry-After": "1"},
+                headers={"Retry-After": str(self.retry_after_hint())},
             )
         self.metrics.set_gauge("queue_depth", self.queue.qsize())
         return await asyncio.shield(job.future), "fresh"
@@ -520,7 +567,7 @@ class EstimationService:
                 429,
                 f"all {self.pool.workers} worker(s) busy with explorations",
                 code="overloaded",
-                headers={"Retry-After": "5"},
+                headers={"Retry-After": str(self.explore_retry_after_hint())},
             )
         item = {
             "space": req.space,
@@ -531,7 +578,13 @@ class EstimationService:
             "max_instructions": req.max_instructions,
             "top_k": req.top_k,
             "operating_point": req.operating_point,
-            "cache_root": self.result_cache.root if self.result_cache else None,
+            # tiered (fleet) caches expose the cross-node shared directory;
+            # explorations write there so every node benefits from the sweep
+            "cache_root": (
+                getattr(self.result_cache, "shared_root", self.result_cache.root)
+                if self.result_cache
+                else None
+            ),
         }
         self.metrics.observe_operating_point(req.operating_point)
         self._active_explores += 1
@@ -556,6 +609,7 @@ class EstimationService:
                 raise ApiError(504, failure.describe(), code="timeout")
         finally:
             self._active_explores -= 1
+            self.explore_drain.record(1)
         elapsed = time.perf_counter() - began
         self.metrics.observe_latency("explore", elapsed)
         if not outcome.get("ok"):
@@ -605,6 +659,9 @@ class EstimationService:
         try:
             await self._run_supervised(jobs)
         finally:
+            # every job left the system (resolved, failed or shed): that is
+            # a drain event, and the drain rate is what Retry-After quotes
+            self.drain_rate.record(len(jobs))
             self.metrics.set_gauge("inflight", self.coalescer.inflight_count)
 
     async def _run_supervised(self, jobs: list[Job]) -> None:
@@ -1001,17 +1058,35 @@ class EstimationServer:
                 await writer.wait_closed()
 
 
+def write_port_file(path: str, port: int) -> None:
+    """Publish a bound port atomically (watchers never read a torn file)."""
+    import os
+
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(f"{port}\n")
+    os.replace(tmp, path)
+
+
 async def run_server(
     service: EstimationService,
     host: str = "127.0.0.1",
     port: int = 8731,
     announce=print,
+    port_file: Optional[str] = None,
 ) -> None:
-    """Serve until SIGTERM/SIGINT, then drain and shut down cleanly."""
+    """Serve until SIGTERM/SIGINT, then drain and shut down cleanly.
+
+    ``port_file`` publishes the bound port (atomically, after the
+    listener is up) so supervisors — the fleet manager, CI smokes — can
+    discover an ephemeral ``--port 0`` binding without log scraping.
+    """
     import signal
 
     server = EstimationServer(service, host, port)
     await server.start()
+    if port_file is not None:
+        write_port_file(port_file, server.port)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):

@@ -1,0 +1,175 @@
+"""Fixtures for live fleet tests: real nodes + real router, one loop.
+
+The fleet harness runs everything — N single-node
+:class:`EstimationServer` instances and one :class:`FleetRouter` — on a
+single background asyncio loop, on ephemeral ports, exactly like the
+serve tests do for one node.  Tests then speak blocking ``http.client``
+to the router (or directly to a node), which is what an external client
+does.  Node "death" is a real transport stop: the port goes dark and
+the router sees connection refused, the same observable as SIGKILL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import cast
+
+import numpy as np
+import pytest
+
+from repro.core import EnergyMacroModel, default_template
+from repro.fleet import FleetRouter
+from repro.serve import EstimationServer, EstimationService
+
+TINY_TEMPLATE = """
+    .data
+out: .word 0
+    .text
+main:
+    movi a2, {n}
+    movi a3, 0
+loop:
+    add a3, a3, a2
+    addi a2, a2, -1
+    bnez a2, loop
+    la a4, out
+    s32i a3, a4, 0
+    halt
+"""
+
+
+def estimate_body(name: str, n: int, max_instructions: int = 10_000) -> dict:
+    return {
+        "program": {"name": name, "source": TINY_TEMPLATE.format(n=n)},
+        "max_instructions": max_instructions,
+    }
+
+
+@pytest.fixture(scope="session")
+def fleet_model() -> EnergyMacroModel:
+    template = default_template()
+    return EnergyMacroModel(template, np.linspace(50, 5000, len(template)))
+
+
+class FleetHarness:
+    """N live nodes + one live router on a background asyncio loop."""
+
+    def __init__(
+        self,
+        model: EnergyMacroModel,
+        tmp_path,
+        node_count: int = 3,
+        router_options: dict | None = None,
+        service_options: dict | None = None,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run_loop, daemon=True)
+        self._thread.start()
+
+        self.model = model
+        self.tmp_path = tmp_path
+        shared = str(tmp_path / "shared-cache")
+        self.services: list[EstimationService] = []
+        self.node_servers: list[EstimationServer] = []
+        self.addresses: list[str] = []
+        options = {"workers": 0, "batch_window": 0.005, **(service_options or {})}
+        for index in range(node_count):
+            service = EstimationService(
+                model,
+                cache_dir=str(tmp_path / f"node{index}-cache"),
+                shared_cache_dir=shared,
+                **options,
+            )
+            server = EstimationServer(service, port=0)
+            self.run(server.start())
+            self.services.append(service)
+            self.node_servers.append(server)
+            self.addresses.append(f"127.0.0.1:{server.port}")
+
+        self.router = FleetRouter(
+            self.addresses,
+            **{"health_interval": 0.0, **(router_options or {})},
+        )
+        self.router_server = EstimationServer(
+            cast(EstimationService, self.router), port=0
+        )
+        self.run(self.router_server.start())
+        self.router_port = self.router_server.port
+        self._stopped: set[int] = set()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def run(self, coro, timeout: float = 60):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    def kill_node(self, index: int) -> str:
+        """Stop one node's transport: its port goes dark (like SIGKILL)."""
+        self.run(self.node_servers[index].stop())
+        self._stopped.add(index)
+        return self.addresses[index]
+
+    def request(
+        self, method: str, path: str, body: object = None, port: int | None = None
+    ):
+        """Blocking round trip; returns (status, decoded body, headers)."""
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", port or self.router_port, timeout=60
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, payload, headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            decoded = (
+                json.loads(raw)
+                if content_type.startswith("application/json")
+                else raw.decode()
+            )
+            return response.status, decoded, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    def estimate(self, body: dict):
+        return self.request("POST", "/estimate", body)
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self.run(self.router_server.stop())
+        for index, server in enumerate(self.node_servers):
+            if index not in self._stopped:
+                self.run(server.stop())
+
+        async def reap() -> None:
+            current = asyncio.current_task()
+            for task in asyncio.all_tasks():
+                if task is not current:
+                    task.cancel()
+            await asyncio.sleep(0)
+
+        self.run(reap())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+@pytest.fixture
+def make_fleet(fleet_model, tmp_path):
+    """Factory fixture: a live fleet with custom router/node options."""
+    harnesses: list[FleetHarness] = []
+
+    def factory(**kwargs) -> FleetHarness:
+        harness = FleetHarness(fleet_model, tmp_path, **kwargs)
+        harnesses.append(harness)
+        return harness
+
+    yield factory
+    for harness in harnesses:
+        harness.close()

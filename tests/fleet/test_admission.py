@@ -1,0 +1,133 @@
+"""Fleet admission: gossip intake, weighted shedding, computed backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import AdmissionController
+from repro.fleet.admission import QUEUE_DEPTH_HEADER, QUEUE_LIMIT_HEADER
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_controller(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("clock", clock)
+    return AdmissionController(**kwargs), clock
+
+
+class TestGossipIntake:
+    def test_headers_populate_the_load_table(self):
+        ctl, _ = make_controller()
+        ctl.observe_gossip(
+            "n:1", {QUEUE_DEPTH_HEADER: "12", QUEUE_LIMIT_HEADER: "64"}
+        )
+        snap = ctl.snapshot()
+        assert snap["nodes"]["n:1"]["depth"] == 12
+        assert snap["nodes"]["n:1"]["limit"] == 64
+
+    def test_missing_or_garbled_headers_are_ignored(self):
+        ctl, _ = make_controller()
+        ctl.observe_gossip("n:1", {})
+        ctl.observe_gossip(
+            "n:1", {QUEUE_DEPTH_HEADER: "many", QUEUE_LIMIT_HEADER: "64"}
+        )
+        assert ctl.snapshot()["nodes"] == {}
+
+    def test_healthz_poll_feeds_the_same_table(self):
+        ctl, _ = make_controller()
+        ctl.observe_depth("n:1", depth=3, limit=10)
+        assert ctl.snapshot()["nodes"]["n:1"]["fraction"] == 0.3
+
+    def test_forget_drops_a_node(self):
+        ctl, _ = make_controller()
+        ctl.observe_depth("n:1", 3, 10)
+        ctl.forget("n:1")
+        assert ctl.snapshot()["nodes"] == {}
+
+
+class TestWeightedShedding:
+    def test_unknown_node_admits(self):
+        ctl, _ = make_controller()
+        assert ctl.admit("n:1") is True
+        assert ctl.shed_fraction("n:1") == 0.0
+
+    def test_below_soft_threshold_admits_everything(self):
+        ctl, _ = make_controller(soft_fraction=0.7)
+        ctl.observe_depth("n:1", depth=44, limit=64)  # ~0.69 full
+        assert all(ctl.admit("n:1") for _ in range(100))
+
+    def test_full_queue_sheds_everything(self):
+        ctl, _ = make_controller()
+        ctl.observe_depth("n:1", depth=64, limit=64)
+        assert not any(ctl.admit("n:1") for _ in range(20))
+        assert ctl.shed_fraction("n:1") == 1.0
+
+    def test_soft_band_sheds_the_exact_ramp_fraction(self):
+        """Halfway between soft threshold and full → shed exactly half,
+        deterministically (error diffusion, not a random draw)."""
+        ctl, _ = make_controller(soft_fraction=0.7)
+        ctl.observe_depth("n:1", depth=54, limit=64)  # ~0.844 → ramp ~0.479
+        decisions = [ctl.admit("n:1") for _ in range(1000)]
+        shed = decisions.count(False)
+        expected = ctl.shed_fraction("n:1") * 1000
+        assert shed == pytest.approx(expected, abs=1)
+
+    def test_error_diffusion_is_reproducible(self):
+        def run():
+            ctl, _ = make_controller(soft_fraction=0.5)
+            ctl.observe_depth("n:1", depth=8, limit=10)
+            return [ctl.admit("n:1") for _ in range(50)]
+
+        assert run() == run()
+
+    def test_stale_gossip_stops_shedding(self):
+        """A node that went quiet while saturated must not be shed
+        forever on old news."""
+        ctl, clock = make_controller(stale_after=10.0)
+        ctl.observe_depth("n:1", depth=64, limit=64)
+        assert ctl.admit("n:1") is False
+        clock.advance(11.0)
+        assert ctl.admit("n:1") is True
+
+    def test_soft_fraction_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(soft_fraction=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(soft_fraction=1.5)
+
+
+class TestRetryAfter:
+    def test_cold_fleet_quotes_cold_start(self):
+        ctl, _ = make_controller()
+        ctl.observe_depth("n:1", depth=10, limit=64)
+        assert ctl.retry_after() == 2  # no drains observed yet
+
+    def test_scales_with_depth_over_drain_rate(self):
+        ctl, clock = make_controller(drain_tau=10.0)
+        # establish ~2 completions/s
+        for _ in range(200):
+            clock.advance(0.5)
+            ctl.record_completion()
+        ctl.observe_depth("n:1", depth=10, limit=64)
+        hint = ctl.retry_after()
+        assert 4 <= hint <= 7  # ~ceil(10 / 2.0) with estimator tolerance
+
+    def test_counters_track_decisions(self):
+        ctl, _ = make_controller()
+        ctl.observe_depth("n:1", depth=64, limit=64)
+        ctl.admit("n:1")
+        ctl.forget("n:1")
+        ctl.admit("n:1")
+        snap = ctl.snapshot()
+        assert snap["shed_total"] == 1
+        assert snap["admitted_total"] == 1

@@ -1,0 +1,112 @@
+"""Node health: per-node breakers driving ring membership."""
+
+from __future__ import annotations
+
+from repro.fleet import FleetHealthMonitor, HashRing
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_monitor(nodes=("a:1", "b:2", "c:3"), threshold=2, cooldown=5.0):
+    clock = FakeClock()
+    ring = HashRing(nodes)
+    monitor = FleetHealthMonitor(
+        ring, nodes, failure_threshold=threshold, cooldown=cooldown, clock=clock
+    )
+    return monitor, ring, clock
+
+
+class TestFailureDetection:
+    def test_fresh_nodes_are_routable(self):
+        monitor, ring, _ = make_monitor()
+        assert all(monitor.routable(n) for n in monitor.nodes)
+        assert len(ring) == 3
+
+    def test_single_failure_below_threshold_keeps_membership(self):
+        monitor, ring, _ = make_monitor(threshold=2)
+        assert monitor.record_failure("a:1") is False
+        assert "a:1" in ring
+        assert monitor.routable("a:1")
+
+    def test_threshold_failures_remove_the_node(self):
+        monitor, ring, _ = make_monitor(threshold=2)
+        monitor.record_failure("a:1")
+        assert monitor.record_failure("a:1") is True
+        assert "a:1" not in ring
+        assert not monitor.routable("a:1")
+        assert monitor.down_nodes == ("a:1",)
+        assert monitor.nodes_removed_total == 1
+        # the other nodes keep their arcs
+        assert "b:2" in ring and "c:3" in ring
+
+    def test_unknown_node_failure_is_ignored(self):
+        monitor, _, _ = make_monitor()
+        assert monitor.record_failure("ghost:9") is False
+
+
+class TestRecovery:
+    def test_success_restores_a_down_node(self):
+        monitor, ring, _ = make_monitor(threshold=1)
+        monitor.record_failure("b:2")
+        assert "b:2" not in ring
+        assert monitor.record_success("b:2") is True
+        assert "b:2" in ring
+        assert monitor.nodes_restored_total == 1
+        assert monitor.down_nodes == ()
+
+    def test_cooldown_readmits_half_open_via_refresh(self):
+        """An open node rejoins the ring after the cooldown even with no
+        traffic: refresh() sees the half-open state and restores its
+        arcs, so the next request whose key lands there is the probe."""
+        monitor, ring, clock = make_monitor(threshold=1, cooldown=5.0)
+        monitor.record_failure("c:3")
+        assert "c:3" not in ring
+        clock.advance(4.9)
+        monitor.refresh()
+        assert "c:3" not in ring  # still cooling down
+        clock.advance(0.2)
+        monitor.refresh()
+        assert "c:3" in ring  # half-open: routable as a probe
+        assert monitor.breaker_for("c:3").state == "half-open"
+
+    def test_failed_probe_reopens_for_a_fresh_cooldown(self):
+        monitor, ring, clock = make_monitor(threshold=1, cooldown=5.0)
+        monitor.record_failure("c:3")
+        clock.advance(5.1)
+        monitor.refresh()
+        assert "c:3" in ring
+        # the probe request fails: straight back out of the ring
+        monitor.record_failure("c:3")
+        assert "c:3" not in ring
+        clock.advance(4.0)
+        monitor.refresh()
+        assert "c:3" not in ring  # the cooldown restarted at the probe
+
+    def test_successful_probe_closes_the_breaker(self):
+        monitor, ring, clock = make_monitor(threshold=1, cooldown=5.0)
+        monitor.record_failure("c:3")
+        clock.advance(5.1)
+        monitor.refresh()
+        monitor.record_success("c:3")
+        assert monitor.breaker_for("c:3").state == "closed"
+        assert "c:3" in ring
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        monitor, _, _ = make_monitor(threshold=1)
+        monitor.record_failure("a:1")
+        snap = monitor.snapshot()
+        assert snap["nodes"]["a:1"]["state"] == "open"
+        assert snap["nodes"]["b:2"]["state"] == "closed"
+        assert snap["ring"]["nodes"] == ["b:2", "c:3"]
+        assert snap["nodes_removed_total"] == 1

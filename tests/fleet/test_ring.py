@@ -1,0 +1,155 @@
+"""Consistent-hash ring: balance bounds, minimal remapping, determinism."""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+
+import pytest
+
+from repro.fleet import HashRing
+
+
+def sample_keys(count: int) -> list[str]:
+    """Content-address-shaped keys (sha256 hex), deterministic."""
+    return [
+        hashlib.sha256(f"request-{i}".encode()).hexdigest() for i in range(count)
+    ]
+
+
+class TestMembership:
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing()
+        assert ring.add("a:1") is True
+        assert ring.add("a:1") is False
+        assert len(ring) == 1
+        assert ring.remove("a:1") is True
+        assert ring.remove("a:1") is False
+        assert len(ring) == 0
+
+    def test_contains_and_nodes(self):
+        ring = HashRing(["b:2", "a:1"])
+        assert "a:1" in ring and "b:2" in ring and "c:3" not in ring
+        assert ring.nodes == ("a:1", "b:2")
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing().add("")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_snapshot_geometry(self):
+        ring = HashRing(["a:1", "b:2"], vnodes=64)
+        snap = ring.snapshot()
+        assert snap["nodes"] == ["a:1", "b:2"]
+        assert snap["vnodes"] == 64
+        assert snap["points"] == 128
+
+
+class TestLookup:
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert ring.node_for("anything") is None
+        assert list(ring.preference("anything")) == []
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo:1"])
+        assert all(ring.node_for(k) == "solo:1" for k in sample_keys(50))
+
+    def test_deterministic_across_instances(self):
+        keys = sample_keys(500)
+        a = HashRing(["n1:1", "n2:2", "n3:3"])
+        # same membership, different construction order: identical routing
+        b = HashRing()
+        for node in ("n3:3", "n1:1", "n2:2"):
+            b.add(node)
+        assert a.assignments(keys) == b.assignments(keys)
+
+    def test_preference_starts_at_owner_and_covers_all_nodes(self):
+        ring = HashRing(["n1:1", "n2:2", "n3:3"])
+        for key in sample_keys(20):
+            order = list(ring.preference(key))
+            assert order[0] == ring.node_for(key)
+            assert sorted(order) == ["n1:1", "n2:2", "n3:3"]
+            assert len(set(order)) == len(order)
+
+    def test_preference_fallback_matches_post_removal_owner(self):
+        """The re-route target IS the rebalanced owner: retrying against
+        the next distinct node clockwise lands exactly where the key
+        would live had the dead node never existed."""
+        ring = HashRing(["n1:1", "n2:2", "n3:3"])
+        for key in sample_keys(100):
+            order = list(ring.preference(key))
+            shrunk = HashRing(["n1:1", "n2:2", "n3:3"])
+            shrunk.remove(order[0])
+            assert shrunk.node_for(key) == order[1]
+
+
+class TestBalance:
+    def test_load_spread_within_bounds(self):
+        """With 128 vnodes every node's share stays near fair (1/N):
+        the ~1/sqrt(vnodes) concentration keeps each node within
+        [0.5, 1.6]x of fair share at realistic key counts."""
+        keys = sample_keys(6000)
+        for n_nodes in (2, 3, 5, 8):
+            ring = HashRing([f"node{i}:80" for i in range(n_nodes)])
+            counts = collections.Counter(ring.assignments(keys).values())
+            fair = len(keys) / n_nodes
+            assert len(counts) == n_nodes  # nobody starved entirely
+            for node, count in counts.items():
+                assert 0.5 * fair <= count <= 1.6 * fair, (
+                    f"{node} owns {count} of {len(keys)} keys "
+                    f"(fair share {fair:.0f}) with {n_nodes} nodes"
+                )
+
+    def test_more_vnodes_flatten_the_spread(self):
+        keys = sample_keys(4000)
+
+        def spread(vnodes: int) -> float:
+            ring = HashRing([f"n{i}:1" for i in range(4)], vnodes=vnodes)
+            counts = collections.Counter(ring.assignments(keys).values())
+            return max(counts.values()) / min(counts.values())
+
+        assert spread(256) < spread(4)
+
+
+class TestMinimalRemap:
+    def test_removal_moves_only_the_dead_nodes_keys(self):
+        keys = sample_keys(5000)
+        ring = HashRing([f"n{i}:1" for i in range(5)])
+        before = ring.assignments(keys)
+        victim = "n2:1"
+        owned = sum(1 for node in before.values() if node == victim)
+        ring.remove(victim)
+        after = ring.assignments(keys)
+        moved = sum(1 for k in keys if before[k] != after[k])
+        # exactly the victim's keys move; every other assignment is stable
+        assert moved == owned
+        assert all(
+            after[k] == before[k] for k in keys if before[k] != victim
+        )
+
+    def test_addition_steals_about_one_nth(self):
+        keys = sample_keys(5000)
+        nodes = [f"n{i}:1" for i in range(4)]
+        ring = HashRing(nodes)
+        before = ring.assignments(keys)
+        ring.add("n4:1")
+        after = ring.assignments(keys)
+        moved = sum(1 for k in keys if before[k] != after[k])
+        fair = len(keys) / 5  # K/N with the new node counted
+        # bounded remap: about K/N keys move (generous 1.6x slack for
+        # vnode placement variance), and all of them move TO the joiner
+        assert moved <= 1.6 * fair
+        assert moved >= 0.5 * fair
+        assert all(after[k] == "n4:1" for k in keys if before[k] != after[k])
+
+    def test_leave_then_rejoin_restores_assignments(self):
+        keys = sample_keys(1000)
+        ring = HashRing(["n1:1", "n2:2", "n3:3"])
+        before = ring.assignments(keys)
+        ring.remove("n2:2")
+        ring.add("n2:2")
+        assert ring.assignments(keys) == before

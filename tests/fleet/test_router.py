@@ -1,0 +1,214 @@
+"""Live fleet end-to-end: routing, dedup, failover, re-admission."""
+
+from __future__ import annotations
+
+import time
+
+from .conftest import estimate_body
+
+
+class TestRouting:
+    def test_requests_spread_across_nodes(self, make_fleet):
+        fleet = make_fleet(node_count=3)
+        answered_by = set()
+        for i in range(10):
+            status, body, headers = fleet.estimate(estimate_body(f"p{i}", 3 + i))
+            assert status == 200, body
+            answered_by.add(headers["X-Repro-Node"])
+        assert len(answered_by) >= 2  # 10 sha-spread keys hit >1 node
+
+    def test_same_workload_routes_to_one_node(self, make_fleet):
+        fleet = make_fleet(node_count=3)
+        nodes = set()
+        dedups = []
+        for name in ("alpha", "beta", "gamma"):
+            status, body, headers = fleet.estimate(estimate_body(name, 7))
+            assert status == 200, body
+            nodes.add(headers["X-Repro-Node"])
+            dedups.append(body["dedup"])
+        assert len(nodes) == 1  # cosmetic names don't split routing
+        assert dedups[0] == "fresh"
+        assert set(dedups[1:]) <= {"memo", "coalesced", "disk"}
+
+    def test_bad_request_rejected_at_the_edge(self, make_fleet):
+        fleet = make_fleet(node_count=2)
+        status, body, _ = fleet.request("POST", "/estimate", {"nonsense": True})
+        assert status == 400
+        # nothing was forwarded: both nodes still show zero requests
+        _, metrics, _ = fleet.request("GET", "/metrics")
+        assert metrics["fleet"]["counters"]["requests_total"] == 0
+        assert metrics["router"]["counters"]["forwarded_total"] == 0
+
+    def test_unknown_path_404(self, make_fleet):
+        fleet = make_fleet(node_count=1)
+        assert fleet.request("GET", "/nope")[0] == 404
+
+
+class TestFleetMetrics:
+    def test_cross_node_dedup_fleetwide(self, make_fleet):
+        """M distinct workloads cost exactly M simulations no matter
+        which node each request lands on."""
+        fleet = make_fleet(node_count=3)
+        distinct = 6
+        for i in range(distinct):
+            status, body, _ = fleet.estimate(estimate_body(f"uniq{i}", 3 + i))
+            assert status == 200, body
+        # resubmit every workload under different cosmetic names
+        for i in range(distinct):
+            status, body, _ = fleet.estimate(estimate_body(f"again{i}", 3 + i))
+            assert status == 200, body
+        _, metrics, _ = fleet.request("GET", "/metrics")
+        assert metrics["fleet"]["simulation"]["runs_finished"] == distinct
+        assert metrics["fleet"]["counters"]["duplicates_merged"] >= distinct
+        assert metrics["fleet"]["nodes_reporting"] == 3
+
+    def test_aggregate_sums_node_counters(self, make_fleet):
+        fleet = make_fleet(node_count=2)
+        for i in range(4):
+            fleet.estimate(estimate_body(f"m{i}", 3 + i))
+        _, metrics, _ = fleet.request("GET", "/metrics")
+        per_node = sum(
+            payload["counters"]["estimate_requests"]
+            for payload in metrics["nodes"].values()
+        )
+        assert per_node == 4
+        assert metrics["fleet"]["counters"]["estimate_requests"] == 4
+        assert metrics["router"]["counters"]["estimate_requests"] == 4
+
+    def test_prometheus_rendering(self, make_fleet):
+        fleet = make_fleet(node_count=1)
+        fleet.estimate(estimate_body("prom", 3))
+        status, text, _ = fleet.request("GET", "/metrics?format=prom")
+        assert status == 200
+        assert "repro_fleet_router_forwarded_total 1" in text
+        assert "repro_fleet_sim_runs_finished" in text
+
+    def test_healthz_reports_ring_and_admission(self, make_fleet):
+        fleet = make_fleet(node_count=2)
+        status, body, _ = fleet.request("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["fleet"]["nodes_routable"] == 2
+        assert body["admission"]["soft_fraction"] == 0.7
+
+
+class TestFailover:
+    def test_dead_node_reroutes_and_answers_every_request(self, make_fleet):
+        fleet = make_fleet(
+            node_count=3, router_options={"node_failures": 1}
+        )
+        # warm every key once so the shared tier holds all results
+        keys = [(f"w{i}", 3 + i) for i in range(8)]
+        for name, n in keys:
+            status, body, _ = fleet.estimate(estimate_body(name, n))
+            assert status == 200, body
+        victim = fleet.kill_node(0)
+        # one health sweep detects the dark port (in production the
+        # background poll loop does this every health_interval seconds)
+        fleet.run(fleet.router.poll_health())
+        for name, n in keys:
+            status, body, headers = fleet.estimate(estimate_body(name, n))
+            assert status == 200, body  # exactly one answer per request
+            assert headers["X-Repro-Node"] != victim
+        _, health, _ = fleet.request("GET", "/healthz")
+        assert health["status"] == "degraded"
+        assert victim in health["fleet"]["nodes_down"]
+
+    def test_rerouted_keys_hit_the_shared_tier(self, make_fleet):
+        """A key computed on a node that later dies is a shared-tier hit
+        on its new owner: the kill costs zero re-simulation."""
+        fleet = make_fleet(node_count=3, router_options={"node_failures": 1})
+        for i in range(8):
+            fleet.estimate(estimate_body(f"s{i}", 3 + i))
+        _, before, _ = fleet.request("GET", "/metrics")
+        runs_before = before["fleet"]["simulation"]["runs_finished"]
+        assert runs_before == 8
+        fleet.kill_node(0)
+        for i in range(8):
+            status, body, _ = fleet.estimate(estimate_body(f"s{i}", 3 + i))
+            assert status == 200, body
+        _, after, _ = fleet.request("GET", "/metrics")
+        # the dead node's tally is gone from the aggregate, but the
+        # survivors ran nothing new — every re-routed key came from a
+        # cache tier (memo, local, or shared)
+        assert after["fleet"]["simulation"]["runs_finished"] <= runs_before
+
+    def test_cooled_down_node_is_readmitted_half_open(self, make_fleet):
+        """PR 6's breaker semantics one level up: after the cooldown the
+        node rejoins the ring and the next request is the probe."""
+        fleet = make_fleet(
+            node_count=2,
+            router_options={"node_failures": 1, "node_cooldown": 0.3},
+        )
+        victim = fleet.kill_node(1)
+        fleet.run(fleet.router.poll_health())  # detect the dark port
+        assert victim in fleet.router.health.down_nodes
+        for i in range(6):
+            status, _, headers = fleet.estimate(estimate_body(f"r{i}", 3 + i))
+            assert status == 200
+            assert headers["X-Repro-Node"] != victim
+        # node comes back on the SAME address as a fresh process would:
+        # new service over the surviving on-disk caches, same port
+        from repro.serve import EstimationServer, EstimationService
+
+        host, _, port = victim.rpartition(":")
+        reborn = EstimationService(
+            fleet.model,
+            workers=0,
+            batch_window=0.005,
+            cache_dir=str(fleet.tmp_path / "node1-cache"),
+            shared_cache_dir=str(fleet.tmp_path / "shared-cache"),
+        )
+        fleet.services[1] = reborn
+        revived = EstimationServer(reborn, host=host, port=int(port))
+        fleet.run(revived.start())
+        fleet.node_servers[1] = revived
+        fleet._stopped.discard(1)
+        time.sleep(0.4)  # let the cooldown elapse: the breaker reads half-open
+        assert fleet.router.health.breaker_for(victim).state == "half-open"
+        # the next sweep probes the half-open node; success re-admits it
+        fleet.run(fleet.router.poll_health())
+        assert victim not in fleet.router.health.down_nodes
+        assert fleet.router.health.breaker_for(victim).state == "closed"
+        # and routed traffic reaches it again
+        answered_by = set()
+        for i in range(12):
+            status, _, headers = fleet.estimate(estimate_body(f"back{i}", 3 + i))
+            assert status == 200
+            answered_by.add(headers["X-Repro-Node"])
+        assert victim in answered_by
+
+    def test_whole_fleet_down_answers_503_with_retry_after(self, make_fleet):
+        fleet = make_fleet(node_count=1, router_options={"node_failures": 1})
+        fleet.kill_node(0)
+        status, body, headers = fleet.estimate(estimate_body("doomed", 3))
+        assert status == 503
+        assert body["error"] in ("fleet_unreachable", "fleet_down")
+        assert int(headers["Retry-After"]) >= 1
+        # a second attempt hits the fleet_down path (empty ring)
+        status, body, _ = fleet.estimate(estimate_body("doomed", 3))
+        assert status == 503
+
+
+class TestAdmissionAtTheRouter:
+    def test_saturated_node_sheds_with_computed_retry_after(self, make_fleet):
+        fleet = make_fleet(node_count=1)
+        # poison the gossip table: the single node claims a full queue
+        node = fleet.addresses[0]
+        fleet.router.admission.observe_depth(node, depth=64, limit=64)
+        status, body, headers = fleet.estimate(estimate_body("shed", 3))
+        assert status == 429
+        assert body["error"] == "fleet_overloaded"
+        assert int(headers["Retry-After"]) >= 1
+        # fresh gossip clears the saturation and traffic flows again
+        fleet.router.admission.observe_depth(node, depth=0, limit=64)
+        status, _, _ = fleet.estimate(estimate_body("shed", 3))
+        assert status == 200
+
+    def test_gossip_headers_flow_back_through_the_router(self, make_fleet):
+        fleet = make_fleet(node_count=1)
+        status, _, headers = fleet.estimate(estimate_body("gossip", 3))
+        assert status == 200
+        # the node's queue posture reached the router's table
+        snap = fleet.router.admission.snapshot()
+        assert fleet.addresses[0] in snap["nodes"]

@@ -1,0 +1,70 @@
+"""The router's shard key: workload-content invariants."""
+
+from __future__ import annotations
+
+from repro.fleet import routing_key
+from repro.serve.api import parse_estimate
+
+SOURCE = """
+    .text
+main:
+    movi a2, 3
+    halt
+"""
+
+
+def make_request(**overrides):
+    body = {
+        "program": {"name": "prog", "source": SOURCE},
+        "max_instructions": 10_000,
+    }
+    body.update(overrides)
+    return parse_estimate(body)
+
+
+class TestRoutingKey:
+    def test_deterministic(self):
+        assert routing_key(make_request()) == routing_key(make_request())
+
+    def test_name_is_cosmetic(self):
+        """Program names are excluded from the dedup key, so they must
+        not split routing either — duplicates spelled with different
+        names coalesce on one node."""
+        a = make_request(program={"name": "alpha", "source": SOURCE})
+        b = make_request(program={"name": "beta", "source": SOURCE})
+        assert routing_key(a) == routing_key(b)
+
+    def test_source_changes_key(self):
+        other = SOURCE.replace("movi a2, 3", "movi a2, 4")
+        a = make_request()
+        b = make_request(program={"name": "prog", "source": other})
+        assert routing_key(a) != routing_key(b)
+
+    def test_budget_changes_key(self):
+        assert routing_key(make_request(max_instructions=10_000)) != routing_key(
+            make_request(max_instructions=20_000)
+        )
+
+    def test_extensions_change_key(self):
+        a = make_request()
+        b = make_request(
+            program={"name": "prog", "source": SOURCE}, extensions=["mac16"]
+        )
+        assert routing_key(a) != routing_key(b)
+
+    def test_benchmark_and_inline_forms_differ(self):
+        inline = make_request()
+        bench = parse_estimate({"benchmark": "rs_encode", "max_instructions": 10_000})
+        assert routing_key(inline) != routing_key(bench)
+
+    def test_benchmark_requests_route_by_name(self):
+        a = parse_estimate({"benchmark": "rs_encode", "max_instructions": 10_000})
+        b = parse_estimate({"benchmark": "rs_decode", "max_instructions": 10_000})
+        assert routing_key(a) != routing_key(b)
+        again = parse_estimate({"benchmark": "rs_encode", "max_instructions": 10_000})
+        assert routing_key(a) == routing_key(again)
+
+    def test_key_is_sha256_hex(self):
+        key = routing_key(make_request())
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex

@@ -1,0 +1,99 @@
+"""Drain-rate estimation and computed Retry-After hints."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve.admission import (
+    COLD_START_RETRY_AFTER,
+    MAX_RETRY_AFTER,
+    DrainRateEstimator,
+    retry_after_seconds,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestDrainRateEstimator:
+    def test_starts_at_zero(self):
+        est = DrainRateEstimator(clock=FakeClock())
+        assert est.rate == 0.0
+        assert est.completions == 0
+
+    def test_steady_stream_converges_on_true_rate(self):
+        clock = FakeClock()
+        est = DrainRateEstimator(tau=10.0, clock=clock)
+        # 5 completions/second for 10 time constants
+        for _ in range(1000):
+            clock.advance(0.2)
+            est.record(1)
+        assert est.rate == pytest.approx(5.0, rel=0.05)
+
+    def test_idle_estimate_decays_toward_zero(self):
+        clock = FakeClock()
+        est = DrainRateEstimator(tau=10.0, clock=clock)
+        for _ in range(100):
+            clock.advance(0.1)
+            est.record(1)
+        busy = est.rate
+        clock.advance(50.0)  # five time constants of silence
+        assert est.rate < busy * math.exp(-4.5)
+
+    def test_batch_record_counts_every_completion(self):
+        clock = FakeClock()
+        est = DrainRateEstimator(tau=10.0, clock=clock)
+        est.record(8)
+        assert est.completions == 8
+        assert est.rate == pytest.approx(8 / 10.0)
+
+    def test_nonpositive_record_is_ignored(self):
+        est = DrainRateEstimator(clock=FakeClock())
+        est.record(0)
+        est.record(-3)
+        assert est.completions == 0
+
+    def test_tau_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DrainRateEstimator(tau=0.0)
+
+    def test_snapshot_shape(self):
+        est = DrainRateEstimator(tau=7.0, clock=FakeClock())
+        est.record(2)
+        snap = est.snapshot()
+        assert snap["tau_seconds"] == 7.0
+        assert snap["completions"] == 2
+        assert snap["rate_per_s"] > 0
+
+
+class TestRetryAfterSeconds:
+    def test_empty_queue_is_one_second(self):
+        assert retry_after_seconds(0, rate=100.0) == 1
+
+    def test_cold_start_fallback_when_rate_unknown(self):
+        assert retry_after_seconds(10, rate=0.0) == COLD_START_RETRY_AFTER
+
+    def test_depth_over_rate_rounded_up(self):
+        assert retry_after_seconds(10, rate=4.0) == 3  # ceil(2.5)
+        assert retry_after_seconds(4, rate=4.0) == 1
+        assert retry_after_seconds(5, rate=4.0) == 2
+
+    def test_capped_at_max(self):
+        assert retry_after_seconds(10_000, rate=0.5) == MAX_RETRY_AFTER
+        assert retry_after_seconds(10_000, rate=0.5, cap=9) == 9
+
+    def test_custom_cold_start(self):
+        assert retry_after_seconds(3, rate=0.0, cold_start=5) == 5
+
+    def test_fast_drain_never_quotes_zero(self):
+        assert retry_after_seconds(1, rate=1e6) == 1
